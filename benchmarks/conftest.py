@@ -1,0 +1,48 @@
+"""Benchmark fixtures.
+
+The two dg1000-scaled platform runs (the paper's experiment) execute once
+per session; the per-figure benchmarks then measure the Granula analysis
+stages (archiving, decomposition, chart computation, rendering) against
+those shared runs, and write every regenerated artifact under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import GIRAPH_BFS, POWERGRAPH_BFS
+from repro.workloads.runner import WorkloadRunner
+
+#: Where regenerated artifacts (text + SVG) land.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def runner() -> WorkloadRunner:
+    return WorkloadRunner()
+
+
+@pytest.fixture(scope="session")
+def giraph_iteration(runner):
+    """The paper's Giraph BFS run on dg1000-scaled (executed once)."""
+    return runner.run(GIRAPH_BFS)
+
+
+@pytest.fixture(scope="session")
+def powergraph_iteration(runner):
+    """The paper's PowerGraph BFS run on dg1000-scaled (executed once)."""
+    return runner.run(POWERGRAPH_BFS)
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    """Persist one regenerated artifact."""
+    (output_dir / name).write_text(text)

@@ -1,0 +1,56 @@
+"""Ablation: how the Figure 5 shares move with dataset scale.
+
+The paper's decomposition is a property of one (platform, dataset,
+cluster) point.  Sweeping the dataset confirms the mechanism behind it:
+setup cost is constant, I/O and processing grow with the data — so
+Giraph's setup share *shrinks* as the graph grows while the I/O share
+grows toward the paper's 43%.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.render_text import table
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sweep import ParameterSweep
+
+DATASETS = ["dg-tiny", "dg100-scaled", "dg300-scaled"]
+
+
+def test_bench_dataset_scaling(benchmark, output_dir):
+    runner = WorkloadRunner()
+    sweep = ParameterSweep(runner)
+    base = WorkloadSpec("Giraph", "bfs", "dg-tiny", workers=8)
+
+    def run_sweep():
+        return sweep.run(base, "dataset", DATASETS)
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    setup_shares = []
+    io_shares = []
+    for result in results:
+        breakdown = result.breakdown
+        setup_shares.append(breakdown.phases["Setup"][1])
+        io_shares.append(breakdown.phases["Input/output"][1])
+        rows.append((
+            result.spec.dataset,
+            f"{breakdown.total:.1f}s",
+            f"{breakdown.phases['Setup'][1] * 100:.1f}%",
+            f"{breakdown.phases['Input/output'][1] * 100:.1f}%",
+            f"{breakdown.phases['Processing'][1] * 100:.1f}%",
+        ))
+    text = table(
+        ("Dataset", "Total", "Setup share", "I/O share",
+         "Processing share"),
+        rows,
+    )
+    print()
+    print(text)
+    write_artifact(output_dir, "ablation_datasize.txt", text)
+
+    # Setup share falls, I/O share rises with scale.
+    assert setup_shares == sorted(setup_shares, reverse=True)
+    assert io_shares == sorted(io_shares)

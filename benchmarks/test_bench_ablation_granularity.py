@@ -1,0 +1,64 @@
+"""Ablation: archive cost vs model granularity (the R3 trade-off).
+
+The paper's central knob: "balancing between the investment of effort and
+the comprehensiveness of results".  This bench quantifies it — archive
+build time and archive size as the Giraph model is truncated from the
+domain level (1) down to the full implementation level (4).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.archive.builder import build_archive
+from repro.core.model.giraph_model import giraph_model
+from repro.core.visualize.render_text import table
+
+LEVELS = [1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_bench_archive_build_at_level(benchmark, level, giraph_iteration):
+    model = giraph_model().truncated(level)
+    run = giraph_iteration.run
+
+    archive, _report = benchmark(build_archive, run, model)
+    assert archive.size() > 0
+
+
+def test_granularity_table(benchmark, giraph_iteration, output_dir):
+    """Archive size and coverage per model level (the cost curve)."""
+    run = giraph_iteration.run
+
+    def build_cost_curve():
+        rows = []
+        sizes = {}
+        for level in LEVELS:
+            model = giraph_model().truncated(level)
+            archive, report = build_archive(run, model)
+            sizes[level] = archive.size()
+            rows.append((
+                str(level),
+                str(model.size()),
+                str(archive.size()),
+                str(report.operations_filtered),
+                str(len(report.unmodeled)),
+                str(report.rules_applied),
+            ))
+        return rows, sizes
+
+    rows, sizes = benchmark(build_cost_curve)
+    text = table(
+        ("Model level", "Model ops", "Archived ops", "Filtered ops",
+         "Unmodeled kinds", "Rules applied"),
+        rows,
+    )
+    print()
+    print(text)
+    write_artifact(output_dir, "ablation_granularity.txt", text)
+
+    # The cost curve is monotone: deeper models archive more.
+    assert sizes[1] < sizes[2] < sizes[3] < sizes[4]
+    # The full model leaves nothing unmodeled.
+    full_archive, full_report = build_archive(run, giraph_model())
+    assert full_report.unmodeled == []
+    assert full_archive.size() == sizes[4]

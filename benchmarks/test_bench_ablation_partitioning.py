@@ -1,0 +1,85 @@
+"""Ablation: edge-cut vs vertex-cut partitioning quality.
+
+The design choice behind Table 1's Giraph/PowerGraph split: hash edge-cut
+(Giraph) versus greedy vertex-cut (PowerGraph).  On power-law graphs the
+vertex-cut's replication factor stays low while the edge-cut's cut
+fraction and balance degrade — the PowerGraph paper's core claim, which
+this bench reproduces on synthetic power-law and uniform graphs.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.render_text import table
+from repro.graph.generators import powerlaw_graph, uniform_random_graph
+from repro.graph.partition import (
+    edge_balance,
+    edge_cut_fraction,
+    greedy_vertex_cut,
+    hash_partition,
+    random_vertex_cut,
+    replication_factor,
+)
+
+PARTS = 8
+GRAPHS = {
+    "powerlaw": lambda: powerlaw_graph(4000, 32000, alpha=0.7, seed=11),
+    "uniform": lambda: uniform_random_graph(4000, 32000, seed=11),
+}
+
+
+@pytest.mark.parametrize("family", list(GRAPHS))
+def test_bench_greedy_vertex_cut(benchmark, family):
+    graph = GRAPHS[family]()
+    cut = benchmark(greedy_vertex_cut, graph, PARTS)
+    assert sum(cut.edge_counts()) == graph.num_edges
+
+
+@pytest.mark.parametrize("family", list(GRAPHS))
+def test_bench_hash_edge_cut(benchmark, family):
+    graph = GRAPHS[family]()
+    assignment = benchmark(hash_partition, graph.num_vertices, PARTS)
+    assert len(assignment) == graph.num_vertices
+
+
+def test_partitioning_quality_table(benchmark, output_dir):
+    """The qualitative result: greedy vertex-cut wins on power-law."""
+    def measure_quality():
+        rows = []
+        quality = {}
+        for family, build in GRAPHS.items():
+            graph = build()
+            hash_assign = hash_partition(graph.num_vertices, PARTS)
+            greedy = greedy_vertex_cut(graph, PARTS)
+            rand = random_vertex_cut(graph, PARTS)
+            quality[family] = {
+                "cut_fraction": edge_cut_fraction(graph, hash_assign),
+                "edge_balance": edge_balance(graph, hash_assign, PARTS),
+                "greedy_rf": replication_factor(greedy),
+                "random_rf": replication_factor(rand),
+            }
+            rows.append((
+                family,
+                f"{quality[family]['cut_fraction'] * 100:.1f}%",
+                f"{quality[family]['edge_balance']:.2f}",
+                f"{quality[family]['greedy_rf']:.2f}",
+                f"{quality[family]['random_rf']:.2f}",
+            ))
+        return rows, quality
+
+    rows, quality = benchmark.pedantic(measure_quality, rounds=1,
+                                       iterations=1)
+    text = table(
+        ("Graph", "hash cut frac", "hash edge balance",
+         "greedy vertex-cut RF", "random vertex-cut RF"),
+        rows,
+    )
+    print()
+    print(text)
+    write_artifact(output_dir, "ablation_partitioning.txt", text)
+
+    # Shape assertions (PowerGraph's motivation).
+    for family in GRAPHS:
+        assert quality[family]["greedy_rf"] < quality[family]["random_rf"]
+    # Greedy replicates less on power-law than on uniform graphs.
+    assert quality["powerlaw"]["greedy_rf"] <= quality["uniform"]["greedy_rf"]

@@ -1,0 +1,58 @@
+"""Ablation: strong scaling of one platform (worker-count sweep).
+
+The trade-off the domain-level decomposition makes visible: processing
+and I/O parallelize with more workers, while setup cost is constant (or
+slightly growing) — so setup's *share* grows with scale-out, the effect
+behind Giraph's 30.9% setup share on 8 nodes in Figure 5.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.render_text import table
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sweep import ParameterSweep
+
+WORKER_COUNTS = [1, 2, 4, 8]
+
+
+def test_bench_worker_scaling(benchmark, output_dir):
+    runner = WorkloadRunner()
+    sweep = ParameterSweep(runner)
+    base = WorkloadSpec("Giraph", "bfs", "dg100-scaled", workers=1)
+
+    def run_sweep():
+        return sweep.run(base, "workers", WORKER_COUNTS)
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    processing = {}
+    setup = {}
+    for result in results:
+        breakdown = result.breakdown
+        workers = result.spec.workers
+        processing[workers] = breakdown.phases["Processing"][0]
+        setup[workers] = breakdown.phases["Setup"][0]
+        rows.append((
+            str(workers),
+            f"{breakdown.total:.1f}s",
+            f"{setup[workers]:.1f}s",
+            f"{breakdown.phases['Input/output'][0]:.1f}s",
+            f"{processing[workers]:.1f}s",
+            f"{breakdown.phases['Setup'][1] * 100:.1f}%",
+        ))
+    text = table(
+        ("Workers", "Total", "Setup", "I/O", "Processing", "Setup share"),
+        rows,
+    )
+    print()
+    print(text)
+    write_artifact(output_dir, "ablation_scaling.txt", text)
+
+    # Strong scaling: processing shrinks with workers...
+    assert processing[8] < processing[2] < processing[1]
+    # ... while setup stays roughly constant, so its share grows.
+    assert setup[8] < 1.5 * setup[1]
+    share_1 = setup[1] / results[0].breakdown.total
+    share_8 = setup[8] / results[-1].breakdown.total
+    assert share_8 > share_1

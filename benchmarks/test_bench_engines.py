@@ -1,0 +1,25 @@
+"""End-to-end engine benchmarks: one full monitored job per platform.
+
+Measures the wall-clock cost of the whole pipeline (engine execution,
+log emission, parsing, archiving, visualization) at dg100-scaled size —
+the practical per-job cost of a Granula evaluation iteration.
+"""
+
+import pytest
+
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.mark.parametrize("platform", ["Giraph", "PowerGraph"])
+def test_bench_full_pipeline(benchmark, platform):
+    runner = WorkloadRunner()
+    spec = WorkloadSpec(platform, "bfs", "dg100-scaled", workers=8)
+
+    def one_iteration():
+        return runner.run(spec, fresh=True)
+
+    iteration = benchmark.pedantic(one_iteration, rounds=3, iterations=1,
+                                   warmup_rounds=1)
+    assert iteration.breakdown.total > 0
+    assert iteration.report.unmodeled == []

@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of the choke-point extension experiment."""
+
+from benchmarks.conftest import write_artifact
+from repro.core.analysis.chokepoint import find_choke_points
+from repro.experiments.ext_chokepoints import run_chokepoints
+
+
+def test_bench_chokepoint_analysis(benchmark, giraph_iteration):
+    """Cost of one choke-point analysis pass over a full archive."""
+    points = benchmark(find_choke_points, giraph_iteration.archive)
+    assert points
+
+
+def test_bench_ext_chokepoints(benchmark, runner, output_dir):
+    result = benchmark(run_chokepoints, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "ext_chokepoints.txt", result.text)

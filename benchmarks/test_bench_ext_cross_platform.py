@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of the four-platform comparison."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.ext_cross_platform import PGXD_BFS, run_cross_platform
+from repro.experiments.ext_hadoop_baseline import HADOOP_BFS
+
+
+@pytest.fixture(scope="session")
+def all_platform_runs(runner, giraph_iteration, powergraph_iteration):
+    """Ensure all four dg1000-scaled runs exist (executed once each)."""
+    runner.run(HADOOP_BFS)
+    runner.run(PGXD_BFS)
+
+
+def test_bench_ext_cross_platform(benchmark, runner, all_platform_runs,
+                                  output_dir):
+    result = benchmark(run_cross_platform, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "ext_cross_platform.txt", result.text)

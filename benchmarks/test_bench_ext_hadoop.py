@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of the Hadoop-baseline extension experiment."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.ext_hadoop_baseline import HADOOP_BFS, run_hadoop_baseline
+
+
+@pytest.fixture(scope="session")
+def hadoop_iteration(runner):
+    """The Hadoop BFS run on dg1000-scaled (executed once)."""
+    return runner.run(HADOOP_BFS)
+
+
+def test_bench_ext_hadoop(benchmark, runner, giraph_iteration,
+                          hadoop_iteration, output_dir):
+    result = benchmark(run_hadoop_baseline, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "ext_hadoop.txt", result.text)
+    write_artifact(output_dir, "ext_hadoop_breakdown.svg",
+                   hadoop_iteration.breakdown.render_svg())

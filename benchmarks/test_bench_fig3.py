@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 3 (job phase breakdown)."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig3_breakdown import run_fig3
+
+
+def test_bench_fig3(benchmark, output_dir):
+    result = benchmark(run_fig3)
+    assert result.all_checks_pass, result.checks
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig3.txt", result.text)

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 4 (the Giraph performance model)."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig4_model import run_fig4
+
+
+def test_bench_fig4(benchmark, output_dir):
+    result = benchmark(run_fig4)
+    assert result.all_checks_pass, result.checks
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig4.txt", result.text)

@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Figure 5 (domain-level job decomposition).
+
+The platform runs execute once (session fixture); the benchmark measures
+the Granula analysis stage that produces the figure — rebuilding the
+archive from the raw platform log and computing the decomposition — which
+is the work an analyst repeats per job.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.core.archive.builder import build_archive
+from repro.core.model.giraph_model import giraph_model
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.experiments.fig5_decomposition import run_fig5
+
+
+def test_bench_fig5_analysis(benchmark, giraph_iteration, output_dir):
+    """Archive build + decomposition of the Giraph run (per-job cost)."""
+    model = giraph_model()
+    run = giraph_iteration.run
+
+    def analyze():
+        archive, _report = build_archive(run, model)
+        return compute_breakdown(archive)
+
+    breakdown = benchmark(analyze)
+    assert breakdown.total > 0
+
+
+def test_bench_fig5_artifact(benchmark, runner, giraph_iteration,
+                             powergraph_iteration, output_dir):
+    """Full Figure 5 regeneration (both platforms, memoized runs)."""
+    result = benchmark(run_fig5, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig5.txt", result.text)
+    write_artifact(output_dir, "fig5_giraph.svg",
+                   giraph_iteration.breakdown.render_svg())
+    write_artifact(output_dir, "fig5_powergraph.svg",
+                   powergraph_iteration.breakdown.render_svg())
+    # The paper's combined layout: both bars in one figure.
+    from repro.core.visualize.compare import render_side_by_side_svg
+    write_artifact(output_dir, "fig5_combined.svg", render_side_by_side_svg([
+        giraph_iteration.breakdown, powergraph_iteration.breakdown,
+    ]))

@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of Figure 6 (Giraph CPU utilization)."""
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.utilization import compute_utilization
+from repro.experiments.fig6_giraph_cpu import run_fig6
+
+
+def test_bench_fig6_chart(benchmark, giraph_iteration):
+    """Utilization-chart computation from the archived run."""
+    chart = benchmark(compute_utilization, giraph_iteration.archive)
+    assert chart.peak > 0
+
+
+def test_bench_fig6_artifact(benchmark, runner, giraph_iteration, output_dir):
+    result = benchmark(run_fig6, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig6.txt", result.text)
+    write_artifact(output_dir, "fig6.svg",
+                   giraph_iteration.utilization.render_svg())

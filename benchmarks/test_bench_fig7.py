@@ -1,0 +1,21 @@
+"""Benchmark + regeneration of Figure 7 (PowerGraph CPU utilization)."""
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.utilization import compute_utilization
+from repro.experiments.fig7_powergraph_cpu import run_fig7
+
+
+def test_bench_fig7_chart(benchmark, powergraph_iteration):
+    chart = benchmark(compute_utilization, powergraph_iteration.archive)
+    assert chart.peak > 0
+
+
+def test_bench_fig7_artifact(benchmark, runner, powergraph_iteration,
+                             output_dir):
+    result = benchmark(run_fig7, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig7.txt", result.text)
+    write_artifact(output_dir, "fig7.svg",
+                   powergraph_iteration.utilization.render_svg())

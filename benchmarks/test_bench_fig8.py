@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Figure 8 (per-worker compute gantt)."""
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.gantt import compute_gantt
+from repro.experiments.fig8_superstep import run_fig8
+
+
+def test_bench_fig8_gantt(benchmark, giraph_iteration):
+    gantt = benchmark(compute_gantt, giraph_iteration.archive)
+    assert gantt.spans
+
+
+def test_bench_fig8_artifact(benchmark, runner, giraph_iteration, output_dir):
+    result = benchmark(run_fig8, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+    print()
+    print(result.text)
+    write_artifact(output_dir, "fig8.txt", result.text)
+    write_artifact(output_dir, "fig8.svg",
+                   giraph_iteration.gantt.render_svg())

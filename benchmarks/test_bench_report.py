@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of the full HTML performance report."""
+
+from benchmarks.conftest import write_artifact
+from repro.core.visualize.render_html import render_report_html
+
+
+def test_bench_report_html(benchmark, giraph_iteration,
+                           powergraph_iteration, output_dir):
+    archives = [giraph_iteration.archive, powergraph_iteration.archive]
+
+    html = benchmark(render_report_html, archives,
+                     "Granula reproduction — dg1000-scaled BFS")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+    write_artifact(output_dir, "report.html", html)

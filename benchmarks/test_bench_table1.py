@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Table 1 (platform diversity)."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table1_platforms import run_table1
+
+
+def test_bench_table1(benchmark, output_dir):
+    result = benchmark(run_table1)
+    assert result.all_checks_pass, result.checks
+    print()
+    print(result.text)
+    write_artifact(output_dir, "table1.txt", result.text)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's headline experiment: Giraph vs PowerGraph, BFS on dg1000.
+
+Runs the same BFS workload on both platform engines, prints the Figure 5
+decomposition side by side, reproduces the Figures 6-7 utilization
+observations, and writes a self-contained HTML report with all visuals.
+
+Run with ``--fast`` to use the smaller dg100-scaled replica.
+"""
+
+import sys
+
+from repro.core.visualize.render_html import render_report_html
+from repro.workloads import WorkloadRunner, WorkloadSpec
+
+
+def main(fast: bool = False) -> None:
+    dataset = "dg100-scaled" if fast else "dg1000-scaled"
+    runner = WorkloadRunner()
+
+    results = {}
+    for platform in ("Giraph", "PowerGraph"):
+        spec = WorkloadSpec(platform, "bfs", dataset, workers=8)
+        print(f"running {spec.label()} ...")
+        results[platform] = runner.run(spec)
+
+    print()
+    for platform, iteration in results.items():
+        print(iteration.breakdown.render_text())
+        print()
+
+    # The Section 3.4 cross-platform metrics (Ts/Td/Tp) side by side.
+    from repro.core.comparison import compare_platforms
+    comparison = compare_platforms(
+        [results["Giraph"].archive, results["PowerGraph"].archive])
+    print(comparison.render_text())
+    print()
+
+    ratio = comparison.speedup("total_s")["PowerGraph"]
+    print(f"PowerGraph total runtime is {ratio:.1f}x Giraph's, yet its")
+    print("processing phase is faster — the difference is the sequential")
+    print("data loading visible in its utilization chart:")
+    print()
+    print(results["PowerGraph"].utilization.render_text())
+
+    report = render_report_html(
+        [results["Giraph"].archive, results["PowerGraph"].archive],
+        title=f"Giraph vs PowerGraph — BFS on {dataset}",
+    )
+    out = "comparison_report.html"
+    with open(out, "w") as handle:
+        handle.write(report)
+    print(f"\nHTML report written to {out}")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

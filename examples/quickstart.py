@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: fine-grained analysis of one Giraph BFS job.
+
+Runs BFS on a scaled Datagen graph under full Granula monitoring, builds
+the performance archive against the 4-level Giraph model, and prints the
+domain-level decomposition (the paper's Figure 5 view) plus the slowest
+fine-grained operations.
+"""
+
+from repro import EvaluationProcess, GiraphPlatform, JobRequest
+from repro.core.archive import ArchiveQuery
+from repro.core.model import giraph_model
+from repro.workloads.datasets import DATASETS, build_dataset
+from repro.workloads.runner import build_cluster
+
+
+def main() -> None:
+    dataset = "dg100-scaled"
+
+    # 1. Build an 8-node DAS5-like cluster and deploy the dataset on it.
+    platform = GiraphPlatform(build_cluster("Giraph"))
+    platform.deploy_dataset(dataset, build_dataset(dataset))
+
+    # 2. Drive one evaluation iteration: model -> monitor -> archive ->
+    #    visualize (the paper's Figure 2 loop).
+    process = EvaluationProcess(platform, giraph_model())
+    iteration = process.iterate(
+        JobRequest(algorithm="bfs", dataset=dataset, workers=8,
+                   params={"source": DATASETS[dataset].bfs_source})
+    )
+
+    # 3. The domain-level job decomposition (Figure 5).
+    print(iteration.breakdown.render_text())
+    print()
+
+    # 4. Drill down: query the archive for the slowest operations.
+    query = ArchiveQuery(iteration.archive)
+    print("slowest fine-grained operations:")
+    for op in query.where(lambda o: not o.children).top("Duration", 5):
+        print(f"  {op.path} @ {op.actor}: {op.duration:.2f}s")
+
+    # 5. The per-worker superstep view (Figure 8).
+    if iteration.gantt is not None:
+        print()
+        print(iteration.gantt.render_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Granula reproduction: fine-grained performance analysis of large-scale
+graph processing platforms.
+
+A full reimplementation of the system described in "Granula: Toward
+Fine-grained Performance Analysis of Large-scale Graph Processing
+Platforms" (Ngai, Hegeman, Heldens, Iosup, 2017), including the platforms
+it analyzes:
+
+- :mod:`repro.core` — Granula itself: performance-model language,
+  monitoring, archiving, visualization, and the iterative evaluation
+  process.
+- :mod:`repro.platforms` — working Giraph-like (Pregel/BSP) and
+  PowerGraph-like (GAS) engines running real algorithms over a simulated
+  DAS5-like cluster.
+- :mod:`repro.cluster` — the simulated cluster substrate (clock, CPU
+  accounting, HDFS/shared storage, Yarn/MPI provisioning).
+- :mod:`repro.graph` — graph data structures, generators (including an
+  LDBC-Datagen-like social network), partitioners, and reference
+  algorithms.
+- :mod:`repro.workloads` / :mod:`repro.experiments` — named datasets,
+  end-to-end runners, and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import EvaluationProcess, GiraphPlatform, JobRequest
+    from repro.core.model import giraph_model
+    from repro.workloads.runner import build_cluster
+    from repro.workloads.datasets import build_dataset
+
+    platform = GiraphPlatform(build_cluster("Giraph"))
+    platform.deploy_dataset("dg100-scaled", build_dataset("dg100-scaled"))
+    process = EvaluationProcess(platform, giraph_model())
+    it = process.iterate(JobRequest("bfs", "dg100-scaled", workers=8))
+    print(it.breakdown.render_text())
+"""
+
+from repro.core.process import EvaluationIteration, EvaluationProcess
+from repro.core.archive import (
+    ArchiveQuery,
+    ArchiveStore,
+    PerformanceArchive,
+    build_archive,
+)
+from repro.core.monitor import MonitoredRun, MonitoringSession
+from repro.errors import ReproError
+from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.gas.engine import PowerGraphPlatform
+from repro.platforms.pregel.engine import GiraphPlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "EvaluationProcess",
+    "EvaluationIteration",
+    "MonitoringSession",
+    "MonitoredRun",
+    "PerformanceArchive",
+    "ArchiveQuery",
+    "ArchiveStore",
+    "build_archive",
+    "JobRequest",
+    "JobResult",
+    "Platform",
+    "GiraphPlatform",
+    "PowerGraphPlatform",
+]

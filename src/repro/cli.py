@@ -1,0 +1,204 @@
+"""The ``granula`` command-line interface.
+
+Subcommands::
+
+    granula table1                 print Table 1
+    granula model <platform>       print a platform's model tree (Fig. 4)
+    granula run <platform> <alg> <dataset> [--workers N] [--out DIR]
+                                   run one monitored job, print Fig. 5,
+                                   optionally store the archive
+    granula experiments [--out FILE]
+                                   reproduce every table/figure
+    granula report <archive.json> [--html FILE]
+                                   render a stored archive
+    granula diagnose <archive.json> [--compute-mission NAME]
+                                   choke points + failure diagnosis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.archive.serialize import archive_from_json
+from repro.core.archive.store import ArchiveStore
+from repro.core.model.library import default_library
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.core.visualize.render_html import render_report_html
+from repro.core.visualize.timeline import render_timeline
+from repro.errors import ReproError
+from repro.experiments.report import render_markdown, run_all
+from repro.experiments.table1_platforms import run_table1
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(run_table1().text)
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    library = default_library()
+    model = library.get(args.platform)
+    print(model.render_tree())
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    library = default_library()
+    for name in library.platforms():
+        model = library.get(name)
+        print(f"{model.platform:<12} {model.size():>3} operations, "
+              f"{model.max_level()} levels")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = ArchiveStore(args.out) if args.out else None
+    runner = WorkloadRunner(store=store)
+    spec = WorkloadSpec(
+        platform=args.platform,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        workers=args.workers,
+    )
+    iteration = runner.run(spec)
+    print(iteration.breakdown.render_text())
+    print()
+    print(iteration.utilization.render_text())
+    if iteration.gantt is not None:
+        print()
+        print(iteration.gantt.render_text())
+    if store is not None:
+        print(f"\narchive stored under {args.out}/")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    results = run_all()
+    for result in results:
+        print(result.summary_line())
+    if args.out:
+        Path(args.out).write_text(render_markdown(results))
+        print(f"report written to {args.out}")
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.analysis import diagnose, find_choke_points
+    from repro.core.analysis.chokepoint import render_choke_points
+    from repro.core.analysis.diagnosis import render_findings
+
+    archive = archive_from_json(Path(args.archive).read_text())
+    print("choke points:")
+    print(render_choke_points(find_choke_points(archive)))
+    print()
+    print(render_findings(diagnose(archive, args.compute_mission)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.analysis.regression import compare_archives
+    from repro.core.comparison import compare_platforms
+
+    first = archive_from_json(Path(args.baseline).read_text())
+    second = archive_from_json(Path(args.candidate).read_text())
+    if first.platform == second.platform:
+        report = compare_archives(first, second, threshold=args.threshold)
+        print(report.render_text())
+        return 0 if report.ok else 1
+    comparison = compare_platforms([first, second])
+    print(comparison.render_text())
+    speedups = comparison.speedup()
+    slowest = max(speedups, key=lambda p: speedups[p])
+    print(f"\n{slowest} is {speedups[slowest]:.1f}x the fastest platform")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    archive = archive_from_json(Path(args.archive).read_text())
+    print(render_timeline(archive, max_depth=2))
+    print()
+    print(compute_breakdown(archive).render_text())
+    if args.html:
+        Path(args.html).write_text(render_report_html([archive]))
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="granula",
+        description="Fine-grained performance analysis of graph platforms "
+                    "(Granula reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        func=_cmd_table1)
+
+    p_model = sub.add_parser("model", help="print a platform model tree")
+    p_model.add_argument("platform",
+                         help="a model-library name (see 'granula models')")
+    p_model.set_defaults(func=_cmd_model)
+
+    sub.add_parser(
+        "models", help="list the performance-model library",
+    ).set_defaults(func=_cmd_models)
+
+    p_run = sub.add_parser("run", help="run one monitored job")
+    p_run.add_argument("platform",
+                       choices=["Giraph", "PowerGraph", "Hadoop", "PGX.D"])
+    p_run.add_argument("algorithm")
+    p_run.add_argument("dataset")
+    p_run.add_argument("--workers", type=int, default=8)
+    p_run.add_argument("--out", help="archive store directory")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiments",
+                           help="reproduce every paper table/figure")
+    p_exp.add_argument("--out", help="write EXPERIMENTS.md here")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_rep = sub.add_parser("report", help="render a stored archive")
+    p_rep.add_argument("archive", help="path to an archive JSON file")
+    p_rep.add_argument("--html", help="also write an HTML report")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="same platform: regression report (exit 1 on regression); "
+             "different platforms: cross-platform Ts/Td/Tp table")
+    p_cmp.add_argument("baseline", help="baseline archive JSON")
+    p_cmp.add_argument("candidate", help="candidate archive JSON")
+    p_cmp.add_argument("--threshold", type=float, default=1.10,
+                       help="regression ratio threshold (default 1.10)")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="choke points + failure diagnosis of an archive")
+    p_diag.add_argument("archive", help="path to an archive JSON file")
+    p_diag.add_argument("--compute-mission", default="Compute",
+                        help="per-worker compute mission name "
+                             "(Gather for PowerGraph)")
+    p_diag.set_defaults(func=_cmd_diagnose)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Simulated cluster environment substrate.
+
+The paper evaluates Giraph and PowerGraph on 8 compute nodes of the DAS5
+supercomputer.  This package provides the stand-in: a deterministic,
+discrete-time cluster simulation with per-node CPU accounting, a network
+cost model, local/shared/HDFS-like filesystems, and Yarn/MPI-style resource
+provisioning.  Platform engines execute *real* graph algorithms while
+charging simulated time to nodes; the Granula environment monitor then
+samples per-node CPU series exactly as the paper's Figures 6-7 plot them.
+"""
+
+from repro.cluster.clock import SimClock
+from repro.cluster.cpu import BusyInterval, CpuAccount, UsageSeries
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
+from repro.cluster.filesystem import LocalFileSystem, SharedFileSystem, SimulatedFile
+from repro.cluster.hdfs import HdfsFileSystem
+from repro.cluster.provisioning import (
+    Allocation,
+    MpiLauncher,
+    NativeLauncher,
+    YarnManager,
+)
+from repro.cluster.tracing import Trace, TraceEvent
+
+__all__ = [
+    "SimClock",
+    "BusyInterval",
+    "CpuAccount",
+    "UsageSeries",
+    "Node",
+    "Cluster",
+    "NetworkModel",
+    "LocalFileSystem",
+    "SharedFileSystem",
+    "SimulatedFile",
+    "HdfsFileSystem",
+    "Allocation",
+    "YarnManager",
+    "MpiLauncher",
+    "NativeLauncher",
+    "Trace",
+    "TraceEvent",
+]

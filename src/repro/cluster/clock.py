@@ -1,0 +1,69 @@
+"""Simulated wall clock.
+
+The whole reproduction runs against simulated time: platform engines compute
+phase durations from a cost model and advance this clock, so results are
+deterministic and independent of host speed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Time is measured in seconds as a float, starting at ``origin``
+    (default 0.0).  The clock can only move forward; attempts to move it
+    backwards raise :class:`~repro.errors.ClockError`.
+    """
+
+    def __init__(self, origin: float = 0.0):
+        if origin < 0:
+            raise ClockError(f"clock origin must be >= 0, got {origin}")
+        self._origin = float(origin)
+        self._now = float(origin)
+
+    @property
+    def origin(self) -> float:
+        """The time at which this clock started."""
+        return self._origin
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since the clock's origin."""
+        return self._now - self._origin
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time.
+
+        ``seconds`` must be non-negative; advancing by 0 is allowed (used by
+        instantaneous bookkeeping events).
+        """
+        if seconds < 0:
+            raise ClockError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Raises :class:`~repro.errors.ClockError` if the timestamp lies in
+        the past.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def reset(self) -> None:
+        """Reset the clock to its origin (used between independent runs)."""
+        self._now = self._origin
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,149 @@
+"""The simulated cluster: nodes + clock + network + storage + trace."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.clock import SimClock
+from repro.cluster.filesystem import LocalFileSystem, SharedFileSystem, StorageModel
+from repro.cluster.hdfs import HdfsFileSystem
+from repro.cluster.network import NetworkModel, das5_network
+from repro.cluster.node import Node, das5_node
+from repro.cluster.tracing import Trace
+from repro.errors import ClusterError
+
+#: Node names used in the paper's Giraph experiment (Figure 6).
+DAS5_GIRAPH_NODES = (
+    "node340", "node345", "node341", "node346",
+    "node342", "node347", "node344", "node339",
+)
+
+#: Node names used in the paper's PowerGraph experiment (Figure 7).
+DAS5_POWERGRAPH_NODES = (
+    "node309", "node312", "node314", "node310",
+    "node311", "node308", "node307", "node313",
+)
+
+
+class Cluster:
+    """A set of simulated compute nodes sharing clock, network and storage.
+
+    A cluster owns:
+
+    - one :class:`~repro.cluster.clock.SimClock` (all activity is stamped
+      against it),
+    - one :class:`~repro.cluster.network.NetworkModel`,
+    - a per-node :class:`~repro.cluster.filesystem.LocalFileSystem`,
+    - one :class:`~repro.cluster.filesystem.SharedFileSystem` mounted
+      everywhere, and
+    - one :class:`~repro.cluster.hdfs.HdfsFileSystem` with every node as a
+      datanode,
+    - one :class:`~repro.cluster.tracing.Trace`.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        network: Optional[NetworkModel] = None,
+        clock: Optional[SimClock] = None,
+        hdfs_block_size: int = 128 << 20,
+        hdfs_replication: int = 3,
+        storage: Optional[StorageModel] = None,
+    ):
+        if not nodes:
+            raise ClusterError("cluster needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"duplicate node names: {names}")
+        self.nodes: List[Node] = list(nodes)
+        self.network = network or das5_network()
+        self.clock = clock or SimClock()
+        self.trace = Trace()
+        self.local_fs: Dict[str, LocalFileSystem] = {
+            n.name: LocalFileSystem(n.name, storage) for n in self.nodes
+        }
+        self.shared_fs = SharedFileSystem(storage)
+        self.hdfs = HdfsFileSystem(
+            names,
+            block_size=hdfs_block_size,
+            replication=hdfs_replication,
+            storage=storage,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of compute nodes."""
+        return len(self.nodes)
+
+    @property
+    def node_names(self) -> List[str]:
+        """Names of all nodes, in cluster order."""
+        return [n.name for n in self.nodes]
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name; raises if unknown."""
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise ClusterError(f"no such node: {name!r}")
+
+    def reset(self) -> None:
+        """Clear per-run state: clock, CPU accounting, trace.
+
+        Filesystem contents are kept — datasets survive across runs just
+        like on a real cluster.
+        """
+        self.clock.reset()
+        self.trace.clear()
+        for n in self.nodes:
+            n.reset()
+
+    def parallel_work(
+        self,
+        durations: Dict[str, float],
+        cores: float,
+        tag: str,
+        advance: bool = True,
+    ) -> float:
+        """Charge per-node work running in parallel from ``clock.now()``.
+
+        ``durations`` maps node name to that node's busy duration.  All
+        nodes start together; the region ends when the slowest finishes.
+        Returns the region's span (max duration).  When ``advance`` is
+        True the cluster clock moves to the end of the region.
+        """
+        if not durations:
+            return 0.0
+        start = self.clock.now()
+        span = 0.0
+        for name, duration in durations.items():
+            if duration < 0:
+                raise ClusterError(f"negative duration for {name}: {duration}")
+            self.node(name).work(start, duration, cores, tag)
+            span = max(span, duration)
+        if advance:
+            self.clock.advance(span)
+        return span
+
+    def __repr__(self) -> str:
+        return f"Cluster(size={self.size}, now={self.clock.now():.3f})"
+
+
+def das5_cluster(
+    n_nodes: int = 8,
+    node_names: Optional[Sequence[str]] = None,
+) -> Cluster:
+    """Build a DAS5-like cluster of ``n_nodes`` 16-core/64 GiB nodes.
+
+    ``node_names`` overrides the generated names (the experiments pass the
+    paper's actual node lists so figures label identically).
+    """
+    if node_names is not None:
+        names = list(node_names)
+        if len(names) != n_nodes:
+            raise ClusterError(
+                f"{n_nodes} nodes requested but {len(names)} names given"
+            )
+    else:
+        names = [f"node{300 + i}" for i in range(n_nodes)]
+    return Cluster([das5_node(name) for name in names])

@@ -1,0 +1,142 @@
+"""Simulated filesystems: local disk and shared (NFS-like) storage.
+
+PowerGraph in the paper loads its input from a local/shared filesystem,
+sequentially, from a single node — the behaviour behind Figure 7.  These
+filesystems store *simulated files*: a path, a byte size, and an optional
+payload object (e.g. the actual edge list) so that engines can both charge
+realistic I/O time and really read the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import FileSystemError
+
+
+@dataclass
+class SimulatedFile:
+    """A file stored in a simulated filesystem.
+
+    Attributes:
+        path: absolute path within the filesystem namespace.
+        size_bytes: logical size used for I/O cost computation.
+        payload: the actual in-memory content (any object); engines read
+            this to do real work while the size drives simulated time.
+    """
+
+    path: str
+    size_bytes: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise FileSystemError(f"path must be absolute: {self.path!r}")
+        if self.size_bytes < 0:
+            raise FileSystemError(f"negative file size: {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Cost model of one storage device/service."""
+
+    read_bps: float = 500e6
+    write_bps: float = 350e6
+    seek_s: float = 5e-3
+
+    def read_time(self, nbytes: int) -> float:
+        """Seconds to read ``nbytes`` sequentially."""
+        if nbytes < 0:
+            raise FileSystemError(f"negative read size: {nbytes}")
+        return self.seek_s + nbytes / self.read_bps
+
+    def write_time(self, nbytes: int) -> float:
+        """Seconds to write ``nbytes`` sequentially."""
+        if nbytes < 0:
+            raise FileSystemError(f"negative write size: {nbytes}")
+        return self.seek_s + nbytes / self.write_bps
+
+
+class _BaseFileSystem:
+    """Shared implementation of a flat path -> file namespace."""
+
+    def __init__(self, name: str, storage: Optional[StorageModel] = None):
+        self.name = name
+        self.storage = storage or StorageModel()
+        self._files: Dict[str, SimulatedFile] = {}
+
+    def put(self, path: str, size_bytes: int, payload: Any = None) -> SimulatedFile:
+        """Create or replace a file; returns the stored file."""
+        f = SimulatedFile(path, size_bytes, payload)
+        self._files[path] = f
+        return f
+
+    def get(self, path: str) -> SimulatedFile:
+        """Look up a file; raises :class:`FileSystemError` if missing."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileSystemError(f"{self.name}: no such file {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """Whether a file exists at ``path``."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove a file; raises if it does not exist."""
+        if path not in self._files:
+            raise FileSystemError(f"{self.name}: cannot delete missing file {path!r}")
+        del self._files[path]
+
+    def listdir(self, prefix: str = "/") -> List[str]:
+        """Paths beginning with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def total_bytes(self) -> int:
+        """Sum of all file sizes."""
+        return sum(f.size_bytes for f in self._files.values())
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    def __iter__(self) -> Iterator[SimulatedFile]:
+        return iter(self._files.values())
+
+    def read_time(self, path: str) -> float:
+        """Seconds one reader needs to stream the whole file."""
+        return self.storage.read_time(self.get(path).size_bytes)
+
+    def write_time(self, nbytes: int) -> float:
+        """Seconds to write ``nbytes``."""
+        return self.storage.write_time(nbytes)
+
+
+class LocalFileSystem(_BaseFileSystem):
+    """Node-local disk; visible only to one node."""
+
+    def __init__(self, node_name: str, storage: Optional[StorageModel] = None):
+        super().__init__(f"local:{node_name}", storage)
+        self.node_name = node_name
+
+
+class SharedFileSystem(_BaseFileSystem):
+    """NFS-like shared filesystem mounted on every node.
+
+    Concurrent readers contend for the server's bandwidth:
+    :meth:`contended_read_time` divides throughput by the number of
+    concurrent streams.
+    """
+
+    def __init__(self, storage: Optional[StorageModel] = None, name: str = "shared"):
+        super().__init__(name, storage)
+
+    def contended_read_time(self, path: str, concurrent_readers: int) -> float:
+        """Seconds to stream ``path`` when ``concurrent_readers`` share it."""
+        if concurrent_readers <= 0:
+            raise FileSystemError(
+                f"need at least one reader, got {concurrent_readers}"
+            )
+        return self.storage.seek_s + (
+            self.get(path).size_bytes * concurrent_readers / self.storage.read_bps
+        )

@@ -1,0 +1,85 @@
+"""Network cost model for the simulated cluster.
+
+DAS5 nodes are connected by FDR InfiniBand; we model the interconnect with
+a simple latency + bandwidth model, which is sufficient for the workloads
+in the paper (message-heavy supersteps, bulk HDFS block transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth cost model between any pair of distinct nodes.
+
+    Attributes:
+        latency_s: one-way latency per transfer (seconds).
+        bandwidth_bps: point-to-point bandwidth (bytes per second).
+        local_bandwidth_bps: memory bandwidth used when source and
+            destination are the same node (loopback transfers are nearly
+            free but not instantaneous).
+    """
+
+    latency_s: float = 50e-6
+    bandwidth_bps: float = 6.0e9
+    local_bandwidth_bps: float = 30.0e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ClusterError(f"negative latency: {self.latency_s}")
+        if self.bandwidth_bps <= 0 or self.local_bandwidth_bps <= 0:
+            raise ClusterError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int, local: bool = False) -> float:
+        """Seconds to move ``nbytes`` between two nodes (or locally)."""
+        if nbytes < 0:
+            raise ClusterError(f"negative transfer size: {nbytes}")
+        if local:
+            return nbytes / self.local_bandwidth_bps
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+    def broadcast_time(self, nbytes: int, receivers: int) -> float:
+        """Seconds for one node to send ``nbytes`` to ``receivers`` nodes.
+
+        Modelled as a binomial-tree broadcast: ceil(log2(receivers + 1))
+        sequential rounds of point-to-point transfers.
+        """
+        if receivers < 0:
+            raise ClusterError(f"negative receiver count: {receivers}")
+        if receivers == 0:
+            return 0.0
+        rounds = (receivers + 1 - 1).bit_length()
+        return rounds * self.transfer_time(nbytes)
+
+    def allreduce_time(self, nbytes: int, participants: int) -> float:
+        """Seconds for an all-reduce among ``participants`` nodes.
+
+        Modelled as a reduce + broadcast over a binomial tree, the shape
+        used by barrier/aggregator synchronization in BSP engines.
+        """
+        if participants < 0:
+            raise ClusterError(f"negative participant count: {participants}")
+        if participants <= 1:
+            return 0.0
+        rounds = (participants - 1).bit_length()
+        return 2 * rounds * self.transfer_time(nbytes)
+
+    def shuffle_time(self, bytes_per_pair: int, participants: int) -> float:
+        """Seconds for an all-to-all shuffle of ``bytes_per_pair`` bytes.
+
+        Each node sends to every other node; transfers to distinct peers
+        proceed in parallel, so the critical path is (participants - 1)
+        sequential sends of one pair-load each.
+        """
+        if participants <= 1:
+            return 0.0
+        return (participants - 1) * self.transfer_time(bytes_per_pair)
+
+
+def das5_network() -> NetworkModel:
+    """A network model with DAS5-like FDR InfiniBand characteristics."""
+    return NetworkModel(latency_s=50e-6, bandwidth_bps=6.0e9)

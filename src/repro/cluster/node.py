@@ -1,0 +1,92 @@
+"""A simulated compute node."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cpu import BusyInterval, CpuAccount, UsageSeries
+from repro.errors import ClusterError
+
+
+class Node:
+    """One compute node of the simulated cluster.
+
+    Mirrors a DAS5 compute node: a name (e.g. ``node340``), a number of
+    cores, and a memory capacity.  All CPU activity is recorded through the
+    node's :class:`~repro.cluster.cpu.CpuAccount`; memory is tracked as a
+    simple high-water mark so platform engines can reject jobs that would
+    not fit.
+    """
+
+    def __init__(self, name: str, cores: int = 16, memory_bytes: int = 64 << 30):
+        if not name:
+            raise ClusterError("node name must be non-empty")
+        if memory_bytes <= 0:
+            raise ClusterError(f"node memory must be positive, got {memory_bytes}")
+        self.name = name
+        self.cores = cores
+        self.memory_bytes = memory_bytes
+        self.cpu = CpuAccount(cores)
+        self._memory_used = 0
+        self._memory_peak = 0
+
+    @property
+    def memory_used(self) -> int:
+        """Bytes currently allocated on this node."""
+        return self._memory_used
+
+    @property
+    def memory_peak(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self._memory_peak
+
+    @property
+    def memory_free(self) -> int:
+        """Bytes still available."""
+        return self.memory_bytes - self._memory_used
+
+    def allocate_memory(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` of memory; raises if the node would overflow."""
+        if nbytes < 0:
+            raise ClusterError(f"cannot allocate negative memory: {nbytes}")
+        if self._memory_used + nbytes > self.memory_bytes:
+            raise ClusterError(
+                f"{self.name}: out of memory "
+                f"(used {self._memory_used}, requested {nbytes}, "
+                f"capacity {self.memory_bytes})"
+            )
+        self._memory_used += nbytes
+        self._memory_peak = max(self._memory_peak, self._memory_used)
+
+    def free_memory(self, nbytes: int) -> None:
+        """Release ``nbytes`` previously allocated."""
+        if nbytes < 0:
+            raise ClusterError(f"cannot free negative memory: {nbytes}")
+        if nbytes > self._memory_used:
+            raise ClusterError(
+                f"{self.name}: freeing {nbytes} bytes but only "
+                f"{self._memory_used} allocated"
+            )
+        self._memory_used -= nbytes
+
+    def work(self, start: float, duration: float, cores: float, tag: str = "") -> BusyInterval:
+        """Charge ``cores`` busy cores for ``duration`` seconds from ``start``."""
+        return self.cpu.record(start, start + duration, cores, tag)
+
+    def usage(self, t0: float, t1: float, step: float = 1.0) -> UsageSeries:
+        """Sample this node's CPU usage series over ``[t0, t1)``."""
+        return self.cpu.sample(t0, t1, step)
+
+    def reset(self) -> None:
+        """Clear CPU accounting and memory usage (between runs)."""
+        self.cpu.clear()
+        self._memory_used = 0
+        self._memory_peak = 0
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, cores={self.cores})"
+
+
+def das5_node(name: str) -> Node:
+    """A node with DAS5-like capacity (16 cores, 64 GiB)."""
+    return Node(name, cores=16, memory_bytes=64 << 30)

@@ -1,0 +1,241 @@
+"""Resource provisioning: Yarn-like, MPI-like, and native launchers.
+
+Table 1 of the paper distinguishes platforms by their provisioning layer:
+Giraph/Hadoop go through Yarn, PowerGraph/GraphMat through MPI, and the
+single-node platforms launch natively.  The paper's Figure 6 shows that
+Giraph's Startup/Cleanup are latency-bound (low CPU), which is exactly the
+behaviour these launchers produce: time passes while containers negotiate,
+but almost no CPU is charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.clock import SimClock
+from repro.cluster.node import Node
+from repro.cluster.tracing import Trace
+from repro.errors import ProvisioningError
+
+
+@dataclass
+class Allocation:
+    """A set of provisioned execution containers/slots.
+
+    Attributes:
+        allocation_id: unique id within the manager.
+        nodes: nodes hosting one container each (a node may appear twice
+            when two containers land on it).
+        granted_at: simulated time the allocation completed.
+        released_at: simulated time it was released, or None while held.
+    """
+
+    allocation_id: int
+    nodes: List[Node]
+    granted_at: float
+    released_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the allocation is still held."""
+        return self.released_at is None
+
+    @property
+    def node_names(self) -> List[str]:
+        """Names of the nodes hosting containers."""
+        return [n.name for n in self.nodes]
+
+
+class YarnManager:
+    """Yarn-like resource manager.
+
+    Container allocation is dominated by latency: the application master
+    negotiates with the resource manager, then containers start one
+    heartbeat-round at a time.  CPU usage during this period is minimal —
+    a small bookkeeping charge on each node.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        clock: SimClock,
+        trace: Optional[Trace] = None,
+        am_negotiation_s: float = 4.0,
+        container_launch_s: float = 2.2,
+        containers_per_round: int = 4,
+        bookkeeping_cores: float = 0.08,
+    ):
+        if not nodes:
+            raise ProvisioningError("Yarn manager needs at least one node")
+        self.nodes = list(nodes)
+        self.clock = clock
+        self.trace = trace or Trace()
+        self.am_negotiation_s = am_negotiation_s
+        self.container_launch_s = container_launch_s
+        self.containers_per_round = containers_per_round
+        self.bookkeeping_cores = bookkeeping_cores
+        self._next_id = 1
+        self._allocations: Dict[int, Allocation] = {}
+
+    def allocate(self, count: int) -> Allocation:
+        """Allocate ``count`` containers, one per node round-robin.
+
+        Advances the clock by the negotiation plus launch-round time and
+        charges light bookkeeping CPU on the involved nodes.
+        """
+        if count <= 0:
+            raise ProvisioningError(f"container count must be positive: {count}")
+        if count > len(self.nodes):
+            raise ProvisioningError(
+                f"requested {count} containers but only {len(self.nodes)} nodes"
+            )
+        start = self.clock.now()
+        self.trace.emit(start, "yarn", "allocation_requested", count=count)
+        # Application-master negotiation round-trip.
+        self.clock.advance(self.am_negotiation_s)
+        chosen = self.nodes[:count]
+        # Containers launch in heartbeat rounds of `containers_per_round`.
+        rounds = (count + self.containers_per_round - 1) // self.containers_per_round
+        launch_total = rounds * self.container_launch_s
+        launch_start = self.clock.now()
+        for i, node in enumerate(chosen):
+            round_index = i // self.containers_per_round
+            t0 = launch_start + round_index * self.container_launch_s
+            node.work(t0, self.container_launch_s, self.bookkeeping_cores, "yarn:launch")
+            self.trace.emit(
+                t0 + self.container_launch_s, "yarn", "container_started", node=node.name
+            )
+        self.clock.advance(launch_total)
+        alloc = Allocation(self._next_id, list(chosen), granted_at=self.clock.now())
+        self._next_id += 1
+        self._allocations[alloc.allocation_id] = alloc
+        self.trace.emit(
+            alloc.granted_at, "yarn", "allocation_granted",
+            allocation_id=alloc.allocation_id, count=count,
+        )
+        return alloc
+
+    def release(self, allocation: Allocation, teardown_s: float = 1.2) -> None:
+        """Release an allocation, advancing the clock by container teardown."""
+        if allocation.allocation_id not in self._allocations:
+            raise ProvisioningError(
+                f"unknown allocation id {allocation.allocation_id}"
+            )
+        if not allocation.active:
+            raise ProvisioningError(
+                f"allocation {allocation.allocation_id} already released"
+            )
+        start = self.clock.now()
+        for node in allocation.nodes:
+            node.work(start, teardown_s, self.bookkeeping_cores, "yarn:teardown")
+        self.clock.advance(teardown_s)
+        allocation.released_at = self.clock.now()
+        self.trace.emit(
+            allocation.released_at, "yarn", "allocation_released",
+            allocation_id=allocation.allocation_id,
+        )
+
+    @property
+    def active_allocations(self) -> List[Allocation]:
+        """Allocations not yet released."""
+        return [a for a in self._allocations.values() if a.active]
+
+
+class MpiLauncher:
+    """mpirun-like launcher used by PowerGraph/GraphMat.
+
+    MPI startup is quicker than Yarn: ssh fan-out to the hosts plus a
+    communicator bootstrap, with negligible CPU.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        clock: SimClock,
+        trace: Optional[Trace] = None,
+        ssh_fanout_s: float = 0.35,
+        bootstrap_s: float = 1.8,
+        bookkeeping_cores: float = 0.05,
+    ):
+        if not nodes:
+            raise ProvisioningError("MPI launcher needs at least one node")
+        self.nodes = list(nodes)
+        self.clock = clock
+        self.trace = trace or Trace()
+        self.ssh_fanout_s = ssh_fanout_s
+        self.bootstrap_s = bootstrap_s
+        self.bookkeeping_cores = bookkeeping_cores
+        self._next_id = 1
+        self._allocations: Dict[int, Allocation] = {}
+
+    def launch(self, count: int) -> Allocation:
+        """Start ``count`` MPI ranks, one per node."""
+        if count <= 0:
+            raise ProvisioningError(f"rank count must be positive: {count}")
+        if count > len(self.nodes):
+            raise ProvisioningError(
+                f"requested {count} ranks but only {len(self.nodes)} nodes"
+            )
+        start = self.clock.now()
+        self.trace.emit(start, "mpi", "mpirun", count=count)
+        chosen = self.nodes[:count]
+        # ssh fan-out is tree-structured: log2 rounds.
+        rounds = max(1, (count - 1).bit_length())
+        duration = rounds * self.ssh_fanout_s + self.bootstrap_s
+        for node in chosen:
+            node.work(start, duration, self.bookkeeping_cores, "mpi:launch")
+        self.clock.advance(duration)
+        alloc = Allocation(self._next_id, list(chosen), granted_at=self.clock.now())
+        self._next_id += 1
+        self._allocations[alloc.allocation_id] = alloc
+        self.trace.emit(alloc.granted_at, "mpi", "ranks_ready", count=count)
+        return alloc
+
+    def finalize(self, allocation: Allocation, teardown_s: float = 0.6) -> None:
+        """MPI_Finalize: tear the communicator down."""
+        if allocation.allocation_id not in self._allocations:
+            raise ProvisioningError(
+                f"unknown allocation id {allocation.allocation_id}"
+            )
+        if not allocation.active:
+            raise ProvisioningError(
+                f"allocation {allocation.allocation_id} already finalized"
+            )
+        start = self.clock.now()
+        for node in allocation.nodes:
+            node.work(start, teardown_s, self.bookkeeping_cores, "mpi:finalize")
+        self.clock.advance(teardown_s)
+        allocation.released_at = self.clock.now()
+        self.trace.emit(allocation.released_at, "mpi", "finalized")
+
+
+class NativeLauncher:
+    """Single-node platforms (OpenG, TOTEM) just fork a process."""
+
+    def __init__(self, node: Node, clock: SimClock, trace: Optional[Trace] = None,
+                 fork_s: float = 0.05):
+        self.node = node
+        self.clock = clock
+        self.trace = trace or Trace()
+        self.fork_s = fork_s
+        self._next_id = 1
+
+    def launch(self) -> Allocation:
+        """Start the process on the single node."""
+        start = self.clock.now()
+        self.node.work(start, self.fork_s, 0.5, "native:fork")
+        self.clock.advance(self.fork_s)
+        alloc = Allocation(self._next_id, [self.node], granted_at=self.clock.now())
+        self._next_id += 1
+        self.trace.emit(alloc.granted_at, "native", "process_started",
+                        node=self.node.name)
+        return alloc
+
+    def terminate(self, allocation: Allocation) -> None:
+        """Terminate the process (instantaneous)."""
+        if not allocation.active:
+            raise ProvisioningError("process already terminated")
+        allocation.released_at = self.clock.now()
+        self.trace.emit(allocation.released_at, "native", "process_exited",
+                        node=self.node.name)

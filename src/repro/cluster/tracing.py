@@ -1,0 +1,74 @@
+"""Cluster event tracing.
+
+A lightweight append-only trace of simulated-cluster events (provisioning,
+filesystem activity, network transfers).  The Granula monitor does not read
+this trace directly — platforms emit their own logs — but it is invaluable
+for debugging simulations and is exposed to tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced cluster event.
+
+    Attributes:
+        timestamp: simulated time of the event.
+        category: coarse grouping, e.g. ``"yarn"``, ``"hdfs"``, ``"mpi"``.
+        name: event name within the category, e.g. ``"container_started"``.
+        node: node name the event concerns, if any.
+        payload: extra structured detail.
+    """
+
+    timestamp: float
+    category: str
+    name: str
+    node: Optional[str] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only sequence of :class:`TraceEvent`."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def emit(
+        self,
+        timestamp: float,
+        category: str,
+        name: str,
+        node: Optional[str] = None,
+        **payload: Any,
+    ) -> TraceEvent:
+        """Append an event and return it."""
+        event = TraceEvent(timestamp, category, name, node, dict(payload))
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        """All events, in emission order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        """All events with the given category, in order."""
+        return [e for e in self._events if e.category == category]
+
+    def by_node(self, node: str) -> List[TraceEvent]:
+        """All events attributed to the given node, in order."""
+        return [e for e in self._events if e.node == node]
+
+    def clear(self) -> None:
+        """Drop all events (between independent runs)."""
+        self._events.clear()

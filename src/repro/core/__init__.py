@@ -1,0 +1,21 @@
+"""Granula: the paper's contribution.
+
+Four cooperating modules implement the end-to-end evaluation process of
+Section 3.3 (Figure 2):
+
+- :mod:`repro.core.model` — P1 Modeling: the performance-model language
+  (operations = actor x mission, info sets, derivation rules, levels).
+- :mod:`repro.core.monitor` — P2 Monitoring: platform-log parsing and
+  environment (CPU) monitoring.
+- :mod:`repro.core.archive` — P3 Archiving: the standardized, queryable
+  performance archive.
+- :mod:`repro.core.visualize` — P4 Visualization: job decomposition,
+  utilization and gantt renderings (text, SVG, HTML).
+
+:class:`repro.core.process.EvaluationProcess` ties them into the
+iterative loop an analyst drives.
+"""
+
+from repro.core.process import EvaluationProcess, EvaluationIteration
+
+__all__ = ["EvaluationProcess", "EvaluationIteration"]

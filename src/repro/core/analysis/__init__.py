@@ -1,0 +1,28 @@
+"""Advanced analyses on performance archives.
+
+These implement the paper's named future-work items (Section 6):
+
+- :mod:`repro.core.analysis.chokepoint` — "choke-point analysis":
+  find the operations dominating a job and classify what bounds them.
+- :mod:`repro.core.analysis.regression` — "performance regression tests
+  as part of standard software engineering practices": compare archives
+  across runs and flag per-operation slowdowns.
+- :mod:`repro.core.analysis.diagnosis` — "failure diagnosis": detect
+  stragglers and failure-recovery events from archived operations.
+"""
+
+from repro.core.analysis.chokepoint import ChokePoint, find_choke_points
+from repro.core.analysis.diagnosis import Finding, diagnose
+from repro.core.analysis.regression import (
+    RegressionReport,
+    compare_archives,
+)
+
+__all__ = [
+    "ChokePoint",
+    "find_choke_points",
+    "Finding",
+    "diagnose",
+    "RegressionReport",
+    "compare_archives",
+]

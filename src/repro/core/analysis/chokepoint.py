@@ -1,0 +1,176 @@
+"""Choke-point analysis (paper future work).
+
+A choke-point is an operation kind that dominates the job's wall-clock
+time.  Per mission base, the analysis computes the *wall coverage* — the
+union of all instances' time intervals, so eight parallel ``LocalLoad``
+operations count once, not eight times — and classifies each choke-point
+by correlating its windows with the environment CPU series:
+
+- **cpu-bound**: the nodes are busy while it runs (optimize the code);
+- **latency-bound**: the nodes idle while it runs (optimize the waiting:
+  deployment, coordination, barriers);
+- **cpu-bound-single-node**: one node is saturated while the rest idle —
+  the Figure 7 signature of PowerGraph's sequential loader (parallelize
+  the work);
+- **mixed**: in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.visualize.render_text import format_percent, format_seconds, table
+from repro.errors import VisualizationError
+
+#: Mean busy cores above which a window counts as CPU-bound.
+CPU_BOUND_CORES = 6.0
+#: Mean busy cores below which a window counts as latency-bound.
+LATENCY_BOUND_CORES = 1.5
+
+
+@dataclass(frozen=True)
+class ChokePoint:
+    """One dominant operation kind.
+
+    Attributes:
+        mission: mission base name (e.g. ``"LocalLoad"``).
+        wall_seconds: union of instance intervals (wall-clock coverage).
+        share: wall coverage / job makespan.
+        instances: number of concrete operations aggregated.
+        mean_cpu: mean busy cores per node during the windows (None when
+            the archive has no environment samples).
+        max_node_cpu: the busiest single node's mean busy cores during
+            the windows (exposes single-node skew).
+        bound: ``"cpu-bound"``, ``"latency-bound"``,
+            ``"cpu-bound-single-node"``, ``"mixed"`` or ``"unknown"``.
+    """
+
+    mission: str
+    wall_seconds: float
+    share: float
+    instances: int
+    mean_cpu: Optional[float]
+    max_node_cpu: Optional[float]
+    bound: str
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly overlapping [start, end) intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _mean_cpu_in_windows(
+    archive: PerformanceArchive,
+    windows: Sequence[Tuple[float, float]],
+) -> Tuple[Optional[float], Optional[float]]:
+    """(cluster mean busy cores, busiest node's mean busy cores)."""
+    if not archive.env_samples:
+        return None, None
+    per_node: Dict[str, List[float]] = {}
+    for ts, node, cpu in archive.env_samples:
+        if any(start <= ts < end for start, end in windows):
+            per_node.setdefault(node, []).append(cpu)
+    if not per_node:
+        return None, None
+    node_means = [sum(vs) / len(vs) for vs in per_node.values()]
+    return sum(node_means) / len(node_means), max(node_means)
+
+
+def _classify(mean_cpu: Optional[float],
+              max_node_cpu: Optional[float]) -> str:
+    if mean_cpu is None:
+        return "unknown"
+    if mean_cpu >= CPU_BOUND_CORES:
+        return "cpu-bound"
+    if max_node_cpu is not None and max_node_cpu >= CPU_BOUND_CORES:
+        # One saturated node while the cluster average is low: the
+        # Figure 7 single-loader signature.
+        return "cpu-bound-single-node"
+    if mean_cpu <= LATENCY_BOUND_CORES:
+        return "latency-bound"
+    return "mixed"
+
+
+def find_choke_points(
+    archive: PerformanceArchive,
+    top_n: int = 5,
+    min_share: float = 0.05,
+    leaf_only: bool = True,
+) -> List[ChokePoint]:
+    """The operation kinds dominating the job, largest first.
+
+    Args:
+        archive: the job archive (needs a usable makespan).
+        top_n: maximum number of choke-points returned.
+        min_share: drop operation kinds covering less than this fraction
+            of the makespan.
+        leaf_only: aggregate only leaf operations (default) — inner
+            operations trivially cover their children's time.
+    """
+    makespan = archive.makespan
+    if makespan is None or makespan <= 0:
+        raise VisualizationError(
+            f"archive {archive.job_id} has no usable makespan"
+        )
+    windows_by_mission: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, int] = {}
+    for op in archive.walk():
+        if op is archive.root:
+            continue
+        if leaf_only and op.children:
+            continue
+        if op.start_time is None or op.end_time is None:
+            continue
+        windows_by_mission.setdefault(op.mission_base, []).append(
+            (op.start_time, op.end_time)
+        )
+        counts[op.mission_base] = counts.get(op.mission_base, 0) + 1
+
+    points: List[ChokePoint] = []
+    for mission, intervals in windows_by_mission.items():
+        merged = _merge_intervals(intervals)
+        wall = sum(end - start for start, end in merged)
+        share = wall / makespan
+        if share < min_share:
+            continue
+        mean_cpu, max_node_cpu = _mean_cpu_in_windows(archive, merged)
+        points.append(ChokePoint(
+            mission=mission,
+            wall_seconds=wall,
+            share=share,
+            instances=counts[mission],
+            mean_cpu=mean_cpu,
+            max_node_cpu=max_node_cpu,
+            bound=_classify(mean_cpu, max_node_cpu),
+        ))
+    points.sort(key=lambda p: p.wall_seconds, reverse=True)
+    return points[:top_n]
+
+
+def render_choke_points(points: Sequence[ChokePoint]) -> str:
+    """Human-readable choke-point table."""
+    rows = [
+        (
+            p.mission,
+            format_seconds(p.wall_seconds),
+            format_percent(p.share),
+            str(p.instances),
+            "-" if p.mean_cpu is None else f"{p.mean_cpu:.1f}",
+            "-" if p.max_node_cpu is None else f"{p.max_node_cpu:.1f}",
+            p.bound,
+        )
+        for p in points
+    ]
+    return table(
+        ("Operation", "Wall time", "Share", "Instances",
+         "Mean cores/node", "Busiest node", "Bound"),
+        rows,
+    )

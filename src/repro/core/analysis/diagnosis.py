@@ -1,0 +1,161 @@
+"""Failure diagnosis from performance archives (paper future work).
+
+Detects, purely from archived operations:
+
+- **recovery events**: ``RecoverWorker`` operations emitted when a worker
+  crashed and was relaunched (Giraph's checkpoint recovery);
+- **stragglers**: an actor whose compute time tops its peers in a large
+  majority of iterations (bad node, not bad luck);
+- **imbalanced iterations**: individual supersteps with extreme
+  max/mean compute skew (data skew rather than node trouble).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.archive.query import ArchiveQuery
+
+#: An actor must be slowest in at least this fraction of iterations to
+#: be called a straggler.
+STRAGGLER_MAJORITY = 0.6
+#: ... and its mean compute time must exceed peers' by this factor.
+STRAGGLER_FACTOR = 1.25
+#: Per-iteration max/mean skew beyond this flags data imbalance.
+IMBALANCE_FACTOR = 1.8
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosis result.
+
+    Attributes:
+        kind: ``"recovery"``, ``"straggler"`` or ``"imbalance"``.
+        subject: the actor / iteration concerned.
+        severity: ``"warning"`` or ``"critical"``.
+        evidence: human-readable justification with numbers.
+    """
+
+    kind: str
+    subject: str
+    severity: str
+    evidence: str
+
+
+def _detect_recoveries(archive: PerformanceArchive) -> List[Finding]:
+    findings = []
+    for op in archive.find(mission_base="RecoverWorker"):
+        findings.append(Finding(
+            kind="recovery",
+            subject=op.mission,
+            severity="critical",
+            evidence=(
+                f"{op.mission} took {op.duration:.2f}s "
+                f"(worker relaunch + superstep re-execution)"
+            ),
+        ))
+    return findings
+
+
+def _detect_stragglers(
+    archive: PerformanceArchive,
+    compute_mission: str,
+) -> List[Finding]:
+    computes = ArchiveQuery(archive).mission(compute_mission)
+    by_iteration = computes.group_by_iteration()
+    if len(by_iteration) < 3:
+        return []
+    slowest_counts: Dict[str, int] = {}
+    totals: Dict[str, List[float]] = {}
+    for ops in by_iteration.values():
+        timed = [(op.actor, op.duration) for op in ops
+                 if op.duration is not None]
+        if len(timed) < 2:
+            continue
+        slowest = max(timed, key=lambda t: t[1])[0]
+        slowest_counts[slowest] = slowest_counts.get(slowest, 0) + 1
+        for actor, duration in timed:
+            totals.setdefault(actor, []).append(duration)
+    findings = []
+    iterations = len(by_iteration)
+    for actor, count in slowest_counts.items():
+        if count / iterations < STRAGGLER_MAJORITY:
+            continue
+        own_mean = sum(totals[actor]) / len(totals[actor])
+        peers = [d for a, ds in totals.items() if a != actor for d in ds]
+        if not peers:
+            continue
+        peer_mean = sum(peers) / len(peers)
+        if own_mean > STRAGGLER_FACTOR * peer_mean:
+            findings.append(Finding(
+                kind="straggler",
+                subject=actor,
+                severity="critical",
+                evidence=(
+                    f"{actor} was slowest in {count}/{iterations} "
+                    f"iterations; mean compute {own_mean:.2f}s vs peers "
+                    f"{peer_mean:.2f}s ({own_mean / peer_mean:.2f}x)"
+                ),
+            ))
+    return findings
+
+
+def _detect_imbalance(
+    archive: PerformanceArchive,
+    compute_mission: str,
+) -> List[Finding]:
+    computes = ArchiveQuery(archive).mission(compute_mission)
+    findings = []
+    for iteration, ops in sorted(computes.group_by_iteration().items()):
+        durations = [op.duration for op in ops if op.duration is not None]
+        if len(durations) < 2:
+            continue
+        mean = sum(durations) / len(durations)
+        if mean <= 0:
+            continue
+        skew = max(durations) / mean
+        if skew > IMBALANCE_FACTOR:
+            findings.append(Finding(
+                kind="imbalance",
+                subject=f"{compute_mission}-{iteration}",
+                severity="warning",
+                evidence=(
+                    f"max/mean compute skew {skew:.2f}x across "
+                    f"{len(durations)} workers"
+                ),
+            ))
+    return findings
+
+
+def diagnose(
+    archive: PerformanceArchive,
+    compute_mission: str = "Compute",
+) -> List[Finding]:
+    """All findings for one archive, critical first.
+
+    ``compute_mission`` names the per-worker compute operation (the
+    Giraph default; pass ``"Gather"`` for PowerGraph archives).
+    """
+    findings = (
+        _detect_recoveries(archive)
+        + _detect_stragglers(archive, compute_mission)
+        + _detect_imbalance(archive, compute_mission)
+    )
+    order = {"critical": 0, "warning": 1}
+    findings.sort(key=lambda f: (order.get(f.severity, 9), f.kind, f.subject))
+    return findings
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Human-readable diagnosis report."""
+    if not findings:
+        return "no findings: the run looks healthy"
+    lines = [f"{len(findings)} finding(s):"]
+    for finding in findings:
+        lines.append(
+            f"  [{finding.severity}] {finding.kind} @ {finding.subject}: "
+            f"{finding.evidence}"
+        )
+    return "\n".join(lines)

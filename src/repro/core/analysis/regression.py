@@ -1,0 +1,186 @@
+"""Performance regression testing over archives (paper future work).
+
+"To help integrate performance analysis as part of standard software
+engineering practices, in the form of performance regression tests."
+
+Two archives of the *same* workload (same platform/algorithm/dataset)
+are compared per operation kind: wall coverage in the candidate vs the
+baseline.  Regressions beyond a threshold fail
+:func:`assert_no_regression`, which is what a CI job calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis.chokepoint import _merge_intervals
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.visualize.render_text import format_seconds, table
+from repro.errors import ArchiveError
+
+
+class PerformanceRegressionError(ArchiveError):
+    """Raised by :func:`assert_no_regression` when a regression exceeds
+    the threshold."""
+
+
+@dataclass(frozen=True)
+class OperationDelta:
+    """Wall-time change of one operation kind between two runs."""
+
+    mission: str
+    baseline_s: float
+    candidate_s: float
+
+    @property
+    def delta_s(self) -> float:
+        """Absolute wall-time change in seconds."""
+        return self.candidate_s - self.baseline_s
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when the baseline had none)."""
+        if self.baseline_s <= 0:
+            return float("inf") if self.candidate_s > 0 else 1.0
+        return self.candidate_s / self.baseline_s
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a candidate run against a baseline.
+
+    Attributes:
+        baseline_job / candidate_job: job ids compared.
+        makespan_ratio: candidate makespan / baseline makespan.
+        deltas: per-operation-kind wall-time changes, sorted by absolute
+            delta, largest first.
+        regressions: deltas whose ratio exceeded the threshold (and are
+            big enough in absolute terms to matter).
+        threshold: the ratio above which a delta counts as a regression.
+    """
+
+    baseline_job: str
+    candidate_job: str
+    makespan_ratio: float
+    deltas: List[OperationDelta] = field(default_factory=list)
+    regressions: List[OperationDelta] = field(default_factory=list)
+    threshold: float = 1.10
+
+    @property
+    def ok(self) -> bool:
+        """True when no operation kind regressed beyond the threshold."""
+        return not self.regressions
+
+    def render_text(self, top_n: int = 10) -> str:
+        """Human-readable report of the largest deltas."""
+        rows = [
+            (
+                d.mission,
+                format_seconds(d.baseline_s),
+                format_seconds(d.candidate_s),
+                f"{d.ratio:.2f}x",
+                "REGRESSION" if d in self.regressions else "",
+            )
+            for d in self.deltas[:top_n]
+        ]
+        header = (
+            f"regression report: {self.candidate_job} vs "
+            f"{self.baseline_job} "
+            f"(makespan {self.makespan_ratio:.2f}x, "
+            f"threshold {self.threshold:.2f}x)"
+        )
+        return header + "\n" + table(
+            ("Operation", "Baseline", "Candidate", "Ratio", ""), rows
+        )
+
+
+def _wall_by_mission(archive: PerformanceArchive) -> Dict[str, float]:
+    windows: Dict[str, List[Tuple[float, float]]] = {}
+    for op in archive.walk():
+        if op is archive.root or op.children:
+            continue
+        if op.start_time is None or op.end_time is None:
+            continue
+        windows.setdefault(op.mission_base, []).append(
+            (op.start_time, op.end_time)
+        )
+    return {
+        mission: sum(end - start
+                     for start, end in _merge_intervals(intervals))
+        for mission, intervals in windows.items()
+    }
+
+
+def compare_archives(
+    baseline: PerformanceArchive,
+    candidate: PerformanceArchive,
+    threshold: float = 1.10,
+    min_abs_delta_s: float = 0.5,
+) -> RegressionReport:
+    """Compare per-operation wall times of two runs of the same workload.
+
+    Args:
+        baseline: the reference run's archive.
+        candidate: the run under test.
+        threshold: ratio above which an operation counts as regressed.
+        min_abs_delta_s: ignore regressions smaller than this in absolute
+            seconds (noise floor).
+    """
+    if threshold <= 1.0:
+        raise ArchiveError(f"threshold must exceed 1.0, got {threshold}")
+    base_meta = (baseline.platform, baseline.metadata.get("algorithm"),
+                 baseline.metadata.get("dataset"))
+    cand_meta = (candidate.platform, candidate.metadata.get("algorithm"),
+                 candidate.metadata.get("dataset"))
+    if base_meta != cand_meta:
+        raise ArchiveError(
+            f"cannot compare different workloads: {base_meta} vs {cand_meta}"
+        )
+
+    base_wall = _wall_by_mission(baseline)
+    cand_wall = _wall_by_mission(candidate)
+    deltas: List[OperationDelta] = []
+    for mission in sorted(set(base_wall) | set(cand_wall)):
+        deltas.append(OperationDelta(
+            mission=mission,
+            baseline_s=base_wall.get(mission, 0.0),
+            candidate_s=cand_wall.get(mission, 0.0),
+        ))
+    deltas.sort(key=lambda d: abs(d.delta_s), reverse=True)
+    regressions = [
+        d for d in deltas
+        if d.ratio > threshold and d.delta_s >= min_abs_delta_s
+    ]
+    base_makespan = baseline.makespan or 1e-9
+    cand_makespan = candidate.makespan or 0.0
+    return RegressionReport(
+        baseline_job=baseline.job_id,
+        candidate_job=candidate.job_id,
+        makespan_ratio=cand_makespan / base_makespan,
+        deltas=deltas,
+        regressions=regressions,
+        threshold=threshold,
+    )
+
+
+def assert_no_regression(
+    baseline: PerformanceArchive,
+    candidate: PerformanceArchive,
+    threshold: float = 1.10,
+) -> RegressionReport:
+    """CI entry point: raise when the candidate regressed.
+
+    Returns the report on success so callers can log it.
+    """
+    report = compare_archives(baseline, candidate, threshold=threshold)
+    if not report.ok:
+        worst = report.regressions[0]
+        raise PerformanceRegressionError(
+            f"{candidate.job_id} regressed vs {baseline.job_id}: "
+            f"{worst.mission} went {worst.ratio:.2f}x "
+            f"({format_seconds(worst.baseline_s)} -> "
+            f"{format_seconds(worst.candidate_s)}); "
+            f"{len(report.regressions)} operation kind(s) total"
+        )
+    return report

@@ -1,0 +1,23 @@
+"""Granula archiving (paper Section 3.3, P3).
+
+"After experiments, the info of each job is collected, filtered, and
+stored in a performance archive with a standardized format.  This
+performance archive encapsulates the performance results of each job,
+and allows users to query the contents systematically."
+"""
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.builder import build_archive
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.core.archive.store import ArchiveStore
+
+__all__ = [
+    "ArchivedOperation",
+    "PerformanceArchive",
+    "build_archive",
+    "ArchiveQuery",
+    "archive_to_json",
+    "archive_from_json",
+    "ArchiveStore",
+]

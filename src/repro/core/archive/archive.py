@@ -1,0 +1,188 @@
+"""The performance archive: concrete operation trees with info sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.model.operation import split_iteration
+from repro.errors import ArchiveError
+
+
+@dataclass
+class ArchivedOperation:
+    """One concrete operation instance of a job run.
+
+    Attributes:
+        uid: instance id from the platform log.
+        mission: mission name, possibly with iteration suffix
+            (``Compute-4``).
+        actor: actor name, possibly with instance suffix (``Worker-2``).
+        start_time / end_time: simulated timestamps.
+        infos: the operation's information set — recorded values (parsed
+            from info log events) plus derived metrics (written by the
+            model's rules during archiving).
+        parent / children: tree links.
+    """
+
+    uid: str
+    mission: str
+    actor: str
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    infos: Dict[str, Any] = field(default_factory=dict)
+    parent: Optional["ArchivedOperation"] = None
+    children: List["ArchivedOperation"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds between start and end, when both are known."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def mission_base(self) -> str:
+        """Mission without the iteration suffix (``Compute-4`` -> ``Compute``)."""
+        return split_iteration(self.mission)[0]
+
+    @property
+    def iteration(self) -> Optional[int]:
+        """Iteration index carried by the mission, if any."""
+        return split_iteration(self.mission)[1]
+
+    @property
+    def actor_base(self) -> str:
+        """Actor without the instance suffix (``Worker-2`` -> ``Worker``)."""
+        return split_iteration(self.actor)[0]
+
+    @property
+    def actor_index(self) -> Optional[int]:
+        """Actor instance index, if any (``Worker-2`` -> 2)."""
+        return split_iteration(self.actor)[1]
+
+    @property
+    def path(self) -> str:
+        """Slash-joined mission path from the root."""
+        parts: List[str] = []
+        node: Optional[ArchivedOperation] = self
+        while node is not None:
+            parts.append(node.mission)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def walk(self) -> Iterator["ArchivedOperation"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def child(self, mission: str) -> "ArchivedOperation":
+        """The unique direct child with this exact mission name."""
+        matches = [c for c in self.children if c.mission == mission]
+        if not matches:
+            raise ArchiveError(
+                f"{self.mission}: no child {mission!r} "
+                f"(children: {[c.mission for c in self.children]})"
+            )
+        if len(matches) > 1:
+            raise ArchiveError(
+                f"{self.mission}: {len(matches)} children named {mission!r}"
+            )
+        return matches[0]
+
+    def children_of(self, mission_base: str) -> List["ArchivedOperation"]:
+        """Direct children whose mission base matches."""
+        return [c for c in self.children if c.mission_base == mission_base]
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchivedOperation({self.mission!r} @ {self.actor!r}, "
+            f"[{self.start_time}, {self.end_time}], "
+            f"children={len(self.children)})"
+        )
+
+
+class PerformanceArchive:
+    """The standardized archive of one job's performance results."""
+
+    #: Archive format version (serialization compatibility).
+    FORMAT_VERSION = 1
+
+    def __init__(
+        self,
+        job_id: str,
+        root: ArchivedOperation,
+        platform: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+        env_samples: Optional[List[Tuple[float, str, float]]] = None,
+    ):
+        if not job_id:
+            raise ArchiveError("archive needs a job id")
+        self.job_id = job_id
+        self.root = root
+        self.platform = platform
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        #: (timestamp, node, cpu) environment samples over the job window.
+        self.env_samples: List[Tuple[float, str, float]] = list(env_samples or [])
+        self._by_uid: Dict[str, ArchivedOperation] = {}
+        for op in root.walk():
+            if op.uid in self._by_uid:
+                raise ArchiveError(f"duplicate operation uid {op.uid!r}")
+            self._by_uid[op.uid] = op
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Duration of the root (job) operation."""
+        return self.root.duration
+
+    def operation(self, uid: str) -> ArchivedOperation:
+        """Look up an operation instance by uid."""
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise ArchiveError(f"no operation with uid {uid!r}") from None
+
+    def walk(self) -> Iterator[ArchivedOperation]:
+        """Pre-order traversal of all archived operations."""
+        return self.root.walk()
+
+    def size(self) -> int:
+        """Number of operation instances archived."""
+        return len(self._by_uid)
+
+    def find(
+        self,
+        mission: Optional[str] = None,
+        mission_base: Optional[str] = None,
+        actor: Optional[str] = None,
+        actor_base: Optional[str] = None,
+    ) -> List[ArchivedOperation]:
+        """Operations matching all given filters, in pre-order."""
+        out: List[ArchivedOperation] = []
+        for op in self.walk():
+            if mission is not None and op.mission != mission:
+                continue
+            if mission_base is not None and op.mission_base != mission_base:
+                continue
+            if actor is not None and op.actor != actor:
+                continue
+            if actor_base is not None and op.actor_base != actor_base:
+                continue
+            out.append(op)
+        return out
+
+    def node_env_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Environment samples grouped per node as (timestamp, cpu) lists."""
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for ts, node, cpu in self.env_samples:
+            series.setdefault(node, []).append((ts, cpu))
+        for values in series.values():
+            values.sort()
+        return series
+
+    def __repr__(self) -> str:
+        return (
+            f"PerformanceArchive({self.job_id!r}, platform={self.platform!r}, "
+            f"operations={self.size()})"
+        )

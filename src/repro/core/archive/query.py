@@ -1,0 +1,153 @@
+"""Systematic querying of performance archives.
+
+"(The) performance archive ... allows users to query the contents
+systematically."  :class:`ArchiveQuery` provides path-pattern selection
+(glob-ish over mission paths), filtering, and metric extraction /
+aggregation over the selected operations.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.errors import QueryError
+
+
+class ArchiveQuery:
+    """A fluent query over one archive.
+
+    Example::
+
+        q = ArchiveQuery(archive)
+        computes = q.path("GiraphJob/ProcessGraph/Superstep-*/"
+                          "LocalSuperstep-*/Compute-*").operations()
+        slowest = q.top("Duration", 3)
+    """
+
+    def __init__(self, archive: PerformanceArchive,
+                 selection: Optional[List[ArchivedOperation]] = None):
+        self.archive = archive
+        self._selection = (
+            list(archive.walk()) if selection is None else selection
+        )
+
+    # -- selection ---------------------------------------------------------
+
+    def path(self, pattern: str) -> "ArchiveQuery":
+        """Narrow to operations whose mission path matches the glob.
+
+        ``*`` matches within one path segment, ``**`` any depth (via
+        :mod:`fnmatch` semantics applied to the joined path).
+        """
+        selected = [
+            op for op in self._selection
+            if fnmatch.fnmatchcase(op.path, pattern)
+        ]
+        return ArchiveQuery(self.archive, selected)
+
+    def mission(self, base: str) -> "ArchiveQuery":
+        """Narrow to operations with this mission base name."""
+        return ArchiveQuery(
+            self.archive,
+            [op for op in self._selection if op.mission_base == base],
+        )
+
+    def actor(self, base: str) -> "ArchiveQuery":
+        """Narrow to operations with this actor base name."""
+        return ArchiveQuery(
+            self.archive,
+            [op for op in self._selection if op.actor_base == base],
+        )
+
+    def iteration(self, index: int) -> "ArchiveQuery":
+        """Narrow to operations of one iteration index."""
+        return ArchiveQuery(
+            self.archive,
+            [op for op in self._selection if op.iteration == index],
+        )
+
+    def where(self, predicate: Callable[[ArchivedOperation], bool]) -> "ArchiveQuery":
+        """Narrow with an arbitrary predicate."""
+        return ArchiveQuery(
+            self.archive, [op for op in self._selection if predicate(op)]
+        )
+
+    # -- extraction --------------------------------------------------------
+
+    def operations(self) -> List[ArchivedOperation]:
+        """The selected operations, in pre-order."""
+        return list(self._selection)
+
+    def one(self) -> ArchivedOperation:
+        """Exactly one selected operation; raises otherwise."""
+        if len(self._selection) != 1:
+            raise QueryError(
+                f"expected exactly one operation, selection has "
+                f"{len(self._selection)}"
+            )
+        return self._selection[0]
+
+    def first(self) -> ArchivedOperation:
+        """The first selected operation; raises when empty."""
+        if not self._selection:
+            raise QueryError("selection is empty")
+        return self._selection[0]
+
+    def values(self, info: str, default: Any = None) -> List[Any]:
+        """The given info value of every selected operation."""
+        return [op.infos.get(info, default) for op in self._selection]
+
+    def durations(self) -> List[float]:
+        """Durations of selected operations (skipping unknown ones)."""
+        return [op.duration for op in self._selection if op.duration is not None]
+
+    # -- aggregation -------------------------------------------------------
+
+    def total(self, info: str = "Duration") -> float:
+        """Sum of a numeric info over the selection (missing counts 0)."""
+        total = 0.0
+        for op in self._selection:
+            value = op.infos.get(info)
+            if value is not None:
+                total += float(value)
+        return total
+
+    def mean(self, info: str = "Duration") -> float:
+        """Mean of a numeric info over operations that carry it."""
+        values = [
+            float(op.infos[info])
+            for op in self._selection
+            if info in op.infos
+        ]
+        if not values:
+            raise QueryError(f"no operation in selection carries {info!r}")
+        return sum(values) / len(values)
+
+    def top(self, info: str = "Duration", n: int = 5) -> List[ArchivedOperation]:
+        """The ``n`` operations with the largest value of ``info``."""
+        if n <= 0:
+            raise QueryError(f"n must be positive, got {n}")
+        carrying = [op for op in self._selection if info in op.infos]
+        return sorted(
+            carrying, key=lambda op: float(op.infos[info]), reverse=True
+        )[:n]
+
+    def group_by_actor(self) -> Dict[str, List[ArchivedOperation]]:
+        """Selection grouped by full actor name."""
+        groups: Dict[str, List[ArchivedOperation]] = {}
+        for op in self._selection:
+            groups.setdefault(op.actor, []).append(op)
+        return groups
+
+    def group_by_iteration(self) -> Dict[int, List[ArchivedOperation]]:
+        """Selection grouped by iteration index (unindexed ops skipped)."""
+        groups: Dict[int, List[ArchivedOperation]] = {}
+        for op in self._selection:
+            if op.iteration is not None:
+                groups.setdefault(op.iteration, []).append(op)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self._selection)

@@ -1,0 +1,108 @@
+"""The standardized archive serialization format (JSON).
+
+Archives are the shareable artifact of a performance study — the paper's
+answer to "lack of reusability of results".  The format is plain JSON so
+archives can be exchanged, diffed and queried outside this library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.errors import ArchiveError
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-safe encoding (infinities become strings)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
+    return value
+
+
+def _operation_to_dict(op: ArchivedOperation) -> Dict[str, Any]:
+    return {
+        "uid": op.uid,
+        "mission": op.mission,
+        "actor": op.actor,
+        "start": op.start_time,
+        "end": op.end_time,
+        "infos": {k: _encode_value(v) for k, v in op.infos.items()},
+        "children": [_operation_to_dict(c) for c in op.children],
+    }
+
+
+def _operation_from_dict(data: Dict[str, Any]) -> ArchivedOperation:
+    try:
+        op = ArchivedOperation(
+            uid=data["uid"],
+            mission=data["mission"],
+            actor=data["actor"],
+            start_time=data["start"],
+            end_time=data["end"],
+            infos={k: _decode_value(v) for k, v in data["infos"].items()},
+        )
+    except KeyError as exc:
+        raise ArchiveError(f"operation record missing field {exc}") from None
+    for child_data in data.get("children", []):
+        child = _operation_from_dict(child_data)
+        child.parent = op
+        op.children.append(child)
+    return op
+
+
+def archive_to_json(archive: PerformanceArchive, indent: int = 2) -> str:
+    """Serialize an archive to its standardized JSON text."""
+    document = {
+        "format": "granula-archive",
+        "format_version": PerformanceArchive.FORMAT_VERSION,
+        "job_id": archive.job_id,
+        "platform": archive.platform,
+        "metadata": archive.metadata,
+        "environment": [
+            {"ts": ts, "node": node, "cpu": cpu}
+            for ts, node, cpu in archive.env_samples
+        ],
+        "operations": _operation_to_dict(archive.root),
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def archive_from_json(text: str) -> PerformanceArchive:
+    """Parse the standardized JSON text back into an archive."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"archive is not valid JSON: {exc}") from None
+    if document.get("format") != "granula-archive":
+        raise ArchiveError(
+            f"not a granula archive (format={document.get('format')!r})"
+        )
+    version = document.get("format_version")
+    if version != PerformanceArchive.FORMAT_VERSION:
+        raise ArchiveError(
+            f"unsupported archive format version {version!r} "
+            f"(supported: {PerformanceArchive.FORMAT_VERSION})"
+        )
+    root = _operation_from_dict(document["operations"])
+    env = [
+        (sample["ts"], sample["node"], sample["cpu"])
+        for sample in document.get("environment", [])
+    ]
+    return PerformanceArchive(
+        job_id=document["job_id"],
+        root=root,
+        platform=document.get("platform", ""),
+        metadata=document.get("metadata", {}),
+        env_samples=env,
+    )

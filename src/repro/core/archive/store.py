@@ -1,0 +1,99 @@
+"""Archive stores: a directory of performance archives with an index.
+
+The store is how results are shared among analysts: every archived job
+lands as one JSON file, and the index supports listing and filtering
+without parsing every archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.errors import ArchiveError
+
+_INDEX_NAME = "index.json"
+
+
+class ArchiveStore:
+    """A directory holding serialized archives plus an index file."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.directory / _INDEX_NAME
+        self._index: Dict[str, Dict] = {}
+        if self._index_path.exists():
+            self._index = json.loads(self._index_path.read_text())
+
+    def _save_index(self) -> None:
+        self._index_path.write_text(json.dumps(self._index, indent=2))
+
+    def save(self, archive: PerformanceArchive, overwrite: bool = False) -> Path:
+        """Persist an archive; returns its file path."""
+        path = self.directory / f"{archive.job_id}.json"
+        if path.exists() and not overwrite:
+            raise ArchiveError(
+                f"archive {archive.job_id!r} already stored; "
+                f"pass overwrite=True to replace it"
+            )
+        path.write_text(archive_to_json(archive))
+        self._index[archive.job_id] = {
+            "platform": archive.platform,
+            "algorithm": archive.metadata.get("algorithm", ""),
+            "dataset": archive.metadata.get("dataset", ""),
+            "makespan": archive.makespan,
+            "operations": archive.size(),
+        }
+        self._save_index()
+        return path
+
+    def load(self, job_id: str) -> PerformanceArchive:
+        """Load one archive by job id."""
+        path = self.directory / f"{job_id}.json"
+        if not path.exists():
+            raise ArchiveError(f"no stored archive for job {job_id!r}")
+        return archive_from_json(path.read_text())
+
+    def delete(self, job_id: str) -> None:
+        """Remove one stored archive."""
+        path = self.directory / f"{job_id}.json"
+        if not path.exists():
+            raise ArchiveError(f"no stored archive for job {job_id!r}")
+        path.unlink()
+        self._index.pop(job_id, None)
+        self._save_index()
+
+    def list(
+        self,
+        platform: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        dataset: Optional[str] = None,
+    ) -> List[str]:
+        """Job ids matching the given filters, sorted."""
+        out: List[str] = []
+        for job_id, meta in self._index.items():
+            if platform is not None and meta.get("platform") != platform:
+                continue
+            if algorithm is not None and meta.get("algorithm") != algorithm:
+                continue
+            if dataset is not None and meta.get("dataset") != dataset:
+                continue
+            out.append(job_id)
+        return sorted(out)
+
+    def summary(self, job_id: str) -> Dict:
+        """Index entry for one job (no archive parse)."""
+        try:
+            return dict(self._index[job_id])
+        except KeyError:
+            raise ArchiveError(f"no stored archive for job {job_id!r}") from None
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -1,0 +1,165 @@
+"""Cross-platform comparison at the domain level (paper Section 3.4).
+
+"Identical domain-level operations allow us to derive common performance
+metrics across all platforms, enabling cross-platform performance
+comparison and benchmarking."  The canonical metrics:
+
+- ``Ts`` (setup time): Startup + Cleanup durations,
+- ``Td`` (I/O time): LoadGraph + OffloadGraph durations,
+- ``Tp`` (processing time): ProcessGraph duration,
+
+derived from any archive whose model refines the domain level — which is
+exactly what lets a Giraph run, a PowerGraph run and a Hadoop run land
+in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.visualize.render_text import (
+    format_percent,
+    format_seconds,
+    table,
+)
+from repro.errors import ArchiveError
+
+
+@dataclass(frozen=True)
+class DomainMetrics:
+    """The Section 3.4 cross-platform metrics of one job.
+
+    Attributes:
+        job_id / platform / algorithm / dataset: identification.
+        setup_s: Ts — Startup + Cleanup.
+        io_s: Td — LoadGraph + OffloadGraph.
+        processing_s: Tp — ProcessGraph.
+        total_s: end-to-end makespan.
+    """
+
+    job_id: str
+    platform: str
+    algorithm: str
+    dataset: str
+    setup_s: float
+    io_s: float
+    processing_s: float
+    total_s: float
+
+    @property
+    def setup_share(self) -> float:
+        """Ts as a fraction of the total runtime."""
+        return self.setup_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def io_share(self) -> float:
+        """Td as a fraction of the total runtime."""
+        return self.io_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def processing_share(self) -> float:
+        """Tp as a fraction of the total runtime."""
+        return self.processing_s / self.total_s if self.total_s else 0.0
+
+
+def domain_metrics(archive: PerformanceArchive) -> DomainMetrics:
+    """Extract Ts/Td/Tp from one archive."""
+    total = archive.makespan
+    if total is None or total <= 0:
+        raise ArchiveError(
+            f"archive {archive.job_id} has no usable makespan"
+        )
+
+    def duration_of(*missions: str) -> float:
+        out = 0.0
+        for mission in missions:
+            for op in archive.root.children_of(mission):
+                if op.duration is not None:
+                    out += op.duration
+        return out
+
+    return DomainMetrics(
+        job_id=archive.job_id,
+        platform=archive.platform,
+        algorithm=str(archive.metadata.get("algorithm", "")),
+        dataset=str(archive.metadata.get("dataset", "")),
+        setup_s=duration_of("Startup", "Cleanup"),
+        io_s=duration_of("LoadGraph", "OffloadGraph"),
+        processing_s=duration_of("ProcessGraph"),
+        total_s=total,
+    )
+
+
+@dataclass
+class ComparisonReport:
+    """Cross-platform comparison of one workload across platforms."""
+
+    metrics: List[DomainMetrics]
+
+    def fastest(self, metric: str = "total_s") -> DomainMetrics:
+        """The platform minimizing a metric (``total_s``,
+        ``processing_s``, ``io_s`` or ``setup_s``)."""
+        if not self.metrics:
+            raise ArchiveError("comparison has no entries")
+        return min(self.metrics, key=lambda m: getattr(m, metric))
+
+    def speedup(self, metric: str = "total_s") -> Dict[str, float]:
+        """Per-platform slowdown factor relative to the fastest."""
+        best = getattr(self.fastest(metric), metric)
+        if best <= 0:
+            raise ArchiveError(f"degenerate metric {metric!r}")
+        return {
+            m.platform: getattr(m, metric) / best for m in self.metrics
+        }
+
+    def render_text(self) -> str:
+        """The cross-platform Ts/Td/Tp table."""
+        rows = [
+            (
+                m.platform,
+                format_seconds(m.total_s),
+                f"{format_seconds(m.setup_s)} ({format_percent(m.setup_share)})",
+                f"{format_seconds(m.io_s)} ({format_percent(m.io_share)})",
+                f"{format_seconds(m.processing_s)} "
+                f"({format_percent(m.processing_share)})",
+            )
+            for m in self.metrics
+        ]
+        head = ""
+        if self.metrics:
+            head = (
+                f"cross-platform comparison: {self.metrics[0].algorithm} "
+                f"on {self.metrics[0].dataset}\n"
+            )
+        return head + table(
+            ("Platform", "Total", "Ts setup", "Td input/output",
+             "Tp processing"),
+            rows,
+        )
+
+
+def compare_platforms(
+    archives: Sequence[PerformanceArchive],
+) -> ComparisonReport:
+    """Build the Section 3.4 comparison over archives of one workload.
+
+    All archives must be of the same algorithm and dataset (that is what
+    makes the comparison meaningful); platforms must differ.
+    """
+    if not archives:
+        raise ArchiveError("need at least one archive to compare")
+    metrics = [domain_metrics(a) for a in archives]
+    workloads = {(m.algorithm, m.dataset) for m in metrics}
+    if len(workloads) > 1:
+        raise ArchiveError(
+            f"cannot compare different workloads: {sorted(workloads)}"
+        )
+    platforms = [m.platform for m in metrics]
+    if len(set(platforms)) != len(platforms):
+        raise ArchiveError(
+            f"duplicate platforms in comparison: {platforms}"
+        )
+    metrics.sort(key=lambda m: m.total_s)
+    return ComparisonReport(metrics=metrics)

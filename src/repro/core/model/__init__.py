@@ -1,0 +1,53 @@
+"""The Granula performance-model language (paper Section 3.2).
+
+A :class:`~repro.core.model.job.JobModel` describes one platform's job as
+a hierarchy of :class:`~repro.core.model.operation.OperationModel` nodes.
+Each operation is an *actor* executing a *mission*, carries an *info set*
+(recorded raw data plus derived metrics), and links to its parent and
+filial operations.  Models are layered (domain / system / implementation
+levels) and are refined incrementally across evaluation iterations.
+"""
+
+from repro.core.model.info import InfoSpec, RECORDED, DERIVED
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.job import JobModel, Level
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    DerivationRule,
+    DurationRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+from repro.core.model.library import (
+    ModelLibrary,
+    default_library,
+    domain_level_model,
+    DOMAIN_PHASES,
+    PHASE_OF_OPERATION,
+)
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.powergraph_model import powergraph_model
+
+__all__ = [
+    "InfoSpec",
+    "RECORDED",
+    "DERIVED",
+    "Multiplicity",
+    "OperationModel",
+    "JobModel",
+    "Level",
+    "DerivationRule",
+    "DurationRule",
+    "InfoSumRule",
+    "ShareOfParentRule",
+    "ChildCountRule",
+    "ChildDurationStatsRule",
+    "ModelLibrary",
+    "default_library",
+    "domain_level_model",
+    "DOMAIN_PHASES",
+    "PHASE_OF_OPERATION",
+    "giraph_model",
+    "powergraph_model",
+]

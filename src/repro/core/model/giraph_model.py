@@ -1,0 +1,194 @@
+"""The 4-level Giraph performance model (paper Figure 4).
+
+Level 1 (domain): GiraphJob with the five common operations.
+Level 2 (system): JobStartup/LaunchWorkers, LoadHdfsData, Superstep,
+OffloadHdfsData, JobCleanup and its parts.
+Level 3-4 (implementation): per-worker LocalStartup/LocalLoad/
+LocalSuperstep, the PreStep/Compute/Message/PostStep breakdown, and the
+ZooKeeper synchronization.
+"""
+
+from __future__ import annotations
+
+from repro.core.model.info import DERIVED, RECORDED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+
+
+def _domain(mission: str, actor: str, description: str) -> OperationModel:
+    op = OperationModel(mission, actor, level=1, description=description)
+    op.add_info(InfoSpec("ShareOfParent", DERIVED, "",
+                         "fraction of the job runtime"))
+    op.add_rule(ShareOfParentRule())
+    return op
+
+
+def giraph_model() -> JobModel:
+    """Build a fresh instance of the Figure 4 Giraph model."""
+    root = OperationModel(
+        "GiraphJob", "GiraphClient", level=1,
+        description="one Giraph job submitted through Yarn",
+    )
+
+    # ---- Startup ---------------------------------------------------------
+    startup = root.add_child(_domain(
+        "Startup", "GiraphClient",
+        "negotiate Yarn containers and launch workers",
+    ))
+    startup.add_child(OperationModel(
+        "JobStartup", "GiraphClient", level=2,
+        description="client-side job submission to the resource manager",
+    ))
+    launch = startup.add_child(OperationModel(
+        "LaunchWorkers", "Master", level=2,
+        description="Yarn container allocation and worker launch",
+    ))
+    launch.add_child(OperationModel(
+        "LocalStartup", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="JVM and worker-service spin-up on one container",
+    ))
+    launch.add_info(InfoSpec("WorkerStartupImbalance", DERIVED, "",
+                             "max/mean of per-worker startup time"))
+    launch.add_rule(ChildDurationStatsRule(
+        "WorkerStartupImbalance", "LocalStartup", "imbalance"))
+
+    # ---- LoadGraph -------------------------------------------------------
+    load = root.add_child(_domain(
+        "LoadGraph", "GiraphClient",
+        "read vertex-store input splits from HDFS",
+    ))
+    load_hdfs = load.add_child(OperationModel(
+        "LoadHdfsData", "Master", level=2,
+        description="assign input splits and load them in parallel",
+    ))
+    load_hdfs.add_info(InfoSpec("TotalBytes", RECORDED, "B",
+                                "input file size"))
+    load_hdfs.add_info(InfoSpec("BytesRead", DERIVED, "B",
+                                "sum of bytes the workers read"))
+    load_hdfs.add_rule(InfoSumRule("BytesRead", "BytesRead", "LocalLoad"))
+    local_load = load_hdfs.add_child(OperationModel(
+        "LocalLoad", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="read, parse and shuffle one worker's splits",
+    ))
+    local_load.add_info(InfoSpec("BytesRead", RECORDED, "B",
+                                 "split bytes this worker read"))
+
+    # ---- ProcessGraph ----------------------------------------------------
+    process = root.add_child(_domain(
+        "ProcessGraph", "Master",
+        "run the algorithm as a series of supersteps",
+    ))
+    process.add_info(InfoSpec("Supersteps", DERIVED, "",
+                              "number of supersteps executed"))
+    process.add_rule(ChildCountRule("Supersteps", "Superstep"))
+    superstep = process.add_child(OperationModel(
+        "Superstep", "Master", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one BSP superstep across all workers",
+    ))
+    superstep.add_info(InfoSpec("ActiveVertices", RECORDED, "",
+                                "vertices that computed this superstep"))
+    superstep.add_info(InfoSpec("WorkerImbalance", DERIVED, "",
+                                "max/mean of per-worker superstep time"))
+    superstep.add_rule(ChildDurationStatsRule(
+        "WorkerImbalance", "LocalSuperstep", "imbalance"))
+    local_ss = superstep.add_child(OperationModel(
+        "LocalSuperstep", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="one worker's share of a superstep",
+    ))
+    local_ss.add_child(OperationModel(
+        "PreStep", "Worker", level=4,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="barrier release and compute setup",
+    ))
+    compute = local_ss.add_child(OperationModel(
+        "Compute", "Worker", level=4,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="vertex compute() execution",
+    ))
+    compute.add_info(InfoSpec("ActiveVertices", RECORDED, "",
+                              "vertices computed by this worker"))
+    compute.add_info(InfoSpec("MessagesReceived", RECORDED, "",
+                              "messages consumed"))
+    compute.add_info(InfoSpec("MessagesSent", RECORDED, "",
+                              "messages produced"))
+    local_ss.add_child(OperationModel(
+        "Message", "Worker", level=4,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="flush outgoing messages to remote workers",
+    ))
+    local_ss.add_child(OperationModel(
+        "PostStep", "Worker", level=4,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="wait at the superstep barrier",
+    ))
+    superstep.add_child(OperationModel(
+        "SyncZookeeper", "Master", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="superstep barrier synchronization via ZooKeeper",
+    ))
+    superstep.add_child(OperationModel(
+        "RecoverWorker", "Master", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="checkpoint recovery after a worker crash (container "
+                    "relaunch + superstep re-execution); absent in "
+                    "healthy runs",
+    ))
+
+    # ---- OffloadGraph ----------------------------------------------------
+    offload = root.add_child(_domain(
+        "OffloadGraph", "GiraphClient",
+        "write per-vertex results back to HDFS",
+    ))
+    offload_hdfs = offload.add_child(OperationModel(
+        "OffloadHdfsData", "Master", level=2,
+        description="parallel result write to HDFS",
+    ))
+    offload_hdfs.add_info(InfoSpec("BytesWritten", DERIVED, "B",
+                                   "sum of bytes the workers wrote"))
+    offload_hdfs.add_rule(InfoSumRule("BytesWritten", "BytesWritten",
+                                      "LocalOffload"))
+    local_off = offload_hdfs.add_child(OperationModel(
+        "LocalOffload", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="one worker writing its partition's results",
+    ))
+    local_off.add_info(InfoSpec("BytesWritten", RECORDED, "B",
+                                "bytes this worker wrote"))
+
+    # ---- Cleanup ---------------------------------------------------------
+    cleanup = root.add_child(_domain(
+        "Cleanup", "GiraphClient",
+        "release containers and coordination state",
+    ))
+    job_cleanup = cleanup.add_child(OperationModel(
+        "JobCleanup", "GiraphClient", level=2,
+        description="tear down the job's runtime state",
+    ))
+    job_cleanup.add_child(OperationModel(
+        "AbortWorkers", "Master", level=3,
+        description="stop workers and release Yarn containers",
+    ))
+    job_cleanup.add_child(OperationModel(
+        "ClientCleanup", "GiraphClient", level=3,
+        description="client-side state removal",
+    ))
+    job_cleanup.add_child(OperationModel(
+        "ServerCleanup", "Master", level=3,
+        description="master-side state removal",
+    ))
+    job_cleanup.add_child(OperationModel(
+        "ZkCleanup", "Master", level=3,
+        description="delete the job's ZooKeeper znodes",
+    ))
+
+    return JobModel("Giraph", root)

@@ -1,0 +1,147 @@
+"""The Hadoop (iterated MapReduce) performance model.
+
+Same domain level as the graph platforms — which is exactly what lets
+Granula compare a general-purpose platform against specialized ones
+(Section 3.4's cross-platform Ts/Td/Tp metrics).  The system level
+reflects Hadoop's iterated-job workflow; the implementation level the
+map/shuffle/reduce/materialize phases whose repetition is the penalty.
+"""
+
+from __future__ import annotations
+
+from repro.core.model.info import DERIVED, RECORDED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+
+
+def _domain(mission: str, actor: str, description: str) -> OperationModel:
+    op = OperationModel(mission, actor, level=1, description=description)
+    op.add_info(InfoSpec("ShareOfParent", DERIVED, "",
+                         "fraction of the job runtime"))
+    op.add_rule(ShareOfParentRule())
+    return op
+
+
+def hadoop_model() -> JobModel:
+    """Build a fresh instance of the Hadoop model."""
+    root = OperationModel(
+        "HadoopJob", "HadoopClient", level=1,
+        description="an iterated-MapReduce graph job on Hadoop",
+    )
+
+    startup = root.add_child(_domain(
+        "Startup", "HadoopClient", "allocate Yarn containers",
+    ))
+    startup.add_child(OperationModel(
+        "JobStartup", "HadoopClient", level=2,
+        description="driver-program submission",
+    ))
+    launch = startup.add_child(OperationModel(
+        "LaunchContainers", "Master", level=2,
+        description="Yarn allocation and task-tracker spin-up",
+    ))
+    launch.add_child(OperationModel(
+        "LocalStartup", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="task JVM pool start on one container",
+    ))
+
+    load = root.add_child(_domain(
+        "LoadGraph", "HadoopClient",
+        "materialize initial per-vertex records in HDFS",
+    ))
+    materialize = load.add_child(OperationModel(
+        "MaterializeInput", "Master", level=2,
+        description="read the input splits, write round-0 state",
+    ))
+    materialize.add_info(InfoSpec("BytesRead", DERIVED, "B",
+                                  "sum of split bytes read"))
+    materialize.add_rule(InfoSumRule("BytesRead", "BytesRead",
+                                     "LocalMaterialize"))
+    local_mat = materialize.add_child(OperationModel(
+        "LocalMaterialize", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="one worker materializing its partition",
+    ))
+    local_mat.add_info(InfoSpec("BytesRead", RECORDED, "B",
+                                "split bytes this worker read"))
+
+    process = root.add_child(_domain(
+        "ProcessGraph", "Master",
+        "run one MapReduce job per algorithm iteration",
+    ))
+    process.add_info(InfoSpec("Rounds", DERIVED, "",
+                              "number of MapReduce rounds"))
+    process.add_rule(ChildCountRule("Rounds", "MapReduceRound"))
+    mr_round = process.add_child(OperationModel(
+        "MapReduceRound", "Master", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one full map-shuffle-reduce-materialize job",
+    ))
+    mr_round.add_info(InfoSpec("Emissions", RECORDED, "",
+                               "cumulative map emissions"))
+    mr_round.add_info(InfoSpec("MapImbalance", DERIVED, "",
+                               "max/mean of per-worker map time"))
+    mr_round.add_rule(ChildDurationStatsRule(
+        "MapImbalance", "MapPhase", "imbalance"))
+    mr_round.add_child(OperationModel(
+        "RoundSetup", "Master", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="scheduling a brand-new MR job for this round",
+    ))
+    map_phase = mr_round.add_child(OperationModel(
+        "MapPhase", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="scan every record of the partition (no frontier!)",
+    ))
+    map_phase.add_info(InfoSpec("RecordsScanned", RECORDED, "",
+                                "records read by this mapper"))
+    map_phase.add_info(InfoSpec("Emissions", RECORDED, "",
+                                "key-value pairs emitted"))
+    mr_round.add_child(OperationModel(
+        "ShufflePhase", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="ship emissions to their reducers",
+    ))
+    reduce_phase = mr_round.add_child(OperationModel(
+        "ReducePhase", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="combine messages into next-round state",
+    ))
+    reduce_phase.add_info(InfoSpec("Messages", RECORDED, "",
+                                   "messages this reducer consumed"))
+    mr_round.add_child(OperationModel(
+        "MaterializeState", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="write the whole partition state back to HDFS",
+    ))
+
+    offload = root.add_child(_domain(
+        "OffloadGraph", "HadoopClient", "collect the final state files",
+    ))
+    collect = offload.add_child(OperationModel(
+        "CollectOutput", "Master", level=2,
+        description="read the final round's output from HDFS",
+    ))
+    collect.add_info(InfoSpec("BytesWritten", RECORDED, "B",
+                              "final output size"))
+
+    cleanup = root.add_child(_domain(
+        "Cleanup", "HadoopClient", "release containers",
+    ))
+    cleanup.add_child(OperationModel(
+        "ReleaseContainers", "Master", level=2,
+        description="Yarn container teardown",
+    ))
+    cleanup.add_child(OperationModel(
+        "ClientCleanup", "HadoopClient", level=2,
+        description="driver-side state removal",
+    ))
+
+    return JobModel("Hadoop", root)

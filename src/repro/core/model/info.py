@@ -1,0 +1,65 @@
+"""Info specifications: the performance data an operation carries.
+
+"Internally, the performance characteristics of each operation are
+described by its information set (info), which can be used to derive
+sophisticated performance metrics."  An :class:`InfoSpec` declares one
+item of that set: either *recorded* raw data collected from logs, or a
+metric *derived* from other info by a rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Info collected verbatim from platform or environment logs.
+RECORDED = "recorded"
+#: Info computed by a derivation rule during archiving.
+DERIVED = "derived"
+
+_SOURCES = (RECORDED, DERIVED)
+
+
+@dataclass(frozen=True)
+class InfoSpec:
+    """Declaration of one info item in an operation's information set.
+
+    Attributes:
+        name: the info key, e.g. ``"StartTime"``, ``"BytesRead"``.
+        source: :data:`RECORDED` or :data:`DERIVED`.
+        unit: unit of measure for presentation (``"s"``, ``"B"``, ...).
+        description: human-readable meaning.
+    """
+
+    name: str
+    source: str = RECORDED
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("info name must be non-empty")
+        if self.source not in _SOURCES:
+            raise ModelError(
+                f"info {self.name!r}: source must be one of {_SOURCES}, "
+                f"got {self.source!r}"
+            )
+
+    @property
+    def is_recorded(self) -> bool:
+        """Whether the info is collected from logs."""
+        return self.source == RECORDED
+
+    @property
+    def is_derived(self) -> bool:
+        """Whether the info is computed by a rule."""
+        return self.source == DERIVED
+
+
+#: Info every operation implicitly carries (from start/end log events).
+IMPLICIT_INFOS = (
+    InfoSpec("StartTime", RECORDED, "s", "simulated time the operation began"),
+    InfoSpec("EndTime", RECORDED, "s", "simulated time the operation ended"),
+    InfoSpec("Duration", DERIVED, "s", "EndTime - StartTime"),
+)

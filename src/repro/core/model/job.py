@@ -1,0 +1,157 @@
+"""Job models: a platform's complete performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.model.operation import OperationModel, split_iteration
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Level:
+    """One abstraction level of a model (Section 3.2)."""
+
+    index: int
+    name: str
+    description: str = ""
+
+
+#: The three canonical levels the paper proposes for every platform.
+CANONICAL_LEVELS = (
+    Level(1, "domain", "common elements of graph processing"),
+    Level(2, "system", "the platform's operation workflow"),
+    Level(3, "implementation", "implementation details and optimizations"),
+)
+
+
+class JobModel:
+    """The performance model of one platform's jobs.
+
+    Wraps the operation-model tree rooted at the job operation, plus the
+    level definitions used for presentation and for incremental
+    refinement ("refining at most a subset of the model" each iteration).
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        root: OperationModel,
+        levels: Tuple[Level, ...] = CANONICAL_LEVELS,
+        version: int = 1,
+    ):
+        if not platform:
+            raise ModelError("platform name must be non-empty")
+        self.platform = platform
+        self.root = root
+        self.levels = levels
+        self.version = version
+        self._by_mission: Dict[str, List[OperationModel]] = {}
+        for node in root.walk():
+            self._by_mission.setdefault(node.mission, []).append(node)
+
+    def walk(self) -> Iterator[OperationModel]:
+        """Pre-order traversal of the whole model."""
+        return self.root.walk()
+
+    def find(self, mission: str) -> OperationModel:
+        """The unique model node with the given mission base name.
+
+        ``mission`` may carry an iteration suffix, which is stripped.
+        """
+        base, _index = split_iteration(mission)
+        nodes = self._by_mission.get(base, [])
+        if not nodes:
+            raise ModelError(
+                f"{self.platform} model has no operation {mission!r}"
+            )
+        if len(nodes) > 1:
+            raise ModelError(
+                f"{self.platform} model has {len(nodes)} operations named "
+                f"{mission!r}; disambiguate by walking from the root"
+            )
+        return nodes[0]
+
+    def has(self, mission: str) -> bool:
+        """Whether some node has this mission base name."""
+        base, _index = split_iteration(mission)
+        return base in self._by_mission
+
+    def match(self, mission: str, actor: str) -> Optional[OperationModel]:
+        """The model node matching a concrete (mission, actor), if any."""
+        base, _index = split_iteration(mission)
+        for node in self._by_mission.get(base, []):
+            if node.matches(mission, actor):
+                return node
+        return None
+
+    def max_level(self) -> int:
+        """Deepest abstraction level present in the model."""
+        return max(node.level for node in self.walk())
+
+    def at_level(self, level: int) -> List[OperationModel]:
+        """All model nodes declared at the given level."""
+        return [node for node in self.walk() if node.level == level]
+
+    def size(self) -> int:
+        """Number of operation models in the tree."""
+        return sum(1 for _ in self.walk())
+
+    def truncated(self, max_level: int) -> "JobModel":
+        """A coarser copy including only nodes up to ``max_level``.
+
+        This is the coarse/fine trade-off knob (requirement R3): an
+        analyst starts at the domain level and deepens only where needed.
+        """
+        if max_level < 1:
+            raise ModelError(f"max_level must be >= 1, got {max_level}")
+
+        def copy_node(node: OperationModel) -> OperationModel:
+            clone = OperationModel(
+                mission=node.mission,
+                actor_type=node.actor_type,
+                level=node.level,
+                multiplicity=node.multiplicity,
+                description=node.description,
+                infos=list(node.infos),
+                rules=list(node.rules),
+            )
+            for child in node.children:
+                if child.level <= max_level:
+                    clone.add_child(copy_node(child))
+            return clone
+
+        return JobModel(
+            self.platform,
+            copy_node(self.root),
+            levels=tuple(l for l in self.levels if l.index <= max_level),
+            version=self.version,
+        )
+
+    def render_tree(self) -> str:
+        """ASCII rendering of the model tree (the Figure 4 view)."""
+        lines: List[str] = []
+
+        def emit(node: OperationModel, indent: int) -> None:
+            marker = {1: "[domain]", 2: "[system]"}.get(
+                node.level, f"[impl L{node.level}]"
+            )
+            suffix = ""
+            if node.multiplicity != "single":
+                suffix = f" x{node.multiplicity}"
+            lines.append(
+                f"{'  ' * indent}{node.mission} @ {node.actor_type} "
+                f"{marker}{suffix}"
+            )
+            for child in node.children:
+                emit(child, indent + 1)
+
+        emit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"JobModel({self.platform!r}, operations={self.size()}, "
+            f"levels={self.max_level()}, v{self.version})"
+        )

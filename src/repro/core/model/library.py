@@ -1,0 +1,136 @@
+"""Model library: the domain-level model and the per-platform registry.
+
+"The domain level summarizes the common elements in a particular domain"
+— for graph processing these are the five operations of Figure 3/4:
+Startup, LoadGraph, ProcessGraph, OffloadGraph, Cleanup, grouped into the
+three phases of Figure 3 (Setup, Input/output, Processing).  Identical
+domain-level operations are what make cross-platform comparison possible
+(the Ts/Td/Tp metrics of Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.model.info import DERIVED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.rules import ShareOfParentRule
+from repro.errors import ModelError
+
+#: The Figure 3 phases, in presentation order.
+DOMAIN_PHASES: Tuple[str, ...] = ("Setup", "Input/output", "Processing")
+
+#: Domain-level operation -> Figure 3 phase.
+PHASE_OF_OPERATION: Dict[str, str] = {
+    "Startup": "Setup",
+    "Cleanup": "Setup",
+    "LoadGraph": "Input/output",
+    "OffloadGraph": "Input/output",
+    "ProcessGraph": "Processing",
+}
+
+#: Domain-level operations in workflow order (Figure 3).
+DOMAIN_OPERATIONS: Tuple[str, ...] = (
+    "Startup", "LoadGraph", "ProcessGraph", "OffloadGraph", "Cleanup",
+)
+
+
+def domain_level_model(
+    platform: str = "Generic",
+    job_mission: str = "Job",
+    job_actor: str = "Client",
+) -> JobModel:
+    """The generic domain-level (level 1) model of a graph-processing job.
+
+    Every platform model refines this shape; analysts starting a new
+    platform study begin here (the first iteration of the process).
+    """
+    root = OperationModel(
+        job_mission, job_actor, level=1,
+        description="one end-to-end graph processing job",
+    )
+    descriptions = {
+        "Startup": "reserve computational resources and prepare the system",
+        "LoadGraph": "transfer graph data from storage into memory",
+        "ProcessGraph": "execute the user-defined algorithm",
+        "OffloadGraph": "write results back to storage",
+        "Cleanup": "release resources and tear the job down",
+    }
+    for mission in DOMAIN_OPERATIONS:
+        child = OperationModel(
+            mission, job_actor, level=1, description=descriptions[mission]
+        )
+        child.add_info(InfoSpec("ShareOfParent", DERIVED, "",
+                                "fraction of the job runtime"))
+        child.add_rule(ShareOfParentRule())
+        root.add_child(child)
+    return JobModel(platform, root)
+
+
+class ModelLibrary:
+    """Registry of platform performance models (future-work item the
+    paper names: "a larger library of comprehensive performance models").
+
+    Models are registered as zero-argument factories so each lookup
+    returns a fresh, independently refinable model instance.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], JobModel]] = {}
+
+    def register(self, platform: str, factory: Callable[[], JobModel]) -> None:
+        """Register a model factory under a (case-insensitive) name."""
+        key = platform.lower()
+        if key in self._factories:
+            raise ModelError(f"model for {platform!r} already registered")
+        self._factories[key] = factory
+
+    def get(self, platform: str) -> JobModel:
+        """A fresh model instance for the platform."""
+        try:
+            factory = self._factories[platform.lower()]
+        except KeyError:
+            raise ModelError(
+                f"no model registered for {platform!r}; "
+                f"known: {self.platforms()}"
+            ) from None
+        return factory()
+
+    def has(self, platform: str) -> bool:
+        """Whether a model is registered for the platform."""
+        return platform.lower() in self._factories
+
+    def platforms(self) -> List[str]:
+        """Registered platform names, sorted."""
+        return sorted(self._factories)
+
+
+def default_library() -> ModelLibrary:
+    """The library shipping with this reproduction.
+
+    Giraph and PowerGraph (the paper's systems under test), Hadoop (the
+    general-platform baseline the introduction motivates), and the bare
+    domain-level model for new platforms.
+    """
+    # Imported here to avoid a circular import at module load.
+    from repro.core.model.giraph_model import giraph_model
+    from repro.core.model.hadoop_model import hadoop_model
+    from repro.core.model.other_models import (
+        graphmat_model,
+        openg_model,
+        pgxd_model,
+        totem_model,
+    )
+    from repro.core.model.powergraph_model import powergraph_model
+
+    library = ModelLibrary()
+    library.register("Giraph", giraph_model)
+    library.register("PowerGraph", powergraph_model)
+    library.register("Hadoop", hadoop_model)
+    library.register("GraphMat", graphmat_model)
+    library.register("PGX.D", pgxd_model)
+    library.register("OpenG", openg_model)
+    library.register("TOTEM", totem_model)
+    library.register("Generic", domain_level_model)
+    return library

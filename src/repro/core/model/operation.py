@@ -1,0 +1,156 @@
+"""Operation models: actor x mission nodes of a performance model."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.model.info import InfoSpec
+from repro.errors import ModelError
+
+_ITER_SUFFIX = re.compile(r"^(?P<base>.+?)-(?P<index>\d+)$")
+
+
+def split_iteration(name: str) -> Tuple[str, Optional[int]]:
+    """Split an iterated name into (base, index).
+
+    ``"Compute-4"`` -> ``("Compute", 4)``; ``"LoadGraph"`` ->
+    ``("LoadGraph", None)``.
+    """
+    match = _ITER_SUFFIX.match(name)
+    if match is None:
+        return (name, None)
+    return (match.group("base"), int(match.group("index")))
+
+
+class Multiplicity:
+    """How many concrete instances an operation model matches in one job.
+
+    - ``SINGLE``: exactly one instance (e.g. ``LoadGraph``).
+    - ``PER_ACTOR``: one instance per actor — task parallelism, e.g.
+      ``LocalLoad`` on every worker.
+    - ``ITERATED``: repeated instances carrying an iteration suffix —
+      iterative processing, e.g. ``Superstep-0 .. Superstep-8``.
+    - ``PER_ACTOR_ITERATED``: both, e.g. ``Compute-4`` on every worker.
+    """
+
+    SINGLE = "single"
+    PER_ACTOR = "per_actor"
+    ITERATED = "iterated"
+    PER_ACTOR_ITERATED = "per_actor_iterated"
+    ALL = (SINGLE, PER_ACTOR, ITERATED, PER_ACTOR_ITERATED)
+
+
+@dataclass
+class OperationModel:
+    """One node of a performance model.
+
+    Attributes:
+        mission: mission base name (without iteration suffix).
+        actor_type: actor base name, e.g. ``"Worker"``, ``"Master"``.
+        level: abstraction level (1 = domain, 2 = system, >= 3 =
+            implementation), following Section 3.2.
+        multiplicity: one of :class:`Multiplicity`.
+        description: what the operation does, for report rendering.
+        infos: declared information set (recorded + derived).
+        rules: derivation rules attached by :mod:`repro.core.model.rules`
+            (each computes one derived info during archiving).
+        children: filial operation models.
+    """
+
+    mission: str
+    actor_type: str
+    level: int = 2
+    multiplicity: str = Multiplicity.SINGLE
+    description: str = ""
+    infos: List[InfoSpec] = field(default_factory=list)
+    rules: list = field(default_factory=list)
+    children: List["OperationModel"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.mission:
+            raise ModelError("operation mission must be non-empty")
+        base, index = split_iteration(self.mission)
+        if index is not None:
+            raise ModelError(
+                f"model mission {self.mission!r} must not carry an "
+                f"iteration suffix; set multiplicity instead"
+            )
+        if not self.actor_type:
+            raise ModelError(f"operation {self.mission!r}: empty actor type")
+        if self.multiplicity not in Multiplicity.ALL:
+            raise ModelError(
+                f"operation {self.mission!r}: invalid multiplicity "
+                f"{self.multiplicity!r}"
+            )
+        if self.level < 1:
+            raise ModelError(
+                f"operation {self.mission!r}: level must be >= 1, "
+                f"got {self.level}"
+            )
+
+    def add_child(self, child: "OperationModel") -> "OperationModel":
+        """Attach a filial operation model; returns the child for chaining."""
+        if any(c.mission == child.mission for c in self.children):
+            raise ModelError(
+                f"operation {self.mission!r} already has a child "
+                f"{child.mission!r}"
+            )
+        self.children.append(child)
+        return child
+
+    def add_info(self, info: InfoSpec) -> "OperationModel":
+        """Declare an info item; returns self for chaining."""
+        if any(i.name == info.name for i in self.infos):
+            raise ModelError(
+                f"operation {self.mission!r} already declares info "
+                f"{info.name!r}"
+            )
+        self.infos.append(info)
+        return self
+
+    def add_rule(self, rule) -> "OperationModel":
+        """Attach a derivation rule; returns self for chaining."""
+        self.rules.append(rule)
+        return self
+
+    def child(self, mission: str) -> "OperationModel":
+        """Look up a direct child by mission base name."""
+        for c in self.children:
+            if c.mission == mission:
+                return c
+        raise ModelError(
+            f"operation {self.mission!r} has no child {mission!r} "
+            f"(children: {[c.mission for c in self.children]})"
+        )
+
+    def walk(self) -> Iterator["OperationModel"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def matches(self, mission: str, actor: str) -> bool:
+        """Whether a concrete (mission, actor) instance fits this model.
+
+        The concrete mission may carry an iteration suffix when the model
+        is iterated; the concrete actor may carry an instance suffix when
+        the model is per-actor (``Worker-3`` fits actor type ``Worker``).
+        """
+        m_base, m_index = split_iteration(mission)
+        if m_base != self.mission:
+            return False
+        iterated = self.multiplicity in (
+            Multiplicity.ITERATED, Multiplicity.PER_ACTOR_ITERATED
+        )
+        if (m_index is not None) and not iterated:
+            return False
+        a_base, _a_index = split_iteration(actor)
+        return a_base == self.actor_type
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationModel({self.mission!r}, actor={self.actor_type!r}, "
+            f"level={self.level}, children={len(self.children)})"
+        )

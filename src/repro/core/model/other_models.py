@@ -1,0 +1,215 @@
+"""Performance models for the remaining Table 1 platforms.
+
+The paper's future work names "a larger library of comprehensive
+performance models for various types of large-scale graph processing
+platforms".  These models have no engine in this reproduction — they are
+what an analyst would start from when instrumenting the real systems.
+Each refines the identical domain level (so cross-platform Ts/Td/Tp
+comparison works the moment logs exist) with a system level derived from
+the platform's Table 1 characteristics:
+
+- **GraphMat** (Intel): MPI provisioning, SpMV-formatted input from
+  local/shared storage, iterations as sparse matrix-vector products.
+- **PGX.D** (Oracle): native/Slurm provisioning, CSR input, push-pull
+  iterations over a task-queue runtime.
+- **OpenG** (Georgia Tech) and **TOTEM** (UBC): single-node platforms —
+  no resource-manager startup beyond process launch; TOTEM additionally
+  splits each iteration across CPU and GPU partitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.model.info import DERIVED, RECORDED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.rules import ChildCountRule, ShareOfParentRule
+
+
+def _domain(mission: str, actor: str, description: str) -> OperationModel:
+    op = OperationModel(mission, actor, level=1, description=description)
+    op.add_info(InfoSpec("ShareOfParent", DERIVED, "",
+                         "fraction of the job runtime"))
+    op.add_rule(ShareOfParentRule())
+    return op
+
+
+def _domain_skeleton(job_mission: str, client: str,
+                     job_description: str) -> OperationModel:
+    root = OperationModel(job_mission, client, level=1,
+                          description=job_description)
+    for mission, description in (
+        ("Startup", "prepare the system for execution"),
+        ("LoadGraph", "bring graph data into memory"),
+        ("ProcessGraph", "execute the algorithm"),
+        ("OffloadGraph", "write results"),
+        ("Cleanup", "tear the job down"),
+    ):
+        root.add_child(_domain(mission, client, description))
+    return root
+
+
+def graphmat_model() -> JobModel:
+    """GraphMat: MPI + SpMV (Table 1 row 3)."""
+    root = _domain_skeleton("GraphMatJob", "MpiClient",
+                            "a GraphMat job launched through Intel MPI")
+    root.child("Startup").add_child(OperationModel(
+        "MpiStartup", "Mpirun", level=2,
+        description="Intel-MPI rank launch",
+    ))
+    load = root.child("LoadGraph")
+    convert = load.add_child(OperationModel(
+        "ConvertToSpmv", "Rank", level=2,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="read edges and build the sparse-matrix blocks",
+    ))
+    convert.add_info(InfoSpec("EdgesConverted", RECORDED, "",
+                              "edges packed into matrix blocks"))
+    process = root.child("ProcessGraph")
+    process.add_info(InfoSpec("Iterations", DERIVED, "",
+                              "SpMV iterations executed"))
+    process.add_rule(ChildCountRule("Iterations", "SpmvIteration"))
+    iteration = process.add_child(OperationModel(
+        "SpmvIteration", "Engine", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one generalized sparse matrix-vector product",
+    ))
+    iteration.add_child(OperationModel(
+        "SpmvMultiply", "Rank", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="local block multiply",
+    ))
+    iteration.add_child(OperationModel(
+        "AllReduceVector", "Engine", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="combine partial result vectors across ranks",
+    ))
+    root.child("OffloadGraph").add_child(OperationModel(
+        "WriteVector", "Rank", level=2,
+        description="write the result vector",
+    ))
+    root.child("Cleanup").add_child(OperationModel(
+        "MpiFinalize", "Mpirun", level=2,
+        description="MPI teardown",
+    ))
+    return JobModel("GraphMat", root)
+
+
+def pgxd_model() -> JobModel:
+    """PGX.D: native/Slurm + push-pull over CSR (Table 1 row 4)."""
+    root = _domain_skeleton("PgxdJob", "PgxClient",
+                            "a PGX.D job on natively provisioned nodes")
+    root.child("Startup").add_child(OperationModel(
+        "SpawnRuntimes", "Launcher", level=2,
+        description="start the PGX.D runtime on each node (Slurm/native)",
+    ))
+    load = root.child("LoadGraph")
+    load.add_child(OperationModel(
+        "BuildCsr", "Runtime", level=2,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="parallel CSR construction from the input",
+    ))
+    process = root.child("ProcessGraph")
+    process.add_info(InfoSpec("Phases", DERIVED, "",
+                              "push/pull phases executed"))
+    process.add_rule(ChildCountRule("Phases", "ComputePhase"))
+    phase = process.add_child(OperationModel(
+        "ComputePhase", "Engine", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one push or pull phase over the active set",
+    ))
+    phase.add_info(InfoSpec("Direction", RECORDED, "",
+                            "push or pull, chosen per phase"))
+    phase.add_child(OperationModel(
+        "TaskBatch", "Runtime", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="work-stealing task batches on one runtime",
+    ))
+    root.child("OffloadGraph").add_child(OperationModel(
+        "EmitResults", "Runtime", level=2,
+        description="stream per-vertex results out",
+    ))
+    root.child("Cleanup").add_child(OperationModel(
+        "StopRuntimes", "Launcher", level=2,
+        description="shut the runtimes down",
+    ))
+    return JobModel("PGX.D", root)
+
+
+def openg_model() -> JobModel:
+    """OpenG: single-node CPU/GPU benchmark kernels (Table 1 row 5)."""
+    root = _domain_skeleton("OpenGJob", "Process",
+                            "a single-node OpenG kernel execution")
+    root.child("Startup").add_child(OperationModel(
+        "ProcessLaunch", "Process", level=2,
+        description="fork the benchmark binary (no resource manager)",
+    ))
+    root.child("LoadGraph").add_child(OperationModel(
+        "LoadCsr", "Process", level=2,
+        description="mmap/parse the CSR files from local disk",
+    ))
+    process = root.child("ProcessGraph")
+    process.add_child(OperationModel(
+        "KernelExecution", "Process", level=2,
+        description="run the graph kernel (CPU or GPU variant)",
+    ))
+    root.child("OffloadGraph").add_child(OperationModel(
+        "WriteResults", "Process", level=2,
+        description="write per-vertex output",
+    ))
+    root.child("Cleanup").add_child(OperationModel(
+        "ProcessExit", "Process", level=2,
+        description="process teardown",
+    ))
+    return JobModel("OpenG", root)
+
+
+def totem_model() -> JobModel:
+    """TOTEM: single-node hybrid CPU+GPU (Table 1 row 6)."""
+    root = _domain_skeleton("TotemJob", "Process",
+                            "a TOTEM hybrid CPU+GPU execution")
+    root.child("Startup").add_child(OperationModel(
+        "InitDevices", "Process", level=2,
+        description="initialize CUDA contexts and host buffers",
+    ))
+    load = root.child("LoadGraph")
+    load.add_child(OperationModel(
+        "PartitionGraph", "Process", level=2,
+        description="split the graph between CPU and GPU partitions",
+    ))
+    load.add_child(OperationModel(
+        "TransferToGpu", "Process", level=2,
+        description="copy the GPU partition over PCIe",
+    ))
+    process = root.child("ProcessGraph")
+    process.add_info(InfoSpec("Rounds", DERIVED, "",
+                              "BSP rounds executed"))
+    process.add_rule(ChildCountRule("Rounds", "HybridRound"))
+    round_op = process.add_child(OperationModel(
+        "HybridRound", "Engine", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one BSP round split across CPU and GPU",
+    ))
+    round_op.add_child(OperationModel(
+        "CpuKernel", "Cpu", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="CPU partition compute",
+    ))
+    round_op.add_child(OperationModel(
+        "GpuKernel", "Gpu", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="GPU partition compute",
+    ))
+    round_op.add_child(OperationModel(
+        "BoundaryExchange", "Engine", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="exchange boundary messages over PCIe",
+    ))
+    root.child("OffloadGraph").add_child(OperationModel(
+        "GatherFromGpu", "Process", level=2,
+        description="copy GPU results back and merge",
+    ))
+    root.child("Cleanup").add_child(OperationModel(
+        "ReleaseDevices", "Process", level=2,
+        description="free device memory and contexts",
+    ))
+    return JobModel("TOTEM", root)

@@ -1,0 +1,141 @@
+"""The PowerGraph performance model.
+
+Same domain level as Giraph (enabling the Figure 5 comparison); the
+system and implementation levels reflect PowerGraph's own workflow:
+MPI startup, *sequential* edge streaming on rank 0, distributed graph
+finalization, GAS iterations, and a single-rank result write.
+"""
+
+from __future__ import annotations
+
+from repro.core.model.info import DERIVED, RECORDED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+
+
+def _domain(mission: str, actor: str, description: str) -> OperationModel:
+    op = OperationModel(mission, actor, level=1, description=description)
+    op.add_info(InfoSpec("ShareOfParent", DERIVED, "",
+                         "fraction of the job runtime"))
+    op.add_rule(ShareOfParentRule())
+    return op
+
+
+def powergraph_model() -> JobModel:
+    """Build a fresh instance of the PowerGraph model."""
+    root = OperationModel(
+        "PowerGraphJob", "MpiClient", level=1,
+        description="one PowerGraph job launched through mpirun",
+    )
+
+    # ---- Startup ---------------------------------------------------------
+    startup = root.add_child(_domain(
+        "Startup", "MpiClient", "launch MPI ranks on the hosts",
+    ))
+    startup.add_child(OperationModel(
+        "MpiStartup", "Mpirun", level=2,
+        description="ssh fan-out and communicator bootstrap",
+    ))
+
+    # ---- LoadGraph -------------------------------------------------------
+    load = root.add_child(_domain(
+        "LoadGraph", "MpiClient",
+        "stream the edge file and build the distributed graph",
+    ))
+    stream = load.add_child(OperationModel(
+        "StreamEdges", "Rank", level=2,
+        description="rank 0 sequentially reads and parses the edge file",
+    ))
+    stream.add_info(InfoSpec("BytesRead", RECORDED, "B",
+                             "edge file bytes streamed"))
+    stream.add_info(InfoSpec("EdgesParsed", RECORDED, "",
+                             "edges ingested by the loader"))
+    finalize = load.add_child(OperationModel(
+        "FinalizeGraph", "Engine", level=2,
+        description="all ranks build local structures for their edges",
+    ))
+    finalize.add_info(InfoSpec("FinalizeImbalance", DERIVED, "",
+                               "max/mean of per-rank finalize time"))
+    finalize.add_rule(ChildDurationStatsRule(
+        "FinalizeImbalance", "LocalFinalize", "imbalance"))
+    local_fin = finalize.add_child(OperationModel(
+        "LocalFinalize", "Rank", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="one rank building CSR and replica tables",
+    ))
+    local_fin.add_info(InfoSpec("LocalEdges", RECORDED, "",
+                                "edges the vertex-cut assigned here"))
+
+    # ---- ProcessGraph ----------------------------------------------------
+    process = root.add_child(_domain(
+        "ProcessGraph", "Engine",
+        "run the GAS program to quiescence",
+    ))
+    process.add_info(InfoSpec("Iterations", DERIVED, "",
+                              "number of GAS iterations"))
+    process.add_rule(ChildCountRule("Iterations", "Iteration"))
+    iteration = process.add_child(OperationModel(
+        "Iteration", "Engine", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="one synchronous gather-apply-scatter round",
+    ))
+    iteration.add_info(InfoSpec("ActiveVertices", RECORDED, "",
+                                "vertices active this iteration"))
+    iteration.add_info(InfoSpec("ChangedVertices", RECORDED, "",
+                                "vertices whose value changed"))
+    iteration.add_info(InfoSpec("RankImbalance", DERIVED, "",
+                                "max/mean of per-rank gather time"))
+    iteration.add_rule(ChildDurationStatsRule(
+        "RankImbalance", "Gather", "imbalance"))
+    gather = iteration.add_child(OperationModel(
+        "Gather", "Rank", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="accumulate contributions over local in-edges",
+    ))
+    gather.add_info(InfoSpec("EdgesGathered", RECORDED, "",
+                             "local edges scanned in gather"))
+    iteration.add_child(OperationModel(
+        "Apply", "Rank", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="apply the accumulated value on master replicas",
+    ))
+    scatter = iteration.add_child(OperationModel(
+        "Scatter", "Rank", level=3,
+        multiplicity=Multiplicity.PER_ACTOR_ITERATED,
+        description="signal neighbors of changed vertices",
+    ))
+    scatter.add_info(InfoSpec("EdgesScattered", RECORDED, "",
+                              "local edges scanned in scatter"))
+    iteration.add_child(OperationModel(
+        "BarrierSync", "Engine", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="iteration barrier and replica synchronization",
+    ))
+
+    # ---- OffloadGraph ----------------------------------------------------
+    offload = root.add_child(_domain(
+        "OffloadGraph", "MpiClient", "write results to shared storage",
+    ))
+    results = offload.add_child(OperationModel(
+        "WriteResults", "Rank", level=2,
+        description="rank 0 writes the per-vertex results",
+    ))
+    results.add_info(InfoSpec("BytesWritten", RECORDED, "B",
+                              "result file size"))
+
+    # ---- Cleanup ---------------------------------------------------------
+    cleanup = root.add_child(_domain(
+        "Cleanup", "MpiClient", "tear down the MPI communicator",
+    ))
+    cleanup.add_child(OperationModel(
+        "MpiFinalize", "Mpirun", level=2,
+        description="MPI_Finalize across the ranks",
+    ))
+
+    return JobModel("PowerGraph", root)

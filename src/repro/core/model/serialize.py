@@ -1,0 +1,184 @@
+"""Performance-model serialization (requirement R2: reusable studies).
+
+Models are the analyst's main intellectual artifact; sharing them is how
+"developers and users fully benefit from performance studies".  This
+module serializes a :class:`~repro.core.model.job.JobModel` — including
+its derivation rules — to plain JSON and back, so a model library can be
+versioned and exchanged like the archives themselves.
+
+Rules are encoded by a registry of (name, parameters); custom rule
+classes register themselves via :func:`register_rule_type` before
+deserialization.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.core.model.info import InfoSpec
+from repro.core.model.job import CANONICAL_LEVELS, JobModel, Level
+from repro.core.model.operation import OperationModel
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    DerivationRule,
+    DurationRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+from repro.errors import ModelError
+
+#: Serializer/deserializer pairs per rule type name.
+_RULE_CODECS: Dict[str, Tuple[Callable, Callable]] = {}
+
+
+def register_rule_type(
+    name: str,
+    encode: Callable[[DerivationRule], Dict[str, Any]],
+    decode: Callable[[Dict[str, Any]], DerivationRule],
+) -> None:
+    """Register a rule codec (used for custom rule classes)."""
+    if name in _RULE_CODECS:
+        raise ModelError(f"rule type {name!r} already registered")
+    _RULE_CODECS[name] = (encode, decode)
+
+
+def _register_builtin_rules() -> None:
+    register_rule_type(
+        "DurationRule",
+        lambda rule: {"target": rule.target},
+        lambda data: DurationRule(data["target"]),
+    )
+    register_rule_type(
+        "InfoSumRule",
+        lambda rule: {"target": rule.target, "source": rule.source,
+                      "child_mission": rule.child_mission},
+        lambda data: InfoSumRule(data["target"], data["source"],
+                                 data.get("child_mission")),
+    )
+    register_rule_type(
+        "ShareOfParentRule",
+        lambda rule: {"target": rule.target},
+        lambda data: ShareOfParentRule(data["target"]),
+    )
+    register_rule_type(
+        "ChildCountRule",
+        lambda rule: {"target": rule.target,
+                      "child_mission": rule.child_mission},
+        lambda data: ChildCountRule(data["target"], data["child_mission"]),
+    )
+    register_rule_type(
+        "ChildDurationStatsRule",
+        lambda rule: {"target": rule.target,
+                      "child_mission": rule.child_mission,
+                      "statistic": rule.statistic},
+        lambda data: ChildDurationStatsRule(
+            data["target"], data["child_mission"], data["statistic"]),
+    )
+
+
+_register_builtin_rules()
+
+
+def _encode_rule(rule: DerivationRule) -> Dict[str, Any]:
+    name = type(rule).__name__
+    if name not in _RULE_CODECS:
+        raise ModelError(
+            f"rule type {name!r} has no codec; call register_rule_type()"
+        )
+    encode, _decode = _RULE_CODECS[name]
+    return {"type": name, **encode(rule)}
+
+
+def _decode_rule(data: Dict[str, Any]) -> DerivationRule:
+    name = data.get("type", "")
+    if name not in _RULE_CODECS:
+        raise ModelError(f"unknown rule type {name!r} in model document")
+    _encode, decode = _RULE_CODECS[name]
+    return decode(data)
+
+
+def _encode_operation(node: OperationModel) -> Dict[str, Any]:
+    return {
+        "mission": node.mission,
+        "actor_type": node.actor_type,
+        "level": node.level,
+        "multiplicity": node.multiplicity,
+        "description": node.description,
+        "infos": [
+            {"name": i.name, "source": i.source, "unit": i.unit,
+             "description": i.description}
+            for i in node.infos
+        ],
+        "rules": [_encode_rule(rule) for rule in node.rules],
+        "children": [_encode_operation(c) for c in node.children],
+    }
+
+
+def _decode_operation(data: Dict[str, Any]) -> OperationModel:
+    try:
+        node = OperationModel(
+            mission=data["mission"],
+            actor_type=data["actor_type"],
+            level=data["level"],
+            multiplicity=data["multiplicity"],
+            description=data.get("description", ""),
+        )
+    except KeyError as exc:
+        raise ModelError(f"operation record missing field {exc}") from None
+    for info in data.get("infos", []):
+        node.add_info(InfoSpec(
+            name=info["name"], source=info["source"],
+            unit=info.get("unit", ""),
+            description=info.get("description", ""),
+        ))
+    for rule_data in data.get("rules", []):
+        node.add_rule(_decode_rule(rule_data))
+    for child_data in data.get("children", []):
+        node.add_child(_decode_operation(child_data))
+    return node
+
+
+def model_to_json(model: JobModel, indent: int = 2) -> str:
+    """Serialize a model to its shareable JSON text."""
+    document = {
+        "format": "granula-model",
+        "format_version": 1,
+        "platform": model.platform,
+        "version": model.version,
+        "levels": [
+            {"index": l.index, "name": l.name,
+             "description": l.description}
+            for l in model.levels
+        ],
+        "root": _encode_operation(model.root),
+    }
+    return json.dumps(document, indent=indent)
+
+
+def model_from_json(text: str) -> JobModel:
+    """Parse the shareable JSON text back into a model."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"model document is not valid JSON: {exc}") from None
+    if document.get("format") != "granula-model":
+        raise ModelError(
+            f"not a granula model (format={document.get('format')!r})"
+        )
+    if document.get("format_version") != 1:
+        raise ModelError(
+            f"unsupported model format version "
+            f"{document.get('format_version')!r}"
+        )
+    levels = tuple(
+        Level(l["index"], l["name"], l.get("description", ""))
+        for l in document.get("levels", [])
+    )
+    return JobModel(
+        platform=document["platform"],
+        root=_decode_operation(document["root"]),
+        levels=levels or CANONICAL_LEVELS,
+        version=document.get("version", 1),
+    )

@@ -1,0 +1,81 @@
+"""Structural validation of performance models.
+
+Run before a model is used for archiving; catches the mistakes analysts
+make while refining models incrementally (duplicate missions along a
+path, derived infos without a rule, rules writing undeclared infos,
+level inversions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.model.info import DERIVED, IMPLICIT_INFOS
+from repro.core.model.job import JobModel
+from repro.core.model.operation import OperationModel
+from repro.errors import ModelValidationError
+
+_IMPLICIT_NAMES = {i.name for i in IMPLICIT_INFOS}
+
+
+def validate_model(model: JobModel, strict: bool = True) -> List[str]:
+    """Validate a model; returns the list of problems found.
+
+    With ``strict`` (default) any problem raises
+    :class:`~repro.errors.ModelValidationError`; otherwise the problems
+    are returned for the analyst to review.
+    """
+    problems: List[str] = []
+    _walk(model.root, [], problems)
+    if model.root.level != 1:
+        problems.append(
+            f"root {model.root.mission!r} must be at level 1, "
+            f"is at {model.root.level}"
+        )
+    if strict and problems:
+        raise ModelValidationError(
+            f"{model.platform} model invalid: " + "; ".join(problems)
+        )
+    return problems
+
+
+def _walk(node: OperationModel, path: List[str], problems: List[str]) -> None:
+    here = "/".join(path + [node.mission])
+
+    # Mission must be unique along the root path (else archive paths are
+    # ambiguous).
+    if node.mission in path:
+        problems.append(f"{here}: mission repeats along its own path")
+
+    # Levels must not decrease downward.
+    for child in node.children:
+        if child.level < node.level:
+            problems.append(
+                f"{here}: child {child.mission!r} at level {child.level} "
+                f"above parent level {node.level}"
+            )
+
+    # Sibling missions must be unique.
+    seen: Set[str] = set()
+    for child in node.children:
+        if child.mission in seen:
+            problems.append(f"{here}: duplicate child {child.mission!r}")
+        seen.add(child.mission)
+
+    # Every derived info needs a rule; every rule needs a declared target.
+    declared = {i.name for i in node.infos} | _IMPLICIT_NAMES
+    rule_targets = {rule.target for rule in node.rules}
+    for info in node.infos:
+        if info.source == DERIVED and info.name not in rule_targets:
+            problems.append(
+                f"{here}: derived info {info.name!r} has no rule"
+            )
+    for rule in node.rules:
+        if rule.target not in declared:
+            problems.append(
+                f"{here}: rule {type(rule).__name__} writes undeclared "
+                f"info {rule.target!r}"
+            )
+
+    for child in node.children:
+        _walk(child, path + [node.mission], problems)

@@ -1,0 +1,26 @@
+"""Granula monitoring (paper Section 3.3, P2).
+
+Two kinds of performance data are collected per job run: *platform logs*
+(GRANULA lines revealing internal operations, parsed by
+:mod:`repro.core.monitor.logparser`) and *environment logs* (per-node CPU
+series sampled by :mod:`repro.core.monitor.envmonitor`).
+:class:`repro.core.monitor.session.MonitoringSession` runs a job and
+gathers both.
+"""
+
+from repro.core.monitor.records import EnvSample, LogRecord
+from repro.core.monitor.logparser import parse_log, parse_log_line
+from repro.core.monitor.envmonitor import EnvironmentMonitor
+from repro.core.monitor.collector import collect_platform_log
+from repro.core.monitor.session import MonitoredRun, MonitoringSession
+
+__all__ = [
+    "EnvSample",
+    "LogRecord",
+    "parse_log",
+    "parse_log_line",
+    "EnvironmentMonitor",
+    "collect_platform_log",
+    "MonitoredRun",
+    "MonitoringSession",
+]

@@ -1,0 +1,38 @@
+"""Collecting platform logs from job runs."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.monitor.logparser import parse_log
+from repro.core.monitor.records import LogRecord
+from repro.errors import MonitorError
+from repro.platforms.base import JobResult
+
+
+def collect_platform_log(result: JobResult, strict: bool = True) -> List[LogRecord]:
+    """Parse a job result's platform log into records.
+
+    Verifies the records belong to the job (a mixed-up log directory is a
+    classic monitoring failure on real clusters).
+    """
+    records, _bad = parse_log(result.log_lines, strict=strict)
+    if not records:
+        raise MonitorError(
+            f"job {result.job_id}: platform log contains no GRANULA records"
+        )
+    foreign = {r.job_id for r in records if r.job_id != result.job_id}
+    if foreign:
+        raise MonitorError(
+            f"job {result.job_id}: log contains records of other jobs: "
+            f"{sorted(foreign)}"
+        )
+    return records
+
+
+def split_by_job(records: List[LogRecord]) -> dict:
+    """Group records of a shared log file by job id (order preserved)."""
+    by_job: dict = {}
+    for record in records:
+        by_job.setdefault(record.job_id, []).append(record)
+    return by_job

@@ -1,0 +1,93 @@
+"""Parsing GRANULA platform logs into typed records.
+
+Platform logs are plain text interleaving GRANULA lines with the
+platform's own output; the parser skips foreign lines and converts the
+rest via :mod:`repro.logformat`, raising
+:class:`~repro.errors.LogParseError` on malformed GRANULA lines (strict
+mode) or collecting them (lenient mode).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro import logformat
+from repro.core.monitor.records import LogRecord
+from repro.errors import LogParseError
+
+
+def parse_log_line(line: str) -> LogRecord:
+    """Parse a single GRANULA line into a :class:`LogRecord`."""
+    try:
+        fields = logformat.parse_line(line)
+    except ValueError as exc:
+        raise LogParseError(line, str(exc)) from None
+    missing = [key for key in ("ts", "job", "event", "uid") if key not in fields]
+    if missing:
+        raise LogParseError(line, f"missing fields {missing}")
+    try:
+        timestamp = float(fields["ts"])
+    except ValueError:
+        raise LogParseError(line, f"bad timestamp {fields['ts']!r}") from None
+    event = fields["event"]
+    if event not in logformat.EVENTS:
+        raise LogParseError(line, f"unknown event {event!r}")
+
+    if event == logformat.EVENT_START:
+        for key in ("mission", "actor", "parent"):
+            if key not in fields:
+                raise LogParseError(line, f"start event missing {key!r}")
+        parent = fields["parent"]
+        return LogRecord(
+            timestamp=timestamp,
+            job_id=fields["job"],
+            event=event,
+            uid=fields["uid"],
+            parent_uid=None if parent == logformat.NO_PARENT else parent,
+            mission=fields["mission"],
+            actor=fields["actor"],
+        )
+    if event == logformat.EVENT_INFO:
+        if "name" not in fields or "value" not in fields:
+            raise LogParseError(line, "info event missing name/value")
+        return LogRecord(
+            timestamp=timestamp,
+            job_id=fields["job"],
+            event=event,
+            uid=fields["uid"],
+            info_name=fields["name"],
+            info_value=fields["value"],
+        )
+    return LogRecord(
+        timestamp=timestamp,
+        job_id=fields["job"],
+        event=event,
+        uid=fields["uid"],
+    )
+
+
+def parse_log(
+    lines: Iterable[str],
+    strict: bool = True,
+) -> Tuple[List[LogRecord], List[str]]:
+    """Parse a platform log.
+
+    Non-GRANULA lines are silently skipped (platforms log plenty of their
+    own).  Malformed GRANULA lines raise in strict mode; in lenient mode
+    they are returned as the second element for the analyst to inspect.
+
+    Returns:
+        (records, bad_lines)
+    """
+    records: List[LogRecord] = []
+    bad: List[str] = []
+    for line in lines:
+        if not logformat.is_granula_line(line):
+            continue
+        try:
+            records.append(parse_log_line(line))
+        except LogParseError:
+            if strict:
+                raise
+            bad.append(line)
+    return records, bad

@@ -1,0 +1,71 @@
+"""Typed records produced by monitoring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import logformat
+from repro.errors import MonitorError
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One parsed GRANULA platform-log event.
+
+    Attributes:
+        timestamp: simulated time of the event.
+        job_id: owning job.
+        event: ``"start"``, ``"end"`` or ``"info"``.
+        uid: concrete operation instance id.
+        parent_uid: parent instance id (start events only; None for
+            roots and non-start events).
+        mission: mission name incl. iteration suffix (start events only).
+        actor: actor name incl. instance suffix (start events only).
+        info_name / info_value: payload of info events.
+    """
+
+    timestamp: float
+    job_id: str
+    event: str
+    uid: str
+    parent_uid: Optional[str] = None
+    mission: Optional[str] = None
+    actor: Optional[str] = None
+    info_name: Optional[str] = None
+    info_value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.event not in logformat.EVENTS:
+            raise MonitorError(f"unknown event kind {self.event!r}")
+        if not self.uid:
+            raise MonitorError("log record without operation uid")
+
+    @property
+    def is_start(self) -> bool:
+        """Whether this is an operation-start event."""
+        return self.event == logformat.EVENT_START
+
+    @property
+    def is_end(self) -> bool:
+        """Whether this is an operation-end event."""
+        return self.event == logformat.EVENT_END
+
+    @property
+    def is_info(self) -> bool:
+        """Whether this is an info event."""
+        return self.event == logformat.EVENT_INFO
+
+
+@dataclass(frozen=True)
+class EnvSample:
+    """One environment-monitor sample.
+
+    ``cpu`` is the average number of busy cores on ``node`` during the
+    sample window starting at ``timestamp`` — the paper's
+    "CPU time / second" quantity.
+    """
+
+    timestamp: float
+    node: str
+    cpu: float

@@ -1,0 +1,68 @@
+"""Monitoring sessions: run a job, gather platform + environment logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.cpu import UsageSeries
+from repro.core.monitor.collector import collect_platform_log
+from repro.core.monitor.envmonitor import EnvironmentMonitor
+from repro.core.monitor.records import EnvSample, LogRecord
+from repro.platforms.base import JobRequest, JobResult, Platform
+
+
+@dataclass
+class MonitoredRun:
+    """Everything monitoring captured about one job execution.
+
+    Attributes:
+        result: the platform's job result (output, stats, raw log).
+        records: parsed GRANULA platform-log records.
+        env_series: per-node CPU usage series over the job window.
+        env_samples: the same data as flat records (archive-friendly).
+        node_names: nodes the job ran on, in cluster order.
+    """
+
+    result: JobResult
+    records: List[LogRecord]
+    env_series: Dict[str, UsageSeries]
+    env_samples: List[EnvSample] = field(default_factory=list)
+    node_names: List[str] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> str:
+        """Id of the monitored job."""
+        return self.result.job_id
+
+
+class MonitoringSession:
+    """Runs platform jobs under monitoring.
+
+    One session per platform instance; every :meth:`run` resets the
+    cluster (the engines do), executes the job, parses the platform log,
+    and samples the environment over exactly the job's time window.
+    """
+
+    def __init__(self, platform: Platform, env_step: float = 1.0):
+        self.platform = platform
+        self.env_monitor = EnvironmentMonitor(platform.cluster, step=env_step)
+
+    def run(self, request: JobRequest) -> MonitoredRun:
+        """Execute one monitored job."""
+        result = self.platform.run_job(request)
+        records = collect_platform_log(result)
+        nodes = self.platform.cluster.node_names[: request.workers]
+        env_series = self.env_monitor.sample_window(
+            result.started_at, result.finished_at, nodes
+        )
+        env_samples = self.env_monitor.samples(
+            result.started_at, result.finished_at, nodes
+        )
+        return MonitoredRun(
+            result=result,
+            records=records,
+            env_series=env_series,
+            env_samples=env_samples,
+            node_names=list(nodes),
+        )

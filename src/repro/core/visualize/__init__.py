@@ -1,0 +1,31 @@
+"""Granula visualization (paper Section 3.3, P4).
+
+Renders performance archives into the three visuals the paper shows:
+
+- :mod:`repro.core.visualize.breakdown` — domain-level job decomposition
+  bars (Figure 5).
+- :mod:`repro.core.visualize.utilization` — per-node CPU series mapped to
+  operations (Figures 6-7).
+- :mod:`repro.core.visualize.gantt` — per-worker compute/overhead gantt
+  (Figure 8).
+
+Each visual is computed as plain data first, then rendered to text, SVG,
+or a standalone HTML report.
+"""
+
+from repro.core.visualize.breakdown import DomainBreakdown, compute_breakdown
+from repro.core.visualize.utilization import UtilizationChart, compute_utilization
+from repro.core.visualize.gantt import SuperstepGantt, compute_gantt
+from repro.core.visualize.timeline import render_timeline
+from repro.core.visualize.render_html import render_report_html
+
+__all__ = [
+    "DomainBreakdown",
+    "compute_breakdown",
+    "UtilizationChart",
+    "compute_utilization",
+    "SuperstepGantt",
+    "compute_gantt",
+    "render_timeline",
+    "render_report_html",
+]

@@ -1,0 +1,153 @@
+"""Domain-level job decomposition (the paper's Figure 5).
+
+Computes, for one archive, the duration and share of each domain-level
+operation (Startup, LoadGraph, ProcessGraph, OffloadGraph, Cleanup) and
+of each Figure 3 phase (Setup, Input/output, Processing), then renders
+the segmented percentage bar of Figure 5 as text or SVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.model.library import (
+    DOMAIN_OPERATIONS,
+    DOMAIN_PHASES,
+    PHASE_OF_OPERATION,
+)
+from repro.core.visualize.palette import phase_color
+from repro.core.visualize.render_svg import SvgCanvas
+from repro.core.visualize.render_text import (
+    format_percent,
+    format_seconds,
+    segmented_bar,
+    table,
+)
+from repro.errors import VisualizationError
+
+#: Bar segment symbols per phase, for the text rendering.
+_PHASE_SYMBOLS = {"Setup": "S", "Input/output": "I", "Processing": "P"}
+
+
+@dataclass
+class DomainBreakdown:
+    """The Figure 5 data of one job.
+
+    Attributes:
+        job_id: archived job.
+        platform: platform name.
+        total: job makespan in seconds.
+        operations: (mission, duration, share) per domain operation in
+            workflow order; operations absent from the archive get 0.
+        phases: phase name -> (duration, share) for the three phases.
+    """
+
+    job_id: str
+    platform: str
+    total: float
+    operations: List[Tuple[str, float, float]]
+    phases: Dict[str, Tuple[float, float]]
+
+    def share_of(self, name: str) -> float:
+        """Share of a domain operation or a phase, by name."""
+        for mission, _duration, share in self.operations:
+            if mission == name:
+                return share
+        if name in self.phases:
+            return self.phases[name][1]
+        raise VisualizationError(f"unknown operation or phase {name!r}")
+
+    def render_text(self, width: int = 60) -> str:
+        """Figure 5 as text: a segmented bar plus the share table."""
+        fractions: List[float] = []
+        symbols: List[str] = []
+        for mission, _duration, share in self.operations:
+            fractions.append(share)
+            symbols.append(_PHASE_SYMBOLS[PHASE_OF_OPERATION[mission]])
+        bar_line = segmented_bar(fractions, symbols, width)
+        rows = [
+            (mission, format_seconds(duration), format_percent(share),
+             PHASE_OF_OPERATION[mission])
+            for mission, duration, share in self.operations
+        ]
+        rows.append(("TOTAL", format_seconds(self.total), "100.0%", ""))
+        phase_rows = [
+            (phase, format_seconds(self.phases[phase][0]),
+             format_percent(self.phases[phase][1]))
+            for phase in DOMAIN_PHASES
+        ]
+        return "\n".join([
+            f"{self.platform} job {self.job_id} "
+            f"(S=Setup I=Input/output P=Processing)",
+            f"|{bar_line}|",
+            "",
+            table(("Operation", "Duration", "Share", "Phase"), rows),
+            "",
+            table(("Phase", "Duration", "Share"), phase_rows),
+        ])
+
+    def render_svg(self, width: int = 640, bar_height: int = 36) -> str:
+        """Figure 5 as an SVG segmented bar with a percent/seconds axis."""
+        margin = 60
+        height = bar_height + 70
+        canvas = SvgCanvas(width, height)
+        usable = width - 2 * margin
+        x = float(margin)
+        y = 18.0
+        canvas.text(margin, 12, f"{self.platform} — {self.job_id}", size=13)
+        for mission, _duration, share in self.operations:
+            seg = share * usable
+            phase = PHASE_OF_OPERATION[mission]
+            canvas.rect(x, y, seg, bar_height, fill=phase_color(phase),
+                        stroke="#ffffff", stroke_width=1)
+            if seg > 46:
+                canvas.text(x + 3, y + bar_height / 2 + 4, mission, size=10,
+                            fill="#ffffff")
+            x += seg
+        # Axis: 0..100% and 0..total seconds, five ticks as in the paper.
+        axis_y = y + bar_height + 16
+        for i in range(6):
+            frac = i / 5
+            tick_x = margin + frac * usable
+            canvas.line(tick_x, y + bar_height, tick_x, y + bar_height + 4)
+            canvas.text(tick_x - 14, axis_y, format_percent(frac), size=9)
+            canvas.text(tick_x - 14, axis_y + 12,
+                        format_seconds(frac * self.total), size=9)
+        return canvas.render()
+
+
+def compute_breakdown(archive: PerformanceArchive) -> DomainBreakdown:
+    """Extract the Figure 5 decomposition from an archive.
+
+    Requires the archive's root to carry the five domain operations
+    (missing ones count as zero-duration — single-node platforms have no
+    Startup, for example).
+    """
+    total = archive.makespan
+    if total is None or total <= 0:
+        raise VisualizationError(
+            f"archive {archive.job_id}: job has no usable makespan"
+        )
+    operations: List[Tuple[str, float, float]] = []
+    phase_totals: Dict[str, float] = {phase: 0.0 for phase in DOMAIN_PHASES}
+    for mission in DOMAIN_OPERATIONS:
+        candidates = archive.root.children_of(mission)
+        duration = sum(
+            op.duration for op in candidates if op.duration is not None
+        )
+        share = duration / total
+        operations.append((mission, duration, share))
+        phase_totals[PHASE_OF_OPERATION[mission]] += duration
+    phases = {
+        phase: (phase_totals[phase], phase_totals[phase] / total)
+        for phase in DOMAIN_PHASES
+    }
+    return DomainBreakdown(
+        job_id=archive.job_id,
+        platform=archive.platform,
+        total=total,
+        operations=operations,
+        phases=phases,
+    )

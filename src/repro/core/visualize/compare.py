@@ -1,0 +1,86 @@
+"""Side-by-side decomposition rendering (Figure 5's actual layout).
+
+The paper's Figure 5 stacks both platforms' decomposition bars in one
+figure with a shared legend; this module renders that combined view from
+any number of archives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.model.library import DOMAIN_PHASES, PHASE_OF_OPERATION
+from repro.core.visualize.breakdown import DomainBreakdown, compute_breakdown
+from repro.core.visualize.palette import phase_color
+from repro.core.visualize.render_svg import SvgCanvas
+from repro.core.visualize.render_text import format_percent, format_seconds
+from repro.errors import VisualizationError
+
+
+def render_side_by_side_text(
+    breakdowns: Sequence[DomainBreakdown],
+    width: int = 60,
+) -> str:
+    """All decomposition bars stacked, as in the paper's Figure 5."""
+    if not breakdowns:
+        raise VisualizationError("nothing to render")
+    blocks: List[str] = []
+    for breakdown in breakdowns:
+        blocks.append(breakdown.render_text(width))
+    return ("\n" + "=" * (width + 2) + "\n").join(blocks)
+
+
+def render_side_by_side_svg(
+    breakdowns: Sequence[DomainBreakdown],
+    width: int = 680,
+    bar_height: int = 34,
+) -> str:
+    """One SVG with every platform's segmented bar and a shared legend."""
+    if not breakdowns:
+        raise VisualizationError("nothing to render")
+    margin = 70
+    row_height = bar_height + 52
+    legend_height = 28
+    height = legend_height + row_height * len(breakdowns) + 8
+    canvas = SvgCanvas(width, height)
+    usable = width - 2 * margin
+
+    # Shared legend (the three Figure 3 phases).
+    legend_x = float(margin)
+    for phase in DOMAIN_PHASES:
+        canvas.rect(legend_x, 8, 12, 12, fill=phase_color(phase))
+        canvas.text(legend_x + 16, 18, phase, size=10)
+        legend_x += 34 + 7.2 * len(phase)
+
+    for row, breakdown in enumerate(breakdowns):
+        top = legend_height + row * row_height
+        canvas.text(margin, top + 12,
+                    f"{breakdown.platform} ({format_seconds(breakdown.total)})",
+                    size=12)
+        x = float(margin)
+        bar_y = top + 18
+        for mission, _duration, share in breakdown.operations:
+            seg = share * usable
+            canvas.rect(x, bar_y, seg, bar_height,
+                        fill=phase_color(PHASE_OF_OPERATION[mission]),
+                        stroke="#ffffff", stroke_width=1)
+            if seg > 52:
+                canvas.text(x + 3, bar_y + bar_height / 2 + 4, mission,
+                            size=9, fill="#ffffff")
+            x += seg
+        # Percent axis under each bar.
+        for i in range(6):
+            frac = i / 5
+            tick_x = margin + frac * usable
+            canvas.line(tick_x, bar_y + bar_height,
+                        tick_x, bar_y + bar_height + 3)
+            canvas.text(tick_x - 12, bar_y + bar_height + 14,
+                        format_percent(frac), size=8)
+    return canvas.render()
+
+
+def side_by_side_from_archives(archives: Sequence) -> str:
+    """Convenience: compute breakdowns and render the combined SVG."""
+    return render_side_by_side_svg(
+        [compute_breakdown(a) for a in archives]
+    )

@@ -1,0 +1,43 @@
+"""Colors and phase styling shared by the SVG/HTML renderers.
+
+The paper's figures color by Figure 3 phase: Setup, Input/output,
+Processing.  The hex values approximate the paper's print palette.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.model.library import DOMAIN_PHASES, PHASE_OF_OPERATION
+
+#: Phase -> fill color (Figure 5 legend).
+PHASE_COLORS: Dict[str, str] = {
+    "Setup": "#9e9e9e",
+    "Input/output": "#e2574c",
+    "Processing": "#4a90d9",
+}
+
+#: Figure 8 legend: compute vs overhead.
+COMPUTE_COLOR = "#a7d3f5"
+OVERHEAD_COLOR = "#b5b5b5"
+
+#: Per-node line colors for the utilization charts (8 DAS5 nodes).
+NODE_COLORS = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+    "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+)
+
+
+def phase_of(mission: str) -> str:
+    """Figure 3 phase of a domain-level mission (empty when unmapped)."""
+    return PHASE_OF_OPERATION.get(mission, "")
+
+
+def phase_color(phase: str) -> str:
+    """Fill color of a phase (dark gray for unknown phases)."""
+    return PHASE_COLORS.get(phase, "#555555")
+
+
+def node_color(index: int) -> str:
+    """Line color of the index-th node."""
+    return NODE_COLORS[index % len(NODE_COLORS)]

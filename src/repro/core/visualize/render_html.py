@@ -1,0 +1,62 @@
+"""Standalone HTML performance reports.
+
+Bundles the Figure 5/6-7/8 SVGs and summary tables for one or more
+archives into a single self-contained HTML file — the shareable visual
+artifact of an evaluation iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.core.visualize.gantt import compute_gantt
+from repro.core.visualize.utilization import compute_utilization
+from repro.errors import VisualizationError
+
+_STYLE = """
+body { font-family: sans-serif; margin: 24px; color: #222; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }
+section { margin-bottom: 36px; }
+pre { background: #f6f6f6; padding: 8px; overflow-x: auto; font-size: 12px; }
+.meta { color: #666; font-size: 12px; }
+"""
+
+
+def render_report_html(
+    archives: Iterable[PerformanceArchive],
+    title: str = "Granula performance report",
+    include_gantt: bool = True,
+) -> str:
+    """One self-contained HTML report covering the given archives."""
+    sections: List[str] = []
+    for archive in archives:
+        parts: List[str] = [f"<h2>{archive.platform} — {archive.job_id}</h2>"]
+        meta = archive.metadata
+        parts.append(
+            f"<p class='meta'>algorithm={meta.get('algorithm', '?')} "
+            f"dataset={meta.get('dataset', '?')} "
+            f"makespan={archive.makespan:.2f}s "
+            f"operations={archive.size()}</p>"
+        )
+        breakdown = compute_breakdown(archive)
+        parts.append(breakdown.render_svg())
+        try:
+            utilization = compute_utilization(archive)
+            parts.append(utilization.render_svg())
+        except VisualizationError:
+            parts.append("<p class='meta'>no environment samples</p>")
+        if include_gantt:
+            try:
+                gantt = compute_gantt(archive)
+                parts.append(gantt.render_svg())
+            except VisualizationError:
+                pass  # Not every model reaches the implementation level.
+        sections.append("<section>" + "\n".join(parts) + "</section>")
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'/>"
+        f"<title>{title}</title><style>{_STYLE}</style></head>"
+        f"<body><h1>{title}</h1>\n{body}\n</body></html>"
+    )

@@ -1,0 +1,69 @@
+"""A minimal SVG document builder (no external dependencies)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and renders the final document."""
+
+    def __init__(self, width: int, height: int, background: str = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    def _attrs(self, **attrs) -> str:
+        parts = []
+        for key, value in attrs.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            parts.append(f"{name}={quoteattr(str(value))}")
+        return " ".join(parts)
+
+    def rect(self, x: float, y: float, w: float, h: float, **attrs) -> None:
+        """Add a rectangle."""
+        self._elements.append(
+            f"<rect x='{x:.2f}' y='{y:.2f}' width='{max(w, 0):.2f}' "
+            f"height='{max(h, 0):.2f}' {self._attrs(**attrs)}/>"
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, **attrs) -> None:
+        """Add a line segment."""
+        attrs.setdefault("stroke", "#333333")
+        self._elements.append(
+            f"<line x1='{x1:.2f}' y1='{y1:.2f}' x2='{x2:.2f}' "
+            f"y2='{y2:.2f}' {self._attrs(**attrs)}/>"
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], **attrs) -> None:
+        """Add an open polyline."""
+        attrs.setdefault("fill", "none")
+        attrs.setdefault("stroke", "#333333")
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f"<polyline points='{coords}' {self._attrs(**attrs)}/>"
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             **attrs) -> None:
+        """Add a text label."""
+        attrs.setdefault("fill", "#222222")
+        attrs.setdefault("font_family", "sans-serif")
+        self._elements.append(
+            f"<text x='{x:.2f}' y='{y:.2f}' font-size='{size}' "
+            f"{self._attrs(**attrs)}>{escape(content)}</text>"
+        )
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' "
+            f"width='{self.width}' height='{self.height}' "
+            f"viewBox='0 0 {self.width} {self.height}'>\n  {body}\n</svg>"
+        )

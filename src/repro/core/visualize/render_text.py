@@ -1,0 +1,74 @@
+"""Plain-text rendering primitives (bars, tables, sparklines)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar(fraction: float, width: int = 50, fill: str = "#") -> str:
+    """A horizontal bar covering ``fraction`` of ``width`` characters."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return fill * filled + "." * (width - filled)
+
+
+def segmented_bar(fractions: Sequence[float], symbols: Sequence[str],
+                  width: int = 60) -> str:
+    """One bar split into consecutive segments (the Figure 5 shape).
+
+    ``fractions`` must sum to <= 1; each segment is drawn with its symbol.
+    """
+    if len(fractions) != len(symbols):
+        raise ValueError("need one symbol per fraction")
+    cells: List[str] = []
+    for fraction, symbol in zip(fractions, symbols):
+        cells.extend([symbol] * int(round(max(fraction, 0.0) * width)))
+    # Rounding may over/undershoot by a cell or two.
+    if len(cells) > width:
+        cells = cells[:width]
+    cells.extend(["."] * (width - len(cells)))
+    return "".join(cells)
+
+
+def sparkline(values: Sequence[float], maximum: float = 0.0) -> str:
+    """A one-line sparkline of a numeric series."""
+    if not values:
+        return ""
+    peak = maximum if maximum > 0 else max(values)
+    if peak <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    top = len(_SPARK_LEVELS) - 1
+    for v in values:
+        idx = int(round(min(max(v / peak, 0.0), 1.0) * top))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A fixed-width text table with a header separator."""
+    columns = [list(col) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_seconds(value: float) -> str:
+    """Compact seconds formatting (``81.59s``)."""
+    return f"{value:.2f}s"
+
+
+def format_percent(fraction: float) -> str:
+    """Percent formatting with one decimal (``43.3%``)."""
+    return f"{fraction * 100:.1f}%"

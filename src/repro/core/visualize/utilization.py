@@ -1,0 +1,187 @@
+"""Per-node CPU utilization mapped to operations (Figures 6-7).
+
+The chart shows each node's "CPU time / second" series over the job
+window, with the domain-level operation boundaries drawn on top — the
+view that exposed Giraph's compute-heavy load and PowerGraph's
+single-node loader in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.model.library import DOMAIN_OPERATIONS
+from repro.core.visualize.palette import node_color
+from repro.core.visualize.render_svg import SvgCanvas
+from repro.core.visualize.render_text import format_seconds, sparkline, table
+from repro.errors import VisualizationError
+
+
+@dataclass
+class UtilizationChart:
+    """The Figures 6-7 data of one job.
+
+    Attributes:
+        job_id / platform: identification.
+        t0 / t1: job window.
+        series: node -> list of (timestamp, busy cores).
+        boundaries: (mission, start, end) of each domain operation.
+        peak: maximum sampled value across nodes (chart scaling).
+    """
+
+    job_id: str
+    platform: str
+    t0: float
+    t1: float
+    series: Dict[str, List[Tuple[float, float]]]
+    boundaries: List[Tuple[str, float, float]]
+    peak: float
+
+    def node_cpu_seconds(self) -> Dict[str, float]:
+        """Total CPU seconds per node over the window (step-weighted)."""
+        out: Dict[str, float] = {}
+        for node, points in self.series.items():
+            if len(points) >= 2:
+                step = points[1][0] - points[0][0]
+            else:
+                step = 1.0
+            out[node] = sum(v for _t, v in points) * step
+        return out
+
+    def cpu_seconds_by_operation(self) -> Dict[str, float]:
+        """Cluster CPU seconds attributed to each domain operation."""
+        out: Dict[str, float] = {}
+        for mission, start, end in self.boundaries:
+            total = 0.0
+            for points in self.series.values():
+                if len(points) >= 2:
+                    step = points[1][0] - points[0][0]
+                else:
+                    step = 1.0
+                total += sum(v for t, v in points if start <= t < end) * step
+            out[mission] = out.get(mission, 0.0) + total
+        return out
+
+    def busiest_node(self, mission: str) -> Tuple[str, float]:
+        """(node, cpu seconds) of the node busiest during an operation."""
+        windows = [b for b in self.boundaries if b[0] == mission]
+        if not windows:
+            raise VisualizationError(f"no boundary for operation {mission!r}")
+        best_node, best_cpu = "", -1.0
+        for node, points in self.series.items():
+            if len(points) >= 2:
+                step = points[1][0] - points[0][0]
+            else:
+                step = 1.0
+            cpu = sum(
+                v for t, v in points
+                if any(start <= t < end for _m, start, end in windows)
+            ) * step
+            if cpu > best_cpu:
+                best_node, best_cpu = node, cpu
+        return best_node, best_cpu
+
+    def render_text(self, width: int = 72) -> str:
+        """One sparkline row per node, plus the operation windows."""
+        lines = [
+            f"{self.platform} job {self.job_id}: CPU time/second per node "
+            f"(peak {self.peak:.1f} cores)"
+        ]
+        for node in sorted(self.series):
+            values = self._resample(self.series[node], width)
+            lines.append(f"{node:>10} |{sparkline(values, self.peak)}|")
+        rows = [
+            (mission, format_seconds(start - self.t0),
+             format_seconds(end - self.t0))
+            for mission, start, end in self.boundaries
+        ]
+        lines.append("")
+        lines.append(table(("Operation", "Begin", "End"), rows))
+        return "\n".join(lines)
+
+    def _resample(self, points: List[Tuple[float, float]], width: int) -> List[float]:
+        if not points:
+            return [0.0] * width
+        span = self.t1 - self.t0
+        buckets: List[List[float]] = [[] for _ in range(width)]
+        for t, v in points:
+            idx = min(int((t - self.t0) / span * width), width - 1) if span > 0 else 0
+            buckets[idx].append(v)
+        return [max(b) if b else 0.0 for b in buckets]
+
+    def render_svg(self, width: int = 720, height: int = 280) -> str:
+        """Figures 6-7 as an SVG line chart with operation bands."""
+        margin_l, margin_r, margin_t, margin_b = 52, 12, 28, 56
+        plot_w = width - margin_l - margin_r
+        plot_h = height - margin_t - margin_b
+        span = max(self.t1 - self.t0, 1e-9)
+        peak = max(self.peak, 1e-9)
+        canvas = SvgCanvas(width, height)
+        canvas.text(margin_l, 16,
+                    f"{self.platform} — CPU utilization ({self.job_id})",
+                    size=13)
+
+        def sx(t: float) -> float:
+            return margin_l + (t - self.t0) / span * plot_w
+
+        def sy(v: float) -> float:
+            return margin_t + plot_h - v / peak * plot_h
+
+        # Operation bands.
+        band_fills = ("#f3f3f3", "#e8eef6")
+        for i, (mission, start, end) in enumerate(self.boundaries):
+            canvas.rect(sx(start), margin_t, sx(end) - sx(start), plot_h,
+                        fill=band_fills[i % 2], stroke="none")
+            if sx(end) - sx(start) > 50:
+                canvas.text(sx(start) + 2, height - margin_b + 26, mission,
+                            size=9)
+        # Axes.
+        canvas.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+        canvas.line(margin_l, margin_t + plot_h, margin_l + plot_w,
+                    margin_t + plot_h)
+        for i in range(5):
+            v = peak * i / 4
+            canvas.text(4, sy(v) + 4, f"{v:.0f}", size=9)
+            t = self.t0 + span * i / 4
+            canvas.text(sx(t) - 10, margin_t + plot_h + 14,
+                        f"{t - self.t0:.0f}s", size=9)
+        # Node series.
+        for idx, node in enumerate(sorted(self.series)):
+            pts = [(sx(t), sy(v)) for t, v in self.series[node]]
+            if len(pts) >= 2:
+                canvas.polyline(pts, stroke=node_color(idx), stroke_width=1.4)
+            canvas.text(margin_l + plot_w - 70,
+                        margin_t + 12 + idx * 12, node, size=9,
+                        fill=node_color(idx))
+        return canvas.render()
+
+
+def compute_utilization(archive: PerformanceArchive) -> UtilizationChart:
+    """Extract the Figures 6-7 chart data from an archive."""
+    if not archive.env_samples:
+        raise VisualizationError(
+            f"archive {archive.job_id} carries no environment samples"
+        )
+    series = archive.node_env_series()
+    t0 = archive.root.start_time or 0.0
+    t1 = archive.root.end_time or t0
+    boundaries: List[Tuple[str, float, float]] = []
+    for mission in DOMAIN_OPERATIONS:
+        for op in archive.root.children_of(mission):
+            if op.start_time is not None and op.end_time is not None:
+                boundaries.append((mission, op.start_time, op.end_time))
+    boundaries.sort(key=lambda b: b[1])
+    peak = max(
+        (v for points in series.values() for _t, v in points), default=0.0
+    )
+    return UtilizationChart(
+        job_id=archive.job_id,
+        platform=archive.platform,
+        t0=t0,
+        t1=t1,
+        series=series,
+        boundaries=boundaries,
+        peak=peak,
+    )

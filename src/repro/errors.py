@@ -1,0 +1,86 @@
+"""Exception hierarchy for the Granula reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-hierarchies mirror the package layout: cluster
+simulation, graph substrate, platform engines, and the Granula core
+(modeling / monitoring / archiving / visualization).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ClusterError(ReproError):
+    """Errors in the simulated cluster environment."""
+
+
+class ClockError(ClusterError):
+    """Attempt to move a simulated clock backwards or misuse timers."""
+
+
+class ProvisioningError(ClusterError):
+    """Resource manager could not satisfy an allocation request."""
+
+
+class FileSystemError(ClusterError):
+    """Simulated filesystem failures (missing path, bad block, ...)."""
+
+
+class GraphError(ReproError):
+    """Errors in the graph substrate."""
+
+
+class GenerationError(GraphError):
+    """Invalid parameters for a synthetic graph generator."""
+
+
+class PartitionError(GraphError):
+    """Invalid partitioning request or corrupted partition state."""
+
+
+class PlatformError(ReproError):
+    """Errors raised by the platform engines (Pregel / GAS)."""
+
+
+class JobFailedError(PlatformError):
+    """A platform job aborted before completing."""
+
+
+class ModelError(ReproError):
+    """Errors in the Granula performance-model language."""
+
+
+class ModelValidationError(ModelError):
+    """A performance model is structurally invalid."""
+
+
+class MonitorError(ReproError):
+    """Errors while collecting platform or environment logs."""
+
+
+class LogParseError(MonitorError):
+    """A GRANULA log line could not be parsed."""
+
+    def __init__(self, line: str, reason: str):
+        super().__init__(f"cannot parse log line ({reason}): {line!r}")
+        self.line = line
+        self.reason = reason
+
+
+class ArchiveError(ReproError):
+    """Errors while building, serializing, or querying an archive."""
+
+
+class ArchiveBuildError(ArchiveError):
+    """Collected records could not be assembled into an archive."""
+
+
+class QueryError(ArchiveError):
+    """An archive query was malformed or matched nothing when required."""
+
+
+class VisualizationError(ReproError):
+    """Errors while rendering archives into visuals."""

@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(runner=None) -> ExperimentResult`` producing
+both the data rows and a printable rendering; the benchmark harness and
+:mod:`repro.experiments.report` (which writes EXPERIMENTS.md) both build
+on them.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.table1_platforms import run_table1
+from repro.experiments.fig3_breakdown import run_fig3
+from repro.experiments.fig4_model import run_fig4
+from repro.experiments.fig5_decomposition import run_fig5
+from repro.experiments.fig6_giraph_cpu import run_fig6
+from repro.experiments.fig7_powergraph_cpu import run_fig7
+from repro.experiments.fig8_superstep import run_fig8
+from repro.experiments.ext_hadoop_baseline import run_hadoop_baseline
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_hadoop_baseline",
+]

@@ -1,0 +1,67 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one paper artifact.
+
+    Attributes:
+        experiment_id: ``"table1"``, ``"fig5"``, ...
+        title: the paper artifact's caption, abbreviated.
+        paper: the paper's reported numbers/claims, as label -> value.
+        measured: our measured values, aligned with ``paper`` labels
+            where a quantitative comparison exists.
+        checks: (claim, holds) pairs — the qualitative shape assertions
+            ("PowerGraph I/O dominates", "Compute-4 longest", ...).
+        text: printable rendering of the artifact.
+        data: extra machine-readable payload for downstream use.
+    """
+
+    experiment_id: str
+    title: str
+    paper: Dict[str, Any] = field(default_factory=dict)
+    measured: Dict[str, Any] = field(default_factory=dict)
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+    text: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every qualitative shape check holds."""
+        return all(ok for _claim, ok in self.checks)
+
+    def summary_line(self) -> str:
+        """One status line for harness output."""
+        status = "OK" if self.all_checks_pass else "SHAPE MISMATCH"
+        return (
+            f"[{self.experiment_id}] {self.title}: {status} "
+            f"({sum(ok for _c, ok in self.checks)}/{len(self.checks)} checks)"
+        )
+
+
+_SHARED_RUNNER: Optional[WorkloadRunner] = None
+
+
+def shared_runner() -> WorkloadRunner:
+    """A process-wide runner so experiments reuse each other's runs.
+
+    Figures 5, 6 and 8 all analyze the same Giraph BFS job (as the paper
+    does); sharing the runner means that job executes once.
+    """
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = WorkloadRunner()
+    return _SHARED_RUNNER
+
+
+#: The paper's headline workloads.
+GIRAPH_BFS = WorkloadSpec("Giraph", "bfs", "dg1000-scaled", workers=8)
+POWERGRAPH_BFS = WorkloadSpec("PowerGraph", "bfs", "dg1000-scaled", workers=8)

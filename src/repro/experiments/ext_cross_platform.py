@@ -1,0 +1,86 @@
+"""Extension experiment: four-platform cross-comparison.
+
+The payoff of identical domain-level models (Section 3.4): one table
+comparing every platform with a working engine — the paper's two systems
+under test plus the Hadoop baseline and the PGX.D-style engine — on the
+same BFS workload, with Ts/Td/Tp derived uniformly from the archives.
+
+Expected shape (from Table 1's positioning and the platforms' papers):
+PGX.D fastest overall, Giraph beating PowerGraph end-to-end despite the
+slower processing phase, Hadoop slowest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.comparison import compare_platforms
+from repro.experiments.common import (
+    ExperimentResult,
+    GIRAPH_BFS,
+    POWERGRAPH_BFS,
+    shared_runner,
+)
+from repro.experiments.ext_hadoop_baseline import HADOOP_BFS
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+PGXD_BFS = WorkloadSpec("PGX.D", "bfs", "dg1000-scaled", workers=8)
+
+
+def run_cross_platform(
+    runner: Optional[WorkloadRunner] = None,
+) -> ExperimentResult:
+    """BFS on dg1000-scaled across all four working engines."""
+    runner = runner or shared_runner()
+    archives = [
+        runner.run(spec).archive
+        for spec in (GIRAPH_BFS, POWERGRAPH_BFS, HADOOP_BFS, PGXD_BFS)
+    ]
+    report = compare_platforms(archives)
+    order = [m.platform for m in report.metrics]
+    by_platform = {m.platform: m for m in report.metrics}
+    speedups = report.speedup("total_s")
+
+    checks = [
+        ("PGX.D is the fastest platform end-to-end",
+         order[0] == "PGX.D"),
+        ("Hadoop is the slowest platform end-to-end",
+         order[-1] == "Hadoop"),
+        ("Giraph beats PowerGraph end-to-end (the Fig. 5 result)",
+         order.index("Giraph") < order.index("PowerGraph")),
+        ("PowerGraph's processing beats Giraph's (the Fig. 5 nuance)",
+         by_platform["PowerGraph"].processing_s
+         < by_platform["Giraph"].processing_s),
+        ("specialized platforms beat the general one by design "
+         "(every specialized total < Hadoop's)",
+         all(by_platform[p].total_s < by_platform["Hadoop"].total_s
+             for p in ("Giraph", "PowerGraph", "PGX.D"))),
+    ]
+    text = "\n\n".join([
+        "Extension: four-platform comparison "
+        "(BFS, dg1000-scaled, 8 nodes)",
+        report.render_text(),
+        "slowdown vs fastest: " + ", ".join(
+            f"{platform} {factor:.1f}x"
+            for platform, factor in sorted(speedups.items(),
+                                           key=lambda kv: kv[1])
+        ),
+    ])
+    return ExperimentResult(
+        experiment_id="ext-cross-platform",
+        title="Four-platform cross-comparison (Section 3.4 metrics)",
+        paper={
+            "premise": "identical domain-level operations enable "
+                       "cross-platform comparison and benchmarking",
+        },
+        measured={
+            "order_fastest_first": order,
+            "totals_s": {m.platform: round(m.total_s, 1)
+                         for m in report.metrics},
+            "processing_s": {m.platform: round(m.processing_s, 1)
+                             for m in report.metrics},
+        },
+        checks=checks,
+        text=text,
+    )

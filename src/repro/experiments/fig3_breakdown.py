@@ -1,0 +1,75 @@
+"""Figure 3: the high-level breakdown of a graph processing job.
+
+The figure is conceptual — five operations grouped into three phases —
+so the reproduction checks that the domain-level model encodes exactly
+that structure, and that both platform models refine it (which is what
+makes the Ts/Td/Tp cross-platform metrics well-defined).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.library import (
+    DOMAIN_OPERATIONS,
+    DOMAIN_PHASES,
+    PHASE_OF_OPERATION,
+    domain_level_model,
+)
+from repro.core.model.powergraph_model import powergraph_model
+from repro.core.visualize.render_text import table
+from repro.experiments.common import ExperimentResult
+from repro.workloads.runner import WorkloadRunner
+
+#: The paper's phase -> operations mapping (Section 3.4 + Figure 3).
+_PAPER_STRUCTURE = {
+    "Setup": ("Startup", "Cleanup"),
+    "Input/output": ("LoadGraph", "OffloadGraph"),
+    "Processing": ("ProcessGraph",),
+}
+
+
+def run_fig3(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
+    """Regenerate the Figure 3 phase structure from the domain model."""
+    model = domain_level_model()
+    domain_ops = tuple(c.mission for c in model.root.children)
+
+    structure_ok = all(
+        all(PHASE_OF_OPERATION[op] == phase for op in ops)
+        for phase, ops in _PAPER_STRUCTURE.items()
+    )
+    giraph = giraph_model()
+    powergraph = powergraph_model()
+    refine_ok = all(
+        tuple(c.mission for c in m.root.children) == DOMAIN_OPERATIONS
+        for m in (giraph, powergraph)
+    )
+
+    checks = [
+        ("five domain operations in workflow order",
+         domain_ops == DOMAIN_OPERATIONS),
+        ("three phases: Setup, Input/output, Processing",
+         tuple(DOMAIN_PHASES) == ("Setup", "Input/output", "Processing")),
+        ("operations map to the paper's phases", structure_ok),
+        ("both platform models refine the identical domain level",
+         refine_ok),
+    ]
+    rows = [
+        (op, PHASE_OF_OPERATION[op], model.root.child(op).description)
+        for op in DOMAIN_OPERATIONS
+    ]
+    text = (
+        "Figure 3: high-level breakdown of a graph processing job\n"
+        + table(("Operation", "Phase", "Meaning"), rows)
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="High-level breakdown of a graph processing job",
+        paper={"phases": list(DOMAIN_PHASES),
+               "operations": list(DOMAIN_OPERATIONS)},
+        measured={"phases": list(DOMAIN_PHASES),
+                  "operations": list(domain_ops)},
+        checks=checks,
+        text=text,
+    )

@@ -1,0 +1,68 @@
+"""Figure 4: the 4-level Granula performance model of Giraph."""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.validation import validate_model
+from repro.experiments.common import ExperimentResult
+from repro.workloads.runner import WorkloadRunner
+
+#: Operations the paper's Figure 4 names, per level.
+_PAPER_LEVEL_OPS = {
+    1: {"GiraphJob", "Startup", "LoadGraph", "ProcessGraph",
+        "OffloadGraph", "Cleanup"},
+    2: {"JobStartup", "LaunchWorkers", "LoadHdfsData", "Superstep",
+        "OffloadHdfsData", "JobCleanup"},
+    3: {"LocalStartup", "LocalLoad", "LocalSuperstep", "SyncZookeeper",
+        "LocalOffload", "AbortWorkers", "ClientCleanup", "ServerCleanup",
+        "ZkCleanup"},
+    4: {"PreStep", "Compute", "Message", "PostStep"},
+}
+
+
+def run_fig4(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
+    """Regenerate the Figure 4 model tree and verify its structure."""
+    model = giraph_model()
+    problems = validate_model(model, strict=False)
+
+    measured_levels = {}
+    for level in (1, 2, 3, 4):
+        measured_levels[level] = {
+            node.mission for node in model.at_level(level)
+        }
+    # The model may extend Figure 4 (e.g. RecoverWorker for the
+    # failure-diagnosis future-work feature); every operation the paper
+    # names must be present, and extras must be documented extensions.
+    _KNOWN_EXTENSIONS = {"RecoverWorker"}
+    level_checks = [
+        (f"level {level} covers all Figure 4 operations",
+         _PAPER_LEVEL_OPS[level] <= measured_levels[level])
+        for level in (1, 2, 3, 4)
+    ]
+    extras = set().union(*measured_levels.values()) - set().union(
+        *_PAPER_LEVEL_OPS.values())
+    level_checks.append(
+        ("operations beyond Figure 4 are documented extensions",
+         extras <= _KNOWN_EXTENSIONS)
+    )
+    checks = [
+        ("model is structurally valid", not problems),
+        ("model spans exactly 4 levels", model.max_level() == 4),
+        *level_checks,
+        ("Superstep decomposes into PreStep/Compute/Message/PostStep",
+         {c.mission for c in model.find("LocalSuperstep").children}
+         == {"PreStep", "Compute", "Message", "PostStep"}),
+    ]
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="A Granula performance model of Giraph (4 levels)",
+        paper={f"level{l}": sorted(ops) for l, ops in _PAPER_LEVEL_OPS.items()},
+        measured={f"level{l}": sorted(ops)
+                  for l, ops in measured_levels.items()},
+        checks=checks,
+        text="Figure 4: Granula performance model of Giraph\n"
+             + model.render_tree(),
+        data={"operations": model.size()},
+    )

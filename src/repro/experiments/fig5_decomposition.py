@@ -1,0 +1,93 @@
+"""Figure 5: job decomposition at the domain level.
+
+BFS on dg1000 with 8 nodes, Giraph vs PowerGraph.  The paper reports:
+
+- Giraph: setup 30.9%, input/output 43.3%, processing 25.8% of 81.59 s.
+- PowerGraph: input/output 94.8%, processing < 3.1% of 400.38 s, despite
+  a faster processing time than Giraph's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.visualize.render_text import table
+from repro.experiments.common import (
+    ExperimentResult,
+    GIRAPH_BFS,
+    POWERGRAPH_BFS,
+    shared_runner,
+)
+from repro.workloads.runner import WorkloadRunner
+
+#: Paper-reported shares (percent) and totals (seconds).
+PAPER_GIRAPH = {"Setup": 30.9, "Input/output": 43.3, "Processing": 25.8,
+                "total_s": 81.59}
+PAPER_POWERGRAPH = {"Input/output": 94.8, "Processing": 3.1,
+                    "total_s": 400.38}
+
+#: Tolerance on reproduced shares (percentage points).
+SHARE_TOLERANCE = 6.0
+
+
+def run_fig5(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
+    """Reproduce the Figure 5 decomposition for both platforms."""
+    runner = runner or shared_runner()
+    giraph = runner.run(GIRAPH_BFS).breakdown
+    powergraph = runner.run(POWERGRAPH_BFS).breakdown
+
+    g_shares = {phase: share * 100 for phase, (_d, share)
+                in giraph.phases.items()}
+    p_shares = {phase: share * 100 for phase, (_d, share)
+                in powergraph.phases.items()}
+
+    giraph_processing_s = giraph.phases["Processing"][0]
+    powergraph_processing_s = powergraph.phases["Processing"][0]
+
+    checks = [
+        *(
+            (f"Giraph {phase} share within {SHARE_TOLERANCE:.0f}pp of "
+             f"{PAPER_GIRAPH[phase]:.1f}%",
+             abs(g_shares[phase] - PAPER_GIRAPH[phase]) <= SHARE_TOLERANCE)
+            for phase in ("Setup", "Input/output", "Processing")
+        ),
+        ("PowerGraph input/output dominates (>= 90%)",
+         p_shares["Input/output"] >= 90.0),
+        ("PowerGraph processing share small (<= 5%)",
+         p_shares["Processing"] <= 5.0),
+        ("PowerGraph processing absolutely faster than Giraph's",
+         powergraph_processing_s < giraph_processing_s),
+        ("PowerGraph total runtime a multiple of Giraph's (3-7x)",
+         3.0 <= powergraph.total / giraph.total <= 7.0),
+    ]
+    rows = [
+        ("Giraph", f"{giraph.total:.2f}", f"{g_shares['Setup']:.1f}",
+         f"{g_shares['Input/output']:.1f}", f"{g_shares['Processing']:.1f}"),
+        ("paper", f"{PAPER_GIRAPH['total_s']:.2f}", "30.9", "43.3", "25.8"),
+        ("PowerGraph", f"{powergraph.total:.2f}", f"{p_shares['Setup']:.1f}",
+         f"{p_shares['Input/output']:.1f}", f"{p_shares['Processing']:.1f}"),
+        ("paper", f"{PAPER_POWERGRAPH['total_s']:.2f}", "-", ">= 94.8",
+         "< 3.1"),
+    ]
+    text = "\n\n".join([
+        "Figure 5: job decomposition at the domain level "
+        "(BFS, dg1000-scaled, 8 nodes)",
+        giraph.render_text(),
+        powergraph.render_text(),
+        table(("System", "Total (s)", "Setup %", "I/O %", "Processing %"),
+              rows),
+    ])
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Job decomposition at the domain level",
+        paper={"giraph": PAPER_GIRAPH, "powergraph": PAPER_POWERGRAPH},
+        measured={
+            "giraph": {**{k: round(v, 1) for k, v in g_shares.items()},
+                       "total_s": round(giraph.total, 2)},
+            "powergraph": {**{k: round(v, 1) for k, v in p_shares.items()},
+                           "total_s": round(powergraph.total, 2)},
+        },
+        checks=checks,
+        text=text,
+        data={"giraph": giraph, "powergraph": powergraph},
+    )

@@ -1,0 +1,76 @@
+"""Figure 8: compute-workload distribution among workers.
+
+The paper's observations to reproduce:
+
+1. Compute workload is not distributed evenly among supersteps;
+   Compute-4 takes significantly longer than the others.
+2. Workload is not balanced among workers: within a superstep some
+   workers compute while others wait at the barrier.
+3. Superstep synchronization shows as significant overhead (visible
+   PreStep/PostStep idle time around Compute).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import ExperimentResult, GIRAPH_BFS, shared_runner
+from repro.workloads.runner import WorkloadRunner
+
+#: The paper's dominant superstep.
+PAPER_DOMINANT = 4
+
+
+def run_fig8(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
+    """Reproduce the Figure 8 per-worker superstep gantt."""
+    runner = runner or shared_runner()
+    iteration = runner.run(GIRAPH_BFS)
+    gantt = iteration.gantt
+    if gantt is None:
+        raise RuntimeError("Giraph model did not reach implementation level")
+
+    dominant = gantt.dominant_superstep()
+    compute_per_step: Dict[int, float] = {}
+    for span in gantt.spans:
+        compute_per_step[span.superstep] = (
+            compute_per_step.get(span.superstep, 0.0) + span.compute_duration
+        )
+    others = [v for k, v in compute_per_step.items() if k != dominant]
+    dominance = (
+        compute_per_step[dominant] / max(others) if others else float("inf")
+    )
+    imbalance = gantt.imbalance(dominant)
+    overhead = gantt.overhead_fraction()
+
+    checks = [
+        (f"dominant superstep is Compute-{PAPER_DOMINANT}",
+         dominant == PAPER_DOMINANT),
+        ("dominant superstep significantly longer than any other (>1.3x)",
+         dominance > 1.3),
+        ("workload imbalanced among workers in the dominant superstep "
+         "(max/mean > 1.1)", imbalance > 1.1),
+        ("synchronization overhead is significant (> 10% of span time)",
+         overhead > 0.10),
+        ("all 8 workers appear", len(gantt.workers) == 8),
+    ]
+    text = ("Figure 8: compute-workload distribution among workers\n"
+            + gantt.render_text())
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Compute-workload distribution among workers",
+        paper={
+            "dominant_superstep": PAPER_DOMINANT,
+            "observation": "imbalance among supersteps and workers; "
+                           "significant synchronization overhead",
+        },
+        measured={
+            "dominant_superstep": dominant,
+            "dominance_ratio": round(dominance, 2),
+            "worker_imbalance": round(imbalance, 3),
+            "overhead_fraction": round(overhead, 3),
+            "supersteps": len(gantt.supersteps),
+        },
+        checks=checks,
+        text=text,
+        data={"gantt": gantt},
+    )

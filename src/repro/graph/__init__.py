@@ -1,0 +1,21 @@
+"""Graph substrate: data structures, formats, generators, partitioners.
+
+The paper's workload is BFS over an LDBC Datagen graph.  This package
+provides everything the platform engines need: an in-memory directed graph,
+CSR and Giraph-like vertex-store representations, text edge-list files,
+synthetic generators (including an LDBC-Datagen-like social network), and
+the partitioning strategies that distinguish Giraph (hash edge-cut) from
+PowerGraph (greedy vertex-cut).
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.csr import CsrGraph
+from repro.graph.edgelist import EdgeList, parse_edge_list, render_edge_list
+
+__all__ = [
+    "Graph",
+    "CsrGraph",
+    "EdgeList",
+    "parse_edge_list",
+    "render_edge_list",
+]

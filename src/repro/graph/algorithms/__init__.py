@@ -1,0 +1,24 @@
+"""Single-node reference implementations of the Graphalytics algorithms.
+
+These are the ground truth the platform engines are validated against:
+BFS, PageRank, weakly connected components (WCC), single-source shortest
+paths (SSSP), community detection by label propagation (CDLP), and local
+clustering coefficient (LCC) — the suite of LDBC Graphalytics, the
+benchmark this paper's evaluation methodology extends.
+"""
+
+from repro.graph.algorithms.bfs import bfs_levels
+from repro.graph.algorithms.pagerank import pagerank
+from repro.graph.algorithms.wcc import weakly_connected_components
+from repro.graph.algorithms.sssp import sssp_distances
+from repro.graph.algorithms.cdlp import label_propagation
+from repro.graph.algorithms.lcc import local_clustering_coefficient
+
+__all__ = [
+    "bfs_levels",
+    "pagerank",
+    "weakly_connected_components",
+    "sssp_distances",
+    "label_propagation",
+    "local_clustering_coefficient",
+]

@@ -1,0 +1,57 @@
+"""Breadth-first search reference implementation.
+
+BFS is the algorithm of the paper's entire evaluation (Figures 5-8): the
+per-superstep frontier sizes it produces drive the compute-imbalance
+visualization of Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+#: Level assigned to vertices unreachable from the source.
+UNREACHED = -1
+
+
+def bfs_levels(graph: Graph, source: int) -> Dict[int, int]:
+    """Hop distance from ``source`` for every vertex.
+
+    Unreachable vertices get :data:`UNREACHED` (-1), matching the
+    Graphalytics output convention.
+    """
+    if not (0 <= source < graph.num_vertices):
+        raise GraphError(
+            f"source {source} out of range [0, {graph.num_vertices})"
+        )
+    levels = {v: UNREACHED for v in graph.vertices()}
+    levels[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        next_level = levels[v] + 1
+        for u in graph.out_neighbors(v):
+            if levels[u] == UNREACHED:
+                levels[u] = next_level
+                queue.append(u)
+    return levels
+
+
+def frontier_sizes(graph: Graph, source: int) -> List[int]:
+    """Number of vertices first reached at each hop, starting at hop 0.
+
+    ``frontier_sizes(g, s)[k]`` is the size of BFS frontier ``k``; the
+    list ends at the last non-empty frontier.  Superstep ``k`` of a Pregel
+    BFS processes exactly this frontier, so the list's shape is the shape
+    of Figure 8.
+    """
+    levels = bfs_levels(graph, source)
+    reached = [lvl for lvl in levels.values() if lvl != UNREACHED]
+    depth = max(reached)
+    sizes = [0] * (depth + 1)
+    for lvl in reached:
+        sizes[lvl] += 1
+    return sizes

@@ -1,0 +1,43 @@
+"""Community detection by label propagation (CDLP).
+
+The Graphalytics variant: labels start as vertex ids; each round every
+vertex adopts the most frequent label among its incoming neighbors
+(ties broken toward the smallest label); runs a fixed number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def label_propagation(graph: Graph, iterations: int = 10) -> Dict[int, int]:
+    """CDLP labels after ``iterations`` synchronous rounds."""
+    if iterations < 0:
+        raise GraphError(f"negative iteration count: {iterations}")
+    labels = {v: v for v in graph.vertices()}
+    for _ in range(iterations):
+        new_labels: Dict[int, int] = {}
+        for v in graph.vertices():
+            freq: Dict[int, int] = {}
+            for u in graph.in_neighbors(v):
+                lbl = labels[u]
+                freq[lbl] = freq.get(lbl, 0) + 1
+            if not freq:
+                new_labels[v] = labels[v]
+                continue
+            best_count = max(freq.values())
+            new_labels[v] = min(
+                lbl for lbl, c in freq.items() if c == best_count
+            )
+        if new_labels == labels:
+            break
+        labels = new_labels
+    return labels
+
+
+def community_count(labels: Dict[int, int]) -> int:
+    """Number of distinct communities in a labeling."""
+    return len(set(labels.values()))

@@ -1,0 +1,43 @@
+"""Local clustering coefficient (LCC).
+
+Graphalytics definition: for vertex v with undirected neighborhood N(v),
+LCC(v) is the number of directed edges among N(v) divided by
+|N(v)| * (|N(v)| - 1); vertices with fewer than two neighbors get 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.graph import Graph
+
+
+def local_clustering_coefficient(graph: Graph) -> Dict[int, float]:
+    """LCC value per vertex."""
+    result: Dict[int, float] = {}
+    neighbor_sets = {
+        v: set(graph.neighbors_undirected(v)) for v in graph.vertices()
+    }
+    for v in graph.vertices():
+        neigh = graph.neighbors_undirected(v)
+        k = len(neigh)
+        if k < 2:
+            result[v] = 0.0
+            continue
+        links = 0
+        neigh_set = neighbor_sets[v]
+        for u in neigh:
+            # Count directed edges u -> w with w also a neighbor of v.
+            for w in graph.out_neighbors(u):
+                if w != u and w != v and w in neigh_set:
+                    links += 1
+        result[v] = links / (k * (k - 1))
+    return result
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean LCC over all vertices (0.0 for the empty graph)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    lcc = local_clustering_coefficient(graph)
+    return sum(lcc.values()) / graph.num_vertices

@@ -1,0 +1,52 @@
+"""PageRank reference implementation (power iteration)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    iterations: int = 20,
+    tolerance: float = 0.0,
+) -> Dict[int, float]:
+    """PageRank by power iteration with dangling-mass redistribution.
+
+    Runs ``iterations`` rounds, stopping early when the L1 change drops
+    below ``tolerance`` (0 disables early stopping, which keeps the
+    iteration count deterministic for platform comparison).
+    """
+    if not (0.0 < damping < 1.0):
+        raise GraphError(f"damping must lie in (0, 1), got {damping}")
+    if iterations < 0:
+        raise GraphError(f"negative iteration count: {iterations}")
+    n = graph.num_vertices
+    if n == 0:
+        return {}
+    rank = {v: 1.0 / n for v in graph.vertices()}
+    base = (1.0 - damping) / n
+    for _ in range(iterations):
+        dangling = sum(
+            rank[v] for v in graph.vertices() if graph.out_degree(v) == 0
+        )
+        incoming = {v: 0.0 for v in graph.vertices()}
+        for v in graph.vertices():
+            deg = graph.out_degree(v)
+            if deg == 0:
+                continue
+            share = rank[v] / deg
+            for u in graph.out_neighbors(v):
+                incoming[u] += share
+        new_rank = {
+            v: base + damping * (incoming[v] + dangling / n)
+            for v in graph.vertices()
+        }
+        delta = sum(abs(new_rank[v] - rank[v]) for v in graph.vertices())
+        rank = new_rank
+        if tolerance > 0 and delta < tolerance:
+            break
+    return rank

@@ -1,0 +1,61 @@
+"""Weakly connected components via union-find."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.graph import Graph
+
+
+class _UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, v: int) -> int:
+        """Root of ``v``'s set, with path compression."""
+        root = v
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[v] != root:
+            self.parent[v], v = root, self.parent[v]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing ``a`` and ``b``."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def weakly_connected_components(graph: Graph) -> Dict[int, int]:
+    """Component label per vertex; the label is the smallest member id.
+
+    Edge direction is ignored (weak connectivity), matching the
+    Graphalytics WCC definition.
+    """
+    uf = _UnionFind(graph.num_vertices)
+    for src, dst in graph.edges():
+        uf.union(src, dst)
+    # Normalize: label every vertex with the minimum id of its component.
+    min_of_root: Dict[int, int] = {}
+    for v in graph.vertices():
+        root = uf.find(v)
+        if root not in min_of_root or v < min_of_root[root]:
+            min_of_root[root] = v
+    return {v: min_of_root[uf.find(v)] for v in graph.vertices()}
+
+
+def component_sizes(graph: Graph) -> List[int]:
+    """Sizes of all weakly connected components, descending."""
+    labels = weakly_connected_components(graph)
+    counts: Dict[int, int] = {}
+    for label in labels.values():
+        counts[label] = counts.get(label, 0) + 1
+    return sorted(counts.values(), reverse=True)

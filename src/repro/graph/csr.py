@@ -1,0 +1,100 @@
+"""Compressed sparse row (CSR) representation.
+
+Table 1 lists CSR as the data format of PGX.D, OpenG and TOTEM; the GAS
+engine also finalizes its loaded edge lists into CSR before processing.
+Backed by numpy arrays for compactness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class CsrGraph:
+    """Directed graph in CSR form: ``indptr`` (n+1) and ``indices`` (m).
+
+    Out-neighbors of vertex ``v`` are
+    ``indices[indptr[v]:indptr[v+1]]``, sorted ascending.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional")
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise GraphError("indptr must start with 0")
+        if indptr[-1] != len(indices):
+            raise GraphError(
+                f"indptr ends at {indptr[-1]} but there are {len(indices)} indices"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("indices out of vertex range")
+        self.indptr = indptr
+        self.indices = indices
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CsrGraph":
+        """Convert an adjacency :class:`Graph` into CSR."""
+        n = graph.num_vertices
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + graph.out_degree(v)
+        indices = np.empty(graph.num_edges, dtype=np.int64)
+        pos = 0
+        for v in range(n):
+            neigh = graph.out_neighbors(v)
+            indices[pos:pos + len(neigh)] = neigh
+            pos += len(neigh)
+        return cls(indptr, indices)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.indices)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` as a numpy view."""
+        if not (0 <= v < self.num_vertices):
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        """Number of out-edges of ``v``."""
+        if not (0 <= v < self.num_vertices):
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        return np.diff(self.indptr)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All (src, dst) pairs, sorted by src then dst."""
+        for v in range(self.num_vertices):
+            for dst in self.out_neighbors(v):
+                yield (v, int(dst))
+
+    def to_graph(self) -> Graph:
+        """Convert back into an adjacency :class:`Graph`."""
+        return Graph(self.num_vertices, self.edges())
+
+    def nbytes(self) -> int:
+        """Memory footprint of the two index arrays."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+    def __repr__(self) -> str:
+        return f"CsrGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,102 @@
+"""Edge-list text format.
+
+PowerGraph loads edge-based text files ("src dst" per line) from local or
+shared storage (Table 1).  The functions here render and parse that format
+and estimate its on-disk size, so the simulated filesystems can charge
+realistic I/O time while the engines really consume the edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Edge, Graph
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """An edge list plus its declared vertex-id space.
+
+    Attributes:
+        num_vertices: size of the id space (vertices may be isolated).
+        edges: (src, dst) tuples; order is meaningful (file order).
+    """
+
+    num_vertices: int
+    edges: Tuple[Edge, ...]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "EdgeList":
+        """Extract the edge list of a graph."""
+        return cls(graph.num_vertices, tuple(graph.edges()))
+
+    def to_graph(self) -> Graph:
+        """Materialize the edge list as a graph."""
+        return Graph(self.num_vertices, self.edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the list."""
+        return len(self.edges)
+
+    def text_size_bytes(self) -> int:
+        """Exact size of the rendered text file in bytes."""
+        total = 0
+        for src, dst in self.edges:
+            total += len(str(src)) + 1 + len(str(dst)) + 1
+        return total
+
+
+def render_edge_list(edge_list: EdgeList) -> str:
+    """Render as one ``"src dst\\n"`` line per edge."""
+    return "".join(f"{src} {dst}\n" for src, dst in edge_list.edges)
+
+
+def parse_edge_list(text: str, num_vertices: int) -> EdgeList:
+    """Parse the text format back into an :class:`EdgeList`.
+
+    Blank lines and ``#`` comment lines are ignored, matching the common
+    SNAP/Graphalytics conventions.
+    """
+    edges: List[Edge] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"line {lineno}: expected 'src dst', got {line!r}"
+            )
+        try:
+            src, dst = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise GraphError(
+                f"line {lineno}: non-integer vertex id in {line!r}"
+            ) from None
+        if not (0 <= src < num_vertices and 0 <= dst < num_vertices):
+            raise GraphError(
+                f"line {lineno}: edge ({src}, {dst}) out of range "
+                f"for {num_vertices} vertices"
+            )
+        edges.append((src, dst))
+    return EdgeList(num_vertices, tuple(edges))
+
+
+def split_edges(edge_list: EdgeList, parts: int) -> List[EdgeList]:
+    """Split an edge list into ``parts`` contiguous chunks (file splits)."""
+    if parts <= 0:
+        raise GraphError(f"parts must be positive, got {parts}")
+    chunks: List[EdgeList] = []
+    m = edge_list.num_edges
+    base, extra = divmod(m, parts)
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(
+            EdgeList(edge_list.num_vertices, edge_list.edges[start:start + size])
+        )
+        start += size
+    return chunks

@@ -1,0 +1,60 @@
+"""R-MAT / stochastic Kronecker graph generator.
+
+R-MAT is the generator behind Graph500 and many graph-processing papers;
+it produces skewed, community-ish graphs from four quadrant probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GenerationError
+from repro.graph.graph import Graph
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 42,
+) -> Graph:
+    """An R-MAT graph with ``2**scale`` vertices, ``edge_factor * n`` edges.
+
+    ``a``, ``b``, ``c`` are the upper-left, upper-right and lower-left
+    quadrant probabilities; the lower-right gets the remainder.  Duplicate
+    edges and self-loops are dropped, so the realized edge count is
+    slightly below the nominal one — as in Graph500 itself.
+    """
+    if scale < 0:
+        raise GenerationError(f"negative scale: {scale}")
+    if edge_factor < 0:
+        raise GenerationError(f"negative edge factor: {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or a + b + c > 1.0 + 1e-12:
+        raise GenerationError(
+            f"quadrant probabilities invalid: a={a}, b={b}, c={c}"
+        )
+    n = 1 << scale
+    target = edge_factor * n
+    rng = random.Random(seed)
+    edges: set = set()
+    for _ in range(target):
+        src = dst = 0
+        for _level in range(scale):
+            r = rng.random()
+            src <<= 1
+            dst <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                dst |= 1
+            elif r < a + b + c:
+                src |= 1
+            else:
+                src |= 1
+                dst |= 1
+        if src != dst:
+            edges.add((src, dst))
+    return Graph(n, sorted(edges))

@@ -1,0 +1,44 @@
+"""Uniform (Erdos-Renyi style) random graph generator."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GenerationError
+from repro.graph.graph import Graph
+
+
+def uniform_random_graph(num_vertices: int, num_edges: int, seed: int = 42) -> Graph:
+    """A directed G(n, m) graph with edges sampled uniformly without repeat.
+
+    Self-loops are excluded.  Raises when ``num_edges`` exceeds the number
+    of possible directed edges.
+    """
+    if num_vertices <= 0:
+        raise GenerationError(f"need at least one vertex, got {num_vertices}")
+    if num_edges < 0:
+        raise GenerationError(f"negative edge count: {num_edges}")
+    max_edges = num_vertices * (num_vertices - 1)
+    if num_edges > max_edges:
+        raise GenerationError(
+            f"{num_edges} edges impossible: max is {max_edges} "
+            f"for {num_vertices} vertices"
+        )
+    rng = random.Random(seed)
+    edges: set = set()
+    # Dense requests enumerate and sample; sparse requests rejection-sample.
+    if num_edges > max_edges // 2:
+        all_edges = [
+            (s, t)
+            for s in range(num_vertices)
+            for t in range(num_vertices)
+            if s != t
+        ]
+        chosen = rng.sample(all_edges, num_edges)
+        return Graph(num_vertices, chosen)
+    while len(edges) < num_edges:
+        s = rng.randrange(num_vertices)
+        t = rng.randrange(num_vertices)
+        if s != t:
+            edges.add((s, t))
+    return Graph(num_vertices, sorted(edges))

@@ -1,0 +1,153 @@
+"""In-memory directed graph with contiguous vertex ids."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """A directed graph over vertices ``0 .. n-1``.
+
+    The out-adjacency is built eagerly; the in-adjacency and the undirected
+    view are derived lazily and cached.  Self-loops are permitted; parallel
+    edges are collapsed.
+    """
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge]):
+        if num_vertices < 0:
+            raise GraphError(f"negative vertex count: {num_vertices}")
+        self._n = num_vertices
+        out: List[List[int]] = [[] for _ in range(num_vertices)]
+        seen = set()
+        m = 0
+        for src, dst in edges:
+            if not (0 <= src < num_vertices and 0 <= dst < num_vertices):
+                raise GraphError(
+                    f"edge ({src}, {dst}) out of range for {num_vertices} vertices"
+                )
+            if (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            out[src].append(dst)
+            m += 1
+        for adj in out:
+            adj.sort()
+        self._out = out
+        self._m = m
+        self._in: Optional[List[List[int]]] = None
+        self._undirected: Optional[List[List[int]]] = None
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (parallel edges collapsed)."""
+        return self._m
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """All (src, dst) pairs, sorted by src then dst."""
+        for src in range(self._n):
+            for dst in self._out[src]:
+                yield (src, dst)
+
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        """Out-neighbors of ``v``, sorted."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        """In-neighbors of ``v``, sorted (built lazily)."""
+        self._check_vertex(v)
+        if self._in is None:
+            inc: List[List[int]] = [[] for _ in range(self._n)]
+            for src in range(self._n):
+                for dst in self._out[src]:
+                    inc[dst].append(src)
+            for adj in inc:
+                adj.sort()
+            self._in = inc
+        return self._in[v]
+
+    def neighbors_undirected(self, v: int) -> Sequence[int]:
+        """Distinct neighbors of ``v`` ignoring direction and self-loops."""
+        self._check_vertex(v)
+        if self._undirected is None:
+            und: List[set] = [set() for _ in range(self._n)]
+            for src in range(self._n):
+                for dst in self._out[src]:
+                    if src != dst:
+                        und[src].add(dst)
+                        und[dst].add(src)
+            self._undirected = [sorted(s) for s in und]
+        return self._undirected[v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of out-edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of in-edges of ``v``."""
+        return len(self.in_neighbors(v))
+
+    def degree_undirected(self, v: int) -> int:
+        """Number of distinct undirected neighbors of ``v``."""
+        return len(self.neighbors_undirected(v))
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True when the directed edge (src, dst) exists (binary search)."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        adj = self._out[src]
+        lo, hi = 0, len(adj)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if adj[mid] < dst:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(adj) and adj[lo] == dst
+
+    def reversed(self) -> "Graph":
+        """A new graph with every edge direction flipped."""
+        return Graph(self._n, ((dst, src) for src, dst in self.edges()))
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Mapping out-degree -> number of vertices with that degree."""
+        hist: Dict[int, int] = {}
+        for v in range(self._n):
+            d = len(self._out[v])
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def max_out_degree(self) -> int:
+        """Largest out-degree, 0 for an empty graph."""
+        if self._n == 0:
+            return 0
+        return max(len(adj) for adj in self._out)
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._n):
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._out == other._out
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are not dict keys
+        return id(self)

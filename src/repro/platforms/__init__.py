@@ -1,0 +1,28 @@
+"""Graph-processing platform engines.
+
+Two fully working engines mirror the paper's systems under test:
+
+- :mod:`repro.platforms.pregel` — a Giraph-like BSP engine (Pregel
+  programming model, Yarn provisioning, HDFS input, superstep barriers).
+- :mod:`repro.platforms.gas` — a PowerGraph-like engine (Gather-Apply-
+  Scatter, MPI provisioning, sequential load from local/shared storage,
+  greedy vertex-cut placement).
+
+Both really execute graph algorithms (validated against
+:mod:`repro.graph.algorithms`), charge simulated time through
+:mod:`repro.platforms.costmodel`, and emit GRANULA-format platform logs.
+:mod:`repro.platforms.registry` carries the Table 1 metadata for all seven
+surveyed platforms.
+"""
+
+from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.registry import PLATFORM_TABLE, PlatformInfo, platform_info
+
+__all__ = [
+    "JobRequest",
+    "JobResult",
+    "Platform",
+    "PLATFORM_TABLE",
+    "PlatformInfo",
+    "platform_info",
+]

@@ -1,0 +1,128 @@
+"""Platform interface: job requests, job results, and the Platform ABC."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.errors import PlatformError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A request to run one graph-processing job.
+
+    Attributes:
+        algorithm: algorithm name; both engines implement ``"bfs"``,
+            ``"pagerank"``, ``"wcc"``, ``"sssp"``, ``"cdlp"`` and
+            ``"lcc"``.
+        dataset: name of a dataset previously deployed on the platform
+            (see :meth:`Platform.deploy_dataset`).
+        workers: number of workers (one per node).
+        params: algorithm parameters, e.g. ``{"source": 0}`` for BFS and
+            SSSP, ``{"iterations": 20}`` for PageRank/CDLP.
+        job_id: explicit job id; auto-generated when empty.
+    """
+
+    algorithm: str
+    dataset: str
+    workers: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    job_id: str = ""
+
+
+@dataclass
+class JobResult:
+    """Outcome of a platform job.
+
+    Attributes:
+        job_id: the id the platform assigned.
+        algorithm: echo of the request.
+        dataset: echo of the request.
+        output: per-vertex results (levels, ranks, labels, ...).
+        started_at: simulated job start time.
+        finished_at: simulated job end time.
+        log_lines: GRANULA-format platform log of the run.
+        stats: engine statistics (supersteps, messages, bytes loaded, ...).
+    """
+
+    job_id: str
+    algorithm: str
+    dataset: str
+    output: Dict[int, Any]
+    started_at: float
+    finished_at: float
+    log_lines: List[str] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end job runtime in simulated seconds."""
+        return self.finished_at - self.started_at
+
+
+class Platform(abc.ABC):
+    """Common surface of the two platform engines.
+
+    Lifecycle: construct over a :class:`~repro.cluster.cluster.Cluster`,
+    :meth:`deploy_dataset` once per graph, then :meth:`run_job` any number
+    of times.  Implementations emit GRANULA platform logs and charge all
+    activity to the cluster's clock and CPU accounts.
+    """
+
+    #: Platform name as it appears in Table 1 (subclasses override).
+    name: str = "abstract"
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._datasets: Dict[str, Any] = {}
+        self._job_counter = 0
+
+    @abc.abstractmethod
+    def deploy_dataset(self, name: str, graph: Graph) -> None:
+        """Stage ``graph`` on the platform's storage system under ``name``.
+
+        Giraph writes a vertex-store file into HDFS; PowerGraph writes an
+        edge-list file into the shared filesystem.  Deployment happens
+        before the measured job and costs no job time.
+        """
+
+    @abc.abstractmethod
+    def run_job(self, request: JobRequest) -> JobResult:
+        """Execute one job end-to-end and return its result.
+
+        The engine resets per-run cluster state (clock, CPU accounting)
+        itself so consecutive jobs start at time zero, like the per-job
+        analysis in the paper.
+        """
+
+    def has_dataset(self, name: str) -> bool:
+        """True when ``name`` was deployed."""
+        return name in self._datasets
+
+    def _next_job_id(self, request: JobRequest) -> str:
+        if request.job_id:
+            return request.job_id
+        self._job_counter += 1
+        return f"{self.name}-job-{self._job_counter:04d}"
+
+    def _require_dataset(self, name: str) -> Any:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise PlatformError(
+                f"{self.name}: dataset {name!r} not deployed "
+                f"(available: {sorted(self._datasets)})"
+            ) from None
+
+    def _check_workers(self, workers: int) -> None:
+        if workers <= 0:
+            raise PlatformError(f"worker count must be positive: {workers}")
+        if workers > self.cluster.size:
+            raise PlatformError(
+                f"{workers} workers requested but cluster has only "
+                f"{self.cluster.size} nodes"
+            )

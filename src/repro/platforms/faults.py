@@ -1,0 +1,70 @@
+"""Fault injection for the platform engines.
+
+Supports the failure-diagnosis future-work item: inject the two failure
+modes a performance analyst actually meets — persistently slow nodes
+(bad hardware, noisy neighbors) and a worker crash with checkpoint
+recovery (Giraph restarts the superstep after relaunching the container).
+Results stay correct; only the *performance* signature changes, which is
+exactly what Granula is supposed to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Faults to inject into one job execution.
+
+    Attributes:
+        slow_nodes: node name -> slowdown factor (> 1.0) applied to that
+            node's compute time every superstep (a straggler).
+        crash_worker: 0-based worker index that crashes (None = no crash).
+        crash_superstep: superstep during which the crash happens.
+        recovery_s: container relaunch + checkpoint restore latency paid
+            before the crashed worker's superstep work is redone.
+    """
+
+    slow_nodes: Dict[str, float] = field(default_factory=dict)
+    crash_worker: Optional[int] = None
+    crash_superstep: Optional[int] = None
+    recovery_s: float = 7.5
+
+    def __post_init__(self) -> None:
+        for node, factor in self.slow_nodes.items():
+            if factor <= 1.0:
+                raise PlatformError(
+                    f"slow-node factor for {node!r} must exceed 1.0, "
+                    f"got {factor}"
+                )
+        if (self.crash_worker is None) != (self.crash_superstep is None):
+            raise PlatformError(
+                "crash_worker and crash_superstep must be set together"
+            )
+        if self.crash_worker is not None and self.crash_worker < 0:
+            raise PlatformError(
+                f"crash_worker must be >= 0, got {self.crash_worker}"
+            )
+        if self.crash_superstep is not None and self.crash_superstep < 0:
+            raise PlatformError(
+                f"crash_superstep must be >= 0, got {self.crash_superstep}"
+            )
+        if self.recovery_s <= 0:
+            raise PlatformError(
+                f"recovery_s must be positive, got {self.recovery_s}"
+            )
+
+    def slow_factor(self, node_name: str) -> float:
+        """Compute-slowdown factor of a node (1.0 when healthy)."""
+        return self.slow_nodes.get(node_name, 1.0)
+
+    def crashes_at(self, worker: int, superstep: int) -> bool:
+        """Whether this (worker, superstep) is the injected crash."""
+        return (
+            self.crash_worker == worker
+            and self.crash_superstep == superstep
+        )

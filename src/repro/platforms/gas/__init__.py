@@ -1,0 +1,19 @@
+"""PowerGraph-like Gather-Apply-Scatter engine.
+
+A working implementation of the GAS abstraction [Gonzalez et al.,
+OSDI'12] as deployed by PowerGraph 2.2: vertex-cut edge placement with
+replicated vertices, a synchronous engine with gather/apply/scatter
+minor-steps, MPI-style provisioning, and — crucially for the paper's
+Figure 7 — a *sequential, single-rank* input loading path.
+"""
+
+from repro.platforms.gas.api import GasContext, GasProgram
+from repro.platforms.gas.engine import PowerGraphPlatform
+from repro.platforms.gas.algorithms import GAS_ALGORITHMS
+
+__all__ = [
+    "GasContext",
+    "GasProgram",
+    "PowerGraphPlatform",
+    "GAS_ALGORITHMS",
+]

@@ -1,0 +1,265 @@
+"""The Graphalytics algorithms expressed as GAS vertex programs.
+
+Each is validated against :mod:`repro.graph.algorithms` by the test
+suite.  BFS — the paper's workload — gathers the minimum parent distance
+over in-edges and scatters activation along out-edges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.errors import PlatformError
+from repro.graph.algorithms.bfs import UNREACHED
+from repro.graph.algorithms.sssp import INFINITY, default_weight
+from repro.graph.graph import Graph
+from repro.platforms.gas.api import GasContext, GasProgram
+
+
+class BfsGas(GasProgram):
+    """BFS: hop distance via min-gather over in-edges."""
+
+    gather_direction = "in"
+    scatter_direction = "out"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial_value(self, vertex: int, graph: Graph) -> float:
+        return 0.0 if vertex == self.source else INFINITY
+
+    def initial_active(self, graph: Graph):
+        return [self.source]
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: float,
+               graph: Graph) -> float:
+        return neighbor_value + 1.0
+
+    def merge(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def apply(self, vertex: int, value: float, total: Optional[float],
+              ctx: GasContext) -> float:
+        if total is None:
+            return value
+        return min(value, total)
+
+    def output_value(self, vertex: int, value: float) -> int:
+        return UNREACHED if math.isinf(value) else int(value)
+
+
+class SsspGas(GasProgram):
+    """SSSP: weighted min-gather over in-edges."""
+
+    gather_direction = "in"
+    scatter_direction = "out"
+
+    def __init__(self, source: int, weight=default_weight):
+        self.source = source
+        self.weight = weight
+
+    def initial_value(self, vertex: int, graph: Graph) -> float:
+        return 0.0 if vertex == self.source else INFINITY
+
+    def initial_active(self, graph: Graph):
+        return [self.source]
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: float,
+               graph: Graph) -> float:
+        return neighbor_value + self.weight(neighbor, vertex)
+
+    def merge(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def apply(self, vertex: int, value: float, total: Optional[float],
+              ctx: GasContext) -> float:
+        if total is None:
+            return value
+        return min(value, total)
+
+
+class WccGas(GasProgram):
+    """WCC: min-label propagation over both edge directions."""
+
+    gather_direction = "both"
+    scatter_direction = "both"
+
+    def initial_value(self, vertex: int, graph: Graph) -> int:
+        return vertex
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: int,
+               graph: Graph) -> int:
+        return neighbor_value
+
+    def merge(self, a: int, b: int) -> int:
+        return min(a, b)
+
+    def apply(self, vertex: int, value: int, total: Optional[int],
+              ctx: GasContext) -> int:
+        if total is None:
+            return value
+        return min(value, total)
+
+
+class PageRankGas(GasProgram):
+    """PageRank with global dangling-mass redistribution.
+
+    A positive ``tolerance`` stops the engine once an iteration's total
+    rank change drops below it (the reference's convergence mode).
+    """
+
+    gather_direction = "in"
+    scatter_direction = "none"
+    needs_all_active = True
+
+    def __init__(self, iterations: int = 20, damping: float = 0.85,
+                 tolerance: float = 0.0):
+        if iterations < 0:
+            raise PlatformError(f"negative iteration count: {iterations}")
+        if not (0.0 < damping < 1.0):
+            raise PlatformError(f"damping must lie in (0, 1): {damping}")
+        if tolerance < 0:
+            raise PlatformError(f"negative tolerance: {tolerance}")
+        self.iterations = iterations
+        self.damping = damping
+        self.tolerance = tolerance
+        self.max_iterations = iterations
+
+    def post_iteration(self, old_values, new_values, iteration) -> bool:
+        if self.tolerance <= 0:
+            return False
+        delta = sum(
+            abs(new_values[v] - old_values[v]) for v in new_values
+        )
+        return delta < self.tolerance
+
+    def initial_value(self, vertex: int, graph: Graph) -> float:
+        return 1.0 / graph.num_vertices
+
+    def pre_iteration(self, values: Dict[int, float], graph: Graph) -> Dict[str, Any]:
+        dangling = sum(
+            values[v] for v in graph.vertices() if graph.out_degree(v) == 0
+        )
+        return {"dangling": dangling}
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: float,
+               graph: Graph) -> float:
+        return neighbor_value / graph.out_degree(neighbor)
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+    def apply(self, vertex: int, value: float, total: Optional[float],
+              ctx: GasContext) -> float:
+        n = ctx.num_vertices
+        incoming = total if total is not None else 0.0
+        dangling = ctx.globals.get("dangling", 0.0)
+        return (1.0 - self.damping) / n + self.damping * (
+            incoming + dangling / n
+        )
+
+
+class CdlpGas(GasProgram):
+    """CDLP: label histogram gather over in-edges, fixed rounds."""
+
+    gather_direction = "in"
+    scatter_direction = "none"
+    needs_all_active = True
+
+    def __init__(self, iterations: int = 10):
+        if iterations < 0:
+            raise PlatformError(f"negative iteration count: {iterations}")
+        self.iterations = iterations
+        self.max_iterations = iterations
+
+    def initial_value(self, vertex: int, graph: Graph) -> int:
+        return vertex
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: int,
+               graph: Graph) -> Dict[int, int]:
+        return {neighbor_value: 1}
+
+    def merge(self, a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+        merged = dict(a)
+        for label, count in b.items():
+            merged[label] = merged.get(label, 0) + count
+        return merged
+
+    def apply(self, vertex: int, value: int, total: Optional[Dict[int, int]],
+              ctx: GasContext) -> int:
+        if not total:
+            return value
+        best_count = max(total.values())
+        return min(l for l, c in total.items() if c == best_count)
+
+
+class LccGas(GasProgram):
+    """LCC in one iteration: gather neighbor adjacency, apply the count."""
+
+    gather_direction = "both"
+    scatter_direction = "none"
+    needs_all_active = True
+    max_iterations = 1
+
+    def initial_value(self, vertex: int, graph: Graph) -> float:
+        return 0.0
+
+    def gather(self, neighbor: int, vertex: int, neighbor_value: Any,
+               graph: Graph) -> Dict[int, tuple]:
+        return {neighbor: tuple(graph.out_neighbors(neighbor))}
+
+    def merge(self, a: Dict[int, tuple], b: Dict[int, tuple]) -> Dict[int, tuple]:
+        merged = dict(a)
+        merged.update(b)
+        return merged
+
+    def apply(self, vertex: int, value: float, total: Optional[Dict[int, tuple]],
+              ctx: GasContext) -> float:
+        if not total:
+            return 0.0
+        neighborhood = {u for u in total if u != vertex}
+        k = len(neighborhood)
+        if k < 2:
+            return 0.0
+        links = 0
+        for u in neighborhood:
+            for w in total[u]:
+                if w != u and w != vertex and w in neighborhood:
+                    links += 1
+        return links / (k * (k - 1))
+
+
+#: Names accepted by :func:`make_gas_program`.
+GAS_ALGORITHMS = ("bfs", "pagerank", "wcc", "sssp", "cdlp", "lcc")
+
+
+def make_gas_program(algorithm: str, params: Dict[str, Any],
+                     graph: Graph) -> GasProgram:
+    """Instantiate the GAS program for ``algorithm`` with ``params``."""
+    name = algorithm.lower()
+    if name == "bfs":
+        source = params.get("source", 0)
+        if not (0 <= source < graph.num_vertices):
+            raise PlatformError(f"BFS source {source} out of range")
+        return BfsGas(source)
+    if name == "pagerank":
+        return PageRankGas(
+            iterations=params.get("iterations", 20),
+            damping=params.get("damping", 0.85),
+            tolerance=params.get("tolerance", 0.0),
+        )
+    if name == "wcc":
+        return WccGas()
+    if name == "sssp":
+        source = params.get("source", 0)
+        if not (0 <= source < graph.num_vertices):
+            raise PlatformError(f"SSSP source {source} out of range")
+        return SsspGas(source, weight=params.get("weight", default_weight))
+    if name == "cdlp":
+        return CdlpGas(iterations=params.get("iterations", 10))
+    if name == "lcc":
+        return LccGas()
+    raise PlatformError(
+        f"unknown algorithm {algorithm!r}; supported: {GAS_ALGORITHMS}"
+    )

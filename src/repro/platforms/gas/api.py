@@ -1,0 +1,113 @@
+"""The Gather-Apply-Scatter vertex-program API.
+
+A :class:`GasProgram` defines, per vertex: how to *gather* contributions
+over incident edges, how to combine them (``merge``), how to *apply* the
+combined value, and whether the change *scatters* activation to
+neighbors.  The synchronous engine (:mod:`repro.platforms.gas.sync_engine`)
+runs programs over a vertex-cut edge placement.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, Optional
+
+from repro.graph.graph import Graph
+
+
+class GasContext:
+    """Per-iteration global context available in ``apply``.
+
+    Attributes:
+        iteration: current iteration index, starting at 0.
+        num_vertices: vertex count of the input graph.
+        globals: values computed by ``pre_iteration`` (e.g. PageRank's
+            dangling mass), empty when the hook is not overridden.
+    """
+
+    def __init__(self, num_vertices: int):
+        self.num_vertices = num_vertices
+        self.iteration = 0
+        self.globals: Dict[str, Any] = {}
+
+
+class GasProgram(abc.ABC):
+    """A GAS algorithm.
+
+    Class attributes configure engine behaviour:
+
+    - :attr:`gather_direction`: ``"in"``, ``"out"``, ``"both"`` or
+      ``"none"`` — which incident edges feed ``gather``.
+    - :attr:`scatter_direction`: which incident edges propagate
+      activation when ``scatter_activates`` returns True.
+    - :attr:`needs_all_active`: run every vertex every iteration
+      (fixed-round algorithms like PageRank/CDLP).
+    - :attr:`max_iterations`: hard bound; ``None`` runs to quiescence.
+    """
+
+    gather_direction: str = "in"
+    scatter_direction: str = "out"
+    needs_all_active: bool = False
+    max_iterations: Optional[int] = None
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int, graph: Graph) -> Any:
+        """Vertex value before the first iteration."""
+
+    def initial_active(self, graph: Graph) -> Iterable[int]:
+        """Initially active vertices (default: all)."""
+        return graph.vertices()
+
+    def pre_iteration(self, values: Dict[int, Any], graph: Graph) -> Dict[str, Any]:
+        """Global reductions computed before each iteration (optional)."""
+        return {}
+
+    def post_iteration(
+        self,
+        old_values: Dict[int, Any],
+        new_values: Dict[int, Any],
+        iteration: int,
+    ) -> bool:
+        """Convergence check after an iteration (optional).
+
+        Return True to stop the engine (PageRank's tolerance mode).  The
+        engine only snapshots ``old_values`` for programs that override
+        this hook, so the default costs nothing.
+        """
+        return False
+
+    #: Engines snapshot pre-iteration values only when this is True
+    #: (set automatically for programs overriding ``post_iteration``).
+    @property
+    def wants_post_iteration(self) -> bool:
+        return type(self).post_iteration is not GasProgram.post_iteration
+
+    @abc.abstractmethod
+    def gather(self, neighbor: int, vertex: int, neighbor_value: Any,
+               graph: Graph) -> Any:
+        """Contribution of one incident edge to ``vertex``'s accumulator."""
+
+    @abc.abstractmethod
+    def merge(self, a: Any, b: Any) -> Any:
+        """Combine two gather contributions (must be associative)."""
+
+    @abc.abstractmethod
+    def apply(self, vertex: int, value: Any, total: Optional[Any],
+              ctx: GasContext) -> Any:
+        """New vertex value from the old value and the gathered total.
+
+        ``total`` is ``None`` when no incident edge produced a
+        contribution (e.g. a vertex without in-edges).
+        """
+
+    def scatter_activates(self, vertex: int, old_value: Any,
+                          new_value: Any) -> bool:
+        """Whether neighbors along the scatter edges activate next round.
+
+        Default: activate on any value change.
+        """
+        return new_value != old_value
+
+    def output_value(self, vertex: int, value: Any) -> Any:
+        """Map the final internal value to the job output."""
+        return value

@@ -1,0 +1,333 @@
+"""The PowerGraph-like platform engine.
+
+Job workflow (mirrored in the PowerGraph performance model)::
+
+    PowerGraphJob
+      Startup        MpiStartup
+      LoadGraph      StreamEdges (rank 0, sequential!),
+                     FinalizeGraph -> LocalFinalize per rank
+      ProcessGraph   Iteration-k -> Gather-k, Apply-k, Scatter-k per rank
+                     and BarrierSync-k
+      OffloadGraph   WriteResults (rank 0)
+      Cleanup        MpiFinalize
+
+The engine really executes the GAS program over a greedy vertex-cut and
+charges simulated time per phase; the sequential StreamEdges phase on a
+single rank is what reproduces Figures 5 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.provisioning import MpiLauncher
+from repro.errors import JobFailedError, PlatformError
+from repro.graph.edgelist import EdgeList, render_edge_list
+from repro.graph.graph import Graph
+from repro.graph.partition.vertexcut import (
+    VertexCut,
+    greedy_vertex_cut,
+    random_vertex_cut,
+)
+from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.costmodel import PowerGraphCostModel, execution_jitter
+from repro.platforms.gas.algorithms import make_gas_program
+from repro.platforms.gas.loader import plan_sequential_load
+from repro.platforms.gas.sync_engine import SyncGasEngine
+from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
+
+#: Wire bytes per replica synchronization at a barrier.
+_SYNC_WIRE_BYTES = 24
+
+
+@dataclass
+class _Deployed:
+    """A dataset staged as an edge file on the shared filesystem."""
+
+    path: str
+    graph: Graph
+    edge_list: EdgeList
+    size_bytes: int
+
+
+class PowerGraphPlatform(Platform):
+    """GAS engine with MPI provisioning and sequential shared-FS input."""
+
+    name = "PowerGraph"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model: Optional[PowerGraphCostModel] = None,
+        ingress: str = "greedy",
+    ):
+        """``ingress`` picks the edge-placement strategy, like
+        PowerGraph's ``--graph_opts ingress=`` option: ``"greedy"``
+        (oblivious heuristic, the default) or ``"random"`` (hashed)."""
+        super().__init__(cluster)
+        self.cost = cost_model or PowerGraphCostModel()
+        self.mpi = MpiLauncher(cluster.nodes, cluster.clock, cluster.trace)
+        if ingress not in ("greedy", "random"):
+            raise PlatformError(
+                f"unknown ingress {ingress!r}; choose 'greedy' or 'random'"
+            )
+        self.ingress = ingress
+
+    # -- dataset staging ---------------------------------------------------
+
+    def deploy_dataset(self, name: str, graph: Graph) -> None:
+        """Write ``graph`` as an edge-list file on the shared filesystem."""
+        if not name:
+            raise PlatformError("dataset name must be non-empty")
+        edge_list = EdgeList.from_graph(graph)
+        path = f"/data/{name}.el"
+        size = edge_list.text_size_bytes()
+        self.cluster.shared_fs.put(path, size, payload=edge_list)
+        self._datasets[name] = _Deployed(path, graph, edge_list, size)
+
+    # -- job execution -------------------------------------------------------
+
+    def run_job(self, request: JobRequest) -> JobResult:
+        self._check_workers(request.workers)
+        deployed: _Deployed = self._require_dataset(request.dataset)
+        graph = deployed.graph
+        program = make_gas_program(request.algorithm, request.params, graph)
+        job_id = self._next_job_id(request)
+
+        self.cluster.reset()
+        clock = self.cluster.clock
+        writer = GranulaLogWriter(job_id, clock)
+        rank_nodes: List[Node] = self.cluster.nodes[: request.workers]
+
+        started_at = clock.now()
+        root = writer.start("PowerGraphJob", "MpiClient")
+        writer.info(root, "Algorithm", request.algorithm)
+        writer.info(root, "Dataset", request.dataset)
+        writer.info(root, "Ranks", request.workers)
+
+        allocation = self._run_startup(writer, root, rank_nodes)
+        engine, load_stats = self._run_load(
+            writer, root, deployed, request.workers, rank_nodes, program
+        )
+        process_stats = self._run_process(writer, root, engine, rank_nodes)
+        offload_bytes = self._run_offload(writer, root, engine, rank_nodes, job_id)
+        self._run_cleanup(writer, root, allocation)
+
+        writer.end(root)
+        writer.assert_all_closed()
+        finished_at = clock.now()
+
+        output = engine.output()
+        if len(output) != graph.num_vertices:
+            raise JobFailedError(
+                f"{job_id}: output covers {len(output)} of "
+                f"{graph.num_vertices} vertices"
+            )
+        stats = dict(load_stats)
+        stats.update(process_stats)
+        stats["offload_bytes"] = offload_bytes
+        return JobResult(
+            job_id=job_id,
+            algorithm=request.algorithm,
+            dataset=request.dataset,
+            output=output,
+            started_at=started_at,
+            finished_at=finished_at,
+            log_lines=list(writer.lines),
+            stats=stats,
+        )
+
+    # -- phases --------------------------------------------------------------
+
+    def _run_startup(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        rank_nodes: List[Node],
+    ):
+        startup = writer.start("Startup", "MpiClient", root)
+        mpi_op = writer.start("MpiStartup", "Mpirun", startup)
+        allocation = self.mpi.launch(len(rank_nodes))
+        writer.end(mpi_op)
+        writer.end(startup)
+        return allocation
+
+    def _run_load(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        deployed: _Deployed,
+        num_ranks: int,
+        rank_nodes: List[Node],
+        program,
+    ):
+        clock = self.cluster.clock
+        cost = self.cost
+
+        if self.ingress == "greedy":
+            cut = greedy_vertex_cut(deployed.graph, num_ranks)
+        else:
+            cut = random_vertex_cut(deployed.graph, num_ranks)
+        engine = SyncGasEngine(deployed.graph, cut, program)
+        plan = plan_sequential_load(
+            self.cluster.shared_fs, deployed.path, deployed.edge_list,
+            cut, self.cluster.network, cost,
+        )
+
+        load = writer.start("LoadGraph", "MpiClient", root)
+
+        # Sequential stream on rank 0; other ranks idle.
+        t0 = clock.now()
+        stream = writer.start("StreamEdges", "Rank-0", load, ts=t0)
+        writer.info(stream, "BytesRead", plan.bytes_read)
+        writer.info(stream, "EdgesParsed", plan.edges_parsed)
+        rank_nodes[0].work(t0, plan.stream_s, cost.load_cores, "powergraph:stream")
+        for node in rank_nodes[1:]:
+            node.work(t0, plan.stream_s, cost.idle_cores, "powergraph:idlewait")
+        clock.advance(plan.stream_s)
+        writer.end(stream)
+
+        # Parallel finalize: all ranks build their local structures.
+        t1 = clock.now()
+        finalize = writer.start("FinalizeGraph", "Engine", load, ts=t1)
+        span = 0.0
+        for rank, node in enumerate(rank_nodes):
+            duration = plan.finalize_s[rank]
+            node.work(t1, duration, cost.finalize_cores, "powergraph:finalize")
+            local = writer.span(
+                "LocalFinalize", f"Rank-{rank}", finalize, t1, t1 + duration
+            )
+            writer.info(
+                local, "LocalEdges", engine.ranks[rank].edge_count,
+                ts=t1 + duration,
+            )
+            span = max(span, duration)
+        clock.advance(span)
+        writer.end(finalize)
+        writer.end(load)
+
+        stats = {
+            "bytes_read": plan.bytes_read,
+            "edges_parsed": plan.edges_parsed,
+            "replication_factor": cut.replication_factor(),
+        }
+        return engine, stats
+
+    def _run_process(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        engine: SyncGasEngine,
+        rank_nodes: List[Node],
+    ) -> Dict[str, Any]:
+        clock = self.cluster.clock
+        cost = self.cost
+        network = self.cluster.network
+        num_ranks = len(rank_nodes)
+
+        process = writer.start("ProcessGraph", "Engine", root)
+        iteration = 0
+        total_gather = 0
+        total_scatter = 0
+        while not engine.finished:
+            t0 = clock.now()
+            it_op = writer.start(f"Iteration-{iteration}", "Engine", process, ts=t0)
+            work = engine.step()
+
+            busy_ends: List[float] = []
+            for rank, node in enumerate(rank_nodes):
+                rname = f"Rank-{rank}"
+                jitter = execution_jitter(
+                    rank, iteration, cost.compute_jitter
+                )
+                gather_t = work.gather_edges[rank] * cost.gather_edge_s * jitter
+                apply_t = work.apply_vertices[rank] * cost.apply_vertex_s * jitter
+                scatter_t = work.scatter_edges[rank] * cost.scatter_edge_s * jitter
+                sync_t = work.replica_syncs[rank] * cost.sync_replica_s
+                g_end = t0 + gather_t
+                a_end = g_end + apply_t
+                s_end = a_end + scatter_t + sync_t
+                gather_op = writer.span(
+                    f"Gather-{iteration}", rname, it_op, t0, g_end
+                )
+                writer.info(gather_op, "EdgesGathered",
+                            work.gather_edges[rank], ts=g_end)
+                writer.span(f"Apply-{iteration}", rname, it_op, g_end, a_end)
+                scatter_op = writer.span(
+                    f"Scatter-{iteration}", rname, it_op, a_end, s_end
+                )
+                writer.info(scatter_op, "EdgesScattered",
+                            work.scatter_edges[rank], ts=s_end)
+                duration = s_end - t0
+                if duration > 0:
+                    node.work(t0, duration, cost.compute_cores,
+                              "powergraph:compute")
+                busy_ends.append(s_end)
+
+            barrier_base = max(busy_ends)
+            barrier_end = barrier_base + network.allreduce_time(
+                _SYNC_WIRE_BYTES, num_ranks
+            )
+            for node, busy_end in zip(rank_nodes, busy_ends):
+                if barrier_end > busy_end:
+                    node.work(busy_end, barrier_end - busy_end,
+                              cost.idle_cores, "powergraph:barrier")
+            writer.span(
+                f"BarrierSync-{iteration}", "Engine", it_op,
+                barrier_base, barrier_end,
+            )
+            writer.info(it_op, "ActiveVertices", work.active, ts=barrier_end)
+            writer.info(it_op, "ChangedVertices", work.changed, ts=barrier_end)
+            writer.end(it_op, ts=barrier_end)
+            clock.advance_to(barrier_end)
+
+            total_gather += sum(work.gather_edges)
+            total_scatter += sum(work.scatter_edges)
+            iteration += 1
+
+        writer.end(process)
+        return {
+            "iterations": iteration,
+            "gather_edges": total_gather,
+            "scatter_edges": total_scatter,
+        }
+
+    def _run_offload(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        engine: SyncGasEngine,
+        rank_nodes: List[Node],
+        job_id: str,
+    ) -> int:
+        clock = self.cluster.clock
+        cost = self.cost
+
+        offload = writer.start("OffloadGraph", "MpiClient", root)
+        results = writer.start("WriteResults", "Rank-0", offload)
+        output = engine.output()
+        nbytes = sum(
+            len(str(v)) + 1 + len(str(val)) + 1 for v, val in output.items()
+        )
+        duration = (
+            self.cluster.shared_fs.write_time(nbytes)
+            + len(output) * cost.offload_vertex_s
+        )
+        rank_nodes[0].work(clock.now(), duration, 2.0, "powergraph:offload")
+        clock.advance(duration)
+        self.cluster.shared_fs.put(f"/data/output/{job_id}", nbytes)
+        writer.info(results, "BytesWritten", nbytes)
+        writer.end(results)
+        writer.end(offload)
+        return nbytes
+
+    def _run_cleanup(self, writer: GranulaLogWriter, root: OpenOperation,
+                     allocation) -> None:
+        cleanup = writer.start("Cleanup", "MpiClient", root)
+        fin = writer.start("MpiFinalize", "Mpirun", cleanup)
+        self.mpi.finalize(allocation, teardown_s=self.cost.finalize_mpi_s)
+        writer.end(fin)
+        writer.end(cleanup)

@@ -1,0 +1,22 @@
+"""Hadoop-like MapReduce engine.
+
+The paper's introduction motivates specialized graph platforms by noting
+that "general Big Data platforms, such as the MapReduce-based Apache
+Hadoop, have not been able so far to process graphs without severe
+performance penalties" [Guo et al., IPDPS'14; Lu et al., PVLDB'14].
+This engine makes that claim testable in the reproduction: iterative
+graph algorithms run as chains of MapReduce jobs, each re-scanning the
+whole graph from HDFS and materializing its output back — the structural
+source of the penalty.
+"""
+
+from repro.platforms.mapreduce.api import MapReduceRound, Record
+from repro.platforms.mapreduce.engine import HadoopPlatform
+from repro.platforms.mapreduce.algorithms import MAPREDUCE_ALGORITHMS
+
+__all__ = [
+    "MapReduceRound",
+    "Record",
+    "HadoopPlatform",
+    "MAPREDUCE_ALGORITHMS",
+]

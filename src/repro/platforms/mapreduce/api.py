@@ -1,0 +1,88 @@
+"""The iterated-MapReduce programming abstraction.
+
+Graph algorithms on Hadoop are expressed as a *driver* that runs one
+MapReduce round per iteration.  The state is a set of per-vertex records;
+every round the mapper scans ALL records (adjacency plus algorithm
+state — MapReduce has no notion of an active frontier), the shuffle
+groups emissions by vertex, and the reducer writes the next state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class Record:
+    """One per-vertex state record flowing between rounds.
+
+    Attributes:
+        vertex: the vertex id (the record key on disk).
+        state: algorithm state (BFS level, rank, component label, ...).
+    """
+
+    vertex: int
+    state: Any
+
+    def encoded_size(self) -> int:
+        """Approximate on-disk size of the record in bytes."""
+        return 12 + len(str(self.state))
+
+
+class MapReduceRound(abc.ABC):
+    """One algorithm expressed as an iterated MapReduce driver.
+
+    The engine materializes per-vertex records in HDFS, then repeatedly:
+
+    1. **Map**: for every record (every vertex — no frontier filtering),
+       emit zero or more ``(vertex, message)`` pairs plus the carry-over
+       of its own state.
+    2. **Shuffle**: group emissions by destination vertex across workers.
+    3. **Reduce**: combine a vertex's carry-over and messages into its
+       next state.
+
+    ``is_converged`` inspects old/new states to stop the driver;
+    ``max_rounds`` bounds fixed-iteration algorithms.
+    """
+
+    max_rounds: Optional[int] = None
+
+    @abc.abstractmethod
+    def initial_state(self, vertex: int, graph: Graph) -> Any:
+        """Per-vertex state before round 0."""
+
+    @abc.abstractmethod
+    def map_record(
+        self, record: Record, graph: Graph
+    ) -> List[Tuple[int, Any]]:
+        """Messages emitted for one input record (excluding carry-over).
+
+        The engine always forwards the record's own state to its vertex
+        (the identity carry-over every Hadoop graph job needs so state
+        survives the round), so implementations emit only the algorithm
+        messages.
+        """
+
+    @abc.abstractmethod
+    def reduce_vertex(
+        self, vertex: int, state: Any, messages: List[Any], graph: Graph
+    ) -> Any:
+        """Next state of ``vertex`` from its carry-over and messages."""
+
+    def is_converged(
+        self,
+        old: Dict[int, Any],
+        new: Dict[int, Any],
+        round_index: int,
+    ) -> bool:
+        """Whether the driver may stop after this round (default: state
+        unchanged)."""
+        return old == new
+
+    def output_value(self, vertex: int, state: Any) -> Any:
+        """Map the final state to the job output."""
+        return state

@@ -1,0 +1,14 @@
+"""PGX.D-like push-pull engine.
+
+PGX.D [Hong et al., SC'15] is Table 1's "capabilities of powerful
+resources" platform: natively provisioned runtimes, CSR storage, and a
+programming model that lets each compute phase *push* updates along
+out-edges or *pull* them along in-edges — including the
+direction-optimizing BFS heuristic that switches to pulling when the
+frontier gets dense.
+"""
+
+from repro.platforms.pgxd.engine import PgxdPlatform
+from repro.platforms.pgxd.algorithms import PGXD_ALGORITHMS
+
+__all__ = ["PgxdPlatform", "PGXD_ALGORITHMS"]

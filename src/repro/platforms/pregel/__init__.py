@@ -1,0 +1,20 @@
+"""Giraph-like Pregel/BSP engine.
+
+A faithful, working implementation of the Pregel programming model
+[Malewicz et al., SIGMOD'10] as deployed by Apache Giraph: vertex-centric
+``compute()`` programs, message passing with combiners, aggregators,
+superstep barriers through a ZooKeeper-like service, Yarn container
+provisioning, and HDFS vertex-store input — the full workflow of the
+paper's Figure 4 model.
+"""
+
+from repro.platforms.pregel.api import VertexContext, VertexProgram
+from repro.platforms.pregel.engine import GiraphPlatform
+from repro.platforms.pregel.algorithms import PREGEL_ALGORITHMS
+
+__all__ = [
+    "VertexContext",
+    "VertexProgram",
+    "GiraphPlatform",
+    "PREGEL_ALGORITHMS",
+]

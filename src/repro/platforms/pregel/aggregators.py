@@ -1,0 +1,59 @@
+"""Aggregators: global reductions across a superstep barrier.
+
+Giraph aggregators reduce values contributed by vertices during superstep
+``s`` and expose the result to every vertex in superstep ``s + 1`` —
+Giraph's PageRank uses one to redistribute dangling mass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import PlatformError
+
+Reducer = Callable[[Any, Any], Any]
+
+
+class AggregatorRegistry:
+    """Named reduction functions plus their per-superstep state."""
+
+    def __init__(self) -> None:
+        self._reducers: Dict[str, Tuple[Reducer, Any]] = {}
+        self._current: Dict[str, Any] = {}
+        self._previous: Dict[str, Any] = {}
+
+    def register(self, name: str, reducer: Reducer, initial: Any) -> None:
+        """Register aggregator ``name`` with its reducer and identity."""
+        if name in self._reducers:
+            raise PlatformError(f"aggregator {name!r} already registered")
+        self._reducers[name] = (reducer, initial)
+        self._current[name] = initial
+        self._previous[name] = initial
+
+    def contribute(self, name: str, value: Any) -> None:
+        """Fold ``value`` into the current superstep's aggregate."""
+        if name not in self._reducers:
+            raise PlatformError(f"unknown aggregator {name!r}")
+        reducer, _initial = self._reducers[name]
+        self._current[name] = reducer(self._current[name], value)
+
+    def barrier(self) -> Dict[str, Any]:
+        """Rotate: finalize current values, expose them as 'previous'.
+
+        Returns the values now visible to the next superstep.
+        """
+        self._previous = dict(self._current)
+        self._current = {
+            name: initial for name, (_r, initial) in self._reducers.items()
+        }
+        return dict(self._previous)
+
+    @property
+    def previous_values(self) -> Dict[str, Any]:
+        """Aggregates reduced over the previous superstep."""
+        return dict(self._previous)
+
+    @property
+    def names(self) -> List[str]:
+        """Registered aggregator names, sorted."""
+        return sorted(self._reducers)

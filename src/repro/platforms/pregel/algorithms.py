@@ -1,0 +1,273 @@
+"""The Graphalytics algorithms expressed as Pregel vertex programs.
+
+Each program is validated against the single-node reference in
+:mod:`repro.graph.algorithms` by the test suite; the BFS program is the
+workload of the paper's entire evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PlatformError
+from repro.graph.algorithms.bfs import UNREACHED
+from repro.graph.algorithms.sssp import INFINITY, default_weight
+from repro.graph.graph import Graph
+from repro.platforms.pregel.api import VertexContext, VertexProgram
+
+
+def _add(a: float, b: float) -> float:
+    return a + b
+
+
+class BfsProgram(VertexProgram):
+    """Level-synchronous BFS: superstep ``s`` settles frontier ``s``."""
+
+    combiner = staticmethod(min)
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> int:
+        return UNREACHED
+
+    def compute(
+        self, vertex: int, value: int, messages: List[int], ctx: VertexContext
+    ) -> int:
+        if ctx.superstep == 0:
+            if vertex == self.source:
+                value = 0
+                ctx.send_message_to_out_neighbors(1)
+        elif value == UNREACHED and messages:
+            value = ctx.superstep
+            ctx.send_message_to_out_neighbors(value + 1)
+        ctx.vote_to_halt()
+        return value
+
+
+class PageRankProgram(VertexProgram):
+    """PageRank with a dangling-mass aggregator (Giraph's approach).
+
+    With a positive ``tolerance`` the job additionally halts early when
+    the previous superstep's total rank change (a second aggregator)
+    drops below it — matching the reference implementation's
+    convergence-mode semantics exactly.
+    """
+
+    combiner = staticmethod(_add)
+
+    def __init__(self, iterations: int = 20, damping: float = 0.85,
+                 tolerance: float = 0.0):
+        if iterations < 0:
+            raise PlatformError(f"negative iteration count: {iterations}")
+        if not (0.0 < damping < 1.0):
+            raise PlatformError(f"damping must lie in (0, 1): {damping}")
+        if tolerance < 0:
+            raise PlatformError(f"negative tolerance: {tolerance}")
+        self.iterations = iterations
+        self.damping = damping
+        self.tolerance = tolerance
+        self.max_supersteps = iterations + 1
+
+    def register_aggregators(self, registry) -> None:
+        registry.register("dangling", _add, 0.0)
+        registry.register("delta", _add, 0.0)
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        return 1.0 / ctx.num_vertices
+
+    def compute(
+        self, vertex: int, value: float, messages: List[float], ctx: VertexContext
+    ) -> float:
+        n = ctx.num_vertices
+        s = ctx.superstep
+        if (
+            self.tolerance > 0
+            and s >= 2
+            and ctx.aggregated("delta", float("inf")) < self.tolerance
+        ):
+            # The previous iteration converged: keep the settled value
+            # and halt without propagating further.
+            ctx.vote_to_halt()
+            return value
+        if s > 0:
+            incoming = sum(messages)
+            dangling = ctx.aggregated("dangling", 0.0)
+            new_value = (1.0 - self.damping) / n + self.damping * (
+                incoming + dangling / n
+            )
+            ctx.aggregate("delta", abs(new_value - value))
+            value = new_value
+        if s < self.iterations:
+            degree = ctx.out_degree()
+            if degree:
+                ctx.send_message_to_out_neighbors(value / degree)
+            else:
+                ctx.aggregate("dangling", value)
+        else:
+            ctx.vote_to_halt()
+        return value
+
+
+class WccProgram(VertexProgram):
+    """Min-label propagation over the undirected view of the graph."""
+
+    combiner = staticmethod(min)
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> int:
+        return vertex
+
+    def compute(
+        self, vertex: int, value: int, messages: List[int], ctx: VertexContext
+    ) -> int:
+        if ctx.superstep == 0:
+            for u in ctx.neighbors_undirected():
+                ctx.send_message(u, value)
+        else:
+            best = min(messages) if messages else value
+            if best < value:
+                value = best
+                for u in ctx.neighbors_undirected():
+                    ctx.send_message(u, value)
+        ctx.vote_to_halt()
+        return value
+
+
+class SsspProgram(VertexProgram):
+    """Bellman-Ford-style SSSP with min combining."""
+
+    combiner = staticmethod(min)
+
+    def __init__(self, source: int, weight=default_weight):
+        self.source = source
+        self.weight = weight
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        return INFINITY
+
+    def compute(
+        self, vertex: int, value: float, messages: List[float], ctx: VertexContext
+    ) -> float:
+        if ctx.superstep == 0:
+            if vertex == self.source:
+                value = 0.0
+                for u in ctx.out_neighbors():
+                    ctx.send_message(u, value + self.weight(vertex, u))
+        else:
+            best = min(messages) if messages else INFINITY
+            if best < value:
+                value = best
+                for u in ctx.out_neighbors():
+                    ctx.send_message(u, value + self.weight(vertex, u))
+        ctx.vote_to_halt()
+        return value
+
+
+class CdlpProgram(VertexProgram):
+    """Community detection by synchronous label propagation."""
+
+    def __init__(self, iterations: int = 10):
+        if iterations < 0:
+            raise PlatformError(f"negative iteration count: {iterations}")
+        self.iterations = iterations
+        self.max_supersteps = iterations + 1
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> int:
+        return vertex
+
+    def compute(
+        self, vertex: int, value: int, messages: List[int], ctx: VertexContext
+    ) -> int:
+        s = ctx.superstep
+        if s > 0 and messages:
+            freq: Dict[int, int] = {}
+            for label in messages:
+                freq[label] = freq.get(label, 0) + 1
+            best_count = max(freq.values())
+            value = min(l for l, c in freq.items() if c == best_count)
+        if s < self.iterations:
+            ctx.send_message_to_out_neighbors(value)
+        else:
+            ctx.vote_to_halt()
+        return value
+
+
+class LccProgram(VertexProgram):
+    """Local clustering coefficient in two supersteps.
+
+    Superstep 0 broadcasts each vertex's out-edge list to its undirected
+    neighbors; superstep 1 counts edges among the neighborhood.
+    """
+
+    max_supersteps = 2
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        return 0.0
+
+    def compute(
+        self, vertex: int, value: float, messages: List[Any], ctx: VertexContext
+    ) -> float:
+        if ctx.superstep == 0:
+            out_list = tuple(ctx.out_neighbors())
+            for u in ctx.neighbors_undirected():
+                ctx.send_message(u, (vertex, out_list))
+            return value
+        neighborhood = set(ctx.neighbors_undirected())
+        k = len(neighborhood)
+        ctx.vote_to_halt()
+        if k < 2:
+            return 0.0
+        links = 0
+        for sender, out_list in messages:
+            for w in out_list:
+                if w != sender and w != vertex and w in neighborhood:
+                    links += 1
+        return links / (k * (k - 1))
+
+
+#: Names accepted by :func:`make_pregel_program`.
+PREGEL_ALGORITHMS = ("bfs", "pagerank", "wcc", "sssp", "cdlp", "lcc")
+
+
+def make_pregel_program(
+    algorithm: str,
+    params: Dict[str, Any],
+    graph: Graph,
+) -> VertexProgram:
+    """Instantiate the vertex program for ``algorithm`` with ``params``."""
+    name = algorithm.lower()
+    program = _instantiate(name, params, graph)
+    # Giraph's MessageCombiner is optional; benchmarks disable it to
+    # quantify its effect (params={"combiner": False}).
+    if not params.get("combiner", True):
+        program.combiner = None
+    return program
+
+
+def _instantiate(name: str, params: Dict[str, Any],
+                 graph: Graph) -> VertexProgram:
+    if name == "bfs":
+        source = params.get("source", 0)
+        if not (0 <= source < graph.num_vertices):
+            raise PlatformError(f"BFS source {source} out of range")
+        return BfsProgram(source)
+    if name == "pagerank":
+        return PageRankProgram(
+            iterations=params.get("iterations", 20),
+            damping=params.get("damping", 0.85),
+            tolerance=params.get("tolerance", 0.0),
+        )
+    if name == "wcc":
+        return WccProgram()
+    if name == "sssp":
+        source = params.get("source", 0)
+        if not (0 <= source < graph.num_vertices):
+            raise PlatformError(f"SSSP source {source} out of range")
+        return SsspProgram(source, weight=params.get("weight", default_weight))
+    if name == "cdlp":
+        return CdlpProgram(iterations=params.get("iterations", 10))
+    if name == "lcc":
+        return LccProgram()
+    raise PlatformError(
+        f"unknown algorithm {name!r}; supported: {PREGEL_ALGORITHMS}"
+    )

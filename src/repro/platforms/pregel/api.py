@@ -1,0 +1,136 @@
+"""The Pregel vertex-program API.
+
+User algorithms subclass :class:`VertexProgram` and receive a
+:class:`VertexContext` in ``compute()`` exactly as in Giraph's
+``BasicComputation``: they can read topology, send messages, aggregate,
+and vote to halt.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import PlatformError
+from repro.graph.graph import Graph
+
+
+class VertexContext:
+    """Per-superstep context handed to ``compute()``.
+
+    The context records message sends and halt votes; the worker drains
+    them after each vertex.  One context instance is reused across
+    vertices of a worker within a superstep (as Giraph reuses its
+    computation object), so programs must not stash state on it.
+    """
+
+    def __init__(self, graph: Graph, num_workers: int):
+        self._graph = graph
+        self.num_workers = num_workers
+        self.superstep = 0
+        self._vertex: int = -1
+        self._outbox: List[tuple] = []
+        self._halted = False
+        self._aggregations: List[tuple] = []
+        self._aggregated_previous: Dict[str, Any] = {}
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the input graph."""
+        return self._graph.num_vertices
+
+    @property
+    def vertex(self) -> int:
+        """The vertex currently computing."""
+        return self._vertex
+
+    def out_neighbors(self, v: Optional[int] = None) -> Sequence[int]:
+        """Out-edges of ``v`` (default: the current vertex)."""
+        return self._graph.out_neighbors(self._vertex if v is None else v)
+
+    def in_neighbors(self, v: Optional[int] = None) -> Sequence[int]:
+        """In-edges of ``v`` (default: the current vertex)."""
+        return self._graph.in_neighbors(self._vertex if v is None else v)
+
+    def neighbors_undirected(self, v: Optional[int] = None) -> Sequence[int]:
+        """Distinct undirected neighbors (used by WCC and LCC)."""
+        return self._graph.neighbors_undirected(self._vertex if v is None else v)
+
+    def out_degree(self, v: Optional[int] = None) -> int:
+        """Out-degree of ``v`` (default: the current vertex)."""
+        return self._graph.out_degree(self._vertex if v is None else v)
+
+    # -- actions ----------------------------------------------------------
+
+    def send_message(self, dst: int, value: Any) -> None:
+        """Send ``value`` to vertex ``dst``, delivered next superstep."""
+        if not (0 <= dst < self._graph.num_vertices):
+            raise PlatformError(f"message to unknown vertex {dst}")
+        self._outbox.append((dst, value))
+
+    def send_message_to_out_neighbors(self, value: Any) -> None:
+        """Send ``value`` along every out-edge of the current vertex."""
+        for dst in self._graph.out_neighbors(self._vertex):
+            self._outbox.append((dst, value))
+
+    def vote_to_halt(self) -> None:
+        """Deactivate the current vertex until a message re-activates it."""
+        self._halted = True
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to aggregator ``name`` for this superstep."""
+        self._aggregations.append((name, value))
+
+    def aggregated(self, name: str, default: Any = None) -> Any:
+        """Aggregator value reduced over the *previous* superstep."""
+        return self._aggregated_previous.get(name, default)
+
+    # -- worker-side plumbing ---------------------------------------------
+
+    def _begin_vertex(self, vertex: int) -> None:
+        self._vertex = vertex
+        self._halted = False
+
+    def _drain(self) -> tuple:
+        """(outbox, halted, aggregations) for the vertex just computed."""
+        out, self._outbox = self._outbox, []
+        aggs, self._aggregations = self._aggregations, []
+        return out, self._halted, aggs
+
+
+class VertexProgram(abc.ABC):
+    """A Pregel algorithm.
+
+    ``initial_value`` seeds every vertex before superstep 0;
+    ``compute`` runs for each active vertex each superstep and returns
+    the vertex's new value.  An optional
+    :attr:`combiner` merges messages addressed to the same vertex at the
+    sender (Giraph's ``MessageCombiner``), and
+    :attr:`max_supersteps` bounds execution for fixed-round algorithms.
+    """
+
+    #: Optional message combiner: f(a, b) -> combined message.
+    combiner = None
+
+    #: Hard bound on supersteps (None runs until quiescence).
+    max_supersteps: Optional[int] = None
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int, ctx: VertexContext) -> Any:
+        """The vertex value before superstep 0."""
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        vertex: int,
+        value: Any,
+        messages: List[Any],
+        ctx: VertexContext,
+    ) -> Any:
+        """One superstep of one vertex; returns the new vertex value."""
+
+    def output_value(self, vertex: int, value: Any) -> Any:
+        """Map the final internal value to the job output (default: id)."""
+        return value

@@ -1,0 +1,507 @@
+"""The Giraph-like platform engine.
+
+Executes the full job workflow of the paper's Figure 4 model::
+
+    GiraphJob
+      Startup        JobStartup, LaunchWorkers -> LocalStartup
+      LoadGraph      LoadHdfsData -> LocalLoad
+      ProcessGraph   Superstep-k -> LocalSuperstep-k ->
+                         PreStep-k, Compute-k, Message-k, PostStep-k
+                     and SyncZookeeper-k
+      OffloadGraph   OffloadHdfsData -> LocalOffload
+      Cleanup        JobCleanup -> AbortWorkers, ClientCleanup,
+                                   ServerCleanup, ZkCleanup
+
+Every operation is emitted as GRANULA log lines; every phase charges CPU
+busy intervals on the simulated nodes; the algorithm output is the real
+result of running the vertex program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.provisioning import YarnManager
+from repro.errors import JobFailedError, PlatformError
+from repro.graph.graph import Graph
+from repro.graph.partition.hash_partition import hash_partition
+from repro.graph.vertexstore import vertex_store_size_bytes
+from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.costmodel import GiraphCostModel, execution_jitter
+from repro.platforms.faults import FaultPlan
+from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
+from repro.platforms.pregel.aggregators import AggregatorRegistry
+from repro.platforms.pregel.algorithms import make_pregel_program
+from repro.platforms.pregel.messages import OutgoingStore
+from repro.platforms.pregel.worker import WorkerState
+from repro.platforms.pregel.zookeeper import ZooKeeperService
+
+#: Fixed client-side submission latency (job jar upload + RPC).
+_SUBMIT_S = 2.3
+
+#: Barrier-release latency at the head of every superstep (PreStep).
+_PRESTEP_S = 0.12
+
+
+@dataclass
+class _Deployed:
+    """A dataset staged in HDFS."""
+
+    path: str
+    graph: Graph
+    size_bytes: int
+
+
+class GiraphPlatform(Platform):
+    """Pregel/BSP engine with Yarn provisioning and HDFS input."""
+
+    name = "Giraph"
+
+    def __init__(self, cluster: Cluster, cost_model: Optional[GiraphCostModel] = None):
+        super().__init__(cluster)
+        self.cost = cost_model or GiraphCostModel()
+        self.yarn = YarnManager(cluster.nodes, cluster.clock, cluster.trace)
+        self.fault_plan: Optional[FaultPlan] = None
+
+    def inject_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Arm (or with ``None`` disarm) fault injection for later jobs.
+
+        Slow nodes stretch their compute time every superstep; a crash
+        triggers Giraph's checkpoint recovery (container relaunch +
+        superstep re-execution), visible as a ``RecoverWorker`` operation
+        in the platform log.  Results stay correct either way.
+        """
+        self.fault_plan = plan
+
+    # -- dataset staging ---------------------------------------------------
+
+    def deploy_dataset(self, name: str, graph: Graph) -> None:
+        """Write ``graph`` as a vertex-store file into HDFS."""
+        if not name:
+            raise PlatformError("dataset name must be non-empty")
+        path = f"/giraph/input/{name}.vs"
+        size = vertex_store_size_bytes(graph)
+        self.cluster.hdfs.put(path, size, payload=graph)
+        self._datasets[name] = _Deployed(path, graph, size)
+
+    # -- job execution -------------------------------------------------------
+
+    def run_job(self, request: JobRequest) -> JobResult:
+        self._check_workers(request.workers)
+        deployed: _Deployed = self._require_dataset(request.dataset)
+        graph = deployed.graph
+        program = make_pregel_program(request.algorithm, request.params, graph)
+        job_id = self._next_job_id(request)
+
+        self.cluster.reset()
+        clock = self.cluster.clock
+        cost = self.cost
+        writer = GranulaLogWriter(job_id, clock)
+        zk = ZooKeeperService(clock, self.cluster.network, cost.zookeeper_sync_s)
+
+        worker_nodes: List[Node] = self.cluster.nodes[: request.workers]
+        started_at = clock.now()
+        root = writer.start("GiraphJob", "GiraphClient")
+        writer.info(root, "Algorithm", request.algorithm)
+        writer.info(root, "Dataset", request.dataset)
+        writer.info(root, "Workers", request.workers)
+
+        allocation = self._run_startup(writer, root, worker_nodes)
+        workers, load_stats = self._run_load(
+            writer, root, deployed, request.workers, worker_nodes, program
+        )
+        process_stats = self._run_process(
+            writer, root, workers, worker_nodes, zk
+        )
+        offload_bytes = self._run_offload(
+            writer, root, workers, worker_nodes, job_id
+        )
+        self._run_cleanup(writer, root, allocation, worker_nodes, zk,
+                          process_stats["supersteps"])
+
+        writer.end(root)
+        writer.assert_all_closed()
+        finished_at = clock.now()
+
+        output: Dict[int, Any] = {}
+        for worker in workers:
+            output.update(worker.output())
+        if len(output) != graph.num_vertices:
+            raise JobFailedError(
+                f"{job_id}: output covers {len(output)} of "
+                f"{graph.num_vertices} vertices"
+            )
+        stats = dict(load_stats)
+        stats.update(process_stats)
+        stats["offload_bytes"] = offload_bytes
+        return JobResult(
+            job_id=job_id,
+            algorithm=request.algorithm,
+            dataset=request.dataset,
+            output=output,
+            started_at=started_at,
+            finished_at=finished_at,
+            log_lines=list(writer.lines),
+            stats=stats,
+        )
+
+    # -- phases --------------------------------------------------------------
+
+    def _run_startup(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        worker_nodes: List[Node],
+    ):
+        clock = self.cluster.clock
+        cost = self.cost
+        startup = writer.start("Startup", "GiraphClient", root)
+
+        job_startup = writer.start("JobStartup", "GiraphClient", startup)
+        worker_nodes[0].work(clock.now(), _SUBMIT_S, cost.idle_cores, "giraph:submit")
+        clock.advance(_SUBMIT_S)
+        writer.end(job_startup)
+
+        launch = writer.start("LaunchWorkers", "Master", startup)
+        allocation = self.yarn.allocate(len(worker_nodes))
+        t0 = clock.now()
+        for wid, node in enumerate(worker_nodes, start=1):
+            node.work(t0, cost.local_startup_s, 0.8, "giraph:localstartup")
+            writer.span(
+                "LocalStartup", f"Worker-{wid}", launch,
+                t0, t0 + cost.local_startup_s,
+            )
+        clock.advance(cost.local_startup_s)
+        writer.end(launch)
+
+        worker_nodes[0].work(
+            clock.now(), cost.master_coordination_s, cost.idle_cores,
+            "giraph:coordination",
+        )
+        clock.advance(cost.master_coordination_s)
+        writer.end(startup)
+        return allocation
+
+    def _run_load(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        deployed: _Deployed,
+        num_workers: int,
+        worker_nodes: List[Node],
+        program,
+    ) -> Tuple[List[WorkerState], Dict[str, Any]]:
+        clock = self.cluster.clock
+        cost = self.cost
+        hdfs = self.cluster.hdfs
+        network = self.cluster.network
+        graph = deployed.graph
+
+        load = writer.start("LoadGraph", "GiraphClient", root)
+        load_hdfs = writer.start("LoadHdfsData", "Master", load)
+        writer.info(load_hdfs, "TotalBytes", deployed.size_bytes)
+
+        node_names = [n.name for n in worker_nodes]
+        splits = hdfs.assign_splits(deployed.path, node_names)
+        t0 = clock.now()
+        span_max = 0.0
+        total_read = 0
+        for wid, node in enumerate(worker_nodes, start=1):
+            blocks = splits[node.name]
+            local_bytes = sum(
+                b.size_bytes for b in blocks if node.name in b.replicas
+            )
+            remote_bytes = sum(
+                b.size_bytes for b in blocks if node.name not in b.replicas
+            )
+            read_t = 0.0
+            if local_bytes:
+                read_t += hdfs.read_time(local_bytes, local=True)
+            if remote_bytes:
+                read_t += hdfs.read_time(remote_bytes, local=False)
+            nbytes = local_bytes + remote_bytes
+            parse_t = nbytes * cost.parse_byte_s
+            # Parsed vertices are shuffled to their hash owners: all but
+            # 1/num_workers of the data leaves this worker.
+            shuffle_bytes = int(nbytes * (num_workers - 1) / max(1, num_workers))
+            shuffle_t = network.transfer_time(shuffle_bytes) if shuffle_bytes else 0.0
+            duration = read_t + parse_t + shuffle_t
+            node.work(t0, duration, cost.load_cores, "giraph:load")
+            local_load = writer.span(
+                "LocalLoad", f"Worker-{wid}", load_hdfs, t0, t0 + duration
+            )
+            writer.info(local_load, "BytesRead", nbytes, ts=t0 + duration)
+            span_max = max(span_max, duration)
+            total_read += nbytes
+        clock.advance(span_max)
+
+        # Build the in-memory partitions (the real data structures).
+        owner_of = hash_partition(graph.num_vertices, num_workers)
+        partitions: List[List[int]] = [[] for _ in range(num_workers)]
+        for v in graph.vertices():
+            partitions[owner_of[v]].append(v)
+        workers: List[WorkerState] = []
+        for wid, node in enumerate(worker_nodes, start=1):
+            worker = WorkerState(
+                worker_id=wid - 1,
+                node_name=node.name,
+                vertices=partitions[wid - 1],
+                graph=graph,
+                num_workers=num_workers,
+                owner_of=owner_of,
+                program=program,
+            )
+            worker.load_partition()
+            node.allocate_memory(worker.partition_bytes())
+            workers.append(worker)
+
+        writer.end(load_hdfs)
+        writer.end(load)
+        return workers, {"bytes_read": total_read}
+
+    def _run_process(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        workers: List[WorkerState],
+        worker_nodes: List[Node],
+        zk: ZooKeeperService,
+    ) -> Dict[str, Any]:
+        clock = self.cluster.clock
+        cost = self.cost
+        network = self.cluster.network
+        program = workers[0].program
+        num_workers = len(workers)
+
+        process = writer.start("ProcessGraph", "Master", root)
+        registry = AggregatorRegistry()
+        register = getattr(program, "register_aggregators", None)
+        if register is not None:
+            register(registry)
+
+        superstep = 0
+        aggregated: Dict[str, Any] = {}
+        total_messages = 0
+        total_computed = 0
+        while True:
+            if (
+                program.max_supersteps is not None
+                and superstep >= program.max_supersteps
+            ):
+                break
+            t0 = clock.now()
+            ss_op = writer.start(f"Superstep-{superstep}", "Master", process, ts=t0)
+            for worker in workers:
+                worker.begin_superstep(superstep, aggregated)
+
+            flushes: List[List[Dict[int, List[Any]]]] = []
+            busy_ends: List[float] = []
+            local_ops: List[OpenOperation] = []
+            computed_this = 0
+            pre_end = t0 + _PRESTEP_S
+            for worker, node in zip(workers, worker_nodes):
+                wname = f"Worker-{worker.worker_id + 1}"
+                local_ss = writer.start(
+                    f"LocalSuperstep-{superstep}", wname, ss_op, ts=t0
+                )
+                writer.span(f"PreStep-{superstep}", wname, local_ss, t0, pre_end)
+                node.work(t0, _PRESTEP_S, cost.idle_cores, "giraph:prestep")
+
+                outgoing = OutgoingStore(
+                    num_workers, worker.owner_of, program.combiner
+                )
+                work = worker.compute_superstep(outgoing, registry)
+                flushes.append(outgoing.flush())
+
+                compute_t = (
+                    work.computed * cost.vertex_compute_s
+                    + work.messages_in * cost.message_process_s
+                    + work.messages_sent * cost.message_send_s
+                ) * execution_jitter(
+                    worker.worker_id, superstep,
+                    cost.compute_jitter, cost.gc_spike,
+                )
+                if self.fault_plan is not None:
+                    compute_t *= self.fault_plan.slow_factor(node.name)
+                compute_end = pre_end + compute_t
+                compute_op = writer.span(
+                    f"Compute-{superstep}", wname, local_ss, pre_end, compute_end
+                )
+                writer.info(compute_op, "ActiveVertices", work.computed,
+                            ts=compute_end)
+                writer.info(compute_op, "MessagesReceived", work.messages_in,
+                            ts=compute_end)
+                writer.info(compute_op, "MessagesSent", work.messages_sent,
+                            ts=compute_end)
+                if compute_t > 0:
+                    node.work(pre_end, compute_t, cost.compute_cores,
+                              "giraph:compute")
+
+                wire_bytes = work.wire_remote * cost.message_byte
+                message_t = network.transfer_time(wire_bytes) if wire_bytes else 0.0
+                message_end = compute_end + message_t
+                writer.span(
+                    f"Message-{superstep}", wname, local_ss,
+                    compute_end, message_end,
+                )
+                if message_t > 0:
+                    node.work(compute_end, message_t, cost.network_cores,
+                              "giraph:message")
+
+                busy_ends.append(message_end)
+                local_ops.append(local_ss)
+                total_messages += work.messages_sent
+                computed_this += work.computed
+
+            barrier_base = max(busy_ends)
+            fault = self.fault_plan
+            if (
+                fault is not None
+                and fault.crash_superstep == superstep
+                and fault.crash_worker is not None
+                and fault.crash_worker < num_workers
+            ):
+                # Giraph checkpoint recovery: the master relaunches the
+                # crashed worker's container and the superstep's work is
+                # re-executed there while everyone else waits.
+                wid = fault.crash_worker
+                crashed_node = worker_nodes[wid]
+                redo_t = busy_ends[wid] - pre_end
+                recover_start = barrier_base
+                recover_end = recover_start + fault.recovery_s + redo_t
+                recover_op = writer.span(
+                    f"RecoverWorker-{superstep}", "Master", ss_op,
+                    recover_start, recover_end,
+                )
+                writer.info(recover_op, "Worker", f"Worker-{wid + 1}",
+                            ts=recover_end)
+                crashed_node.work(
+                    recover_start + fault.recovery_s, redo_t,
+                    cost.compute_cores, "giraph:recovery",
+                )
+                barrier_base = recover_end
+            barrier_end = barrier_base + zk.barrier_sync_duration(num_workers)
+            for worker, node, local_ss, busy_end in zip(
+                workers, worker_nodes, local_ops, busy_ends
+            ):
+                wname = f"Worker-{worker.worker_id + 1}"
+                writer.span(
+                    f"PostStep-{superstep}", wname, local_ss,
+                    busy_end, barrier_end,
+                )
+                node.work(busy_end, barrier_end - busy_end, cost.idle_cores,
+                          "giraph:barrier")
+                writer.end(local_ss, ts=barrier_end)
+            writer.span(
+                f"SyncZookeeper-{superstep}", "Master", ss_op,
+                barrier_base, barrier_end,
+            )
+            writer.info(ss_op, "ActiveVertices", computed_this, ts=barrier_end)
+            writer.end(ss_op, ts=barrier_end)
+            clock.advance_to(barrier_end)
+            total_computed += computed_this
+
+            # Deliver messages for the next superstep.
+            for flush in flushes:
+                for target, worker in enumerate(workers):
+                    worker.incoming.deliver(flush[target])
+            aggregated = registry.barrier()
+            superstep += 1
+
+            pending = any(w.has_pending_messages() for w in workers)
+            halted = all(w.all_halted() for w in workers)
+            if halted and not pending:
+                break
+
+        writer.end(process)
+        return {
+            "supersteps": superstep,
+            "messages": total_messages,
+            "vertices_computed": total_computed,
+        }
+
+    def _run_offload(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        workers: List[WorkerState],
+        worker_nodes: List[Node],
+        job_id: str,
+    ) -> int:
+        clock = self.cluster.clock
+        cost = self.cost
+        hdfs = self.cluster.hdfs
+
+        offload = writer.start("OffloadGraph", "GiraphClient", root)
+        offload_hdfs = writer.start("OffloadHdfsData", "Master", offload)
+        t0 = clock.now()
+        span_max = 0.0
+        total_bytes = 0
+        for worker, node in zip(workers, worker_nodes):
+            wname = f"Worker-{worker.worker_id + 1}"
+            nbytes = sum(
+                len(str(v)) + 1 + len(str(val)) + 1
+                for v, val in worker.output().items()
+            )
+            duration = hdfs.write_time(nbytes) + nbytes * cost.offload_byte_s
+            node.work(t0, duration, 2.0, "giraph:offload")
+            local = writer.span(
+                "LocalOffload", wname, offload_hdfs, t0, t0 + duration
+            )
+            writer.info(local, "BytesWritten", nbytes, ts=t0 + duration)
+            span_max = max(span_max, duration)
+            total_bytes += nbytes
+        clock.advance(span_max)
+        hdfs.put(f"/giraph/output/{job_id}", total_bytes)
+        writer.end(offload_hdfs)
+        writer.end(offload)
+        return total_bytes
+
+    def _run_cleanup(
+        self,
+        writer: GranulaLogWriter,
+        root: OpenOperation,
+        allocation,
+        worker_nodes: List[Node],
+        zk: ZooKeeperService,
+        supersteps: int,
+    ) -> None:
+        clock = self.cluster.clock
+        cost = self.cost
+
+        cleanup = writer.start("Cleanup", "GiraphClient", root)
+        job_cleanup = writer.start("JobCleanup", "GiraphClient", cleanup)
+
+        abort = writer.start("AbortWorkers", "Master", job_cleanup)
+        for node in worker_nodes:
+            node.free_memory(node.memory_used)
+        self.yarn.release(allocation, teardown_s=cost.abort_workers_s)
+        writer.end(abort)
+
+        client = writer.start("ClientCleanup", "GiraphClient", job_cleanup)
+        worker_nodes[0].work(
+            clock.now(), cost.cleanup_client_s, cost.idle_cores,
+            "giraph:cleanup",
+        )
+        clock.advance(cost.cleanup_client_s)
+        writer.end(client)
+
+        server = writer.start("ServerCleanup", "Master", job_cleanup)
+        worker_nodes[0].work(
+            clock.now(), cost.cleanup_server_s, cost.idle_cores,
+            "giraph:cleanup",
+        )
+        clock.advance(cost.cleanup_server_s)
+        writer.end(server)
+
+        zk_op = writer.start("ZkCleanup", "Master", job_cleanup)
+        zk_t = cost.cleanup_zk_s + zk.cleanup_duration(znodes=supersteps * 4)
+        worker_nodes[0].work(clock.now(), zk_t, cost.idle_cores, "giraph:zk")
+        clock.advance(zk_t)
+        writer.end(zk_op)
+
+        writer.end(job_cleanup)
+        writer.end(cleanup)

@@ -1,0 +1,89 @@
+"""Message stores and combiners for the BSP engine.
+
+Messages sent in superstep ``s`` are delivered in ``s + 1``.  Each worker
+keeps an outgoing store (bucketed by destination worker, with optional
+sender-side combining) and an incoming store (bucketed by destination
+vertex).  The counters the store maintains feed the cost model: sent
+messages cost serialization time, remote messages cost network time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+Combiner = Callable[[Any, Any], Any]
+
+
+class OutgoingStore:
+    """Sender-side message buffer of one worker for one superstep."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        owner_of: Sequence[int],
+        combiner: Optional[Combiner] = None,
+    ):
+        self.num_workers = num_workers
+        self._owner_of = owner_of
+        self._combiner = combiner
+        # Per destination worker: vertex -> list of messages (or a single
+        # combined message when a combiner is set).
+        self._buckets: List[Dict[int, Any]] = [{} for _ in range(num_workers)]
+        self.sent_count = 0
+        self.combined_count = 0
+
+    def send(self, dst: int, value: Any) -> None:
+        """Buffer one message to vertex ``dst``."""
+        self.sent_count += 1
+        bucket = self._buckets[self._owner_of[dst]]
+        if self._combiner is None:
+            bucket.setdefault(dst, []).append(value)
+        else:
+            if dst in bucket:
+                bucket[dst] = self._combiner(bucket[dst], value)
+                self.combined_count += 1
+            else:
+                bucket[dst] = value
+
+    def wire_messages(self, worker: int) -> int:
+        """Messages that actually travel to ``worker`` (post-combining)."""
+        bucket = self._buckets[worker]
+        if self._combiner is None:
+            return sum(len(msgs) for msgs in bucket.values())
+        return len(bucket)
+
+    def flush(self) -> List[Dict[int, List[Any]]]:
+        """Normalize buckets to vertex -> message-list and reset."""
+        out: List[Dict[int, List[Any]]] = []
+        for bucket in self._buckets:
+            if self._combiner is None:
+                out.append(bucket)
+            else:
+                out.append({dst: [msg] for dst, msg in bucket.items()})
+        self._buckets = [{} for _ in range(self.num_workers)]
+        return out
+
+
+class IncomingStore:
+    """Receiver-side mailbox of one worker for the next superstep."""
+
+    def __init__(self) -> None:
+        self._mailbox: Dict[int, List[Any]] = {}
+        self.received_count = 0
+
+    def deliver(self, messages: Dict[int, List[Any]]) -> None:
+        """Merge a sender's bucket into the mailbox."""
+        for dst, values in messages.items():
+            self._mailbox.setdefault(dst, []).extend(values)
+            self.received_count += len(values)
+
+    def take_all(self) -> Dict[int, List[Any]]:
+        """Remove and return the whole mailbox (start of a superstep)."""
+        mailbox, self._mailbox = self._mailbox, {}
+        self.received_count = 0
+        return mailbox
+
+    @property
+    def pending(self) -> int:
+        """Messages waiting for the next superstep."""
+        return sum(len(v) for v in self._mailbox.values())

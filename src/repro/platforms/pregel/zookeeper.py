@@ -1,0 +1,41 @@
+"""ZooKeeper-like coordination service.
+
+Giraph synchronizes superstep barriers and job state through ZooKeeper;
+the paper's Figure 4 models both ``SyncZookeeper`` (per superstep) and
+``ZkCleanup`` (job teardown).  This stand-in charges the coordination
+latency and counts the synchronization rounds.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.clock import SimClock
+from repro.cluster.network import NetworkModel
+
+
+class ZooKeeperService:
+    """Coordination latency model: barrier sync and znode cleanup."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        network: NetworkModel,
+        sync_base_s: float = 0.35,
+    ):
+        self.clock = clock
+        self.network = network
+        self.sync_base_s = sync_base_s
+        self.sync_count = 0
+
+    def barrier_sync_duration(self, participants: int) -> float:
+        """Seconds for all ``participants`` to pass one barrier.
+
+        A base znode round-trip plus an all-reduce-shaped notification
+        wave (participants watch the barrier znode).
+        """
+        self.sync_count += 1
+        wave = self.network.allreduce_time(128, participants)
+        return self.sync_base_s + wave
+
+    def cleanup_duration(self, znodes: int) -> float:
+        """Seconds to delete the job's coordination state."""
+        return 0.4 + 0.002 * max(0, znodes)

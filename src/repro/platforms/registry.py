@@ -1,0 +1,101 @@
+"""Platform metadata registry (the paper's Table 1).
+
+Seven widely used graph-processing platforms compared across eight
+high-level characteristics.  The two systems in the paper's experiments
+(Giraph and PowerGraph) are flagged ``evaluated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class PlatformInfo:
+    """One row of Table 1."""
+
+    name: str
+    vendor: str
+    version: str
+    language: str
+    distributed: bool
+    provisioning: str
+    programming_model: str
+    data_format: str
+    file_system: str
+    evaluated: bool = False
+
+
+#: Table 1 rows, in the paper's order.
+PLATFORM_TABLE: Tuple[PlatformInfo, ...] = (
+    PlatformInfo(
+        name="Giraph", vendor="Apache", version="1.2.0", language="Java",
+        distributed=True, provisioning="Yarn", programming_model="Pregel",
+        data_format="VertexStore", file_system="HDFS", evaluated=True,
+    ),
+    PlatformInfo(
+        name="PowerGraph", vendor="CMU", version="2.2", language="C++",
+        distributed=True, provisioning="OpenMPI", programming_model="GAS",
+        data_format="Edge-based", file_system="local/shared", evaluated=True,
+    ),
+    PlatformInfo(
+        name="GraphMat", vendor="Intel", version="-", language="C++",
+        distributed=True, provisioning="Intel-MPI", programming_model="SpMV",
+        data_format="SpMV", file_system="local/shared",
+    ),
+    PlatformInfo(
+        name="PGX.D", vendor="Oracle", version="-", language="C++",
+        distributed=True, provisioning="Native, Slurm",
+        programming_model="Push-pull", data_format="CSR",
+        file_system="local/shared",
+    ),
+    PlatformInfo(
+        name="OpenG", vendor="Georgia Tech", version="-", language="C++/CUDA",
+        distributed=False, provisioning="Native",
+        programming_model="CPU/GPU", data_format="CSR", file_system="local",
+    ),
+    PlatformInfo(
+        name="TOTEM", vendor="UBC", version="-", language="C++/CUDA",
+        distributed=False, provisioning="Native",
+        programming_model="CPU+GPU", data_format="CSR", file_system="local",
+    ),
+    PlatformInfo(
+        name="Hadoop", vendor="Apache", version="-", language="Java",
+        distributed=True, provisioning="Yarn", programming_model="MapRed",
+        data_format="Out-of-core", file_system="HDFS",
+    ),
+)
+
+_BY_NAME: Dict[str, PlatformInfo] = {p.name.lower(): p for p in PLATFORM_TABLE}
+
+#: Column headers of Table 1, aligned with :func:`table_rows`.
+TABLE_COLUMNS: Tuple[str, ...] = (
+    "Name", "Vendor", "Vers.", "Lang.", "Distr.", "Provisioning",
+    "Programming Model", "Data Format", "File Sys.",
+)
+
+
+def platform_info(name: str) -> PlatformInfo:
+    """Look up a platform row by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise PlatformError(
+            f"unknown platform {name!r}; known: "
+            f"{[p.name for p in PLATFORM_TABLE]}"
+        ) from None
+
+
+def table_rows() -> List[Tuple[str, ...]]:
+    """Table 1 as a list of string tuples aligned with TABLE_COLUMNS."""
+    return [
+        (
+            p.name, p.vendor, p.version, p.language,
+            "yes" if p.distributed else "no",
+            p.provisioning, p.programming_model, p.data_format, p.file_system,
+        )
+        for p in PLATFORM_TABLE
+    ]

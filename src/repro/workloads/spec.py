@@ -1,0 +1,67 @@
+"""Workload specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import ReproError
+from repro.platforms.base import JobRequest
+from repro.workloads.datasets import DATASETS
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One (platform, algorithm, dataset, scale) combination.
+
+    Attributes:
+        platform: ``"Giraph"``, ``"PowerGraph"``, ``"Hadoop"`` or ``"PGX.D"``.
+        algorithm: algorithm name (both engines share the same set).
+        dataset: a name from :data:`repro.workloads.datasets.DATASETS`.
+        workers: number of workers/ranks (<= cluster size).
+        params: algorithm parameters; for BFS/SSSP a missing ``source``
+            is filled with the dataset's canonical source.
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    workers: int = 8
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.platform not in ("Giraph", "PowerGraph", "Hadoop", "PGX.D"):
+            raise ReproError(
+                f"unsupported platform {self.platform!r} "
+                f"(engines exist for Giraph, PowerGraph, Hadoop and PGX.D)"
+            )
+        if self.dataset not in DATASETS:
+            raise ReproError(
+                f"unknown dataset {self.dataset!r}; known: {sorted(DATASETS)}"
+            )
+        if self.workers <= 0:
+            raise ReproError(f"workers must be positive: {self.workers}")
+
+    def to_request(self, job_id: str = "") -> JobRequest:
+        """The platform job request for this workload."""
+        params = dict(self.params)
+        if self.algorithm in ("bfs", "sssp") and "source" not in params:
+            params["source"] = DATASETS[self.dataset].bfs_source
+        return JobRequest(
+            algorithm=self.algorithm,
+            dataset=self.dataset,
+            workers=self.workers,
+            params=params,
+            job_id=job_id,
+        )
+
+    def label(self) -> str:
+        """Compact identifier (for job ids and report rows)."""
+        return f"{self.platform.lower()}-{self.algorithm}-{self.dataset}-w{self.workers}"
+
+
+#: The paper's headline workload: BFS on dg1000, 8 nodes, both platforms.
+PAPER_WORKLOADS = (
+    WorkloadSpec("Giraph", "bfs", "dg1000-scaled", workers=8),
+    WorkloadSpec("PowerGraph", "bfs", "dg1000-scaled", workers=8),
+)

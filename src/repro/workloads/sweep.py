@@ -1,0 +1,84 @@
+"""Parameter sweeps over workloads.
+
+Sweeps drive the ablation benchmarks: vary one dimension (dataset size,
+worker count, algorithm) while holding the rest fixed, and collect the
+domain-level decomposition of every run for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.process import EvaluationIteration
+from repro.core.visualize.breakdown import DomainBreakdown
+from repro.errors import ReproError
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class SweepResult:
+    """One point of a sweep: the workload plus its artifacts."""
+
+    spec: WorkloadSpec
+    iteration: EvaluationIteration
+
+    @property
+    def breakdown(self) -> DomainBreakdown:
+        """Domain-level decomposition of this point's run."""
+        return self.iteration.breakdown
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end runtime of this point's run."""
+        return self.iteration.run.result.makespan
+
+
+class ParameterSweep:
+    """Executes a base workload across variations of one dimension."""
+
+    _DIMENSIONS = ("dataset", "workers", "algorithm", "platform")
+
+    def __init__(self, runner: Optional[WorkloadRunner] = None):
+        self.runner = runner or WorkloadRunner()
+
+    def run(
+        self,
+        base: WorkloadSpec,
+        dimension: str,
+        values: Iterable[Any],
+        model_level: Optional[int] = None,
+    ) -> List[SweepResult]:
+        """Run ``base`` once per value of ``dimension``.
+
+        Returns the sweep points in input order.
+        """
+        if dimension not in self._DIMENSIONS:
+            raise ReproError(
+                f"unknown sweep dimension {dimension!r}; "
+                f"choose from {self._DIMENSIONS}"
+            )
+        results: List[SweepResult] = []
+        for value in values:
+            spec = replace(base, **{dimension: value})
+            iteration = self.runner.run(spec, model_level=model_level)
+            results.append(SweepResult(spec=spec, iteration=iteration))
+        return results
+
+    @staticmethod
+    def share_table(
+        results: List[SweepResult],
+        dimension: str,
+    ) -> List[Dict[str, Any]]:
+        """Phase-share rows per sweep point (report-friendly)."""
+        rows: List[Dict[str, Any]] = []
+        for result in results:
+            row: Dict[str, Any] = {
+                dimension: getattr(result.spec, dimension),
+                "makespan_s": result.makespan,
+            }
+            for phase, (duration, share) in result.breakdown.phases.items():
+                row[f"{phase} share"] = share
+            rows.append(row)
+        return rows

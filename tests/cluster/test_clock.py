@@ -1,0 +1,74 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.errors import ClockError
+
+
+class TestSimClock:
+    def test_starts_at_origin(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_origin(self):
+        clock = SimClock(origin=10.0)
+        assert clock.now() == 10.0
+        assert clock.origin == 10.0
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(origin=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.9)
+
+    def test_advance_to_now_allowed(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_elapsed_relative_to_origin(self):
+        clock = SimClock(origin=100.0)
+        clock.advance(2.0)
+        assert clock.elapsed() == pytest.approx(2.0)
+
+    def test_reset_returns_to_origin(self):
+        clock = SimClock(origin=5.0)
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now() == 5.0
+
+    def test_repr_mentions_time(self):
+        clock = SimClock()
+        clock.advance(1.25)
+        assert "1.25" in repr(clock)

@@ -1,0 +1,116 @@
+"""Unit tests for the Cluster aggregate and tracing."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    Cluster,
+    DAS5_GIRAPH_NODES,
+    DAS5_POWERGRAPH_NODES,
+    das5_cluster,
+)
+from repro.cluster.node import Node
+from repro.cluster.tracing import Trace
+from repro.errors import ClusterError
+
+
+class TestCluster:
+    def test_requires_nodes(self):
+        with pytest.raises(ClusterError):
+            Cluster([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Node("a"), Node("a")])
+
+    def test_size_and_names(self):
+        cluster = das5_cluster(4)
+        assert cluster.size == 4
+        assert len(cluster.node_names) == 4
+
+    def test_node_lookup(self):
+        cluster = das5_cluster(2)
+        name = cluster.node_names[0]
+        assert cluster.node(name).name == name
+
+    def test_node_lookup_missing(self):
+        with pytest.raises(ClusterError):
+            das5_cluster(2).node("nope")
+
+    def test_custom_names(self):
+        cluster = das5_cluster(8, node_names=DAS5_GIRAPH_NODES)
+        assert cluster.node_names == list(DAS5_GIRAPH_NODES)
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ClusterError):
+            das5_cluster(3, node_names=["a", "b"])
+
+    def test_per_node_local_fs(self):
+        cluster = das5_cluster(2)
+        a, b = cluster.node_names
+        cluster.local_fs[a].put("/x", 10)
+        assert not cluster.local_fs[b].exists("/x")
+
+    def test_hdfs_spans_all_nodes(self):
+        cluster = das5_cluster(3)
+        assert cluster.hdfs.datanodes == cluster.node_names
+
+    def test_reset_clears_clock_and_cpu_but_keeps_data(self):
+        cluster = das5_cluster(2)
+        cluster.shared_fs.put("/data", 100)
+        cluster.clock.advance(10)
+        cluster.nodes[0].work(0.0, 1.0, 1.0)
+        cluster.trace.emit(1.0, "test", "event")
+        cluster.reset()
+        assert cluster.clock.now() == 0.0
+        assert cluster.nodes[0].cpu.cpu_seconds_between(0, 100) == 0.0
+        assert len(cluster.trace) == 0
+        assert cluster.shared_fs.exists("/data")
+
+    def test_parallel_work_advances_to_max(self):
+        cluster = das5_cluster(3)
+        names = cluster.node_names
+        span = cluster.parallel_work(
+            {names[0]: 1.0, names[1]: 3.0, names[2]: 2.0}, 2.0, "phase"
+        )
+        assert span == 3.0
+        assert cluster.clock.now() == 3.0
+
+    def test_parallel_work_without_advance(self):
+        cluster = das5_cluster(2)
+        cluster.parallel_work({cluster.node_names[0]: 5.0}, 1.0, "x",
+                              advance=False)
+        assert cluster.clock.now() == 0.0
+
+    def test_parallel_work_rejects_negative(self):
+        cluster = das5_cluster(1)
+        with pytest.raises(ClusterError):
+            cluster.parallel_work({cluster.node_names[0]: -1.0}, 1.0, "x")
+
+    def test_parallel_work_empty_is_noop(self):
+        cluster = das5_cluster(1)
+        assert cluster.parallel_work({}, 1.0, "x") == 0.0
+
+    def test_paper_node_lists_are_disjoint(self):
+        assert not set(DAS5_GIRAPH_NODES) & set(DAS5_POWERGRAPH_NODES)
+
+
+class TestTrace:
+    def test_emit_and_query(self):
+        trace = Trace()
+        trace.emit(1.0, "hdfs", "read", node="n1", nbytes=10)
+        trace.emit(2.0, "yarn", "launch", node="n2")
+        assert len(trace) == 2
+        assert trace.by_category("hdfs")[0].payload == {"nbytes": 10}
+        assert trace.by_node("n2")[0].name == "launch"
+
+    def test_clear(self):
+        trace = Trace()
+        trace.emit(1.0, "a", "b")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_iteration_order(self):
+        trace = Trace()
+        trace.emit(1.0, "c", "first")
+        trace.emit(2.0, "c", "second")
+        assert [e.name for e in trace] == ["first", "second"]

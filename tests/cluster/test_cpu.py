@@ -1,0 +1,160 @@
+"""Unit tests for CPU accounting and usage series."""
+
+import pytest
+
+from repro.cluster.cpu import BusyInterval, CpuAccount, UsageSeries, merge_series
+from repro.errors import ClusterError
+
+
+class TestBusyInterval:
+    def test_duration_and_cpu_seconds(self):
+        interval = BusyInterval(1.0, 3.0, 2.0, "load")
+        assert interval.duration == 2.0
+        assert interval.cpu_seconds == 4.0
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ClusterError):
+            BusyInterval(3.0, 1.0, 1.0)
+
+    def test_rejects_negative_cores(self):
+        with pytest.raises(ClusterError):
+            BusyInterval(0.0, 1.0, -0.5)
+
+    def test_zero_length_interval_allowed(self):
+        assert BusyInterval(1.0, 1.0, 4.0).cpu_seconds == 0.0
+
+    def test_overlap_full_window(self):
+        interval = BusyInterval(1.0, 3.0, 2.0)
+        assert interval.overlap(0.0, 10.0) == 4.0
+
+    def test_overlap_partial_window(self):
+        interval = BusyInterval(1.0, 3.0, 2.0)
+        assert interval.overlap(2.0, 10.0) == 2.0
+
+    def test_overlap_disjoint_window(self):
+        interval = BusyInterval(1.0, 3.0, 2.0)
+        assert interval.overlap(5.0, 6.0) == 0.0
+
+
+class TestCpuAccount:
+    def test_requires_positive_cores(self):
+        with pytest.raises(ClusterError):
+            CpuAccount(0)
+
+    def test_record_clamps_to_physical_cores(self):
+        account = CpuAccount(4)
+        interval = account.record(0.0, 1.0, 100.0)
+        assert interval.cores == 4.0
+
+    def test_cpu_seconds_between_sums_overlaps(self):
+        account = CpuAccount(8)
+        account.record(0.0, 2.0, 1.0)
+        account.record(1.0, 3.0, 2.0)
+        assert account.cpu_seconds_between(0.0, 3.0) == pytest.approx(6.0)
+        assert account.cpu_seconds_between(1.0, 2.0) == pytest.approx(3.0)
+
+    def test_busy_cores_at_instant(self):
+        account = CpuAccount(8)
+        account.record(0.0, 2.0, 1.0)
+        account.record(1.0, 3.0, 2.0)
+        assert account.busy_cores_at(0.5) == 1.0
+        assert account.busy_cores_at(1.5) == 3.0
+        assert account.busy_cores_at(2.5) == 2.0
+        assert account.busy_cores_at(5.0) == 0.0
+
+    def test_span_empty(self):
+        assert CpuAccount(2).span() == (0.0, 0.0)
+
+    def test_span_covers_all_intervals(self):
+        account = CpuAccount(2)
+        account.record(1.0, 2.0, 1.0)
+        account.record(5.0, 9.0, 1.0)
+        assert account.span() == (1.0, 9.0)
+
+    def test_by_tag_aggregation(self):
+        account = CpuAccount(8)
+        account.record(0.0, 1.0, 2.0, "load")
+        account.record(1.0, 2.0, 2.0, "load")
+        account.record(2.0, 3.0, 1.0, "compute")
+        totals = account.by_tag()
+        assert totals["load"] == pytest.approx(4.0)
+        assert totals["compute"] == pytest.approx(1.0)
+
+    def test_clear_drops_intervals(self):
+        account = CpuAccount(2)
+        account.record(0.0, 1.0, 1.0)
+        account.clear()
+        assert account.cpu_seconds_between(0.0, 10.0) == 0.0
+
+    def test_sample_average_cores(self):
+        account = CpuAccount(8)
+        account.record(0.0, 1.0, 4.0)
+        series = account.sample(0.0, 2.0, step=1.0)
+        assert series.values == [4.0, 0.0]
+
+    def test_sample_sub_step_interval(self):
+        account = CpuAccount(8)
+        account.record(0.25, 0.75, 2.0)
+        series = account.sample(0.0, 1.0, step=1.0)
+        assert series.values == [pytest.approx(1.0)]
+
+    def test_sample_rejects_bad_step(self):
+        with pytest.raises(ClusterError):
+            CpuAccount(2).sample(0.0, 1.0, step=0.0)
+
+    def test_sample_rejects_reversed_window(self):
+        with pytest.raises(ClusterError):
+            CpuAccount(2).sample(1.0, 0.0)
+
+    def test_sample_empty_window(self):
+        series = CpuAccount(2).sample(0.0, 0.0)
+        assert len(series) == 0
+
+
+class TestUsageSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ClusterError):
+            UsageSeries(times=[0.0], values=[], step=1.0)
+
+    def test_total_cpu_seconds(self):
+        series = UsageSeries(times=[0.0, 1.0], values=[2.0, 3.0], step=1.0)
+        assert series.total_cpu_seconds == pytest.approx(5.0)
+
+    def test_peak_and_mean(self):
+        series = UsageSeries(times=[0.0, 1.0], values=[2.0, 4.0], step=1.0)
+        assert series.peak == 4.0
+        assert series.mean() == pytest.approx(3.0)
+
+    def test_empty_series_stats(self):
+        series = UsageSeries(times=[], values=[], step=1.0)
+        assert series.peak == 0.0
+        assert series.mean() == 0.0
+
+    def test_iteration_pairs(self):
+        series = UsageSeries(times=[0.0, 1.0], values=[1.0, 2.0], step=1.0)
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_window_filters_samples(self):
+        series = UsageSeries(
+            times=[0.0, 1.0, 2.0], values=[1.0, 2.0, 3.0], step=1.0
+        )
+        window = series.window(1.0, 2.0)
+        assert window.times == [1.0]
+        assert window.values == [2.0]
+
+
+class TestMergeSeries:
+    def test_merge_empty_returns_none(self):
+        assert merge_series([]) is None
+
+    def test_merge_sums_values(self):
+        a = UsageSeries(times=[0.0, 1.0], values=[1.0, 2.0], step=1.0)
+        b = UsageSeries(times=[0.0, 1.0], values=[3.0, 4.0], step=1.0)
+        merged = merge_series([a, b])
+        assert merged.values == [4.0, 6.0]
+
+    def test_merge_rejects_misaligned(self):
+        a = UsageSeries(times=[0.0], values=[1.0], step=1.0)
+        b = UsageSeries(times=[0.5], values=[1.0], step=1.0)
+        with pytest.raises(ClusterError):
+            merge_series([a, b])

@@ -1,0 +1,114 @@
+"""Unit tests for local/shared filesystems."""
+
+import pytest
+
+from repro.cluster.filesystem import (
+    LocalFileSystem,
+    SharedFileSystem,
+    SimulatedFile,
+    StorageModel,
+)
+from repro.errors import FileSystemError
+
+
+class TestSimulatedFile:
+    def test_relative_path_rejected(self):
+        with pytest.raises(FileSystemError):
+            SimulatedFile("relative/path", 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(FileSystemError):
+            SimulatedFile("/x", -1)
+
+    def test_payload_kept(self):
+        f = SimulatedFile("/x", 3, payload=[1, 2, 3])
+        assert f.payload == [1, 2, 3]
+
+
+class TestStorageModel:
+    def test_read_time_has_seek_and_stream(self):
+        model = StorageModel(read_bps=1e6, seek_s=0.01)
+        assert model.read_time(1_000_000) == pytest.approx(1.01)
+
+    def test_write_time(self):
+        model = StorageModel(write_bps=2e6, seek_s=0.0)
+        assert model.write_time(1_000_000) == pytest.approx(0.5)
+
+    def test_negative_sizes_rejected(self):
+        model = StorageModel()
+        with pytest.raises(FileSystemError):
+            model.read_time(-1)
+        with pytest.raises(FileSystemError):
+            model.write_time(-1)
+
+
+class TestLocalFileSystem:
+    def test_put_and_get(self):
+        fs = LocalFileSystem("node1")
+        fs.put("/data/x", 100, payload="hello")
+        assert fs.get("/data/x").payload == "hello"
+        assert fs.exists("/data/x")
+        assert "/data/x" in fs
+
+    def test_get_missing_raises(self):
+        fs = LocalFileSystem("node1")
+        with pytest.raises(FileSystemError):
+            fs.get("/nope")
+
+    def test_put_replaces(self):
+        fs = LocalFileSystem("node1")
+        fs.put("/x", 10)
+        fs.put("/x", 20)
+        assert fs.get("/x").size_bytes == 20
+
+    def test_delete(self):
+        fs = LocalFileSystem("node1")
+        fs.put("/x", 10)
+        fs.delete("/x")
+        assert not fs.exists("/x")
+
+    def test_delete_missing_raises(self):
+        fs = LocalFileSystem("node1")
+        with pytest.raises(FileSystemError):
+            fs.delete("/x")
+
+    def test_listdir_prefix(self):
+        fs = LocalFileSystem("node1")
+        fs.put("/a/one", 1)
+        fs.put("/a/two", 2)
+        fs.put("/b/three", 3)
+        assert fs.listdir("/a/") == ["/a/one", "/a/two"]
+
+    def test_total_bytes(self):
+        fs = LocalFileSystem("node1")
+        fs.put("/a", 10)
+        fs.put("/b", 5)
+        assert fs.total_bytes() == 15
+
+    def test_read_time_uses_file_size(self):
+        fs = LocalFileSystem("node1", StorageModel(read_bps=1e6, seek_s=0.0))
+        fs.put("/x", 500_000)
+        assert fs.read_time("/x") == pytest.approx(0.5)
+
+    def test_name_carries_node(self):
+        assert LocalFileSystem("node7").node_name == "node7"
+
+
+class TestSharedFileSystem:
+    def test_contended_read_divides_bandwidth(self):
+        fs = SharedFileSystem(StorageModel(read_bps=1e6, seek_s=0.0))
+        fs.put("/x", 1_000_000)
+        assert fs.contended_read_time("/x", 1) == pytest.approx(1.0)
+        assert fs.contended_read_time("/x", 4) == pytest.approx(4.0)
+
+    def test_contended_read_requires_reader(self):
+        fs = SharedFileSystem()
+        fs.put("/x", 10)
+        with pytest.raises(FileSystemError):
+            fs.contended_read_time("/x", 0)
+
+    def test_iteration_yields_files(self):
+        fs = SharedFileSystem()
+        fs.put("/a", 1)
+        fs.put("/b", 2)
+        assert {f.path for f in fs} == {"/a", "/b"}

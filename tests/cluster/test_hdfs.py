@@ -1,0 +1,158 @@
+"""Unit tests for the HDFS-like filesystem."""
+
+import pytest
+
+from repro.cluster.filesystem import StorageModel
+from repro.cluster.hdfs import HdfsFileSystem
+from repro.errors import FileSystemError
+
+NODES = ["n0", "n1", "n2", "n3"]
+
+
+def make_fs(block_size=100, replication=2) -> HdfsFileSystem:
+    return HdfsFileSystem(NODES, block_size=block_size,
+                          replication=replication)
+
+
+class TestHdfsPut:
+    def test_splits_into_blocks(self):
+        fs = make_fs(block_size=100)
+        f = fs.put("/x", 250)
+        assert [b.size_bytes for b in f.blocks] == [100, 100, 50]
+
+    def test_block_indices_sequential(self):
+        fs = make_fs()
+        f = fs.put("/x", 250)
+        assert [b.index for b in f.blocks] == [0, 1, 2]
+
+    def test_replicas_round_robin(self):
+        fs = make_fs(block_size=100, replication=2)
+        f = fs.put("/x", 300)
+        assert list(f.blocks[0].replicas) == ["n0", "n1"]
+        assert list(f.blocks[1].replicas) == ["n1", "n2"]
+        assert f.blocks[0].primary == "n0"
+
+    def test_replication_clamped_to_nodes(self):
+        fs = HdfsFileSystem(["a", "b"], replication=5)
+        assert fs.replication == 2
+
+    def test_empty_file_single_empty_block(self):
+        fs = make_fs()
+        f = fs.put("/empty", 0)
+        assert len(f.blocks) == 1
+        assert f.blocks[0].size_bytes == 0
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(FileSystemError):
+            make_fs().put("x", 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(FileSystemError):
+            make_fs().put("/x", -1)
+
+    def test_requires_datanodes(self):
+        with pytest.raises(FileSystemError):
+            HdfsFileSystem([])
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(FileSystemError):
+            HdfsFileSystem(NODES, block_size=0)
+
+
+class TestHdfsNamespace:
+    def test_get_and_exists(self):
+        fs = make_fs()
+        fs.put("/x", 10)
+        assert fs.exists("/x")
+        assert fs.get("/x").size_bytes == 10
+
+    def test_get_missing_raises(self):
+        with pytest.raises(FileSystemError):
+            make_fs().get("/missing")
+
+    def test_delete(self):
+        fs = make_fs()
+        fs.put("/x", 10)
+        fs.delete("/x")
+        assert not fs.exists("/x")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(FileSystemError):
+            make_fs().delete("/x")
+
+    def test_listdir(self):
+        fs = make_fs()
+        fs.put("/in/a", 1)
+        fs.put("/in/b", 1)
+        fs.put("/out/c", 1)
+        assert fs.listdir("/in/") == ["/in/a", "/in/b"]
+
+    def test_total_bytes_logical(self):
+        fs = make_fs()
+        fs.put("/x", 250)
+        assert fs.total_bytes() == 250
+
+
+class TestHdfsSplits:
+    def test_blocks_on_node(self):
+        fs = make_fs(block_size=100, replication=2)
+        fs.put("/x", 400)
+        blocks = fs.blocks_on("/x", "n1")
+        # n1 holds replicas of blocks 0 (secondary) and 1 (primary).
+        assert {b.index for b in blocks} == {0, 1}
+
+    def test_assign_splits_covers_all_blocks(self):
+        fs = make_fs(block_size=100)
+        fs.put("/x", 950)
+        assignment = fs.assign_splits("/x", NODES)
+        assigned = [b for blocks in assignment.values() for b in blocks]
+        assert len(assigned) == 10
+
+    def test_assign_splits_prefers_locality(self):
+        fs = make_fs(block_size=100, replication=1)
+        fs.put("/x", 400)
+        assignment = fs.assign_splits("/x", NODES)
+        for reader, blocks in assignment.items():
+            for block in blocks:
+                assert reader in block.replicas
+
+    def test_assign_splits_balances_load(self):
+        fs = make_fs(block_size=100, replication=4)
+        fs.put("/x", 1200)
+        assignment = fs.assign_splits("/x", NODES)
+        counts = sorted(len(blocks) for blocks in assignment.values())
+        assert counts == [3, 3, 3, 3]
+
+    def test_assign_splits_foreign_readers(self):
+        fs = make_fs(block_size=100, replication=1)
+        fs.put("/x", 300)
+        assignment = fs.assign_splits("/x", ["other1", "other2"])
+        total = sum(len(b) for b in assignment.values())
+        assert total == 3
+
+    def test_assign_splits_requires_readers(self):
+        fs = make_fs()
+        fs.put("/x", 10)
+        with pytest.raises(FileSystemError):
+            fs.assign_splits("/x", [])
+
+
+class TestHdfsTiming:
+    def test_remote_read_slower_than_local(self):
+        fs = make_fs()
+        assert fs.read_time(10_000_000, local=False) > fs.read_time(
+            10_000_000, local=True
+        )
+
+    def test_write_time_scales_with_replication(self):
+        storage = StorageModel(write_bps=1e6, seek_s=0.0)
+        fs2 = HdfsFileSystem(NODES, replication=2, storage=storage)
+        fs3 = HdfsFileSystem(NODES, replication=3, storage=storage)
+        assert fs3.write_time(1_000_000) > fs2.write_time(1_000_000)
+
+    def test_negative_sizes_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FileSystemError):
+            fs.read_time(-1, local=True)
+        with pytest.raises(FileSystemError):
+            fs.write_time(-1)

@@ -1,0 +1,71 @@
+"""Unit tests for the network cost model."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel, das5_network
+from repro.errors import ClusterError
+
+
+class TestNetworkModel:
+    def test_transfer_time_includes_latency(self):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bps=1e6)
+        assert net.transfer_time(1_000_000) == pytest.approx(1.001)
+
+    def test_local_transfer_skips_latency(self):
+        net = NetworkModel(latency_s=1.0, bandwidth_bps=1e6,
+                           local_bandwidth_bps=1e7)
+        assert net.transfer_time(1_000_000, local=True) == pytest.approx(0.1)
+
+    def test_zero_bytes_costs_latency_only(self):
+        net = NetworkModel(latency_s=0.5)
+        assert net.transfer_time(0) == pytest.approx(0.5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ClusterError):
+            das5_network().transfer_time(-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ClusterError):
+            NetworkModel(latency_s=-1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ClusterError):
+            NetworkModel(bandwidth_bps=0)
+
+    def test_broadcast_zero_receivers_free(self):
+        assert das5_network().broadcast_time(1000, 0) == 0.0
+
+    def test_broadcast_scales_logarithmically(self):
+        net = NetworkModel(latency_s=0.0, bandwidth_bps=1e6)
+        one = net.broadcast_time(1_000_000, 1)
+        seven = net.broadcast_time(1_000_000, 7)
+        assert seven == pytest.approx(3 * one)
+
+    def test_broadcast_negative_receivers_rejected(self):
+        with pytest.raises(ClusterError):
+            das5_network().broadcast_time(10, -1)
+
+    def test_allreduce_single_participant_free(self):
+        assert das5_network().allreduce_time(100, 1) == 0.0
+        assert das5_network().allreduce_time(100, 0) == 0.0
+
+    def test_allreduce_is_two_tree_waves(self):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bps=1e9)
+        per_hop = net.transfer_time(64)
+        assert net.allreduce_time(64, 8) == pytest.approx(2 * 3 * per_hop)
+
+    def test_allreduce_negative_rejected(self):
+        with pytest.raises(ClusterError):
+            das5_network().allreduce_time(10, -2)
+
+    def test_shuffle_single_participant_free(self):
+        assert das5_network().shuffle_time(100, 1) == 0.0
+
+    def test_shuffle_scales_with_peers(self):
+        net = NetworkModel(latency_s=0.0, bandwidth_bps=1e6)
+        assert net.shuffle_time(1_000_000, 5) == pytest.approx(4.0)
+
+    def test_das5_profile(self):
+        net = das5_network()
+        assert net.latency_s == pytest.approx(50e-6)
+        assert net.bandwidth_bps == pytest.approx(6.0e9)

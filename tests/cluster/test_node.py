@@ -1,0 +1,77 @@
+"""Unit tests for simulated nodes."""
+
+import pytest
+
+from repro.cluster.node import Node, das5_node
+from repro.errors import ClusterError
+
+
+class TestNode:
+    def test_requires_name(self):
+        with pytest.raises(ClusterError):
+            Node("")
+
+    def test_requires_positive_memory(self):
+        with pytest.raises(ClusterError):
+            Node("n1", memory_bytes=0)
+
+    def test_das5_node_shape(self):
+        node = das5_node("node340")
+        assert node.name == "node340"
+        assert node.cores == 16
+        assert node.memory_bytes == 64 << 30
+
+    def test_work_records_interval(self):
+        node = Node("n1", cores=4)
+        node.work(1.0, 2.0, 3.0, "load")
+        assert node.cpu.cpu_seconds_between(0.0, 10.0) == pytest.approx(6.0)
+
+    def test_usage_sampling(self):
+        node = Node("n1", cores=4)
+        node.work(0.0, 1.0, 2.0)
+        series = node.usage(0.0, 2.0)
+        assert series.values == [2.0, 0.0]
+
+    def test_memory_allocate_and_free(self):
+        node = Node("n1", memory_bytes=1000)
+        node.allocate_memory(400)
+        assert node.memory_used == 400
+        assert node.memory_free == 600
+        node.free_memory(400)
+        assert node.memory_used == 0
+
+    def test_memory_peak_tracking(self):
+        node = Node("n1", memory_bytes=1000)
+        node.allocate_memory(700)
+        node.free_memory(500)
+        node.allocate_memory(100)
+        assert node.memory_peak == 700
+
+    def test_memory_overflow_rejected(self):
+        node = Node("n1", memory_bytes=100)
+        with pytest.raises(ClusterError):
+            node.allocate_memory(101)
+
+    def test_negative_allocation_rejected(self):
+        node = Node("n1")
+        with pytest.raises(ClusterError):
+            node.allocate_memory(-1)
+
+    def test_over_free_rejected(self):
+        node = Node("n1")
+        node.allocate_memory(10)
+        with pytest.raises(ClusterError):
+            node.free_memory(11)
+
+    def test_negative_free_rejected(self):
+        node = Node("n1")
+        with pytest.raises(ClusterError):
+            node.free_memory(-5)
+
+    def test_reset_clears_state(self):
+        node = Node("n1")
+        node.work(0.0, 1.0, 1.0)
+        node.allocate_memory(10)
+        node.reset()
+        assert node.memory_used == 0
+        assert node.cpu.cpu_seconds_between(0.0, 10.0) == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for Yarn/MPI/native provisioning."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.node import Node
+from repro.cluster.provisioning import MpiLauncher, NativeLauncher, YarnManager
+from repro.errors import ProvisioningError
+
+
+def make_nodes(n=4):
+    return [Node(f"n{i}", cores=16) for i in range(n)]
+
+
+class TestYarnManager:
+    def test_requires_nodes(self):
+        with pytest.raises(ProvisioningError):
+            YarnManager([], SimClock())
+
+    def test_allocate_advances_clock(self):
+        clock = SimClock()
+        yarn = YarnManager(make_nodes(), clock)
+        yarn.allocate(4)
+        expected = yarn.am_negotiation_s + yarn.container_launch_s
+        assert clock.now() == pytest.approx(expected)
+
+    def test_allocation_rounds(self):
+        clock = SimClock()
+        yarn = YarnManager(make_nodes(8), clock, containers_per_round=4)
+        yarn.allocate(8)
+        expected = yarn.am_negotiation_s + 2 * yarn.container_launch_s
+        assert clock.now() == pytest.approx(expected)
+
+    def test_allocation_charges_light_cpu(self):
+        nodes = make_nodes()
+        yarn = YarnManager(nodes, SimClock())
+        yarn.allocate(4)
+        for node in nodes:
+            cpu = node.cpu.cpu_seconds_between(0.0, 100.0)
+            assert 0.0 < cpu < 1.0  # bookkeeping only
+
+    def test_allocate_too_many_rejected(self):
+        yarn = YarnManager(make_nodes(2), SimClock())
+        with pytest.raises(ProvisioningError):
+            yarn.allocate(3)
+
+    def test_allocate_nonpositive_rejected(self):
+        yarn = YarnManager(make_nodes(), SimClock())
+        with pytest.raises(ProvisioningError):
+            yarn.allocate(0)
+
+    def test_release_marks_inactive(self):
+        clock = SimClock()
+        yarn = YarnManager(make_nodes(), clock)
+        alloc = yarn.allocate(2)
+        before = clock.now()
+        yarn.release(alloc)
+        assert not alloc.active
+        assert alloc.released_at > before
+        assert yarn.active_allocations == []
+
+    def test_double_release_rejected(self):
+        yarn = YarnManager(make_nodes(), SimClock())
+        alloc = yarn.allocate(2)
+        yarn.release(alloc)
+        with pytest.raises(ProvisioningError):
+            yarn.release(alloc)
+
+    def test_allocation_node_names(self):
+        yarn = YarnManager(make_nodes(), SimClock())
+        alloc = yarn.allocate(3)
+        assert alloc.node_names == ["n0", "n1", "n2"]
+
+    def test_trace_records_events(self):
+        yarn = YarnManager(make_nodes(), SimClock())
+        yarn.allocate(2)
+        names = [e.name for e in yarn.trace.by_category("yarn")]
+        assert "allocation_requested" in names
+        assert "allocation_granted" in names
+        assert names.count("container_started") == 2
+
+
+class TestMpiLauncher:
+    def test_launch_faster_than_yarn(self):
+        clock_mpi, clock_yarn = SimClock(), SimClock()
+        MpiLauncher(make_nodes(8), clock_mpi).launch(8)
+        YarnManager(make_nodes(8), clock_yarn).allocate(8)
+        assert clock_mpi.now() < clock_yarn.now()
+
+    def test_launch_too_many_rejected(self):
+        launcher = MpiLauncher(make_nodes(2), SimClock())
+        with pytest.raises(ProvisioningError):
+            launcher.launch(3)
+
+    def test_finalize(self):
+        clock = SimClock()
+        launcher = MpiLauncher(make_nodes(), clock)
+        alloc = launcher.launch(4)
+        launcher.finalize(alloc)
+        assert not alloc.active
+
+    def test_double_finalize_rejected(self):
+        launcher = MpiLauncher(make_nodes(), SimClock())
+        alloc = launcher.launch(2)
+        launcher.finalize(alloc)
+        with pytest.raises(ProvisioningError):
+            launcher.finalize(alloc)
+
+    def test_requires_nodes(self):
+        with pytest.raises(ProvisioningError):
+            MpiLauncher([], SimClock())
+
+
+class TestNativeLauncher:
+    def test_launch_and_terminate(self):
+        clock = SimClock()
+        node = Node("solo")
+        launcher = NativeLauncher(node, clock)
+        alloc = launcher.launch()
+        assert alloc.node_names == ["solo"]
+        assert clock.now() == pytest.approx(launcher.fork_s)
+        launcher.terminate(alloc)
+        assert not alloc.active
+
+    def test_double_terminate_rejected(self):
+        launcher = NativeLauncher(Node("solo"), SimClock())
+        alloc = launcher.launch()
+        launcher.terminate(alloc)
+        with pytest.raises(ProvisioningError):
+            launcher.terminate(alloc)

@@ -1,0 +1,101 @@
+"""Shared fixtures.
+
+Expensive artifacts (graphs, monitored runs, the dg1000-scaled
+experiment runner) are session-scoped: every test sees identical,
+deterministic state without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, DAS5_GIRAPH_NODES, DAS5_POWERGRAPH_NODES
+from repro.cluster.node import das5_node
+from repro.core.archive.builder import build_archive
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.powergraph_model import powergraph_model
+from repro.core.monitor.session import MonitoringSession
+from repro.graph.generators.datagen import datagen_graph
+from repro.graph.graph import Graph
+from repro.platforms.base import JobRequest
+from repro.platforms.gas.engine import PowerGraphPlatform
+from repro.platforms.pregel.engine import GiraphPlatform
+
+#: HDFS block size matching the scaled datasets.
+TEST_HDFS_BLOCK = 1 << 16
+
+
+def make_giraph_cluster() -> Cluster:
+    """A fresh 8-node Giraph-style cluster."""
+    return Cluster(
+        [das5_node(n) for n in DAS5_GIRAPH_NODES],
+        hdfs_block_size=TEST_HDFS_BLOCK,
+    )
+
+
+def make_powergraph_cluster() -> Cluster:
+    """A fresh 8-node PowerGraph-style cluster."""
+    return Cluster(
+        [das5_node(n) for n in DAS5_POWERGRAPH_NODES],
+        hdfs_block_size=TEST_HDFS_BLOCK,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A small, connected Datagen-like graph (shared, do not mutate)."""
+    return datagen_graph(600, avg_degree=6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A mid-size Datagen-like graph for engine validation."""
+    return datagen_graph(3000, avg_degree=7, seed=5)
+
+
+@pytest.fixture()
+def line_graph() -> Graph:
+    """0 -> 1 -> 2 -> 3 -> 4 (easy to reason about by hand)."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture()
+def diamond_graph() -> Graph:
+    """0 -> {1, 2} -> 3 plus an isolated vertex 4."""
+    return Graph(5, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture(scope="session")
+def giraph_run(tiny_graph):
+    """One monitored Giraph BFS run on the tiny graph (shared)."""
+    platform = GiraphPlatform(make_giraph_cluster())
+    platform.deploy_dataset("tiny", tiny_graph)
+    session = MonitoringSession(platform)
+    return session.run(JobRequest(
+        algorithm="bfs", dataset="tiny", workers=8, params={"source": 0},
+    ))
+
+
+@pytest.fixture(scope="session")
+def giraph_archive(giraph_run):
+    """The archive of the shared Giraph run, built with the full model."""
+    archive, _report = build_archive(giraph_run, giraph_model())
+    return archive
+
+
+@pytest.fixture(scope="session")
+def powergraph_run(tiny_graph):
+    """One monitored PowerGraph BFS run on the tiny graph (shared)."""
+    platform = PowerGraphPlatform(make_powergraph_cluster())
+    platform.deploy_dataset("tiny", tiny_graph)
+    session = MonitoringSession(platform)
+    return session.run(JobRequest(
+        algorithm="bfs", dataset="tiny", workers=8, params={"source": 0},
+    ))
+
+
+@pytest.fixture(scope="session")
+def powergraph_archive(powergraph_run):
+    """The archive of the shared PowerGraph run."""
+    archive, _report = build_archive(powergraph_run, powergraph_model())
+    return archive

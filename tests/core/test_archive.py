@@ -1,0 +1,367 @@
+"""Unit tests for archives: structure, builder, query, serialize, store."""
+
+import math
+
+import pytest
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.builder import build_archive
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.core.archive.store import ArchiveStore
+from repro.core.model.giraph_model import giraph_model
+from repro.core.monitor.logparser import parse_log
+from repro.core.monitor.session import MonitoredRun
+from repro.errors import ArchiveBuildError, ArchiveError, QueryError
+from repro.platforms.base import JobResult
+
+
+def make_archive():
+    root = ArchivedOperation("u0", "Job", "Client", 0.0, 10.0)
+    load = ArchivedOperation("u1", "LoadGraph", "Master", 0.0, 4.0,
+                             parent=root)
+    root.children.append(load)
+    for i in range(2):
+        worker_op = ArchivedOperation(
+            f"u2{i}", "LocalLoad", f"Worker-{i + 1}", 0.0, 2.0 + i,
+            infos={"BytesRead": 100 * (i + 1)}, parent=load,
+        )
+        load.children.append(worker_op)
+    process = ArchivedOperation("u3", "ProcessGraph", "Master", 4.0, 10.0,
+                                parent=root)
+    root.children.append(process)
+    for k in range(3):
+        step = ArchivedOperation(
+            f"u4{k}", f"Superstep-{k}", "Master", 4.0 + 2 * k,
+            6.0 + 2 * k, infos={"Duration": 2.0}, parent=process,
+        )
+        process.children.append(step)
+    return PerformanceArchive("job-x", root, platform="Test",
+                              env_samples=[(0.0, "n1", 2.0), (1.0, "n1", 3.0)])
+
+
+class TestArchivedOperation:
+    def test_duration(self):
+        assert ArchivedOperation("u", "A", "x", 1.0, 3.5).duration == 2.5
+        assert ArchivedOperation("u", "A", "x").duration is None
+
+    def test_mission_iteration_split(self):
+        op = ArchivedOperation("u", "Compute-4", "Worker-2")
+        assert op.mission_base == "Compute"
+        assert op.iteration == 4
+        assert op.actor_base == "Worker"
+        assert op.actor_index == 2
+
+    def test_path(self):
+        archive = make_archive()
+        local = archive.find(mission_base="LocalLoad")[0]
+        assert local.path == "Job/LoadGraph/LocalLoad"
+
+    def test_child_lookup(self):
+        archive = make_archive()
+        assert archive.root.child("LoadGraph").uid == "u1"
+        with pytest.raises(ArchiveError):
+            archive.root.child("Ghost")
+
+    def test_children_of(self):
+        archive = make_archive()
+        process = archive.root.child("ProcessGraph")
+        assert len(process.children_of("Superstep")) == 3
+
+
+class TestPerformanceArchive:
+    def test_requires_job_id(self):
+        with pytest.raises(ArchiveError):
+            PerformanceArchive("", ArchivedOperation("u", "A", "x"))
+
+    def test_duplicate_uid_rejected(self):
+        root = ArchivedOperation("u", "A", "x")
+        child = ArchivedOperation("u", "B", "x", parent=root)
+        root.children.append(child)
+        with pytest.raises(ArchiveError):
+            PerformanceArchive("j", root)
+
+    def test_size_and_lookup(self):
+        archive = make_archive()
+        assert archive.size() == 8
+        assert archive.operation("u1").mission == "LoadGraph"
+        with pytest.raises(ArchiveError):
+            archive.operation("ghost")
+
+    def test_makespan(self):
+        assert make_archive().makespan == 10.0
+
+    def test_find_filters(self):
+        archive = make_archive()
+        assert len(archive.find(mission_base="Superstep")) == 3
+        assert len(archive.find(mission="Superstep-1")) == 1
+        assert len(archive.find(actor_base="Worker")) == 2
+        assert len(archive.find(actor="Worker-2")) == 1
+        assert archive.find(mission="Nope") == []
+
+    def test_node_env_series(self):
+        series = make_archive().node_env_series()
+        assert series == {"n1": [(0.0, 2.0), (1.0, 3.0)]}
+
+
+class TestBuilder:
+    def make_run(self, lines, job_id="j"):
+        records, _ = parse_log(lines)
+        result = JobResult(job_id=job_id, algorithm="bfs", dataset="d",
+                           output={}, started_at=0.0, finished_at=1.0)
+        return MonitoredRun(result=result, records=records, env_series={},
+                            env_samples=[], node_names=["n1"])
+
+    def test_build_minimal_tree(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=Job actor=C",
+            "GRANULA ts=1 job=j event=info uid=a name=Bytes value=42",
+            "GRANULA ts=2 job=j event=end uid=a",
+        ])
+        archive, report = build_archive(run)
+        assert archive.root.mission == "Job"
+        assert archive.root.infos["Bytes"] == 42
+        assert archive.root.infos["Duration"] == 2.0
+        assert report.infos_recorded == 1
+
+    def test_info_values_typed(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=Job actor=C",
+            "GRANULA ts=0 job=j event=info uid=a name=I value=7",
+            "GRANULA ts=0 job=j event=info uid=a name=F value=1.5",
+            "GRANULA ts=0 job=j event=info uid=a name=S value=hello",
+            "GRANULA ts=1 job=j event=end uid=a",
+        ])
+        archive, _report = build_archive(run)
+        assert archive.root.infos["I"] == 7
+        assert archive.root.infos["F"] == 1.5
+        assert archive.root.infos["S"] == "hello"
+
+    def test_double_start_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=A actor=C",
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=A actor=C",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_unknown_parent_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=ghost "
+            "mission=A actor=C",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_end_without_start_rejected(self):
+        run = self.make_run(["GRANULA ts=0 job=j event=end uid=ghost"])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_double_end_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=A actor=C",
+            "GRANULA ts=1 job=j event=end uid=a",
+            "GRANULA ts=2 job=j event=end uid=a",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_dangling_operation_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=A actor=C",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_multiple_roots_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=A actor=C",
+            "GRANULA ts=0 job=j event=start uid=b parent=- mission=B actor=C",
+            "GRANULA ts=1 job=j event=end uid=a",
+            "GRANULA ts=1 job=j event=end uid=b",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_info_for_unknown_op_rejected(self):
+        run = self.make_run([
+            "GRANULA ts=0 job=j event=info uid=ghost name=X value=1",
+        ])
+        with pytest.raises(ArchiveBuildError):
+            build_archive(run)
+
+    def test_full_run_with_model(self, giraph_run):
+        archive, report = build_archive(giraph_run, giraph_model())
+        assert report.unmodeled == []
+        assert report.rules_applied > 0
+        assert archive.platform == "Giraph"
+        assert archive.metadata["algorithm"] == "bfs"
+        # Domain shares derived on every domain operation.
+        for mission in ("Startup", "LoadGraph", "ProcessGraph",
+                        "OffloadGraph", "Cleanup"):
+            domain_op = archive.root.child(mission)
+            assert 0.0 <= domain_op.infos["ShareOfParent"] <= 1.0
+
+    def test_build_without_model(self, giraph_run):
+        archive, report = build_archive(giraph_run, model=None)
+        assert archive.platform == ""
+        assert report.rules_applied == 0
+        assert archive.root.infos["Duration"] > 0
+
+    def test_unmodeled_reported_with_truncated_model(self, giraph_run):
+        coarse = giraph_model().truncated(1)
+        _archive, report = build_archive(giraph_run, coarse)
+        assert ("Superstep", "Master") in report.unmodeled
+
+
+class TestQuery:
+    @pytest.fixture()
+    def archive(self):
+        return make_archive()
+
+    def test_path_glob(self, archive):
+        q = ArchiveQuery(archive)
+        assert len(q.path("Job/ProcessGraph/Superstep-*")) == 3
+        assert len(q.path("Job/*/LocalLoad")) == 2
+
+    def test_mission_and_actor(self, archive):
+        q = ArchiveQuery(archive)
+        assert len(q.mission("Superstep")) == 3
+        assert len(q.actor("Worker")) == 2
+
+    def test_iteration_filter(self, archive):
+        q = ArchiveQuery(archive)
+        assert q.iteration(2).one().mission == "Superstep-2"
+
+    def test_where(self, archive):
+        q = ArchiveQuery(archive).where(lambda op: op.duration > 5)
+        assert {op.mission for op in q.operations()} == {"Job",
+                                                         "ProcessGraph"}
+
+    def test_one_requires_single(self, archive):
+        with pytest.raises(QueryError):
+            ArchiveQuery(archive).mission("Superstep").one()
+        with pytest.raises(QueryError):
+            ArchiveQuery(archive).mission("Ghost").one()
+
+    def test_first(self, archive):
+        assert ArchiveQuery(archive).mission("Superstep").first().iteration == 0
+        with pytest.raises(QueryError):
+            ArchiveQuery(archive).mission("Ghost").first()
+
+    def test_values_and_total(self, archive):
+        q = ArchiveQuery(archive).mission("LocalLoad")
+        assert q.values("BytesRead") == [100, 200]
+        assert q.total("BytesRead") == 300
+
+    def test_mean(self, archive):
+        assert ArchiveQuery(archive).mission("Superstep").mean() == 2.0
+        with pytest.raises(QueryError):
+            ArchiveQuery(archive).mission("Ghost").mean()
+
+    def test_top(self, archive):
+        top = ArchiveQuery(archive).mission("LocalLoad").top("BytesRead", 1)
+        assert top[0].infos["BytesRead"] == 200
+        with pytest.raises(QueryError):
+            ArchiveQuery(archive).top("Duration", 0)
+
+    def test_group_by_actor(self, archive):
+        groups = ArchiveQuery(archive).mission("LocalLoad").group_by_actor()
+        assert sorted(groups) == ["Worker-1", "Worker-2"]
+
+    def test_group_by_iteration(self, archive):
+        groups = ArchiveQuery(archive).mission("Superstep").group_by_iteration()
+        assert sorted(groups) == [0, 1, 2]
+
+    def test_durations(self, archive):
+        assert ArchiveQuery(archive).mission("Superstep").durations() == [
+            2.0, 2.0, 2.0]
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        archive = make_archive()
+        clone = archive_from_json(archive_to_json(archive))
+        assert clone.job_id == archive.job_id
+        assert clone.size() == archive.size()
+        assert clone.env_samples == archive.env_samples
+        local = clone.find(mission_base="LocalLoad")
+        assert [op.infos["BytesRead"] for op in local] == [100, 200]
+
+    def test_infinity_handling(self):
+        root = ArchivedOperation("u", "A", "x", 0.0, 1.0,
+                                 infos={"Dist": math.inf})
+        archive = PerformanceArchive("j", root)
+        clone = archive_from_json(archive_to_json(archive))
+        assert clone.root.infos["Dist"] == math.inf
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ArchiveError):
+            archive_from_json("{not json")
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ArchiveError):
+            archive_from_json('{"format": "something-else"}')
+
+    def test_rejects_wrong_version(self):
+        text = archive_to_json(make_archive()).replace(
+            '"format_version": 1', '"format_version": 99')
+        with pytest.raises(ArchiveError):
+            archive_from_json(text)
+
+    def test_giraph_archive_roundtrip(self, giraph_archive):
+        clone = archive_from_json(archive_to_json(giraph_archive))
+        assert clone.size() == giraph_archive.size()
+        assert clone.makespan == pytest.approx(giraph_archive.makespan)
+
+
+class TestStore:
+    def test_save_load_list(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        archive = make_archive()
+        path = store.save(archive)
+        assert path.exists()
+        assert "job-x" in store
+        assert len(store) == 1
+        loaded = store.load("job-x")
+        assert loaded.size() == archive.size()
+        assert store.list() == ["job-x"]
+
+    def test_save_no_overwrite_by_default(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        with pytest.raises(ArchiveError):
+            store.save(make_archive())
+        store.save(make_archive(), overwrite=True)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            ArchiveStore(tmp_path).load("ghost")
+
+    def test_delete(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        store.delete("job-x")
+        assert "job-x" not in store
+        with pytest.raises(ArchiveError):
+            store.delete("job-x")
+
+    def test_index_survives_reopen(self, tmp_path):
+        ArchiveStore(tmp_path).save(make_archive())
+        reopened = ArchiveStore(tmp_path)
+        assert reopened.list() == ["job-x"]
+        assert reopened.summary("job-x")["platform"] == "Test"
+
+    def test_list_filters(self, tmp_path, giraph_archive):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        store.save(giraph_archive)
+        assert store.list(platform="Giraph") == [giraph_archive.job_id]
+        assert store.list(platform="Nope") == []
+        assert store.list(algorithm="bfs") == [giraph_archive.job_id]
+        assert store.list(dataset="tiny") == [giraph_archive.job_id]
+
+    def test_summary_missing(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            ArchiveStore(tmp_path).summary("ghost")

@@ -1,0 +1,43 @@
+"""Tests for the side-by-side decomposition rendering."""
+
+import pytest
+
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.core.visualize.compare import (
+    render_side_by_side_svg,
+    render_side_by_side_text,
+    side_by_side_from_archives,
+)
+from repro.errors import VisualizationError
+
+
+class TestSideBySide:
+    def test_text_stacks_both(self, giraph_archive, powergraph_archive):
+        text = render_side_by_side_text([
+            compute_breakdown(giraph_archive),
+            compute_breakdown(powergraph_archive),
+        ])
+        assert "Giraph" in text
+        assert "PowerGraph" in text
+        assert "=" * 10 in text
+
+    def test_svg_contains_both_platforms(self, giraph_archive,
+                                         powergraph_archive):
+        svg = side_by_side_from_archives([giraph_archive,
+                                          powergraph_archive])
+        assert svg.startswith("<svg")
+        assert "Giraph" in svg
+        assert "PowerGraph" in svg
+        # Shared legend phases.
+        for phase in ("Setup", "Input/output", "Processing"):
+            assert phase in svg
+
+    def test_single_archive_works(self, giraph_archive):
+        svg = render_side_by_side_svg([compute_breakdown(giraph_archive)])
+        assert svg.startswith("<svg")
+
+    def test_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_side_by_side_svg([])
+        with pytest.raises(VisualizationError):
+            render_side_by_side_text([])

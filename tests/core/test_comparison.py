@@ -1,0 +1,119 @@
+"""Tests for cross-platform comparison (Section 3.4 metrics)."""
+
+import pytest
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.comparison import (
+    ComparisonReport,
+    compare_platforms,
+    domain_metrics,
+)
+from repro.errors import ArchiveError
+
+
+def make_archive(platform, total, setup, io, processing,
+                 algorithm="bfs", dataset="d", job_id=None):
+    root = ArchivedOperation("r", f"{platform}Job", "Client", 0.0, total)
+    t = 0.0
+    for mission, duration in (
+        ("Startup", setup / 2), ("LoadGraph", io * 0.9),
+        ("ProcessGraph", processing), ("OffloadGraph", io * 0.1),
+        ("Cleanup", setup / 2),
+    ):
+        op = ArchivedOperation(
+            mission, mission, "Client", t, t + duration, parent=root)
+        root.children.append(op)
+        t += duration
+    return PerformanceArchive(
+        job_id or f"{platform}-job", root, platform=platform,
+        metadata={"algorithm": algorithm, "dataset": dataset},
+    )
+
+
+GIRAPH = make_archive("Giraph", 80.0, setup=25.0, io=35.0, processing=20.0)
+POWERGRAPH = make_archive("PowerGraph", 400.0, setup=3.0, io=385.0,
+                          processing=12.0)
+
+
+class TestDomainMetrics:
+    def test_ts_td_tp(self):
+        m = domain_metrics(GIRAPH)
+        assert m.setup_s == pytest.approx(25.0)
+        assert m.io_s == pytest.approx(35.0)
+        assert m.processing_s == pytest.approx(20.0)
+        assert m.total_s == 80.0
+
+    def test_shares(self):
+        m = domain_metrics(GIRAPH)
+        assert m.setup_share == pytest.approx(25 / 80)
+        assert m.io_share == pytest.approx(35 / 80)
+        assert m.processing_share == pytest.approx(20 / 80)
+
+    def test_missing_ops_count_zero(self):
+        root = ArchivedOperation("r", "Job", "C", 0.0, 10.0)
+        process = ArchivedOperation("p", "ProcessGraph", "C", 0.0, 10.0,
+                                    parent=root)
+        root.children.append(process)
+        archive = PerformanceArchive("j", root, platform="X",
+                                     metadata={"algorithm": "a",
+                                               "dataset": "d"})
+        m = domain_metrics(archive)
+        assert m.setup_s == 0.0
+        assert m.processing_s == 10.0
+
+    def test_rejects_zero_makespan(self):
+        root = ArchivedOperation("r", "Job", "C", 1.0, 1.0)
+        with pytest.raises(ArchiveError):
+            domain_metrics(PerformanceArchive("j", root))
+
+    def test_real_archives(self, giraph_archive, powergraph_archive):
+        g = domain_metrics(giraph_archive)
+        p = domain_metrics(powergraph_archive)
+        assert g.platform == "Giraph"
+        assert p.platform == "PowerGraph"
+        assert g.setup_s + g.io_s + g.processing_s <= g.total_s * 1.01
+
+
+class TestComparePlatforms:
+    def test_sorted_fastest_first(self):
+        report = compare_platforms([POWERGRAPH, GIRAPH])
+        assert [m.platform for m in report.metrics] == [
+            "Giraph", "PowerGraph"]
+
+    def test_fastest_per_metric(self):
+        report = compare_platforms([GIRAPH, POWERGRAPH])
+        assert report.fastest("total_s").platform == "Giraph"
+        assert report.fastest("processing_s").platform == "PowerGraph"
+        assert report.fastest("setup_s").platform == "PowerGraph"
+
+    def test_speedup_factors(self):
+        report = compare_platforms([GIRAPH, POWERGRAPH])
+        speedups = report.speedup("total_s")
+        assert speedups["Giraph"] == pytest.approx(1.0)
+        assert speedups["PowerGraph"] == pytest.approx(5.0)
+
+    def test_render_contains_metrics(self):
+        text = compare_platforms([GIRAPH, POWERGRAPH]).render_text()
+        assert "Ts setup" in text
+        assert "Giraph" in text and "PowerGraph" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ArchiveError):
+            compare_platforms([])
+
+    def test_rejects_mixed_workloads(self):
+        other = make_archive("PowerGraph", 100, 10, 80, 10,
+                             algorithm="pagerank")
+        with pytest.raises(ArchiveError):
+            compare_platforms([GIRAPH, other])
+
+    def test_rejects_duplicate_platforms(self):
+        twin = make_archive("Giraph", 90, 25, 40, 25, job_id="twin")
+        with pytest.raises(ArchiveError):
+            compare_platforms([GIRAPH, twin])
+
+    def test_real_cross_platform(self, giraph_archive, powergraph_archive):
+        report = compare_platforms([giraph_archive, powergraph_archive])
+        assert len(report.metrics) == 2
+        # Even at tiny scale PowerGraph's processing phase is the faster.
+        assert report.fastest("processing_s").platform == "PowerGraph"

@@ -1,0 +1,187 @@
+"""Unit tests for the performance-model language."""
+
+import pytest
+
+from repro.core.model.info import DERIVED, IMPLICIT_INFOS, RECORDED, InfoSpec
+from repro.core.model.job import CANONICAL_LEVELS, JobModel
+from repro.core.model.operation import (
+    Multiplicity,
+    OperationModel,
+    split_iteration,
+)
+from repro.errors import ModelError
+
+
+class TestSplitIteration:
+    def test_plain_name(self):
+        assert split_iteration("LoadGraph") == ("LoadGraph", None)
+
+    def test_iterated_name(self):
+        assert split_iteration("Compute-4") == ("Compute", 4)
+
+    def test_multi_digit(self):
+        assert split_iteration("Superstep-12") == ("Superstep", 12)
+
+    def test_instance_suffix(self):
+        assert split_iteration("Worker-8") == ("Worker", 8)
+
+    def test_dash_without_number(self):
+        assert split_iteration("Pre-Step") == ("Pre-Step", None)
+
+    def test_interior_number(self):
+        assert split_iteration("Step-2-Go") == ("Step-2-Go", None)
+
+
+class TestInfoSpec:
+    def test_valid_sources(self):
+        assert InfoSpec("X", RECORDED).is_recorded
+        assert InfoSpec("Y", DERIVED).is_derived
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            InfoSpec("")
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ModelError):
+            InfoSpec("X", "guessed")
+
+    def test_implicit_infos(self):
+        names = [i.name for i in IMPLICIT_INFOS]
+        assert names == ["StartTime", "EndTime", "Duration"]
+
+
+class TestOperationModel:
+    def test_rejects_iteration_suffix_in_mission(self):
+        with pytest.raises(ModelError):
+            OperationModel("Compute-4", "Worker")
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ModelError):
+            OperationModel("", "Worker")
+        with pytest.raises(ModelError):
+            OperationModel("X", "")
+
+    def test_rejects_bad_multiplicity(self):
+        with pytest.raises(ModelError):
+            OperationModel("X", "W", multiplicity="sometimes")
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ModelError):
+            OperationModel("X", "W", level=0)
+
+    def test_add_child_and_lookup(self):
+        parent = OperationModel("Job", "Client")
+        child = parent.add_child(OperationModel("Load", "Master"))
+        assert parent.child("Load") is child
+
+    def test_duplicate_child_rejected(self):
+        parent = OperationModel("Job", "Client")
+        parent.add_child(OperationModel("Load", "Master"))
+        with pytest.raises(ModelError):
+            parent.add_child(OperationModel("Load", "Master"))
+
+    def test_missing_child_lookup(self):
+        with pytest.raises(ModelError):
+            OperationModel("Job", "Client").child("Nope")
+
+    def test_duplicate_info_rejected(self):
+        op = OperationModel("X", "W")
+        op.add_info(InfoSpec("Bytes"))
+        with pytest.raises(ModelError):
+            op.add_info(InfoSpec("Bytes"))
+
+    def test_walk_preorder(self):
+        root = OperationModel("A", "x")
+        b = root.add_child(OperationModel("B", "x"))
+        b.add_child(OperationModel("C", "x"))
+        root.add_child(OperationModel("D", "x"))
+        assert [n.mission for n in root.walk()] == ["A", "B", "C", "D"]
+
+    def test_matches_single(self):
+        op = OperationModel("LoadGraph", "Master")
+        assert op.matches("LoadGraph", "Master")
+        assert not op.matches("LoadGraph-1", "Master")
+        assert not op.matches("Other", "Master")
+
+    def test_matches_iterated(self):
+        op = OperationModel("Superstep", "Master",
+                            multiplicity=Multiplicity.ITERATED)
+        assert op.matches("Superstep-0", "Master")
+        assert op.matches("Superstep", "Master")
+
+    def test_matches_per_actor(self):
+        op = OperationModel("LocalLoad", "Worker",
+                            multiplicity=Multiplicity.PER_ACTOR)
+        assert op.matches("LocalLoad", "Worker-3")
+        assert not op.matches("LocalLoad", "Master")
+
+    def test_matches_per_actor_iterated(self):
+        op = OperationModel("Compute", "Worker",
+                            multiplicity=Multiplicity.PER_ACTOR_ITERATED)
+        assert op.matches("Compute-7", "Worker-2")
+
+
+class TestJobModel:
+    def make_model(self):
+        root = OperationModel("Job", "Client", level=1)
+        load = root.add_child(OperationModel("Load", "Master", level=2))
+        load.add_child(OperationModel(
+            "LocalLoad", "Worker", level=3,
+            multiplicity=Multiplicity.PER_ACTOR))
+        return JobModel("Test", root)
+
+    def test_requires_platform_name(self):
+        with pytest.raises(ModelError):
+            JobModel("", OperationModel("Job", "C"))
+
+    def test_find_by_base_name(self):
+        model = self.make_model()
+        assert model.find("LocalLoad").actor_type == "Worker"
+        assert model.find("LocalLoad-3").mission == "LocalLoad"
+
+    def test_find_missing(self):
+        with pytest.raises(ModelError):
+            self.make_model().find("Ghost")
+
+    def test_has(self):
+        model = self.make_model()
+        assert model.has("Load")
+        assert model.has("Load-1")
+        assert not model.has("Ghost")
+
+    def test_match_concrete_instance(self):
+        model = self.make_model()
+        node = model.match("LocalLoad", "Worker-5")
+        assert node is model.find("LocalLoad")
+        assert model.match("LocalLoad", "Master") is None
+        assert model.match("Ghost", "Worker") is None
+
+    def test_levels(self):
+        model = self.make_model()
+        assert model.max_level() == 3
+        assert [n.mission for n in model.at_level(2)] == ["Load"]
+
+    def test_size(self):
+        assert self.make_model().size() == 3
+
+    def test_truncated_drops_deep_nodes(self):
+        model = self.make_model()
+        coarse = model.truncated(2)
+        assert coarse.size() == 2
+        assert not coarse.has("LocalLoad")
+        # The original is untouched.
+        assert model.has("LocalLoad")
+
+    def test_truncated_rejects_bad_level(self):
+        with pytest.raises(ModelError):
+            self.make_model().truncated(0)
+
+    def test_render_tree_mentions_levels(self):
+        text = self.make_model().render_tree()
+        assert "[domain]" in text
+        assert "[system]" in text
+        assert "[impl L3]" in text
+
+    def test_canonical_levels(self):
+        names = [l.name for l in CANONICAL_LEVELS]
+        assert names == ["domain", "system", "implementation"]

@@ -1,0 +1,69 @@
+"""Tests for the extended model library (one model per Table 1 row)."""
+
+import pytest
+
+from repro.core.model.library import DOMAIN_OPERATIONS, default_library
+from repro.core.model.serialize import model_from_json, model_to_json
+from repro.core.model.validation import validate_model
+from repro.platforms.registry import PLATFORM_TABLE
+
+ALL_PLATFORM_MODELS = ("Giraph", "PowerGraph", "Hadoop", "GraphMat",
+                       "PGX.D", "OpenG", "TOTEM")
+
+
+class TestExtendedLibrary:
+    def test_every_table1_platform_has_a_model(self):
+        library = default_library()
+        for platform in PLATFORM_TABLE:
+            assert library.has(platform.name), platform.name
+
+    @pytest.mark.parametrize("name", ALL_PLATFORM_MODELS)
+    def test_models_validate(self, name):
+        model = default_library().get(name)
+        assert validate_model(model, strict=False) == []
+
+    @pytest.mark.parametrize("name", ALL_PLATFORM_MODELS)
+    def test_identical_domain_level(self, name):
+        """The property enabling cross-platform comparison (Section 3.4)."""
+        model = default_library().get(name)
+        domain = tuple(c.mission for c in model.root.children)
+        assert domain == DOMAIN_OPERATIONS
+
+    @pytest.mark.parametrize("name", ALL_PLATFORM_MODELS)
+    def test_models_serialize(self, name):
+        model = default_library().get(name)
+        clone = model_from_json(model_to_json(model))
+        assert clone.size() == model.size()
+        assert validate_model(clone, strict=False) == []
+
+    def test_single_node_models_have_no_cluster_startup(self):
+        """OpenG/TOTEM launch natively: no resource-manager operation."""
+        library = default_library()
+        for name in ("OpenG", "TOTEM"):
+            model = library.get(name)
+            startup_children = {
+                c.mission for c in model.root.child("Startup").children
+            }
+            assert not startup_children & {"MpiStartup", "LaunchWorkers",
+                                           "LaunchContainers"}
+
+    def test_totem_models_hybrid_execution(self):
+        model = default_library().get("TOTEM")
+        round_children = {
+            c.mission for c in model.find("HybridRound").children
+        }
+        assert {"CpuKernel", "GpuKernel", "BoundaryExchange"} <= round_children
+
+    def test_graphmat_models_spmv(self):
+        model = default_library().get("GraphMat")
+        assert model.has("SpmvIteration")
+        assert model.has("SpmvMultiply")
+
+    def test_pgxd_models_push_pull(self):
+        model = default_library().get("PGX.D")
+        phase = model.find("ComputePhase")
+        assert any(i.name == "Direction" for i in phase.infos)
+
+    def test_library_count(self):
+        # 7 Table 1 platforms + the generic domain-level model.
+        assert len(default_library().platforms()) == 8

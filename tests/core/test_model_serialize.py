@@ -1,0 +1,120 @@
+"""Tests for performance-model serialization (R2)."""
+
+import pytest
+
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.hadoop_model import hadoop_model
+from repro.core.model.info import DERIVED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.library import domain_level_model
+from repro.core.model.operation import OperationModel
+from repro.core.model.powergraph_model import powergraph_model
+from repro.core.model.rules import DerivationRule
+from repro.core.model.serialize import (
+    model_from_json,
+    model_to_json,
+    register_rule_type,
+)
+from repro.core.model.validation import validate_model
+from repro.errors import ModelError
+
+
+def assert_models_equal(a: JobModel, b: JobModel) -> None:
+    assert a.platform == b.platform
+    assert a.version == b.version
+    assert a.size() == b.size()
+    for na, nb in zip(a.walk(), b.walk()):
+        assert na.mission == nb.mission
+        assert na.actor_type == nb.actor_type
+        assert na.level == nb.level
+        assert na.multiplicity == nb.multiplicity
+        assert na.description == nb.description
+        assert [i.name for i in na.infos] == [i.name for i in nb.infos]
+        assert [type(r).__name__ for r in na.rules] == [
+            type(r).__name__ for r in nb.rules
+        ]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [
+        giraph_model, powergraph_model, hadoop_model, domain_level_model,
+    ])
+    def test_shipped_models_roundtrip(self, factory):
+        model = factory()
+        clone = model_from_json(model_to_json(model))
+        assert_models_equal(model, clone)
+        assert validate_model(clone) == []
+
+    def test_rules_survive_with_parameters(self):
+        model = giraph_model()
+        clone = model_from_json(model_to_json(model))
+        load_hdfs = clone.find("LoadHdfsData")
+        rule = load_hdfs.rules[0]
+        assert rule.target == "BytesRead"
+        assert rule.source == "BytesRead"
+        assert rule.child_mission == "LocalLoad"
+
+    def test_levels_survive(self):
+        clone = model_from_json(model_to_json(giraph_model()))
+        assert [l.name for l in clone.levels] == [
+            "domain", "system", "implementation"]
+
+    def test_roundtrip_archives_identically(self, giraph_run):
+        """A deserialized model drives archiving exactly like the
+        original (the point of sharing models)."""
+        from repro.core.archive.builder import build_archive
+
+        original_archive, _ = build_archive(giraph_run, giraph_model())
+        clone = model_from_json(model_to_json(giraph_model()))
+        clone_archive, report = build_archive(giraph_run, clone)
+        assert report.unmodeled == []
+        assert clone_archive.size() == original_archive.size()
+        for a, b in zip(original_archive.walk(), clone_archive.walk()):
+            assert a.infos == b.infos
+
+
+class TestErrors:
+    def test_rejects_non_json(self):
+        with pytest.raises(ModelError):
+            model_from_json("{nope")
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ModelError):
+            model_from_json('{"format": "granula-archive"}')
+
+    def test_rejects_unknown_rule_type(self):
+        text = model_to_json(giraph_model()).replace(
+            '"type": "ShareOfParentRule"', '"type": "MysteryRule"')
+        with pytest.raises(ModelError):
+            model_from_json(text)
+
+    def test_unregistered_custom_rule_rejected_on_encode(self):
+        class CustomRule(DerivationRule):
+            def compute(self, operation):
+                return 1
+
+        root = OperationModel("Job", "C", level=1)
+        root.add_info(InfoSpec("X", DERIVED))
+        root.add_rule(CustomRule("X"))
+        with pytest.raises(ModelError):
+            model_to_json(JobModel("T", root))
+
+    def test_custom_rule_with_codec(self):
+        class TaggedRule(DerivationRule):
+            def compute(self, operation):
+                return 7
+
+        register_rule_type(
+            "TaggedRule",
+            lambda rule: {"target": rule.target},
+            lambda data: TaggedRule(data["target"]),
+        )
+        root = OperationModel("Job", "C", level=1)
+        root.add_info(InfoSpec("X", DERIVED))
+        root.add_rule(TaggedRule("X"))
+        clone = model_from_json(model_to_json(JobModel("T", root)))
+        assert type(clone.root.rules[0]).__name__ == "TaggedRule"
+
+    def test_duplicate_codec_registration_rejected(self):
+        with pytest.raises(ModelError):
+            register_rule_type("DurationRule", lambda r: {}, lambda d: None)

@@ -1,0 +1,197 @@
+"""Unit tests for monitoring: log parsing, env monitor, collector, session."""
+
+import pytest
+
+from repro.cluster.cluster import das5_cluster
+from repro.core.monitor.collector import collect_platform_log, split_by_job
+from repro.core.monitor.envmonitor import EnvironmentMonitor
+from repro.core.monitor.logparser import parse_log, parse_log_line
+from repro.core.monitor.records import EnvSample, LogRecord
+from repro.errors import LogParseError, MonitorError
+from repro.platforms.base import JobResult
+
+
+class TestParseLogLine:
+    def test_start_event(self):
+        record = parse_log_line(
+            "GRANULA ts=1.5 job=j1 event=start uid=op1 parent=- "
+            "mission=LoadGraph actor=Master"
+        )
+        assert record.is_start
+        assert record.timestamp == 1.5
+        assert record.mission == "LoadGraph"
+        assert record.actor == "Master"
+        assert record.parent_uid is None
+
+    def test_start_with_parent(self):
+        record = parse_log_line(
+            "GRANULA ts=1 job=j event=start uid=op2 parent=op1 "
+            "mission=X actor=Y"
+        )
+        assert record.parent_uid == "op1"
+
+    def test_end_event(self):
+        record = parse_log_line("GRANULA ts=2 job=j event=end uid=op1")
+        assert record.is_end
+
+    def test_info_event(self):
+        record = parse_log_line(
+            "GRANULA ts=2 job=j event=info uid=op1 name=Bytes value=42"
+        )
+        assert record.is_info
+        assert record.info_name == "Bytes"
+        assert record.info_value == "42"
+
+    def test_missing_required_field(self):
+        with pytest.raises(LogParseError):
+            parse_log_line("GRANULA ts=1 event=start uid=op1")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(LogParseError):
+            parse_log_line("GRANULA ts=abc job=j event=end uid=op1")
+
+    def test_unknown_event(self):
+        with pytest.raises(LogParseError):
+            parse_log_line("GRANULA ts=1 job=j event=pause uid=op1")
+
+    def test_start_missing_mission(self):
+        with pytest.raises(LogParseError):
+            parse_log_line("GRANULA ts=1 job=j event=start uid=op1 parent=-")
+
+    def test_info_missing_value(self):
+        with pytest.raises(LogParseError):
+            parse_log_line(
+                "GRANULA ts=1 job=j event=info uid=op1 name=Bytes")
+
+    def test_not_granula(self):
+        with pytest.raises(LogParseError):
+            parse_log_line("INFO normal platform logging")
+
+
+class TestParseLog:
+    GOOD = [
+        "2017-01-01 INFO platform noise",
+        "GRANULA ts=0 job=j event=start uid=a parent=- mission=Job actor=C",
+        "GRANULA ts=1 job=j event=end uid=a",
+    ]
+
+    def test_skips_foreign_lines(self):
+        records, bad = parse_log(self.GOOD)
+        assert len(records) == 2
+        assert bad == []
+
+    def test_strict_raises_on_malformed(self):
+        lines = self.GOOD + ["GRANULA ts=zzz job=j event=end uid=a"]
+        with pytest.raises(LogParseError):
+            parse_log(lines, strict=True)
+
+    def test_lenient_collects_malformed(self):
+        lines = self.GOOD + ["GRANULA ts=zzz job=j event=end uid=a"]
+        records, bad = parse_log(lines, strict=False)
+        assert len(records) == 2
+        assert len(bad) == 1
+
+
+class TestRecords:
+    def test_log_record_validation(self):
+        with pytest.raises(MonitorError):
+            LogRecord(1.0, "j", "explode", "op1")
+        with pytest.raises(MonitorError):
+            LogRecord(1.0, "j", "end", "")
+
+    def test_env_sample_fields(self):
+        sample = EnvSample(1.0, "node1", 3.5)
+        assert sample.node == "node1"
+        assert sample.cpu == 3.5
+
+
+class TestEnvironmentMonitor:
+    def test_rejects_bad_step(self):
+        with pytest.raises(MonitorError):
+            EnvironmentMonitor(das5_cluster(2), step=0)
+
+    def test_sample_window_per_node(self):
+        cluster = das5_cluster(2)
+        cluster.nodes[0].work(0.0, 2.0, 4.0)
+        monitor = EnvironmentMonitor(cluster)
+        series = monitor.sample_window(0.0, 3.0)
+        assert len(series) == 2
+        busy = series[cluster.node_names[0]]
+        assert busy.values == [4.0, 4.0, 0.0]
+
+    def test_samples_flat_and_ordered(self):
+        cluster = das5_cluster(2)
+        cluster.nodes[1].work(0.0, 1.0, 2.0)
+        samples = EnvironmentMonitor(cluster).samples(0.0, 2.0)
+        assert len(samples) == 4
+        timestamps = [s.timestamp for s in samples]
+        assert timestamps == sorted(timestamps)
+
+    def test_node_filter(self):
+        cluster = das5_cluster(3)
+        monitor = EnvironmentMonitor(cluster)
+        only = monitor.sample_window(0.0, 1.0, nodes=[cluster.node_names[0]])
+        assert list(only) == [cluster.node_names[0]]
+
+    def test_cluster_series_sums(self):
+        cluster = das5_cluster(2)
+        cluster.nodes[0].work(0.0, 1.0, 1.0)
+        cluster.nodes[1].work(0.0, 1.0, 2.0)
+        merged = EnvironmentMonitor(cluster).cluster_series(0.0, 1.0)
+        assert merged.values == [3.0]
+
+
+class TestCollector:
+    def make_result(self, lines, job_id="j"):
+        return JobResult(
+            job_id=job_id, algorithm="bfs", dataset="d", output={},
+            started_at=0.0, finished_at=1.0, log_lines=lines,
+        )
+
+    def test_collects_records(self):
+        lines = [
+            "GRANULA ts=0 job=j event=start uid=a parent=- mission=X actor=Y",
+            "GRANULA ts=1 job=j event=end uid=a",
+        ]
+        records = collect_platform_log(self.make_result(lines))
+        assert len(records) == 2
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(MonitorError):
+            collect_platform_log(self.make_result(["no granula here"]))
+
+    def test_foreign_job_rejected(self):
+        lines = [
+            "GRANULA ts=0 job=OTHER event=start uid=a parent=- "
+            "mission=X actor=Y",
+        ]
+        with pytest.raises(MonitorError):
+            collect_platform_log(self.make_result(lines, job_id="j"))
+
+    def test_split_by_job(self):
+        records, _ = parse_log([
+            "GRANULA ts=0 job=a event=end uid=x",
+            "GRANULA ts=0 job=b event=end uid=y",
+            "GRANULA ts=1 job=a event=end uid=z",
+        ])
+        groups = split_by_job(records)
+        assert sorted(groups) == ["a", "b"]
+        assert len(groups["a"]) == 2
+
+
+class TestMonitoringSession:
+    def test_monitored_run_contents(self, giraph_run):
+        assert giraph_run.records
+        assert giraph_run.env_series
+        assert giraph_run.env_samples
+        assert len(giraph_run.node_names) == 8
+        assert giraph_run.job_id == giraph_run.result.job_id
+
+    def test_env_window_matches_job(self, giraph_run):
+        start = giraph_run.result.started_at
+        for series in giraph_run.env_series.values():
+            assert series.times[0] == pytest.approx(start)
+
+    def test_records_belong_to_job(self, giraph_run):
+        assert all(r.job_id == giraph_run.job_id
+                   for r in giraph_run.records)

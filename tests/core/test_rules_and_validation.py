@@ -1,0 +1,201 @@
+"""Unit tests for derivation rules and model validation."""
+
+import pytest
+
+from repro.core.archive.archive import ArchivedOperation
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.info import DERIVED, InfoSpec
+from repro.core.model.job import JobModel
+from repro.core.model.library import default_library, domain_level_model
+from repro.core.model.operation import OperationModel
+from repro.core.model.powergraph_model import powergraph_model
+from repro.core.model.rules import (
+    ChildCountRule,
+    ChildDurationStatsRule,
+    DurationRule,
+    InfoSumRule,
+    ShareOfParentRule,
+)
+from repro.core.model.validation import validate_model
+from repro.errors import ArchiveBuildError, ModelError, ModelValidationError
+
+
+def op(mission, actor="x", start=0.0, end=1.0, infos=None, parent=None):
+    node = ArchivedOperation(
+        uid=f"{mission}@{actor}@{id(object())}",
+        mission=mission, actor=actor,
+        start_time=start, end_time=end, infos=infos or {},
+    )
+    if parent is not None:
+        node.parent = parent
+        parent.children.append(node)
+    return node
+
+
+class TestDurationRule:
+    def test_basic(self):
+        assert DurationRule().compute(op("A", end=2.5)) == 2.5
+
+    def test_missing_times_skip(self):
+        node = ArchivedOperation(uid="u", mission="A", actor="x")
+        assert DurationRule().compute(node) is None
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(ArchiveBuildError):
+            DurationRule("")
+
+
+class TestInfoSumRule:
+    def test_sums_children(self):
+        parent = op("P")
+        op("C", infos={"Bytes": 10}, parent=parent)
+        op("C", infos={"Bytes": 5}, parent=parent)
+        rule = InfoSumRule("Total", "Bytes")
+        assert rule.compute(parent) == 15
+
+    def test_filters_by_child_mission(self):
+        parent = op("P")
+        op("C-1", infos={"Bytes": 10}, parent=parent)
+        op("D", infos={"Bytes": 99}, parent=parent)
+        rule = InfoSumRule("Total", "Bytes", child_mission="C")
+        assert rule.compute(parent) == 10
+
+    def test_no_matching_children_skips(self):
+        assert InfoSumRule("Total", "Bytes").compute(op("P")) is None
+
+
+class TestShareOfParentRule:
+    def test_share(self):
+        parent = op("P", start=0.0, end=10.0)
+        child = op("C", start=0.0, end=4.0, parent=parent)
+        assert ShareOfParentRule().compute(child) == pytest.approx(0.4)
+
+    def test_root_skipped(self):
+        assert ShareOfParentRule().compute(op("P")) is None
+
+    def test_zero_parent_duration_skipped(self):
+        parent = op("P", start=1.0, end=1.0)
+        child = op("C", parent=parent)
+        assert ShareOfParentRule().compute(child) is None
+
+
+class TestChildCountRule:
+    def test_counts_matching(self):
+        parent = op("P")
+        op("Superstep-0", parent=parent)
+        op("Superstep-1", parent=parent)
+        op("Other", parent=parent)
+        assert ChildCountRule("N", "Superstep").compute(parent) == 2
+
+
+class TestChildDurationStatsRule:
+    def make_parent(self):
+        parent = op("P")
+        op("C-0", start=0.0, end=1.0, parent=parent)
+        op("C-0", start=0.0, end=2.0, parent=parent)
+        op("C-0", start=0.0, end=3.0, parent=parent)
+        return parent
+
+    def test_max_min_mean(self):
+        parent = self.make_parent()
+        assert ChildDurationStatsRule("M", "C", "max").compute(parent) == 3.0
+        assert ChildDurationStatsRule("M", "C", "min").compute(parent) == 1.0
+        assert ChildDurationStatsRule("M", "C", "mean").compute(parent) == 2.0
+
+    def test_imbalance(self):
+        parent = self.make_parent()
+        value = ChildDurationStatsRule("M", "C", "imbalance").compute(parent)
+        assert value == pytest.approx(1.5)
+
+    def test_unknown_statistic_rejected(self):
+        with pytest.raises(ArchiveBuildError):
+            ChildDurationStatsRule("M", "C", "median")
+
+    def test_no_children_skips(self):
+        rule = ChildDurationStatsRule("M", "C", "max")
+        assert rule.compute(op("P")) is None
+
+
+class TestValidation:
+    def test_shipped_models_valid(self):
+        assert validate_model(giraph_model()) == []
+        assert validate_model(powergraph_model()) == []
+        assert validate_model(domain_level_model()) == []
+
+    def test_repeated_mission_on_path(self):
+        root = OperationModel("Job", "x", level=1)
+        child = root.add_child(OperationModel("Phase", "x", level=2))
+        child.add_child(OperationModel("Job", "x", level=3))
+        problems = validate_model(JobModel("T", root), strict=False)
+        assert any("repeats" in p for p in problems)
+
+    def test_level_inversion(self):
+        root = OperationModel("Job", "x", level=2)
+        root.add_child(OperationModel("Up", "x", level=1))
+        problems = validate_model(JobModel("T", root), strict=False)
+        assert any("above parent level" in p for p in problems)
+        assert any("root" in p for p in problems)
+
+    def test_derived_info_without_rule(self):
+        root = OperationModel("Job", "x", level=1)
+        root.add_info(InfoSpec("Metric", DERIVED))
+        problems = validate_model(JobModel("T", root), strict=False)
+        assert any("has no rule" in p for p in problems)
+
+    def test_rule_with_undeclared_target(self):
+        root = OperationModel("Job", "x", level=1)
+        root.add_rule(ChildCountRule("Ghost", "X"))
+        problems = validate_model(JobModel("T", root), strict=False)
+        assert any("undeclared" in p for p in problems)
+
+    def test_implicit_targets_always_declared(self):
+        root = OperationModel("Job", "x", level=1)
+        root.add_rule(DurationRule())
+        assert validate_model(JobModel("T", root), strict=False) == []
+
+    def test_strict_raises(self):
+        root = OperationModel("Job", "x", level=2)
+        with pytest.raises(ModelValidationError):
+            validate_model(JobModel("T", root), strict=True)
+
+
+class TestLibrary:
+    def test_default_library_contents(self):
+        library = default_library()
+        # One model per Table 1 platform plus the generic domain model.
+        assert set(library.platforms()) == {
+            "generic", "giraph", "powergraph", "hadoop", "graphmat",
+            "pgx.d", "openg", "totem",
+        }
+        assert library.has("Giraph")
+        assert library.has("POWERGRAPH")
+        assert library.has("hadoop")
+
+    def test_get_returns_fresh_instances(self):
+        library = default_library()
+        a = library.get("Giraph")
+        b = library.get("Giraph")
+        assert a is not b
+        assert a.size() == b.size()
+
+    def test_unknown_platform(self):
+        with pytest.raises(ModelError):
+            default_library().get("Spark")
+
+    def test_duplicate_registration_rejected(self):
+        library = default_library()
+        with pytest.raises(ModelError):
+            library.register("Giraph", giraph_model)
+
+    def test_platform_models_share_domain_level(self):
+        g = giraph_model()
+        p = powergraph_model()
+        g_domain = [c.mission for c in g.root.children]
+        p_domain = [c.mission for c in p.root.children]
+        assert g_domain == p_domain
+
+    def test_giraph_model_is_four_levels(self):
+        assert giraph_model().max_level() == 4
+
+    def test_powergraph_model_is_three_levels(self):
+        assert powergraph_model().max_level() == 3

@@ -1,0 +1,271 @@
+"""Unit tests for visualization: text primitives, SVG, breakdown,
+utilization, gantt, timeline, HTML report."""
+
+import pytest
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.core.visualize.gantt import compute_gantt
+from repro.core.visualize.palette import node_color, phase_color, phase_of
+from repro.core.visualize.render_html import render_report_html
+from repro.core.visualize.render_svg import SvgCanvas
+from repro.core.visualize.render_text import (
+    bar,
+    format_percent,
+    format_seconds,
+    segmented_bar,
+    sparkline,
+    table,
+)
+from repro.core.visualize.timeline import render_timeline
+from repro.core.visualize.utilization import compute_utilization
+from repro.errors import VisualizationError
+
+
+class TestRenderText:
+    def test_bar_full_and_empty(self):
+        assert bar(1.0, 10) == "##########"
+        assert bar(0.0, 10) == ".........."
+
+    def test_bar_clamped(self):
+        assert bar(2.0, 4) == "####"
+        assert bar(-1.0, 4) == "...."
+
+    def test_segmented_bar(self):
+        line = segmented_bar([0.5, 0.5], ["A", "B"], width=10)
+        assert line == "AAAAABBBBB"
+
+    def test_segmented_bar_partial(self):
+        line = segmented_bar([0.3], ["X"], width=10)
+        assert line == "XXX......."
+
+    def test_segmented_bar_rounding_capped(self):
+        line = segmented_bar([0.34, 0.33, 0.34], ["A", "B", "C"], width=10)
+        assert len(line) == 10
+
+    def test_segmented_bar_arity_checked(self):
+        with pytest.raises(ValueError):
+            segmented_bar([0.5], ["A", "B"])
+
+    def test_sparkline_scales(self):
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[2] == "@"
+
+    def test_sparkline_flat_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_table_alignment(self):
+        text = table(("A", "Bee"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_formatters(self):
+        assert format_seconds(81.594) == "81.59s"
+        assert format_percent(0.433) == "43.3%"
+
+
+class TestPalette:
+    def test_phase_of(self):
+        assert phase_of("LoadGraph") == "Input/output"
+        assert phase_of("Startup") == "Setup"
+        assert phase_of("Unknown") == ""
+
+    def test_phase_colors_distinct(self):
+        colors = {phase_color(p) for p in
+                  ("Setup", "Input/output", "Processing")}
+        assert len(colors) == 3
+
+    def test_node_color_cycles(self):
+        assert node_color(0) == node_color(8)
+
+
+class TestSvgCanvas:
+    def test_document_shape(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, fill="#ff0000")
+        canvas.line(0, 0, 10, 10)
+        canvas.polyline([(0, 0), (5, 5)])
+        canvas.text(1, 1, "hello")
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<rect" in svg and "<line" in svg
+        assert "<polyline" in svg and ">hello</text>" in svg
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(0, 0, "<&>")
+        assert "&lt;&amp;&gt;" in canvas.render()
+
+    def test_negative_rect_clamped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, -5, 5)
+        assert "width='0.00'" in canvas.render()
+
+
+class TestBreakdown:
+    def test_shapes(self, giraph_archive):
+        breakdown = compute_breakdown(giraph_archive)
+        assert breakdown.total == pytest.approx(giraph_archive.makespan)
+        missions = [m for m, _d, _s in breakdown.operations]
+        assert missions == ["Startup", "LoadGraph", "ProcessGraph",
+                            "OffloadGraph", "Cleanup"]
+        total_share = sum(s for _m, _d, s in breakdown.operations)
+        assert total_share == pytest.approx(1.0, abs=0.02)
+
+    def test_phase_sums(self, giraph_archive):
+        breakdown = compute_breakdown(giraph_archive)
+        setup = breakdown.phases["Setup"][0]
+        startup = next(d for m, d, _s in breakdown.operations
+                       if m == "Startup")
+        cleanup = next(d for m, d, _s in breakdown.operations
+                       if m == "Cleanup")
+        assert setup == pytest.approx(startup + cleanup)
+
+    def test_share_of(self, giraph_archive):
+        breakdown = compute_breakdown(giraph_archive)
+        assert breakdown.share_of("LoadGraph") == pytest.approx(
+            breakdown.operations[1][2])
+        assert breakdown.share_of("Setup") > 0
+        with pytest.raises(VisualizationError):
+            breakdown.share_of("Ghost")
+
+    def test_render_text_contains_figures(self, giraph_archive):
+        text = compute_breakdown(giraph_archive).render_text()
+        assert "TOTAL" in text
+        assert "Setup" in text and "Input/output" in text
+
+    def test_render_svg_valid(self, giraph_archive):
+        svg = compute_breakdown(giraph_archive).render_svg()
+        assert svg.startswith("<svg")
+        assert "100.0%" in svg
+
+    def test_rejects_zero_makespan(self):
+        root = ArchivedOperation("u", "Job", "C", 1.0, 1.0)
+        archive = PerformanceArchive("j", root)
+        with pytest.raises(VisualizationError):
+            compute_breakdown(archive)
+
+
+class TestUtilization:
+    def test_chart_data(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        assert len(chart.series) == 8
+        assert chart.peak > 0
+        missions = [m for m, _s, _e in chart.boundaries]
+        assert "LoadGraph" in missions and "ProcessGraph" in missions
+
+    def test_boundaries_ordered(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        starts = [s for _m, s, _e in chart.boundaries]
+        assert starts == sorted(starts)
+
+    def test_node_cpu_seconds_positive(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        for cpu in chart.node_cpu_seconds().values():
+            assert cpu > 0
+
+    def test_cpu_by_operation(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        by_op = chart.cpu_seconds_by_operation()
+        assert by_op["LoadGraph"] > 0
+
+    def test_busiest_node(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        node, cpu = chart.busiest_node("LoadGraph")
+        assert node in chart.series
+        assert cpu > 0
+        with pytest.raises(VisualizationError):
+            chart.busiest_node("Ghost")
+
+    def test_renders(self, giraph_archive):
+        chart = compute_utilization(giraph_archive)
+        assert "CPU time/second" in chart.render_text()
+        assert chart.render_svg().startswith("<svg")
+
+    def test_rejects_archive_without_env(self):
+        root = ArchivedOperation("u", "Job", "C", 0.0, 1.0)
+        archive = PerformanceArchive("j", root)
+        with pytest.raises(VisualizationError):
+            compute_utilization(archive)
+
+
+class TestGantt:
+    def test_spans_cover_workers_and_steps(self, giraph_archive):
+        gantt = compute_gantt(giraph_archive)
+        assert len(gantt.workers) == 8
+        assert len(gantt.supersteps) >= 2
+        for span in gantt.spans:
+            assert span.pre_start <= span.compute_start
+            assert span.compute_start <= span.compute_end
+            assert span.compute_end <= span.post_end
+
+    def test_imbalance_at_least_one(self, giraph_archive):
+        gantt = compute_gantt(giraph_archive)
+        assert gantt.imbalance(gantt.dominant_superstep()) >= 1.0
+        with pytest.raises(VisualizationError):
+            gantt.imbalance(999)
+
+    def test_overhead_fraction_bounds(self, giraph_archive):
+        gantt = compute_gantt(giraph_archive)
+        assert 0.0 <= gantt.overhead_fraction() <= 1.0
+
+    def test_renders(self, giraph_archive):
+        gantt = compute_gantt(giraph_archive)
+        text = gantt.render_text()
+        assert "dominant superstep" in text
+        assert gantt.render_svg().startswith("<svg")
+
+    def test_powergraph_view_with_gather(self, powergraph_archive):
+        gantt = compute_gantt(
+            powergraph_archive,
+            compute_mission="Gather",
+            pre_mission="Gather",
+            post_mission="Scatter",
+            container_mission="Iteration",
+        )
+        assert gantt.spans
+
+    def test_missing_containers_rejected(self):
+        root = ArchivedOperation("u", "Job", "C", 0.0, 1.0)
+        archive = PerformanceArchive("j", root)
+        with pytest.raises(VisualizationError):
+            compute_gantt(archive)
+
+
+class TestTimeline:
+    def test_renders_tree(self, giraph_archive):
+        text = render_timeline(giraph_archive, max_depth=2)
+        assert "GiraphJob" in text
+        assert "LoadGraph" in text
+        assert "|" in text
+
+    def test_max_depth_limits(self, giraph_archive):
+        shallow = render_timeline(giraph_archive, max_depth=1)
+        deep = render_timeline(giraph_archive, max_depth=4)
+        assert len(deep) > len(shallow)
+
+    def test_sibling_elision(self, giraph_archive):
+        text = render_timeline(giraph_archive, max_children=2)
+        assert "more" in text
+
+
+class TestHtmlReport:
+    def test_report_contains_both_archives(self, giraph_archive,
+                                           powergraph_archive):
+        html = render_report_html([giraph_archive, powergraph_archive])
+        assert html.startswith("<!DOCTYPE html>")
+        assert giraph_archive.job_id in html
+        assert powergraph_archive.job_id in html
+        assert "<svg" in html
+
+    def test_report_without_gantt(self, giraph_archive):
+        html = render_report_html([giraph_archive], include_gantt=False)
+        assert "compute distribution" not in html

@@ -1,0 +1,218 @@
+"""Unit tests for the reference algorithms."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.algorithms import (
+    bfs_levels,
+    label_propagation,
+    local_clustering_coefficient,
+    pagerank,
+    sssp_distances,
+    weakly_connected_components,
+)
+from repro.graph.algorithms.bfs import UNREACHED, frontier_sizes
+from repro.graph.algorithms.cdlp import community_count
+from repro.graph.algorithms.lcc import average_clustering
+from repro.graph.algorithms.sssp import INFINITY, default_weight
+from repro.graph.algorithms.wcc import component_sizes
+from repro.graph.graph import Graph
+
+
+class TestBfs:
+    def test_line_graph_levels(self, line_graph):
+        levels = bfs_levels(line_graph, 0)
+        assert levels == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_marked(self, diamond_graph):
+        levels = bfs_levels(diamond_graph, 0)
+        assert levels[4] == UNREACHED
+        assert levels[3] == 2
+
+    def test_source_at_zero(self, line_graph):
+        assert bfs_levels(line_graph, 2)[2] == 0
+
+    def test_direction_respected(self, line_graph):
+        levels = bfs_levels(line_graph, 4)
+        assert levels[0] == UNREACHED
+
+    def test_invalid_source(self, line_graph):
+        with pytest.raises(GraphError):
+            bfs_levels(line_graph, 99)
+
+    def test_frontier_sizes_sum_to_reached(self, small_graph):
+        sizes = frontier_sizes(small_graph, 0)
+        levels = bfs_levels(small_graph, 0)
+        reached = sum(1 for l in levels.values() if l != UNREACHED)
+        assert sum(sizes) == reached
+        assert sizes[0] == 1
+
+    def test_frontier_sizes_match_levels(self, diamond_graph):
+        assert frontier_sizes(diamond_graph, 0) == [1, 2, 1]
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, small_graph):
+        ranks = pagerank(small_graph, iterations=15)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_uniform_on_cycle(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        ranks = pagerank(g, iterations=30)
+        for rank in ranks.values():
+            assert rank == pytest.approx(0.25, abs=1e-9)
+
+    def test_sink_handling_preserves_mass(self):
+        g = Graph(3, [(0, 1), (0, 2)])  # 1 and 2 are dangling
+        ranks = pagerank(g, iterations=25)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_hub_ranks_higher(self):
+        g = Graph(4, [(1, 0), (2, 0), (3, 0), (0, 1)])
+        ranks = pagerank(g, iterations=20)
+        assert ranks[0] == max(ranks.values())
+
+    def test_zero_iterations_uniform(self, line_graph):
+        ranks = pagerank(line_graph, iterations=0)
+        assert all(r == pytest.approx(0.2) for r in ranks.values())
+
+    def test_tolerance_early_stop_same_result(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        exact = pagerank(g, iterations=100)
+        stopped = pagerank(g, iterations=100, tolerance=1e-12)
+        for v in g.vertices():
+            assert exact[v] == pytest.approx(stopped[v], abs=1e-9)
+
+    def test_empty_graph(self):
+        assert pagerank(Graph(0, [])) == {}
+
+    def test_invalid_params(self, line_graph):
+        with pytest.raises(GraphError):
+            pagerank(line_graph, damping=1.0)
+        with pytest.raises(GraphError):
+            pagerank(line_graph, iterations=-1)
+
+
+class TestWcc:
+    def test_single_component(self, line_graph):
+        labels = weakly_connected_components(line_graph)
+        assert set(labels.values()) == {0}
+
+    def test_direction_ignored(self):
+        g = Graph(3, [(2, 0), (2, 1)])
+        labels = weakly_connected_components(g)
+        assert len(set(labels.values())) == 1
+
+    def test_isolated_vertices_own_component(self):
+        g = Graph(4, [(0, 1)])
+        labels = weakly_connected_components(g)
+        assert labels[2] == 2
+        assert labels[3] == 3
+
+    def test_label_is_min_member(self):
+        g = Graph(5, [(4, 3), (3, 2)])
+        labels = weakly_connected_components(g)
+        assert labels[4] == 2
+
+    def test_component_sizes_sorted(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        assert component_sizes(g) == [3, 2, 1]
+
+
+class TestSssp:
+    def test_unit_weight_equals_bfs(self, small_graph):
+        unit = lambda s, t: 1.0
+        dist = sssp_distances(small_graph, 0, weight=unit)
+        levels = bfs_levels(small_graph, 0)
+        for v in small_graph.vertices():
+            if levels[v] == UNREACHED:
+                assert math.isinf(dist[v])
+            else:
+                assert dist[v] == pytest.approx(float(levels[v]))
+
+    def test_picks_shorter_path(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 5.0}
+        dist = sssp_distances(g, 0, weight=lambda s, t: weights[(s, t)])
+        assert dist[2] == pytest.approx(2.0)
+
+    def test_unreachable_infinite(self, diamond_graph):
+        dist = sssp_distances(diamond_graph, 0)
+        assert dist[4] == INFINITY
+
+    def test_default_weight_deterministic_and_bounded(self):
+        for src, dst in [(0, 1), (17, 42), (100, 3)]:
+            w = default_weight(src, dst)
+            assert 1.0 <= w < 2.0
+            assert w == default_weight(src, dst)
+
+    def test_negative_weight_rejected(self, line_graph):
+        with pytest.raises(GraphError):
+            sssp_distances(line_graph, 0, weight=lambda s, t: -1.0)
+
+    def test_invalid_source(self, line_graph):
+        with pytest.raises(GraphError):
+            sssp_distances(line_graph, -1)
+
+
+class TestCdlp:
+    def test_clique_converges_to_one_label(self):
+        edges = [(i, j) for i in range(4) for j in range(4) if i != j]
+        g = Graph(4, edges)
+        labels = label_propagation(g, iterations=5)
+        assert set(labels.values()) == {0}
+
+    def test_two_cliques_two_labels(self):
+        edges = [(i, j) for i in range(3) for j in range(3) if i != j]
+        edges += [(i, j) for i in range(3, 6) for j in range(3, 6) if i != j]
+        g = Graph(6, edges)
+        labels = label_propagation(g, iterations=5)
+        assert community_count(labels) == 2
+
+    def test_zero_iterations_identity(self, line_graph):
+        labels = label_propagation(line_graph, iterations=0)
+        assert labels == {v: v for v in line_graph.vertices()}
+
+    def test_no_in_neighbors_keeps_label(self):
+        g = Graph(2, [(0, 1)])
+        labels = label_propagation(g, iterations=3)
+        assert labels[0] == 0
+
+    def test_invalid_iterations(self, line_graph):
+        with pytest.raises(GraphError):
+            label_propagation(line_graph, iterations=-2)
+
+
+class TestLcc:
+    def test_triangle_is_fully_clustered(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)])
+        lcc = local_clustering_coefficient(g)
+        for value in lcc.values():
+            assert value == pytest.approx(1.0)
+
+    def test_directed_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        lcc = local_clustering_coefficient(g)
+        # Each vertex has 2 undirected neighbors and 1 directed edge
+        # between them: 1 / (2*1).
+        for value in lcc.values():
+            assert value == pytest.approx(0.5)
+
+    def test_line_has_zero_clustering(self, line_graph):
+        lcc = local_clustering_coefficient(line_graph)
+        assert all(v == 0.0 for v in lcc.values())
+
+    def test_degree_below_two_zero(self):
+        g = Graph(2, [(0, 1)])
+        lcc = local_clustering_coefficient(g)
+        assert lcc[0] == 0.0
+        assert lcc[1] == 0.0
+
+    def test_average_clustering_range(self, small_graph):
+        avg = average_clustering(small_graph)
+        assert 0.0 < avg < 1.0  # Datagen-like graphs cluster
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(Graph(0, [])) == 0.0

@@ -1,0 +1,175 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graph.algorithms.wcc import component_sizes
+from repro.graph.generators import (
+    datagen_graph,
+    grid_graph,
+    powerlaw_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        a = datagen_graph(500, avg_degree=6, seed=3)
+        b = datagen_graph(500, avg_degree=6, seed=3)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = datagen_graph(500, avg_degree=6, seed=3)
+        b = datagen_graph(500, avg_degree=6, seed=4)
+        assert a != b
+
+    def test_weakly_connected(self):
+        g = datagen_graph(1000, avg_degree=6, seed=9)
+        assert len(component_sizes(g)) == 1
+
+    def test_average_degree_near_target(self):
+        g = datagen_graph(2000, avg_degree=8, seed=5)
+        avg = g.num_edges / g.num_vertices
+        assert 5.0 <= avg <= 14.0
+
+    def test_degree_skew(self):
+        g = datagen_graph(2000, avg_degree=8, seed=5)
+        avg = g.num_edges / g.num_vertices
+        assert g.max_out_degree() > 5 * avg
+
+    def test_max_degree_capped(self):
+        g = datagen_graph(2000, avg_degree=8, max_degree=40, seed=5)
+        assert g.max_out_degree() <= 40
+
+    def test_small_world_distances(self):
+        from repro.graph.algorithms.bfs import bfs_levels
+        g = datagen_graph(2000, avg_degree=8, seed=5)
+        hub = max(g.vertices(), key=g.out_degree)
+        levels = bfs_levels(g, hub)
+        reached = [l for l in levels.values() if l >= 0]
+        assert max(reached) <= 12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GenerationError):
+            datagen_graph(1)
+        with pytest.raises(GenerationError):
+            datagen_graph(100, avg_degree=0)
+        with pytest.raises(GenerationError):
+            datagen_graph(100, p_intra=1.5)
+        with pytest.raises(GenerationError):
+            datagen_graph(100, community_size=1)
+        with pytest.raises(GenerationError):
+            datagen_graph(100, max_degree=-1)
+
+
+class TestPowerlaw:
+    def test_edge_count_close_to_request(self):
+        g = powerlaw_graph(1000, 5000, seed=2)
+        assert 4500 <= g.num_edges <= 5000
+
+    def test_deterministic(self):
+        assert powerlaw_graph(300, 1500, seed=1) == powerlaw_graph(
+            300, 1500, seed=1
+        )
+
+    def test_hubs_are_low_index(self):
+        g = powerlaw_graph(1000, 8000, alpha=0.7, seed=2)
+        low = sum(g.out_degree(v) + g.in_degree(v) for v in range(10))
+        high = sum(g.out_degree(v) + g.in_degree(v)
+                   for v in range(990, 1000))
+        assert low > 3 * high
+
+    def test_no_self_loops(self):
+        g = powerlaw_graph(200, 1000, seed=3)
+        assert all(s != t for s, t in g.edges())
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GenerationError):
+            powerlaw_graph(0, 10)
+        with pytest.raises(GenerationError):
+            powerlaw_graph(10, -1)
+        with pytest.raises(GenerationError):
+            powerlaw_graph(10, 5, alpha=0.0)
+        with pytest.raises(GenerationError):
+            powerlaw_graph(3, 100)
+
+
+class TestUniform:
+    def test_exact_edge_count(self):
+        g = uniform_random_graph(100, 500, seed=4)
+        assert g.num_edges == 500
+
+    def test_dense_request(self):
+        g = uniform_random_graph(10, 80, seed=4)
+        assert g.num_edges == 80
+
+    def test_max_density(self):
+        g = uniform_random_graph(5, 20, seed=4)
+        assert g.num_edges == 20
+
+    def test_no_self_loops(self):
+        g = uniform_random_graph(50, 500, seed=4)
+        assert all(s != t for s, t in g.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GenerationError):
+            uniform_random_graph(3, 7)
+
+    def test_deterministic(self):
+        assert uniform_random_graph(60, 200, seed=9) == uniform_random_graph(
+            60, 200, seed=9
+        )
+
+
+class TestGrid:
+    def test_vertex_count(self):
+        assert grid_graph(3, 4).num_vertices == 12
+
+    def test_bidirectional_edge_count(self):
+        # 2x2 grid: 4 undirected lattice edges -> 8 directed.
+        assert grid_graph(2, 2).num_edges == 8
+
+    def test_unidirectional_edge_count(self):
+        assert grid_graph(2, 2, bidirectional=False).num_edges == 4
+
+    def test_interior_degree(self):
+        g = grid_graph(3, 3)
+        assert g.out_degree(4) == 4  # center vertex
+
+    def test_single_cell(self):
+        g = grid_graph(1, 1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GenerationError):
+            grid_graph(0, 3)
+
+
+class TestRmat:
+    def test_vertex_count_power_of_two(self):
+        assert rmat_graph(6, edge_factor=4).num_vertices == 64
+
+    def test_edge_count_bounded(self):
+        g = rmat_graph(8, edge_factor=8, seed=1)
+        assert 0 < g.num_edges <= 8 * 256
+
+    def test_skewed_distribution(self):
+        g = rmat_graph(10, edge_factor=8, seed=1)
+        avg = g.num_edges / g.num_vertices
+        assert g.max_out_degree() > 4 * avg
+
+    def test_deterministic(self):
+        assert rmat_graph(6, seed=7) == rmat_graph(6, seed=7)
+
+    def test_scale_zero(self):
+        g = rmat_graph(0, edge_factor=5)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GenerationError):
+            rmat_graph(4, a=0.9, b=0.2, c=0.2)
+        with pytest.raises(GenerationError):
+            rmat_graph(-1)

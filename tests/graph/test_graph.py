@@ -1,0 +1,107 @@
+"""Unit tests for the adjacency graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            Graph(2, [(-1, 0)])
+
+    def test_parallel_edges_collapsed(self):
+        g = Graph(2, [(0, 1), (0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_allowed(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 0)
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(g.out_neighbors(0)) == [1, 2, 3]
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def g(self):
+        return Graph(4, [(0, 1), (0, 2), (1, 2), (3, 0)])
+
+    def test_degrees(self, g):
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.out_degree(3) == 1
+        assert g.in_degree(0) == 1
+
+    def test_in_neighbors(self, g):
+        assert list(g.in_neighbors(2)) == [0, 1]
+        assert list(g.in_neighbors(3)) == []
+
+    def test_undirected_neighbors_dedup(self):
+        g = Graph(2, [(0, 1), (1, 0)])
+        assert list(g.neighbors_undirected(0)) == [1]
+        assert g.degree_undirected(0) == 1
+
+    def test_undirected_skips_self_loops(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert list(g.neighbors_undirected(0)) == [1]
+
+    def test_has_edge(self, g):
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(2, 3)
+
+    def test_edges_iteration_sorted(self, g):
+        assert list(g.edges()) == [(0, 1), (0, 2), (1, 2), (3, 0)]
+
+    def test_vertex_range_check(self, g):
+        with pytest.raises(GraphError):
+            g.out_neighbors(4)
+        with pytest.raises(GraphError):
+            g.has_edge(0, 99)
+
+    def test_vertices_range(self, g):
+        assert list(g.vertices()) == [0, 1, 2, 3]
+
+
+class TestDerived:
+    def test_reversed(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        r = g.reversed()
+        assert list(r.edges()) == [(1, 0), (2, 1)]
+        assert r.num_vertices == 3
+
+    def test_reverse_twice_is_identity(self):
+        g = Graph(4, [(0, 1), (2, 3), (3, 0)])
+        assert g.reversed().reversed() == g
+
+    def test_degree_histogram(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.degree_histogram() == {2: 1, 0: 2}
+
+    def test_max_out_degree(self):
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.max_out_degree() == 2
+        assert Graph(0, []).max_out_degree() == 0
+
+    def test_equality(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1)])
+        c = Graph(2, [(1, 0)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"

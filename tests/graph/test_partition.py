@@ -1,0 +1,169 @@
+"""Unit tests for partitioning strategies and quality metrics."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import powerlaw_graph, uniform_random_graph
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    edge_balance,
+    edge_cut_fraction,
+    greedy_vertex_cut,
+    hash_partition,
+    random_vertex_cut,
+    range_partition,
+    replication_factor,
+    vertex_balance,
+)
+from repro.graph.partition.metrics import partition_sizes
+
+
+class TestHashPartition:
+    def test_covers_all_vertices(self):
+        assignment = hash_partition(100, 4)
+        assert len(assignment) == 100
+        assert set(assignment) == {0, 1, 2, 3}
+
+    def test_roughly_balanced(self):
+        assignment = hash_partition(8000, 8)
+        assert vertex_balance(assignment, 8) < 1.1
+
+    def test_deterministic(self):
+        assert hash_partition(50, 3) == hash_partition(50, 3)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(PartitionError):
+            hash_partition(10, 0)
+        with pytest.raises(PartitionError):
+            hash_partition(-1, 2)
+
+
+class TestRangePartition:
+    def test_contiguous_ranges(self):
+        assignment = range_partition(10, 3)
+        assert assignment == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_perfect_vertex_balance(self):
+        assert vertex_balance(range_partition(1000, 8), 8) < 1.01
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(PartitionError):
+            range_partition(10, -1)
+
+
+class TestVertexCut:
+    @pytest.fixture(scope="class")
+    def pl_graph(self):
+        return powerlaw_graph(1500, 9000, seed=3)
+
+    def test_greedy_assigns_every_edge(self, pl_graph):
+        cut = greedy_vertex_cut(pl_graph, 8)
+        assert len(cut.edge_assignment) == pl_graph.num_edges
+        assert sum(cut.edge_counts()) == pl_graph.num_edges
+
+    def test_greedy_respects_capacity(self, pl_graph):
+        cut = greedy_vertex_cut(pl_graph, 8, balance_slack=0.1)
+        ideal = pl_graph.num_edges / 8
+        assert max(cut.edge_counts()) <= 1.1 * ideal + 1
+
+    def test_greedy_beats_random_replication(self, pl_graph):
+        greedy = greedy_vertex_cut(pl_graph, 8)
+        rand = random_vertex_cut(pl_graph, 8)
+        assert replication_factor(greedy) < replication_factor(rand)
+
+    def test_replicas_consistent_with_edges(self, pl_graph):
+        cut = greedy_vertex_cut(pl_graph, 4)
+        for (src, dst), part in zip(cut.edges, cut.edge_assignment):
+            assert part in cut.replicas[src]
+            assert part in cut.replicas[dst]
+
+    def test_masters_are_replicas(self, pl_graph):
+        cut = greedy_vertex_cut(pl_graph, 4)
+        for v, master in cut.masters.items():
+            assert master in cut.replicas[v]
+
+    def test_edges_of_part(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        cut = greedy_vertex_cut(g, 2)
+        collected = sorted(
+            e for p in range(2) for e in cut.edges_of_part(p)
+        )
+        assert collected == list(g.edges())
+
+    def test_edges_of_part_range_checked(self):
+        cut = greedy_vertex_cut(Graph(2, [(0, 1)]), 2)
+        with pytest.raises(PartitionError):
+            cut.edges_of_part(5)
+
+    def test_single_partition_rf_one(self, pl_graph):
+        cut = greedy_vertex_cut(pl_graph, 1)
+        assert replication_factor(cut) == 1.0
+
+    def test_deterministic(self, pl_graph):
+        a = greedy_vertex_cut(pl_graph, 4)
+        b = greedy_vertex_cut(pl_graph, 4)
+        assert a.edge_assignment == b.edge_assignment
+
+    def test_rejects_bad_params(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(PartitionError):
+            greedy_vertex_cut(g, 0)
+        with pytest.raises(PartitionError):
+            greedy_vertex_cut(g, 2, balance_slack=-0.5)
+        with pytest.raises(PartitionError):
+            random_vertex_cut(g, 0)
+
+    def test_empty_graph_rf_zero(self):
+        cut = greedy_vertex_cut(Graph(3, []), 2)
+        assert cut.replication_factor() == 0.0
+
+
+class TestMetrics:
+    def test_vertex_balance_perfect(self):
+        assert vertex_balance([0, 1, 0, 1]) == 1.0
+
+    def test_vertex_balance_skewed(self):
+        assert vertex_balance([0, 0, 0, 1]) == pytest.approx(1.5)
+
+    def test_vertex_balance_with_empty_part(self):
+        assert vertex_balance([0, 0], parts=2) == pytest.approx(2.0)
+
+    def test_vertex_balance_rejects_out_of_range(self):
+        with pytest.raises(PartitionError):
+            vertex_balance([0, 3], parts=2)
+
+    def test_edge_balance_counts_work(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        skewed = edge_balance(g, [0, 1, 1, 1], parts=2)
+        assert skewed == pytest.approx(2.0)  # all 3 edges in part 0
+
+    def test_edge_balance_assignment_length_checked(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(PartitionError):
+            edge_balance(g, [0, 1])
+
+    def test_edge_cut_fraction_bounds(self):
+        g = uniform_random_graph(200, 1000, seed=6)
+        frac = edge_cut_fraction(g, hash_partition(200, 4))
+        assert 0.5 < frac <= 1.0  # hash cut is ~ (k-1)/k
+
+    def test_edge_cut_zero_single_part(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert edge_cut_fraction(g, [0, 0, 0]) == 0.0
+
+    def test_edge_cut_empty_graph(self):
+        assert edge_cut_fraction(Graph(2, []), [0, 1]) == 0.0
+
+    def test_partition_sizes(self):
+        assert partition_sizes([0, 1, 1, 2]) == [1, 2, 1]
+
+    def test_metrics_reject_empty_assignment(self):
+        with pytest.raises(PartitionError):
+            vertex_balance([])
+
+    def test_range_partition_skew_on_powerlaw(self):
+        """The ablation insight: range partitioning is skewed by degree."""
+        g = powerlaw_graph(2000, 12000, alpha=0.8, seed=5)
+        range_skew = edge_balance(g, range_partition(2000, 8), parts=8)
+        hash_skew = edge_balance(g, hash_partition(2000, 8), parts=8)
+        assert range_skew > hash_skew

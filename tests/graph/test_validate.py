@@ -1,0 +1,65 @@
+"""Unit tests for the output validator."""
+
+import math
+
+from repro.graph.validate import ValidationReport, compare_exact, compare_numeric
+
+
+class TestCompareExact:
+    def test_match(self):
+        report = compare_exact({0: 1, 1: 2}, {0: 1, 1: 2})
+        assert report.ok
+        assert bool(report)
+        assert report.total == 2
+        assert "OK" in report.summary()
+
+    def test_value_mismatch(self):
+        report = compare_exact({0: 1}, {0: 2})
+        assert not report.ok
+        assert "v0" in report.mismatches[0]
+        assert "FAILED" in report.summary()
+
+    def test_missing_key_in_actual(self):
+        report = compare_exact({0: 1, 1: 2}, {0: 1})
+        assert not report.ok
+        assert "missing" in report.mismatches[0]
+
+    def test_extra_key_in_actual(self):
+        report = compare_exact({0: 1}, {0: 1, 5: 9})
+        assert not report.ok
+
+    def test_mismatch_report_capped(self):
+        expected = {i: 0 for i in range(100)}
+        actual = {i: 1 for i in range(100)}
+        report = compare_exact(expected, actual, max_reported=5)
+        assert len(report.mismatches) == 5
+
+    def test_empty_inputs_ok(self):
+        assert compare_exact({}, {}).ok
+
+
+class TestCompareNumeric:
+    def test_within_tolerance(self):
+        report = compare_numeric({0: 1.0}, {0: 1.0 + 1e-9})
+        assert report.ok
+
+    def test_outside_tolerance(self):
+        report = compare_numeric({0: 1.0}, {0: 1.1})
+        assert not report.ok
+
+    def test_custom_tolerance(self):
+        report = compare_numeric({0: 1.0}, {0: 1.05}, rel_tol=0.1)
+        assert report.ok
+
+    def test_infinities_match(self):
+        report = compare_numeric({0: math.inf}, {0: math.inf})
+        assert report.ok
+
+    def test_inf_vs_finite_mismatch(self):
+        report = compare_numeric({0: math.inf}, {0: 1e9})
+        assert not report.ok
+
+    def test_missing_keys_reported(self):
+        report = compare_numeric({0: 1.0, 1: 2.0}, {0: 1.0})
+        assert not report.ok
+        assert any("missing" in m for m in report.mismatches)

@@ -1,0 +1,107 @@
+"""PageRank convergence mode (tolerance) across all three engines.
+
+The three platform implementations and the single-node reference must
+agree not only on values but on the *round count* convergence triggers —
+all four compute the same L1 delta and stop at the same iteration.
+"""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.graph.algorithms import pagerank
+from repro.graph.partition.vertexcut import greedy_vertex_cut
+from repro.graph.validate import compare_numeric
+from repro.platforms.base import JobRequest
+from repro.platforms.gas.algorithms import make_gas_program
+from repro.platforms.gas.sync_engine import SyncGasEngine
+from repro.platforms.pregel.engine import GiraphPlatform
+from repro.platforms.mapreduce.engine import HadoopPlatform
+
+from tests.conftest import make_giraph_cluster
+from tests.platforms.test_mapreduce import make_hadoop_cluster
+
+TOLERANCE = 1e-4
+MAX_ITERATIONS = 60
+
+
+def reference_rounds(graph, tolerance):
+    """How many iterations the reference needs to converge."""
+    previous = pagerank(graph, iterations=0)
+    for rounds in range(1, MAX_ITERATIONS + 1):
+        current = pagerank(graph, iterations=rounds)
+        delta = sum(abs(current[v] - previous[v]) for v in graph.vertices())
+        if delta < tolerance:
+            return rounds
+        previous = current
+    raise AssertionError("reference did not converge")
+
+
+class TestConvergenceMode:
+    @pytest.fixture(scope="class")
+    def expected(self, tiny_graph):
+        rounds = reference_rounds(tiny_graph, TOLERANCE)
+        ranks = pagerank(tiny_graph, iterations=rounds)
+        return rounds, ranks
+
+    def test_reference_converges_early(self, expected):
+        rounds, _ranks = expected
+        assert rounds < MAX_ITERATIONS
+
+    def test_giraph_converges_matching_reference(self, tiny_graph, expected):
+        rounds, ranks = expected
+        platform = GiraphPlatform(make_giraph_cluster())
+        platform.deploy_dataset("tiny", tiny_graph)
+        result = platform.run_job(JobRequest(
+            "pagerank", "tiny", 8,
+            params={"iterations": MAX_ITERATIONS, "tolerance": TOLERANCE},
+        ))
+        assert compare_numeric(ranks, result.output,
+                               rel_tol=1e-9, abs_tol=1e-12).ok
+        # Superstep count: iterations + the halt-detection superstep(s).
+        assert result.stats["supersteps"] <= rounds + 2
+        assert result.stats["supersteps"] < MAX_ITERATIONS
+
+    def test_gas_converges_matching_reference(self, tiny_graph, expected):
+        rounds, ranks = expected
+        program = make_gas_program(
+            "pagerank",
+            {"iterations": MAX_ITERATIONS, "tolerance": TOLERANCE},
+            tiny_graph,
+        )
+        engine = SyncGasEngine(tiny_graph,
+                               greedy_vertex_cut(tiny_graph, 4), program)
+        history = engine.run()
+        assert compare_numeric(ranks, engine.output(),
+                               rel_tol=1e-9, abs_tol=1e-12).ok
+        assert len(history) == rounds
+
+    def test_hadoop_converges_matching_reference(self, tiny_graph, expected):
+        rounds, ranks = expected
+        platform = HadoopPlatform(make_hadoop_cluster())
+        platform.deploy_dataset("tiny", tiny_graph)
+        result = platform.run_job(JobRequest(
+            "pagerank", "tiny", 8,
+            params={"iterations": MAX_ITERATIONS, "tolerance": TOLERANCE},
+        ))
+        assert compare_numeric(ranks, result.output,
+                               rel_tol=1e-9, abs_tol=1e-12).ok
+        assert result.stats["rounds"] == rounds
+
+    def test_zero_tolerance_runs_all_iterations(self, tiny_graph):
+        program = make_gas_program("pagerank", {"iterations": 5},
+                                   tiny_graph)
+        engine = SyncGasEngine(tiny_graph,
+                               greedy_vertex_cut(tiny_graph, 2), program)
+        assert len(engine.run()) == 5
+
+    def test_negative_tolerance_rejected(self, tiny_graph):
+        from repro.platforms.pregel.algorithms import make_pregel_program
+        from repro.platforms.mapreduce.algorithms import make_mapreduce_round
+
+        with pytest.raises(PlatformError):
+            make_pregel_program("pagerank", {"tolerance": -1.0}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_gas_program("pagerank", {"tolerance": -1.0}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_mapreduce_round("pagerank", {"tolerance": -1.0},
+                                 tiny_graph)

@@ -1,0 +1,104 @@
+"""Engine edge cases: degenerate graphs and worker configurations."""
+
+import pytest
+
+from repro.graph.algorithms import bfs_levels, pagerank, weakly_connected_components
+from repro.graph.graph import Graph
+from repro.graph.validate import compare_exact, compare_numeric
+from repro.platforms.base import JobRequest
+from repro.platforms.gas.engine import PowerGraphPlatform
+from repro.platforms.mapreduce.engine import HadoopPlatform
+from repro.platforms.pregel.engine import GiraphPlatform
+
+from tests.conftest import make_giraph_cluster, make_powergraph_cluster
+from tests.platforms.test_mapreduce import make_hadoop_cluster
+
+SINGLE = Graph(1, [])
+EDGELESS = Graph(6, [])
+SELF_LOOPS = Graph(4, [(0, 0), (0, 1), (1, 1), (1, 2), (3, 3)])
+TWO_CLIQUES = Graph(
+    6,
+    [(i, j) for i in range(3) for j in range(3) if i != j]
+    + [(i, j) for i in range(3, 6) for j in range(3, 6) if i != j],
+)
+
+CASES = {
+    "single": SINGLE,
+    "edgeless": EDGELESS,
+    "self_loops": SELF_LOOPS,
+    "two_cliques": TWO_CLIQUES,
+}
+
+
+def platforms_for(graph):
+    giraph = GiraphPlatform(make_giraph_cluster())
+    giraph.deploy_dataset("g", graph)
+    powergraph = PowerGraphPlatform(make_powergraph_cluster())
+    powergraph.deploy_dataset("g", graph)
+    hadoop = HadoopPlatform(make_hadoop_cluster())
+    hadoop.deploy_dataset("g", graph)
+    return giraph, powergraph, hadoop
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestDegenerateGraphs:
+    def test_bfs_everywhere(self, name):
+        graph = CASES[name]
+        expected = bfs_levels(graph, 0)
+        for platform in platforms_for(graph):
+            result = platform.run_job(JobRequest(
+                "bfs", "g", min(4, graph.num_vertices),
+                params={"source": 0}))
+            report = compare_exact(expected, result.output)
+            assert report.ok, f"{platform.name}: {report.summary()}"
+
+    def test_wcc_everywhere(self, name):
+        graph = CASES[name]
+        expected = weakly_connected_components(graph)
+        for platform in platforms_for(graph):
+            result = platform.run_job(JobRequest(
+                "wcc", "g", min(4, graph.num_vertices)))
+            report = compare_exact(expected, result.output)
+            assert report.ok, f"{platform.name}: {report.summary()}"
+
+    def test_pagerank_everywhere(self, name):
+        graph = CASES[name]
+        expected = pagerank(graph, iterations=5)
+        for platform in platforms_for(graph):
+            result = platform.run_job(JobRequest(
+                "pagerank", "g", min(4, graph.num_vertices),
+                params={"iterations": 5}))
+            report = compare_numeric(expected, result.output,
+                                     rel_tol=1e-9, abs_tol=1e-12)
+            assert report.ok, f"{platform.name}: {report.summary()}"
+
+
+class TestWorkerConfigurations:
+    def test_more_workers_than_vertices(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        platform = GiraphPlatform(make_giraph_cluster())
+        platform.deploy_dataset("g", graph)
+        result = platform.run_job(JobRequest(
+            "bfs", "g", 8, params={"source": 0}))
+        assert compare_exact(bfs_levels(graph, 0), result.output).ok
+
+    def test_powergraph_more_ranks_than_edges(self):
+        graph = Graph(3, [(0, 1)])
+        platform = PowerGraphPlatform(make_powergraph_cluster())
+        platform.deploy_dataset("g", graph)
+        result = platform.run_job(JobRequest(
+            "bfs", "g", 8, params={"source": 0}))
+        assert compare_exact(bfs_levels(graph, 0), result.output).ok
+
+    def test_archives_build_for_degenerate_runs(self):
+        from repro.core.archive.builder import build_archive
+        from repro.core.model.giraph_model import giraph_model
+        from repro.core.monitor.session import MonitoringSession
+
+        platform = GiraphPlatform(make_giraph_cluster())
+        platform.deploy_dataset("g", EDGELESS)
+        run = MonitoringSession(platform).run(JobRequest(
+            "bfs", "g", 4, params={"source": 0}))
+        archive, report = build_archive(run, giraph_model())
+        assert report.unmodeled == []
+        assert archive.makespan > 0

@@ -1,0 +1,146 @@
+"""Validation of every GAS algorithm against the references, plus unit
+tests for the synchronous GAS engine itself."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.graph.algorithms import (
+    bfs_levels,
+    label_propagation,
+    local_clustering_coefficient,
+    pagerank,
+    sssp_distances,
+    weakly_connected_components,
+)
+from repro.graph.generators import grid_graph, powerlaw_graph, uniform_random_graph
+from repro.graph.graph import Graph
+from repro.graph.partition.vertexcut import greedy_vertex_cut, random_vertex_cut
+from repro.graph.validate import compare_exact, compare_numeric
+from repro.platforms.gas.algorithms import BfsGas, make_gas_program
+from repro.platforms.gas.sync_engine import SyncGasEngine
+
+
+def run_gas(graph, algorithm, params, ranks=4):
+    program = make_gas_program(algorithm, params, graph)
+    cut = greedy_vertex_cut(graph, ranks)
+    engine = SyncGasEngine(graph, cut, program)
+    engine.run()
+    return engine.output()
+
+
+GRAPHS = {
+    "datagen": "tiny_graph",
+    "powerlaw": powerlaw_graph(400, 2400, seed=8),
+    "uniform": uniform_random_graph(400, 2000, seed=8),
+    "grid": grid_graph(12, 12),
+    "disconnected": Graph(50, [(i, i + 1) for i in range(20)]),
+}
+
+
+def graph_by_name(name, request):
+    g = GRAPHS[name]
+    if isinstance(g, str):
+        return request.getfixturevalue(g)
+    return g
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+class TestAgainstReference:
+    def test_bfs(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "bfs", {"source": 0})
+        assert compare_exact(bfs_levels(g, 0), out).ok
+
+    def test_pagerank(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "pagerank", {"iterations": 8})
+        ref = pagerank(g, iterations=8)
+        assert compare_numeric(ref, out, rel_tol=1e-9, abs_tol=1e-12).ok
+
+    def test_wcc(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "wcc", {})
+        assert compare_exact(weakly_connected_components(g), out).ok
+
+    def test_sssp(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "sssp", {"source": 0})
+        assert compare_numeric(sssp_distances(g, 0), out).ok
+
+    def test_cdlp(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "cdlp", {"iterations": 4})
+        assert compare_exact(label_propagation(g, 4), out).ok
+
+    def test_lcc(self, name, request):
+        g = graph_by_name(name, request)
+        out = run_gas(g, "lcc", {})
+        ref = local_clustering_coefficient(g)
+        assert compare_numeric(ref, out, rel_tol=1e-9, abs_tol=1e-12).ok
+
+
+class TestSyncEngine:
+    def test_partitioning_invariance(self, tiny_graph):
+        """Results are identical regardless of the vertex cut used."""
+        a = run_gas(tiny_graph, "bfs", {"source": 0}, ranks=2)
+        b = run_gas(tiny_graph, "bfs", {"source": 0}, ranks=8)
+        program = make_gas_program("bfs", {"source": 0}, tiny_graph)
+        engine = SyncGasEngine(
+            tiny_graph, random_vertex_cut(tiny_graph, 4), program)
+        engine.run()
+        c = engine.output()
+        assert a == b == c
+
+    def test_work_history_shape(self, tiny_graph):
+        program = BfsGas(0)
+        cut = greedy_vertex_cut(tiny_graph, 4)
+        engine = SyncGasEngine(tiny_graph, cut, program)
+        history = engine.run()
+        assert engine.finished
+        assert history[0].active == 1  # only the source
+        assert all(len(w.gather_edges) == 4 for w in history)
+        total_scatter = sum(sum(w.scatter_edges) for w in history)
+        assert total_scatter > 0
+
+    def test_step_after_finish_rejected(self, tiny_graph):
+        engine = SyncGasEngine(
+            tiny_graph, greedy_vertex_cut(tiny_graph, 2), BfsGas(0))
+        engine.run()
+        with pytest.raises(PlatformError):
+            engine.step()
+
+    def test_fixed_iteration_program_respects_bound(self, tiny_graph):
+        program = make_gas_program("pagerank", {"iterations": 3}, tiny_graph)
+        engine = SyncGasEngine(
+            tiny_graph, greedy_vertex_cut(tiny_graph, 2), program)
+        history = engine.run()
+        assert len(history) == 3
+
+    def test_master_of_isolated_vertex(self):
+        g = Graph(5, [(0, 1)])
+        engine = SyncGasEngine(g, greedy_vertex_cut(g, 2), BfsGas(0))
+        assert 0 <= engine.master_of(4) < 2
+        assert engine.replica_count(4) == 1
+
+    def test_replica_syncs_counted(self, tiny_graph):
+        program = make_gas_program("wcc", {}, tiny_graph)
+        engine = SyncGasEngine(
+            tiny_graph, greedy_vertex_cut(tiny_graph, 8), program)
+        history = engine.run()
+        assert sum(sum(w.replica_syncs) for w in history) > 0
+
+    def test_factory_rejects_unknown(self, tiny_graph):
+        with pytest.raises(PlatformError):
+            make_gas_program("nope", {}, tiny_graph)
+
+    def test_factory_validates_params(self, tiny_graph):
+        with pytest.raises(PlatformError):
+            make_gas_program("bfs", {"source": 10**7}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_gas_program("pagerank", {"iterations": -1}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_gas_program("pagerank", {"damping": 0.0}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_gas_program("cdlp", {"iterations": -3}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_gas_program("sssp", {"source": -1}, tiny_graph)

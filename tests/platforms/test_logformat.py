@@ -1,0 +1,64 @@
+"""Unit tests for the GRANULA log line format."""
+
+import pytest
+
+from repro import logformat
+
+
+class TestFormatLine:
+    def test_canonical_field_order(self):
+        line = logformat.format_line({
+            "mission": "LoadGraph", "ts": "1.5", "uid": "op1",
+            "event": "start", "job": "j1", "actor": "Master",
+        })
+        assert line.startswith("GRANULA ts=1.5 job=j1 event=start uid=op1")
+        # Tail fields sorted alphabetically.
+        assert line.endswith("actor=Master mission=LoadGraph")
+
+    def test_values_quoted(self):
+        line = logformat.format_line({"ts": "0", "value": "a b=c"})
+        assert "a b=c" not in line
+        parsed = logformat.parse_line(line)
+        assert parsed["value"] == "a b=c"
+
+    def test_deterministic(self):
+        fields = {"ts": "1", "job": "x", "zeta": "1", "alpha": "2"}
+        assert logformat.format_line(fields) == logformat.format_line(fields)
+
+
+class TestParseLine:
+    def test_roundtrip(self):
+        fields = {"ts": "2.25", "job": "j", "event": "info",
+                  "uid": "op9", "name": "Bytes", "value": "100"}
+        assert logformat.parse_line(logformat.format_line(fields)) == fields
+
+    def test_rejects_foreign_line(self):
+        with pytest.raises(ValueError):
+            logformat.parse_line("INFO something happened")
+
+    def test_rejects_malformed_pair(self):
+        with pytest.raises(ValueError):
+            logformat.parse_line("GRANULA ts=1 garbage")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            logformat.parse_line("GRANULA =value")
+
+    def test_tolerates_extra_spaces(self):
+        parsed = logformat.parse_line("GRANULA  ts=1  job=j ")
+        assert parsed == {"ts": "1", "job": "j"}
+
+    def test_strips_whitespace(self):
+        parsed = logformat.parse_line("  GRANULA ts=1\n")
+        assert parsed["ts"] == "1"
+
+
+class TestIsGranulaLine:
+    def test_positive(self):
+        assert logformat.is_granula_line("GRANULA ts=1")
+        assert logformat.is_granula_line("   GRANULA ts=1")
+
+    def test_negative(self):
+        assert not logformat.is_granula_line("GRANULARITY ts=1")
+        assert not logformat.is_granula_line("2017-01-01 INFO start")
+        assert not logformat.is_granula_line("")

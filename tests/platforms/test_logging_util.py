@@ -1,0 +1,85 @@
+"""Unit tests for the Granula log writer."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.errors import PlatformError
+from repro.platforms.logging_util import GranulaLogWriter
+
+
+@pytest.fixture()
+def writer():
+    return GranulaLogWriter("job-1", SimClock())
+
+
+class TestGranulaLogWriter:
+    def test_requires_job_id(self):
+        with pytest.raises(PlatformError):
+            GranulaLogWriter("", SimClock())
+
+    def test_start_emits_line(self, writer):
+        op = writer.start("LoadGraph", "Master")
+        assert len(writer.lines) == 1
+        assert "mission=LoadGraph" in writer.lines[0]
+        assert "actor=Master" in writer.lines[0]
+        assert op.parent_uid == "-"
+
+    def test_uids_unique_and_sequential(self, writer):
+        a = writer.start("A", "x")
+        b = writer.start("B", "x")
+        assert a.uid != b.uid
+
+    def test_end_uses_clock(self, writer):
+        op = writer.start("A", "x")
+        writer.clock.advance(2.0)
+        writer.end(op)
+        assert "ts=2.000000" in writer.lines[-1]
+        assert op.closed
+
+    def test_double_end_rejected(self, writer):
+        op = writer.start("A", "x")
+        writer.end(op)
+        with pytest.raises(PlatformError):
+            writer.end(op)
+
+    def test_end_before_start_rejected(self, writer):
+        writer.clock.advance(5.0)
+        op = writer.start("A", "x")
+        with pytest.raises(PlatformError):
+            writer.end(op, ts=4.0)
+
+    def test_explicit_timestamps(self, writer):
+        op = writer.start("A", "x", ts=1.5)
+        writer.end(op, ts=2.5)
+        assert op.started_at == 1.5
+        assert "ts=2.500000" in writer.lines[-1]
+
+    def test_parent_link(self, writer):
+        parent = writer.start("Job", "Client")
+        child = writer.start("Phase", "Master", parent)
+        assert child.parent_uid == parent.uid
+        assert f"parent={parent.uid}" in writer.lines[-1]
+
+    def test_info_line(self, writer):
+        op = writer.start("A", "x")
+        writer.info(op, "Bytes", 1024)
+        assert "name=Bytes" in writer.lines[-1]
+        assert "value=1024" in writer.lines[-1]
+
+    def test_span_emits_pair(self, writer):
+        op = writer.span("A", "x", None, 1.0, 2.0)
+        assert op.closed
+        assert len(writer.lines) == 2
+
+    def test_open_operations_tracked(self, writer):
+        a = writer.start("A", "x")
+        writer.start("B", "x")
+        writer.end(a)
+        assert [op.mission for op in writer.open_operations] == ["B"]
+
+    def test_assert_all_closed(self, writer):
+        op = writer.start("A", "x")
+        with pytest.raises(PlatformError):
+            writer.assert_all_closed()
+        writer.end(op)
+        writer.assert_all_closed()

@@ -1,0 +1,114 @@
+"""Validation of every Pregel algorithm against the references."""
+
+import pytest
+
+from repro.graph.algorithms import (
+    bfs_levels,
+    label_propagation,
+    local_clustering_coefficient,
+    pagerank,
+    sssp_distances,
+    weakly_connected_components,
+)
+from repro.graph.generators import grid_graph, powerlaw_graph, uniform_random_graph
+from repro.graph.graph import Graph
+from repro.graph.validate import compare_exact, compare_numeric
+from repro.platforms.base import JobRequest
+from repro.platforms.pregel.algorithms import make_pregel_program
+from repro.platforms.pregel.engine import GiraphPlatform
+from repro.errors import PlatformError
+
+from tests.conftest import make_giraph_cluster
+
+
+def run(graph, algorithm, params, workers=8):
+    platform = GiraphPlatform(make_giraph_cluster())
+    platform.deploy_dataset("g", graph)
+    return platform.run_job(
+        JobRequest(algorithm, "g", workers, params=params)
+    ).output
+
+
+GRAPHS = {
+    "datagen": "tiny_graph",
+    "powerlaw": powerlaw_graph(400, 2400, seed=8),
+    "uniform": uniform_random_graph(400, 2000, seed=8),
+    "grid": grid_graph(12, 12),
+    "disconnected": Graph(50, [(i, i + 1) for i in range(20)]),
+}
+
+
+def graph_by_name(name, request):
+    g = GRAPHS[name]
+    if isinstance(g, str):
+        return request.getfixturevalue(g)
+    return g
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+class TestAgainstReference:
+    def test_bfs(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "bfs", {"source": 0})
+        assert compare_exact(bfs_levels(g, 0), out).ok
+
+    def test_pagerank(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "pagerank", {"iterations": 8})
+        ref = pagerank(g, iterations=8)
+        assert compare_numeric(ref, out, rel_tol=1e-9, abs_tol=1e-12).ok
+
+    def test_wcc(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "wcc", {})
+        assert compare_exact(weakly_connected_components(g), out).ok
+
+    def test_sssp(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "sssp", {"source": 0})
+        assert compare_numeric(sssp_distances(g, 0), out).ok
+
+    def test_cdlp(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "cdlp", {"iterations": 4})
+        assert compare_exact(label_propagation(g, 4), out).ok
+
+    def test_lcc(self, name, request):
+        g = graph_by_name(name, request)
+        out = run(g, "lcc", {})
+        ref = local_clustering_coefficient(g)
+        assert compare_numeric(ref, out, rel_tol=1e-9, abs_tol=1e-12).ok
+
+
+class TestAlgorithmSpecifics:
+    def test_bfs_from_nonzero_source(self, tiny_graph):
+        out = run(tiny_graph, "bfs", {"source": 37})
+        assert compare_exact(bfs_levels(tiny_graph, 37), out).ok
+
+    def test_pagerank_damping_param(self, tiny_graph):
+        out = run(tiny_graph, "pagerank", {"iterations": 5, "damping": 0.5})
+        ref = pagerank(tiny_graph, damping=0.5, iterations=5)
+        assert compare_numeric(ref, out, rel_tol=1e-9).ok
+
+    def test_worker_count_does_not_change_results(self, tiny_graph):
+        a = run(tiny_graph, "pagerank", {"iterations": 5}, workers=2)
+        b = run(tiny_graph, "pagerank", {"iterations": 5}, workers=8)
+        assert compare_numeric(a, b, rel_tol=1e-9).ok
+
+    def test_factory_rejects_unknown(self, tiny_graph):
+        with pytest.raises(PlatformError):
+            make_pregel_program("nope", {}, tiny_graph)
+
+    def test_factory_validates_sources(self, tiny_graph):
+        with pytest.raises(PlatformError):
+            make_pregel_program("bfs", {"source": 10**6}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_pregel_program("sssp", {"source": -5}, tiny_graph)
+
+    def test_factory_validates_iterations(self, tiny_graph):
+        with pytest.raises(PlatformError):
+            make_pregel_program("pagerank", {"iterations": -1}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_pregel_program("cdlp", {"iterations": -1}, tiny_graph)
+        with pytest.raises(PlatformError):
+            make_pregel_program("pagerank", {"damping": 2.0}, tiny_graph)

@@ -1,0 +1,246 @@
+"""Unit tests for Pregel engine building blocks: messages, aggregators,
+ZooKeeper, vertex context, worker state."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.network import das5_network
+from repro.errors import PlatformError
+from repro.graph.graph import Graph
+from repro.platforms.pregel.aggregators import AggregatorRegistry
+from repro.platforms.pregel.api import VertexContext
+from repro.platforms.pregel.algorithms import BfsProgram
+from repro.platforms.pregel.messages import IncomingStore, OutgoingStore
+from repro.platforms.pregel.worker import WorkerState
+from repro.platforms.pregel.zookeeper import ZooKeeperService
+
+
+class TestOutgoingStore:
+    def test_send_without_combiner_keeps_all(self):
+        store = OutgoingStore(2, owner_of=[0, 1], combiner=None)
+        store.send(1, "a")
+        store.send(1, "b")
+        assert store.sent_count == 2
+        assert store.wire_messages(1) == 2
+
+    def test_combiner_merges_per_vertex(self):
+        store = OutgoingStore(2, owner_of=[0, 1], combiner=min)
+        store.send(1, 5)
+        store.send(1, 3)
+        store.send(1, 7)
+        assert store.sent_count == 3
+        assert store.combined_count == 2
+        assert store.wire_messages(1) == 1
+        flushed = store.flush()
+        assert flushed[1] == {1: [3]}
+
+    def test_bucketing_by_owner(self):
+        store = OutgoingStore(2, owner_of=[0, 0, 1], combiner=None)
+        store.send(0, "x")
+        store.send(2, "y")
+        assert store.wire_messages(0) == 1
+        assert store.wire_messages(1) == 1
+
+    def test_flush_resets(self):
+        store = OutgoingStore(1, owner_of=[0], combiner=None)
+        store.send(0, "x")
+        store.flush()
+        assert store.wire_messages(0) == 0
+
+
+class TestIncomingStore:
+    def test_deliver_and_take(self):
+        store = IncomingStore()
+        store.deliver({1: ["a"], 2: ["b", "c"]})
+        assert store.received_count == 3
+        assert store.pending == 3
+        mailbox = store.take_all()
+        assert mailbox == {1: ["a"], 2: ["b", "c"]}
+        assert store.pending == 0
+
+    def test_deliveries_merge(self):
+        store = IncomingStore()
+        store.deliver({1: ["a"]})
+        store.deliver({1: ["b"]})
+        assert store.take_all() == {1: ["a", "b"]}
+
+
+class TestAggregatorRegistry:
+    def test_register_contribute_barrier(self):
+        reg = AggregatorRegistry()
+        reg.register("sum", lambda a, b: a + b, 0.0)
+        reg.contribute("sum", 2.0)
+        reg.contribute("sum", 3.0)
+        values = reg.barrier()
+        assert values == {"sum": 5.0}
+        assert reg.previous_values == {"sum": 5.0}
+
+    def test_barrier_resets_current(self):
+        reg = AggregatorRegistry()
+        reg.register("sum", lambda a, b: a + b, 0.0)
+        reg.contribute("sum", 1.0)
+        reg.barrier()
+        assert reg.barrier() == {"sum": 0.0}
+
+    def test_duplicate_name_rejected(self):
+        reg = AggregatorRegistry()
+        reg.register("x", min, 0)
+        with pytest.raises(PlatformError):
+            reg.register("x", min, 0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PlatformError):
+            AggregatorRegistry().contribute("nope", 1)
+
+    def test_names_sorted(self):
+        reg = AggregatorRegistry()
+        reg.register("b", min, 0)
+        reg.register("a", min, 0)
+        assert reg.names == ["a", "b"]
+
+
+class TestZooKeeper:
+    def test_sync_counts_rounds(self):
+        zk = ZooKeeperService(SimClock(), das5_network())
+        zk.barrier_sync_duration(8)
+        zk.barrier_sync_duration(8)
+        assert zk.sync_count == 2
+
+    def test_sync_grows_with_participants(self):
+        zk = ZooKeeperService(SimClock(), das5_network())
+        assert zk.barrier_sync_duration(16) > zk.barrier_sync_duration(2)
+
+    def test_cleanup_scales_with_znodes(self):
+        zk = ZooKeeperService(SimClock(), das5_network())
+        assert zk.cleanup_duration(1000) > zk.cleanup_duration(0)
+
+
+class TestVertexContext:
+    @pytest.fixture()
+    def ctx(self):
+        graph = Graph(4, [(0, 1), (0, 2), (1, 0), (3, 0)])
+        return VertexContext(graph, num_workers=2)
+
+    def test_topology_accessors(self, ctx):
+        ctx._begin_vertex(0)
+        assert list(ctx.out_neighbors()) == [1, 2]
+        assert list(ctx.in_neighbors()) == [1, 3]
+        assert set(ctx.neighbors_undirected()) == {1, 2, 3}
+        assert ctx.out_degree() == 2
+        assert ctx.num_vertices == 4
+        assert ctx.vertex == 0
+
+    def test_send_and_drain(self, ctx):
+        ctx._begin_vertex(0)
+        ctx.send_message(1, "a")
+        ctx.send_message_to_out_neighbors("b")
+        outbox, halted, aggs = ctx._drain()
+        assert outbox == [(1, "a"), (1, "b"), (2, "b")]
+        assert not halted
+        assert aggs == []
+
+    def test_send_to_unknown_vertex_rejected(self, ctx):
+        ctx._begin_vertex(0)
+        with pytest.raises(PlatformError):
+            ctx.send_message(99, "x")
+
+    def test_vote_to_halt(self, ctx):
+        ctx._begin_vertex(0)
+        ctx.vote_to_halt()
+        _out, halted, _aggs = ctx._drain()
+        assert halted
+
+    def test_halt_reset_per_vertex(self, ctx):
+        ctx._begin_vertex(0)
+        ctx.vote_to_halt()
+        ctx._drain()
+        ctx._begin_vertex(1)
+        _out, halted, _aggs = ctx._drain()
+        assert not halted
+
+    def test_aggregate_and_read(self, ctx):
+        ctx._begin_vertex(0)
+        ctx.aggregate("dangling", 0.5)
+        _out, _halted, aggs = ctx._drain()
+        assert aggs == [("dangling", 0.5)]
+        ctx._aggregated_previous = {"dangling": 0.7}
+        assert ctx.aggregated("dangling") == 0.7
+        assert ctx.aggregated("missing", -1) == -1
+
+
+class TestWorkerState:
+    def make_worker(self, graph, vertices, owner_of, program=None):
+        return WorkerState(
+            worker_id=0, node_name="n0", vertices=vertices, graph=graph,
+            num_workers=2, owner_of=owner_of,
+            program=program or BfsProgram(0),
+        )
+
+    def test_load_partition_initializes(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        worker = self.make_worker(g, [0, 1], [0, 0, 1])
+        worker.load_partition()
+        assert worker.values == {0: -1, 1: -1}
+        assert worker.halted == {0: False, 1: False}
+
+    def test_partition_bytes_positive(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        worker = self.make_worker(g, [0, 1], [0, 0, 1])
+        assert worker.partition_bytes() > 0
+
+    def test_superstep_zero_computes_all(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        worker = self.make_worker(g, [0, 1], [0, 0, 1])
+        worker.load_partition()
+        worker.begin_superstep(0, {})
+        out = OutgoingStore(2, [0, 0, 1], min)
+        work = worker.compute_superstep(out, AggregatorRegistry())
+        assert work.computed == 2
+        # BFS source 0 sends to vertex 1 (local worker 0).
+        assert work.messages_sent == 1
+        assert work.wire_local == 1
+        assert work.wire_remote == 0
+
+    def test_halted_vertices_skip_compute(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        worker = self.make_worker(g, [0, 1], [0, 0, 1])
+        worker.load_partition()
+        worker.begin_superstep(0, {})
+        worker.compute_superstep(OutgoingStore(2, [0, 0, 1], min),
+                                 AggregatorRegistry())
+        # Superstep 1 without messages: everyone halted, nothing computes.
+        worker.begin_superstep(1, {})
+        work = worker.compute_superstep(OutgoingStore(2, [0, 0, 1], min),
+                                        AggregatorRegistry())
+        assert work.computed == 0
+
+    def test_message_reactivates(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        worker = self.make_worker(g, [0, 1], [0, 0, 1])
+        worker.load_partition()
+        worker.begin_superstep(0, {})
+        worker.compute_superstep(OutgoingStore(2, [0, 0, 1], min),
+                                 AggregatorRegistry())
+        worker.incoming.deliver({1: [1]})
+        assert worker.has_pending_messages()
+        worker.begin_superstep(1, {})
+        work = worker.compute_superstep(OutgoingStore(2, [0, 0, 1], min),
+                                        AggregatorRegistry())
+        assert work.computed == 1
+        assert worker.values[1] == 1
+
+    def test_all_halted(self):
+        g = Graph(2, [(0, 1)])
+        worker = self.make_worker(g, [0, 1], [0, 0])
+        worker.load_partition()
+        assert not worker.all_halted()
+        worker.begin_superstep(0, {})
+        worker.compute_superstep(OutgoingStore(2, [0, 0], min),
+                                 AggregatorRegistry())
+        assert worker.all_halted()
+
+    def test_output_uses_program_mapping(self):
+        g = Graph(2, [(0, 1)])
+        worker = self.make_worker(g, [0], [0, 0])
+        worker.load_partition()
+        assert worker.output() == {0: -1}

@@ -1,0 +1,105 @@
+"""Unit tests for the platform registry and cost models."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms.costmodel import (
+    GiraphCostModel,
+    PowerGraphCostModel,
+    execution_jitter,
+)
+from repro.platforms.registry import (
+    PLATFORM_TABLE,
+    TABLE_COLUMNS,
+    platform_info,
+    table_rows,
+)
+
+
+class TestRegistry:
+    def test_seven_platforms(self):
+        assert len(PLATFORM_TABLE) == 7
+
+    def test_lookup_case_insensitive(self):
+        assert platform_info("giraph").name == "Giraph"
+        assert platform_info("POWERGRAPH").name == "PowerGraph"
+
+    def test_unknown_platform(self):
+        with pytest.raises(PlatformError):
+            platform_info("Spark")
+
+    def test_evaluated_flags(self):
+        evaluated = [p.name for p in PLATFORM_TABLE if p.evaluated]
+        assert evaluated == ["Giraph", "PowerGraph"]
+
+    def test_rows_align_with_columns(self):
+        for row in table_rows():
+            assert len(row) == len(TABLE_COLUMNS)
+
+    def test_row_order_matches_paper(self):
+        names = [row[0] for row in table_rows()]
+        assert names == ["Giraph", "PowerGraph", "GraphMat", "PGX.D",
+                         "OpenG", "TOTEM", "Hadoop"]
+
+    def test_single_node_platforms(self):
+        single = {p.name for p in PLATFORM_TABLE if not p.distributed}
+        assert single == {"OpenG", "TOTEM"}
+
+
+class TestCostModels:
+    def test_defaults_valid(self):
+        GiraphCostModel()
+        PowerGraphCostModel()
+
+    def test_giraph_rejects_nonpositive(self):
+        with pytest.raises(PlatformError):
+            GiraphCostModel(parse_byte_s=0.0)
+        with pytest.raises(PlatformError):
+            GiraphCostModel(message_byte=0)
+
+    def test_powergraph_rejects_nonpositive(self):
+        with pytest.raises(PlatformError):
+            PowerGraphCostModel(parse_edge_s=-1.0)
+
+    def test_frozen(self):
+        model = GiraphCostModel()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            model.parse_byte_s = 1.0
+
+    def test_powergraph_loader_dominates_design(self):
+        """The structural property behind Figure 7: per-edge parse cost
+        far exceeds per-edge processing cost."""
+        cost = PowerGraphCostModel()
+        assert cost.parse_edge_s > 5 * cost.gather_edge_s
+
+
+class TestExecutionJitter:
+    def test_deterministic(self):
+        assert execution_jitter(1, 2, 0.1) == execution_jitter(1, 2, 0.1)
+
+    def test_bounded_without_spikes(self):
+        for worker in range(8):
+            for step in range(20):
+                factor = execution_jitter(worker, step, 0.1, gc_spike=0.0)
+                assert 0.9 <= factor <= 1.1
+
+    def test_zero_jitter_is_identity(self):
+        assert execution_jitter(3, 4, 0.0) == 1.0
+
+    def test_spikes_occur_somewhere(self):
+        spiked = [
+            execution_jitter(w, s, 0.0, gc_spike=0.5)
+            for w in range(8) for s in range(30)
+        ]
+        assert max(spiked) == pytest.approx(1.5, abs=0.01)
+        assert min(spiked) == 1.0
+
+    def test_varies_across_workers(self):
+        values = {execution_jitter(w, 0, 0.1) for w in range(8)}
+        assert len(values) > 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(PlatformError):
+            execution_jitter(0, 0, -0.1)

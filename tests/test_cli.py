@@ -1,0 +1,90 @@
+"""Tests for the granula CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.archive.serialize import archive_to_json
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for argv in (["table1"], ["model", "Giraph"],
+                     ["run", "Giraph", "bfs", "dg-tiny"],
+                     ["experiments"], ["report", "x.json"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Giraph" in out and "PowerGraph" in out
+
+    def test_model_tree(self, capsys):
+        assert main(["model", "Giraph"]) == 0
+        out = capsys.readouterr().out
+        assert "GiraphJob" in out
+        assert "[domain]" in out
+
+    def test_model_unknown_platform(self, capsys):
+        assert main(["model", "Spark"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_models_lists_library(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Giraph", "PowerGraph", "Hadoop", "GraphMat",
+                     "PGX.D", "OpenG", "TOTEM"):
+            assert name in out
+
+    def test_run_prints_breakdown(self, capsys, tmp_path):
+        code = main(["run", "Giraph", "bfs", "dg-tiny",
+                     "--workers", "4", "--out", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "archive stored" in out
+        assert (tmp_path / "store" / "index.json").exists()
+
+    def test_run_unknown_dataset(self, capsys):
+        assert main(["run", "Giraph", "bfs", "nope"]) == 2
+
+    def test_report_from_archive(self, capsys, tmp_path, giraph_archive):
+        path = tmp_path / "a.json"
+        path.write_text(archive_to_json(giraph_archive))
+        html = tmp_path / "report.html"
+        assert main(["report", str(path), "--html", str(html)]) == 0
+        assert html.exists()
+        out = capsys.readouterr().out
+        assert "GiraphJob" in out
+
+    def test_diagnose_archive(self, capsys, tmp_path, giraph_archive):
+        path = tmp_path / "a.json"
+        path.write_text(archive_to_json(giraph_archive))
+        assert main(["diagnose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "choke points" in out
+
+    def test_compare_same_platform_regression(self, capsys, tmp_path,
+                                              giraph_archive):
+        path = tmp_path / "a.json"
+        path.write_text(archive_to_json(giraph_archive))
+        # Identical archives: no regression, exit 0.
+        assert main(["compare", str(path), str(path)]) == 0
+        assert "regression report" in capsys.readouterr().out
+
+    def test_compare_cross_platform(self, capsys, tmp_path,
+                                    giraph_archive, powergraph_archive):
+        a = tmp_path / "a.json"
+        a.write_text(archive_to_json(giraph_archive))
+        b = tmp_path / "b.json"
+        b.write_text(archive_to_json(powergraph_archive))
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Ts setup" in out

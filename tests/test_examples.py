@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are a deliverable; these tests keep them working.  Each runs in
+a subprocess exactly as a user would run it (the slowest one is skipped
+by default; enable with ``-m ''`` patience or run it by hand).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "TOTAL" in proc.stdout
+        assert "dominant superstep" in proc.stdout
+
+    def test_incremental_analysis(self):
+        proc = run_example("incremental_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "iteration 1 (domain level)" in proc.stdout
+        assert "iteration 3 (implementation level)" in proc.stdout
+        assert "unmodeled operations remaining: 0" in proc.stdout
+
+    def test_custom_algorithm(self):
+        proc = run_example("custom_algorithm.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "khop" in proc.stdout
+        assert "ProcessGraph" in proc.stdout
+
+    def test_failure_diagnosis(self):
+        proc = run_example("failure_diagnosis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "recovery" in proc.stdout
+        assert "straggler" in proc.stdout
+        assert "FAIL (regressed)" in proc.stdout
+
+    def test_compare_platforms_fast(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "compare_platforms.py"),
+             "--fast"],
+            capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Ts setup" in proc.stdout
+        assert (tmp_path / "comparison_report.html").exists()

@@ -1,0 +1,41 @@
+"""Unit tests for the ExperimentResult container."""
+
+from repro.experiments.common import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_all_checks_pass(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t",
+            checks=[("a", True), ("b", True)],
+        )
+        assert result.all_checks_pass
+
+    def test_any_failure_flags(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t",
+            checks=[("a", True), ("b", False)],
+        )
+        assert not result.all_checks_pass
+
+    def test_empty_checks_pass(self):
+        assert ExperimentResult(experiment_id="x", title="t").all_checks_pass
+
+    def test_summary_line_ok(self):
+        result = ExperimentResult(
+            experiment_id="fig5", title="Decomposition",
+            checks=[("a", True)],
+        )
+        line = result.summary_line()
+        assert "[fig5]" in line
+        assert "OK" in line
+        assert "1/1" in line
+
+    def test_summary_line_mismatch(self):
+        result = ExperimentResult(
+            experiment_id="fig5", title="Decomposition",
+            checks=[("a", False), ("b", True)],
+        )
+        line = result.summary_line()
+        assert "SHAPE MISMATCH" in line
+        assert "1/2" in line

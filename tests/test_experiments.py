@@ -1,0 +1,164 @@
+"""Tests reproducing every paper table/figure (the headline assertions).
+
+These use the real experiment scale (dg1000-scaled), shared across the
+module through the experiments' process-wide runner, so the whole module
+costs two platform runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+)
+from repro.experiments.common import shared_runner
+from repro.experiments.report import ALL_EXPERIMENTS, render_markdown, run_all
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return shared_runner()
+
+
+class TestTable1:
+    def test_all_checks_pass(self, runner):
+        result = run_table1(runner)
+        assert result.all_checks_pass, result.checks
+
+    def test_rows_rendered(self, runner):
+        text = run_table1(runner).text
+        for name in ("Giraph", "PowerGraph", "GraphMat", "PGX.D",
+                     "OpenG", "TOTEM", "Hadoop"):
+            assert name in text
+
+
+class TestFig3:
+    def test_all_checks_pass(self, runner):
+        assert run_fig3(runner).all_checks_pass
+
+
+class TestFig4:
+    def test_all_checks_pass(self, runner):
+        result = run_fig4(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_tree_rendered(self, runner):
+        text = run_fig4(runner).text
+        assert "GiraphJob" in text
+        assert "SyncZookeeper" in text
+
+
+class TestFig5:
+    def test_all_checks_pass(self, runner):
+        result = run_fig5(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_giraph_shares_near_paper(self, runner):
+        measured = run_fig5(runner).measured["giraph"]
+        assert abs(measured["Setup"] - 30.9) < 6
+        assert abs(measured["Input/output"] - 43.3) < 6
+        assert abs(measured["Processing"] - 25.8) < 6
+
+    def test_powergraph_io_dominates(self, runner):
+        measured = run_fig5(runner).measured["powergraph"]
+        assert measured["Input/output"] >= 90.0
+        assert measured["Processing"] <= 5.0
+
+    def test_runtime_ratio(self, runner):
+        measured = run_fig5(runner).measured
+        ratio = measured["powergraph"]["total_s"] / measured["giraph"]["total_s"]
+        assert 3.0 <= ratio <= 7.0
+
+
+class TestFig6:
+    def test_all_checks_pass(self, runner):
+        result = run_fig6(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_load_is_heaviest(self, runner):
+        cores = run_fig6(runner).measured["mean_cpu_cores"]
+        assert cores["LoadGraph"] == max(cores.values())
+
+
+class TestFig7:
+    def test_all_checks_pass(self, runner):
+        result = run_fig7(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_single_loader(self, runner):
+        measured = run_fig7(runner).measured
+        assert measured["loader_mean_cores"] > 8.0
+        assert measured["others_mean_cores_head"] < 1.0
+
+
+class TestFig8:
+    def test_all_checks_pass(self, runner):
+        result = run_fig8(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_dominant_is_compute_4(self, runner):
+        assert run_fig8(runner).measured["dominant_superstep"] == 4
+
+    def test_worker_imbalance_visible(self, runner):
+        assert run_fig8(runner).measured["worker_imbalance"] > 1.1
+
+
+class TestExtHadoop:
+    def test_all_checks_pass(self, runner):
+        from repro.experiments import run_hadoop_baseline
+        result = run_hadoop_baseline(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_penalty_severe(self, runner):
+        from repro.experiments import run_hadoop_baseline
+        measured = run_hadoop_baseline(runner).measured
+        assert measured["penalty_ratio"] >= 3.0
+        assert measured["scan_amplification"] >= 5.0
+
+
+class TestExtChokepoints:
+    def test_all_checks_pass(self, runner):
+        from repro.experiments.ext_chokepoints import run_chokepoints
+        result = run_chokepoints(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_single_node_signature_detected(self, runner):
+        from repro.experiments.ext_chokepoints import run_chokepoints
+        measured = run_chokepoints(runner).measured
+        top = measured["powergraph_top"][0]
+        assert top[0] == "StreamEdges"
+        assert top[2] == "cpu-bound-single-node"
+
+
+class TestExtCrossPlatform:
+    def test_all_checks_pass(self, runner):
+        from repro.experiments.ext_cross_platform import run_cross_platform
+        result = run_cross_platform(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_ordering(self, runner):
+        from repro.experiments.ext_cross_platform import run_cross_platform
+        order = run_cross_platform(runner).measured["order_fastest_first"]
+        assert order[0] == "PGX.D"
+        assert order[-1] == "Hadoop"
+
+
+class TestReport:
+    def test_run_all_covers_every_artifact(self, runner):
+        results = run_all(runner)
+        assert len(results) == len(ALL_EXPERIMENTS) == 10
+        assert all(r.all_checks_pass for r in results)
+
+    def test_markdown_structure(self, runner):
+        text = render_markdown(run_all(runner))
+        assert text.startswith("# Experiments")
+        for name in ("Table 1", "Figure 3", "Figure 4", "Figure 5",
+                     "Figure 6", "Figure 7", "Figure 8"):
+            assert f"## {name}" in text
+        assert "reproduced" in text
+        assert "MISMATCH" not in text

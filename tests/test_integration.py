@@ -1,0 +1,123 @@
+"""Cross-module integration tests.
+
+The strongest invariant in the system: both platform engines and the
+reference implementations agree on every algorithm's output, and the full
+pipeline (engine -> log -> parse -> archive -> visualize) preserves the
+quantities the paper reports.
+"""
+
+import pytest
+
+from repro.core.archive.builder import build_archive
+from repro.core.archive.query import ArchiveQuery
+from repro.core.model.giraph_model import giraph_model
+from repro.core.model.powergraph_model import powergraph_model
+from repro.core.monitor.session import MonitoringSession
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.graph.algorithms import (
+    bfs_levels,
+    label_propagation,
+    pagerank,
+    sssp_distances,
+    weakly_connected_components,
+)
+from repro.graph.validate import compare_exact, compare_numeric
+from repro.platforms.base import JobRequest
+from repro.platforms.gas.engine import PowerGraphPlatform
+from repro.platforms.pregel.engine import GiraphPlatform
+
+from tests.conftest import make_giraph_cluster, make_powergraph_cluster
+
+
+@pytest.fixture(scope="module")
+def platforms(small_graph):
+    giraph = GiraphPlatform(make_giraph_cluster())
+    giraph.deploy_dataset("small", small_graph)
+    powergraph = PowerGraphPlatform(make_powergraph_cluster())
+    powergraph.deploy_dataset("small", small_graph)
+    return giraph, powergraph
+
+
+class TestCrossPlatformAgreement:
+    """Both engines and the reference produce identical results."""
+
+    @pytest.mark.parametrize("algorithm,params,reference,compare", [
+        ("bfs", {"source": 0}, lambda g: bfs_levels(g, 0), compare_exact),
+        ("wcc", {}, weakly_connected_components, compare_exact),
+        ("sssp", {"source": 0}, lambda g: sssp_distances(g, 0),
+         compare_numeric),
+        ("pagerank", {"iterations": 6},
+         lambda g: pagerank(g, iterations=6), compare_numeric),
+        ("cdlp", {"iterations": 4},
+         lambda g: label_propagation(g, 4), compare_exact),
+    ])
+    def test_three_way_agreement(self, platforms, small_graph, algorithm,
+                                 params, reference, compare):
+        giraph, powergraph = platforms
+        expected = reference(small_graph)
+        for platform in (giraph, powergraph):
+            result = platform.run_job(
+                JobRequest(algorithm, "small", 8, params=params))
+            report = compare(expected, result.output)
+            assert report.ok, f"{platform.name}: {report.summary()}"
+
+
+class TestPipelineConsistency:
+    def test_archive_matches_job_result(self, platforms):
+        giraph, _ = platforms
+        session = MonitoringSession(giraph)
+        run = session.run(JobRequest("bfs", "small", 8,
+                                     params={"source": 0}))
+        archive, report = build_archive(run, giraph_model())
+        assert report.unmodeled == []
+        assert archive.makespan == pytest.approx(run.result.makespan)
+        # Superstep count in the archive equals the engine's own count.
+        process = ArchiveQuery(archive).mission("ProcessGraph").one()
+        assert process.infos["Supersteps"] == run.result.stats["supersteps"]
+
+    def test_powergraph_archive_iterations(self, platforms):
+        _, powergraph = platforms
+        session = MonitoringSession(powergraph)
+        run = session.run(JobRequest("bfs", "small", 8,
+                                     params={"source": 0}))
+        archive, report = build_archive(run, powergraph_model())
+        assert report.unmodeled == []
+        process = ArchiveQuery(archive).mission("ProcessGraph").one()
+        assert process.infos["Iterations"] == run.result.stats["iterations"]
+
+    def test_breakdown_sums_to_makespan(self, platforms):
+        giraph, _ = platforms
+        session = MonitoringSession(giraph)
+        run = session.run(JobRequest("bfs", "small", 8,
+                                     params={"source": 0}))
+        archive, _ = build_archive(run, giraph_model())
+        breakdown = compute_breakdown(archive)
+        covered = sum(d for _m, d, _s in breakdown.operations)
+        # Domain phases cover (almost) the whole job; small master
+        # coordination gaps are allowed.
+        assert covered == pytest.approx(breakdown.total, rel=0.05)
+
+    def test_compute_infos_match_messages(self, platforms):
+        """Per-superstep MessagesSent summed over the archive equals the
+        engine's reported total."""
+        giraph, _ = platforms
+        session = MonitoringSession(giraph)
+        run = session.run(JobRequest("bfs", "small", 8,
+                                     params={"source": 0}))
+        archive, _ = build_archive(run, giraph_model())
+        total = ArchiveQuery(archive).mission("Compute").total("MessagesSent")
+        assert total == run.result.stats["messages"]
+
+    def test_env_cpu_matches_node_accounting(self, platforms):
+        giraph, _ = platforms
+        session = MonitoringSession(giraph)
+        run = session.run(JobRequest("bfs", "small", 8,
+                                     params={"source": 0}))
+        t1 = run.result.finished_at
+        for node_name, series in run.env_series.items():
+            node = giraph.cluster.node(node_name)
+            for t, value in series:
+                hi = min(t + series.step, t1)
+                width = hi - t
+                expected = node.cpu.cpu_seconds_between(t, hi) / width
+                assert value == pytest.approx(expected, rel=1e-9, abs=1e-9)

@@ -1,0 +1,81 @@
+"""Property-based tests on the model language and archive queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model.job import JobModel
+from repro.core.model.operation import Multiplicity, OperationModel, split_iteration
+from repro.core.model.serialize import model_from_json, model_to_json
+from repro.core.model.validation import validate_model
+
+_MISSIONS = [f"Op{c}" for c in "ABCDEFGHIJKLMNOP"]
+_ACTORS = ["Master", "Worker", "Client", "Rank"]
+
+
+@st.composite
+def job_models(draw):
+    """Random structurally valid job models."""
+    used = iter(draw(st.permutations(_MISSIONS)))
+
+    def build(level, depth):
+        node = OperationModel(
+            mission=next(used),
+            actor_type=draw(st.sampled_from(_ACTORS)),
+            level=level,
+            multiplicity=draw(st.sampled_from(list(Multiplicity.ALL))),
+        )
+        if depth < 2:
+            for _ in range(draw(st.integers(0, 2))):
+                child_level = draw(st.integers(level, min(level + 1, 4)))
+                node.add_child(build(child_level, depth + 1))
+        return node
+
+    root = build(1, 0)
+    return JobModel("Rand", root)
+
+
+class TestModelProperties:
+    @given(job_models())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_models_validate(self, model):
+        assert validate_model(model, strict=False) == []
+
+    @given(job_models())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_roundtrip(self, model):
+        clone = model_from_json(model_to_json(model))
+        assert clone.size() == model.size()
+        for a, b in zip(model.walk(), clone.walk()):
+            assert (a.mission, a.actor_type, a.level, a.multiplicity) == (
+                b.mission, b.actor_type, b.level, b.multiplicity)
+
+    @given(job_models(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_monotone_and_valid(self, model, level):
+        truncated = model.truncated(level)
+        assert truncated.size() <= model.size()
+        assert truncated.max_level() <= max(level, 1)
+        assert validate_model(truncated, strict=False) == []
+        # Truncating deeper than the deepest level is the identity.
+        assert model.truncated(4).size() == model.size()
+
+    @given(job_models())
+    @settings(max_examples=60, deadline=None)
+    def test_walk_covers_index(self, model):
+        walked = [n.mission for n in model.walk()]
+        assert len(walked) == len(set(walked))  # Unique missions here.
+        for mission in walked:
+            assert model.has(mission)
+            assert model.find(mission).mission == mission
+
+
+class TestSplitIterationProperties:
+    @given(st.sampled_from(_MISSIONS), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_split_inverts_join(self, base, index):
+        assert split_iteration(f"{base}-{index}") == (base, index)
+
+    @given(st.sampled_from(_MISSIONS))
+    @settings(max_examples=20, deadline=None)
+    def test_plain_names_pass_through(self, base):
+        assert split_iteration(base) == (base, None)
