@@ -1,0 +1,69 @@
+"""Benchmark + regeneration of the fault-injection extension experiment.
+
+Writes ``benchmarks/output/ext_faults.txt`` with the recovery-overhead
+share per fault type and the diagnosis findings for each scenario.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.core.analysis.diagnosis import diagnose, recovery_overhead
+from repro.experiments.common import GIRAPH_BFS
+from repro.experiments.ext_faults import run_faults
+from repro.platforms.faults import (
+    ContainerLaunchFailure,
+    FaultPlan,
+    HdfsReadError,
+    LoaderCrash,
+    NodeFailure,
+    SlowDisk,
+    SlowNode,
+    WorkerCrash,
+)
+from repro.workloads.spec import WorkloadSpec
+
+
+def test_bench_recovery_overhead(benchmark, giraph_iteration):
+    """Cost of one recovery-overhead pass over a full (healthy) archive."""
+    overhead = benchmark(recovery_overhead, giraph_iteration.archive)
+    assert overhead == {"total": 0.0, "share": 0.0}
+
+
+def test_bench_ext_faults(benchmark, runner, output_dir):
+    result = benchmark(run_faults, runner)
+    assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    # Overhead share per single fault type, measured in isolation.
+    nodes = runner.platform("Giraph").cluster.node_names
+    single_faults = [
+        ("SlowNode", GIRAPH_BFS, FaultPlan(
+            events=(SlowNode(nodes[1], 2.0),))),
+        ("SlowDisk", GIRAPH_BFS, FaultPlan(
+            events=(SlowDisk(nodes[1], 2.0),))),
+        ("ContainerLaunchFailure", GIRAPH_BFS, FaultPlan(
+            events=(ContainerLaunchFailure(nodes[2], failures=2),))),
+        ("NodeFailure", GIRAPH_BFS, FaultPlan(
+            events=(NodeFailure(nodes[4]),))),
+        ("HdfsReadError", GIRAPH_BFS, FaultPlan(
+            events=(HdfsReadError(nodes[0], blocks=2),))),
+        ("WorkerCrash", GIRAPH_BFS, FaultPlan(
+            events=(WorkerCrash(worker=1, superstep=2),),
+            checkpoint_interval=2)),
+    ]
+    pg_spec = WorkloadSpec("PowerGraph", "bfs", "dg1000-scaled", workers=8)
+    single_faults.append(("LoaderCrash", pg_spec, FaultPlan(
+        events=(LoaderCrash(at_fraction=0.5, restart_s=4.0),))))
+
+    lines = [
+        "Fault-type overhead on BFS dg1000-scaled (8 nodes):",
+        "",
+        f"{'fault':<24} {'recovery share':>14} {'findings':>9}",
+    ]
+    for name, spec, plan in single_faults:
+        iteration = runner.run(spec, faults=plan)
+        share = recovery_overhead(iteration.archive)["share"]
+        findings = diagnose(iteration.archive)
+        lines.append(f"{name:<24} {share * 100:>13.2f}% {len(findings):>9}")
+
+    text = result.text + "\n\n" + "\n".join(lines)
+    print()
+    print(text)
+    write_artifact(output_dir, "ext_faults.txt", text)

@@ -9,15 +9,31 @@ and shows what Granula's analyses see:
 - failure diagnosis of the faulty run (recovery event + straggler, with
   the guilty node named),
 - a regression report comparing the two archives, as a CI performance
-  gate would.
+  gate would,
+- a scheduled fault plan mixing every transient fault type (container
+  launch failure, HDFS block-read error, flaky disk, degraded link,
+  checkpointed worker crash), with the recovery cost attributed per
+  mechanism.
 """
 
 from repro import GiraphPlatform, JobRequest, MonitoringSession, build_archive
-from repro.core.analysis import compare_archives, diagnose, find_choke_points
+from repro.core.analysis import (
+    compare_archives,
+    diagnose,
+    find_choke_points,
+    recovery_overhead,
+)
 from repro.core.analysis.chokepoint import render_choke_points
 from repro.core.analysis.diagnosis import render_findings
 from repro.core.model import giraph_model
-from repro.platforms.faults import FaultPlan
+from repro.platforms.faults import (
+    ContainerLaunchFailure,
+    DegradedLink,
+    FaultPlan,
+    HdfsReadError,
+    SlowDisk,
+    WorkerCrash,
+)
 from repro.workloads.datasets import build_dataset
 from repro.workloads.runner import build_cluster
 
@@ -64,6 +80,40 @@ def main() -> None:
     report = compare_archives(baseline, faulty)
     print(report.render_text(top_n=5))
     print("\ngate verdict:", "FAIL (regressed)" if not report.ok else "pass")
+
+    # --- Scheduled fault plan: every transient fault type --------------------
+    nodes = platform.cluster.node_names
+    plan = FaultPlan(
+        events=(
+            ContainerLaunchFailure(nodes[3], failures=1),
+            HdfsReadError(nodes[0], blocks=1),
+            SlowDisk(nodes[1], factor=2.0),
+            DegradedLink(nodes[6], factor=1.8),
+            WorkerCrash(worker=2, superstep=2),
+        ),
+        checkpoint_interval=2,
+        seed=42,
+    )
+    print(f"\nscheduled fault plan {plan.signature()} "
+          f"({len(plan.events)} events, checkpoints every "
+          f"{plan.interval()} supersteps):")
+    platform.inject_faults(plan)
+    chaos_run = session.run(JobRequest(
+        "bfs", dataset, 8, params={"source": 0}, job_id="chaos"))
+    platform.inject_faults(None)
+    chaos, _ = build_archive(chaos_run, model)
+    print("output still correct:",
+          chaos_run.result.output == baseline_run.result.output)
+    print(render_findings([f for f in diagnose(chaos)
+                           if f.kind == "recovery"]))
+    overhead = recovery_overhead(chaos)
+    print("recovery overhead by mechanism:")
+    for mission, seconds in sorted(overhead.items()):
+        if mission in ("total", "share"):
+            continue
+        print(f"  {mission:<24} {seconds:7.2f}s")
+    print(f"  {'total':<24} {overhead['total']:7.2f}s "
+          f"({overhead['share'] * 100:.1f}% of the makespan)")
 
 
 if __name__ == "__main__":

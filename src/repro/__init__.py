@@ -44,6 +44,7 @@ from repro.core.archive import (
 from repro.core.monitor import MonitoredRun, MonitoringSession
 from repro.errors import ReproError
 from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.faults import FaultPlan
 from repro.platforms.gas.engine import PowerGraphPlatform
 from repro.platforms.pregel.engine import GiraphPlatform
 
@@ -63,6 +64,7 @@ __all__ = [
     "JobRequest",
     "JobResult",
     "Platform",
+    "FaultPlan",
     "GiraphPlatform",
     "PowerGraphPlatform",
 ]

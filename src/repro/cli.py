@@ -5,8 +5,11 @@ Subcommands::
     granula table1                 print Table 1
     granula model <platform>       print a platform's model tree (Fig. 4)
     granula run <platform> <alg> <dataset> [--workers N] [--out DIR]
+                [--faults plan.json]
                                    run one monitored job, print Fig. 5,
-                                   optionally store the archive
+                                   optionally store the archive; with a
+                                   fault plan, inject the scheduled
+                                   faults and print the diagnosis
     granula experiments [--out FILE]
                                    reproduce every table/figure
     granula report <archive.json> [--html FILE]
@@ -65,13 +68,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         workers=args.workers,
     )
-    iteration = runner.run(spec)
+    faults = None
+    if args.faults:
+        from repro.platforms.faults import FaultPlan
+
+        try:
+            plan_text = Path(args.faults).read_text()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read fault plan {args.faults}: {exc}"
+            ) from None
+        faults = FaultPlan.from_json(plan_text)
+        print(f"fault plan {faults.signature()} armed "
+              f"({len(faults.events)} scheduled event(s), "
+              f"seed {faults.seed})\n")
+    iteration = runner.run(spec, faults=faults)
     print(iteration.breakdown.render_text())
     print()
     print(iteration.utilization.render_text())
     if iteration.gantt is not None:
         print()
         print(iteration.gantt.render_text())
+    if faults is not None:
+        from repro.core.analysis.diagnosis import diagnose, render_findings
+
+        compute_mission = (
+            "Gather" if args.platform == "PowerGraph" else "Compute"
+        )
+        print()
+        print(render_findings(diagnose(iteration.archive, compute_mission)))
     if store is not None:
         print(f"\narchive stored under {args.out}/")
     return 0
@@ -157,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("dataset")
     p_run.add_argument("--workers", type=int, default=8)
     p_run.add_argument("--out", help="archive store directory")
+    p_run.add_argument("--faults",
+                       help="fault-plan JSON file to inject "
+                            "(see repro.platforms.faults.FaultPlan)")
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiments",

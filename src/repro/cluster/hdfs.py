@@ -12,7 +12,26 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.filesystem import StorageModel
+from repro.cluster.retry import HDFS_READ_RETRY, RetryPolicy
 from repro.errors import FileSystemError
+
+
+@dataclass(frozen=True)
+class FailoverRead:
+    """Outcome of reading one block through replica failover.
+
+    Attributes:
+        duration_s: total wall time the reader spent on the block
+            (failed partial reads + the successful replica read).
+        wasted_s: the share of ``duration_s`` burnt in failed attempts.
+        attempts: replica reads made (1 = the local read succeeded).
+        recovered: whether any replica finally served the block.
+    """
+
+    duration_s: float
+    wasted_s: float
+    attempts: int
+    recovered: bool
 
 
 @dataclass(frozen=True)
@@ -154,6 +173,57 @@ class HdfsFileSystem:
             raise FileSystemError(f"negative read size: {nbytes}")
         bps = self.storage.read_bps if local else self.storage.read_bps / 2
         return self.storage.seek_s + nbytes / bps
+
+    def read_with_failover(
+        self,
+        nbytes: int,
+        failures: int,
+        fail_fraction: float = 0.5,
+        retry: Optional[RetryPolicy] = None,
+    ) -> FailoverRead:
+        """Time one block read that fails over to remote replicas.
+
+        The local read dies after streaming ``fail_fraction`` of the
+        block ``failures`` times (an I/O error on the local replica);
+        each failed attempt is retried on the next replica in the
+        pipeline per ``retry`` (default :data:`HDFS_READ_RETRY`).
+        Replica reads beyond the first are remote and pay the remote
+        read penalty.
+
+        Returns the resolved :class:`FailoverRead`; ``recovered`` is
+        False when every replica failed (``failures`` >= the policy's
+        ``max_attempts``), in which case the caller escalates.
+        """
+        if nbytes < 0:
+            raise FileSystemError(f"negative read size: {nbytes}")
+        if failures < 0:
+            raise FileSystemError(f"negative failure count: {failures}")
+        if not 0.0 < fail_fraction <= 1.0:
+            raise FileSystemError(
+                f"fail fraction must be in (0, 1], got {fail_fraction}"
+            )
+        policy = retry or HDFS_READ_RETRY
+        duration = 0.0
+        wasted = 0.0
+        attempts = 0
+        recovered = False
+        for attempt in range(1, policy.max_attempts + 1):
+            attempts = attempt
+            local = attempt == 1
+            full = self.read_time(nbytes, local=local)
+            if attempt <= failures:
+                partial = self.storage.seek_s + (
+                    (full - self.storage.seek_s) * fail_fraction
+                )
+                duration += partial
+                wasted += partial
+                if attempt < policy.max_attempts:
+                    duration += policy.backoff_s(attempt)
+                continue
+            duration += full
+            recovered = True
+            break
+        return FailoverRead(duration, wasted, attempts, recovered)
 
     def write_time(self, nbytes: int) -> float:
         """Seconds to write ``nbytes`` through the replication pipeline."""

@@ -11,12 +11,32 @@ but almost no CPU is charged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster.clock import SimClock
 from repro.cluster.node import Node
+from repro.cluster.retry import CONTAINER_RETRY, RetryPolicy
 from repro.cluster.tracing import Trace
 from repro.errors import ProvisioningError
+
+
+@dataclass(frozen=True)
+class ContainerRetry:
+    """One container-launch attempt beyond the first on a node.
+
+    Attributes:
+        node: node the container was relaunched on.
+        attempt: attempt index (2 = first retry).
+        start / end: simulated attempt window (including the preceding
+            backoff is the engine's business; this is the launch only).
+        ok: whether the attempt brought the container up.
+    """
+
+    node: str
+    attempt: int
+    start: float
+    end: float
+    ok: bool
 
 
 @dataclass
@@ -29,12 +49,17 @@ class Allocation:
             when two containers land on it).
         granted_at: simulated time the allocation completed.
         released_at: simulated time it was released, or None while held.
+        retries: container relaunch attempts (empty on a healthy path).
+        blacklisted: nodes that exhausted the launch retry policy and
+            host no container (the engine degrades around them).
     """
 
     allocation_id: int
     nodes: List[Node]
     granted_at: float
     released_at: Optional[float] = None
+    retries: List[ContainerRetry] = field(default_factory=list)
+    blacklisted: List[str] = field(default_factory=list)
 
     @property
     def active(self) -> bool:
@@ -78,11 +103,24 @@ class YarnManager:
         self._next_id = 1
         self._allocations: Dict[int, Allocation] = {}
 
-    def allocate(self, count: int) -> Allocation:
+    def allocate(
+        self,
+        count: int,
+        launch_failures: Optional[Mapping[str, int]] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Allocation:
         """Allocate ``count`` containers, one per node round-robin.
 
         Advances the clock by the negotiation plus launch-round time and
         charges light bookkeeping CPU on the involved nodes.
+
+        ``launch_failures`` (node name -> failing leading attempts, from
+        a fault plan) triggers the retry path: failed launches are
+        retried per ``retry`` (default :data:`CONTAINER_RETRY`) with
+        backoff, recorded on ``Allocation.retries``; a node that
+        exhausts the policy is blacklisted and hosts no container — the
+        allocation then returns fewer containers than requested and the
+        caller degrades around the dead node.
         """
         if count <= 0:
             raise ProvisioningError(f"container count must be positive: {count}")
@@ -90,6 +128,8 @@ class YarnManager:
             raise ProvisioningError(
                 f"requested {count} containers but only {len(self.nodes)} nodes"
             )
+        policy = retry or CONTAINER_RETRY
+        failures = dict(launch_failures or {})
         start = self.clock.now()
         self.trace.emit(start, "yarn", "allocation_requested", count=count)
         # Application-master negotiation round-trip.
@@ -99,20 +139,58 @@ class YarnManager:
         rounds = (count + self.containers_per_round - 1) // self.containers_per_round
         launch_total = rounds * self.container_launch_s
         launch_start = self.clock.now()
+        granted: List[Node] = []
+        retries: List[ContainerRetry] = []
+        blacklisted: List[str] = []
+        end = launch_start + launch_total
         for i, node in enumerate(chosen):
             round_index = i // self.containers_per_round
             t0 = launch_start + round_index * self.container_launch_s
-            node.work(t0, self.container_launch_s, self.bookkeeping_cores, "yarn:launch")
-            self.trace.emit(
-                t0 + self.container_launch_s, "yarn", "container_started", node=node.name
+            schedule = policy.schedule(
+                t0, self.container_launch_s, failures.get(node.name, 0)
             )
-        self.clock.advance(launch_total)
-        alloc = Allocation(self._next_id, list(chosen), granted_at=self.clock.now())
+            for attempt in schedule.attempts:
+                node.work(attempt.start, attempt.duration,
+                          self.bookkeeping_cores,
+                          "yarn:launch" if attempt.index == 1
+                          else "yarn:relaunch")
+                if not attempt.ok:
+                    self.trace.emit(
+                        attempt.end, "yarn", "container_launch_failed",
+                        node=node.name, attempt=attempt.index,
+                    )
+                if attempt.index > 1:
+                    retries.append(ContainerRetry(
+                        node.name, attempt.index,
+                        attempt.start, attempt.end, attempt.ok,
+                    ))
+            if schedule.succeeded:
+                granted.append(node)
+                self.trace.emit(
+                    schedule.end, "yarn", "container_started", node=node.name
+                )
+            else:
+                blacklisted.append(node.name)
+                self.trace.emit(
+                    schedule.end, "yarn", "node_blacklisted", node=node.name,
+                    attempts=policy.max_attempts,
+                )
+            end = max(end, schedule.end)
+        self.clock.advance(end - launch_start)
+        if not granted:
+            raise ProvisioningError(
+                f"all {count} requested containers failed to launch "
+                f"(blacklisted: {blacklisted})"
+            )
+        alloc = Allocation(
+            self._next_id, granted, granted_at=self.clock.now(),
+            retries=retries, blacklisted=blacklisted,
+        )
         self._next_id += 1
         self._allocations[alloc.allocation_id] = alloc
         self.trace.emit(
             alloc.granted_at, "yarn", "allocation_granted",
-            allocation_id=alloc.allocation_id, count=count,
+            allocation_id=alloc.allocation_id, count=len(granted),
         )
         return alloc
 

@@ -1,0 +1,168 @@
+"""Deterministic retry policies for the cluster substrate.
+
+Fault tolerance in the simulated cluster is *scheduled*: a fault plan
+says which attempts fail, and a :class:`RetryPolicy` says how the
+substrate reacts — how many attempts it makes, how long it backs off
+between them, and when it gives up.  Everything is a pure function of
+the policy parameters, so a seeded fault plan replayed against the same
+policy yields byte-identical schedules (and therefore byte-identical
+Granula archives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a subsystem retries a failing operation.
+
+    Attributes:
+        max_attempts: total attempts, including the first (>= 1).
+        base_backoff_s: wait before the first retry.
+        backoff_factor: multiplier applied per further retry
+            (exponential backoff; 1.0 = constant).
+        max_backoff_s: backoff cap.
+        attempt_timeout_s: per-attempt deadline; a hung attempt is
+            declared failed after this long (None = the attempt's own
+            duration is trusted).
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    attempt_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ClusterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0:
+            raise ClusterError(
+                f"base_backoff_s must be >= 0, got {self.base_backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ClusterError(
+                f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ClusterError(
+                f"max_backoff_s {self.max_backoff_s} below base backoff "
+                f"{self.base_backoff_s}"
+            )
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ClusterError(
+                f"attempt_timeout_s must be positive, got "
+                f"{self.attempt_timeout_s}"
+            )
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (1 = first retry)."""
+        if retry_index < 1:
+            raise ClusterError(f"retry index must be >= 1, got {retry_index}")
+        return min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_factor ** (retry_index - 1),
+        )
+
+    def attempt_duration(self, nominal_s: float) -> float:
+        """Wall time one attempt occupies (timeout-capped)."""
+        if self.attempt_timeout_s is None:
+            return nominal_s
+        return min(nominal_s, self.attempt_timeout_s)
+
+    def schedule(self, start: float, nominal_s: float,
+                 failures: int) -> "RetrySchedule":
+        """Lay out the attempt timeline of one retried operation.
+
+        Args:
+            start: simulated time the first attempt begins.
+            nominal_s: duration of one attempt.
+            failures: how many leading attempts fail (from the fault
+                plan).  When ``failures >= max_attempts`` the operation
+                is exhausted and never succeeds.
+
+        Returns:
+            The fully resolved :class:`RetrySchedule`.
+        """
+        if nominal_s < 0:
+            raise ClusterError(f"negative attempt duration: {nominal_s}")
+        if failures < 0:
+            raise ClusterError(f"negative failure count: {failures}")
+        attempts: List[Attempt] = []
+        t = start
+        for index in range(1, self.max_attempts + 1):
+            duration = self.attempt_duration(nominal_s)
+            ok = index > failures
+            attempts.append(Attempt(index, t, t + duration, ok))
+            if ok:
+                break
+            t += duration
+            if index < self.max_attempts:
+                t += self.backoff_s(index)
+        succeeded = bool(attempts) and attempts[-1].ok
+        return RetrySchedule(tuple(attempts), succeeded)
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One attempt in a retry schedule."""
+
+    index: int
+    start: float
+    end: float
+    ok: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RetrySchedule:
+    """The resolved timeline of a retried operation.
+
+    Attributes:
+        attempts: the attempts actually made, in order.
+        succeeded: whether the final attempt succeeded (False means the
+            policy was exhausted — the caller should degrade, e.g. by
+            blacklisting the node).
+    """
+
+    attempts: tuple
+    succeeded: bool
+
+    @property
+    def end(self) -> float:
+        """When the last attempt (successful or not) finished."""
+        return self.attempts[-1].end
+
+    @property
+    def retries(self) -> List[Attempt]:
+        """Attempts beyond the first (the recovery cost)."""
+        return [a for a in self.attempts if a.index > 1]
+
+    @property
+    def wasted_s(self) -> float:
+        """Time spent in failed attempts."""
+        return sum(a.duration for a in self.attempts if not a.ok)
+
+
+#: Default policy for Yarn container relaunches.
+CONTAINER_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=1.5,
+                              backoff_factor=2.0, max_backoff_s=12.0)
+
+#: Default policy for HDFS block-read replica failover (no backoff: the
+#: client immediately tries the next replica in the pipeline).
+HDFS_READ_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=0.0,
+                              backoff_factor=1.0, max_backoff_s=0.0)
+
+#: Default policy for restarting PowerGraph's sequential loader.
+LOADER_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=2.0,
+                           backoff_factor=2.0, max_backoff_s=10.0)

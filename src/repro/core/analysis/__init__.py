@@ -12,7 +12,12 @@ These implement the paper's named future-work items (Section 6):
 """
 
 from repro.core.analysis.chokepoint import ChokePoint, find_choke_points
-from repro.core.analysis.diagnosis import Finding, diagnose
+from repro.core.analysis.diagnosis import (
+    RECOVERY_MISSIONS,
+    Finding,
+    diagnose,
+    recovery_overhead,
+)
 from repro.core.analysis.regression import (
     RegressionReport,
     compare_archives,
@@ -23,6 +28,8 @@ __all__ = [
     "find_choke_points",
     "Finding",
     "diagnose",
+    "RECOVERY_MISSIONS",
+    "recovery_overhead",
     "RegressionReport",
     "compare_archives",
 ]

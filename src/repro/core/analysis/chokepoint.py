@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.analysis.diagnosis import RECOVERY_MISSIONS
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.visualize.render_text import format_percent, format_seconds, table
 from repro.errors import VisualizationError
@@ -44,7 +45,8 @@ class ChokePoint:
         max_node_cpu: the busiest single node's mean busy cores during
             the windows (exposes single-node skew).
         bound: ``"cpu-bound"``, ``"latency-bound"``,
-            ``"cpu-bound-single-node"``, ``"mixed"`` or ``"unknown"``.
+            ``"cpu-bound-single-node"``, ``"mixed"``, ``"unknown"``, or
+            ``"recovery"`` for fault-recovery operations.
     """
 
     mission: str
@@ -142,6 +144,12 @@ def find_choke_points(
         if share < min_share:
             continue
         mean_cpu, max_node_cpu = _mean_cpu_in_windows(archive, merged)
+        # Recovery operations are failure overhead, not work to
+        # optimize: label them as such instead of by CPU shape.
+        bound = (
+            "recovery" if mission in RECOVERY_MISSIONS
+            else _classify(mean_cpu, max_node_cpu)
+        )
         points.append(ChokePoint(
             mission=mission,
             wall_seconds=wall,
@@ -149,7 +157,7 @@ def find_choke_points(
             instances=counts[mission],
             mean_cpu=mean_cpu,
             max_node_cpu=max_node_cpu,
-            bound=_classify(mean_cpu, max_node_cpu),
+            bound=bound,
         ))
     points.sort(key=lambda p: p.wall_seconds, reverse=True)
     return points[:top_n]

@@ -2,8 +2,11 @@
 
 Detects, purely from archived operations:
 
-- **recovery events**: ``RecoverWorker`` operations emitted when a worker
-  crashed and was relaunched (Giraph's checkpoint recovery);
+- **recovery events**: operations the fault-tolerance machinery emits —
+  ``RecoverWorker`` (crash recovery), ``RetryContainer`` (container
+  relaunch), ``ReplicaFailover`` (HDFS read failover), ``RestartLoad``
+  (loader restart) and ``RedistributePartitions`` (node blacklisted) —
+  each attributed with its share of the job makespan;
 - **stragglers**: an actor whose compute time tops its peers in a large
   majority of iterations (bad node, not bad luck);
 - **imbalanced iterations**: individual supersteps with extreme
@@ -26,6 +29,22 @@ STRAGGLER_FACTOR = 1.25
 #: Per-iteration max/mean skew beyond this flags data imbalance.
 IMBALANCE_FACTOR = 1.8
 
+#: Mission bases emitted by the fault-tolerance machinery, with what
+#: each one means.  ``RedistributePartitions`` is critical (a node was
+#: lost for good); the transient recoveries start as warnings and are
+#: escalated by duration share.
+RECOVERY_MISSIONS: Dict[str, str] = {
+    "RecoverWorker": "worker relaunch + re-execution since the last checkpoint",
+    "RetryContainer": "container relaunch after a failed launch attempt",
+    "ReplicaFailover": "block read failed over to a remote replica",
+    "RestartLoad": "loader relaunch, resumed from the last flushed offset",
+    "RedistributePartitions": "node blacklisted; partitions moved to survivors",
+}
+
+#: A recovery operation covering at least this share of the makespan is
+#: critical regardless of its kind.
+RECOVERY_CRITICAL_SHARE = 0.02
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -46,17 +65,58 @@ class Finding:
 
 def _detect_recoveries(archive: PerformanceArchive) -> List[Finding]:
     findings = []
-    for op in archive.find(mission_base="RecoverWorker"):
-        findings.append(Finding(
-            kind="recovery",
-            subject=op.mission,
-            severity="critical",
-            evidence=(
-                f"{op.mission} took {op.duration:.2f}s "
-                f"(worker relaunch + superstep re-execution)"
-            ),
-        ))
+    makespan = archive.makespan
+    for base, meaning in RECOVERY_MISSIONS.items():
+        for op in archive.find(mission_base=base):
+            if op.duration is None:
+                continue
+            share = (
+                op.duration / makespan if makespan else None
+            )
+            severity = "warning"
+            if base in ("RecoverWorker", "RedistributePartitions"):
+                severity = "critical"
+            elif share is not None and share >= RECOVERY_CRITICAL_SHARE:
+                severity = "critical"
+            attributed = (
+                f", {share * 100:.1f}% of the makespan"
+                if share is not None else ""
+            )
+            findings.append(Finding(
+                kind="recovery",
+                subject=op.mission,
+                severity=severity,
+                evidence=(
+                    f"{op.mission} took {op.duration:.2f}s"
+                    f"{attributed} ({meaning})"
+                ),
+            ))
     return findings
+
+
+def recovery_overhead(archive: PerformanceArchive) -> Dict[str, float]:
+    """Seconds spent in each recovery operation kind, plus totals.
+
+    Returns a mapping of mission base -> summed duration for every
+    recovery kind present, with two extra keys: ``"total"`` (all
+    recovery seconds) and ``"share"`` (fraction of the job makespan,
+    0.0 when the makespan is unknown).  Healthy archives return
+    ``{"total": 0.0, "share": 0.0}``.
+    """
+    overhead: Dict[str, float] = {}
+    total = 0.0
+    for base in RECOVERY_MISSIONS:
+        seconds = sum(
+            op.duration for op in archive.find(mission_base=base)
+            if op.duration is not None
+        )
+        if seconds > 0:
+            overhead[base] = seconds
+            total += seconds
+    overhead["total"] = total
+    makespan = archive.makespan
+    overhead["share"] = total / makespan if makespan else 0.0
+    return overhead
 
 
 def _detect_stragglers(

@@ -58,6 +58,17 @@ def giraph_model() -> JobModel:
                              "max/mean of per-worker startup time"))
     launch.add_rule(ChildDurationStatsRule(
         "WorkerStartupImbalance", "LocalStartup", "imbalance"))
+    launch.add_child(OperationModel(
+        "RetryContainer", "Master", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="container relaunch after a failed launch attempt "
+                    "(backoff + retry); absent in healthy runs",
+    ))
+    startup.add_child(OperationModel(
+        "RedistributePartitions", "Master", level=2,
+        description="reassign a blacklisted node's partitions across the "
+                    "surviving workers; absent in healthy runs",
+    ))
 
     # ---- LoadGraph -------------------------------------------------------
     load = root.add_child(_domain(
@@ -80,6 +91,14 @@ def giraph_model() -> JobModel:
     ))
     local_load.add_info(InfoSpec("BytesRead", RECORDED, "B",
                                  "split bytes this worker read"))
+    failover = load_hdfs.add_child(OperationModel(
+        "ReplicaFailover", "Worker", level=3,
+        multiplicity=Multiplicity.PER_ACTOR,
+        description="block read retried on a remote replica after a "
+                    "local I/O error; absent in healthy runs",
+    ))
+    failover.add_info(InfoSpec("WastedSeconds", RECORDED, "s",
+                               "time burnt in the failed local read"))
 
     # ---- ProcessGraph ----------------------------------------------------
     process = root.add_child(_domain(
@@ -142,6 +161,13 @@ def giraph_model() -> JobModel:
         description="checkpoint recovery after a worker crash (container "
                     "relaunch + superstep re-execution); absent in "
                     "healthy runs",
+    ))
+    superstep.add_child(OperationModel(
+        "Checkpoint", "Master", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="write a recovery checkpoint at the head of the "
+                    "superstep; emitted when a checkpoint interval is "
+                    "configured",
     ))
 
     # ---- OffloadGraph ----------------------------------------------------

@@ -56,6 +56,16 @@ def powergraph_model() -> JobModel:
                              "edge file bytes streamed"))
     stream.add_info(InfoSpec("EdgesParsed", RECORDED, "",
                              "edges ingested by the loader"))
+    restart = load.add_child(OperationModel(
+        "RestartLoad", "Rank", level=2,
+        multiplicity=Multiplicity.ITERATED,
+        description="loader relaunch after a mid-load crash: resume from "
+                    "the last flushed offset, replaying a small overlap; "
+                    "absent in healthy runs",
+    ))
+    restart.add_info(InfoSpec("ReplaySeconds", RECORDED, "s",
+                              "stream time re-spent on the replayed "
+                              "overlap"))
     finalize = load.add_child(OperationModel(
         "FinalizeGraph", "Engine", level=2,
         description="all ranks build local structures for their edges",
@@ -116,6 +126,20 @@ def powergraph_model() -> JobModel:
         "BarrierSync", "Engine", level=3,
         multiplicity=Multiplicity.ITERATED,
         description="iteration barrier and replica synchronization",
+    ))
+    iteration.add_child(OperationModel(
+        "Checkpoint", "Engine", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="snapshot the engine state at the head of the "
+                    "iteration; emitted when a checkpoint interval is "
+                    "configured",
+    ))
+    iteration.add_child(OperationModel(
+        "RecoverWorker", "Engine", level=3,
+        multiplicity=Multiplicity.ITERATED,
+        description="rank crash recovery: restore the last checkpoint "
+                    "and re-execute the lost iterations; absent in "
+                    "healthy runs",
     ))
 
     # ---- OffloadGraph ----------------------------------------------------

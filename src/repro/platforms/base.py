@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.errors import PlatformError
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # imported lazily to avoid a platforms.base cycle
+    from repro.platforms.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,31 @@ class Platform(abc.ABC):
         self.cluster = cluster
         self._datasets: Dict[str, Any] = {}
         self._job_counter = 0
+        self.fault_plan: Optional["FaultPlan"] = None
+
+    def inject_faults(self, plan: Optional["FaultPlan"]) -> None:
+        """Arm (or with ``None`` disarm) fault injection for later jobs.
+
+        The plan stays armed across jobs until replaced.  Engines that
+        implement fault tolerance (Giraph, PowerGraph) consult it at
+        each fault point and emit the recovery cost as Granula log
+        operations; other engines ignore it.  Results stay correct
+        either way.
+
+        Raises:
+            PlatformError: if the plan targets a node this cluster does
+                not have (a typo would otherwise silently no-op).
+        """
+        if plan is not None:
+            unknown = [name for name in plan.node_names()
+                       if name not in self.cluster.node_names]
+            if unknown:
+                raise PlatformError(
+                    f"fault plan targets unknown node(s) "
+                    f"{', '.join(sorted(unknown))}; this cluster has "
+                    f"{', '.join(self.cluster.node_names)}"
+                )
+        self.fault_plan = plan
 
     @abc.abstractmethod
     def deploy_dataset(self, name: str, graph: Graph) -> None:

@@ -167,27 +167,63 @@ class PowerGraphPlatform(Platform):
         clock = self.cluster.clock
         cost = self.cost
 
+        fault = self.fault_plan
         if self.ingress == "greedy":
             cut = greedy_vertex_cut(deployed.graph, num_ranks)
         else:
             cut = random_vertex_cut(deployed.graph, num_ranks)
         engine = SyncGasEngine(deployed.graph, cut, program)
+        read_factor = 1.0
+        link_factors = None
+        if fault is not None:
+            read_factor = fault.disk_factor(rank_nodes[0].name)
+            link_factors = {
+                rank: factor for rank, node in enumerate(rank_nodes)
+                if (factor := fault.link_factor(node.name)) != 1.0
+            }
         plan = plan_sequential_load(
             self.cluster.shared_fs, deployed.path, deployed.edge_list,
             cut, self.cluster.network, cost,
+            read_factor=read_factor, link_factors=link_factors,
         )
 
         load = writer.start("LoadGraph", "MpiClient", root)
 
-        # Sequential stream on rank 0; other ranks idle.
+        # Sequential stream on rank 0; other ranks idle.  A scheduled
+        # loader crash kills the stream mid-file: the loader relaunches
+        # and resumes from its last flushed offset, replaying a small
+        # overlap, while the idle ranks keep waiting.
         t0 = clock.now()
+        crash = fault.loader_crash() if fault is not None else None
+        stream_total = plan.stream_s
+        restart_windows = []
+        loader_restarts = 0
+        if crash is not None:
+            replay_s = crash.replay_fraction * plan.stream_s
+            cursor = t0 + crash.at_fraction * plan.stream_s
+            for n in range(1, crash.restarts + 1):
+                restart_windows.append(
+                    (n, cursor, cursor + crash.restart_s + replay_s)
+                )
+                cursor += crash.restart_s + replay_s
+            stream_total += crash.restarts * (crash.restart_s + replay_s)
+            loader_restarts = crash.restarts
         stream = writer.start("StreamEdges", "Rank-0", load, ts=t0)
         writer.info(stream, "BytesRead", plan.bytes_read)
         writer.info(stream, "EdgesParsed", plan.edges_parsed)
-        rank_nodes[0].work(t0, plan.stream_s, cost.load_cores, "powergraph:stream")
+        rank_nodes[0].work(t0, stream_total, cost.load_cores, "powergraph:stream")
         for node in rank_nodes[1:]:
-            node.work(t0, plan.stream_s, cost.idle_cores, "powergraph:idlewait")
-        clock.advance(plan.stream_s)
+            node.work(t0, stream_total, cost.idle_cores, "powergraph:idlewait")
+        for n, r_start, r_end in restart_windows:
+            restart_op = writer.span(
+                f"RestartLoad-{n}", "Rank-0", load, r_start, r_end
+            )
+            writer.info(restart_op, "ResumeOffsetFraction",
+                        round(crash.at_fraction, 6), ts=r_end)
+            writer.info(restart_op, "ReplaySeconds",
+                        round(crash.replay_fraction * plan.stream_s, 6),
+                        ts=r_end)
+        clock.advance(stream_total)
         writer.end(stream)
 
         # Parallel finalize: all ranks build their local structures.
@@ -214,6 +250,8 @@ class PowerGraphPlatform(Platform):
             "edges_parsed": plan.edges_parsed,
             "replication_factor": cut.replication_factor(),
         }
+        if loader_restarts:
+            stats["loader_restarts"] = loader_restarts
         return engine, stats
 
     def _run_process(
@@ -228,6 +266,15 @@ class PowerGraphPlatform(Platform):
         network = self.cluster.network
         num_ranks = len(rank_nodes)
 
+        fault = self.fault_plan
+        interval = fault.interval() if fault is not None else 1
+        explicit_cp = fault is not None and fault.checkpoint_interval is not None
+        snapshot = engine.checkpoint() if fault is not None else None
+        # Per-rank busy time of completed iterations, for crash redo.
+        rank_history: List[List[float]] = [[] for _ in rank_nodes]
+        checkpoints = 0
+        recoveries = 0
+
         process = writer.start("ProcessGraph", "Engine", root)
         iteration = 0
         total_gather = 0
@@ -235,6 +282,20 @@ class PowerGraphPlatform(Platform):
         while not engine.finished:
             t0 = clock.now()
             it_op = writer.start(f"Iteration-{iteration}", "Engine", process, ts=t0)
+            step_start = t0
+            if fault is not None and iteration % interval == 0:
+                snapshot = engine.checkpoint()
+                if explicit_cp:
+                    cp_end = t0 + fault.checkpoint_write_s
+                    cp_op = writer.span(
+                        f"Checkpoint-{iteration}", "Engine", it_op, t0, cp_end
+                    )
+                    writer.info(cp_op, "Interval", interval, ts=cp_end)
+                    for node in rank_nodes:
+                        node.work(t0, fault.checkpoint_write_s,
+                                  cost.idle_cores, "powergraph:checkpoint")
+                    checkpoints += 1
+                    step_start = cp_end
             work = engine.step()
 
             busy_ends: List[float] = []
@@ -243,15 +304,17 @@ class PowerGraphPlatform(Platform):
                 jitter = execution_jitter(
                     rank, iteration, cost.compute_jitter
                 )
+                if fault is not None:
+                    jitter *= fault.slow_factor(node.name)
                 gather_t = work.gather_edges[rank] * cost.gather_edge_s * jitter
                 apply_t = work.apply_vertices[rank] * cost.apply_vertex_s * jitter
                 scatter_t = work.scatter_edges[rank] * cost.scatter_edge_s * jitter
                 sync_t = work.replica_syncs[rank] * cost.sync_replica_s
-                g_end = t0 + gather_t
+                g_end = step_start + gather_t
                 a_end = g_end + apply_t
                 s_end = a_end + scatter_t + sync_t
                 gather_op = writer.span(
-                    f"Gather-{iteration}", rname, it_op, t0, g_end
+                    f"Gather-{iteration}", rname, it_op, step_start, g_end
                 )
                 writer.info(gather_op, "EdgesGathered",
                             work.gather_edges[rank], ts=g_end)
@@ -261,13 +324,45 @@ class PowerGraphPlatform(Platform):
                 )
                 writer.info(scatter_op, "EdgesScattered",
                             work.scatter_edges[rank], ts=s_end)
-                duration = s_end - t0
+                duration = s_end - step_start
                 if duration > 0:
-                    node.work(t0, duration, cost.compute_cores,
+                    node.work(step_start, duration, cost.compute_cores,
                               "powergraph:compute")
                 busy_ends.append(s_end)
 
             barrier_base = max(busy_ends)
+            crash = (
+                fault.crash_in_superstep(iteration, num_ranks)
+                if fault is not None else None
+            )
+            if crash is not None:
+                # A rank died this iteration: roll the engine back to the
+                # last checkpoint, relaunch the rank, and re-execute the
+                # lost iterations (deterministic, so the replay lands in
+                # the exact same state) while the healthy ranks wait.
+                cp_iter = (iteration // interval) * interval
+                engine.restore(snapshot)
+                for _ in range(cp_iter, iteration + 1):
+                    engine.step()
+                redo_t = (
+                    sum(rank_history[crash.worker][cp_iter:iteration])
+                    + (busy_ends[crash.worker] - step_start)
+                )
+                recover_start = barrier_base
+                recover_end = recover_start + crash.recovery_s + redo_t
+                recover_op = writer.span(
+                    f"RecoverWorker-{iteration}", "Engine", it_op,
+                    recover_start, recover_end,
+                )
+                writer.info(recover_op, "Rank", f"Rank-{crash.worker}",
+                            ts=recover_end)
+                writer.info(recover_op, "Checkpoint", cp_iter, ts=recover_end)
+                rank_nodes[crash.worker].work(
+                    recover_start + crash.recovery_s, redo_t,
+                    cost.compute_cores, "powergraph:recovery",
+                )
+                barrier_base = recover_end
+                recoveries += 1
             barrier_end = barrier_base + network.allreduce_time(
                 _SYNC_WIRE_BYTES, num_ranks
             )
@@ -284,16 +379,23 @@ class PowerGraphPlatform(Platform):
             writer.end(it_op, ts=barrier_end)
             clock.advance_to(barrier_end)
 
+            for rank, busy_end in enumerate(busy_ends):
+                rank_history[rank].append(busy_end - step_start)
             total_gather += sum(work.gather_edges)
             total_scatter += sum(work.scatter_edges)
             iteration += 1
 
         writer.end(process)
-        return {
+        stats: Dict[str, Any] = {
             "iterations": iteration,
             "gather_edges": total_gather,
             "scatter_edges": total_scatter,
         }
+        if checkpoints:
+            stats["checkpoints"] = checkpoints
+        if recoveries:
+            stats["recoveries"] = recoveries
+        return stats
 
     def _run_offload(
         self,

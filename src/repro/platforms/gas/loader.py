@@ -11,7 +11,7 @@ vertex cut assigned to it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Mapping, Optional
 
 from repro.cluster.filesystem import SharedFileSystem
 from repro.cluster.network import NetworkModel
@@ -47,15 +47,21 @@ def plan_sequential_load(
     cut: VertexCut,
     network: NetworkModel,
     cost: PowerGraphCostModel,
+    read_factor: float = 1.0,
+    link_factors: Optional[Mapping[int, float]] = None,
 ) -> LoadPlan:
     """Compute the load-phase durations for a deployed edge file.
 
     Rank 0's stream time is I/O (one reader on the shared filesystem)
     plus per-edge parse CPU.  Each rank's finalize time covers receiving
     its edge shard from the loader and building its local structures.
+
+    ``read_factor`` stretches the loader's file I/O (a slow disk on the
+    loading node); ``link_factors`` maps rank -> transfer stretch (a
+    degraded link to that rank).  Both default to healthy.
     """
     size_bytes = shared_fs.get(path).size_bytes
-    read_s = shared_fs.contended_read_time(path, concurrent_readers=1)
+    read_s = shared_fs.contended_read_time(path, concurrent_readers=1) * read_factor
     parse_s = edge_list.num_edges * cost.parse_edge_s
     stream_s = read_s + parse_s
 
@@ -67,6 +73,8 @@ def plan_sequential_load(
             if part != 0 and local_edges
             else network.transfer_time(local_edges * EDGE_WIRE_BYTES, local=True)
         )
+        if link_factors:
+            transfer_s *= link_factors.get(part, 1.0)
         build_s = local_edges * cost.finalize_edge_s
         finalize_s.append(transfer_s + build_s)
 

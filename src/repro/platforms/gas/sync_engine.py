@@ -186,6 +186,30 @@ class SyncGasEngine:
             self.finished = True
         return work
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the engine's mutable state for crash recovery.
+
+        The snapshot is self-contained: restoring it and re-stepping
+        replays the exact same iterations (the engine is deterministic),
+        which is what keeps fault archives byte-identical.
+        """
+        return {
+            "values": dict(self.values),
+            "active": set(self.active),
+            "iteration": self.iteration,
+            "finished": self.finished,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Roll the engine back to a :meth:`checkpoint` snapshot."""
+        try:
+            self.values = dict(snapshot["values"])
+            self.active = set(snapshot["active"])
+            self.iteration = snapshot["iteration"]
+            self.finished = snapshot["finished"]
+        except (KeyError, TypeError) as exc:
+            raise PlatformError(f"bad engine checkpoint: {exc}") from None
+
     def run(self) -> List[IterationWork]:
         """Step until quiescence; returns per-iteration work records."""
         history: List[IterationWork] = []

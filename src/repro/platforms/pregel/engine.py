@@ -64,17 +64,6 @@ class GiraphPlatform(Platform):
         super().__init__(cluster)
         self.cost = cost_model or GiraphCostModel()
         self.yarn = YarnManager(cluster.nodes, cluster.clock, cluster.trace)
-        self.fault_plan: Optional[FaultPlan] = None
-
-    def inject_faults(self, plan: Optional[FaultPlan]) -> None:
-        """Arm (or with ``None`` disarm) fault injection for later jobs.
-
-        Slow nodes stretch their compute time every superstep; a crash
-        triggers Giraph's checkpoint recovery (container relaunch +
-        superstep re-execution), visible as a ``RecoverWorker`` operation
-        in the platform log.  Results stay correct either way.
-        """
-        self.fault_plan = plan
 
     # -- dataset staging ---------------------------------------------------
 
@@ -102,16 +91,20 @@ class GiraphPlatform(Platform):
         writer = GranulaLogWriter(job_id, clock)
         zk = ZooKeeperService(clock, self.cluster.network, cost.zookeeper_sync_s)
 
-        worker_nodes: List[Node] = self.cluster.nodes[: request.workers]
+        requested_nodes: List[Node] = self.cluster.nodes[: request.workers]
         started_at = clock.now()
         root = writer.start("GiraphJob", "GiraphClient")
         writer.info(root, "Algorithm", request.algorithm)
         writer.info(root, "Dataset", request.dataset)
         writer.info(root, "Workers", request.workers)
 
-        allocation = self._run_startup(writer, root, worker_nodes)
+        # Startup may blacklist dead nodes; the job then degrades onto
+        # the surviving containers and redistributes their partitions.
+        allocation, worker_nodes = self._run_startup(
+            writer, root, requested_nodes
+        )
         workers, load_stats = self._run_load(
-            writer, root, deployed, request.workers, worker_nodes, program
+            writer, root, deployed, len(worker_nodes), worker_nodes, program
         )
         process_stats = self._run_process(
             writer, root, workers, worker_nodes, zk
@@ -137,6 +130,10 @@ class GiraphPlatform(Platform):
         stats = dict(load_stats)
         stats.update(process_stats)
         stats["offload_bytes"] = offload_bytes
+        if allocation.blacklisted:
+            stats["blacklisted_nodes"] = list(allocation.blacklisted)
+        if allocation.retries:
+            stats["container_retries"] = len(allocation.retries)
         return JobResult(
             job_id=job_id,
             algorithm=request.algorithm,
@@ -154,19 +151,45 @@ class GiraphPlatform(Platform):
         self,
         writer: GranulaLogWriter,
         root: OpenOperation,
-        worker_nodes: List[Node],
+        requested_nodes: List[Node],
     ):
         clock = self.cluster.clock
         cost = self.cost
+        fault = self.fault_plan
         startup = writer.start("Startup", "GiraphClient", root)
 
         job_startup = writer.start("JobStartup", "GiraphClient", startup)
-        worker_nodes[0].work(clock.now(), _SUBMIT_S, cost.idle_cores, "giraph:submit")
+        requested_nodes[0].work(clock.now(), _SUBMIT_S, cost.idle_cores, "giraph:submit")
         clock.advance(_SUBMIT_S)
         writer.end(job_startup)
 
         launch = writer.start("LaunchWorkers", "Master", startup)
-        allocation = self.yarn.allocate(len(worker_nodes))
+        launch_failures = None
+        if fault is not None:
+            launch_failures = {
+                node.name: failures for node in requested_nodes
+                if (failures := fault.launch_failures(node.name))
+            }
+        allocation = self.yarn.allocate(
+            len(requested_nodes),
+            launch_failures=launch_failures or None,
+            retry=fault.retry if fault is not None else None,
+        )
+        wid_of = {
+            node.name: wid for wid, node in enumerate(requested_nodes, start=1)
+        }
+        for record in allocation.retries:
+            retry_op = writer.span(
+                f"RetryContainer-{record.attempt}", "Master", launch,
+                record.start, record.end,
+            )
+            writer.info(retry_op, "Node", record.node, ts=record.end)
+            writer.info(retry_op, "Worker",
+                        f"Worker-{wid_of[record.node]}", ts=record.end)
+            writer.info(retry_op, "Outcome",
+                        "relaunched" if record.ok else "failed",
+                        ts=record.end)
+        worker_nodes = list(allocation.nodes)
         t0 = clock.now()
         for wid, node in enumerate(worker_nodes, start=1):
             node.work(t0, cost.local_startup_s, 0.8, "giraph:localstartup")
@@ -177,13 +200,37 @@ class GiraphPlatform(Platform):
         clock.advance(cost.local_startup_s)
         writer.end(launch)
 
+        if allocation.blacklisted:
+            # Graceful degradation: the dead nodes' partitions are
+            # redistributed across the survivors before loading starts,
+            # so the job completes on N-1 nodes with correct output.
+            redistribute_s = (
+                (fault.redistribute_s if fault is not None else 1.5)
+                * len(allocation.blacklisted)
+            )
+            t1 = clock.now()
+            redistribute = writer.span(
+                "RedistributePartitions", "Master", startup,
+                t1, t1 + redistribute_s,
+            )
+            writer.info(redistribute, "FailedNodes",
+                        ",".join(allocation.blacklisted),
+                        ts=t1 + redistribute_s)
+            writer.info(redistribute, "Partitions",
+                        len(allocation.blacklisted), ts=t1 + redistribute_s)
+            writer.info(redistribute, "Survivors", len(worker_nodes),
+                        ts=t1 + redistribute_s)
+            worker_nodes[0].work(t1, redistribute_s, cost.idle_cores,
+                                 "giraph:redistribute")
+            clock.advance(redistribute_s)
+
         worker_nodes[0].work(
             clock.now(), cost.master_coordination_s, cost.idle_cores,
             "giraph:coordination",
         )
         clock.advance(cost.master_coordination_s)
         writer.end(startup)
-        return allocation
+        return allocation, worker_nodes
 
     def _run_load(
         self,
@@ -204,36 +251,68 @@ class GiraphPlatform(Platform):
         load_hdfs = writer.start("LoadHdfsData", "Master", load)
         writer.info(load_hdfs, "TotalBytes", deployed.size_bytes)
 
+        fault = self.fault_plan
         node_names = [n.name for n in worker_nodes]
         splits = hdfs.assign_splits(deployed.path, node_names)
         t0 = clock.now()
         span_max = 0.0
         total_read = 0
+        total_failovers = 0
         for wid, node in enumerate(worker_nodes, start=1):
             blocks = splits[node.name]
-            local_bytes = sum(
-                b.size_bytes for b in blocks if node.name in b.replicas
-            )
+            local_blocks = [b for b in blocks if node.name in b.replicas]
             remote_bytes = sum(
                 b.size_bytes for b in blocks if node.name not in b.replicas
             )
+            # Scheduled local-read errors fail over to remote replicas.
+            failing = 0
+            if fault is not None:
+                failing = min(
+                    fault.hdfs_read_failures(node.name), len(local_blocks)
+                )
+            failing_blocks = local_blocks[:failing]
+            local_bytes = sum(b.size_bytes for b in local_blocks[failing:])
             read_t = 0.0
             if local_bytes:
                 read_t += hdfs.read_time(local_bytes, local=True)
             if remote_bytes:
                 read_t += hdfs.read_time(remote_bytes, local=False)
-            nbytes = local_bytes + remote_bytes
+            if fault is not None:
+                read_t *= fault.disk_factor(node.name)
+            failovers = []
+            for block in failing_blocks:
+                failovers.append(
+                    (block, hdfs.read_with_failover(block.size_bytes, 1))
+                )
+            failover_t = sum(fo.duration_s for _, fo in failovers)
+            nbytes = sum(b.size_bytes for b in blocks)
             parse_t = nbytes * cost.parse_byte_s
             # Parsed vertices are shuffled to their hash owners: all but
             # 1/num_workers of the data leaves this worker.
             shuffle_bytes = int(nbytes * (num_workers - 1) / max(1, num_workers))
             shuffle_t = network.transfer_time(shuffle_bytes) if shuffle_bytes else 0.0
-            duration = read_t + parse_t + shuffle_t
+            if fault is not None:
+                shuffle_t *= fault.link_factor(node.name)
+            duration = read_t + failover_t + parse_t + shuffle_t
             node.work(t0, duration, cost.load_cores, "giraph:load")
             local_load = writer.span(
                 "LocalLoad", f"Worker-{wid}", load_hdfs, t0, t0 + duration
             )
             writer.info(local_load, "BytesRead", nbytes, ts=t0 + duration)
+            cursor = t0 + read_t
+            for block, fo in failovers:
+                fo_op = writer.span(
+                    "ReplicaFailover", f"Worker-{wid}", load_hdfs,
+                    cursor, cursor + fo.duration_s,
+                )
+                writer.info(fo_op, "Block", block.index,
+                            ts=cursor + fo.duration_s)
+                writer.info(fo_op, "Attempts", fo.attempts,
+                            ts=cursor + fo.duration_s)
+                writer.info(fo_op, "WastedSeconds", round(fo.wasted_s, 6),
+                            ts=cursor + fo.duration_s)
+                cursor += fo.duration_s
+                total_failovers += 1
             span_max = max(span_max, duration)
             total_read += nbytes
         clock.advance(span_max)
@@ -260,7 +339,10 @@ class GiraphPlatform(Platform):
 
         writer.end(load_hdfs)
         writer.end(load)
-        return workers, {"bytes_read": total_read}
+        load_stats: Dict[str, Any] = {"bytes_read": total_read}
+        if total_failovers:
+            load_stats["hdfs_failovers"] = total_failovers
+        return workers, load_stats
 
     def _run_process(
         self,
@@ -282,6 +364,14 @@ class GiraphPlatform(Platform):
         if register is not None:
             register(registry)
 
+        fault = self.fault_plan
+        interval = fault.interval() if fault is not None else 1
+        explicit_cp = fault is not None and fault.checkpoint_interval is not None
+        # Per-worker busy time of every completed superstep: on a crash
+        # the engine redoes everything since the last checkpoint.
+        work_history: List[List[float]] = [[] for _ in workers]
+        checkpoints = 0
+
         superstep = 0
         aggregated: Dict[str, Any] = {}
         total_messages = 0
@@ -297,18 +387,33 @@ class GiraphPlatform(Platform):
             for worker in workers:
                 worker.begin_superstep(superstep, aggregated)
 
+            step_start = t0
+            if explicit_cp and superstep % interval == 0:
+                cp_end = t0 + fault.checkpoint_write_s
+                cp_op = writer.span(
+                    f"Checkpoint-{superstep}", "Master", ss_op, t0, cp_end
+                )
+                writer.info(cp_op, "Interval", interval, ts=cp_end)
+                for node in worker_nodes:
+                    node.work(t0, fault.checkpoint_write_s, cost.idle_cores,
+                              "giraph:checkpoint")
+                checkpoints += 1
+                step_start = cp_end
+
             flushes: List[List[Dict[int, List[Any]]]] = []
             busy_ends: List[float] = []
             local_ops: List[OpenOperation] = []
             computed_this = 0
-            pre_end = t0 + _PRESTEP_S
+            pre_end = step_start + _PRESTEP_S
             for worker, node in zip(workers, worker_nodes):
                 wname = f"Worker-{worker.worker_id + 1}"
                 local_ss = writer.start(
-                    f"LocalSuperstep-{superstep}", wname, ss_op, ts=t0
+                    f"LocalSuperstep-{superstep}", wname, ss_op, ts=step_start
                 )
-                writer.span(f"PreStep-{superstep}", wname, local_ss, t0, pre_end)
-                node.work(t0, _PRESTEP_S, cost.idle_cores, "giraph:prestep")
+                writer.span(f"PreStep-{superstep}", wname, local_ss,
+                            step_start, pre_end)
+                node.work(step_start, _PRESTEP_S, cost.idle_cores,
+                          "giraph:prestep")
 
                 outgoing = OutgoingStore(
                     num_workers, worker.owner_of, program.combiner
@@ -342,6 +447,8 @@ class GiraphPlatform(Platform):
 
                 wire_bytes = work.wire_remote * cost.message_byte
                 message_t = network.transfer_time(wire_bytes) if wire_bytes else 0.0
+                if self.fault_plan is not None:
+                    message_t *= self.fault_plan.link_factor(node.name)
                 message_end = compute_end + message_t
                 writer.span(
                     f"Message-{superstep}", wname, local_ss,
@@ -357,29 +464,33 @@ class GiraphPlatform(Platform):
                 computed_this += work.computed
 
             barrier_base = max(busy_ends)
-            fault = self.fault_plan
-            if (
-                fault is not None
-                and fault.crash_superstep == superstep
-                and fault.crash_worker is not None
-                and fault.crash_worker < num_workers
-            ):
+            crash = (
+                fault.crash_in_superstep(superstep, num_workers)
+                if fault is not None else None
+            )
+            if crash is not None:
                 # Giraph checkpoint recovery: the master relaunches the
-                # crashed worker's container and the superstep's work is
-                # re-executed there while everyone else waits.
-                wid = fault.crash_worker
+                # crashed worker's container and the work since the last
+                # checkpoint is re-executed there while everyone waits.
+                wid = crash.worker
                 crashed_node = worker_nodes[wid]
-                redo_t = busy_ends[wid] - pre_end
+                cp = (superstep // interval) * interval
+                redo_t = (
+                    sum(work_history[wid][cp:superstep])
+                    + (busy_ends[wid] - pre_end)
+                )
                 recover_start = barrier_base
-                recover_end = recover_start + fault.recovery_s + redo_t
+                recover_end = recover_start + crash.recovery_s + redo_t
                 recover_op = writer.span(
                     f"RecoverWorker-{superstep}", "Master", ss_op,
                     recover_start, recover_end,
                 )
                 writer.info(recover_op, "Worker", f"Worker-{wid + 1}",
                             ts=recover_end)
+                if explicit_cp:
+                    writer.info(recover_op, "Checkpoint", cp, ts=recover_end)
                 crashed_node.work(
-                    recover_start + fault.recovery_s, redo_t,
+                    recover_start + crash.recovery_s, redo_t,
                     cost.compute_cores, "giraph:recovery",
                 )
                 barrier_base = recover_end
@@ -403,6 +514,8 @@ class GiraphPlatform(Platform):
             writer.end(ss_op, ts=barrier_end)
             clock.advance_to(barrier_end)
             total_computed += computed_this
+            for wid, busy_end in enumerate(busy_ends):
+                work_history[wid].append(busy_end - pre_end)
 
             # Deliver messages for the next superstep.
             for flush in flushes:
@@ -417,11 +530,14 @@ class GiraphPlatform(Platform):
                 break
 
         writer.end(process)
-        return {
+        stats: Dict[str, Any] = {
             "supersteps": superstep,
             "messages": total_messages,
             "vertices_computed": total_computed,
         }
+        if checkpoints:
+            stats["checkpoints"] = checkpoints
+        return stats
 
     def _run_offload(
         self,

@@ -24,6 +24,7 @@ from repro.core.model.library import ModelLibrary, default_library
 from repro.core.process import EvaluationIteration, EvaluationProcess
 from repro.errors import ReproError
 from repro.platforms.base import Platform
+from repro.platforms.faults import FaultPlan
 from repro.platforms.gas.engine import PowerGraphPlatform
 from repro.platforms.mapreduce.engine import HadoopPlatform
 from repro.platforms.pgxd.engine import PgxdPlatform
@@ -112,6 +113,7 @@ class WorkloadRunner:
         spec: WorkloadSpec,
         model_level: Optional[int] = None,
         fresh: bool = False,
+        faults: Optional["FaultPlan"] = None,
     ) -> EvaluationIteration:
         """Execute one workload through the full pipeline (memoized).
 
@@ -120,14 +122,23 @@ class WorkloadRunner:
             model_level: cap the model depth for this run (see
                 :meth:`repro.core.process.EvaluationProcess.iterate`).
             fresh: bypass and refresh the memo.
+            faults: fault plan armed for this run only (the plan's
+                signature keys the memo, so faulty and healthy runs of
+                the same workload cache independently).
         """
         key = f"{spec.label()}|L{model_level}"
+        if faults is not None:
+            key += f"|F{faults.signature()}"
         if fresh or key not in self._results:
             platform = self.platform(spec.platform)
             if not platform.has_dataset(spec.dataset):
                 platform.deploy_dataset(spec.dataset, build_dataset(spec.dataset))
             request = spec.to_request(job_id=spec.label())
-            self._results[key] = self.process(spec.platform).iterate(
-                request, model_level=model_level
-            )
+            platform.inject_faults(faults)
+            try:
+                self._results[key] = self.process(spec.platform).iterate(
+                    request, model_level=model_level
+                )
+            finally:
+                platform.inject_faults(None)
         return self._results[key]

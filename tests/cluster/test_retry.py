@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic retry policies."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.node import Node
+from repro.cluster.provisioning import YarnManager
+from repro.cluster.retry import (
+    CONTAINER_RETRY,
+    HDFS_READ_RETRY,
+    LOADER_RETRY,
+    RetryPolicy,
+)
+from repro.errors import ClusterError, ProvisioningError
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+        for policy in (CONTAINER_RETRY, HDFS_READ_RETRY, LOADER_RETRY):
+            assert policy.max_attempts >= 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(base_backoff_s=-1.0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(base_backoff_s=5.0, max_backoff_s=1.0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(attempt_timeout_s=0.0)
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_backoff_s=1.0, backoff_factor=2.0,
+                             max_backoff_s=100.0)
+        assert policy.backoff_s(1) == pytest.approx(1.0)
+        assert policy.backoff_s(2) == pytest.approx(2.0)
+        assert policy.backoff_s(3) == pytest.approx(4.0)
+
+    def test_capped(self):
+        policy = RetryPolicy(base_backoff_s=1.0, backoff_factor=10.0,
+                             max_backoff_s=5.0)
+        assert policy.backoff_s(3) == pytest.approx(5.0)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy().backoff_s(0)
+
+    def test_timeout_caps_attempt(self):
+        policy = RetryPolicy(attempt_timeout_s=2.0)
+        assert policy.attempt_duration(10.0) == pytest.approx(2.0)
+        assert policy.attempt_duration(1.0) == pytest.approx(1.0)
+
+
+class TestSchedule:
+    def test_healthy_single_attempt(self):
+        schedule = RetryPolicy().schedule(10.0, 3.0, failures=0)
+        assert schedule.succeeded
+        assert len(schedule.attempts) == 1
+        assert schedule.attempts[0].ok
+        assert schedule.end == pytest.approx(13.0)
+        assert schedule.retries == []
+        assert schedule.wasted_s == pytest.approx(0.0)
+
+    def test_one_failure_then_success(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=1.0,
+                             backoff_factor=2.0, max_backoff_s=10.0)
+        schedule = policy.schedule(0.0, 2.0, failures=1)
+        assert schedule.succeeded
+        assert [a.ok for a in schedule.attempts] == [False, True]
+        # failed attempt [0,2), backoff 1s, retry [3,5)
+        assert schedule.attempts[1].start == pytest.approx(3.0)
+        assert schedule.end == pytest.approx(5.0)
+        assert schedule.wasted_s == pytest.approx(2.0)
+        assert len(schedule.retries) == 1
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=1.0,
+                             backoff_factor=1.0, max_backoff_s=1.0)
+        schedule = policy.schedule(0.0, 2.0, failures=3)
+        assert not schedule.succeeded
+        assert len(schedule.attempts) == 3
+        assert all(not a.ok for a in schedule.attempts)
+        assert schedule.wasted_s == pytest.approx(6.0)
+
+    def test_no_backoff_after_final_failure(self):
+        policy = RetryPolicy(max_attempts=2, base_backoff_s=5.0,
+                             backoff_factor=1.0, max_backoff_s=5.0)
+        schedule = policy.schedule(0.0, 1.0, failures=2)
+        # attempt 1 [0,1), backoff 5, attempt 2 [6,7): no trailing backoff
+        assert schedule.end == pytest.approx(7.0)
+
+    def test_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.5)
+        a = policy.schedule(3.0, 1.5, failures=2)
+        b = policy.schedule(3.0, 1.5, failures=2)
+        assert a == b
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy().schedule(0.0, -1.0, 0)
+        with pytest.raises(ClusterError):
+            RetryPolicy().schedule(0.0, 1.0, -1)
+
+
+class TestYarnRetryIntegration:
+    def make_yarn(self, n=4):
+        nodes = [Node(f"n{i}", cores=16) for i in range(n)]
+        return nodes, YarnManager(nodes, SimClock())
+
+    def test_healthy_path_unchanged(self):
+        _, yarn = self.make_yarn()
+        alloc = yarn.allocate(4)
+        assert alloc.retries == []
+        assert alloc.blacklisted == []
+        assert len(alloc.nodes) == 4
+
+    def test_transient_failure_retried(self):
+        nodes, yarn = self.make_yarn()
+        healthy_end = (yarn.am_negotiation_s + yarn.container_launch_s)
+        alloc = yarn.allocate(4, launch_failures={"n1": 1})
+        assert len(alloc.nodes) == 4
+        assert [r.node for r in alloc.retries] == ["n1"]
+        assert alloc.retries[0].ok
+        assert alloc.granted_at > healthy_end
+
+    def test_exhausted_node_blacklisted(self):
+        nodes, yarn = self.make_yarn()
+        failures = {"n2": CONTAINER_RETRY.max_attempts}
+        alloc = yarn.allocate(4, launch_failures=failures)
+        assert alloc.blacklisted == ["n2"]
+        assert len(alloc.nodes) == 3
+        assert "n2" not in alloc.node_names
+
+    def test_all_nodes_dead_raises(self):
+        _, yarn = self.make_yarn(2)
+        failures = {"n0": 99, "n1": 99}
+        with pytest.raises(ProvisioningError):
+            yarn.allocate(2, launch_failures=failures)

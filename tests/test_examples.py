@@ -5,6 +5,7 @@ a subprocess exactly as a user would run it (the slowest one is skipped
 by default; enable with ``-m ''`` patience or run it by hand).
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,12 +13,19 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
-def run_example(name, *args, timeout=300):
+def run_example(name, *args, timeout=300, cwd=None):
+    # Absolute src on PYTHONPATH so examples import ``repro`` regardless
+    # of the working directory they run from.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout,
+        capture_output=True, text=True, timeout=timeout, cwd=cwd, env=env,
     )
 
 
@@ -49,11 +57,7 @@ class TestExamples:
         assert "FAIL (regressed)" in proc.stdout
 
     def test_compare_platforms_fast(self, tmp_path):
-        proc = subprocess.run(
-            [sys.executable, str(EXAMPLES / "compare_platforms.py"),
-             "--fast"],
-            capture_output=True, text=True, timeout=300, cwd=tmp_path,
-        )
+        proc = run_example("compare_platforms.py", "--fast", cwd=tmp_path)
         assert proc.returncode == 0, proc.stderr
         assert "Ts setup" in proc.stdout
         assert (tmp_path / "comparison_report.html").exists()

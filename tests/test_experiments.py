@@ -151,7 +151,7 @@ class TestExtCrossPlatform:
 class TestReport:
     def test_run_all_covers_every_artifact(self, runner):
         results = run_all(runner)
-        assert len(results) == len(ALL_EXPERIMENTS) == 10
+        assert len(results) == len(ALL_EXPERIMENTS) == 11
         assert all(r.all_checks_pass for r in results)
 
     def test_markdown_structure(self, runner):
