@@ -16,6 +16,16 @@ Subcommands::
                                    render a stored archive
     granula diagnose <archive.json> [--compute-mission NAME]
                                    choke points + failure diagnosis
+    granula validate <archive.json>
+                                   integrity + structural validation;
+                                   exit 1 on error/critical findings
+    granula repair <archive.json> [--out FILE]
+                                   fix derivable defects (in place by
+                                   default, atomically)
+    granula ingest <logfile> [--salvage] [--job-id ID] [--out DIR]
+                                   build an archive straight from a
+                                   platform log; --salvage tolerates
+                                   truncated/duplicated/reordered lines
 """
 
 from __future__ import annotations
@@ -117,7 +127,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.core.analysis.chokepoint import render_choke_points
     from repro.core.analysis.diagnosis import render_findings
 
-    archive = archive_from_json(Path(args.archive).read_text())
+    archive = archive_from_json(_read_file(args.archive, "archive"))
     print("choke points:")
     print(render_choke_points(find_choke_points(archive)))
     print()
@@ -129,8 +139,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.analysis.regression import compare_archives
     from repro.core.comparison import compare_platforms
 
-    first = archive_from_json(Path(args.baseline).read_text())
-    second = archive_from_json(Path(args.candidate).read_text())
+    first = archive_from_json(_read_file(args.baseline, "archive"))
+    second = archive_from_json(_read_file(args.candidate, "archive"))
     if first.platform == second.platform:
         report = compare_archives(first, second, threshold=args.threshold)
         print(report.render_text())
@@ -143,8 +153,103 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_file(path: str, what: str, lenient: bool = False) -> str:
+    """Read a text file, raising typed errors instead of OS/codec ones.
+
+    With ``lenient=True`` undecodable bytes become replacement
+    characters so damaged files still reach the salvage machinery
+    (which reports them as findings) instead of crashing the read.
+    """
+    try:
+        return Path(path).read_text(
+            errors="replace" if lenient else "strict"
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot read {what} {path}: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise ReproError(
+            f"{what} {path} is not valid UTF-8: {exc}; "
+            f"try 'granula validate' or 'granula repair'"
+        ) from None
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.archive.integrity import (
+        render_validation,
+        validate_text,
+        worst_severity,
+    )
+
+    findings = validate_text(_read_file(args.archive, "archive",
+                                        lenient=True))
+    print(render_validation(findings))
+    return 1 if worst_severity(findings) in ("error", "critical") else 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.core.archive.integrity import (
+        load_salvaged,
+        render_validation,
+        repair_archive,
+    )
+    from repro.core.archive.serialize import archive_to_json
+    from repro.core.archive.store import atomic_write_text
+
+    archive, findings = load_salvaged(
+        _read_file(args.archive, "archive", lenient=True)
+    )
+    if archive is None:
+        print(render_validation(findings))
+        raise ReproError(f"{args.archive}: nothing recoverable")
+    if findings:
+        print("load findings:")
+        print(render_validation(findings))
+        print()
+    archive, fixes = repair_archive(archive)
+    if fixes:
+        print(f"applied {len(fixes)} fix(es):")
+        print(render_validation(fixes))
+    else:
+        print("nothing to repair")
+    out = Path(args.out) if args.out else Path(args.archive)
+    atomic_write_text(out, archive_to_json(archive))
+    print(f"repaired archive written to {out}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.analysis.completeness import assess_completeness
+    from repro.core.monitor.logparser import parse_log_report
+    from repro.core.monitor.salvage import salvage_archive
+    from repro.errors import IngestError, LogParseError
+
+    lines = _read_file(args.log, "log", lenient=args.salvage).splitlines()
+    if not args.salvage:
+        # Strict mode: any malformed line is a typed parse error ...
+        try:
+            parse_log_report(lines, strict=True)
+        except LogParseError as exc:
+            raise IngestError(
+                f"{args.log}: {exc}; rerun with --salvage"
+            ) from exc
+    archive, report = salvage_archive(lines, job_id=args.job_id)
+    if not args.salvage and not report.clean:
+        # ... and so is any structural anomaly the parse cannot see.
+        raise IngestError(
+            f"{args.log}: log is structurally damaged "
+            f"({report.render_text()}); rerun with --salvage"
+        )
+    print(report.render_text())
+    print()
+    print(assess_completeness(archive).render_text())
+    if args.out:
+        path = ArchiveStore(args.out).save(archive, overwrite=True)
+        print(f"\narchive stored at {path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    archive = archive_from_json(Path(args.archive).read_text())
+    archive = archive_from_json(_read_file(args.archive, "archive"))
     print(render_timeline(archive, max_depth=2))
     print()
     print(compute_breakdown(archive).render_text())
@@ -214,6 +319,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-worker compute mission name "
                              "(Gather for PowerGraph)")
     p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="check an archive's integrity (checksum, schema, structure)")
+    p_val.add_argument("archive", help="path to an archive JSON file")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_fix = sub.add_parser(
+        "repair", help="repair an archive's derivable defects")
+    p_fix.add_argument("archive", help="path to an archive JSON file")
+    p_fix.add_argument("--out",
+                       help="write the repaired archive here instead of "
+                            "in place")
+    p_fix.set_defaults(func=_cmd_repair)
+
+    p_ing = sub.add_parser(
+        "ingest", help="build an archive from a raw platform log")
+    p_ing.add_argument("log", help="path to a GRANULA platform log")
+    p_ing.add_argument("--salvage", action="store_true",
+                       help="tolerate truncated/duplicated/reordered "
+                            "lines instead of failing")
+    p_ing.add_argument("--job-id",
+                       help="job to ingest (default: the log's majority "
+                            "job)")
+    p_ing.add_argument("--out", help="archive store directory")
+    p_ing.set_defaults(func=_cmd_ingest)
     return parser
 
 

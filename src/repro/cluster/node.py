@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cluster.cpu import BusyInterval, CpuAccount, UsageSeries
 from repro.errors import ClusterError

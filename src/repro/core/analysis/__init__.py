@@ -9,9 +9,19 @@ These implement the paper's named future-work items (Section 6):
   across runs and flag per-operation slowdowns.
 - :mod:`repro.core.analysis.diagnosis` — "failure diagnosis": detect
   stragglers and failure-recovery events from archived operations.
+- :mod:`repro.core.analysis.completeness` — provenance census of
+  salvaged archives, so degraded analyses report what they measured.
 """
 
-from repro.core.analysis.chokepoint import ChokePoint, find_choke_points
+from repro.core.analysis.chokepoint import (
+    ChokePoint,
+    find_choke_points,
+)
+from repro.core.analysis.completeness import (
+    CompletenessReport,
+    assess_completeness,
+    effective_makespan,
+)
 from repro.core.analysis.diagnosis import (
     RECOVERY_MISSIONS,
     Finding,
@@ -26,6 +36,9 @@ from repro.core.analysis.regression import (
 __all__ = [
     "ChokePoint",
     "find_choke_points",
+    "effective_makespan",
+    "CompletenessReport",
+    "assess_completeness",
     "Finding",
     "diagnose",
     "RECOVERY_MISSIONS",

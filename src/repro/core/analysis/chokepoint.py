@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.analysis.completeness import effective_makespan
 from repro.core.analysis.diagnosis import RECOVERY_MISSIONS
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.visualize.render_text import format_percent, format_seconds, table
-from repro.errors import VisualizationError
 
 #: Mean busy cores above which a window counts as CPU-bound.
 CPU_BOUND_CORES = 6.0
@@ -117,11 +117,7 @@ def find_choke_points(
         leaf_only: aggregate only leaf operations (default) — inner
             operations trivially cover their children's time.
     """
-    makespan = archive.makespan
-    if makespan is None or makespan <= 0:
-        raise VisualizationError(
-            f"archive {archive.job_id} has no usable makespan"
-        )
+    makespan = effective_makespan(archive)
     windows_by_mission: Dict[str, List[Tuple[float, float]]] = {}
     counts: Dict[str, int] = {}
     for op in archive.walk():

@@ -1,0 +1,125 @@
+"""Completeness scoring of (possibly salvaged) performance archives.
+
+Degraded analysis must say how much it actually measured: a diagnosis
+over a crash-truncated log that silently looks as confident as one over
+a pristine log is worse than no diagnosis at all.  Every archived
+operation carries a provenance (``measured`` / ``inferred`` /
+``missing``, see :mod:`repro.core.archive.archive`); this module
+aggregates them into a report with a single headline score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.archive.archive import (
+    PROVENANCE_INFERRED,
+    PROVENANCE_MEASURED,
+    PROVENANCE_MISSING,
+    PerformanceArchive,
+)
+from repro.errors import VisualizationError
+
+
+def effective_makespan(archive: PerformanceArchive) -> float:
+    """The root's duration, or the observed span on partial archives.
+
+    Salvaged archives may lack a trustworthy root interval; the union of
+    every timed operation still bounds the measurable window.  Raises a
+    typed error only when nothing at all is timed.
+    """
+    makespan = archive.makespan
+    if makespan is not None and makespan > 0:
+        return makespan
+    starts = [
+        op.start_time for op in archive.walk() if op.start_time is not None
+    ]
+    ends = [op.end_time for op in archive.walk() if op.end_time is not None]
+    if starts and ends and max(ends) > min(starts):
+        return max(ends) - min(starts)
+    raise VisualizationError(
+        f"archive {archive.job_id} has no usable makespan"
+    )
+
+
+@dataclass
+class CompletenessReport:
+    """Provenance census of one archive.
+
+    Attributes:
+        measured / inferred / missing: operation counts by provenance.
+        inferred_missions: mission names (deduplicated, sorted) whose
+            timing was synthesized — the spans an analyst should trust
+            least.
+    """
+
+    measured: int = 0
+    inferred: int = 0
+    missing: int = 0
+    inferred_missions: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All archived operations."""
+        return self.measured + self.inferred + self.missing
+
+    @property
+    def score(self) -> float:
+        """Fraction of operations with fully measured timing (0..1)."""
+        return self.measured / self.total if self.total else 1.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every operation was directly measured."""
+        return self.inferred == 0 and self.missing == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "measured": self.measured,
+            "inferred": self.inferred,
+            "missing": self.missing,
+            "score": round(self.score, 4),
+        }
+
+    def render_text(self) -> str:
+        """One-paragraph completeness statement."""
+        if self.complete:
+            return (
+                f"completeness 100%: all {self.total} operations measured"
+            )
+        lines = [
+            f"completeness {self.score * 100:.1f}%: "
+            f"{self.measured} measured, {self.inferred} inferred, "
+            f"{self.missing} missing of {self.total} operations",
+        ]
+        if self.inferred_missions:
+            shown = ", ".join(self.inferred_missions[:6])
+            more = len(self.inferred_missions) - 6
+            if more > 0:
+                shown += f" (+{more} more)"
+            lines.append(f"inferred spans: {shown}")
+        return "\n".join(lines)
+
+
+def assess_completeness(archive: PerformanceArchive) -> CompletenessReport:
+    """Census the provenance of every operation in the archive."""
+    report = CompletenessReport()
+    inferred_missions = set()
+    for op in archive.walk():
+        provenance = op.provenance
+        if provenance == PROVENANCE_MEASURED:
+            report.measured += 1
+        elif provenance == PROVENANCE_INFERRED:
+            report.inferred += 1
+            inferred_missions.add(op.mission)
+        elif provenance == PROVENANCE_MISSING:
+            report.missing += 1
+            inferred_missions.add(op.mission)
+        else:
+            # Unknown marker (a future provenance kind): count it as
+            # inferred rather than overstating confidence.
+            report.inferred += 1
+            inferred_missions.add(op.mission)
+    report.inferred_missions = sorted(inferred_missions)
+    return report

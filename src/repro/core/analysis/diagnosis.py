@@ -16,8 +16,9 @@ Detects, purely from archived operations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
+from repro.core.analysis.completeness import assess_completeness
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.archive.query import ArchiveQuery
 
@@ -45,6 +46,10 @@ RECOVERY_MISSIONS: Dict[str, str] = {
 #: critical regardless of its kind.
 RECOVERY_CRITICAL_SHARE = 0.02
 
+#: Below this completeness score a salvaged archive's diagnosis is
+#: flagged critical — most of the job was never measured.
+COMPLETENESS_CRITICAL = 0.5
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -61,6 +66,22 @@ class Finding:
     subject: str
     severity: str
     evidence: str
+
+
+def _detect_incompleteness(archive: PerformanceArchive) -> List[Finding]:
+    """Flag salvaged/partial archives so no diagnosis overstates itself."""
+    report = assess_completeness(archive)
+    if report.complete:
+        return []
+    severity = (
+        "critical" if report.score < COMPLETENESS_CRITICAL else "warning"
+    )
+    return [Finding(
+        kind="incomplete",
+        subject="archive",
+        severity=severity,
+        evidence=report.render_text().replace("\n", "; "),
+    )]
 
 
 def _detect_recoveries(archive: PerformanceArchive) -> List[Finding]:
@@ -199,7 +220,8 @@ def diagnose(
     Giraph default; pass ``"Gather"`` for PowerGraph archives).
     """
     findings = (
-        _detect_recoveries(archive)
+        _detect_incompleteness(archive)
+        + _detect_recoveries(archive)
         + _detect_stragglers(archive, compute_mission)
         + _detect_imbalance(archive, compute_mission)
     )

@@ -12,7 +12,7 @@ baseline.  Regressions beyond a threshold fail
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.analysis.chokepoint import _merge_intervals
 from repro.core.archive.archive import PerformanceArchive

@@ -4,10 +4,21 @@
 stored in a performance archive with a standardized format.  This
 performance archive encapsulates the performance results of each job,
 and allows users to query the contents systematically."
+
+Archives carry a payload checksum (format version 2) and can be
+validated, repaired, and salvage-loaded when damaged — see
+:mod:`repro.core.archive.integrity`.
 """
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.archive.builder import build_archive
+from repro.core.archive.integrity import (
+    ValidationFinding,
+    load_salvaged,
+    repair_archive,
+    validate_archive,
+    validate_text,
+)
 from repro.core.archive.query import ArchiveQuery
 from repro.core.archive.serialize import archive_from_json, archive_to_json
 from repro.core.archive.store import ArchiveStore
@@ -20,4 +31,9 @@ __all__ = [
     "archive_to_json",
     "archive_from_json",
     "ArchiveStore",
+    "ValidationFinding",
+    "validate_archive",
+    "validate_text",
+    "repair_archive",
+    "load_salvaged",
 ]

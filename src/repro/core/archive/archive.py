@@ -8,6 +8,15 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.core.model.operation import split_iteration
 from repro.errors import ArchiveError
 
+#: Reserved info key carrying an operation's provenance.
+PROVENANCE_KEY = "Provenance"
+#: Provenance values: directly observed in the platform log, ...
+PROVENANCE_MEASURED = "measured"
+#: ... synthesized during salvage/repair (timestamps or structure), ...
+PROVENANCE_INFERRED = "inferred"
+#: ... or not recoverable at all (a timestamp is absent).
+PROVENANCE_MISSING = "missing"
+
 
 @dataclass
 class ArchivedOperation:
@@ -40,6 +49,23 @@ class ArchivedOperation:
         if self.start_time is None or self.end_time is None:
             return None
         return self.end_time - self.start_time
+
+    @property
+    def provenance(self) -> str:
+        """How trustworthy this operation's timing is.
+
+        ``measured`` (observed in the log), ``inferred`` (synthesized
+        during salvage or repair) or ``missing`` (a timestamp is
+        absent).  Healthy archives predate the provenance convention,
+        so an absent marker with complete timestamps means measured.
+        """
+        if self.start_time is None or self.end_time is None:
+            return PROVENANCE_MISSING
+        return self.infos.get(PROVENANCE_KEY, PROVENANCE_MEASURED)
+
+    def mark_inferred(self) -> None:
+        """Flag this operation's timing as synthesized, not observed."""
+        self.infos[PROVENANCE_KEY] = PROVENANCE_INFERRED
 
     @property
     def mission_base(self) -> str:
@@ -106,8 +132,10 @@ class ArchivedOperation:
 class PerformanceArchive:
     """The standardized archive of one job's performance results."""
 
-    #: Archive format version (serialization compatibility).
-    FORMAT_VERSION = 1
+    #: Archive format version (serialization compatibility).  Version 2
+    #: added the ``integrity`` block (payload checksum) and provenance
+    #: markers; version-1 archives are still readable.
+    FORMAT_VERSION = 2
 
     def __init__(
         self,

@@ -14,12 +14,12 @@ bottom-up, so parent rules see derived child infos.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.model.job import JobModel
 from repro.core.model.rules import DurationRule
-from repro.core.monitor.records import LogRecord
+from repro.core.monitor.records import LogRecord, coerce_info_value
 from repro.core.monitor.session import MonitoredRun
 from repro.errors import ArchiveBuildError
 
@@ -44,18 +44,6 @@ class BuildReport:
     operations_filtered: int = 0
     rules_applied: int = 0
     infos_recorded: int = 0
-
-
-def _coerce(value: str) -> Any:
-    """Best-effort typing of recorded info values (int, float, str)."""
-    try:
-        return int(value)
-    except ValueError:
-        pass
-    try:
-        return float(value)
-    except ValueError:
-        return value
 
 
 def build_archive(
@@ -142,7 +130,9 @@ def _build_tree(records: List[LogRecord], report: BuildReport) -> ArchivedOperat
                 raise ArchiveBuildError(
                     f"info event for unknown operation {record.uid}"
                 )
-            op.infos[record.info_name] = _coerce(record.info_value or "")
+            op.infos[record.info_name] = coerce_info_value(
+                record.info_value or ""
+            )
             report.infos_recorded += 1
 
     if not roots:

@@ -3,16 +3,29 @@
 Archives are the shareable artifact of a performance study — the paper's
 answer to "lack of reusability of results".  The format is plain JSON so
 archives can be exchanged, diffed and queried outside this library.
+
+Format version 2 embeds an ``integrity`` block: a SHA-256 checksum over
+the canonical payload, so bit rot or hand-editing is detected at load
+time instead of silently skewing an analysis.  Version-1 archives (no
+checksum) remain readable.  For loading *damaged* archives without
+raising, see :mod:`repro.core.archive.integrity`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from typing import Any, Dict
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
-from repro.errors import ArchiveError
+from repro.errors import ArchiveError, ArchiveIntegrityError
+
+#: Format versions this reader accepts.
+SUPPORTED_VERSIONS = (1, PerformanceArchive.FORMAT_VERSION)
+
+#: Checksum algorithm recorded in the integrity block.
+CHECKSUM_ALGORITHM = "sha256"
 
 
 def _encode_value(value: Any) -> Any:
@@ -61,8 +74,25 @@ def _operation_from_dict(data: Dict[str, Any]) -> ArchivedOperation:
     return op
 
 
-def archive_to_json(archive: PerformanceArchive, indent: int = 2) -> str:
-    """Serialize an archive to its standardized JSON text."""
+def payload_checksum(document: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical payload of an archive document.
+
+    The payload is everything except the envelope (``format``,
+    ``format_version``) and the ``integrity`` block itself, rendered
+    with sorted keys and compact separators so the digest is stable
+    under re-serialization.
+    """
+    payload = {
+        key: document.get(key)
+        for key in ("job_id", "platform", "metadata", "environment",
+                    "operations")
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def archive_to_document(archive: PerformanceArchive) -> Dict[str, Any]:
+    """The archive as its standardized document mapping (with checksum)."""
     document = {
         "format": "granula-archive",
         "format_version": PerformanceArchive.FORMAT_VERSION,
@@ -75,25 +105,21 @@ def archive_to_json(archive: PerformanceArchive, indent: int = 2) -> str:
         ],
         "operations": _operation_to_dict(archive.root),
     }
-    return json.dumps(document, indent=indent, sort_keys=False)
+    document["integrity"] = {
+        "algorithm": CHECKSUM_ALGORITHM,
+        "checksum": payload_checksum(document),
+    }
+    return document
 
 
-def archive_from_json(text: str) -> PerformanceArchive:
-    """Parse the standardized JSON text back into an archive."""
-    try:
-        document = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ArchiveError(f"archive is not valid JSON: {exc}") from None
-    if document.get("format") != "granula-archive":
-        raise ArchiveError(
-            f"not a granula archive (format={document.get('format')!r})"
-        )
-    version = document.get("format_version")
-    if version != PerformanceArchive.FORMAT_VERSION:
-        raise ArchiveError(
-            f"unsupported archive format version {version!r} "
-            f"(supported: {PerformanceArchive.FORMAT_VERSION})"
-        )
+def archive_to_json(archive: PerformanceArchive, indent: int = 2) -> str:
+    """Serialize an archive to its standardized JSON text."""
+    return json.dumps(archive_to_document(archive), indent=indent,
+                      sort_keys=False)
+
+
+def document_to_archive(document: Dict[str, Any]) -> PerformanceArchive:
+    """Build the archive from an already-parsed document (no checksum)."""
     root = _operation_from_dict(document["operations"])
     env = [
         (sample["ts"], sample["node"], sample["cpu"])
@@ -106,3 +132,44 @@ def archive_from_json(text: str) -> PerformanceArchive:
         metadata=document.get("metadata", {}),
         env_samples=env,
     )
+
+
+def archive_from_json(text: str, verify: bool = True) -> PerformanceArchive:
+    """Parse the standardized JSON text back into an archive.
+
+    Raises typed errors on damage (:class:`ArchiveIntegrityError` on a
+    checksum mismatch or unsupported version); for best-effort loading
+    of damaged archives use
+    :func:`repro.core.archive.integrity.load_salvaged` instead.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"archive is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ArchiveError(
+            f"archive document must be an object, got "
+            f"{type(document).__name__}"
+        )
+    if document.get("format") != "granula-archive":
+        raise ArchiveError(
+            f"not a granula archive (format={document.get('format')!r})"
+        )
+    version = document.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ArchiveIntegrityError(
+            f"unsupported archive format version {version!r} "
+            f"(supported: {list(SUPPORTED_VERSIONS)})"
+        )
+    if verify:
+        integrity = document.get("integrity")
+        if isinstance(integrity, dict) and "checksum" in integrity:
+            expected = integrity["checksum"]
+            actual = payload_checksum(document)
+            if expected != actual:
+                raise ArchiveIntegrityError(
+                    f"archive payload checksum mismatch: stored "
+                    f"{expected!r}, computed {actual!r} — the file was "
+                    f"modified or corrupted after it was written"
+                )
+    return document_to_archive(document)

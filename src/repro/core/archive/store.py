@@ -3,11 +3,18 @@
 The store is how results are shared among analysts: every archived job
 lands as one JSON file, and the index supports listing and filtering
 without parsing every archive.
+
+The store is corruption-tolerant: all writes are atomic (tmp file +
+``os.replace``), and a corrupt, missing, or stale ``index.json`` is
+rebuilt from the archive files on disk instead of crashing — the index
+is a cache, the archives are the truth.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -16,6 +23,21 @@ from repro.core.archive.serialize import archive_from_json, archive_to_json
 from repro.errors import ArchiveError
 
 _INDEX_NAME = "index.json"
+
+logger = logging.getLogger(__name__)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write a file so that readers never observe a partial write.
+
+    The text lands in a temporary sibling first and is renamed over the
+    target (``os.replace`` is atomic on POSIX and Windows), so a crash
+    mid-write leaves either the old file or the new one — never a
+    truncated hybrid.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 class ArchiveStore:
@@ -27,27 +49,100 @@ class ArchiveStore:
         self._index_path = self.directory / _INDEX_NAME
         self._index: Dict[str, Dict] = {}
         if self._index_path.exists():
-            self._index = json.loads(self._index_path.read_text())
-
-    def _save_index(self) -> None:
-        self._index_path.write_text(json.dumps(self._index, indent=2))
-
-    def save(self, archive: PerformanceArchive, overwrite: bool = False) -> Path:
-        """Persist an archive; returns its file path."""
-        path = self.directory / f"{archive.job_id}.json"
-        if path.exists() and not overwrite:
-            raise ArchiveError(
-                f"archive {archive.job_id!r} already stored; "
-                f"pass overwrite=True to replace it"
+            self._load_index()
+        elif self._archive_paths():
+            # Archives without an index: someone copied files in, or the
+            # index write never happened.  Rebuild rather than pretend
+            # the store is empty.
+            logger.warning(
+                "archive store %s has no index; rebuilding from files",
+                self.directory,
             )
-        path.write_text(archive_to_json(archive))
-        self._index[archive.job_id] = {
+            self.rebuild_index()
+
+    # -- index persistence -------------------------------------------------
+
+    def _archive_paths(self) -> List[Path]:
+        return sorted(
+            p for p in self.directory.glob("*.json") if p.name != _INDEX_NAME
+        )
+
+    def _load_index(self) -> None:
+        """Load index.json, rebuilding on corruption or staleness."""
+        try:
+            index = json.loads(self._index_path.read_text())
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            logger.warning(
+                "archive store %s: corrupt index (%s); rebuilding from files",
+                self.directory, exc,
+            )
+            self.rebuild_index()
+            return
+        if not isinstance(index, dict) or not all(
+            isinstance(entry, dict) for entry in index.values()
+        ):
+            logger.warning(
+                "archive store %s: index has unexpected shape; rebuilding",
+                self.directory,
+            )
+            self.rebuild_index()
+            return
+        on_disk = {path.stem for path in self._archive_paths()}
+        if set(index) != on_disk:
+            logger.warning(
+                "archive store %s: index is stale (%d indexed, %d on "
+                "disk); rebuilding",
+                self.directory, len(index), len(on_disk),
+            )
+            self.rebuild_index()
+            return
+        self._index = index
+
+    def rebuild_index(self) -> Dict[str, Dict]:
+        """Reconstruct the index from the archive files on disk.
+
+        Unreadable archives are skipped with a warning — one corrupt
+        file must not take the whole store down.  Returns the new index.
+        """
+        index: Dict[str, Dict] = {}
+        for path in self._archive_paths():
+            try:
+                archive = archive_from_json(path.read_text())
+            except (ArchiveError, OSError, UnicodeDecodeError) as exc:
+                logger.warning(
+                    "archive store %s: skipping unreadable archive %s (%s)",
+                    self.directory, path.name, exc,
+                )
+                continue
+            index[archive.job_id] = self._entry(archive)
+        self._index = index
+        self._save_index()
+        return dict(index)
+
+    def _entry(self, archive: PerformanceArchive) -> Dict:
+        return {
             "platform": archive.platform,
             "algorithm": archive.metadata.get("algorithm", ""),
             "dataset": archive.metadata.get("dataset", ""),
             "makespan": archive.makespan,
             "operations": archive.size(),
         }
+
+    def _save_index(self) -> None:
+        atomic_write_text(self._index_path, json.dumps(self._index, indent=2))
+
+    # -- archive operations ------------------------------------------------
+
+    def save(self, archive: PerformanceArchive, overwrite: bool = False) -> Path:
+        """Persist an archive (atomically); returns its file path."""
+        path = self.directory / f"{archive.job_id}.json"
+        if path.exists() and not overwrite:
+            raise ArchiveError(
+                f"archive {archive.job_id!r} already stored; "
+                f"pass overwrite=True to replace it"
+            )
+        atomic_write_text(path, archive_to_json(archive))
+        self._index[archive.job_id] = self._entry(archive)
         self._save_index()
         return path
 

@@ -16,7 +16,7 @@ in one table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.visualize.render_text import (

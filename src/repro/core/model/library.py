@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.core.model.info import DERIVED, InfoSpec
 from repro.core.model.job import JobModel
-from repro.core.model.operation import Multiplicity, OperationModel
+from repro.core.model.operation import OperationModel
 from repro.core.model.rules import ShareOfParentRule
 from repro.errors import ModelError
 

@@ -14,7 +14,6 @@ from repro.core.model.operation import Multiplicity, OperationModel
 from repro.core.model.rules import (
     ChildCountRule,
     ChildDurationStatsRule,
-    InfoSumRule,
     ShareOfParentRule,
 )
 

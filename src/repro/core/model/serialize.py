@@ -14,7 +14,7 @@ deserialization.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.core.model.info import InfoSpec
 from repro.core.model.job import CANONICAL_LEVELS, JobModel, Level

@@ -5,22 +5,42 @@ Two kinds of performance data are collected per job run: *platform logs*
 :mod:`repro.core.monitor.logparser`) and *environment logs* (per-node CPU
 series sampled by :mod:`repro.core.monitor.envmonitor`).
 :class:`repro.core.monitor.session.MonitoringSession` runs a job and
-gathers both.
+gathers both.  Damaged logs — truncated, reordered, duplicated — go
+through :mod:`repro.core.monitor.salvage` instead of the strict parser.
 """
 
 from repro.core.monitor.records import EnvSample, LogRecord
-from repro.core.monitor.logparser import parse_log, parse_log_line
+from repro.core.monitor.logparser import (
+    ParseReport,
+    parse_log,
+    parse_log_line,
+    parse_log_report,
+)
 from repro.core.monitor.envmonitor import EnvironmentMonitor
-from repro.core.monitor.collector import collect_platform_log
+from repro.core.monitor.collector import (
+    collect_platform_log,
+    collect_platform_log_report,
+)
+from repro.core.monitor.salvage import (
+    IngestReport,
+    SalvageParser,
+    salvage_archive,
+)
 from repro.core.monitor.session import MonitoredRun, MonitoringSession
 
 __all__ = [
     "EnvSample",
     "LogRecord",
+    "ParseReport",
     "parse_log",
     "parse_log_line",
+    "parse_log_report",
     "EnvironmentMonitor",
     "collect_platform_log",
+    "collect_platform_log_report",
+    "IngestReport",
+    "SalvageParser",
+    "salvage_archive",
     "MonitoredRun",
     "MonitoringSession",
 ]

@@ -4,19 +4,24 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core.monitor.logparser import parse_log
+from repro.core.monitor.logparser import ParseReport, parse_log_report
 from repro.core.monitor.records import LogRecord
 from repro.errors import MonitorError
 from repro.platforms.base import JobResult
 
 
-def collect_platform_log(result: JobResult, strict: bool = True) -> List[LogRecord]:
-    """Parse a job result's platform log into records.
+def collect_platform_log_report(
+    result: JobResult,
+    strict: bool = True,
+) -> Tuple[List[LogRecord], ParseReport]:
+    """Parse a job result's platform log, keeping the parse statistics.
 
     Verifies the records belong to the job (a mixed-up log directory is a
-    classic monitoring failure on real clusters).
+    classic monitoring failure on real clusters).  In lenient mode the
+    report's ``bad_lines`` carry what was skipped, so silent data loss
+    stays visible downstream.
     """
-    records, _bad = parse_log(result.log_lines, strict=strict)
+    records, report = parse_log_report(result.log_lines, strict=strict)
     if not records:
         raise MonitorError(
             f"job {result.job_id}: platform log contains no GRANULA records"
@@ -27,6 +32,12 @@ def collect_platform_log(result: JobResult, strict: bool = True) -> List[LogReco
             f"job {result.job_id}: log contains records of other jobs: "
             f"{sorted(foreign)}"
         )
+    return records, report
+
+
+def collect_platform_log(result: JobResult, strict: bool = True) -> List[LogRecord]:
+    """Parse a job result's platform log into records (no statistics)."""
+    records, _report = collect_platform_log_report(result, strict=strict)
     return records
 
 

@@ -9,11 +9,44 @@ mode) or collecting them (lenient mode).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
 
 from repro import logformat
 from repro.core.monitor.records import LogRecord
 from repro.errors import LogParseError
+
+
+@dataclass
+class ParseReport:
+    """Statistics of one log parse — makes silent data loss visible.
+
+    Attributes:
+        total_lines: lines inspected.
+        foreign_lines: non-GRANULA lines skipped (the platform's own
+            output; high counts are normal).
+        records: GRANULA records successfully parsed.
+        bad_lines: malformed GRANULA lines collected in lenient mode.
+    """
+
+    total_lines: int = 0
+    foreign_lines: int = 0
+    records: int = 0
+    bad_lines: List[str] = field(default_factory=list)
+
+    @property
+    def malformed(self) -> int:
+        """Number of malformed GRANULA lines encountered."""
+        return len(self.bad_lines)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts as a flat mapping (archive/report friendly)."""
+        return {
+            "total_lines": self.total_lines,
+            "foreign_lines": self.foreign_lines,
+            "records": self.records,
+            "malformed_lines": self.malformed,
+        }
 
 
 def parse_log_line(line: str) -> LogRecord:
@@ -25,6 +58,9 @@ def parse_log_line(line: str) -> LogRecord:
     missing = [key for key in ("ts", "job", "event", "uid") if key not in fields]
     if missing:
         raise LogParseError(line, f"missing fields {missing}")
+    empty = [key for key in ("job", "uid") if not fields[key]]
+    if empty:
+        raise LogParseError(line, f"empty fields {empty}")
     try:
         timestamp = float(fields["ts"])
     except ValueError:
@@ -79,15 +115,32 @@ def parse_log(
     Returns:
         (records, bad_lines)
     """
+    records, report = parse_log_report(lines, strict=strict)
+    return records, report.bad_lines
+
+
+def parse_log_report(
+    lines: Iterable[str],
+    strict: bool = True,
+) -> Tuple[List[LogRecord], ParseReport]:
+    """Like :func:`parse_log`, but also reports what was skipped.
+
+    The report counts every inspected line, so lenient parses can no
+    longer lose data silently — callers surface the malformed/foreign
+    counts (see ``MonitoredRun.summary``).
+    """
     records: List[LogRecord] = []
-    bad: List[str] = []
+    report = ParseReport()
     for line in lines:
+        report.total_lines += 1
         if not logformat.is_granula_line(line):
+            report.foreign_lines += 1
             continue
         try:
             records.append(parse_log_line(line))
+            report.records += 1
         except LogParseError:
             if strict:
                 raise
-            bad.append(line)
-    return records, bad
+            report.bad_lines.append(line)
+    return records, report

@@ -3,10 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro import logformat
 from repro.errors import MonitorError
+
+
+def coerce_info_value(value: str) -> Any:
+    """Best-effort typing of recorded info values (int, float, str)."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
 
 
 @dataclass(frozen=True)

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.cluster.cpu import UsageSeries
-from repro.core.monitor.collector import collect_platform_log
+from repro.core.monitor.collector import collect_platform_log_report
 from repro.core.monitor.envmonitor import EnvironmentMonitor
+from repro.core.monitor.logparser import ParseReport
 from repro.core.monitor.records import EnvSample, LogRecord
 from repro.platforms.base import JobRequest, JobResult, Platform
 
@@ -22,6 +23,9 @@ class MonitoredRun:
         env_series: per-node CPU usage series over the job window.
         env_samples: the same data as flat records (archive-friendly).
         node_names: nodes the job ran on, in cluster order.
+        parse_report: statistics of the log parse (foreign/malformed
+            line counts) — None for runs built before monitoring kept
+            them.
     """
 
     result: JobResult
@@ -29,11 +33,30 @@ class MonitoredRun:
     env_series: Dict[str, UsageSeries]
     env_samples: List[EnvSample] = field(default_factory=list)
     node_names: List[str] = field(default_factory=list)
+    parse_report: Optional[ParseReport] = None
 
     @property
     def job_id(self) -> str:
         """Id of the monitored job."""
         return self.result.job_id
+
+    def summary(self) -> Dict[str, Any]:
+        """Monitoring summary incl. parse statistics.
+
+        Surfaces what lenient parsing would otherwise swallow: foreign
+        and malformed line counts sit next to the record count, so a log
+        that lost data can no longer look identical to a healthy one.
+        """
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "records": len(self.records),
+            "nodes": len(self.node_names),
+            "env_samples": len(self.env_samples),
+            "makespan": self.result.makespan,
+        }
+        if self.parse_report is not None:
+            out.update(self.parse_report.summary())
+        return out
 
 
 class MonitoringSession:
@@ -44,14 +67,22 @@ class MonitoringSession:
     and samples the environment over exactly the job's time window.
     """
 
-    def __init__(self, platform: Platform, env_step: float = 1.0):
+    def __init__(
+        self,
+        platform: Platform,
+        env_step: float = 1.0,
+        strict: bool = True,
+    ):
         self.platform = platform
+        self.strict = strict
         self.env_monitor = EnvironmentMonitor(platform.cluster, step=env_step)
 
     def run(self, request: JobRequest) -> MonitoredRun:
         """Execute one monitored job."""
         result = self.platform.run_job(request)
-        records = collect_platform_log(result)
+        records, parse_report = collect_platform_log_report(
+            result, strict=self.strict
+        )
         nodes = self.platform.cluster.node_names[: request.workers]
         env_series = self.env_monitor.sample_window(
             result.started_at, result.finished_at, nodes
@@ -65,4 +96,5 @@ class MonitoringSession:
             env_series=env_series,
             env_samples=env_samples,
             node_names=list(nodes),
+            parse_report=parse_report,
         )

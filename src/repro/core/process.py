@@ -13,7 +13,7 @@ system/implementation levels where the previous visuals pointed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.archive.archive import PerformanceArchive

@@ -9,9 +9,13 @@ the segmented percentage bar of Figure 5 as text or SVG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.core.archive.archive import PerformanceArchive
+from repro.core.analysis.completeness import (
+    assess_completeness,
+    effective_makespan,
+)
+from repro.core.archive.archive import PROVENANCE_MEASURED, PerformanceArchive
 from repro.core.model.library import (
     DOMAIN_OPERATIONS,
     DOMAIN_PHASES,
@@ -49,6 +53,10 @@ class DomainBreakdown:
     total: float
     operations: List[Tuple[str, float, float]]
     phases: Dict[str, Tuple[float, float]]
+    #: Completeness score of the underlying archive (1.0 = pristine).
+    completeness: float = 1.0
+    #: Domain operations whose timing is inferred, not measured.
+    inferred: List[str] = field(default_factory=list)
 
     def share_of(self, name: str) -> float:
         """Share of a domain operation or a phase, by name."""
@@ -68,7 +76,8 @@ class DomainBreakdown:
             symbols.append(_PHASE_SYMBOLS[PHASE_OF_OPERATION[mission]])
         bar_line = segmented_bar(fractions, symbols, width)
         rows = [
-            (mission, format_seconds(duration), format_percent(share),
+            (mission + (" (inferred)" if mission in self.inferred else ""),
+             format_seconds(duration), format_percent(share),
              PHASE_OF_OPERATION[mission])
             for mission, duration, share in self.operations
         ]
@@ -78,7 +87,7 @@ class DomainBreakdown:
              format_percent(self.phases[phase][1]))
             for phase in DOMAIN_PHASES
         ]
-        return "\n".join([
+        lines = [
             f"{self.platform} job {self.job_id} "
             f"(S=Setup I=Input/output P=Processing)",
             f"|{bar_line}|",
@@ -86,7 +95,15 @@ class DomainBreakdown:
             table(("Operation", "Duration", "Share", "Phase"), rows),
             "",
             table(("Phase", "Duration", "Share"), phase_rows),
-        ])
+        ]
+        if self.completeness < 1.0:
+            lines.append("")
+            lines.append(
+                f"PARTIAL ARCHIVE: completeness "
+                f"{self.completeness * 100:.1f}% — inferred spans are "
+                f"lower bounds, not measurements"
+            )
+        return "\n".join(lines)
 
     def render_svg(self, width: int = 640, bar_height: int = 36) -> str:
         """Figure 5 as an SVG segmented bar with a percent/seconds axis."""
@@ -123,20 +140,23 @@ def compute_breakdown(archive: PerformanceArchive) -> DomainBreakdown:
 
     Requires the archive's root to carry the five domain operations
     (missing ones count as zero-duration — single-node platforms have no
-    Startup, for example).
+    Startup, for example).  On salvaged/partial archives the makespan
+    falls back to the observed span and the breakdown carries its
+    completeness score and the inferred operations, so the Figure 5 bar
+    never silently looks as trustworthy as a pristine one.
     """
-    total = archive.makespan
-    if total is None or total <= 0:
-        raise VisualizationError(
-            f"archive {archive.job_id}: job has no usable makespan"
-        )
+    total = effective_makespan(archive)
+    completeness = assess_completeness(archive)
     operations: List[Tuple[str, float, float]] = []
+    inferred: List[str] = []
     phase_totals: Dict[str, float] = {phase: 0.0 for phase in DOMAIN_PHASES}
     for mission in DOMAIN_OPERATIONS:
         candidates = archive.root.children_of(mission)
         duration = sum(
             op.duration for op in candidates if op.duration is not None
         )
+        if any(op.provenance != PROVENANCE_MEASURED for op in candidates):
+            inferred.append(mission)
         share = duration / total
         operations.append((mission, duration, share))
         phase_totals[PHASE_OF_OPERATION[mission]] += duration
@@ -150,4 +170,6 @@ def compute_breakdown(archive: PerformanceArchive) -> DomainBreakdown:
         total=total,
         operations=operations,
         phases=phases,
+        completeness=completeness.score,
+        inferred=inferred,
     )

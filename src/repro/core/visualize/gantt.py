@@ -9,9 +9,9 @@ visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.core.archive.archive import PerformanceArchive
+from repro.core.archive.archive import PROVENANCE_MEASURED, PerformanceArchive
 from repro.core.archive.query import ArchiveQuery
 from repro.core.visualize.palette import COMPUTE_COLOR, OVERHEAD_COLOR
 from repro.core.visualize.render_svg import SvgCanvas
@@ -29,6 +29,9 @@ class WorkerSpan:
     compute_start: float
     compute_end: float
     post_end: float
+    #: True when any contributing operation's timing was inferred during
+    #: salvage rather than measured.
+    inferred: bool = False
 
     @property
     def compute_duration(self) -> float:
@@ -115,6 +118,12 @@ class SuperstepGantt:
             f"(imbalance max/mean = {self.imbalance(dom):.2f}; "
             f"overall overhead = {self.overhead_fraction() * 100:.1f}%)"
         )
+        inferred = sum(1 for s in self.spans if s.inferred)
+        if inferred:
+            lines.append(
+                f"WARNING: {inferred}/{len(self.spans)} spans have "
+                f"inferred (salvaged) timing"
+            )
         return "\n".join(lines)
 
     def render_svg(self, width: int = 760, row_height: int = 22) -> str:
@@ -177,12 +186,15 @@ def compute_gantt(
         if superstep is None:
             continue
         per_mission: Dict[str, Tuple[float, float]] = {}
+        inferred = container.provenance != PROVENANCE_MEASURED
         for child in container.children:
             if child.start_time is None or child.end_time is None:
                 continue
             per_mission[child.mission_base] = (
                 child.start_time, child.end_time
             )
+            if child.provenance != PROVENANCE_MEASURED:
+                inferred = True
         if compute_mission not in per_mission:
             continue
         compute_start, compute_end = per_mission[compute_mission]
@@ -197,6 +209,7 @@ def compute_gantt(
             compute_start=compute_start,
             compute_end=compute_end,
             post_end=post_end,
+            inferred=inferred,
         ))
     if not spans:
         raise VisualizationError(

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.model.library import DOMAIN_PHASES, PHASE_OF_OPERATION
+from repro.core.model.library import PHASE_OF_OPERATION
 
 #: Phase -> fill color (Figure 5 legend).
 PHASE_COLORS: Dict[str, str] = {

@@ -7,7 +7,7 @@ artifact of an evaluation iteration.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.visualize.breakdown import compute_breakdown

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
-from repro.core.visualize.render_text import bar, format_seconds
+from repro.core.visualize.render_text import format_seconds
 
 
 def render_timeline(

@@ -9,7 +9,7 @@ single-node loader in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.model.library import DOMAIN_OPERATIONS

@@ -70,8 +70,16 @@ class LogParseError(MonitorError):
         self.reason = reason
 
 
+class IngestError(MonitorError):
+    """Salvage ingestion could not recover anything from a log."""
+
+
 class ArchiveError(ReproError):
     """Errors while building, serializing, or querying an archive."""
+
+
+class ArchiveIntegrityError(ArchiveError):
+    """An archive failed an integrity check (checksum, schema version)."""
 
 
 class ArchiveBuildError(ArchiveError):

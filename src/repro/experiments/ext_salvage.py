@@ -1,0 +1,201 @@
+"""Extension experiment: salvage ingestion and degraded analysis.
+
+Exercises the resilient monitoring→archive pipeline end to end on a
+*faulted* run whose log is then damaged the way real crashed collectors
+damage logs: crash-truncated at ~70%, last line cut mid-field, lines
+duplicated, neighbors reordered, binary garbage and malformed GRANULA
+lines injected.
+
+The pipeline must:
+
+- salvage the log into an archive (typed ingest report, no raw
+  exceptions), attributing every anomaly to its node;
+- mark synthesized spans as ``inferred`` so degraded analysis
+  (diagnosis, choke points, Figure 5 breakdown) reports a completeness
+  score instead of overstating confidence;
+- still attribute a large, quantified fraction of the true makespan;
+- survive storage damage: a corrupted ``index.json`` is rebuilt from
+  the archive files, a bit-flipped archive is caught by its checksum,
+  and a crash-truncated archive file is recovered by the lenient
+  loader and made structurally sound by ``repair``.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.analysis.chokepoint import find_choke_points
+from repro.core.analysis.completeness import (
+    assess_completeness,
+    effective_makespan,
+)
+from repro.core.analysis.diagnosis import diagnose, render_findings
+from repro.core.archive.integrity import (
+    load_salvaged,
+    repair_archive,
+    validate_archive,
+    validate_text,
+    worst_severity,
+)
+from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.core.archive.store import ArchiveStore
+from repro.core.monitor.salvage import salvage_archive
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.experiments.common import ExperimentResult, shared_runner
+from repro.platforms.faults import FaultPlan, WorkerCrash
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+GIRAPH_BFS_100 = WorkloadSpec("Giraph", "bfs", "dg100-scaled", workers=8)
+
+#: Fraction of the log kept before the simulated collector crash.
+TRUNCATE_AT = 0.7
+
+
+def _mangle(lines: List[str], seed: int = 29) -> List[str]:
+    """Damage a log the way crashed collectors do (deterministically)."""
+    rng = random.Random(seed)
+    kept = list(lines[: int(len(lines) * TRUNCATE_AT)])
+    # The collector died mid-write: the last line stops mid-field.
+    kept[-1] = kept[-1][: len(kept[-1]) // 2]
+    mangled = list(kept)
+    # Retransmissions duplicate a few lines verbatim.
+    for index in sorted(rng.sample(range(len(kept) // 2), 5), reverse=True):
+        mangled.insert(index, kept[index])
+    # Buffered per-node flushing reorders neighbors.
+    for index in rng.sample(range(len(mangled) - 1), 8):
+        mangled[index], mangled[index + 1] = (
+            mangled[index + 1], mangled[index],
+        )
+    # Interleaved binary garbage and a half-written GRANULA line.
+    mangled.insert(12, "\x00\x7f\x1b[0m binary garbage")
+    mangled.insert(30, "GRANULA ts=not-a-number job=broken event=start")
+    return mangled
+
+
+def run_salvage(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
+    """Salvage a crash-damaged log and analyse the partial archive."""
+    runner = runner or shared_runner()
+
+    # A faulted run (PR 1's fault machinery): worker crash + recovery.
+    plan = FaultPlan(
+        events=(WorkerCrash(worker=1, superstep=2),),
+        checkpoint_interval=2,
+        seed=13,
+    )
+    iteration = runner.run(GIRAPH_BFS_100, faults=plan)
+    full_archive = iteration.archive
+    full_makespan = effective_makespan(full_archive)
+    lines = iteration.run.result.log_lines
+
+    # -- salvage ingestion -------------------------------------------------
+    mangled = _mangle(lines)
+    archive, report = salvage_archive(mangled, platform="Giraph")
+    completeness = assess_completeness(archive)
+    findings = diagnose(archive)
+    chokes = find_choke_points(archive)
+    breakdown = compute_breakdown(archive)
+    salvaged_span = effective_makespan(archive)
+    measurable = salvaged_span / full_makespan
+
+    # Salvage is deterministic: same damage, byte-identical archive.
+    replay, _ = salvage_archive(_mangle(lines), platform="Giraph")
+    identical = archive_to_json(archive) == archive_to_json(replay)
+
+    # The salvaged archive round-trips through the checksummed format.
+    round_trip = archive_from_json(archive_to_json(archive), verify=True)
+
+    # -- storage damage ----------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArchiveStore(tmp)
+        path = store.save(archive)
+        # 1: corrupt index.json -> rebuilt from the archive files.
+        (Path(tmp) / "index.json").write_text("{ not json", encoding="utf-8")
+        reopened = ArchiveStore(tmp)
+        index_rebuilt = archive.job_id in reopened
+        # 2: bit-flip the archive payload -> checksum catches it, the
+        # lenient loader still returns the archive.
+        text = path.read_text()
+        flipped = text.replace('"platform": "Giraph"',
+                               '"platform": "Xiraph"', 1)
+        flip_findings = validate_text(flipped)
+        flip_caught = worst_severity(flip_findings) == "critical"
+        flip_archive, _ = load_salvaged(flipped)
+        # 3: crash-truncate the file -> prefix recovery + repair.
+        truncated = text[: int(len(text) * 0.6)]
+        recovered, recovery_findings = load_salvaged(truncated)
+        repaired_ok = False
+        if recovered is not None:
+            repaired, _fixes = repair_archive(recovered)
+            repaired_ok = worst_severity(validate_archive(repaired)) in (
+                None, "warning", "info",
+            )
+
+    checks = [
+        ("salvage recovers records from the damaged log",
+         report.records > 0 and not report.clean),
+        ("every injected anomaly class is reported",
+         report.malformed >= 1 and report.duplicate_records >= 5
+         and report.reordered >= 1 and report.inferred_ends >= 1),
+        ("anomalies are attributed per node",
+         sum(stats.total for stats in report.per_node.values()) > 0),
+        ("synthesized spans carry inferred provenance",
+         completeness.inferred >= report.inferred_ends
+         and 0 < completeness.score < 1),
+        ("diagnosis flags the archive as incomplete instead of raising",
+         any(f.kind == "incomplete" for f in findings)),
+        ("choke points still computable on the partial archive",
+         len(chokes) >= 1),
+        ("degraded breakdown carries its completeness score",
+         breakdown.completeness < 1
+         and "PARTIAL ARCHIVE" in breakdown.render_text()),
+        (f"salvage attributes >= {TRUNCATE_AT:.0%} x 0.8 of the makespan",
+         measurable >= TRUNCATE_AT * 0.8),
+        ("salvage is deterministic (byte-identical replay)", identical),
+        ("salvaged archive round-trips with a verified checksum",
+         round_trip.job_id == archive.job_id),
+        ("corrupt index.json is rebuilt from archive files",
+         index_rebuilt),
+        ("bit-flipped archive is caught by its checksum",
+         flip_caught and flip_archive is not None),
+        ("crash-truncated archive file is recovered and repaired",
+         recovered is not None
+         and any(f.code == "truncated-json" for f in recovery_findings)
+         and repaired_ok),
+    ]
+
+    text_report = "\n\n".join([
+        "Extension: salvage ingestion and degraded analysis "
+        "(faulted Giraph BFS, dg100-scaled, crash-truncated log)",
+        report.render_text(),
+        completeness.render_text(),
+        f"measurable window: {salvaged_span:.2f}s of "
+        f"{full_makespan:.2f}s ({measurable * 100:.1f}%)",
+        "degraded diagnosis:\n" + render_findings(findings),
+    ])
+    return ExperimentResult(
+        experiment_id="ext-salvage",
+        title="Salvage ingestion with degraded analysis (robustness)",
+        paper={
+            "claim": "fine-grained analysis needs complete logs; this "
+                     "extension quantifies how much analysis survives "
+                     "incomplete ones",
+        },
+        measured={
+            "records_salvaged": report.records,
+            "completeness": round(completeness.score, 4),
+            "measurable_fraction": round(measurable, 4),
+            "inferred_operations": completeness.inferred,
+            "deterministic_replay": identical,
+        },
+        checks=checks,
+        text=text_report,
+        data={
+            "ingest": report.to_dict(),
+            "completeness": completeness.to_dict(),
+            "choke_points": [c.mission for c in chokes],
+        },
+    )

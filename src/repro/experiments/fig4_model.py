@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Optional
 
 from repro.core.model.giraph_model import giraph_model
 from repro.core.model.validation import validate_model

@@ -8,7 +8,7 @@ visualization of Figure 8.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph

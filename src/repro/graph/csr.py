@@ -7,7 +7,7 @@ Backed by numpy arrays for compactness.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

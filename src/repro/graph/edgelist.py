@@ -9,7 +9,7 @@ realistic I/O time while the engines really consume the edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import GraphError
 from repro.graph.graph import Edge, Graph

@@ -22,7 +22,7 @@ size peaks in the middle supersteps (Compute-4 of ~8).
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import GenerationError
 from repro.graph.graph import Graph

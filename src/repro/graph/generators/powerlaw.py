@@ -8,7 +8,7 @@ family.  Expected degrees follow a Zipf law with exponent ``alpha``.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import GenerationError
 from repro.graph.graph import Graph

@@ -7,7 +7,7 @@ the comparison motivating PowerGraph's design in Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.errors import PartitionError
 from repro.graph.graph import Graph

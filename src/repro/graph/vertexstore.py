@@ -7,7 +7,7 @@ this format in our reproduction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph

@@ -25,10 +25,9 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.cluster.provisioning import MpiLauncher
 from repro.errors import JobFailedError, PlatformError
-from repro.graph.edgelist import EdgeList, render_edge_list
+from repro.graph.edgelist import EdgeList
 from repro.graph.graph import Graph
 from repro.graph.partition.vertexcut import (
-    VertexCut,
     greedy_vertex_cut,
     random_vertex_cut,
 )

@@ -8,7 +8,7 @@ frontier, and materializes the whole state between rounds.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import PlatformError
 from repro.graph.algorithms.bfs import UNREACHED

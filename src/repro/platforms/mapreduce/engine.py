@@ -31,7 +31,7 @@ from repro.graph.partition.hash_partition import hash_partition
 from repro.graph.vertexstore import vertex_store_size_bytes
 from repro.platforms.base import JobRequest, JobResult, Platform
 from repro.platforms.costmodel import HadoopCostModel, execution_jitter
-from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
+from repro.platforms.logging_util import GranulaLogWriter
 from repro.platforms.mapreduce.algorithms import make_mapreduce_round
 from repro.platforms.mapreduce.api import Record
 

@@ -13,9 +13,8 @@ while the frontier is sparse, pull while it is dense.
 from __future__ import annotations
 
 import abc
-import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set
 
 from repro.errors import PlatformError
 from repro.graph.algorithms.bfs import UNREACHED

@@ -19,7 +19,7 @@ which is the platform's Table 1 story.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node

@@ -7,7 +7,7 @@ workload of the paper's entire evaluation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.errors import PlatformError
 from repro.graph.algorithms.bfs import UNREACHED

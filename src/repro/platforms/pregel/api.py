@@ -9,7 +9,7 @@ and vote to halt.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import PlatformError
 from repro.graph.graph import Graph

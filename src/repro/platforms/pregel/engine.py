@@ -31,7 +31,6 @@ from repro.graph.partition.hash_partition import hash_partition
 from repro.graph.vertexstore import vertex_store_size_bytes
 from repro.platforms.base import JobRequest, JobResult, Platform
 from repro.platforms.costmodel import GiraphCostModel, execution_jitter
-from repro.platforms.faults import FaultPlan
 from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
 from repro.platforms.pregel.aggregators import AggregatorRegistry
 from repro.platforms.pregel.algorithms import make_pregel_program

@@ -9,7 +9,7 @@ messages cost serialization time, remote messages cost network time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 Combiner = Callable[[Any, Any], Any]
 

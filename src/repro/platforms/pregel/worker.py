@@ -8,8 +8,8 @@ cost model converts into simulated time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
 
 from repro.graph.graph import Graph
 from repro.platforms.pregel.aggregators import AggregatorRegistry

@@ -7,7 +7,7 @@ domain-level decomposition of every run for comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.process import EvaluationIteration

@@ -3,16 +3,11 @@
 import pytest
 
 from repro.core.analysis.chokepoint import (
-    ChokePoint,
     _merge_intervals,
     find_choke_points,
     render_choke_points,
 )
-from repro.core.analysis.diagnosis import (
-    Finding,
-    diagnose,
-    render_findings,
-)
+from repro.core.analysis.diagnosis import diagnose, render_findings
 from repro.core.analysis.regression import (
     PerformanceRegressionError,
     assert_no_regression,
@@ -273,3 +268,77 @@ class TestEndToEndFaultDiagnosis:
         assert "recovery" in kinds
         stragglers = [f for f in findings if f.kind == "straggler"]
         assert any(f.subject == "Worker-5" for f in stragglers)
+
+
+class TestCompleteness:
+    def test_pristine_archive_is_complete(self):
+        from repro.core.analysis.completeness import assess_completeness
+        report = assess_completeness(synthetic_archive())
+        assert report.complete
+        assert report.score == 1.0
+        assert report.inferred_missions == []
+
+    def test_inferred_and_missing_counted(self):
+        from repro.core.analysis.completeness import assess_completeness
+        archive = synthetic_archive()
+        ops = [op for op in archive.walk() if op is not archive.root]
+        ops[0].mark_inferred()
+        ops[1].end_time = None
+        report = assess_completeness(archive)
+        assert report.inferred == 1
+        assert report.missing == 1
+        assert 0 < report.score < 1
+        assert ops[0].mission.split("-")[0] in \
+            {m.split("-")[0] for m in report.inferred_missions}
+
+    def test_diagnose_flags_incomplete_archive(self):
+        archive = synthetic_archive()
+        next(iter(archive.root.children)).mark_inferred()
+        findings = diagnose(archive)
+        incomplete = [f for f in findings if f.kind == "incomplete"]
+        assert len(incomplete) == 1
+        assert incomplete[0].severity == "warning"
+        assert "completeness" in incomplete[0].evidence
+
+    def test_mostly_inferred_archive_is_critical(self):
+        archive = synthetic_archive()
+        for op in archive.walk():
+            op.mark_inferred()
+        findings = diagnose(archive)
+        incomplete = [f for f in findings if f.kind == "incomplete"]
+        assert incomplete[0].severity == "critical"
+
+    def test_render_text_mentions_inferred_missions(self):
+        from repro.core.analysis.completeness import assess_completeness
+        archive = synthetic_archive()
+        archive.root.mark_inferred()
+        text = assess_completeness(archive).render_text()
+        assert "Job" in text
+        assert "inferred" in text
+
+
+class TestEffectiveMakespan:
+    def test_uses_root_makespan_when_present(self):
+        from repro.core.analysis.completeness import effective_makespan
+        assert effective_makespan(synthetic_archive()) == 100.0
+
+    def test_falls_back_to_observed_span(self):
+        from repro.core.analysis.completeness import effective_makespan
+        root = ArchivedOperation("r", "Job", "C")  # untimed root
+        leaf(root, "A", "W", 2.0, 9.0)
+        leaf(root, "B", "W", 5.0, 14.0)
+        assert effective_makespan(PerformanceArchive("j", root)) == 12.0
+
+    def test_rejects_untimed_archive(self):
+        from repro.core.analysis.completeness import effective_makespan
+        root = ArchivedOperation("r", "Job", "C", 5.0, 5.0)
+        with pytest.raises(VisualizationError):
+            effective_makespan(PerformanceArchive("j", root))
+
+    def test_choke_points_on_partial_archive(self):
+        root = ArchivedOperation("r", "Job", "C")
+        leaf(root, "LocalLoad", "W", 0.0, 30.0)
+        leaf(root, "Compute-0", "W", 30.0, 40.0)
+        points = find_choke_points(PerformanceArchive("j", root),
+                                   min_share=0.0)
+        assert points[0].mission == "LocalLoad"

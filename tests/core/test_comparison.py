@@ -3,11 +3,7 @@
 import pytest
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
-from repro.core.comparison import (
-    ComparisonReport,
-    compare_platforms,
-    domain_metrics,
-)
+from repro.core.comparison import compare_platforms, domain_metrics
 from repro.errors import ArchiveError
 
 

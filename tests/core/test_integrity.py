@@ -1,0 +1,283 @@
+"""Tests for archive integrity: checksums, validation, repair,
+JSON-prefix recovery, and corruption-tolerant storage."""
+
+import json
+
+import pytest
+
+from repro.core.archive.archive import (
+    PROVENANCE_INFERRED,
+    ArchivedOperation,
+    PerformanceArchive,
+)
+from repro.core.archive.integrity import (
+    load_salvaged,
+    recover_json,
+    repair_archive,
+    validate_archive,
+    validate_text,
+    worst_severity,
+)
+from repro.core.archive.serialize import (
+    archive_from_json,
+    archive_to_json,
+    payload_checksum,
+)
+from repro.core.archive.store import ArchiveStore
+from repro.errors import ArchiveError, ArchiveIntegrityError
+
+
+def op(uid, mission, start=None, end=None, children=()):
+    operation = ArchivedOperation(
+        uid=uid, mission=mission, actor="A",
+        start_time=start, end_time=end,
+    )
+    for child in children:
+        child.parent = operation
+        operation.children.append(child)
+    return operation
+
+
+def make_archive(root):
+    return PerformanceArchive(job_id="job-1", root=root, platform="Test")
+
+
+class TestValidateArchive:
+    def test_clean_archive_has_no_findings(self):
+        root = op("j", "Job", 0.0, 10.0,
+                  [op("a", "Phase", 1.0, 5.0)])
+        assert validate_archive(make_archive(root)) == []
+
+    def test_negative_duration_is_error(self):
+        root = op("j", "Job", 10.0, 0.0)
+        findings = validate_archive(make_archive(root))
+        assert [f.code for f in findings] == ["negative-duration"]
+        assert worst_severity(findings) == "error"
+
+    def test_child_outside_parent_is_warning(self):
+        root = op("j", "Job", 0.0, 10.0,
+                  [op("a", "Phase", 1.0, 12.0)])
+        findings = validate_archive(make_archive(root))
+        assert any(f.code == "child-outside-parent" for f in findings)
+
+    def test_missing_timestamps_are_warnings(self):
+        root = op("j", "Job", 0.0, 10.0, [op("a", "Phase", 1.0, None)])
+        codes = {f.code for f in validate_archive(make_archive(root))}
+        assert codes == {"missing-end"}
+
+
+class TestRepairArchive:
+    def test_fills_parent_interval_from_children(self):
+        root = op("j", "Job", None, None,
+                  [op("a", "Phase", 1.0, 5.0), op("b", "Phase", 4.0, 9.0)])
+        archive, fixes = repair_archive(make_archive(root))
+        assert archive.root.start_time == 1.0
+        assert archive.root.end_time == 9.0
+        assert archive.root.provenance == PROVENANCE_INFERRED
+        assert len(fixes) == 2
+
+    def test_fills_child_from_parent_and_clamps(self):
+        root = op("j", "Job", 0.0, 10.0,
+                  [op("a", "Phase", None, 12.0)])
+        archive, fixes = repair_archive(make_archive(root))
+        child = archive.root.children[0]
+        assert child.start_time == 0.0
+        assert child.end_time == 10.0
+        assert child.provenance == PROVENANCE_INFERRED
+
+    def test_swaps_inverted_interval(self):
+        root = op("j", "Job", 10.0, 0.0)
+        archive, fixes = repair_archive(make_archive(root))
+        assert archive.root.start_time == 0.0
+        assert archive.root.end_time == 10.0
+        assert [f.code for f in fixes] == ["negative-duration"]
+
+    def test_repair_clears_structural_findings(self):
+        root = op("j", "Job", 10.0, 0.0,
+                  [op("a", "Phase", None, 12.0),
+                   op("b", "Phase", 2.0, None)])
+        archive, _ = repair_archive(make_archive(root))
+        remaining = validate_archive(archive)
+        assert worst_severity(remaining) in (None, "warning", "info")
+        assert not any(
+            f.code in ("negative-duration", "child-outside-parent")
+            for f in remaining
+        )
+
+    def test_durations_refreshed(self):
+        root = op("j", "Job", None, None, [op("a", "Phase", 1.0, 5.0)])
+        archive, _ = repair_archive(make_archive(root))
+        assert archive.root.infos["Duration"] == 4.0
+
+    def test_unfixable_stays_reported(self):
+        root = op("j", "Job")  # no timestamps anywhere
+        archive, fixes = repair_archive(make_archive(root))
+        assert fixes == []
+        codes = {f.code for f in validate_archive(archive)}
+        assert codes == {"missing-start", "missing-end"}
+
+
+class TestChecksums:
+    def archive(self):
+        return make_archive(op("j", "Job", 0.0, 10.0))
+
+    def test_round_trip_verifies(self):
+        text = archive_to_json(self.archive())
+        restored = archive_from_json(text, verify=True)
+        assert restored.job_id == "job-1"
+
+    def test_tamper_raises_typed_error(self):
+        text = archive_to_json(self.archive()).replace(
+            '"platform": "Test"', '"platform": "Best"')
+        with pytest.raises(ArchiveIntegrityError):
+            archive_from_json(text)
+
+    def test_tamper_skippable(self):
+        text = archive_to_json(self.archive()).replace(
+            '"platform": "Test"', '"platform": "Best"')
+        assert archive_from_json(text, verify=False).platform == "Best"
+
+    def test_tamper_is_a_critical_finding(self):
+        text = archive_to_json(self.archive()).replace(
+            '"platform": "Test"', '"platform": "Best"')
+        findings = validate_text(text)
+        assert [f.code for f in findings] == ["checksum-mismatch"]
+        assert worst_severity(findings) == "critical"
+
+    def test_checksum_ignores_whitespace(self):
+        document = json.loads(archive_to_json(self.archive()))
+        compact = json.dumps(document)
+        assert payload_checksum(json.loads(compact)) == \
+            document["integrity"]["checksum"]
+
+    def test_legacy_v1_archive_still_loads(self):
+        document = json.loads(archive_to_json(self.archive()))
+        document["format_version"] = 1
+        del document["integrity"]
+        restored = archive_from_json(json.dumps(document))
+        assert restored.job_id == "job-1"
+        assert validate_text(json.dumps(document)) == []
+
+    def test_unknown_version_rejected(self):
+        document = json.loads(archive_to_json(self.archive()))
+        document["format_version"] = 99
+        with pytest.raises(ArchiveIntegrityError):
+            archive_from_json(json.dumps(document))
+        assert any(f.code == "unknown-version"
+                   for f in validate_text(json.dumps(document)))
+
+    def test_not_json_raises_archive_error(self):
+        with pytest.raises(ArchiveError):
+            archive_from_json("{ nope")
+
+
+class TestRecoverJson:
+    def test_intact_text_drops_nothing(self):
+        doc, dropped = recover_json('{"a": [1, 2, {"b": "c"}]}')
+        assert doc == {"a": [1, 2, {"b": "c"}]}
+        assert dropped == 0
+
+    @pytest.mark.parametrize("fraction", [0.3, 0.5, 0.7, 0.9])
+    def test_truncated_prefix_recovered(self, fraction):
+        text = json.dumps({
+            "items": [{"id": i, "name": f"op-{i}", "values": [i, i * 2]}
+                      for i in range(20)],
+            "meta": {"nested": {"deep": True}},
+        })
+        cut = text[: int(len(text) * fraction)]
+        doc, dropped = recover_json(cut)
+        assert doc is not None
+        assert dropped >= 0
+        assert isinstance(doc, dict)
+
+    def test_string_with_braces_handled(self):
+        text = json.dumps({"tricky": 'a "quoted" } ] value', "n": 1})
+        doc, dropped = recover_json(text[:-5])
+        assert doc is not None
+
+    def test_garbage_returns_none(self):
+        doc, _ = recover_json("\x00\x01 not json at all")
+        assert doc is None
+
+
+class TestLoadSalvaged:
+    def archive_text(self):
+        root = op("j", "Job", 0.0, 10.0,
+                  [op(f"c{i}", f"Phase-{i}", float(i), float(i + 1))
+                   for i in range(8)])
+        return archive_to_json(make_archive(root))
+
+    def test_pristine_loads_without_findings(self):
+        archive, findings = load_salvaged(self.archive_text())
+        assert archive is not None
+        assert findings == []
+
+    def test_truncated_file_partially_recovered(self):
+        text = self.archive_text()
+        archive, findings = load_salvaged(text[: int(len(text) * 0.6)])
+        assert archive is not None
+        assert any(f.code == "truncated-json" for f in findings)
+        assert len(list(archive.walk())) >= 2
+
+    def test_garbage_yields_findings_not_exceptions(self):
+        archive, findings = load_salvaged("\x00 utter garbage")
+        assert archive is None
+        assert [f.code for f in findings] == ["not-json"]
+
+    def test_non_object_document(self):
+        archive, findings = load_salvaged("[1, 2, 3]")
+        assert archive is None
+        assert any(f.code == "not-archive" for f in findings)
+
+    def test_foreign_json_object(self):
+        archive, findings = load_salvaged('{"hello": "world"}')
+        assert archive is None
+        assert any(f.code == "not-archive" for f in findings)
+
+
+class TestStoreResilience:
+    def make_store(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive(op("j", "Job", 0.0, 10.0)))
+        return store
+
+    def test_corrupt_index_rebuilt(self, tmp_path):
+        self.make_store(tmp_path)
+        (tmp_path / "index.json").write_text("{ not json")
+        reopened = ArchiveStore(tmp_path)
+        assert "job-1" in reopened
+        assert json.loads((tmp_path / "index.json").read_text())
+
+    def test_wrong_shape_index_rebuilt(self, tmp_path):
+        self.make_store(tmp_path)
+        (tmp_path / "index.json").write_text('["a", "b"]')
+        assert "job-1" in ArchiveStore(tmp_path)
+
+    def test_stale_index_rebuilt(self, tmp_path):
+        store = self.make_store(tmp_path)
+        # Simulate an archive written behind the index's back.
+        other = make_archive(op("k", "Job", 0.0, 1.0))
+        other.job_id = "job-2"
+        path = tmp_path / "job-2.json"
+        path.write_text(archive_to_json(other))
+        assert "job-2" in ArchiveStore(tmp_path)
+
+    def test_missing_index_with_archives_rebuilt(self, tmp_path):
+        self.make_store(tmp_path)
+        (tmp_path / "index.json").unlink()
+        reopened = ArchiveStore(tmp_path)
+        assert "job-1" in reopened
+
+    def test_unreadable_archive_skipped_in_rebuild(self, tmp_path):
+        self.make_store(tmp_path)
+        (tmp_path / "broken.json").write_text("{ nope")
+        (tmp_path / "index.json").write_text("garbage")
+        reopened = ArchiveStore(tmp_path)
+        assert "job-1" in reopened
+        assert len(reopened) == 1
+
+    def test_save_leaves_no_tmp_files(self, tmp_path):
+        self.make_store(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []

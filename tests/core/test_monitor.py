@@ -5,7 +5,11 @@ import pytest
 from repro.cluster.cluster import das5_cluster
 from repro.core.monitor.collector import collect_platform_log, split_by_job
 from repro.core.monitor.envmonitor import EnvironmentMonitor
-from repro.core.monitor.logparser import parse_log, parse_log_line
+from repro.core.monitor.logparser import (
+    parse_log,
+    parse_log_line,
+    parse_log_report,
+)
 from repro.core.monitor.records import EnvSample, LogRecord
 from repro.errors import LogParseError, MonitorError
 from repro.platforms.base import JobResult
@@ -90,6 +94,42 @@ class TestParseLog:
         records, bad = parse_log(lines, strict=False)
         assert len(records) == 2
         assert len(bad) == 1
+
+
+class TestParseReport:
+    LINES = TestParseLog.GOOD + ["GRANULA ts=zzz job=j event=end uid=a"]
+
+    def test_counts_account_for_every_line(self):
+        records, report = parse_log_report(self.LINES, strict=False)
+        assert report.total_lines == 4
+        assert report.foreign_lines == 1
+        assert report.records == 2
+        assert report.malformed == 1
+        assert len(records) == 2
+
+    def test_summary_is_flat(self):
+        _, report = parse_log_report(self.LINES, strict=False)
+        assert report.summary() == {
+            "total_lines": 4,
+            "foreign_lines": 1,
+            "records": 2,
+            "malformed_lines": 1,
+        }
+
+    def test_strict_still_raises(self):
+        with pytest.raises(LogParseError):
+            parse_log_report(self.LINES, strict=True)
+
+
+class TestRunSummary:
+    def test_summary_surfaces_parse_statistics(self, giraph_run):
+        summary = giraph_run.summary()
+        assert summary["job_id"] == giraph_run.job_id
+        assert summary["records"] == len(giraph_run.records)
+        assert summary["nodes"] == len(giraph_run.node_names)
+        assert summary["malformed_lines"] == 0
+        assert summary["foreign_lines"] >= 0
+        assert summary["makespan"] > 0
 
 
 class TestRecords:

@@ -269,3 +269,51 @@ class TestHtmlReport:
     def test_report_without_gantt(self, giraph_archive):
         html = render_report_html([giraph_archive], include_gantt=False)
         assert "compute distribution" not in html
+
+
+class TestDegradedVisuals:
+    def test_breakdown_of_partial_archive_is_annotated(self, giraph_archive):
+        from repro.core.archive.serialize import archive_from_json, archive_to_json
+
+        archive = archive_from_json(archive_to_json(giraph_archive))
+        loads = archive.root.children_of("LoadGraph")
+        loads[0].mark_inferred()
+        breakdown = compute_breakdown(archive)
+        assert 0 < breakdown.completeness < 1
+        assert "LoadGraph" in breakdown.inferred
+        text = breakdown.render_text()
+        assert "LoadGraph (inferred)" in text
+        assert "PARTIAL ARCHIVE" in text
+
+    def test_breakdown_of_pristine_archive_unchanged(self, giraph_archive):
+        breakdown = compute_breakdown(giraph_archive)
+        assert breakdown.completeness == 1.0
+        assert breakdown.inferred == []
+        assert "PARTIAL ARCHIVE" not in breakdown.render_text()
+
+    def test_breakdown_falls_back_to_observed_span(self):
+        root = ArchivedOperation("r", "GiraphJob", "C")
+        for index, mission in enumerate(
+                ("Startup", "LoadGraph", "ProcessGraph")):
+            child = ArchivedOperation(
+                f"c{index}", mission, "W",
+                float(index * 10), float(index * 10 + 10), parent=root)
+            root.children.append(child)
+        breakdown = compute_breakdown(PerformanceArchive("j", root))
+        assert breakdown.total == 30.0
+
+    def test_gantt_marks_inferred_spans(self, giraph_archive):
+        from repro.core.archive.serialize import archive_from_json, archive_to_json
+
+        archive = archive_from_json(archive_to_json(giraph_archive))
+        containers = archive.find(mission_base="LocalSuperstep")
+        containers[0].mark_inferred()
+        gantt = compute_gantt(archive)
+        flagged = [s for s in gantt.spans if s.inferred]
+        assert len(flagged) >= 1
+        assert "inferred" in gantt.render_text()
+
+    def test_gantt_of_pristine_archive_has_no_inferred(self, giraph_archive):
+        gantt = compute_gantt(giraph_archive)
+        assert all(not s.inferred for s in gantt.spans)
+        assert "inferred" not in gantt.render_text()

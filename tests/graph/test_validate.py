@@ -2,7 +2,7 @@
 
 import math
 
-from repro.graph.validate import ValidationReport, compare_exact, compare_numeric
+from repro.graph.validate import compare_exact, compare_numeric
 
 
 class TestCompareExact:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import PlatformError
 from repro.graph.algorithms import bfs_levels
-from repro.graph.graph import Graph
 from repro.graph.validate import compare_exact
 from repro.platforms.base import JobRequest
 from repro.platforms.pregel.engine import GiraphPlatform

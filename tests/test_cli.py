@@ -15,7 +15,9 @@ class TestParser:
         parser = build_parser()
         for argv in (["table1"], ["model", "Giraph"],
                      ["run", "Giraph", "bfs", "dg-tiny"],
-                     ["experiments"], ["report", "x.json"]):
+                     ["experiments"], ["report", "x.json"],
+                     ["validate", "x.json"], ["repair", "x.json"],
+                     ["ingest", "x.log", "--salvage"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -88,3 +90,74 @@ class TestCommands:
         assert main(["compare", str(a), str(b)]) == 0
         out = capsys.readouterr().out
         assert "Ts setup" in out
+
+
+class TestResilienceCommands:
+    def test_validate_clean_archive(self, capsys, tmp_path, giraph_archive):
+        path = tmp_path / "a.json"
+        path.write_text(archive_to_json(giraph_archive))
+        assert main(["validate", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_validate_tampered_archive_exits_1(self, capsys, tmp_path,
+                                               giraph_archive):
+        path = tmp_path / "a.json"
+        path.write_text(archive_to_json(giraph_archive).replace(
+            '"platform": "Giraph"', '"platform": "Xiraph"'))
+        assert main(["validate", str(path)]) == 1
+        assert "checksum-mismatch" in capsys.readouterr().out
+
+    def test_validate_binary_garbage_exits_1(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_bytes(b"\x00\xff\xfe not an archive")
+        assert main(["validate", str(path)]) == 1
+        assert "not-json" in capsys.readouterr().out
+
+    def test_validate_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/a.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_repair_truncated_archive(self, capsys, tmp_path,
+                                      giraph_archive):
+        text = archive_to_json(giraph_archive)
+        path = tmp_path / "a.json"
+        path.write_text(text[: int(len(text) * 0.6)])
+        out = tmp_path / "fixed.json"
+        assert main(["repair", str(path), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(out)]) == 0
+
+    def test_repair_in_place(self, capsys, tmp_path, giraph_archive):
+        text = archive_to_json(giraph_archive)
+        path = tmp_path / "a.json"
+        path.write_text(text[: int(len(text) * 0.7)])
+        assert main(["repair", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(path)]) == 0
+
+    def test_repair_unrecoverable_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text("\x00 hopeless")
+        assert main(["repair", str(path)]) == 2
+        assert "nothing recoverable" in capsys.readouterr().err
+
+    def test_ingest_clean_log(self, capsys, tmp_path, giraph_run):
+        log = tmp_path / "run.log"
+        log.write_text("\n".join(giraph_run.result.log_lines) + "\n")
+        store = tmp_path / "store"
+        assert main(["ingest", str(log), "--out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "completeness 100%" in out
+        assert "archive stored" in out
+
+    def test_ingest_damaged_log_requires_salvage(self, capsys, tmp_path,
+                                                 giraph_run):
+        lines = giraph_run.result.log_lines
+        log = tmp_path / "run.log"
+        log.write_text("\n".join(lines[: int(len(lines) * 0.6)]) + "\n")
+        assert main(["ingest", str(log)]) == 2
+        assert "--salvage" in capsys.readouterr().err
+        assert main(["ingest", str(log), "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "salvage ingest" in out
+        assert "completeness" in out

@@ -10,7 +10,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 SRC = Path(__file__).parent.parent / "src"

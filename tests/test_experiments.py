@@ -148,10 +148,24 @@ class TestExtCrossPlatform:
         assert order[-1] == "Hadoop"
 
 
+class TestExtSalvage:
+    def test_all_checks_pass(self, runner):
+        from repro.experiments.ext_salvage import run_salvage
+        result = run_salvage(runner)
+        assert result.all_checks_pass, [c for c in result.checks if not c[1]]
+
+    def test_degraded_analysis_quantified(self, runner):
+        from repro.experiments.ext_salvage import run_salvage
+        measured = run_salvage(runner).measured
+        assert 0 < measured["completeness"] < 1
+        assert measured["measurable_fraction"] >= 0.56
+        assert measured["deterministic_replay"] is True
+
+
 class TestReport:
     def test_run_all_covers_every_artifact(self, runner):
         results = run_all(runner)
-        assert len(results) == len(ALL_EXPERIMENTS) == 11
+        assert len(results) == len(ALL_EXPERIMENTS) == 12
         assert all(r.all_checks_pass for r in results)
 
     def test_markdown_structure(self, runner):
