@@ -4,7 +4,8 @@ Subcommands::
 
     granula table1                 print Table 1
     granula model <platform>       print a platform's model tree (Fig. 4)
-    granula run <platform> <alg> <dataset> [--workers N] [--out DIR]
+    granula run <platform> <alg> <dataset> [--workers N]
+                [--engine-mode auto|scalar|vectorized] [--out DIR]
                 [--faults plan.json]
                                    run one monitored job, print Fig. 5,
                                    optionally store the archive; with a
@@ -44,6 +45,7 @@ from repro.core.visualize.timeline import render_timeline
 from repro.errors import ReproError
 from repro.experiments.report import render_markdown, run_all
 from repro.experiments.table1_platforms import run_table1
+from repro.platforms.base import ENGINE_MODES
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import WorkloadSpec
 
@@ -71,7 +73,7 @@ def _cmd_models(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     store = ArchiveStore(args.out) if args.out else None
-    runner = WorkloadRunner(store=store)
+    runner = WorkloadRunner(store=store, engine_mode=args.engine_mode)
     spec = WorkloadSpec(
         platform=args.platform,
         algorithm=args.algorithm,
@@ -286,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("algorithm")
     p_run.add_argument("dataset")
     p_run.add_argument("--workers", type=int, default=8)
+    p_run.add_argument("--engine-mode", choices=ENGINE_MODES, default="auto",
+                       help="execution backend: auto picks the vectorized "
+                            "kernels when the algorithm has one, scalar "
+                            "forces the reference path, vectorized demands "
+                            "a kernel")
     p_run.add_argument("--out", help="archive store directory")
     p_run.add_argument("--faults",
                        help="fault-plan JSON file to inject "

@@ -7,6 +7,7 @@ Backed by numpy arrays for compactness.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, Tuple
 
 import numpy as np
@@ -43,18 +44,55 @@ class CsrGraph:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CsrGraph":
-        """Convert an adjacency :class:`Graph` into CSR."""
+        """Convert an adjacency :class:`Graph` into CSR.
+
+        Vectorized: degree counting and prefix sums run as array ops and
+        the adjacency lists are copied with one bulk ``fromiter`` pass.
+        """
         n = graph.num_vertices
+        adjacency = [graph.out_neighbors(v) for v in range(n)]
+        degrees = np.fromiter(map(len, adjacency), dtype=np.int64, count=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
-        for v in range(n):
-            indptr[v + 1] = indptr[v] + graph.out_degree(v)
-        indices = np.empty(graph.num_edges, dtype=np.int64)
-        pos = 0
-        for v in range(n):
-            neigh = graph.out_neighbors(v)
-            indices[pos:pos + len(neigh)] = neigh
-            pos += len(neigh)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.fromiter(
+            itertools.chain.from_iterable(adjacency),
+            dtype=np.int64,
+            count=graph.num_edges,
+        )
         return cls(indptr, indices)
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges) -> "CsrGraph":
+        """CSR directly from (src, dst) pairs, without an adjacency Graph.
+
+        Accepts any iterable of pairs or an ``(m, 2)``/two-column array.
+        Parallel edges are collapsed and neighbors sorted ascending,
+        matching :class:`~repro.graph.graph.Graph` semantics.
+        """
+        if num_vertices < 0:
+            raise GraphError(f"negative vertex count: {num_vertices}")
+        pairs = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges),
+            dtype=np.int64,
+        )
+        if pairs.size == 0:
+            return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64))
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphError("edges must be (src, dst) pairs")
+        src, dst = pairs[:, 0], pairs[:, 1]
+        bad = (src < 0) | (src >= num_vertices) | (dst < 0) | (dst >= num_vertices)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise GraphError(
+                f"edge ({int(src[i])}, {int(dst[i])}) out of range "
+                f"for {num_vertices} vertices"
+            )
+        key = np.unique(src * np.int64(num_vertices) + dst)
+        u_src = key // num_vertices
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(u_src, minlength=num_vertices), out=indptr[1:])
+        return cls(indptr, key % num_vertices)
 
     @property
     def num_vertices(self) -> int:

@@ -9,10 +9,24 @@ realistic I/O time while the engines really consume the edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import ClassVar, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.graph import Edge, Graph
+
+
+def _digit_counts(arr: np.ndarray) -> np.ndarray:
+    """``len(str(x))`` per element for non-negative integer arrays."""
+    digits = np.ones(len(arr), dtype=np.int64)
+    limit = 10
+    while True:
+        over = arr >= limit
+        if not over.any():
+            return digits
+        digits[over] += 1
+        limit *= 10
 
 
 @dataclass(frozen=True)
@@ -27,10 +41,23 @@ class EdgeList:
     num_vertices: int
     edges: Tuple[Edge, ...]
 
+    #: Parallel (src, dst) numpy arrays, stashed by ``from_graph`` so size
+    #: accounting can run vectorized; plain-constructed lists lack them.
+    _arrays: ClassVar[Optional[tuple]] = None
+
     @classmethod
     def from_graph(cls, graph: Graph) -> "EdgeList":
         """Extract the edge list of a graph."""
-        return cls(graph.num_vertices, tuple(graph.edges()))
+        csr = graph.csr()
+        src = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), csr.out_degrees()
+        )
+        dst = csr.indices
+        edge_list = cls(
+            graph.num_vertices, tuple(zip(src.tolist(), dst.tolist()))
+        )
+        object.__setattr__(edge_list, "_arrays", (src, dst))
+        return edge_list
 
     def to_graph(self) -> Graph:
         """Materialize the edge list as a graph."""
@@ -43,6 +70,12 @@ class EdgeList:
 
     def text_size_bytes(self) -> int:
         """Exact size of the rendered text file in bytes."""
+        if self._arrays is not None:
+            src, dst = self._arrays
+            return int(
+                _digit_counts(src).sum() + _digit_counts(dst).sum()
+                + 2 * len(src)
+            )
         total = 0
         for src, dst in self.edges:
             total += len(str(src)) + 1 + len(str(dst)) + 1

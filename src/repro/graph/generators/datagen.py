@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from typing import List
 
+import numpy as np
+
 from repro.errors import GenerationError
 from repro.graph.graph import Graph
 
@@ -116,25 +118,34 @@ def datagen_graph(
     if not global_pool:
         global_pool = list(range(num_vertices))
 
+    # Edges live in a set of packed ``(src << 32) | dst`` keys: membership
+    # tests and the final sort see exactly the same (src, dst) order as
+    # tuples would, at a fraction of the hashing cost.
     edges: set = set()
+    add_edge = edges.add
+    randrange = rng.randrange
+    pool_size = len(global_pool)
     for src in range(num_vertices):
         want = degree_of[src]
         local = members[community_of[src]]
-        n_intra = int(round(want * p_intra)) if len(local) > 1 else 0
+        local_size = len(local)
+        n_intra = int(round(want * p_intra)) if local_size > 1 else 0
         n_inter = want - n_intra
+        src_key = src << 32
         tries = 0
-        while n_intra > 0 and tries < 6 * want + 12:
-            dst = local[rng.randrange(len(local))]
+        limit = 6 * want + 12
+        while n_intra > 0 and tries < limit:
+            dst = local[randrange(local_size)]
             tries += 1
-            if dst != src and (src, dst) not in edges:
-                edges.add((src, dst))
+            if dst != src and (src_key | dst) not in edges:
+                add_edge(src_key | dst)
                 n_intra -= 1
         tries = 0
-        while n_inter > 0 and tries < 6 * want + 12:
-            dst = global_pool[rng.randrange(len(global_pool))]
+        while n_inter > 0 and tries < limit:
+            dst = global_pool[randrange(pool_size)]
             tries += 1
-            if dst != src and (src, dst) not in edges:
-                edges.add((src, dst))
+            if dst != src and (src_key | dst) not in edges:
+                add_edge(src_key | dst)
                 n_inter -= 1
 
     # Connectivity ring across communities (one edge each way between the
@@ -143,7 +154,11 @@ def datagen_graph(
         a = members[cid][0]
         b = members[(cid + 1) % len(members)][0]
         if a != b:
-            edges.add((a, b))
-            edges.add((b, a))
+            add_edge((a << 32) | b)
+            add_edge((b << 32) | a)
 
-    return Graph(num_vertices, sorted(edges))
+    packed = np.fromiter(edges, dtype=np.int64, count=len(edges))
+    packed.sort()
+    return Graph.from_edge_arrays(
+        num_vertices, packed >> 32, packed & 0xFFFFFFFF
+    )

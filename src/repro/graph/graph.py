@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError
 
 Edge = Tuple[int, int]
@@ -40,6 +42,61 @@ class Graph:
         self._m = m
         self._in: Optional[List[List[int]]] = None
         self._undirected: Optional[List[List[int]]] = None
+        self._csr = None
+
+    @classmethod
+    def from_edge_arrays(
+        cls, num_vertices: int, src: np.ndarray, dst: np.ndarray
+    ) -> "Graph":
+        """Build a graph from parallel numpy edge arrays in bulk.
+
+        Semantically identical to ``Graph(num_vertices, zip(src, dst))``
+        — parallel edges are collapsed and adjacency lists sorted — but
+        the validation, dedup and adjacency construction are vectorized.
+        """
+        if num_vertices < 0:
+            raise GraphError(f"negative vertex count: {num_vertices}")
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError("src and dst must be equal-length 1-d arrays")
+        bad = (src < 0) | (src >= num_vertices) | (dst < 0) | (dst >= num_vertices)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise GraphError(
+                f"edge ({int(src[i])}, {int(dst[i])}) out of range "
+                f"for {num_vertices} vertices"
+            )
+        # Dedup + sort in one shot: pack (src, dst) into a single key.
+        if len(src):
+            key = np.unique(src * np.int64(num_vertices) + dst)
+            u_src = key // num_vertices
+            u_dst = key % num_vertices
+        else:
+            u_src = src
+            u_dst = dst
+        graph = cls.__new__(cls)
+        graph._n = num_vertices
+        graph._m = len(u_dst)
+        counts = np.bincount(u_src, minlength=num_vertices)
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts, dtype=np.int64))
+        ).tolist()
+        flat = u_dst.tolist()
+        graph._out = [
+            flat[offsets[v]:offsets[v + 1]] for v in range(num_vertices)
+        ]
+        graph._in = None
+        graph._undirected = None
+        graph._csr = None
+        return graph
+
+    def csr(self):
+        """CSR view of the out-adjacency (built lazily, cached)."""
+        if self._csr is None:
+            from repro.graph.csr import CsrGraph
+            self._csr = CsrGraph.from_graph(self)
+        return self._csr
 
     @property
     def num_vertices(self) -> int:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.errors import PartitionError
 
 _KNUTH = 2654435761  # Knuth's multiplicative constant (2^32 / phi).
@@ -19,13 +21,19 @@ def vertex_hash(v: int) -> int:
     return ((v + 1) * _KNUTH) & 0xFFFFFFFF
 
 
+def hash_partition_array(num_vertices: int, parts: int) -> np.ndarray:
+    """Vectorized :func:`hash_partition`: the assignment as an int64 array."""
+    if parts <= 0:
+        raise PartitionError(f"parts must be positive, got {parts}")
+    if num_vertices < 0:
+        raise PartitionError(f"negative vertex count: {num_vertices}")
+    ids = np.arange(1, num_vertices + 1, dtype=np.int64)
+    return ((ids * _KNUTH) & 0xFFFFFFFF) % parts
+
+
 def hash_partition(num_vertices: int, parts: int) -> List[int]:
     """Assign each vertex ``0..n-1`` to a partition by hash.
 
     Returns a list ``assignment`` with ``assignment[v]`` in ``[0, parts)``.
     """
-    if parts <= 0:
-        raise PartitionError(f"parts must be positive, got {parts}")
-    if num_vertices < 0:
-        raise PartitionError(f"negative vertex count: {num_vertices}")
-    return [vertex_hash(v) % parts for v in range(num_vertices)]
+    return hash_partition_array(num_vertices, parts).tolist()

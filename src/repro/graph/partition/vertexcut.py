@@ -5,17 +5,29 @@ machines is replicated, with one replica chosen as master.  The greedy
 heuristic below is the one from the PowerGraph paper (Gonzalez et al.,
 OSDI'12): place each edge on a machine already holding one of its
 endpoints when possible, preferring intersections, breaking ties by load.
+
+The streaming heuristic is inherently sequential, so the fast path keeps
+the per-edge loop but represents each vertex's replica set as a bitmask
+of partitions (one machine word for realistic ``parts``) instead of a
+Python set; :func:`_greedy_vertex_cut_reference` retains the literal
+set-based formulation as the equivalence oracle.  Finalization — the
+replica/master tables — is vectorized with numpy, and the flat edge
+arrays are stashed on the cut for the vectorized GAS backend.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
 
 from repro.errors import PartitionError
 from repro.graph.graph import Edge, Graph
-from repro.graph.partition.hash_partition import vertex_hash
+
+_KNUTH = 2654435761  # Knuth's multiplicative constant (2^32 / phi).
+_GOLDEN = 0x9E3779B9
 
 
 @dataclass
@@ -52,19 +64,49 @@ class VertexCut:
 
     def edge_counts(self) -> List[int]:
         """Number of edges per partition."""
+        arrays = getattr(self, "_edge_arrays", None)
+        if arrays is not None:
+            return np.bincount(arrays[2], minlength=self.parts).tolist()
         counts = [0] * self.parts
         for p in self.edge_assignment:
             counts[p] += 1
         return counts
 
 
+def _edge_columns(
+    edges: List[Edge], assignment: List[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    m = len(edges)
+    src = np.fromiter((e[0] for e in edges), dtype=np.int64, count=m)
+    dst = np.fromiter((e[1] for e in edges), dtype=np.int64, count=m)
+    part = np.asarray(assignment, dtype=np.int64)
+    return src, dst, part
+
+
 def _finalize(parts: int, edges: List[Edge], assignment: List[int]) -> VertexCut:
+    src, dst, part = _edge_columns(edges, assignment)
     replicas: Dict[int, Set[int]] = {}
-    for (src, dst), p in zip(edges, assignment):
-        replicas.setdefault(src, set()).add(p)
-        replicas.setdefault(dst, set()).add(p)
-    masters = {v: min(ps) for v, ps in replicas.items()}
-    return VertexCut(parts, edges, assignment, replicas, masters)
+    masters: Dict[int, int] = {}
+    if len(edges):
+        # Distinct (vertex, part) incidences, sorted — so the first
+        # part seen per vertex is its minimum, i.e. the master.
+        pair = np.unique(
+            np.concatenate((src, dst)) * np.int64(parts)
+            + np.concatenate((part, part))
+        )
+        for key in pair.tolist():
+            v, p = divmod(key, parts)
+            group = replicas.get(v)
+            if group is None:
+                replicas[v] = {p}
+                masters[v] = p
+            else:
+                group.add(p)
+    cut = VertexCut(parts, edges, assignment, replicas, masters)
+    # Flat columns for the vectorized GAS backend (not part of the
+    # dataclass value: derived, and absent on hand-built cuts).
+    cut._edge_arrays = (src, dst, part)
+    return cut
 
 
 def random_vertex_cut(graph: Graph, parts: int) -> VertexCut:
@@ -72,11 +114,24 @@ def random_vertex_cut(graph: Graph, parts: int) -> VertexCut:
     if parts <= 0:
         raise PartitionError(f"parts must be positive, got {parts}")
     edges = list(graph.edges())
-    assignment = [
-        (vertex_hash(src) ^ vertex_hash(dst + 0x9E3779B9)) % parts
-        for src, dst in edges
-    ]
+    m = len(edges)
+    src = np.fromiter((e[0] for e in edges), dtype=np.uint64, count=m)
+    dst = np.fromiter((e[1] for e in edges), dtype=np.uint64, count=m)
+    # vertex_hash over uint64 columns: wrap-around multiplication keeps
+    # the low 32 bits exact, so this matches the scalar hash bit for bit.
+    h_src = ((src + np.uint64(1)) * np.uint64(_KNUTH)) & np.uint64(0xFFFFFFFF)
+    h_dst = (
+        (dst + np.uint64(_GOLDEN + 1)) * np.uint64(_KNUTH)
+    ) & np.uint64(0xFFFFFFFF)
+    assignment = ((h_src ^ h_dst) % np.uint64(parts)).astype(np.int64).tolist()
     return _finalize(parts, edges, assignment)
+
+
+def _shuffled_order(m: int, seed: int) -> List[int]:
+    """The deterministic pseudo-random edge visiting order."""
+    order = list(range(m))
+    random.Random(seed).shuffle(order)
+    return order
 
 
 def greedy_vertex_cut(
@@ -103,14 +158,74 @@ def greedy_vertex_cut(
     ``(1 + balance_slack) * m / parts`` are skipped (falling through to
     the next rule), and edges are visited in a deterministic pseudo-random
     order rather than sorted order, emulating unsorted on-disk edge files.
+
+    Replica sets live in per-vertex partition bitmasks, turning the set
+    algebra above into word-wide and/or operations; the placement is
+    identical to :func:`_greedy_vertex_cut_reference` edge for edge.
     """
     if parts <= 0:
         raise PartitionError(f"parts must be positive, got {parts}")
     if balance_slack < 0:
         raise PartitionError(f"negative balance slack: {balance_slack}")
     edges = list(graph.edges())
-    order = list(range(len(edges)))
-    random.Random(seed).shuffle(order)
+    m = len(edges)
+    capacity = (1.0 + balance_slack) * m / parts
+    load = [0] * parts
+    masks = [0] * graph.num_vertices
+    assignment = [0] * m
+    # Bit p stays set while partition p can take one more edge; the
+    # capacity test load[p] + 1 <= capacity flips at most once per part.
+    allowed = 0
+    for p in range(parts):
+        if load[p] + 1 <= capacity:
+            allowed |= 1 << p
+    part_range = range(parts)
+
+    for index in _shuffled_order(m, seed):
+        src, dst = edges[index]
+        mask_u = masks[src]
+        mask_v = masks[dst]
+        cand = mask_u & mask_v & allowed
+        if not cand:
+            cand = (mask_u | mask_v) & allowed
+        if cand:
+            chosen = -1
+            best_load = -1
+            bits = cand
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                p = low.bit_length() - 1
+                lp = load[p]
+                if chosen < 0 or lp < best_load:
+                    chosen = p
+                    best_load = lp
+        else:
+            chosen = min(part_range, key=lambda p: (load[p], p))
+        assignment[index] = chosen
+        new_load = load[chosen] + 1
+        load[chosen] = new_load
+        if new_load + 1 > capacity:
+            allowed &= ~(1 << chosen)
+        bit = 1 << chosen
+        masks[src] |= bit
+        masks[dst] |= bit
+
+    return _finalize(parts, edges, assignment)
+
+
+def _greedy_vertex_cut_reference(
+    graph: Graph,
+    parts: int,
+    balance_slack: float = 0.10,
+    seed: int = 2017,
+) -> VertexCut:
+    """The literal set-based greedy heuristic (equivalence oracle)."""
+    if parts <= 0:
+        raise PartitionError(f"parts must be positive, got {parts}")
+    if balance_slack < 0:
+        raise PartitionError(f"negative balance slack: {balance_slack}")
+    edges = list(graph.edges())
     capacity = (1.0 + balance_slack) * len(edges) / parts
     load = [0] * parts
     replicas: Dict[int, Set[int]] = {}
@@ -122,7 +237,7 @@ def greedy_vertex_cut(
     def under_capacity(candidates: Set[int]) -> Set[int]:
         return {p for p in candidates if load[p] + 1 <= capacity}
 
-    for index in order:
+    for index in _shuffled_order(len(edges), seed):
         src, dst = edges[index]
         a_u = replicas.get(src, set())
         a_v = replicas.get(dst, set())
@@ -139,5 +254,4 @@ def greedy_vertex_cut(
         replicas.setdefault(src, set()).add(chosen)
         replicas.setdefault(dst, set()).add(chosen)
 
-    masters = {v: min(ps) for v, ps in replicas.items()}
-    return VertexCut(parts, edges, assignment, replicas, masters)
+    return _finalize(parts, edges, assignment)

@@ -13,6 +13,37 @@ from repro.graph.graph import Graph
 if TYPE_CHECKING:  # imported lazily to avoid a platforms.base cycle
     from repro.platforms.faults import FaultPlan
 
+#: Execution-backend selection modes accepted by the simulated engines.
+ENGINE_MODES = ("auto", "scalar", "vectorized")
+
+
+def resolve_engine_mode(
+    mode: str, supported: bool, platform: str, algorithm: str
+) -> bool:
+    """Decide whether a job takes the vectorized execution path.
+
+    ``auto`` uses the vectorized backend whenever a kernel exists for the
+    job's program and falls back to the scalar path otherwise;
+    ``scalar`` forces the reference path; ``vectorized`` demands a
+    kernel and raises when the program has none (custom programs,
+    non-default combiners or weight functions).
+    """
+    if mode == "scalar":
+        return False
+    if mode == "vectorized":
+        if not supported:
+            raise PlatformError(
+                f"{platform}: no vectorized kernel for {algorithm!r} with "
+                f"these parameters; rerun with engine mode 'auto' or "
+                f"'scalar'"
+            )
+        return True
+    if mode == "auto":
+        return supported
+    raise PlatformError(
+        f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
+    )
+
 
 @dataclass(frozen=True)
 class JobRequest:

@@ -19,7 +19,7 @@ single rank is what reproduces Figures 5 and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
@@ -28,14 +28,21 @@ from repro.errors import JobFailedError, PlatformError
 from repro.graph.edgelist import EdgeList
 from repro.graph.graph import Graph
 from repro.graph.partition.vertexcut import (
+    VertexCut,
     greedy_vertex_cut,
     random_vertex_cut,
 )
-from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.base import (
+    JobRequest,
+    JobResult,
+    Platform,
+    resolve_engine_mode,
+)
 from repro.platforms.costmodel import PowerGraphCostModel, execution_jitter
 from repro.platforms.gas.algorithms import make_gas_program
 from repro.platforms.gas.loader import plan_sequential_load
 from repro.platforms.gas.sync_engine import SyncGasEngine
+from repro.platforms.gas.vectorized import gas_kernel_class
 from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
 
 #: Wire bytes per replica synchronization at a barrier.
@@ -62,10 +69,13 @@ class PowerGraphPlatform(Platform):
         cluster: Cluster,
         cost_model: Optional[PowerGraphCostModel] = None,
         ingress: str = "greedy",
+        engine_mode: str = "auto",
     ):
         """``ingress`` picks the edge-placement strategy, like
         PowerGraph's ``--graph_opts ingress=`` option: ``"greedy"``
-        (oblivious heuristic, the default) or ``"random"`` (hashed)."""
+        (oblivious heuristic, the default) or ``"random"`` (hashed).
+        ``engine_mode`` selects the execution backend (``"auto"``,
+        ``"scalar"`` or ``"vectorized"``)."""
         super().__init__(cluster)
         self.cost = cost_model or PowerGraphCostModel()
         self.mpi = MpiLauncher(cluster.nodes, cluster.clock, cluster.trace)
@@ -74,6 +84,14 @@ class PowerGraphPlatform(Platform):
                 f"unknown ingress {ingress!r}; choose 'greedy' or 'random'"
             )
         self.ingress = ingress
+        self.engine_mode = engine_mode
+        #: Which backend the last job took ("scalar"/"vectorized");
+        #: diagnostic only, never part of results or archives.
+        self.last_engine_path: Optional[str] = None
+        # Vertex cuts are deterministic per (dataset, ranks, ingress),
+        # so they are computed once and shared across jobs; engines
+        # never mutate the cut.
+        self._cut_cache: Dict[Tuple[str, int, str], VertexCut] = {}
 
     # -- dataset staging ---------------------------------------------------
 
@@ -86,6 +104,10 @@ class PowerGraphPlatform(Platform):
         size = edge_list.text_size_bytes()
         self.cluster.shared_fs.put(path, size, payload=edge_list)
         self._datasets[name] = _Deployed(path, graph, edge_list, size)
+        self._cut_cache = {
+            key: cut for key, cut in self._cut_cache.items()
+            if key[0] != name
+        }
 
     # -- job execution -------------------------------------------------------
 
@@ -94,6 +116,14 @@ class PowerGraphPlatform(Platform):
         deployed: _Deployed = self._require_dataset(request.dataset)
         graph = deployed.graph
         program = make_gas_program(request.algorithm, request.params, graph)
+        engine_cls = gas_kernel_class(program)
+        use_vectorized = resolve_engine_mode(
+            self.engine_mode, engine_cls is not None, self.name,
+            request.algorithm,
+        )
+        if not use_vectorized:
+            engine_cls = SyncGasEngine
+        self.last_engine_path = "vectorized" if use_vectorized else "scalar"
         job_id = self._next_job_id(request)
 
         self.cluster.reset()
@@ -109,7 +139,8 @@ class PowerGraphPlatform(Platform):
 
         allocation = self._run_startup(writer, root, rank_nodes)
         engine, load_stats = self._run_load(
-            writer, root, deployed, request.workers, rank_nodes, program
+            writer, root, deployed, request.workers, rank_nodes, program,
+            engine_cls, request.dataset,
         )
         process_stats = self._run_process(writer, root, engine, rank_nodes)
         offload_bytes = self._run_offload(writer, root, engine, rank_nodes, job_id)
@@ -162,16 +193,23 @@ class PowerGraphPlatform(Platform):
         num_ranks: int,
         rank_nodes: List[Node],
         program,
+        engine_cls=SyncGasEngine,
+        dataset_name: str = "",
     ):
         clock = self.cluster.clock
         cost = self.cost
 
         fault = self.fault_plan
-        if self.ingress == "greedy":
-            cut = greedy_vertex_cut(deployed.graph, num_ranks)
-        else:
-            cut = random_vertex_cut(deployed.graph, num_ranks)
-        engine = SyncGasEngine(deployed.graph, cut, program)
+        cache_key = (dataset_name, num_ranks, self.ingress)
+        cut = self._cut_cache.get(cache_key) if dataset_name else None
+        if cut is None:
+            if self.ingress == "greedy":
+                cut = greedy_vertex_cut(deployed.graph, num_ranks)
+            else:
+                cut = random_vertex_cut(deployed.graph, num_ranks)
+            if dataset_name:
+                self._cut_cache[cache_key] = cut
+        engine = engine_cls(deployed.graph, cut, program)
         read_factor = 1.0
         link_factors = None
         if fault is not None:

@@ -66,8 +66,9 @@ def plan_sequential_load(
     stream_s = read_s + parse_s
 
     finalize_s: List[float] = []
+    edge_counts = cut.edge_counts()
     for part in range(cut.parts):
-        local_edges = sum(1 for p in cut.edge_assignment if p == part)
+        local_edges = edge_counts[part]
         transfer_s = (
             network.transfer_time(local_edges * EDGE_WIRE_BYTES)
             if part != 0 and local_edges

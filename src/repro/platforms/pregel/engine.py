@@ -27,14 +27,23 @@ from repro.cluster.node import Node
 from repro.cluster.provisioning import YarnManager
 from repro.errors import JobFailedError, PlatformError
 from repro.graph.graph import Graph
-from repro.graph.partition.hash_partition import hash_partition
+from repro.graph.partition.hash_partition import hash_partition_array
 from repro.graph.vertexstore import vertex_store_size_bytes
-from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.base import (
+    JobRequest,
+    JobResult,
+    Platform,
+    resolve_engine_mode,
+)
 from repro.platforms.costmodel import GiraphCostModel, execution_jitter
 from repro.platforms.logging_util import GranulaLogWriter, OpenOperation
 from repro.platforms.pregel.aggregators import AggregatorRegistry
 from repro.platforms.pregel.algorithms import make_pregel_program
 from repro.platforms.pregel.messages import OutgoingStore
+from repro.platforms.pregel.vectorized import (
+    VectorizedWorkerSet,
+    pregel_kernel_class,
+)
 from repro.platforms.pregel.worker import WorkerState
 from repro.platforms.pregel.zookeeper import ZooKeeperService
 
@@ -59,10 +68,19 @@ class GiraphPlatform(Platform):
 
     name = "Giraph"
 
-    def __init__(self, cluster: Cluster, cost_model: Optional[GiraphCostModel] = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model: Optional[GiraphCostModel] = None,
+        engine_mode: str = "auto",
+    ):
         super().__init__(cluster)
         self.cost = cost_model or GiraphCostModel()
         self.yarn = YarnManager(cluster.nodes, cluster.clock, cluster.trace)
+        self.engine_mode = engine_mode
+        #: Execution path of the most recent job ("scalar"/"vectorized");
+        #: diagnostic only, never part of results or archives.
+        self.last_engine_path: Optional[str] = None
 
     # -- dataset staging ---------------------------------------------------
 
@@ -82,6 +100,13 @@ class GiraphPlatform(Platform):
         deployed: _Deployed = self._require_dataset(request.dataset)
         graph = deployed.graph
         program = make_pregel_program(request.algorithm, request.params, graph)
+        use_vectorized = resolve_engine_mode(
+            self.engine_mode,
+            pregel_kernel_class(program) is not None,
+            self.name,
+            request.algorithm,
+        )
+        self.last_engine_path = "vectorized" if use_vectorized else "scalar"
         job_id = self._next_job_id(request)
 
         self.cluster.reset()
@@ -103,7 +128,8 @@ class GiraphPlatform(Platform):
             writer, root, requested_nodes
         )
         workers, load_stats = self._run_load(
-            writer, root, deployed, len(worker_nodes), worker_nodes, program
+            writer, root, deployed, len(worker_nodes), worker_nodes, program,
+            use_vectorized,
         )
         process_stats = self._run_process(
             writer, root, workers, worker_nodes, zk
@@ -239,6 +265,7 @@ class GiraphPlatform(Platform):
         num_workers: int,
         worker_nodes: List[Node],
         program,
+        use_vectorized: bool = False,
     ) -> Tuple[List[WorkerState], Dict[str, Any]]:
         clock = self.cluster.clock
         cost = self.cost
@@ -317,24 +344,34 @@ class GiraphPlatform(Platform):
         clock.advance(span_max)
 
         # Build the in-memory partitions (the real data structures).
-        owner_of = hash_partition(graph.num_vertices, num_workers)
-        partitions: List[List[int]] = [[] for _ in range(num_workers)]
-        for v in graph.vertices():
-            partitions[owner_of[v]].append(v)
-        workers: List[WorkerState] = []
-        for wid, node in enumerate(worker_nodes, start=1):
-            worker = WorkerState(
-                worker_id=wid - 1,
-                node_name=node.name,
-                vertices=partitions[wid - 1],
-                graph=graph,
-                num_workers=num_workers,
-                owner_of=owner_of,
-                program=program,
+        owner_array = hash_partition_array(graph.num_vertices, num_workers)
+        if use_vectorized:
+            worker_set = VectorizedWorkerSet(
+                graph, program, num_workers,
+                [node.name for node in worker_nodes], owner_array,
             )
-            worker.load_partition()
-            node.allocate_memory(worker.partition_bytes())
-            workers.append(worker)
+            workers = worker_set.workers
+            for worker, node in zip(workers, worker_nodes):
+                node.allocate_memory(worker.partition_bytes())
+        else:
+            owner_of = owner_array.tolist()
+            partitions: List[List[int]] = [[] for _ in range(num_workers)]
+            for v in graph.vertices():
+                partitions[owner_of[v]].append(v)
+            workers = []
+            for wid, node in enumerate(worker_nodes, start=1):
+                worker = WorkerState(
+                    worker_id=wid - 1,
+                    node_name=node.name,
+                    vertices=partitions[wid - 1],
+                    graph=graph,
+                    num_workers=num_workers,
+                    owner_of=owner_of,
+                    program=program,
+                )
+                worker.load_partition()
+                node.allocate_memory(worker.partition_bytes())
+                workers.append(worker)
 
         writer.end(load_hdfs)
         writer.end(load)

@@ -29,28 +29,32 @@ class OutgoingStore:
         # Per destination worker: vertex -> list of messages (or a single
         # combined message when a combiner is set).
         self._buckets: List[Dict[int, Any]] = [{} for _ in range(num_workers)]
+        # Post-combining message count per destination worker, maintained
+        # incrementally so ``wire_messages`` is O(1) instead of rescanning
+        # the bucket every worker every superstep.
+        self._wire: List[int] = [0] * num_workers
         self.sent_count = 0
         self.combined_count = 0
 
     def send(self, dst: int, value: Any) -> None:
         """Buffer one message to vertex ``dst``."""
         self.sent_count += 1
-        bucket = self._buckets[self._owner_of[dst]]
+        owner = self._owner_of[dst]
+        bucket = self._buckets[owner]
         if self._combiner is None:
             bucket.setdefault(dst, []).append(value)
+            self._wire[owner] += 1
         else:
             if dst in bucket:
                 bucket[dst] = self._combiner(bucket[dst], value)
                 self.combined_count += 1
             else:
                 bucket[dst] = value
+                self._wire[owner] += 1
 
     def wire_messages(self, worker: int) -> int:
         """Messages that actually travel to ``worker`` (post-combining)."""
-        bucket = self._buckets[worker]
-        if self._combiner is None:
-            return sum(len(msgs) for msgs in bucket.values())
-        return len(bucket)
+        return self._wire[worker]
 
     def flush(self) -> List[Dict[int, List[Any]]]:
         """Normalize buckets to vertex -> message-list and reset."""
@@ -61,6 +65,7 @@ class OutgoingStore:
             else:
                 out.append({dst: [msg] for dst, msg in bucket.items()})
         self._buckets = [{} for _ in range(self.num_workers)]
+        self._wire = [0] * self.num_workers
         return out
 
 

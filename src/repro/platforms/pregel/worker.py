@@ -9,7 +9,9 @@ cost model converts into simulated time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.graph.graph import Graph
 from repro.platforms.pregel.aggregators import AggregatorRegistry
@@ -61,6 +63,16 @@ class WorkerState:
         self.halted: Dict[int, bool] = {}
         self.incoming = IncomingStore()
         self._pending_mailbox: Dict[int, List[Any]] = {}
+        # Mirror of ``halted`` kept as a set so supersteps can iterate the
+        # active vertices directly instead of scanning the whole partition.
+        self._unhalted: Set[int] = set()
+        # Sorted partitions (the engine's hash partitioning yields these)
+        # let us re-derive vertex order from the set; unsorted partitions
+        # fall back to a filtered scan to preserve iteration order.
+        self._vertices_sorted = all(
+            a < b for a, b in zip(self.vertices, self.vertices[1:])
+        )
+        self._partition_bytes: Optional[int] = None
 
     def load_partition(self) -> None:
         """Initialize vertex values (the tail of LocalLoad)."""
@@ -68,11 +80,17 @@ class WorkerState:
             self.context._begin_vertex(v)
             self.values[v] = self.program.initial_value(v, self.context)
             self.halted[v] = False
+        self._unhalted = set(self.vertices)
 
     def partition_bytes(self) -> int:
         """Approximate in-memory size of the partition (vertices+edges)."""
-        edge_count = sum(self.graph.out_degree(v) for v in self.vertices)
-        return 48 * len(self.vertices) + 16 * edge_count
+        if self._partition_bytes is None:
+            degrees = self.graph.csr().out_degrees()
+            edge_count = int(
+                degrees[np.asarray(self.vertices, dtype=np.int64)].sum()
+            )
+            self._partition_bytes = 48 * len(self.vertices) + 16 * edge_count
+        return self._partition_bytes
 
     def begin_superstep(self, superstep: int, aggregated: Dict[str, Any]) -> None:
         """Take delivered messages and expose aggregator results."""
@@ -82,10 +100,12 @@ class WorkerState:
 
     def active_count(self) -> int:
         """Vertices that will compute this superstep (pre-superstep)."""
-        return sum(
-            1
-            for v in self.vertices
-            if not self.halted[v] or v in self._pending_mailbox
+        if len(self._unhalted) == len(self.vertices):
+            return len(self.vertices)
+        return len(
+            self._unhalted.union(
+                v for v in self._pending_mailbox if v in self.halted
+            )
         )
 
     def compute_superstep(
@@ -101,10 +121,18 @@ class WorkerState:
         work = SuperstepWork()
         mailbox = self._pending_mailbox
         self._pending_mailbox = {}
-        for v in self.vertices:
+        if len(self._unhalted) == len(self.vertices):
+            active: Sequence[int] = self.vertices
+        else:
+            pending = self._unhalted.union(
+                v for v in mailbox if v in self.halted
+            )
+            if self._vertices_sorted:
+                active = sorted(pending)
+            else:
+                active = [v for v in self.vertices if v in pending]
+        for v in active:
             messages = mailbox.get(v, [])
-            if self.halted[v] and not messages:
-                continue
             self.context._begin_vertex(v)
             new_value = self.program.compute(
                 v, self.values[v], messages, self.context
@@ -112,6 +140,10 @@ class WorkerState:
             self.values[v] = new_value
             outbox, halted, aggregations = self.context._drain()
             self.halted[v] = halted
+            if halted:
+                self._unhalted.discard(v)
+            else:
+                self._unhalted.add(v)
             for dst, value in outbox:
                 outgoing.send(dst, value)
             for name, value in aggregations:
@@ -133,7 +165,7 @@ class WorkerState:
 
     def all_halted(self) -> bool:
         """True when every vertex of the partition voted to halt."""
-        return all(self.halted[v] for v in self.vertices)
+        return not self._unhalted
 
     def output(self) -> Dict[int, Any]:
         """Final per-vertex output of this partition."""

@@ -23,7 +23,7 @@ from repro.core.archive.store import ArchiveStore
 from repro.core.model.library import ModelLibrary, default_library
 from repro.core.process import EvaluationIteration, EvaluationProcess
 from repro.errors import ReproError
-from repro.platforms.base import Platform
+from repro.platforms.base import ENGINE_MODES, Platform
 from repro.platforms.faults import FaultPlan
 from repro.platforms.gas.engine import PowerGraphPlatform
 from repro.platforms.mapreduce.engine import HadoopPlatform
@@ -74,10 +74,17 @@ class WorkloadRunner:
         library: Optional[ModelLibrary] = None,
         store: Optional[ArchiveStore] = None,
         n_nodes: int = 8,
+        engine_mode: str = "auto",
     ):
+        if engine_mode not in ENGINE_MODES:
+            raise ReproError(
+                f"unknown engine mode {engine_mode!r}; "
+                f"expected one of {ENGINE_MODES}"
+            )
         self.library = library or default_library()
         self.store = store
         self.n_nodes = n_nodes
+        self.engine_mode = engine_mode
         self._platforms: Dict[str, Platform] = {}
         self._processes: Dict[str, EvaluationProcess] = {}
         self._results: Dict[str, EvaluationIteration] = {}
@@ -87,9 +94,13 @@ class WorkloadRunner:
         if name not in self._platforms:
             cluster = build_cluster(name, self.n_nodes)
             if name == "Giraph":
-                self._platforms[name] = GiraphPlatform(cluster)
+                self._platforms[name] = GiraphPlatform(
+                    cluster, engine_mode=self.engine_mode
+                )
             elif name == "PowerGraph":
-                self._platforms[name] = PowerGraphPlatform(cluster)
+                self._platforms[name] = PowerGraphPlatform(
+                    cluster, engine_mode=self.engine_mode
+                )
             elif name == "Hadoop":
                 self._platforms[name] = HadoopPlatform(cluster)
             elif name == "PGX.D":
