@@ -1,0 +1,53 @@
+"""Pipeline benchmark: generate→run→ingest→archive→analyze end to end.
+
+Times the experiment suite's run matrix serially against a cold
+artifact cache and again with a warm cache fanned out over worker
+processes, plus the monitoring→archive ingest stage alone (legacy
+per-record path vs streaming columnar path).  Writes
+``benchmarks/output/pipeline_bench.json`` as the trajectory artifact
+and asserts the accelerators actually pay off.
+
+``GRANULA_BENCH_SMALL=1`` shrinks the matrix for CI smoke runs (and
+relaxes the speedup floors — the dg100 matrix is too small to amortize
+process fan-out).  ``GRANULA_BENCH_JOBS`` overrides the worker count
+(default 4).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.pipeline_bench import (
+    run_pipeline_bench,
+    small_mode,
+    write_pipeline_bench,
+)
+
+#: Full-matrix speedup floors from the issue's acceptance criteria.
+FULL_END_TO_END_X = 3.0
+FULL_INGEST_X = 2.0
+
+#: Smoke-matrix floors: the accelerators must still win, just not by
+#: the full-matrix margin.
+SMALL_END_TO_END_X = 1.2
+SMALL_INGEST_X = 1.3
+
+
+def test_bench_pipeline(output_dir):
+    jobs = int(os.environ.get("GRANULA_BENCH_JOBS", "4"))
+    document = run_pipeline_bench(jobs=jobs)
+    write_pipeline_bench(output_dir / "pipeline_bench.json", document)
+
+    assert document["byte_identical_archives"], (
+        "parallel/warm archives diverged from the serial cold run"
+    )
+    assert document["ingest_archive"]["identical_archives"], (
+        "streaming ingest produced a different archive than the "
+        "legacy path"
+    )
+    end_to_end_floor = (
+        SMALL_END_TO_END_X if small_mode() else FULL_END_TO_END_X
+    )
+    ingest_floor = SMALL_INGEST_X if small_mode() else FULL_INGEST_X
+    assert document["end_to_end"]["speedup"] >= end_to_end_floor, document
+    assert document["ingest_archive"]["speedup"] >= ingest_floor, document

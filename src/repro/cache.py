@@ -1,0 +1,300 @@
+"""Content-addressed artifact cache for expensive derived arrays.
+
+Generating the scaled Datagen replicas and their greedy vertex cuts
+dominates the cold start of every experiment run, yet both are pure
+functions of their parameters.  This cache persists such artifacts as
+``.npy`` files keyed by the SHA-256 of the canonical parameter JSON
+(generator, params, seed, partitioner, ...), so a dataset is built once
+per machine instead of once per process.
+
+Layout: one directory per entry, ``<cache>/<k[:2]>/<key>/``, holding a
+``meta.json`` (kind, params, and a per-file checksum manifest) next to
+the arrays.  Writes stage into a temporary sibling directory and rename
+it into place, so readers never observe a half-written entry.  Reads
+verify every file's checksum before handing out arrays (as
+``np.load(mmap_mode="r")`` views); a mismatch — bit rot, truncation,
+hand-editing — deletes the entry and reports a miss, and the caller
+regenerates.  Cached artifacts are therefore *never* trusted over
+recomputation: a damaged cache degrades to a cold one.
+
+The cache root honours the ``GRANULA_CACHE_DIR`` environment variable
+(read on every use, so tests and CI can redirect it), falling back to
+``$XDG_CACHE_HOME/granula`` or ``~/.cache/granula``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Environment variable overriding the cache root.
+CACHE_DIR_ENV = "GRANULA_CACHE_DIR"
+
+_META_NAME = "meta.json"
+
+logger = logging.getLogger(__name__)
+
+
+class CacheError(ReproError):
+    """Errors while reading or writing the artifact cache."""
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$GRANULA_CACHE_DIR`` or ``~/.cache/granula``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "granula"
+
+
+def content_key(kind: str, params: Mapping[str, Any]) -> str:
+    """SHA-256 content address of an artifact recipe.
+
+    ``kind`` names the artifact family (``"datagen-csr"``,
+    ``"vertex-cut"``); ``params`` is everything the artifact is a pure
+    function of.  The digest is over canonical JSON (sorted keys,
+    compact separators), so key equality means recipe equality.
+    """
+    canonical = json.dumps(
+        {"kind": kind, "params": dict(params)},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One listed cache entry (for ``granula cache ls``)."""
+
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    nbytes: int
+    arrays: List[str]
+    path: Path
+
+
+class ArtifactCache:
+    """A directory of checksummed, content-addressed numpy artifacts."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self._directory = Path(directory) if directory is not None else None
+
+    @property
+    def directory(self) -> Path:
+        """The cache root (re-resolved from the environment when unset)."""
+        return self._directory if self._directory is not None \
+            else default_cache_dir()
+
+    def _entry_dir(self, key: str) -> Path:
+        if len(key) < 3 or any(c in key for c in "/\\."):
+            raise CacheError(f"malformed cache key {key!r}")
+        return self.directory / key[:2] / key
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Arrays of one entry, or None on miss *or damage*.
+
+        Every file is checksummed before use; an entry that fails
+        verification (or is structurally broken) is deleted and treated
+        as a miss, so corruption degrades to regeneration instead of
+        propagating bad data.  Returned arrays are read-only
+        ``np.load(mmap_mode="r")`` views.
+        """
+        entry = self._entry_dir(key)
+        meta_path = entry / _META_NAME
+        if not meta_path.is_file():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            manifest = meta["arrays"]
+            arrays: Dict[str, np.ndarray] = {}
+            for name, info in manifest.items():
+                path = entry / info["file"]
+                if _file_sha256(path) != info["sha256"]:
+                    raise CacheError(f"checksum mismatch on {path.name}")
+                arrays[name] = np.load(path, mmap_mode="r",
+                                       allow_pickle=False)
+        except (OSError, ValueError, KeyError, TypeError, CacheError) as exc:
+            logger.warning(
+                "artifact cache: dropping damaged entry %s (%s)", key, exc
+            )
+            self._remove_entry(entry)
+            return None
+        return arrays
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry's recorded kind/params, or None when absent."""
+        meta_path = self._entry_dir(key) / _META_NAME
+        if not meta_path.is_file():
+            return None
+        try:
+            return json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return (self._entry_dir(key) / _META_NAME).is_file()
+
+    # -- write -------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        kind: str = "",
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Store arrays under ``key`` (atomic; concurrent putters race
+        benignly — content addressing makes their entries identical)."""
+        if not arrays:
+            raise CacheError("refusing to cache an empty artifact")
+        entry = self._entry_dir(key)
+        if (entry / _META_NAME).is_file():
+            return
+        tmp = entry.with_name(f"{entry.name}.tmp-{os.getpid()}")
+        tmp.mkdir(parents=True, exist_ok=True)
+        try:
+            manifest: Dict[str, Dict[str, Any]] = {}
+            for name, array in arrays.items():
+                filename = f"{name}.npy"
+                np.save(tmp / filename, np.ascontiguousarray(array))
+                manifest[name] = {
+                    "file": filename,
+                    "sha256": _file_sha256(tmp / filename),
+                    "nbytes": (tmp / filename).stat().st_size,
+                }
+            meta = {
+                "kind": kind,
+                "params": dict(params or {}),
+                "arrays": manifest,
+            }
+            (tmp / _META_NAME).write_text(json.dumps(meta, indent=2,
+                                                     sort_keys=True))
+            try:
+                os.rename(tmp, entry)
+            except OSError:
+                # Lost the race (or leftovers): the existing entry wins.
+                shutil.rmtree(tmp, ignore_errors=True)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    # -- management --------------------------------------------------------
+
+    def _entry_dirs(self) -> List[Path]:
+        root = self.directory
+        if not root.is_dir():
+            return []
+        out: List[Path] = []
+        for shard in sorted(p for p in root.iterdir() if p.is_dir()):
+            out.extend(sorted(p for p in shard.iterdir() if p.is_dir()))
+        return out
+
+    @staticmethod
+    def _entry_size(entry: Path) -> int:
+        return sum(p.stat().st_size for p in entry.iterdir() if p.is_file())
+
+    def _remove_entry(self, entry: Path) -> None:
+        shutil.rmtree(entry, ignore_errors=True)
+        shard = entry.parent
+        try:
+            shard.rmdir()  # Only succeeds when the shard emptied out.
+        except OSError:
+            pass
+
+    def ls(self) -> List[CacheEntry]:
+        """All intact entries, sorted by key (damaged ones are skipped)."""
+        entries: List[CacheEntry] = []
+        for entry in self._entry_dirs():
+            try:
+                meta = json.loads((entry / _META_NAME).read_text())
+                entries.append(CacheEntry(
+                    key=entry.name,
+                    kind=str(meta.get("kind", "")),
+                    params=dict(meta.get("params", {})),
+                    nbytes=self._entry_size(entry),
+                    arrays=sorted(meta.get("arrays", {})),
+                    path=entry,
+                ))
+            except (OSError, ValueError, TypeError):
+                continue
+        return entries
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Collect garbage: broken entries always, cold entries to fit.
+
+        Removes entries without a readable manifest or with a failing
+        checksum, plus — when ``max_bytes`` is given — least-recently
+        used intact entries until the cache fits the budget.
+
+        Returns ``{"removed": n, "kept": m, "bytes": remaining}``.
+        """
+        removed = 0
+        intact: List[Path] = []
+        for entry in self._entry_dirs():
+            if entry.suffix.startswith(".tmp-") or ".tmp-" in entry.name:
+                self._remove_entry(entry)
+                removed += 1
+                continue
+            if self._verify(entry):
+                intact.append(entry)
+            else:
+                self._remove_entry(entry)
+                removed += 1
+        total = sum(self._entry_size(e) for e in intact)
+        if max_bytes is not None and total > max_bytes:
+            by_age = sorted(intact, key=lambda e: e.stat().st_mtime)
+            while by_age and total > max_bytes:
+                victim = by_age.pop(0)
+                total -= self._entry_size(victim)
+                self._remove_entry(victim)
+                intact.remove(victim)
+                removed += 1
+        return {"removed": removed, "kept": len(intact), "bytes": total}
+
+    def _verify(self, entry: Path) -> bool:
+        try:
+            meta = json.loads((entry / _META_NAME).read_text())
+            for info in meta["arrays"].values():
+                if _file_sha256(entry / info["file"]) != info["sha256"]:
+                    return False
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        entries = self._entry_dirs()
+        for entry in entries:
+            self._remove_entry(entry)
+        return len(entries)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the cache."""
+        return sum(self._entry_size(e) for e in self._entry_dirs())
+
+
+def default_cache() -> ArtifactCache:
+    """The process's cache over the environment-resolved directory."""
+    return ArtifactCache()

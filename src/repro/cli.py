@@ -4,15 +4,25 @@ Subcommands::
 
     granula table1                 print Table 1
     granula model <platform>       print a platform's model tree (Fig. 4)
-    granula run <platform> <alg> <dataset> [--workers N]
+    granula run <platform> <alg> <dataset> [--workers N] [--jobs N]
                 [--engine-mode auto|scalar|vectorized] [--out DIR]
                 [--faults plan.json]
-                                   run one monitored job, print Fig. 5,
-                                   optionally store the archive; with a
-                                   fault plan, inject the scheduled
-                                   faults and print the diagnosis
-    granula experiments [--out FILE]
+                                   run monitored jobs, print Fig. 5,
+                                   optionally store the archives; each
+                                   positional accepts a comma-separated
+                                   list (the product is the run matrix,
+                                   fanned out over --jobs processes);
+                                   with a fault plan (single runs only),
+                                   inject the scheduled faults and print
+                                   the diagnosis
+    granula experiments [--out FILE] [--jobs N] [--html FILE]
                                    reproduce every table/figure
+    granula bench [--jobs N] [--small] [--out FILE]
+                                   time the pipeline end to end and the
+                                   ingest/archive stage alone
+    granula cache ls|gc|clear [--max-bytes N]
+                                   inspect or prune the shared artifact
+                                   cache (GRANULA_CACHE_DIR)
     granula report <archive.json> [--html FILE]
                                    render a stored archive
     granula diagnose <archive.json> [--compute-mission NAME]
@@ -71,19 +81,46 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Platform names the runner can build clusters for.
+RUN_PLATFORMS = ("Giraph", "PowerGraph", "Hadoop", "PGX.D")
+
+
+def _split_matrix(value: str, what: str) -> List[str]:
+    """Split a comma-separated CLI axis, rejecting empty items."""
+    items = [item.strip() for item in value.split(",")]
+    if not all(items):
+        raise ReproError(f"empty {what} in {value!r}")
+    return items
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    store = ArchiveStore(args.out) if args.out else None
-    runner = WorkloadRunner(store=store, engine_mode=args.engine_mode)
-    spec = WorkloadSpec(
-        platform=args.platform,
-        algorithm=args.algorithm,
-        dataset=args.dataset,
-        workers=args.workers,
-    )
+    from repro.workloads.parallel import RunRequest
+
+    platforms = _split_matrix(args.platform, "platform")
+    algorithms = _split_matrix(args.algorithm, "algorithm")
+    datasets = _split_matrix(args.dataset, "dataset")
+    for platform in platforms:
+        if platform not in RUN_PLATFORMS:
+            raise ReproError(
+                f"unsupported platform {platform!r}; "
+                f"expected one of {', '.join(RUN_PLATFORMS)}"
+            )
+    specs = [
+        WorkloadSpec(platform=platform, algorithm=algorithm,
+                     dataset=dataset, workers=args.workers)
+        for platform in platforms
+        for algorithm in algorithms
+        for dataset in datasets
+    ]
     faults = None
     if args.faults:
         from repro.platforms.faults import FaultPlan
 
+        if len(specs) > 1:
+            raise ReproError(
+                "--faults applies to a single run; drop the "
+                "comma-separated matrix or the fault plan"
+            )
         try:
             plan_text = Path(args.faults).read_text()
         except OSError as exc:
@@ -94,34 +131,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"fault plan {faults.signature()} armed "
               f"({len(faults.events)} scheduled event(s), "
               f"seed {faults.seed})\n")
-    iteration = runner.run(spec, faults=faults)
-    print(iteration.breakdown.render_text())
-    print()
-    print(iteration.utilization.render_text())
-    if iteration.gantt is not None:
-        print()
-        print(iteration.gantt.render_text())
-    if faults is not None:
-        from repro.core.analysis.diagnosis import diagnose, render_findings
 
-        compute_mission = (
-            "Gather" if args.platform == "PowerGraph" else "Compute"
-        )
+    store = ArchiveStore(args.out) if args.out else None
+    runner = WorkloadRunner(store=store, engine_mode=args.engine_mode)
+    requests = [RunRequest(spec, faults=faults) for spec in specs]
+    iterations = runner.run_many(requests, jobs=args.jobs)
+    for spec, iteration in zip(specs, iterations):
+        if len(specs) > 1:
+            print(f"==== {spec.label()} ====")
+        print(iteration.breakdown.render_text())
         print()
-        print(render_findings(diagnose(iteration.archive, compute_mission)))
+        print(iteration.utilization.render_text())
+        if iteration.gantt is not None:
+            print()
+            print(iteration.gantt.render_text())
+        if faults is not None:
+            from repro.core.analysis.diagnosis import (
+                diagnose,
+                render_findings,
+            )
+
+            compute_mission = (
+                "Gather" if spec.platform == "PowerGraph" else "Compute"
+            )
+            print()
+            print(render_findings(
+                diagnose(iteration.archive, compute_mission)
+            ))
+        if len(specs) > 1:
+            print()
     if store is not None:
         print(f"\narchive stored under {args.out}/")
     return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    results = run_all()
+    from repro.experiments.report import render_html, shared_runner
+
+    runner = shared_runner()
+    results = run_all(runner, jobs=args.jobs)
     for result in results:
         print(result.summary_line())
     if args.out:
         Path(args.out).write_text(render_markdown(results))
         print(f"report written to {args.out}")
+    if args.html:
+        Path(args.html).write_text(render_html(runner))
+        print(f"HTML report written to {args.html}")
     return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.pipeline_bench import (
+        render_pipeline_bench,
+        run_pipeline_bench,
+        write_pipeline_bench,
+    )
+
+    document = run_pipeline_bench(
+        jobs=args.jobs,
+        small=True if args.small else None,
+    )
+    print(render_pipeline_bench(document))
+    if args.out:
+        write_pipeline_bench(args.out, document)
+        print(f"benchmark artifact written to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import default_cache
+
+    cache = default_cache()
+    if args.action == "ls":
+        entries = cache.ls()
+        for entry in entries:
+            print(f"{entry.key}  {entry.kind:<12} {entry.nbytes:>12,}  "
+                  f"{entry.params}")
+        total = sum(entry.nbytes for entry in entries)
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              f"{total:,} bytes under {cache.directory}")
+        return 0
+    if args.action == "gc":
+        stats = cache.gc(max_bytes=args.max_bytes)
+        print(f"removed {stats['removed']} entr"
+              f"{'y' if stats['removed'] == 1 else 'ies'}, "
+              f"kept {stats['kept']} ({stats['bytes']:,} bytes)")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.directory}")
+    return 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -282,12 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
         "models", help="list the performance-model library",
     ).set_defaults(func=_cmd_models)
 
-    p_run = sub.add_parser("run", help="run one monitored job")
+    p_run = sub.add_parser(
+        "run",
+        help="run monitored jobs (comma-separate any axis for a matrix)")
     p_run.add_argument("platform",
-                       choices=["Giraph", "PowerGraph", "Hadoop", "PGX.D"])
-    p_run.add_argument("algorithm")
-    p_run.add_argument("dataset")
+                       help="platform name, or a comma-separated list "
+                            f"({', '.join(RUN_PLATFORMS)})")
+    p_run.add_argument("algorithm",
+                       help="algorithm name, or a comma-separated list")
+    p_run.add_argument("dataset",
+                       help="dataset name, or a comma-separated list")
     p_run.add_argument("--workers", type=int, default=8)
+    p_run.add_argument("--jobs", type=int, default=None,
+                       help="fan independent runs out over N worker "
+                            "processes (archives stay byte-identical to "
+                            "a serial run)")
     p_run.add_argument("--engine-mode", choices=ENGINE_MODES, default="auto",
                        help="execution backend: auto picks the vectorized "
                             "kernels when the algorithm has one, scalar "
@@ -296,13 +405,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", help="archive store directory")
     p_run.add_argument("--faults",
                        help="fault-plan JSON file to inject "
-                            "(see repro.platforms.faults.FaultPlan)")
+                            "(see repro.platforms.faults.FaultPlan); "
+                            "single runs only")
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiments",
                            help="reproduce every paper table/figure")
     p_exp.add_argument("--out", help="write EXPERIMENTS.md here")
+    p_exp.add_argument("--jobs", type=int, default=None,
+                       help="fan the experiment workloads out over N "
+                            "worker processes")
+    p_exp.add_argument("--html", help="also write the HTML report here")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the monitoring->archiving->analysis pipeline "
+             "(end-to-end + ingest/archive stages)")
+    p_bench.add_argument("--jobs", type=int, default=4,
+                         help="worker processes for the warm parallel "
+                              "phase (default 4)")
+    p_bench.add_argument("--small", action="store_true",
+                         help="CI-smoke matrix (dg100-scaled only)")
+    p_bench.add_argument("--out",
+                         help="write the benchmark JSON artifact here")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the content-addressed "
+                      "artifact cache")
+    p_cache.add_argument("action", choices=["ls", "gc", "clear"],
+                         help="ls: list entries; gc: drop damaged (and, "
+                              "with --max-bytes, cold) entries; clear: "
+                              "remove everything")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="gc: evict least-recently used entries "
+                              "until the cache fits this budget")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser("report", help="render a stored archive")
     p_rep.add_argument("archive", help="path to an archive JSON file")

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ClusterError
 
 
@@ -122,17 +124,21 @@ class CpuAccount:
             raise ClusterError(f"sample step must be positive, got {step}")
         if t1 < t0:
             raise ClusterError(f"invalid sample window [{t0}, {t1})")
-        times: List[float] = []
-        values: List[float] = []
         n = int(math.ceil((t1 - t0) / step)) if t1 > t0 else 0
-        for i in range(n):
-            lo = t0 + i * step
-            hi = min(lo + step, t1)
-            width = hi - lo
-            cpu = self.cpu_seconds_between(lo, hi)
-            times.append(lo)
-            values.append(cpu / width if width > 0 else 0.0)
-        return UsageSeries(times=times, values=values, step=step)
+        # All windows at once; the fold over intervals stays sequential
+        # so each window accumulates in insertion order (bit-identical
+        # to summing overlap() per window).
+        lo = t0 + np.arange(n, dtype=np.float64) * step
+        hi = np.minimum(lo + step, t1)
+        width = hi - lo
+        cpu = np.zeros(n, dtype=np.float64)
+        for iv in self._intervals:
+            span = np.minimum(iv.end, hi) - np.maximum(iv.start, lo)
+            cpu += np.where(span > 0.0, iv.cores * span, 0.0)
+        values = np.divide(cpu, width, out=np.zeros(n, dtype=np.float64),
+                           where=width > 0)
+        return UsageSeries(times=lo.tolist(), values=values.tolist(),
+                           step=step)
 
     def by_tag(self) -> dict:
         """CPU seconds aggregated per tag."""

@@ -5,7 +5,8 @@ stored in a performance archive with a standardized format.  This
 performance archive encapsulates the performance results of each job,
 and allows users to query the contents systematically."
 
-Archives carry a payload checksum (format version 2) and can be
+Archives carry a payload checksum (since format version 2), store their
+operation tree in columnar form (format version 3), and can be
 validated, repaired, and salvage-loaded when damaged — see
 :mod:`repro.core.archive.integrity`.
 """
@@ -21,7 +22,7 @@ from repro.core.archive.integrity import (
 )
 from repro.core.archive.query import ArchiveQuery
 from repro.core.archive.serialize import archive_from_json, archive_to_json
-from repro.core.archive.store import ArchiveStore
+from repro.core.archive.store import ArchiveHandle, ArchiveStore
 
 __all__ = [
     "ArchivedOperation",
@@ -30,6 +31,7 @@ __all__ = [
     "ArchiveQuery",
     "archive_to_json",
     "archive_from_json",
+    "ArchiveHandle",
     "ArchiveStore",
     "ValidationFinding",
     "validate_archive",

@@ -134,8 +134,11 @@ class PerformanceArchive:
 
     #: Archive format version (serialization compatibility).  Version 2
     #: added the ``integrity`` block (payload checksum) and provenance
-    #: markers; version-1 archives are still readable.
-    FORMAT_VERSION = 2
+    #: markers; version 3 stores the operation tree in columnar form
+    #: (parallel arrays in pre-order) so large archives encode, decode
+    #: and index without walking a nested object tree.  Version-1 and
+    #: version-2 archives are still readable.
+    FORMAT_VERSION = 3
 
     def __init__(
         self,

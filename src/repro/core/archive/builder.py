@@ -19,7 +19,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.model.job import JobModel
 from repro.core.model.rules import DurationRule
-from repro.core.monitor.records import LogRecord, coerce_info_value
+from repro.core.monitor.records import (
+    LogRecord,
+    RecordColumns,
+    coerce_info_value,
+)
 from repro.core.monitor.session import MonitoredRun
 from repro.errors import ArchiveBuildError
 
@@ -64,7 +68,11 @@ def build_archive(
         (archive, build report)
     """
     report = BuildReport()
-    root = _build_tree(run.records, report)
+    columns = getattr(run, "columns", None)
+    if columns is not None:
+        root = _build_tree_columns(columns, report)
+    else:
+        root = _build_tree(run.records, report)
     if model is not None:
         _filter(root, model, report)
     _derive(root, model, report)
@@ -132,6 +140,87 @@ def _build_tree(records: List[LogRecord], report: BuildReport) -> ArchivedOperat
                 )
             op.infos[record.info_name] = coerce_info_value(
                 record.info_value or ""
+            )
+            report.infos_recorded += 1
+
+    if not roots:
+        raise ArchiveBuildError("log contains no root operation")
+    if len(roots) > 1:
+        raise ArchiveBuildError(
+            f"log contains {len(roots)} root operations: "
+            f"{[r.mission for r in roots]}"
+        )
+    dangling = [op.mission for op in roots[0].walk() if op.end_time is None]
+    if dangling:
+        raise ArchiveBuildError(
+            f"{len(dangling)} operations never ended "
+            f"(e.g. {dangling[:3]}); incomplete log?"
+        )
+    return roots[0]
+
+
+def _build_tree_columns(
+    columns: RecordColumns,
+    report: BuildReport,
+) -> ArchivedOperation:
+    """Columnar twin of :func:`_build_tree` (the ingest fast path).
+
+    Scans the raw columns instead of record objects; structure checks
+    and :class:`~repro.errors.ArchiveBuildError` messages are identical
+    to the record-stream path, so both produce the same archive for the
+    same log.
+    """
+    by_uid: Dict[str, ArchivedOperation] = {}
+    roots: List[ArchivedOperation] = []
+    events = columns.event
+    uids = columns.uid
+    timestamps = columns.timestamp
+    for i in range(len(columns)):
+        event = events[i]
+        uid = uids[i]
+        if event == "start":
+            if uid in by_uid:
+                raise ArchiveBuildError(
+                    f"operation {uid} started twice"
+                )
+            op = ArchivedOperation(
+                uid=uid,
+                mission=columns.mission[i] or "",
+                actor=columns.actor[i] or "",
+                start_time=timestamps[i],
+            )
+            by_uid[uid] = op
+            parent_uid = columns.parent_uid[i]
+            if parent_uid is None:
+                roots.append(op)
+            else:
+                parent = by_uid.get(parent_uid)
+                if parent is None:
+                    raise ArchiveBuildError(
+                        f"operation {uid} references unknown parent "
+                        f"{parent_uid}"
+                    )
+                op.parent = parent
+                parent.children.append(op)
+        elif event == "end":
+            op = by_uid.get(uid)
+            if op is None:
+                raise ArchiveBuildError(
+                    f"end event for unknown operation {uid}"
+                )
+            if op.end_time is not None:
+                raise ArchiveBuildError(
+                    f"operation {uid} ended twice"
+                )
+            op.end_time = timestamps[i]
+        else:  # info
+            op = by_uid.get(uid)
+            if op is None:
+                raise ArchiveBuildError(
+                    f"info event for unknown operation {uid}"
+                )
+            op.infos[columns.info_name[i]] = coerce_info_value(
+                columns.info_value[i] or ""
             )
             report.infos_recorded += 1
 

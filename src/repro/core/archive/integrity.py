@@ -25,8 +25,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.archive.serialize import (
+    INFO_COLUMNS,
+    OPERATION_COLUMNS,
     SUPPORTED_VERSIONS,
     _decode_value,
+    is_columnar,
     payload_checksum,
 )
 
@@ -437,6 +440,133 @@ def _lenient_operation(
     return op
 
 
+def _lenient_columnar(
+    data: Dict[str, Any],
+    findings: List[ValidationFinding],
+    seen_uids: Dict[str, int],
+) -> Optional[ArchivedOperation]:
+    """Coerce a columnar operations block, reporting every concession.
+
+    The v3 layout keeps its operation columns before the info table and
+    the environment, so a crash-truncated file usually retains complete
+    ``uid``/``mission``/``actor`` columns and loses the tails of the
+    later ones.  Short columns are padded (``None``), invalid parents
+    are reattached to the root, and damaged info rows are dropped —
+    each with a finding.
+    """
+    columns: Dict[str, List[Any]] = {}
+    for name in OPERATION_COLUMNS + INFO_COLUMNS:
+        column = data.get(name)
+        if not isinstance(column, list):
+            if column is not None:
+                findings.append(ValidationFinding(
+                    "bad-field", "warning", "<operations>",
+                    f"column {name} is {type(column).__name__}, "
+                    f"not a list; dropped",
+                ))
+            column = []
+        columns[name] = column
+    count = max(len(columns[name]) for name in OPERATION_COLUMNS)
+    if count == 0:
+        findings.append(ValidationFinding(
+            "bad-operation", "error", "<operations>",
+            "columnar operations block carries no operations",
+        ))
+        return None
+    declared = data.get("count")
+    if declared != count:
+        findings.append(ValidationFinding(
+            "bad-field", "warning", "<operations>",
+            f"declared count {declared!r} != longest column ({count}); "
+            f"using the columns",
+        ))
+    padded = sum(
+        count - len(columns[name])
+        for name in OPERATION_COLUMNS
+        if len(columns[name]) < count
+    )
+    if padded:
+        findings.append(ValidationFinding(
+            "truncated-columns", "error", "<operations>",
+            f"operation columns truncated: padded {padded} missing "
+            f"cell(s)",
+        ))
+
+    def cell(name: str, index: int) -> Any:
+        column = columns[name]
+        return column[index] if index < len(column) else None
+
+    ops: List[ArchivedOperation] = []
+    for i in range(count):
+        uid = cell("uid", i)
+        if not isinstance(uid, str) or not uid:
+            uid = f"salvage:anon-{len(seen_uids) + 1}"
+            findings.append(ValidationFinding(
+                "bad-field", "warning", uid,
+                "operation without uid; renamed",
+            ))
+        if uid in seen_uids:
+            seen_uids[uid] += 1
+            renamed = f"{uid}#dup{seen_uids[uid]}"
+            findings.append(ValidationFinding(
+                "duplicate-uid", "error", uid,
+                f"uid repeated; instance renamed to {renamed!r}",
+            ))
+            uid = renamed
+        seen_uids.setdefault(uid, 1)
+
+        def timestamp(name: str) -> Optional[float]:
+            value = cell(name, i)
+            if value is None or isinstance(value, (int, float)):
+                return value
+            findings.append(ValidationFinding(
+                "bad-field", "warning", uid,
+                f"{name} is {value!r}, not a timestamp; dropped",
+            ))
+            return None
+
+        op = ArchivedOperation(
+            uid=uid,
+            mission=str(cell("mission", i) or "Unknown"),
+            actor=str(cell("actor", i) or "unknown"),
+            start_time=timestamp("start"),
+            end_time=timestamp("end"),
+        )
+        if i > 0:
+            parent_index = cell("parent", i)
+            if not isinstance(parent_index, int) or not (
+                0 <= parent_index < i
+            ):
+                findings.append(ValidationFinding(
+                    "bad-field", "warning", uid,
+                    f"parent {parent_index!r} invalid; attached to root",
+                ))
+                parent_index = 0
+            op.parent = ops[parent_index]
+            ops[parent_index].children.append(op)
+        ops.append(op)
+
+    info_rows = max(len(columns[name]) for name in INFO_COLUMNS)
+    dropped_infos = 0
+    for row in range(info_rows):
+        op_index = cell("info_op", row)
+        key = cell("info_key", row)
+        if (
+            not isinstance(op_index, int)
+            or not (0 <= op_index < count)
+            or not isinstance(key, str)
+        ):
+            dropped_infos += 1
+            continue
+        ops[op_index].infos[key] = _decode_value(cell("info_value", row))
+    if dropped_infos:
+        findings.append(ValidationFinding(
+            "bad-field", "warning", "<operations>",
+            f"{dropped_infos} damaged info row(s) dropped",
+        ))
+    return ops[0]
+
+
 def _document_findings(
     document: Dict[str, Any],
 ) -> List[ValidationFinding]:
@@ -466,10 +596,10 @@ def _document_findings(
                 f"stored {str(expected)[:16]}…, computed {actual[:16]}… — "
                 f"payload was modified after writing",
             ))
-    elif version == PerformanceArchive.FORMAT_VERSION:
+    elif isinstance(version, int) and version >= 2:
         findings.append(ValidationFinding(
             "checksum-missing", "warning", "<document>",
-            "version-2 archive without an integrity block",
+            f"version-{version} archive without an integrity block",
         ))
     return findings
 
@@ -526,7 +656,10 @@ def load_salvaged(
         ))
         return None, sort_findings(findings)
     seen_uids: Dict[str, int] = {}
-    root = _lenient_operation(operations, findings, seen_uids)
+    if is_columnar(operations):
+        root = _lenient_columnar(operations, findings, seen_uids)
+    else:
+        root = _lenient_operation(operations, findings, seen_uids)
     if root is None:
         return None, sort_findings(findings)
 

@@ -6,9 +6,15 @@ archives can be exchanged, diffed and queried outside this library.
 
 Format version 2 embeds an ``integrity`` block: a SHA-256 checksum over
 the canonical payload, so bit rot or hand-editing is detected at load
-time instead of silently skewing an analysis.  Version-1 archives (no
-checksum) remain readable.  For loading *damaged* archives without
-raising, see :mod:`repro.core.archive.integrity`.
+time instead of silently skewing an analysis.  Format version 3 encodes
+the operation tree in **columnar** form: parallel arrays in pre-order
+(``parent[i] < i``) plus a flattened info table, so encoding, decoding
+and point queries over large archives cost a handful of list scans
+instead of a recursive walk over nested objects.  Version-1 (no
+checksum) and version-2 (nested operations) archives remain readable,
+and ``archive_to_document(..., version=2)`` still writes the nested
+layout for consumers that expect it.  For loading *damaged* archives
+without raising, see :mod:`repro.core.archive.integrity`.
 """
 
 from __future__ import annotations
@@ -16,16 +22,23 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.errors import ArchiveError, ArchiveIntegrityError
 
 #: Format versions this reader accepts.
-SUPPORTED_VERSIONS = (1, PerformanceArchive.FORMAT_VERSION)
+SUPPORTED_VERSIONS = (1, 2, PerformanceArchive.FORMAT_VERSION)
 
 #: Checksum algorithm recorded in the integrity block.
 CHECKSUM_ALGORITHM = "sha256"
+
+#: The ``layout`` marker of a columnar operations block.
+COLUMNAR_LAYOUT = "columnar"
+
+#: Column names of the columnar operations block, in document order.
+OPERATION_COLUMNS = ("uid", "mission", "actor", "parent", "start", "end")
+INFO_COLUMNS = ("info_op", "info_key", "info_value")
 
 
 def _encode_value(value: Any) -> Any:
@@ -74,6 +87,132 @@ def _operation_from_dict(data: Dict[str, Any]) -> ArchivedOperation:
     return op
 
 
+def operations_to_columns(root: ArchivedOperation) -> Dict[str, Any]:
+    """The operation tree as parallel pre-order columns.
+
+    ``parent`` holds the pre-order index of each operation's parent
+    (``-1`` for the root); pre-order guarantees ``parent[i] < i``, so a
+    decoder can rebuild the tree in one forward pass.  Infos are
+    flattened into a three-column table (operation index, key, value)
+    in traversal order.
+    """
+    uid: List[str] = []
+    mission: List[str] = []
+    actor: List[str] = []
+    parent: List[int] = []
+    start: List[Optional[float]] = []
+    end: List[Optional[float]] = []
+    info_op: List[int] = []
+    info_key: List[str] = []
+    info_value: List[Any] = []
+
+    stack: List[tuple] = [(root, -1)]
+    while stack:
+        op, parent_index = stack.pop()
+        index = len(uid)
+        uid.append(op.uid)
+        mission.append(op.mission)
+        actor.append(op.actor)
+        parent.append(parent_index)
+        start.append(op.start_time)
+        end.append(op.end_time)
+        for key, value in op.infos.items():
+            info_op.append(index)
+            info_key.append(key)
+            info_value.append(_encode_value(value))
+        stack.extend(
+            (child, index) for child in reversed(op.children)
+        )
+    return {
+        "layout": COLUMNAR_LAYOUT,
+        "count": len(uid),
+        "uid": uid,
+        "mission": mission,
+        "actor": actor,
+        "parent": parent,
+        "start": start,
+        "end": end,
+        "info_op": info_op,
+        "info_key": info_key,
+        "info_value": info_value,
+    }
+
+
+def operations_from_columns(data: Dict[str, Any]) -> ArchivedOperation:
+    """Rebuild the operation tree from its columnar encoding (strict)."""
+    count = data.get("count")
+    columns = {name: data.get(name) for name in OPERATION_COLUMNS}
+    infos = {name: data.get(name) for name in INFO_COLUMNS}
+    for name, column in {**columns, **infos}.items():
+        if not isinstance(column, list):
+            raise ArchiveError(
+                f"columnar operations: {name} is "
+                f"{type(column).__name__}, not a list"
+            )
+    if not isinstance(count, int) or any(
+        len(column) != count for column in columns.values()
+    ):
+        raise ArchiveError(
+            "columnar operations: count does not match column lengths"
+        )
+    if count == 0:
+        raise ArchiveError("columnar operations: empty archive")
+    if any(len(column) != len(infos["info_op"]) for column in infos.values()):
+        raise ArchiveError(
+            "columnar operations: info columns have unequal lengths"
+        )
+
+    ops: List[ArchivedOperation] = []
+    for i in range(count):
+        op = ArchivedOperation(
+            uid=columns["uid"][i],
+            mission=columns["mission"][i],
+            actor=columns["actor"][i],
+            start_time=columns["start"][i],
+            end_time=columns["end"][i],
+        )
+        parent_index = columns["parent"][i]
+        if i == 0:
+            if parent_index != -1:
+                raise ArchiveError(
+                    f"columnar operations: root parent is "
+                    f"{parent_index!r}, expected -1"
+                )
+        else:
+            if not isinstance(parent_index, int) or not (
+                0 <= parent_index < i
+            ):
+                raise ArchiveError(
+                    f"columnar operations: operation {i} has parent "
+                    f"{parent_index!r}; pre-order requires 0 <= parent < {i}"
+                )
+            op.parent = ops[parent_index]
+            ops[parent_index].children.append(op)
+        ops.append(op)
+    for op_index, key, value in zip(
+        infos["info_op"], infos["info_key"], infos["info_value"]
+    ):
+        if not isinstance(op_index, int) or not (0 <= op_index < count):
+            raise ArchiveError(
+                f"columnar operations: info row references operation "
+                f"{op_index!r} of {count}"
+            )
+        ops[op_index].infos[key] = _decode_value(value)
+    return ops[0]
+
+
+def is_columnar(operations: Any) -> bool:
+    """Whether an operations block uses the columnar (v3) layout.
+
+    Dispatch is by shape, not by the document's declared version, so a
+    mislabeled or relabeled document still decodes.
+    """
+    return isinstance(operations, dict) and (
+        operations.get("layout") == COLUMNAR_LAYOUT
+        or isinstance(operations.get("uid"), list)
+    )
+
+
 def payload_checksum(document: Dict[str, Any]) -> str:
     """SHA-256 over the canonical payload of an archive document.
 
@@ -91,20 +230,46 @@ def payload_checksum(document: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def archive_to_document(archive: PerformanceArchive) -> Dict[str, Any]:
-    """The archive as its standardized document mapping (with checksum)."""
-    document = {
-        "format": "granula-archive",
-        "format_version": PerformanceArchive.FORMAT_VERSION,
-        "job_id": archive.job_id,
-        "platform": archive.platform,
-        "metadata": archive.metadata,
-        "environment": [
-            {"ts": ts, "node": node, "cpu": cpu}
-            for ts, node, cpu in archive.env_samples
-        ],
-        "operations": _operation_to_dict(archive.root),
-    }
+def archive_to_document(
+    archive: PerformanceArchive,
+    version: int = PerformanceArchive.FORMAT_VERSION,
+) -> Dict[str, Any]:
+    """The archive as its standardized document mapping (with checksum).
+
+    ``version=2`` writes the legacy nested-operations layout for
+    consumers that have not adopted the columnar format.  The current
+    version puts ``operations`` before ``environment`` so the payload
+    most valuable to salvage sits earliest in a crash-truncated file.
+    """
+    if version not in (2, PerformanceArchive.FORMAT_VERSION):
+        raise ArchiveError(
+            f"cannot write archive format version {version!r} "
+            f"(writable: [2, {PerformanceArchive.FORMAT_VERSION}])"
+        )
+    environment = [
+        {"ts": ts, "node": node, "cpu": cpu}
+        for ts, node, cpu in archive.env_samples
+    ]
+    if version == 2:
+        document = {
+            "format": "granula-archive",
+            "format_version": 2,
+            "job_id": archive.job_id,
+            "platform": archive.platform,
+            "metadata": archive.metadata,
+            "environment": environment,
+            "operations": _operation_to_dict(archive.root),
+        }
+    else:
+        document = {
+            "format": "granula-archive",
+            "format_version": version,
+            "job_id": archive.job_id,
+            "platform": archive.platform,
+            "metadata": archive.metadata,
+            "operations": operations_to_columns(archive.root),
+            "environment": environment,
+        }
     document["integrity"] = {
         "algorithm": CHECKSUM_ALGORITHM,
         "checksum": payload_checksum(document),
@@ -112,15 +277,34 @@ def archive_to_document(archive: PerformanceArchive) -> Dict[str, Any]:
     return document
 
 
-def archive_to_json(archive: PerformanceArchive, indent: int = 2) -> str:
-    """Serialize an archive to its standardized JSON text."""
-    return json.dumps(archive_to_document(archive), indent=indent,
+def archive_to_json(
+    archive: PerformanceArchive,
+    indent: Optional[int] = None,
+    version: int = PerformanceArchive.FORMAT_VERSION,
+) -> str:
+    """Serialize an archive to its standardized JSON text.
+
+    Columnar (v3) documents render compact: the format is machine
+    oriented, and compact output keeps the C encoder engaged — part of
+    the streaming ingest fast path.  Legacy versions keep their
+    human-readable two-space indent.  Pass ``indent`` to override the
+    format default.
+    """
+    document = archive_to_document(archive, version=version)
+    if indent is None and version >= 3:
+        return json.dumps(document, separators=(",", ":"),
+                          sort_keys=False)
+    return json.dumps(document, indent=2 if indent is None else indent,
                       sort_keys=False)
 
 
 def document_to_archive(document: Dict[str, Any]) -> PerformanceArchive:
     """Build the archive from an already-parsed document (no checksum)."""
-    root = _operation_from_dict(document["operations"])
+    operations = document["operations"]
+    if is_columnar(operations):
+        root = operations_from_columns(operations)
+    else:
+        root = _operation_from_dict(operations)
     env = [
         (sample["ts"], sample["node"], sample["cpu"])
         for sample in document.get("environment", [])
@@ -134,13 +318,14 @@ def document_to_archive(document: Dict[str, Any]) -> PerformanceArchive:
     )
 
 
-def archive_from_json(text: str, verify: bool = True) -> PerformanceArchive:
-    """Parse the standardized JSON text back into an archive.
+def parse_document(text: str, verify: bool = True) -> Dict[str, Any]:
+    """Parse and vet archive text into its document mapping.
 
-    Raises typed errors on damage (:class:`ArchiveIntegrityError` on a
-    checksum mismatch or unsupported version); for best-effort loading
-    of damaged archives use
-    :func:`repro.core.archive.integrity.load_salvaged` instead.
+    Checks the envelope (format marker, supported version) and, with
+    ``verify``, the integrity checksum — everything
+    :func:`archive_from_json` checks short of building the operation
+    tree.  Lazy consumers (the store index, point queries) use this to
+    read headline fields without paying for tree construction.
     """
     try:
         document = json.loads(text)
@@ -172,4 +357,15 @@ def archive_from_json(text: str, verify: bool = True) -> PerformanceArchive:
                     f"{expected!r}, computed {actual!r} — the file was "
                     f"modified or corrupted after it was written"
                 )
-    return document_to_archive(document)
+    return document
+
+
+def archive_from_json(text: str, verify: bool = True) -> PerformanceArchive:
+    """Parse the standardized JSON text back into an archive.
+
+    Raises typed errors on damage (:class:`ArchiveIntegrityError` on a
+    checksum mismatch or unsupported version); for best-effort loading
+    of damaged archives use
+    :func:`repro.core.archive.integrity.load_salvaged` instead.
+    """
+    return document_to_archive(parse_document(text, verify=verify))

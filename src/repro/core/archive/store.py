@@ -19,7 +19,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.archive.archive import PerformanceArchive
-from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.core.archive.serialize import (
+    archive_to_json,
+    document_to_archive,
+    is_columnar,
+    parse_document,
+)
 from repro.errors import ArchiveError
 
 _INDEX_NAME = "index.json"
@@ -38,6 +43,96 @@ def atomic_write_text(path: Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+class ArchiveHandle:
+    """Lazy access to one stored archive file.
+
+    Parsing the JSON and vetting the envelope (format, version,
+    checksum) happens on first access; headline fields — job id,
+    platform, metadata, makespan, operation count — come straight off
+    the document, which for columnar (v3) archives means two list
+    lookups instead of building the operation tree.  The tree is only
+    constructed when :meth:`archive` is called, and cached.
+    """
+
+    def __init__(self, path: Union[str, Path], verify: bool = True):
+        self.path = Path(path)
+        self._verify = verify
+        self._document: Optional[Dict] = None
+        self._archive: Optional[PerformanceArchive] = None
+
+    @property
+    def document(self) -> Dict:
+        """The parsed, envelope-checked document mapping."""
+        if self._document is None:
+            self._document = parse_document(
+                self.path.read_text(), verify=self._verify
+            )
+        return self._document
+
+    @property
+    def job_id(self) -> str:
+        """The archived job's id."""
+        job_id = self.document.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ArchiveError(
+                f"archive {self.path.name} carries no job id"
+            )
+        return job_id
+
+    @property
+    def platform(self) -> str:
+        """The archived job's platform name."""
+        return str(self.document.get("platform") or "")
+
+    @property
+    def metadata(self) -> Dict:
+        """The archive's metadata mapping."""
+        metadata = self.document.get("metadata")
+        return metadata if isinstance(metadata, dict) else {}
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Root operation duration, read without tree construction."""
+        operations = self.document.get("operations")
+        if is_columnar(operations):
+            starts = operations.get("start")
+            ends = operations.get("end")
+            start = starts[0] if isinstance(starts, list) and starts else None
+            end = ends[0] if isinstance(ends, list) and ends else None
+        elif isinstance(operations, dict):
+            start = operations.get("start")
+            end = operations.get("end")
+        else:
+            return None
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+            return end - start
+        return None
+
+    def size(self) -> int:
+        """Number of archived operations, without tree construction."""
+        operations = self.document.get("operations")
+        if is_columnar(operations):
+            uid = operations.get("uid")
+            return len(uid) if isinstance(uid, list) else 0
+        if not isinstance(operations, dict):
+            return 0
+        count = 0
+        stack = [operations]
+        while stack:
+            node = stack.pop()
+            count += 1
+            children = node.get("children")
+            if isinstance(children, list):
+                stack.extend(c for c in children if isinstance(c, dict))
+        return count
+
+    def archive(self) -> PerformanceArchive:
+        """Materialize (and cache) the full archive."""
+        if self._archive is None:
+            self._archive = document_to_archive(self.document)
+        return self._archive
 
 
 class ArchiveStore:
@@ -106,15 +201,21 @@ class ArchiveStore:
         """
         index: Dict[str, Dict] = {}
         for path in self._archive_paths():
+            handle = ArchiveHandle(path)
             try:
-                archive = archive_from_json(path.read_text())
+                index[handle.job_id] = {
+                    "platform": handle.platform,
+                    "algorithm": handle.metadata.get("algorithm", ""),
+                    "dataset": handle.metadata.get("dataset", ""),
+                    "makespan": handle.makespan,
+                    "operations": handle.size(),
+                }
             except (ArchiveError, OSError, UnicodeDecodeError) as exc:
                 logger.warning(
                     "archive store %s: skipping unreadable archive %s (%s)",
                     self.directory, path.name, exc,
                 )
                 continue
-            index[archive.job_id] = self._entry(archive)
         self._index = index
         self._save_index()
         return dict(index)
@@ -146,12 +247,16 @@ class ArchiveStore:
         self._save_index()
         return path
 
-    def load(self, job_id: str) -> PerformanceArchive:
-        """Load one archive by job id."""
+    def handle(self, job_id: str) -> ArchiveHandle:
+        """Lazy handle on one stored archive (no tree construction)."""
         path = self.directory / f"{job_id}.json"
         if not path.exists():
             raise ArchiveError(f"no stored archive for job {job_id!r}")
-        return archive_from_json(path.read_text())
+        return ArchiveHandle(path)
+
+    def load(self, job_id: str) -> PerformanceArchive:
+        """Load one archive by job id."""
+        return self.handle(job_id).archive()
 
     def delete(self, job_id: str) -> None:
         """Remove one stored archive."""

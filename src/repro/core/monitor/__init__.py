@@ -9,16 +9,18 @@ gathers both.  Damaged logs — truncated, reordered, duplicated — go
 through :mod:`repro.core.monitor.salvage` instead of the strict parser.
 """
 
-from repro.core.monitor.records import EnvSample, LogRecord
+from repro.core.monitor.records import EnvSample, LogRecord, RecordColumns
 from repro.core.monitor.logparser import (
     ParseReport,
     parse_log,
+    parse_log_columns,
     parse_log_line,
     parse_log_report,
 )
 from repro.core.monitor.envmonitor import EnvironmentMonitor
 from repro.core.monitor.collector import (
     collect_platform_log,
+    collect_platform_log_columns,
     collect_platform_log_report,
 )
 from repro.core.monitor.salvage import (
@@ -31,12 +33,15 @@ from repro.core.monitor.session import MonitoredRun, MonitoringSession
 __all__ = [
     "EnvSample",
     "LogRecord",
+    "RecordColumns",
     "ParseReport",
     "parse_log",
+    "parse_log_columns",
     "parse_log_line",
     "parse_log_report",
     "EnvironmentMonitor",
     "collect_platform_log",
+    "collect_platform_log_columns",
     "collect_platform_log_report",
     "IngestReport",
     "SalvageParser",

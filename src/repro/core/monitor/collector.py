@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core.monitor.logparser import ParseReport, parse_log_report
-from repro.core.monitor.records import LogRecord
+from repro.core.monitor.logparser import (
+    ParseReport,
+    parse_log_columns,
+    parse_log_report,
+)
+from repro.core.monitor.records import LogRecord, RecordColumns
 from repro.errors import MonitorError
 from repro.platforms.base import JobResult
 
@@ -33,6 +37,30 @@ def collect_platform_log_report(
             f"{sorted(foreign)}"
         )
     return records, report
+
+
+def collect_platform_log_columns(
+    result: JobResult,
+    strict: bool = True,
+) -> Tuple[RecordColumns, ParseReport]:
+    """Columnar twin of :func:`collect_platform_log_report`.
+
+    Parses the log straight into :class:`RecordColumns` (the streaming
+    ingest fast path) while applying the same sanity checks with the
+    same :class:`~repro.errors.MonitorError` messages.
+    """
+    columns, report = parse_log_columns(result.log_lines, strict=strict)
+    if not len(columns):
+        raise MonitorError(
+            f"job {result.job_id}: platform log contains no GRANULA records"
+        )
+    foreign = set(columns.job_id) - {result.job_id}
+    if foreign:
+        raise MonitorError(
+            f"job {result.job_id}: log contains records of other jobs: "
+            f"{sorted(foreign)}"
+        )
+    return columns, report
 
 
 def collect_platform_log(result: JobResult, strict: bool = True) -> List[LogRecord]:

@@ -1,9 +1,17 @@
-"""Typed records produced by monitoring."""
+"""Typed records produced by monitoring.
+
+Besides the per-event :class:`LogRecord`, this module defines
+:class:`RecordColumns` — the same data as parallel columns.  The
+streaming ingest path parses platform logs straight into columns and
+builds archives from them without materializing a record object per
+event; :meth:`RecordColumns.records` is the lazy compatibility view for
+consumers that still want record objects.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
 
 from repro import logformat
 from repro.errors import MonitorError
@@ -67,6 +75,134 @@ class LogRecord:
     def is_info(self) -> bool:
         """Whether this is an info event."""
         return self.event == logformat.EVENT_INFO
+
+
+@dataclass
+class RecordColumns:
+    """Parsed GRANULA log events as parallel columns.
+
+    One row per event, in log order; per-event fields that do not apply
+    (e.g. ``mission`` of an end event) hold ``None``.  The streaming
+    pipeline appends rows during the parse and the archive builder scans
+    the raw columns, so no per-event object is allocated on the hot
+    path.
+    """
+
+    timestamp: List[float] = field(default_factory=list)
+    job_id: List[str] = field(default_factory=list)
+    event: List[str] = field(default_factory=list)
+    uid: List[str] = field(default_factory=list)
+    parent_uid: List[Optional[str]] = field(default_factory=list)
+    mission: List[Optional[str]] = field(default_factory=list)
+    actor: List[Optional[str]] = field(default_factory=list)
+    info_name: List[Optional[str]] = field(default_factory=list)
+    info_value: List[Optional[str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.timestamp)
+
+    def append_start(
+        self,
+        timestamp: float,
+        job_id: str,
+        uid: str,
+        parent_uid: Optional[str],
+        mission: str,
+        actor: str,
+    ) -> None:
+        """Append one operation-start row."""
+        self._append(timestamp, job_id, logformat.EVENT_START, uid,
+                     parent_uid, mission, actor, None, None)
+
+    def append_end(self, timestamp: float, job_id: str, uid: str) -> None:
+        """Append one operation-end row."""
+        self._append(timestamp, job_id, logformat.EVENT_END, uid,
+                     None, None, None, None, None)
+
+    def append_info(
+        self,
+        timestamp: float,
+        job_id: str,
+        uid: str,
+        name: str,
+        value: str,
+    ) -> None:
+        """Append one info row."""
+        self._append(timestamp, job_id, logformat.EVENT_INFO, uid,
+                     None, None, None, name, value)
+
+    def append_record(self, record: LogRecord) -> None:
+        """Append an already-built record (the slow-path fallback)."""
+        self._append(record.timestamp, record.job_id, record.event,
+                     record.uid, record.parent_uid, record.mission,
+                     record.actor, record.info_name, record.info_value)
+
+    def _append(
+        self,
+        timestamp: float,
+        job_id: str,
+        event: str,
+        uid: str,
+        parent_uid: Optional[str],
+        mission: Optional[str],
+        actor: Optional[str],
+        info_name: Optional[str],
+        info_value: Optional[str],
+    ) -> None:
+        self.timestamp.append(timestamp)
+        self.job_id.append(job_id)
+        self.event.append(event)
+        self.uid.append(uid)
+        self.parent_uid.append(parent_uid)
+        self.mission.append(mission)
+        self.actor.append(actor)
+        self.info_name.append(info_name)
+        self.info_value.append(info_value)
+
+    def record(self, index: int) -> LogRecord:
+        """Materialize one row as a :class:`LogRecord`."""
+        return LogRecord(
+            timestamp=self.timestamp[index],
+            job_id=self.job_id[index],
+            event=self.event[index],
+            uid=self.uid[index],
+            parent_uid=self.parent_uid[index],
+            mission=self.mission[index],
+            actor=self.actor[index],
+            info_name=self.info_name[index],
+            info_value=self.info_value[index],
+        )
+
+    def records(self) -> "ColumnRecordView":
+        """Lazy record-object view over these columns."""
+        return ColumnRecordView(self)
+
+
+class ColumnRecordView(Sequence):
+    """Sequence of :class:`LogRecord` backed by :class:`RecordColumns`.
+
+    Rows materialize (and are cached) only when indexed, so consumers
+    that merely count records — or never touch them because the builder
+    used the columns directly — pay nothing per event.
+    """
+
+    def __init__(self, columns: RecordColumns):
+        self._columns = columns
+        self._cache: List[Optional[LogRecord]] = [None] * len(columns)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self._cache)
+        record = self._cache[index]
+        if record is None:
+            record = self._columns.record(index)
+            self._cache[index] = record
+        return record
 
 
 @dataclass(frozen=True)

@@ -3,13 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.cpu import UsageSeries
-from repro.core.monitor.collector import collect_platform_log_report
+from repro.core.monitor.collector import collect_platform_log_columns
 from repro.core.monitor.envmonitor import EnvironmentMonitor
 from repro.core.monitor.logparser import ParseReport
-from repro.core.monitor.records import EnvSample, LogRecord
+from repro.core.monitor.records import (
+    EnvSample,
+    LogRecord,
+    RecordColumns,
+)
 from repro.platforms.base import JobRequest, JobResult, Platform
 
 
@@ -19,21 +23,27 @@ class MonitoredRun:
 
     Attributes:
         result: the platform's job result (output, stats, raw log).
-        records: parsed GRANULA platform-log records.
+        records: parsed GRANULA platform-log records.  Sessions fill
+            this with a lazy view over ``columns``, so record objects
+            only materialize for consumers that index them.
         env_series: per-node CPU usage series over the job window.
         env_samples: the same data as flat records (archive-friendly).
         node_names: nodes the job ran on, in cluster order.
         parse_report: statistics of the log parse (foreign/malformed
             line counts) — None for runs built before monitoring kept
             them.
+        columns: the parsed records as :class:`RecordColumns` — the
+            streaming ingest fast path; the archive builder scans these
+            directly when present.
     """
 
     result: JobResult
-    records: List[LogRecord]
+    records: Sequence[LogRecord]
     env_series: Dict[str, UsageSeries]
     env_samples: List[EnvSample] = field(default_factory=list)
     node_names: List[str] = field(default_factory=list)
     parse_report: Optional[ParseReport] = None
+    columns: Optional[RecordColumns] = None
 
     @property
     def job_id(self) -> str:
@@ -80,7 +90,7 @@ class MonitoringSession:
     def run(self, request: JobRequest) -> MonitoredRun:
         """Execute one monitored job."""
         result = self.platform.run_job(request)
-        records, parse_report = collect_platform_log_report(
+        columns, parse_report = collect_platform_log_columns(
             result, strict=self.strict
         )
         nodes = self.platform.cluster.node_names[: request.workers]
@@ -92,9 +102,10 @@ class MonitoringSession:
         )
         return MonitoredRun(
             result=result,
-            records=records,
+            records=columns.records(),
             env_series=env_series,
             env_samples=env_samples,
             node_names=list(nodes),
             parse_report=parse_report,
+            columns=columns,
         )

@@ -53,6 +53,36 @@ POWERGRAPH_BFS_100 = WorkloadSpec("PowerGraph", "bfs", "dg100-scaled",
                                   workers=8)
 
 
+def transient_plan(giraph_nodes) -> FaultPlan:
+    """Scenario 1: transient faults (launch failure, HDFS errors, crash)."""
+    return FaultPlan(
+        events=(
+            ContainerLaunchFailure(giraph_nodes[2], failures=1),
+            HdfsReadError(giraph_nodes[0], blocks=2),
+            WorkerCrash(worker=1, superstep=2),
+        ),
+        checkpoint_interval=2,
+        seed=13,
+    )
+
+
+def dead_node_plan(giraph_nodes) -> FaultPlan:
+    """Scenario 2: one node dead for the whole job (blacklisting)."""
+    return FaultPlan(events=(NodeFailure(giraph_nodes[4]),), seed=13)
+
+
+def loader_crash_plan() -> FaultPlan:
+    """Scenario 3: loader crash mid-stream plus a rank crash."""
+    return FaultPlan(
+        events=(
+            LoaderCrash(at_fraction=0.4, restarts=1, restart_s=4.0),
+            WorkerCrash(worker=2, superstep=1),
+        ),
+        checkpoint_interval=2,
+        seed=13,
+    )
+
+
 def run_faults(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
     """Fault-injection scenarios with recovery attribution."""
     runner = runner or shared_runner()
@@ -63,16 +93,8 @@ def run_faults(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
 
     # -- scenario 1: Giraph under transient faults -------------------------
     healthy = runner.run(GIRAPH_BFS_100)
-    transient_plan = FaultPlan(
-        events=(
-            ContainerLaunchFailure(giraph_nodes[2], failures=1),
-            HdfsReadError(giraph_nodes[0], blocks=2),
-            WorkerCrash(worker=1, superstep=2),
-        ),
-        checkpoint_interval=2,
-        seed=13,
-    )
-    transient = runner.run(GIRAPH_BFS_100, faults=transient_plan)
+    transient = runner.run(GIRAPH_BFS_100,
+                           faults=transient_plan(giraph_nodes))
     t_archive = transient.archive
     t_findings = diagnose(t_archive)
     t_overhead = recovery_overhead(t_archive)
@@ -80,28 +102,20 @@ def run_faults(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
 
     # Determinism: replaying the identical plan must reproduce the
     # archive byte for byte.
-    replay = runner.run(GIRAPH_BFS_100, faults=transient_plan, fresh=True)
+    replay = runner.run(GIRAPH_BFS_100, faults=transient_plan(giraph_nodes),
+                        fresh=True)
     identical = (
         archive_to_json(t_archive) == archive_to_json(replay.archive)
     )
 
     # -- scenario 2: Giraph with a dead node -------------------------------
-    dead_plan = FaultPlan(events=(NodeFailure(giraph_nodes[4]),), seed=13)
-    degraded = runner.run(GIRAPH_BFS_100, faults=dead_plan)
+    degraded = runner.run(GIRAPH_BFS_100, faults=dead_node_plan(giraph_nodes))
     d_archive = degraded.archive
     d_ok = compare_exact(reference, degraded.run.result.output)
     d_stats = degraded.run.result.stats
 
     # -- scenario 3: PowerGraph loader crash + rank crash ------------------
-    loader_plan = FaultPlan(
-        events=(
-            LoaderCrash(at_fraction=0.4, restarts=1, restart_s=4.0),
-            WorkerCrash(worker=2, superstep=1),
-        ),
-        checkpoint_interval=2,
-        seed=13,
-    )
-    pg_faulty = runner.run(POWERGRAPH_BFS_100, faults=loader_plan)
+    pg_faulty = runner.run(POWERGRAPH_BFS_100, faults=loader_crash_plan())
     p_archive = pg_faulty.archive
     p_ok = compare_exact(reference, pg_faulty.run.result.output)
     p_overhead = recovery_overhead(p_archive)

@@ -55,6 +55,15 @@ GIRAPH_BFS_100 = WorkloadSpec("Giraph", "bfs", "dg100-scaled", workers=8)
 TRUNCATE_AT = 0.7
 
 
+def salvage_plan() -> FaultPlan:
+    """The faulted run whose log gets damaged: worker crash + recovery."""
+    return FaultPlan(
+        events=(WorkerCrash(worker=1, superstep=2),),
+        checkpoint_interval=2,
+        seed=13,
+    )
+
+
 def _mangle(lines: List[str], seed: int = 29) -> List[str]:
     """Damage a log the way crashed collectors do (deterministically)."""
     rng = random.Random(seed)
@@ -81,12 +90,7 @@ def run_salvage(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
     runner = runner or shared_runner()
 
     # A faulted run (PR 1's fault machinery): worker crash + recovery.
-    plan = FaultPlan(
-        events=(WorkerCrash(worker=1, superstep=2),),
-        checkpoint_interval=2,
-        seed=13,
-    )
-    iteration = runner.run(GIRAPH_BFS_100, faults=plan)
+    iteration = runner.run(GIRAPH_BFS_100, faults=salvage_plan())
     full_archive = iteration.archive
     full_makespan = effective_makespan(full_archive)
     lines = iteration.run.result.log_lines
@@ -119,8 +123,8 @@ def run_salvage(runner: Optional[WorkloadRunner] = None) -> ExperimentResult:
         # 2: bit-flip the archive payload -> checksum catches it, the
         # lenient loader still returns the archive.
         text = path.read_text()
-        flipped = text.replace('"platform": "Giraph"',
-                               '"platform": "Xiraph"', 1)
+        flipped = text.replace('"platform":"Giraph"',
+                               '"platform":"Xiraph"', 1)
         flip_findings = validate_text(flipped)
         flip_caught = worst_severity(flip_findings) == "critical"
         flip_archive, _ = load_salvaged(flipped)

@@ -1,0 +1,242 @@
+"""End-to-end pipeline benchmark: generate→run→ingest→archive→analyze.
+
+The PageRank Pipeline Benchmark argues the whole pipeline is the unit
+that must be fast; this module times Granula's own
+Monitoring→Archiving→Analysis loop across the experiment suite's run
+matrix under the two accelerators this repository ships:
+
+- **end-to-end**: the suite's workload runs executed serially against a
+  cold artifact cache, then again with a warm cache fanned out across
+  ``--jobs`` worker processes.  Both phases produce byte-identical
+  archives (asserted), so the speedup is pure overhead removal.
+- **ingest/archive**: the monitoring→archive stage alone — the legacy
+  per-record path (field-map parse, one object per event, nested v2
+  JSON) against the streaming columnar path (fixed-layout parse into
+  column buffers, columnar tree build, v3 JSON) over the same platform
+  log.
+
+``GRANULA_BENCH_SMALL=1`` (or ``small=True``) shrinks the matrix to
+dg100-scaled for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.cache import CACHE_DIR_ENV
+from repro.core.archive.builder import build_archive
+from repro.core.archive.serialize import archive_to_json
+from repro.core.monitor.logparser import parse_log_columns, parse_log_report
+from repro.core.monitor.session import MonitoredRun
+from repro.core.process import EvaluationIteration
+from repro.workloads.datasets import clear_cache
+from repro.workloads.parallel import RunRequest
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+#: Environment switch shrinking the benchmark to CI-smoke size.
+SMALL_ENV = "GRANULA_BENCH_SMALL"
+
+#: The four platforms of the cross-platform experiment.
+PLATFORMS = ("Giraph", "PowerGraph", "Hadoop", "PGX.D")
+
+
+def small_mode() -> bool:
+    """Whether the environment asks for the CI-smoke matrix."""
+    return bool(os.environ.get(SMALL_ENV))
+
+
+def bench_requests(small: bool = False) -> List[RunRequest]:
+    """The run matrix the benchmark times.
+
+    Full mode mirrors the experiment suite's distinct workload runs
+    (see :func:`repro.experiments.report.experiment_runs`): the four
+    dg1000-scaled platform BFS runs plus the dg100-scaled fault
+    scenarios.  Small mode keeps the same shape on dg100-scaled only.
+    """
+    from repro.experiments.ext_faults import transient_plan
+
+    dataset = "dg100-scaled" if small else "dg1000-scaled"
+    runner = WorkloadRunner()
+    giraph_nodes = runner.platform("Giraph").cluster.node_names
+    requests = [
+        RunRequest(WorkloadSpec(platform, "bfs", dataset, workers=8))
+        for platform in PLATFORMS
+    ]
+    giraph_100 = WorkloadSpec("Giraph", "bfs", "dg100-scaled", workers=8)
+    requests.append(
+        RunRequest(giraph_100, faults=transient_plan(giraph_nodes))
+    )
+    if not small:
+        from repro.experiments.ext_faults import (
+            dead_node_plan,
+            loader_crash_plan,
+        )
+        from repro.experiments.ext_salvage import salvage_plan
+
+        powergraph_100 = WorkloadSpec("PowerGraph", "bfs", "dg100-scaled",
+                                      workers=8)
+        requests.extend([
+            RunRequest(giraph_100),
+            RunRequest(giraph_100, faults=dead_node_plan(giraph_nodes)),
+            RunRequest(powergraph_100, faults=loader_crash_plan()),
+            RunRequest(giraph_100, faults=salvage_plan()),
+        ])
+    return requests
+
+
+@contextmanager
+def _cache_dir(path: Union[str, Path]):
+    """Point the artifact cache at ``path`` for the duration."""
+    old = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(path)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = old
+
+
+def _timed_suite(
+    requests: List[RunRequest],
+    jobs: Optional[int],
+) -> Tuple[float, List[EvaluationIteration]]:
+    """Run the matrix on a fresh runner; in-process caches cleared."""
+    clear_cache()
+    runner = WorkloadRunner()
+    t0 = time.perf_counter()
+    iterations = runner.run_many(requests, jobs=jobs)
+    return time.perf_counter() - t0, iterations
+
+
+def _bench_ingest(
+    iteration: EvaluationIteration,
+    runner: WorkloadRunner,
+    platform: str,
+    reps: int,
+) -> Dict[str, Any]:
+    """Legacy vs streaming monitoring→archive stage over one job log."""
+    run = iteration.run
+    result = run.result
+    model = runner.library.get(platform)
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        records, report = parse_log_report(result.log_lines)
+        legacy = MonitoredRun(
+            result=result,
+            records=records,
+            env_series=run.env_series,
+            env_samples=run.env_samples,
+            node_names=run.node_names,
+            parse_report=report,
+        )
+        old_archive, _ = build_archive(legacy, model)
+        old_text = archive_to_json(old_archive, version=2)
+    old_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        columns, report = parse_log_columns(result.log_lines)
+        streaming = MonitoredRun(
+            result=result,
+            records=columns.records(),
+            env_series=run.env_series,
+            env_samples=run.env_samples,
+            node_names=run.node_names,
+            parse_report=report,
+            columns=columns,
+        )
+        new_archive, _ = build_archive(streaming, model)
+        new_text = archive_to_json(new_archive)
+    new_s = time.perf_counter() - t0
+
+    # Both paths must agree on content (layout differs by design).
+    same = (
+        archive_to_json(new_archive, version=2) == old_text
+        and archive_to_json(old_archive) == new_text
+    )
+    return {
+        "job": result.job_id,
+        "log_lines": len(result.log_lines),
+        "reps": reps,
+        "legacy_s": round(old_s, 4),
+        "streaming_s": round(new_s, 4),
+        "speedup": round(old_s / new_s, 2) if new_s else None,
+        "identical_archives": same,
+    }
+
+
+def run_pipeline_bench(
+    jobs: int = 4,
+    small: Optional[bool] = None,
+    reps: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Time the pipeline end to end; returns the artifact document."""
+    if small is None:
+        small = small_mode()
+    requests = bench_requests(small)
+    if reps is None:
+        reps = 3 if small else 10
+
+    with tempfile.TemporaryDirectory(prefix="granula-bench-") as tmp:
+        with _cache_dir(tmp):
+            serial_cold_s, serial = _timed_suite(requests, jobs=None)
+            warm_jobs_s, parallel = _timed_suite(requests, jobs=jobs)
+    identical = all(
+        archive_to_json(a.archive) == archive_to_json(b.archive)
+        for a, b in zip(serial, parallel)
+    )
+
+    # The ingest stage is measured on the Giraph BFS run (the paper's
+    # headline workload) from the serial phase.
+    runner = WorkloadRunner()
+    ingest = _bench_ingest(serial[0], runner, PLATFORMS[0], reps)
+
+    return {
+        "small": small,
+        "jobs": jobs,
+        "runs": len(requests),
+        "workloads": [r.memo_key() for r in requests],
+        "end_to_end": {
+            "serial_cold_s": round(serial_cold_s, 3),
+            "warm_jobs_s": round(warm_jobs_s, 3),
+            "speedup": round(serial_cold_s / warm_jobs_s, 2)
+            if warm_jobs_s else None,
+        },
+        "ingest_archive": ingest,
+        "byte_identical_archives": identical,
+    }
+
+
+def write_pipeline_bench(path: Union[str, Path], document: Dict[str, Any]) -> None:
+    """Persist the benchmark artifact as JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def render_pipeline_bench(document: Dict[str, Any]) -> str:
+    """Human-readable summary of one benchmark document."""
+    e2e = document["end_to_end"]
+    ingest = document["ingest_archive"]
+    return "\n".join([
+        f"pipeline benchmark ({document['runs']} runs, "
+        f"{'small' if document['small'] else 'full'} matrix)",
+        f"  end-to-end: serial cold {e2e['serial_cold_s']:.2f}s, "
+        f"warm --jobs {document['jobs']} {e2e['warm_jobs_s']:.2f}s "
+        f"({e2e['speedup']}x)",
+        f"  ingest/archive: legacy {ingest['legacy_s']:.2f}s, "
+        f"streaming {ingest['streaming_s']:.2f}s "
+        f"({ingest['speedup']}x over {ingest['reps']} reps)",
+        f"  archives byte-identical: "
+        f"{document['byte_identical_archives']}",
+    ])

@@ -8,8 +8,7 @@ realistic I/O time while the engines really consume the edges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import ClassVar, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,35 +28,49 @@ def _digit_counts(arr: np.ndarray) -> np.ndarray:
         limit *= 10
 
 
-@dataclass(frozen=True)
 class EdgeList:
     """An edge list plus its declared vertex-id space.
 
     Attributes:
         num_vertices: size of the id space (vertices may be isolated).
         edges: (src, dst) tuples; order is meaningful (file order).
+
+    :meth:`from_graph` keeps the list as parallel (src, dst) numpy
+    arrays: deploying a dataset only needs edge *counts* and byte
+    *sizes*, both of which come straight off the arrays, so the million
+    Python tuples behind ``edges`` are built lazily on first access.
     """
 
-    num_vertices: int
-    edges: Tuple[Edge, ...]
+    __slots__ = ("num_vertices", "_edges", "_arrays")
 
-    #: Parallel (src, dst) numpy arrays, stashed by ``from_graph`` so size
-    #: accounting can run vectorized; plain-constructed lists lack them.
-    _arrays: ClassVar[Optional[tuple]] = None
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()):
+        self.num_vertices = num_vertices
+        self._edges: Optional[Tuple[Edge, ...]] = tuple(edges)
+        #: Parallel (src, dst) numpy arrays, stashed by ``from_graph`` so
+        #: size accounting can run vectorized; plain-constructed lists
+        #: lack them.
+        self._arrays: Optional[tuple] = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "EdgeList":
-        """Extract the edge list of a graph."""
+        """Extract the edge list of a graph (array-backed, lazy tuples)."""
         csr = graph.csr()
         src = np.repeat(
             np.arange(graph.num_vertices, dtype=np.int64), csr.out_degrees()
         )
         dst = csr.indices
-        edge_list = cls(
-            graph.num_vertices, tuple(zip(src.tolist(), dst.tolist()))
-        )
-        object.__setattr__(edge_list, "_arrays", (src, dst))
+        edge_list = cls(graph.num_vertices)
+        edge_list._edges = None
+        edge_list._arrays = (src, dst)
         return edge_list
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The (src, dst) tuples (materialized on first use)."""
+        if self._edges is None:
+            src, dst = self._arrays
+            self._edges = tuple(zip(src.tolist(), dst.tolist()))
+        return self._edges
 
     def to_graph(self) -> Graph:
         """Materialize the edge list as a graph."""
@@ -66,7 +79,9 @@ class EdgeList:
     @property
     def num_edges(self) -> int:
         """Number of edges in the list."""
-        return len(self.edges)
+        if self._edges is None:
+            return len(self._arrays[0])
+        return len(self._edges)
 
     def text_size_bytes(self) -> int:
         """Exact size of the rendered text file in bytes."""
@@ -80,6 +95,19 @@ class EdgeList:
         for src, dst in self.edges:
             total += len(str(src)) + 1 + len(str(dst)) + 1
         return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        return (self.num_vertices == other.num_vertices
+                and self.edges == other.edges)
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.edges))
+
+    def __repr__(self) -> str:
+        return (f"EdgeList(num_vertices={self.num_vertices}, "
+                f"num_edges={self.num_edges})")
 
 
 def render_edge_list(edge_list: EdgeList) -> str:

@@ -91,6 +91,38 @@ class Graph:
         graph._csr = None
         return graph
 
+    @classmethod
+    def from_csr_arrays(
+        cls, num_vertices: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> "Graph":
+        """Rebuild a graph from its CSR arrays (e.g. a cache hit).
+
+        The arrays are taken as already deduplicated with sorted
+        adjacency rows — exactly what :meth:`csr` produced — so the
+        result is identical to the graph the arrays came from.  The CSR
+        view is pre-seeded from the same arrays (which may be read-only
+        ``np.load(mmap_mode='r')`` views; they are never written to).
+        """
+        from repro.graph.csr import CsrGraph
+        csr = CsrGraph(indptr, indices)
+        if csr.num_vertices != num_vertices:
+            raise GraphError(
+                f"CSR arrays describe {csr.num_vertices} vertices, "
+                f"expected {num_vertices}"
+            )
+        graph = cls.__new__(cls)
+        graph._n = num_vertices
+        graph._m = csr.num_edges
+        offsets = np.asarray(indptr, dtype=np.int64).tolist()
+        flat = np.asarray(indices, dtype=np.int64).tolist()
+        graph._out = [
+            flat[offsets[v]:offsets[v + 1]] for v in range(num_vertices)
+        ]
+        graph._in = None
+        graph._undirected = None
+        graph._csr = csr
+        return graph
+
     def csr(self):
         """CSR view of the out-adjacency (built lazily, cached)."""
         if self._csr is None:

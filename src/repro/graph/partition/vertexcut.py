@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -58,6 +58,12 @@ class VertexCut:
 
     def replication_factor(self) -> float:
         """Average number of replicas per (non-isolated) vertex."""
+        pairs = getattr(self, "_replica_pairs", None)
+        if pairs is not None:
+            if not len(pairs):
+                return 0.0
+            vertices = len(np.unique(pairs // np.int64(self.parts)))
+            return len(pairs) / vertices
         if not self.replicas:
             return 0.0
         return sum(len(r) for r in self.replicas.values()) / len(self.replicas)
@@ -87,6 +93,7 @@ def _finalize(parts: int, edges: List[Edge], assignment: List[int]) -> VertexCut
     src, dst, part = _edge_columns(edges, assignment)
     replicas: Dict[int, Set[int]] = {}
     masters: Dict[int, int] = {}
+    pair = np.empty(0, dtype=np.int64)
     if len(edges):
         # Distinct (vertex, part) incidences, sorted — so the first
         # part seen per vertex is its minimum, i.e. the master.
@@ -94,19 +101,136 @@ def _finalize(parts: int, edges: List[Edge], assignment: List[int]) -> VertexCut
             np.concatenate((src, dst)) * np.int64(parts)
             + np.concatenate((part, part))
         )
-        for key in pair.tolist():
-            v, p = divmod(key, parts)
-            group = replicas.get(v)
-            if group is None:
-                replicas[v] = {p}
-                masters[v] = p
-            else:
-                group.add(p)
+        _fill_replica_tables(parts, pair, replicas, masters)
     cut = VertexCut(parts, edges, assignment, replicas, masters)
     # Flat columns for the vectorized GAS backend (not part of the
     # dataclass value: derived, and absent on hand-built cuts).
     cut._edge_arrays = (src, dst, part)
+    cut._replica_pairs = pair
     return cut
+
+
+def _fill_replica_tables(
+    parts: int,
+    pair: np.ndarray,
+    replicas: Dict[int, Set[int]],
+    masters: Dict[int, int],
+) -> None:
+    """Expand sorted (vertex*parts + part) keys into the dict tables."""
+    for key in pair.tolist():
+        v, p = divmod(key, parts)
+        group = replicas.get(v)
+        if group is None:
+            replicas[v] = {p}
+            masters[v] = p
+        else:
+            group.add(p)
+
+
+def cut_to_arrays(cut: VertexCut) -> Dict[str, np.ndarray]:
+    """Flat numpy columns fully describing ``cut`` (for the artifact cache).
+
+    Returns ``src``/``dst``/``part`` per-edge columns plus the sorted
+    ``pairs`` replica incidences; :func:`cut_from_arrays` inverts this
+    into a cut indistinguishable from the original.
+    """
+    arrays = getattr(cut, "_edge_arrays", None)
+    if arrays is None:
+        arrays = _edge_columns(cut.edges, cut.edge_assignment)
+    src, dst, part = arrays
+    pairs = getattr(cut, "_replica_pairs", None)
+    if pairs is None:
+        if len(src):
+            pairs = np.unique(
+                np.concatenate((src, dst)) * np.int64(cut.parts)
+                + np.concatenate((part, part))
+            )
+        else:
+            pairs = np.empty(0, dtype=np.int64)
+    return {"src": src, "dst": dst, "part": part, "pairs": pairs}
+
+
+def cut_from_arrays(
+    parts: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    part: np.ndarray,
+    pairs: np.ndarray,
+) -> VertexCut:
+    """Rebuild a cut from :func:`cut_to_arrays` columns (e.g. a cache hit).
+
+    The result is a lazy view: the flat columns (possibly read-only
+    memory maps) feed the vectorized GAS backend directly, while the
+    Python-level ``edges``/``edge_assignment``/``replicas``/``masters``
+    tables materialize on first access with exactly the values
+    :func:`_finalize` would have produced.
+    """
+    if parts <= 0:
+        raise PartitionError(f"parts must be positive, got {parts}")
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    part = np.asarray(part, dtype=np.int64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if not (src.shape == dst.shape == part.shape) or src.ndim != 1:
+        raise PartitionError("src/dst/part must be equal-length 1-d arrays")
+    return _LazyVertexCut(parts, src, dst, part, pairs)
+
+
+class _LazyVertexCut(VertexCut):
+    """A :class:`VertexCut` whose Python tables materialize on demand.
+
+    Cache hits hand the vectorized backend its flat columns without ever
+    paying for the per-edge tuple list or the replica dicts; scalar
+    consumers that do touch those attributes get values identical to an
+    eagerly finalized cut.  The properties are data descriptors, so they
+    shadow the dataclass fields of the parent.
+    """
+
+    def __init__(
+        self,
+        parts: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        part: np.ndarray,
+        pairs: np.ndarray,
+    ):
+        self.parts = int(parts)
+        self._edge_arrays = (src, dst, part)
+        self._replica_pairs = pairs
+        self._edges: Optional[List[Edge]] = None
+        self._assignment: Optional[List[int]] = None
+        self._tables = None
+
+    @property
+    def edges(self) -> List[Edge]:
+        if self._edges is None:
+            src, dst, _ = self._edge_arrays
+            self._edges = list(zip(src.tolist(), dst.tolist()))
+        return self._edges
+
+    @property
+    def edge_assignment(self) -> List[int]:
+        if self._assignment is None:
+            self._assignment = self._edge_arrays[2].tolist()
+        return self._assignment
+
+    @property
+    def replicas(self) -> Dict[int, Set[int]]:
+        return self._replica_tables()[0]
+
+    @property
+    def masters(self) -> Dict[int, int]:
+        return self._replica_tables()[1]
+
+    def _replica_tables(self):
+        if self._tables is None:
+            replicas: Dict[int, Set[int]] = {}
+            masters: Dict[int, int] = {}
+            _fill_replica_tables(
+                self.parts, self._replica_pairs, replicas, masters
+            )
+            self._tables = (replicas, masters)
+        return self._tables
 
 
 def random_vertex_cut(graph: Graph, parts: int) -> VertexCut:

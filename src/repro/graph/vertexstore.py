@@ -9,8 +9,22 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.graph import Graph
+
+
+def _digit_counts(arr: np.ndarray) -> np.ndarray:
+    """``len(str(x))`` per element for non-negative integer arrays."""
+    digits = np.ones(len(arr), dtype=np.int64)
+    limit = 10
+    while True:
+        over = arr >= limit
+        if not over.any():
+            return digits
+        digits[over] += 1
+        limit *= 10
 
 
 def render_vertex_store(graph: Graph) -> str:
@@ -59,16 +73,23 @@ def parse_vertex_store(text: str, num_vertices: int) -> Graph:
 
 
 def vertex_store_size_bytes(graph: Graph) -> int:
-    """Exact rendered size in bytes without building the string."""
-    total = 0
-    any_line = False
-    for v in graph.vertices():
-        any_line = True
-        line_len = len(str(v))
-        for u in graph.out_neighbors(v):
-            line_len += 1 + len(str(u))
-        total += line_len + 1  # newline
-    return total if any_line else 0
+    """Exact rendered size in bytes without building the string.
+
+    Per vertex line: the vertex id, one `` `` + id per (sorted, distinct)
+    out-neighbor, and a newline — counted off the CSR arrays so large
+    graphs don't pay a per-character Python loop.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    csr = graph.csr()
+    ids = np.arange(n, dtype=np.int64)
+    return int(
+        _digit_counts(ids).sum()               # vertex ids
+        + _digit_counts(csr.indices).sum()     # neighbor ids
+        + len(csr.indices)                     # one space per neighbor
+        + n                                    # newlines
+    )
 
 
 def split_vertex_lines(graph: Graph, parts: int) -> List[Sequence[int]]:

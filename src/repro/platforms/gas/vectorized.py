@@ -138,10 +138,23 @@ class VectorizedSyncGasEngine:
         # hash to ``v % R`` with a single replica).
         masters = (np.arange(n, dtype=np.int64) % R)
         rep_minus1 = np.zeros(n, dtype=np.int64)
-        for v, p in cut.masters.items():
-            masters[v] = p
-        for v, ps in cut.replicas.items():
-            rep_minus1[v] = max(1, len(ps)) - 1
+        pairs = getattr(cut, "_replica_pairs", None)
+        if pairs is not None:
+            # Sorted (vertex*R + part) incidences: the first part per
+            # vertex is its minimum, i.e. the master — no dicts needed.
+            if len(pairs):
+                v_ids = pairs // np.int64(R)
+                p_ids = pairs % np.int64(R)
+                uniq, first, reps = np.unique(
+                    v_ids, return_index=True, return_counts=True
+                )
+                masters[uniq] = p_ids[first]
+                rep_minus1[uniq] = reps - 1
+        else:
+            for v, p in cut.masters.items():
+                masters[v] = p
+            for v, ps in cut.replicas.items():
+                rep_minus1[v] = max(1, len(ps)) - 1
         self.masters = masters
         self.rep_minus1 = rep_minus1
 

@@ -20,7 +20,7 @@ concrete and measurable under Granula.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
@@ -29,11 +29,19 @@ from repro.errors import JobFailedError, PlatformError
 from repro.graph.graph import Graph
 from repro.graph.partition.hash_partition import hash_partition
 from repro.graph.vertexstore import vertex_store_size_bytes
-from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.base import (
+    JobRequest,
+    JobResult,
+    Platform,
+    resolve_engine_mode,
+)
 from repro.platforms.costmodel import HadoopCostModel, execution_jitter
 from repro.platforms.logging_util import GranulaLogWriter
 from repro.platforms.mapreduce.algorithms import make_mapreduce_round
-from repro.platforms.mapreduce.api import Record
+from repro.platforms.mapreduce.vectorized import (
+    ScalarRounds,
+    mapreduce_kernel_class,
+)
 
 #: Client-side submission latency per driver program.
 _SUBMIT_S = 2.0
@@ -57,10 +65,16 @@ class HadoopPlatform(Platform):
 
     name = "Hadoop"
 
-    def __init__(self, cluster: Cluster, cost_model: Optional[HadoopCostModel] = None):
+    def __init__(self, cluster: Cluster,
+                 cost_model: Optional[HadoopCostModel] = None,
+                 engine_mode: str = "auto"):
         super().__init__(cluster)
         self.cost = cost_model or HadoopCostModel()
         self.yarn = YarnManager(cluster.nodes, cluster.clock, cluster.trace)
+        self.engine_mode = engine_mode
+        #: Execution path of the most recent job ("scalar"/"vectorized");
+        #: diagnostic only, never part of results or archives.
+        self.last_engine_path: Optional[str] = None
 
     def deploy_dataset(self, name: str, graph: Graph) -> None:
         """Stage the graph as a vertex-store file in HDFS."""
@@ -76,6 +90,18 @@ class HadoopPlatform(Platform):
         deployed: _Deployed = self._require_dataset(request.dataset)
         graph = deployed.graph
         driver = make_mapreduce_round(request.algorithm, request.params, graph)
+        use_vectorized = resolve_engine_mode(
+            self.engine_mode,
+            mapreduce_kernel_class(driver) is not None,
+            self.name,
+            request.algorithm,
+        )
+        self.last_engine_path = "vectorized" if use_vectorized else "scalar"
+        owner_of = hash_partition(graph.num_vertices, request.workers)
+        executor_cls = (
+            mapreduce_kernel_class(driver) if use_vectorized else ScalarRounds
+        )
+        executor = executor_cls(driver, graph, owner_of, request.workers)
         job_id = self._next_job_id(request)
 
         self.cluster.reset()
@@ -90,14 +116,12 @@ class HadoopPlatform(Platform):
         writer.info(root, "Workers", request.workers)
 
         allocation = self._run_startup(writer, root, worker_nodes)
-        states, owner_of = self._run_load(
-            writer, root, deployed, request.workers, worker_nodes, driver
-        )
-        states, rounds, emissions = self._run_process(
-            writer, root, graph, driver, states, owner_of, worker_nodes
+        self._run_load(writer, root, deployed, worker_nodes, executor)
+        rounds, emissions = self._run_process(
+            writer, root, driver, executor, worker_nodes
         )
         offload_bytes = self._run_offload(
-            writer, root, states, worker_nodes, job_id
+            writer, root, executor, worker_nodes, job_id
         )
         self._run_cleanup(writer, root, allocation, worker_nodes)
 
@@ -105,9 +129,7 @@ class HadoopPlatform(Platform):
         writer.assert_all_closed()
         finished_at = clock.now()
 
-        output = {
-            v: driver.output_value(v, state) for v, state in states.items()
-        }
+        output = executor.output()
         if len(output) != graph.num_vertices:
             raise JobFailedError(
                 f"{job_id}: output covers {len(output)} of "
@@ -154,56 +176,41 @@ class HadoopPlatform(Platform):
         writer.end(startup)
         return allocation
 
-    def _run_load(self, writer, root, deployed: _Deployed, num_workers: int,
-                  worker_nodes: List[Node], driver):
+    def _run_load(self, writer, root, deployed: _Deployed,
+                  worker_nodes: List[Node], executor):
         clock = self.cluster.clock
         cost = self.cost
-        graph = deployed.graph
 
         load = writer.start("LoadGraph", "HadoopClient", root)
         materialize = writer.start("MaterializeInput", "Master", load)
-        owner_of = hash_partition(graph.num_vertices, num_workers)
-        states: Dict[int, Any] = {
-            v: driver.initial_state(v, graph) for v in graph.vertices()
-        }
         splits = self.cluster.hdfs.assign_splits(
             deployed.path, [n.name for n in worker_nodes]
         )
         t0 = clock.now()
         span = 0.0
-        for wid, node in enumerate(worker_nodes, start=1):
+        for wid, node in enumerate(worker_nodes):
             nbytes = sum(b.size_bytes for b in splits[node.name])
-            state_bytes = sum(
-                Record(v, states[v]).encoded_size()
-                for v in graph.vertices() if owner_of[v] == wid - 1
-            )
+            state_bytes = executor.initial_state_bytes(wid)
             duration = (
                 self.cluster.hdfs.read_time(nbytes, local=True)
                 + nbytes * cost.materialize_byte_s
                 + self.cluster.hdfs.write_time(state_bytes)
             )
             node.work(t0, duration, cost.map_cores, "hadoop:load")
-            local = writer.span("LocalMaterialize", f"Worker-{wid}",
+            local = writer.span("LocalMaterialize", f"Worker-{wid + 1}",
                                 materialize, t0, t0 + duration)
             writer.info(local, "BytesRead", nbytes, ts=t0 + duration)
             span = max(span, duration)
         clock.advance(span)
         writer.end(materialize)
         writer.end(load)
-        return states, owner_of
 
-    def _run_process(self, writer, root, graph: Graph, driver,
-                     states: Dict[int, Any], owner_of, worker_nodes):
+    def _run_process(self, writer, root, driver, executor, worker_nodes):
         clock = self.cluster.clock
         cost = self.cost
         network = self.cluster.network
-        num_workers = len(worker_nodes)
 
         process = writer.start("ProcessGraph", "Master", root)
-        partitions: List[List[int]] = [[] for _ in range(num_workers)]
-        for v in graph.vertices():
-            partitions[owner_of[v]].append(v)
-
         round_index = 0
         total_emissions = 0
         while True:
@@ -213,9 +220,7 @@ class HadoopPlatform(Platform):
                 raise JobFailedError(
                     f"driver exceeded {_MAX_ROUNDS} rounds without converging"
                 )
-            pre_round = getattr(driver, "pre_round", None)
-            if pre_round is not None:
-                pre_round(states, graph)
+            stats = executor.run_round(round_index)
 
             t0 = clock.now()
             round_op = writer.start(f"MapReduceRound-{round_index}",
@@ -229,31 +234,20 @@ class HadoopPlatform(Platform):
                           "hadoop:roundsetup")
 
             # Map: every worker scans ALL of its records.
-            outgoing: List[Dict[int, List[Any]]] = [
-                {} for _ in range(num_workers)
-            ]
             map_ends: List[float] = []
             for wid, node in enumerate(worker_nodes):
-                emissions = 0
-                remote_emissions = 0
-                for v in partitions[wid]:
-                    record = Record(v, states[v])
-                    for dst, message in driver.map_record(record, graph):
-                        target = owner_of[dst]
-                        outgoing[target].setdefault(dst, []).append(message)
-                        emissions += 1
-                        if target != wid:
-                            remote_emissions += 1
+                emissions = stats.emissions[wid]
+                remote_emissions = stats.remote_emissions[wid]
                 map_t = (
-                    len(partitions[wid]) * cost.map_record_s
+                    executor.partition_size(wid) * cost.map_record_s
                     + emissions * cost.emission_s
                 ) * execution_jitter(wid, round_index, 0.08)
                 map_end = setup_end + map_t
                 map_op = writer.span(f"MapPhase-{round_index}",
                                      f"Worker-{wid + 1}", round_op,
                                      setup_end, map_end)
-                writer.info(map_op, "RecordsScanned", len(partitions[wid]),
-                            ts=map_end)
+                writer.info(map_op, "RecordsScanned",
+                            executor.partition_size(wid), ts=map_end)
                 writer.info(map_op, "Emissions", emissions, ts=map_end)
                 if map_t > 0:
                     node.work(setup_end, map_t, cost.map_cores, "hadoop:map")
@@ -273,20 +267,13 @@ class HadoopPlatform(Platform):
             # Reduce starts after the slowest mapper finished (the
             # shuffle barrier of a real MR job).
             reduce_start = max(map_ends)
-            new_states: Dict[int, Any] = {}
             reduce_ends: List[float] = []
             for wid, node in enumerate(worker_nodes):
-                mailbox = outgoing[wid]
-                message_count = sum(len(m) for m in mailbox.values())
-                state_bytes = 0
-                for v in partitions[wid]:
-                    new_states[v] = driver.reduce_vertex(
-                        v, states[v], mailbox.get(v, []), graph
-                    )
-                    state_bytes += Record(v, new_states[v]).encoded_size()
+                message_count = stats.message_counts[wid]
+                state_bytes = stats.state_bytes[wid]
                 reduce_t = (
                     message_count * cost.reduce_message_s
-                    + len(partitions[wid]) * cost.reduce_vertex_s
+                    + executor.partition_size(wid) * cost.reduce_vertex_s
                 ) * execution_jitter(wid, round_index + 1000, 0.08)
                 materialize_t = (
                     state_bytes * cost.materialize_byte_s
@@ -314,23 +301,19 @@ class HadoopPlatform(Platform):
             writer.end(round_op, ts=round_end)
             clock.advance_to(round_end)
 
-            converged = driver.is_converged(states, new_states, round_index)
-            states = new_states
             round_index += 1
-            if converged:
+            if stats.converged:
                 break
 
         writer.end(process)
-        return states, round_index, total_emissions
+        return round_index, total_emissions
 
-    def _run_offload(self, writer, root, states, worker_nodes, job_id):
+    def _run_offload(self, writer, root, executor, worker_nodes, job_id):
         clock = self.cluster.clock
         cost = self.cost
         offload = writer.start("OffloadGraph", "HadoopClient", root)
         collect = writer.start("CollectOutput", "Master", offload)
-        nbytes = sum(
-            Record(v, s).encoded_size() for v, s in states.items()
-        )
+        nbytes = executor.final_state_bytes()
         # Final state already sits in HDFS; collection renames + reads it.
         duration = self.cluster.hdfs.read_time(nbytes, local=True)
         worker_nodes[0].work(clock.now(), duration, 1.0, "hadoop:offload")

@@ -21,16 +21,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.errors import JobFailedError, PlatformError
 from repro.graph.edgelist import EdgeList
 from repro.graph.graph import Graph
 from repro.graph.partition.range_partition import range_partition
-from repro.platforms.base import JobRequest, JobResult, Platform
+from repro.platforms.base import (
+    JobRequest,
+    JobResult,
+    Platform,
+    resolve_engine_mode,
+)
 from repro.platforms.costmodel import PgxdCostModel, execution_jitter
 from repro.platforms.logging_util import GranulaLogWriter
 from repro.platforms.pgxd.algorithms import make_pushpull_program
+from repro.platforms.pgxd.vectorized import pushpull_kernel_class
 
 #: Safety bound on phases for quiescence drivers.
 _MAX_PHASES = 500
@@ -51,9 +59,14 @@ class PgxdPlatform(Platform):
     name = "PGX.D"
 
     def __init__(self, cluster: Cluster,
-                 cost_model: Optional[PgxdCostModel] = None):
+                 cost_model: Optional[PgxdCostModel] = None,
+                 engine_mode: str = "auto"):
         super().__init__(cluster)
         self.cost = cost_model or PgxdCostModel()
+        self.engine_mode = engine_mode
+        #: Execution path of the most recent job ("scalar"/"vectorized");
+        #: diagnostic only, never part of results or archives.
+        self.last_engine_path: Optional[str] = None
 
     def deploy_dataset(self, name: str, graph: Graph) -> None:
         """Stage the graph as an edge file on the shared filesystem."""
@@ -73,6 +86,14 @@ class PgxdPlatform(Platform):
         program = make_pushpull_program(
             request.algorithm, request.params, graph, owner_of
         )
+        kernel_cls = pushpull_kernel_class(program)
+        use_vectorized = resolve_engine_mode(
+            self.engine_mode, kernel_cls is not None, self.name,
+            request.algorithm,
+        )
+        self.last_engine_path = "vectorized" if use_vectorized else "scalar"
+        if use_vectorized:
+            program = kernel_cls.from_program(program)
         job_id = self._next_job_id(request)
 
         self.cluster.reset()
@@ -101,9 +122,13 @@ class PgxdPlatform(Platform):
         load = writer.start("LoadGraph", "PgxClient", root)
         t0 = clock.now()
         span = 0.0
-        edges_per_owner = [0] * request.workers
-        for v in graph.vertices():
-            edges_per_owner[owner_of[v]] += graph.out_degree(v)
+        degrees = np.diff(graph.csr().indptr)
+        edges_per_owner = [
+            int(c) for c in np.bincount(
+                np.asarray(owner_of, dtype=np.int64), weights=degrees,
+                minlength=request.workers,
+            )
+        ]
         read_total = self.cluster.shared_fs.contended_read_time(
             deployed.path, request.workers
         ) * cost.csr_read_share / request.workers

@@ -1,0 +1,162 @@
+"""Vectorized kernel for the PGX.D direction-optimizing BFS.
+
+The scalar :class:`~repro.platforms.pgxd.algorithms.BfsPushPull` spends
+its time in the *pull* phases: every unreached vertex scans its sorted
+in-neighbors until the first frontier member (Beamer's early break).
+That scan is replayed here off an in-CSR — for each unreached vertex
+the position of its first frontier in-neighbor gives both the edges
+examined and whether it joins the next frontier — and is exact:
+
+- the in-CSR is built by a stable sort of the out-edge expansion by
+  destination, so each row lists sources ascending, the same order
+  ``graph.in_neighbors`` iterates;
+- every phase counter is integer arithmetic (``np.bincount`` sums), so
+  no float accumulation order is in play;
+- *push* phases stay scalar.  A push phase iterates the frontier
+  ``set`` and attributes each ``remote`` update to whichever frontier
+  vertex the set yields first — that tie-break is set-iteration order,
+  which this kernel preserves by constructing every frontier set with
+  the same insertion sequence as the reference (ascending for pull
+  results, discovery order for push results).  Push frontiers are
+  sparse by construction (the ALPHA/BETA switch), so the scalar loop
+  is cheap there.
+
+The other push-pull programs (SSSP, WCC, PageRank) only appear in the
+experiment suite on small inputs and keep the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+import numpy as np
+
+from repro.graph.algorithms.bfs import UNREACHED
+from repro.graph.graph import Graph
+from repro.platforms.pgxd.algorithms import (
+    ALPHA,
+    BETA,
+    BfsPushPull,
+    PhaseResult,
+    PushPullProgram,
+)
+
+
+class BfsPushPullKernel(BfsPushPull):
+    """Direction-optimizing BFS with vectorized pull phases."""
+
+    def __init__(self, graph: Graph, owner_of: Sequence[int], source: int):
+        PushPullProgram.__init__(self, graph, owner_of)
+        n = graph.num_vertices
+        csr = graph.csr()
+        self.deg = np.diff(csr.indptr)
+        self.owner = np.asarray(owner_of, dtype=np.int64)
+        # In-CSR matching graph.in_neighbors: rows keyed by destination,
+        # sources ascending (stable sort of the already src-sorted
+        # expansion preserves that order within each destination).
+        e_src = np.repeat(np.arange(n, dtype=np.int64), self.deg)
+        order = np.argsort(csr.indices, kind="stable")
+        self.in_indices = e_src[order]
+        self.in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(csr.indices, minlength=n),
+                  out=self.in_indptr[1:])
+        self.levels_arr = np.full(n, UNREACHED, dtype=np.int64)
+        self.levels_arr[source] = 0
+        self.frontier: Set[int] = {source}
+        self.unexplored_edges = graph.num_edges
+
+    @classmethod
+    def from_program(cls, program: BfsPushPull) -> "BfsPushPullKernel":
+        """Rebuild a freshly constructed scalar program as a kernel."""
+        source = next(iter(program.frontier))
+        return cls(program.graph, program.owner_of, source)
+
+    def _frontier_out_edges(self) -> int:
+        if not self.frontier:
+            return 0
+        idx = np.fromiter(self.frontier, dtype=np.int64,
+                          count=len(self.frontier))
+        return int(self.deg[idx].sum())
+
+    def run_phase(self, phase_index: int) -> PhaseResult:
+        frontier_edges = self._frontier_out_edges()
+        if frontier_edges > self.unexplored_edges / ALPHA:
+            direction = "pull"
+        elif len(self.frontier) < self.graph.num_vertices / BETA:
+            direction = "push"
+        else:
+            direction = "pull"
+        next_level = phase_index + 1
+        if direction == "push":
+            edges, updates, remote, next_frontier = self._push(next_level)
+        else:
+            edges, updates, next_frontier = self._pull(next_level)
+            remote = 0
+        self.unexplored_edges = max(self.unexplored_edges - frontier_edges, 0)
+        self.frontier = next_frontier
+        return PhaseResult(direction, edges, updates, remote,
+                           converged=not next_frontier)
+
+    def _push(
+        self, next_level: int
+    ) -> Tuple[List[int], int, int, Set[int]]:
+        edges = [0] * self.num_owners
+        updates = 0
+        remote = 0
+        next_frontier: Set[int] = set()
+        levels = self.levels_arr
+        owner_of = self.owner_of
+        for v in self.frontier:
+            owner_v = owner_of[v]
+            for u in self.graph.out_neighbors(v):
+                edges[owner_v] += 1
+                if levels[u] == UNREACHED:
+                    levels[u] = next_level
+                    next_frontier.add(u)
+                    updates += 1
+                    if owner_of[u] != owner_v:
+                        remote += 1
+        return edges, updates, remote, next_frontier
+
+    def _pull(self, next_level: int) -> Tuple[List[int], int, Set[int]]:
+        n = self.graph.num_vertices
+        unreached = np.flatnonzero(self.levels_arr == np.int64(UNREACHED))
+        if not len(unreached):
+            return [0] * self.num_owners, 0, set()
+        starts = self.in_indptr[unreached]
+        ends = self.in_indptr[unreached + 1]
+        examined = ends - starts
+        mask = np.zeros(n, dtype=bool)
+        if self.frontier:
+            idx = np.fromiter(self.frontier, dtype=np.int64,
+                              count=len(self.frontier))
+            mask[idx] = True
+        hits = np.flatnonzero(mask[self.in_indices])
+        found = np.zeros(len(unreached), dtype=bool)
+        if len(hits):
+            pos = np.searchsorted(hits, starts)
+            hit_idx = hits[np.minimum(pos, len(hits) - 1)]
+            found = (pos < len(hits)) & (hit_idx < ends)
+            examined = np.where(found, hit_idx - starts + 1, examined)
+        counts = np.bincount(self.owner[unreached], weights=examined,
+                             minlength=self.num_owners)
+        newly = unreached[found]
+        self.levels_arr[newly] = next_level
+        return ([int(c) for c in counts], int(found.sum()),
+                set(newly.tolist()))
+
+    def output(self) -> Dict[int, int]:
+        return dict(enumerate(self.levels_arr.tolist()))
+
+
+def pushpull_kernel_class(
+    program: PushPullProgram,
+) -> Optional[Type[BfsPushPullKernel]]:
+    """The kernel for ``program``, or None when it must stay scalar.
+
+    Dispatch is by exact type: subclasses and custom programs keep the
+    reference path.
+    """
+    if type(program) is BfsPushPull:
+        return BfsPushPullKernel
+    return None

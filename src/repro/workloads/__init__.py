@@ -7,6 +7,7 @@ monitored jobs.
 """
 
 from repro.workloads.datasets import DATASETS, DatasetSpec, build_dataset
+from repro.workloads.parallel import RunRequest
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.sweep import ParameterSweep, SweepResult
@@ -15,6 +16,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "build_dataset",
+    "RunRequest",
     "WorkloadSpec",
     "WorkloadRunner",
     "ParameterSweep",

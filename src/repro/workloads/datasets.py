@@ -14,8 +14,9 @@ experiments and benchmarks all see identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.cache import ArtifactCache, content_key, default_cache
 from repro.errors import GraphError
 from repro.graph.generators.datagen import datagen_graph
 from repro.graph.graph import Graph
@@ -86,6 +87,9 @@ DATASETS: Dict[str, DatasetSpec] = {
     )
 }
 
+#: In-process memo keyed by the spec's *content* hash, not its name —
+#: two specs describing the same generation (or a renamed spec) share
+#: one build, and a changed recipe can never serve a stale graph.
 _CACHE: Dict[str, Graph] = {}
 
 
@@ -99,18 +103,70 @@ def dataset_spec(name: str) -> DatasetSpec:
         ) from None
 
 
-def build_dataset(name: str) -> Graph:
-    """Materialize (and cache) a named dataset's graph."""
-    spec = dataset_spec(name)
-    if name not in _CACHE:
-        _CACHE[name] = datagen_graph(
-            spec.num_vertices,
-            avg_degree=spec.avg_degree,
-            seed=spec.seed,
+def spec_content_key(spec: DatasetSpec) -> str:
+    """Content address of the generated graph (generator + params + seed)."""
+    return content_key("datagen-csr", {
+        "generator": "datagen",
+        "num_vertices": spec.num_vertices,
+        "avg_degree": spec.avg_degree,
+        "seed": spec.seed,
+    })
+
+
+def _build_graph(spec: DatasetSpec, key: str,
+                 cache: ArtifactCache) -> Graph:
+    """Disk-cache hit (mmap-loaded CSR) or generate-and-populate."""
+    arrays = cache.get(key)
+    if arrays is not None and {"indptr", "indices"} <= set(arrays):
+        try:
+            return Graph.from_csr_arrays(
+                spec.num_vertices, arrays["indptr"], arrays["indices"]
+            )
+        except GraphError:
+            pass  # Stale/foreign entry: fall through and regenerate.
+    graph = datagen_graph(
+        spec.num_vertices,
+        avg_degree=spec.avg_degree,
+        seed=spec.seed,
+    )
+    csr = graph.csr()
+    try:
+        cache.put(
+            key,
+            {"indptr": csr.indptr, "indices": csr.indices},
+            kind="datagen-csr",
+            params={"name": spec.name, "num_vertices": spec.num_vertices,
+                    "avg_degree": spec.avg_degree, "seed": spec.seed},
         )
-    return _CACHE[name]
+    except OSError:
+        pass  # Read-only cache location: serve the in-memory graph.
+    return graph
+
+
+def build_dataset(name: str, cache: Optional[ArtifactCache] = None) -> Graph:
+    """Materialize a named dataset's graph (memoized + disk-cached).
+
+    The in-process memo and the on-disk artifact cache are both keyed by
+    the spec's content hash; the graph carries that hash as
+    ``graph.content_key`` so downstream derived artifacts (vertex cuts)
+    can be content-addressed too.  Cold-cache and warm-cache builds are
+    identical graphs — the cache stores the exact CSR arrays the
+    generator produced.
+    """
+    spec = dataset_spec(name)
+    key = spec_content_key(spec)
+    graph = _CACHE.get(key)
+    if graph is None:
+        graph = _build_graph(spec, key, cache or default_cache())
+        graph.content_key = key
+        _CACHE[key] = graph
+    return graph
 
 
 def clear_cache() -> None:
-    """Drop cached graphs (memory-sensitive callers)."""
+    """Drop in-process memoized graphs (memory-sensitive callers).
+
+    Does not touch the on-disk artifact cache; see
+    :meth:`repro.cache.ArtifactCache.clear` for that.
+    """
     _CACHE.clear()

@@ -1,0 +1,112 @@
+"""Parallel fan-out of independent workload runs.
+
+The simulated platform runs are CPU-bound and fully deterministic, and
+runs of *different* (platform, dataset, algorithm, fault-plan)
+combinations share no mutable state — each gets its own cluster, clock
+and log stream.  This module executes such independent runs across a
+process pool.
+
+Design constraints that keep parallel output byte-identical to serial:
+
+* Every worker builds a private :class:`WorkloadRunner` with
+  ``store=None`` — archives travel back to the parent as part of the
+  pickled :class:`EvaluationIteration`, and only the parent writes the
+  archive store (no index races, and writes land in submission order).
+* Job ids come from ``spec.label()``, never from per-platform counters,
+  so a run's identity does not depend on what else ran in its process.
+* Workers are forked, so they inherit the parent's in-process dataset
+  memo and model library by memory, not by pickling; first-touch
+  artifacts (graphs, vertex cuts) come from the content-addressed disk
+  cache where available.
+
+Platforms without ``fork`` (Windows) fall back to serial execution in
+the caller.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.platforms.faults import FaultPlan
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One unit of work for the parallel harness."""
+
+    spec: WorkloadSpec
+    model_level: Optional[int] = None
+    faults: Optional[FaultPlan] = None
+
+    def memo_key(self) -> str:
+        """The runner's memo key for this request (dedup identity)."""
+        key = f"{self.spec.label()}|L{self.model_level}"
+        if self.faults is not None:
+            key += f"|F{self.faults.signature()}"
+        return key
+
+
+#: Per-worker state: a lazily built runner shared by that worker's tasks
+#: (so one worker deploys each dataset once).
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(library, n_nodes: int, engine_mode: str) -> None:
+    from repro.workloads.runner import WorkloadRunner
+    _WORKER_STATE["runner"] = WorkloadRunner(
+        library=library, store=None, n_nodes=n_nodes,
+        engine_mode=engine_mode,
+    )
+
+
+def _run_request(request: RunRequest):
+    runner = _WORKER_STATE["runner"]
+    return runner.run(
+        request.spec, model_level=request.model_level,
+        faults=request.faults,
+    )
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def execute_parallel(
+    requests: Sequence[RunRequest],
+    jobs: int,
+    library,
+    n_nodes: int,
+    engine_mode: str,
+) -> Optional[List[Any]]:
+    """Run ``requests`` across ``jobs`` worker processes.
+
+    Returns iterations aligned with ``requests``, or ``None`` when the
+    platform cannot fork or only one CPU is available (caller runs
+    serially — the runs are CPU-bound, so extra processes on one core
+    are pure contention).  A failing run raises exactly as it would
+    serially.
+    """
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        return None
+    workers = max(1, min(jobs, len(requests), available_cpus()))
+    if workers == 1:
+        return None
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(library, n_nodes, engine_mode),
+    ) as pool:
+        futures = [pool.submit(_run_request, r) for r in requests]
+        return [f.result() for f in futures]

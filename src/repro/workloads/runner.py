@@ -11,7 +11,7 @@ and 8 all analyze the *same* Giraph BFS run, exactly as the paper does.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.cluster.cluster import (
     Cluster,
@@ -30,6 +30,7 @@ from repro.platforms.mapreduce.engine import HadoopPlatform
 from repro.platforms.pgxd.engine import PgxdPlatform
 from repro.platforms.pregel.engine import GiraphPlatform
 from repro.workloads.datasets import build_dataset
+from repro.workloads.parallel import RunRequest, execute_parallel
 from repro.workloads.spec import WorkloadSpec
 
 #: HDFS block size used for the scaled datasets (keeps >= 1 block per
@@ -102,9 +103,13 @@ class WorkloadRunner:
                     cluster, engine_mode=self.engine_mode
                 )
             elif name == "Hadoop":
-                self._platforms[name] = HadoopPlatform(cluster)
+                self._platforms[name] = HadoopPlatform(
+                    cluster, engine_mode=self.engine_mode
+                )
             elif name == "PGX.D":
-                self._platforms[name] = PgxdPlatform(cluster)
+                self._platforms[name] = PgxdPlatform(
+                    cluster, engine_mode=self.engine_mode
+                )
             else:
                 raise ReproError(f"unsupported platform {name!r}")
         return self._platforms[name]
@@ -137,9 +142,7 @@ class WorkloadRunner:
                 signature keys the memo, so faulty and healthy runs of
                 the same workload cache independently).
         """
-        key = f"{spec.label()}|L{model_level}"
-        if faults is not None:
-            key += f"|F{faults.signature()}"
+        key = RunRequest(spec, model_level, faults).memo_key()
         if fresh or key not in self._results:
             platform = self.platform(spec.platform)
             if not platform.has_dataset(spec.dataset):
@@ -153,3 +156,43 @@ class WorkloadRunner:
             finally:
                 platform.inject_faults(None)
         return self._results[key]
+
+    def run_many(
+        self,
+        requests: Iterable[RunRequest],
+        jobs: Optional[int] = None,
+    ) -> List[EvaluationIteration]:
+        """Execute many workloads, optionally across worker processes.
+
+        Requests already satisfied by the memo are reused; the rest are
+        deduplicated by memo key and executed — in worker processes when
+        ``jobs > 1`` (forked; falls back to serial where ``fork`` is
+        unavailable), serially otherwise.  Results come back aligned
+        with ``requests`` regardless of completion order, archives land
+        in this runner's store in submission order, and the produced
+        artifacts are byte-identical to a serial run.
+        """
+        requests = list(requests)
+        keys = [r.memo_key() for r in requests]
+        pending: Dict[str, RunRequest] = {}
+        for request, key in zip(requests, keys):
+            if key not in self._results and key not in pending:
+                pending[key] = request
+        if jobs is not None and jobs > 1 and len(pending) > 1:
+            iterations = execute_parallel(
+                list(pending.values()), jobs,
+                library=self.library, n_nodes=self.n_nodes,
+                engine_mode=self.engine_mode,
+            )
+            if iterations is not None:
+                for key, iteration in zip(pending, iterations):
+                    self._results[key] = iteration
+                    if self.store is not None:
+                        self.store.save(iteration.archive, overwrite=True)
+                pending = {}
+        for request in pending.values():
+            self.run(
+                request.spec, model_level=request.model_level,
+                faults=request.faults,
+            )
+        return [self._results[key] for key in keys]

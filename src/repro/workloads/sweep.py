@@ -13,6 +13,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.core.process import EvaluationIteration
 from repro.core.visualize.breakdown import DomainBreakdown
 from repro.errors import ReproError
+from repro.workloads.parallel import RunRequest
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import WorkloadSpec
 
@@ -49,22 +50,28 @@ class ParameterSweep:
         dimension: str,
         values: Iterable[Any],
         model_level: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> List[SweepResult]:
         """Run ``base`` once per value of ``dimension``.
 
-        Returns the sweep points in input order.
+        Returns the sweep points in input order.  ``jobs > 1`` fans the
+        points out across worker processes (the points are independent
+        by construction); the results are identical to a serial sweep.
         """
         if dimension not in self._DIMENSIONS:
             raise ReproError(
                 f"unknown sweep dimension {dimension!r}; "
                 f"choose from {self._DIMENSIONS}"
             )
-        results: List[SweepResult] = []
-        for value in values:
-            spec = replace(base, **{dimension: value})
-            iteration = self.runner.run(spec, model_level=model_level)
-            results.append(SweepResult(spec=spec, iteration=iteration))
-        return results
+        specs = [replace(base, **{dimension: value}) for value in values]
+        iterations = self.runner.run_many(
+            [RunRequest(spec, model_level=model_level) for spec in specs],
+            jobs=jobs,
+        )
+        return [
+            SweepResult(spec=spec, iteration=iteration)
+            for spec, iteration in zip(specs, iterations)
+        ]
 
     @staticmethod
     def share_table(

@@ -306,8 +306,8 @@ class TestSerialize:
 
     def test_rejects_wrong_version(self):
         text = archive_to_json(make_archive()).replace(
-            '"format_version": 2', '"format_version": 99')
-        assert '"format_version": 99' in text
+            '"format_version":3', '"format_version":99')
+        assert '"format_version":99' in text
         with pytest.raises(ArchiveError):
             archive_from_json(text)
 

@@ -128,18 +128,18 @@ class TestChecksums:
 
     def test_tamper_raises_typed_error(self):
         text = archive_to_json(self.archive()).replace(
-            '"platform": "Test"', '"platform": "Best"')
+            '"platform":"Test"', '"platform":"Best"')
         with pytest.raises(ArchiveIntegrityError):
             archive_from_json(text)
 
     def test_tamper_skippable(self):
         text = archive_to_json(self.archive()).replace(
-            '"platform": "Test"', '"platform": "Best"')
+            '"platform":"Test"', '"platform":"Best"')
         assert archive_from_json(text, verify=False).platform == "Best"
 
     def test_tamper_is_a_critical_finding(self):
         text = archive_to_json(self.archive()).replace(
-            '"platform": "Test"', '"platform": "Best"')
+            '"platform":"Test"', '"platform":"Best"')
         findings = validate_text(text)
         assert [f.code for f in findings] == ["checksum-mismatch"]
         assert worst_severity(findings) == "critical"

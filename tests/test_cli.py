@@ -57,6 +57,34 @@ class TestCommands:
     def test_run_unknown_dataset(self, capsys):
         assert main(["run", "Giraph", "bfs", "nope"]) == 2
 
+    def test_run_matrix_prints_headers(self, capsys):
+        code = main(["run", "Giraph,PGX.D", "bfs", "dg-tiny",
+                     "--workers", "4", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "==== giraph-bfs-dg-tiny-w4 ====" in out
+        assert "==== pgx.d-bfs-dg-tiny-w4 ====" in out
+
+    def test_run_matrix_unsupported_platform(self, capsys):
+        assert main(["run", "Giraph,Spark", "bfs", "dg-tiny"]) == 2
+        assert "unsupported platform" in capsys.readouterr().err
+
+    def test_run_matrix_rejects_empty_item(self, capsys):
+        assert main(["run", "Giraph,", "bfs", "dg-tiny"]) == 2
+        assert "empty platform" in capsys.readouterr().err
+
+    def test_run_matrix_rejects_fault_plan(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"events": [], "seed": 1}')
+        code = main(["run", "Giraph", "bfs,wcc", "dg-tiny",
+                     "--faults", str(plan)])
+        assert code == 2
+        assert "single run" in capsys.readouterr().err
+
+    def test_bench_parser(self):
+        args = build_parser().parse_args(["bench", "--small", "--jobs", "2"])
+        assert args.small and args.jobs == 2 and callable(args.func)
+
     def test_report_from_archive(self, capsys, tmp_path, giraph_archive):
         path = tmp_path / "a.json"
         path.write_text(archive_to_json(giraph_archive))
@@ -103,7 +131,7 @@ class TestResilienceCommands:
                                                giraph_archive):
         path = tmp_path / "a.json"
         path.write_text(archive_to_json(giraph_archive).replace(
-            '"platform": "Giraph"', '"platform": "Xiraph"'))
+            '"platform":"Giraph"', '"platform":"Xiraph"'))
         assert main(["validate", str(path)]) == 1
         assert "checksum-mismatch" in capsys.readouterr().out
 

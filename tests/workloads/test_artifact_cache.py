@@ -1,0 +1,178 @@
+"""Tests for the content-addressed artifact cache and its CLI.
+
+Covers the corruption contract end to end: a damaged cached ``.npy``
+(bit-flipped or truncated) must be detected by its checksum, dropped,
+and transparently regenerated with a graph identical to the cold
+build — a damaged cache degrades to a cold one, never to bad data.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, CacheError, content_key, default_cache
+from repro.cli import main
+from repro.workloads.datasets import (
+    build_dataset,
+    clear_cache,
+    dataset_spec,
+    spec_content_key,
+)
+
+DATASET = "dg-tiny"
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Redirect the artifact cache to a fresh directory for each test."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("GRANULA_CACHE_DIR", str(root))
+    clear_cache()
+    yield root
+    clear_cache()
+
+
+def _csr_arrays(graph):
+    csr = graph.csr()
+    return np.asarray(csr.indptr).copy(), np.asarray(csr.indices).copy()
+
+
+def _entry_dir(cache_dir):
+    key = spec_content_key(dataset_spec(DATASET))
+    return cache_dir / key[:2] / key
+
+
+class TestDatasetCaching:
+    def test_cold_build_populates_cache(self, cache_dir):
+        graph = build_dataset(DATASET)
+        entry = _entry_dir(cache_dir)
+        assert (entry / "meta.json").is_file()
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["kind"] == "datagen-csr"
+        assert set(meta["arrays"]) == {"indptr", "indices"}
+        assert graph.content_key == spec_content_key(dataset_spec(DATASET))
+
+    def test_warm_build_loads_identical_graph(self, cache_dir):
+        cold = _csr_arrays(build_dataset(DATASET))
+        clear_cache()  # new process: in-memory memo gone, files remain
+        warm = _csr_arrays(build_dataset(DATASET))
+        assert np.array_equal(cold[0], warm[0])
+        assert np.array_equal(cold[1], warm[1])
+
+    @pytest.mark.parametrize("damage", ["flip", "truncate", "empty"])
+    def test_damaged_npy_is_detected_and_regenerated(self, cache_dir,
+                                                     damage):
+        cold = _csr_arrays(build_dataset(DATASET))
+        entry = _entry_dir(cache_dir)
+        victim = entry / "indices.npy"
+        payload = bytearray(victim.read_bytes())
+        if damage == "flip":
+            payload[len(payload) // 2] ^= 0xFF
+            victim.write_bytes(bytes(payload))
+        elif damage == "truncate":
+            victim.write_bytes(bytes(payload[: len(payload) // 2]))
+        else:
+            victim.write_bytes(b"")
+
+        # The damaged entry reads as a miss and is deleted on sight.
+        key = spec_content_key(dataset_spec(DATASET))
+        assert default_cache().get(key) is None
+        assert not entry.exists()
+
+        # Regeneration yields the same graph and repopulates the cache.
+        clear_cache()
+        rebuilt = _csr_arrays(build_dataset(DATASET))
+        assert np.array_equal(cold[0], rebuilt[0])
+        assert np.array_equal(cold[1], rebuilt[1])
+        assert (entry / "meta.json").is_file()
+
+    def test_damaged_meta_is_detected_and_regenerated(self, cache_dir):
+        cold = _csr_arrays(build_dataset(DATASET))
+        entry = _entry_dir(cache_dir)
+        (entry / "meta.json").write_text("{ not json")
+        key = spec_content_key(dataset_spec(DATASET))
+        assert default_cache().get(key) is None
+        clear_cache()
+        rebuilt = _csr_arrays(build_dataset(DATASET))
+        assert np.array_equal(cold[0], rebuilt[0])
+        assert np.array_equal(cold[1], rebuilt[1])
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = content_key("test", {"x": 1})
+        cache.put(key, {"a": np.arange(5)}, kind="test", params={"x": 1})
+        assert key in cache
+        out = cache.get(key)
+        assert np.array_equal(out["a"], np.arange(5))
+
+    def test_rejects_malformed_keys(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for bad in ("", "ab", "a/b/c", "..", "a.npy"):
+            with pytest.raises(CacheError):
+                cache.get(bad)
+
+    def test_rejects_empty_artifact(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(CacheError):
+            cache.put(content_key("test", {}), {})
+
+    def test_gc_evicts_down_to_budget(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(4):
+            cache.put(content_key("test", {"i": i}),
+                      {"a": np.zeros(1024, dtype=np.int64)},
+                      kind="test", params={"i": i})
+        total = sum(e.nbytes for e in cache.ls())
+        stats = cache.gc(max_bytes=total // 2)
+        assert stats["removed"] >= 1
+        assert stats["bytes"] <= total // 2
+        assert stats["kept"] == len(cache.ls())
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(content_key("test", {}), {"a": np.arange(3)}, kind="test")
+        assert cache.clear() == 1
+        assert cache.ls() == []
+
+
+class TestCacheCli:
+    def test_ls_empty(self, cache_dir, capsys):
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+        assert str(cache_dir) in out
+
+    def test_ls_lists_dataset_entry(self, cache_dir, capsys):
+        build_dataset(DATASET)
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "datagen-csr" in out
+        assert "1 entry," in out
+
+    def test_gc_removes_broken_entries(self, cache_dir, capsys):
+        build_dataset(DATASET)
+        (_entry_dir(cache_dir) / "indices.npy").write_bytes(b"junk")
+        assert main(["cache", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entry" in out
+        assert default_cache().ls() == []
+
+    def test_gc_with_budget(self, cache_dir, capsys):
+        build_dataset(DATASET)
+        assert main(["cache", "gc", "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entry" in out
+        assert "kept 0" in out
+
+    def test_clear(self, cache_dir, capsys):
+        build_dataset(DATASET)
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 entry" in out
+        assert not _entry_dir(cache_dir).exists()
+        # Idempotent: a second clear finds nothing.
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 0 entries" in capsys.readouterr().out
