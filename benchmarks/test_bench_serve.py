@@ -1,0 +1,160 @@
+"""Archive query service benchmark: cold vs warm (checksum-keyed cache).
+
+Drives the transport-independent service layer with a realistic request
+mix against a store of mid-size archives, three ways:
+
+- **cold** — cache disabled: every request re-parses the JSON and
+  rebuilds the operation tree (the pre-cache behaviour);
+- **warm** — LRU cache keyed by payload checksum, pre-warmed;
+- **conditional** — repeated ``If-None-Match`` revalidations answered
+  with 304s (no parse, no render, no body).
+
+Writes ``benchmarks/output/serve_bench.json`` and asserts the warm
+path clears the issue's >=2x throughput floor over cold.
+
+``GRANULA_BENCH_SMALL=1`` shrinks the store for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.store import ArchiveStore
+from repro.service.app import ArchiveService
+
+#: Issue acceptance floor: warm (cached) throughput over cold.
+WARM_OVER_COLD_X = 2.0
+#: Revalidation must beat even the warm path — it renders nothing.
+CONDITIONAL_OVER_COLD_X = 2.0
+
+
+def small_mode() -> bool:
+    return os.environ.get("GRANULA_BENCH_SMALL", "") not in ("", "0")
+
+
+def _make_archive(job_id: str, supersteps: int, workers: int) -> PerformanceArchive:
+    """A Giraph-shaped archive with supersteps x workers compute ops."""
+    makespan = 4.0 + 2.0 * supersteps
+    root = ArchivedOperation(f"{job_id}:root", "Job", "Client",
+                             0.0, makespan)
+    process = ArchivedOperation(f"{job_id}:process", "ProcessGraph",
+                                "Master", 4.0, makespan, parent=root)
+    root.children.append(process)
+    for k in range(supersteps):
+        step = ArchivedOperation(
+            f"{job_id}:s{k}", f"Superstep-{k}", "Master",
+            4.0 + 2.0 * k, 6.0 + 2.0 * k, infos={"Duration": 2.0},
+            parent=process,
+        )
+        process.children.append(step)
+        for w in range(workers):
+            compute = ArchivedOperation(
+                f"{job_id}:s{k}w{w}", f"Compute-{k}", f"Worker-{w + 1}",
+                4.0 + 2.0 * k, 5.5 + 2.0 * k,
+                infos={"Duration": 1.5, "MessagesSent": 10 * (w + 1)},
+                parent=step,
+            )
+            step.children.append(compute)
+    return PerformanceArchive(
+        job_id, root, platform="Giraph",
+        metadata={"algorithm": "bfs", "dataset": "dg-bench"},
+    )
+
+
+def _build_store(directory) -> ArchiveStore:
+    jobs = 4 if small_mode() else 6
+    supersteps = 8 if small_mode() else 16
+    workers = 16 if small_mode() else 48
+    store = ArchiveStore(directory)
+    for i in range(jobs):
+        store.save(_make_archive(f"bench-{i}", supersteps, workers))
+    return store
+
+
+def _request_mix(store: ArchiveStore):
+    mix = []
+    for job_id in store.list():
+        mix.extend([
+            (f"/jobs/{job_id}/query",
+             {"mission": "Compute", "agg": "total"}),
+            (f"/jobs/{job_id}/query",
+             {"path": "Job/**/Compute-*", "agg": "mean"}),
+            (f"/jobs/{job_id}/query",
+             {"agg": "top", "metric": "MessagesSent", "n": "3"}),
+            (f"/jobs/{job_id}", {}),
+        ])
+    return mix
+
+
+def _run_mix(service: ArchiveService, mix, rounds: int,
+             headers=None) -> float:
+    """Requests per second over ``rounds`` passes of the mix."""
+    started = time.perf_counter()
+    handled = 0
+    for _ in range(rounds):
+        for path, params in mix:
+            response = service.handle(path, params, headers)
+            assert response.status in (200, 304), response.text
+            handled += 1
+    elapsed = time.perf_counter() - started
+    return handled / elapsed
+
+
+def test_bench_serve(tmp_path, output_dir):
+    store = _build_store(tmp_path / "store")
+    mix = _request_mix(store)
+    rounds = 3 if small_mode() else 5
+
+    cold_service = ArchiveService(store, cache_size=0)
+    cold_rps = _run_mix(cold_service, mix, rounds)
+
+    warm_service = ArchiveService(store, cache_size=64)
+    _run_mix(warm_service, mix, 1)  # fill the cache
+    warm_rps = _run_mix(warm_service, mix, rounds)
+
+    # Conditional pass: revalidate every URL with its own ETag.
+    etags = {
+        (path, tuple(sorted(params.items()))):
+            warm_service.handle(path, params).headers["ETag"]
+        for path, params in mix
+    }
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for path, params in mix:
+            etag = etags[(path, tuple(sorted(params.items())))]
+            response = warm_service.handle(
+                path, params, {"If-None-Match": etag}
+            )
+            assert response.status == 304, response.text
+    conditional_rps = (rounds * len(mix)) / (time.perf_counter() - started)
+
+    document = {
+        "small_mode": small_mode(),
+        "store": {
+            "jobs": len(store),
+            "operations_per_archive":
+                store.summary(store.list()[0])["operations"],
+        },
+        "requests_per_pass": len(mix),
+        "rounds": rounds,
+        "throughput_rps": {
+            "cold": round(cold_rps, 1),
+            "warm": round(warm_rps, 1),
+            "conditional_304": round(conditional_rps, 1),
+        },
+        "speedup": {
+            "warm_over_cold": round(warm_rps / cold_rps, 2),
+            "conditional_over_cold": round(conditional_rps / cold_rps, 2),
+        },
+        "cache": warm_service.cache.stats(),
+    }
+    (output_dir / "serve_bench.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+    assert warm_service.cache.stats()["hit_rate"] > 0.9, document
+    assert warm_rps / cold_rps >= WARM_OVER_COLD_X, document
+    assert conditional_rps / cold_rps >= CONDITIONAL_OVER_COLD_X, document

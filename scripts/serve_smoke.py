@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``granula serve``.
+
+Builds a fixture store with two real simulated runs, starts the server
+as a genuine subprocess on an ephemeral port, then checks the public
+contract end to end:
+
+1. ``/healthz`` answers once the listener is up;
+2. ``/jobs`` lists both archives;
+3. ``/jobs/{id}/query`` aggregates a metric;
+4. a repeated conditional GET with ``If-None-Match`` returns 304;
+5. SIGTERM produces a clean shutdown (exit code 0).
+
+Run from the repo root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as granula_main  # noqa: E402
+
+BANNER_RE = re.compile(r"(http://[\d.]+:\d+)")
+STARTUP_TIMEOUT = 30.0
+
+
+def fail(message: str) -> None:
+    print(f"serve smoke: FAIL - {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def build_store(directory: Path) -> None:
+    for platform, algorithm in (("Giraph", "bfs"),
+                                ("PowerGraph", "pagerank")):
+        code = granula_main([
+            "run", platform, algorithm, "dg-tiny",
+            "--workers", "4", "--out", str(directory),
+        ])
+        if code != 0:
+            fail(f"granula run {platform} {algorithm} exited {code}")
+
+
+def fetch(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def wait_for_banner(process: subprocess.Popen) -> str:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            fail(f"server exited early (code {process.poll()})")
+        match = BANNER_RE.search(line)
+        if match:
+            return match.group(1)
+    fail("no startup banner within timeout")
+    raise AssertionError("unreachable")
+
+
+def wait_healthy(base: str) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        try:
+            status, _headers, _body = fetch(f"{base}/healthz")
+            if status == 200:
+                return
+        except OSError:
+            time.sleep(0.1)
+    fail("/healthz never answered 200")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        store = Path(tmp) / "store"
+        build_store(store)
+
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve", str(store),
+             "--port", "0"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            base = wait_for_banner(process)
+            wait_healthy(base)
+
+            status, _headers, body = fetch(f"{base}/jobs")
+            if status != 200:
+                fail(f"/jobs answered {status}")
+            jobs = [job["job_id"] for job in json.loads(body)["jobs"]]
+            if len(jobs) != 2:
+                fail(f"expected 2 archived jobs, saw {jobs}")
+            print(f"serve smoke: /jobs lists {jobs}")
+
+            query = (f"{base}/jobs/{jobs[0]}/query"
+                     "?mission=Superstep&agg=count")
+            status, headers, body = fetch(query)
+            if status != 200:
+                fail(f"query answered {status}: {body!r}")
+            result = json.loads(body)["result"]
+            if not isinstance(result, int) or result < 1:
+                fail(f"query result not a positive count: {result!r}")
+            print(f"serve smoke: query counted {result} supersteps")
+
+            etag = headers.get("ETag")
+            if not etag:
+                fail("query response carried no ETag")
+            status, headers, body = fetch(
+                query, headers={"If-None-Match": etag})
+            if status != 304:
+                fail(f"conditional GET answered {status}, expected 304")
+            if body:
+                fail("304 response carried a body")
+            if headers.get("ETag") != etag:
+                fail("304 response changed the ETag")
+            print("serve smoke: conditional GET revalidated with 304")
+
+            status, _headers, body = fetch(f"{base}/metrics")
+            if status != 200 or json.loads(body)["not_modified_total"] < 1:
+                fail("metrics did not record the 304")
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            if code != 0:
+                fail(f"server exited {code} on SIGTERM")
+            print("serve smoke: clean shutdown (exit 0)")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

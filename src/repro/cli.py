@@ -23,6 +23,13 @@ Subcommands::
     granula cache ls|gc|clear [--max-bytes N]
                                    inspect or prune the shared artifact
                                    cache (GRANULA_CACHE_DIR)
+    granula serve <store-dir> [--host H] [--port P] [--cache-size N]
+                                   serve an archive store over HTTP:
+                                   /jobs (filters + pagination),
+                                   /jobs/{id}, /jobs/{id}/query,
+                                   /jobs/{id}/report, /healthz, /metrics;
+                                   conditional GETs answer 304 off the
+                                   payload checksum
     granula report <archive.json> [--html FILE]
                                    render a stored archive
     granula diagnose <archive.json> [--compute-mission NAME]
@@ -49,9 +56,8 @@ from typing import List, Optional
 from repro.core.archive.serialize import archive_from_json
 from repro.core.archive.store import ArchiveStore
 from repro.core.model.library import default_library
-from repro.core.visualize.breakdown import compute_breakdown
 from repro.core.visualize.render_html import render_report_html
-from repro.core.visualize.timeline import render_timeline
+from repro.core.visualize.report import render_report_text
 from repro.errors import ReproError
 from repro.experiments.report import render_markdown, run_all
 from repro.experiments.table1_platforms import run_table1
@@ -352,12 +358,23 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     archive = archive_from_json(_read_file(args.archive, "archive"))
-    print(render_timeline(archive, max_depth=2))
-    print()
-    print(compute_breakdown(archive).render_text())
+    print(render_report_text(archive))
     if args.html:
         Path(args.html).write_text(render_report_html([archive]))
         print(f"HTML report written to {args.html}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import create_server, serve
+
+    server = create_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+    )
+    serve(server)
     return 0
 
 
@@ -442,6 +459,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gc: evict least-recently used entries "
                               "until the cache fits this budget")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve an archive store over HTTP (list/summary/query/"
+             "report endpoints with ETag caching)")
+    p_srv.add_argument("store", help="archive store directory to serve")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8737,
+                       help="bind port (default 8737; 0 = ephemeral)")
+    p_srv.add_argument("--cache-size", type=int, default=64,
+                       help="archives held in the in-process LRU cache "
+                            "(keyed by payload checksum; 0 disables)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="render a stored archive")
     p_rep.add_argument("archive", help="path to an archive JSON file")

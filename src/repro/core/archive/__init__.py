@@ -20,19 +20,25 @@ from repro.core.archive.integrity import (
     validate_archive,
     validate_text,
 )
-from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.query import ArchiveQuery, translate_path_pattern
 from repro.core.archive.serialize import archive_from_json, archive_to_json
-from repro.core.archive.store import ArchiveHandle, ArchiveStore
+from repro.core.archive.store import (
+    ArchiveHandle,
+    ArchiveStore,
+    validate_job_id,
+)
 
 __all__ = [
     "ArchivedOperation",
     "PerformanceArchive",
     "build_archive",
     "ArchiveQuery",
+    "translate_path_pattern",
     "archive_to_json",
     "archive_from_json",
     "ArchiveHandle",
     "ArchiveStore",
+    "validate_job_id",
     "ValidationFinding",
     "validate_archive",
     "validate_text",

@@ -32,6 +32,8 @@ from repro.core.archive.serialize import (
     is_columnar,
     payload_checksum,
 )
+from repro.core.archive.store import validate_job_id
+from repro.errors import ArchiveError
 
 #: Finding severities, most severe first.
 SEVERITIES = ("critical", "error", "warning", "info")
@@ -96,6 +98,13 @@ def worst_severity(findings: List[ValidationFinding]) -> Optional[str]:
 def validate_archive(archive: PerformanceArchive) -> List[ValidationFinding]:
     """Structural findings for an in-memory archive (never raises)."""
     findings: List[ValidationFinding] = []
+    try:
+        validate_job_id(archive.job_id)
+    except ArchiveError as exc:
+        findings.append(ValidationFinding(
+            "unsafe-job-id", "error", "<document>",
+            f"{exc}; an archive store would reject this id",
+        ))
     for op in archive.walk():
         if op.start_time is None:
             findings.append(ValidationFinding(

@@ -4,15 +4,79 @@
 systematically."  :class:`ArchiveQuery` provides path-pattern selection
 (glob-ish over mission paths), filtering, and metric extraction /
 aggregation over the selected operations.
+
+Path patterns are segment aware: ``*`` and ``?`` never cross a ``/``,
+and ``**`` (alone in its segment) matches any depth, including zero
+segments.  ``fnmatch`` was the original implementation and silently
+matched ``GiraphJob/*`` against arbitrarily deep descendants — the
+translation here honors the documented semantics.
 """
 
 from __future__ import annotations
 
-import fnmatch
-from typing import Any, Callable, Dict, List, Optional
+import re
+from typing import Any, Callable, Dict, List, Optional, Pattern
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.errors import QueryError
+
+# Placeholders for wildcard constructs, substituted after re.escape so
+# nothing in the pattern can smuggle raw regex syntax through.
+_GLOBSTAR = "\x00"
+_STAR = "\x01"
+_QMARK = "\x02"
+
+
+def translate_path_pattern(pattern: str) -> Pattern[str]:
+    """Compile a mission-path glob into an anchored regex.
+
+    ``*`` matches any run of characters within one path segment,
+    ``?`` one character within a segment, and ``**`` — which must span
+    a whole segment — any number of segments (including none), so
+    ``Job/**/Compute-*`` selects ``Compute-*`` operations at any depth
+    under ``Job``.
+    """
+    if not pattern:
+        raise QueryError("empty path pattern")
+    for segment in pattern.split("/"):
+        if "**" in segment and segment != "**":
+            raise QueryError(
+                f"bad path pattern {pattern!r}: ** must span a whole "
+                f"path segment (got {segment!r})"
+            )
+    escaped = (
+        re.escape(pattern)
+        .replace(re.escape("**"), _GLOBSTAR)
+        .replace(re.escape("*"), _STAR)
+        .replace(re.escape("?"), _QMARK)
+    )
+    # Substitution order matters: a globstar adjacent to a separator
+    # absorbs that separator, so `a/**/b` also matches `a/b` and
+    # `a/**` also matches `a`.
+    regex = (
+        escaped
+        .replace(_GLOBSTAR + "/", r"(?:[^/]+/)*")
+        .replace("/" + _GLOBSTAR, r"(?:/[^/]+)*")
+        .replace(_GLOBSTAR, r"[^/]*(?:/[^/]+)*")
+        .replace(_STAR, r"[^/]*")
+        .replace(_QMARK, r"[^/]")
+    )
+    return re.compile(regex + r"\Z")
+
+
+def _numeric(value: Any, info: str, op: ArchivedOperation) -> float:
+    """Coerce one info value for aggregation, or raise a typed error."""
+    if isinstance(value, bool):
+        raise QueryError(
+            f"info {info!r} of {op.path} is a boolean ({value!r}), "
+            f"not a number"
+        )
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"info {info!r} of {op.path} is not numeric: {value!r}"
+        ) from None
 
 
 class ArchiveQuery:
@@ -38,12 +102,12 @@ class ArchiveQuery:
     def path(self, pattern: str) -> "ArchiveQuery":
         """Narrow to operations whose mission path matches the glob.
 
-        ``*`` matches within one path segment, ``**`` any depth (via
-        :mod:`fnmatch` semantics applied to the joined path).
+        ``*`` matches within one path segment, ``**`` any depth (see
+        :func:`translate_path_pattern`).
         """
+        regex = translate_path_pattern(pattern)
         selected = [
-            op for op in self._selection
-            if fnmatch.fnmatchcase(op.path, pattern)
+            op for op in self._selection if regex.match(op.path)
         ]
         return ArchiveQuery(self.archive, selected)
 
@@ -106,18 +170,22 @@ class ArchiveQuery:
     # -- aggregation -------------------------------------------------------
 
     def total(self, info: str = "Duration") -> float:
-        """Sum of a numeric info over the selection (missing counts 0)."""
+        """Sum of a numeric info over the selection (missing counts 0).
+
+        A non-numeric value (a string, a boolean, a list) raises
+        :class:`QueryError` naming the offending operation.
+        """
         total = 0.0
         for op in self._selection:
             value = op.infos.get(info)
             if value is not None:
-                total += float(value)
+                total += _numeric(value, info, op)
         return total
 
     def mean(self, info: str = "Duration") -> float:
         """Mean of a numeric info over operations that carry it."""
         values = [
-            float(op.infos[info])
+            _numeric(op.infos[info], info, op)
             for op in self._selection
             if info in op.infos
         ]
@@ -131,7 +199,9 @@ class ArchiveQuery:
             raise QueryError(f"n must be positive, got {n}")
         carrying = [op for op in self._selection if info in op.infos]
         return sorted(
-            carrying, key=lambda op: float(op.infos[info]), reverse=True
+            carrying,
+            key=lambda op: _numeric(op.infos[info], info, op),
+            reverse=True,
         )[:n]
 
     def group_by_actor(self) -> Dict[str, List[ArchivedOperation]]:

@@ -4,19 +4,37 @@ The store is how results are shared among analysts: every archived job
 lands as one JSON file, and the index supports listing and filtering
 without parsing every archive.
 
-The store is corruption-tolerant: all writes are atomic (tmp file +
-``os.replace``), and a corrupt, missing, or stale ``index.json`` is
-rebuilt from the archive files on disk instead of crashing — the index
-is a cache, the archives are the truth.
+The store is corruption-tolerant and safe under concurrent writers:
+
+- all writes are atomic (uniquely-named tmp file + ``os.replace``), so
+  readers never observe a partial file and two processes writing the
+  same target cannot collide on the temporary sibling;
+- every index read-modify-write runs under an advisory file lock, so N
+  processes ``save()``-ing into one store lose no entries;
+- a corrupt, missing, or stale ``index.json`` is rebuilt from the
+  archive files on disk instead of crashing — the index is a cache, the
+  archives are the truth;
+- :meth:`ArchiveStore.refresh` makes a long-lived reader (e.g. the
+  ``granula serve`` process) pick up archives written by concurrent
+  ``granula run`` processes, at the cost of one ``stat()`` when nothing
+  changed.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
+import re
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.archive.archive import PerformanceArchive
 from repro.core.archive.serialize import (
@@ -24,10 +42,19 @@ from repro.core.archive.serialize import (
     document_to_archive,
     is_columnar,
     parse_document,
+    payload_checksum,
 )
 from repro.errors import ArchiveError
 
 _INDEX_NAME = "index.json"
+_LOCK_NAME = ".index.lock"
+
+#: Distinguishes temporary siblings written by concurrent processes.
+_TMP_COUNTER = itertools.count()
+
+#: The integrity block sits at the end of a serialized archive; this
+#: pulls the checksum out of the file tail without a full JSON parse.
+_CHECKSUM_TAIL_RE = re.compile(r'"checksum"\s*:\s*"([0-9a-f]{64})"')
 
 logger = logging.getLogger(__name__)
 
@@ -35,14 +62,49 @@ logger = logging.getLogger(__name__)
 def atomic_write_text(path: Path, text: str) -> None:
     """Write a file so that readers never observe a partial write.
 
-    The text lands in a temporary sibling first and is renamed over the
-    target (``os.replace`` is atomic on POSIX and Windows), so a crash
-    mid-write leaves either the old file or the new one — never a
-    truncated hybrid.
+    The text lands in a uniquely-named temporary sibling first and is
+    renamed over the target (``os.replace`` is atomic on POSIX and
+    Windows), so a crash mid-write leaves either the old file or the
+    new one — never a truncated hybrid.  The temporary name embeds the
+    pid and a process-local counter: two processes writing the same
+    target concurrently each complete their own rename instead of
+    racing on a shared ``.tmp`` sibling (where one writer's rename
+    could publish the other's half-written bytes).
     """
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    )
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def validate_job_id(job_id: str) -> str:
+    """Vet a job id for use as a store file name; returns it unchanged.
+
+    A job id becomes ``{job_id}.json`` inside the store directory, so
+    ids carrying path separators, parent references, or NUL bytes would
+    escape the store (``../../etc/cron.d/evil``) or address arbitrary
+    files.  Raises :class:`ArchiveError` for anything path-unsafe.
+    """
+    if not isinstance(job_id, str) or not job_id:
+        raise ArchiveError(f"job id must be a non-empty string, got {job_id!r}")
+    if any(sep in job_id for sep in ("/", "\\", "\x00")):
+        raise ArchiveError(
+            f"path-unsafe job id {job_id!r}: separators and NUL bytes "
+            f"are not allowed"
+        )
+    if job_id in (".", "..") or job_id.startswith("."):
+        raise ArchiveError(
+            f"path-unsafe job id {job_id!r}: must not be a dot name"
+        )
+    return job_id
 
 
 class ArchiveHandle:
@@ -93,6 +155,22 @@ class ArchiveHandle:
         return metadata if isinstance(metadata, dict) else {}
 
     @property
+    def checksum(self) -> str:
+        """The archive's payload checksum (its content identity).
+
+        Reads the stored integrity block when present; a version-1
+        archive (written before checksums existed) gets the checksum
+        computed from its payload, so every handle has a stable
+        content-addressed identity.
+        """
+        integrity = self.document.get("integrity")
+        if isinstance(integrity, dict):
+            stored = integrity.get("checksum")
+            if isinstance(stored, str) and stored:
+                return stored
+        return payload_checksum(self.document)
+
+    @property
     def makespan(self) -> Optional[float]:
         """Root operation duration, read without tree construction."""
         operations = self.document.get("operations")
@@ -106,7 +184,12 @@ class ArchiveHandle:
             end = operations.get("end")
         else:
             return None
-        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+        # Booleans are ints to isinstance(); True - False == 1 would
+        # silently report a one-second makespan off a damaged document.
+        if (
+            isinstance(start, (int, float)) and not isinstance(start, bool)
+            and isinstance(end, (int, float)) and not isinstance(end, bool)
+        ):
             return end - start
         return None
 
@@ -135,6 +218,18 @@ class ArchiveHandle:
         return self._archive
 
 
+#: (mtime_ns, size) identity of a file — cheap staleness detection.
+_Stamp = Tuple[int, int]
+
+
+def _stamp(path: Path) -> Optional[_Stamp]:
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
 class ArchiveStore:
     """A directory holding serialized archives plus an index file."""
 
@@ -143,6 +238,9 @@ class ArchiveStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._index_path = self.directory / _INDEX_NAME
         self._index: Dict[str, Dict] = {}
+        self._index_stamp: Optional[_Stamp] = None
+        #: job_id -> (file stamp, payload checksum) memo for cheap ETags.
+        self._checksums: Dict[str, Tuple[_Stamp, str]] = {}
         if self._index_path.exists():
             self._load_index()
         elif self._archive_paths():
@@ -155,6 +253,54 @@ class ArchiveStore:
             )
             self.rebuild_index()
 
+    # -- concurrency -------------------------------------------------------
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock over index read-modify-write.
+
+        Serializes index updates across *processes* sharing the store
+        directory (``flock`` on a sidecar lock file).  Without it, two
+        concurrent ``save()`` calls each read the index, add their own
+        entry, and write back — last writer silently dropping the
+        other's entry.  On platforms without ``fcntl`` the lock is a
+        no-op and the store degrades to single-process guarantees.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(
+            self.directory / _LOCK_NAME, os.O_CREAT | os.O_RDWR, 0o644
+        )
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def refresh(self) -> bool:
+        """Re-read the index if another process has changed it.
+
+        One ``stat()`` when nothing changed; a long-lived reader calls
+        this before answering a listing so archives written by
+        concurrent ``granula run`` processes become visible.  Returns
+        whether the in-memory index was reloaded.
+        """
+        stamp = _stamp(self._index_path)
+        if stamp == self._index_stamp:
+            return False
+        if stamp is None:
+            # Index deleted under us; archives (if any) are the truth.
+            if self._archive_paths():
+                self.rebuild_index()
+            else:
+                self._index = {}
+                self._index_stamp = None
+            return True
+        self._load_index()
+        return True
+
     # -- index persistence -------------------------------------------------
 
     def _archive_paths(self) -> List[Path]:
@@ -164,6 +310,7 @@ class ArchiveStore:
 
     def _load_index(self) -> None:
         """Load index.json, rebuilding on corruption or staleness."""
+        stamp = _stamp(self._index_path)
         try:
             index = json.loads(self._index_path.read_text())
         except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
@@ -192,6 +339,7 @@ class ArchiveStore:
             self.rebuild_index()
             return
         self._index = index
+        self._index_stamp = stamp
 
     def rebuild_index(self) -> Dict[str, Dict]:
         """Reconstruct the index from the archive files on disk.
@@ -199,25 +347,27 @@ class ArchiveStore:
         Unreadable archives are skipped with a warning — one corrupt
         file must not take the whole store down.  Returns the new index.
         """
-        index: Dict[str, Dict] = {}
-        for path in self._archive_paths():
-            handle = ArchiveHandle(path)
-            try:
-                index[handle.job_id] = {
-                    "platform": handle.platform,
-                    "algorithm": handle.metadata.get("algorithm", ""),
-                    "dataset": handle.metadata.get("dataset", ""),
-                    "makespan": handle.makespan,
-                    "operations": handle.size(),
-                }
-            except (ArchiveError, OSError, UnicodeDecodeError) as exc:
-                logger.warning(
-                    "archive store %s: skipping unreadable archive %s (%s)",
-                    self.directory, path.name, exc,
-                )
-                continue
-        self._index = index
-        self._save_index()
+        with self._locked():
+            index: Dict[str, Dict] = {}
+            for path in self._archive_paths():
+                handle = ArchiveHandle(path)
+                try:
+                    index[handle.job_id] = {
+                        "platform": handle.platform,
+                        "algorithm": handle.metadata.get("algorithm", ""),
+                        "dataset": handle.metadata.get("dataset", ""),
+                        "makespan": handle.makespan,
+                        "operations": handle.size(),
+                    }
+                except (ArchiveError, OSError, UnicodeDecodeError) as exc:
+                    logger.warning(
+                        "archive store %s: skipping unreadable archive "
+                        "%s (%s)",
+                        self.directory, path.name, exc,
+                    )
+                    continue
+            self._index = index
+            self._save_index()
         return dict(index)
 
     def _entry(self, archive: PerformanceArchive) -> Dict:
@@ -230,26 +380,59 @@ class ArchiveStore:
         }
 
     def _save_index(self) -> None:
-        atomic_write_text(self._index_path, json.dumps(self._index, indent=2))
+        # Sorted keys keep the rendering deterministic: an index built
+        # by N interleaved writers is byte-identical to a fresh
+        # rebuild_index() over the same archives.
+        atomic_write_text(
+            self._index_path,
+            json.dumps(self._index, indent=2, sort_keys=True),
+        )
+        self._index_stamp = _stamp(self._index_path)
+
+    def _reload_if_changed(self) -> None:
+        """Merge-in index changes made by other processes (lock held).
+
+        Inside the lock a plain reload is a merge: the on-disk index is
+        the union of every completed writer, and our pending change is
+        applied on top by the caller.
+        """
+        stamp = _stamp(self._index_path)
+        if stamp is not None and stamp != self._index_stamp:
+            try:
+                index = json.loads(self._index_path.read_text())
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                return  # Corrupt index: caller's save will rewrite it.
+            if isinstance(index, dict) and all(
+                isinstance(entry, dict) for entry in index.values()
+            ):
+                self._index = index
+                self._index_stamp = stamp
 
     # -- archive operations ------------------------------------------------
 
+    def _archive_path(self, job_id: str) -> Path:
+        return self.directory / f"{validate_job_id(job_id)}.json"
+
     def save(self, archive: PerformanceArchive, overwrite: bool = False) -> Path:
         """Persist an archive (atomically); returns its file path."""
-        path = self.directory / f"{archive.job_id}.json"
-        if path.exists() and not overwrite:
-            raise ArchiveError(
-                f"archive {archive.job_id!r} already stored; "
-                f"pass overwrite=True to replace it"
-            )
-        atomic_write_text(path, archive_to_json(archive))
-        self._index[archive.job_id] = self._entry(archive)
-        self._save_index()
+        path = self._archive_path(archive.job_id)
+        with self._locked():
+            self._reload_if_changed()
+            if (
+                archive.job_id in self._index or path.exists()
+            ) and not overwrite:
+                raise ArchiveError(
+                    f"archive {archive.job_id!r} already stored; "
+                    f"pass overwrite=True to replace it"
+                )
+            atomic_write_text(path, archive_to_json(archive))
+            self._index[archive.job_id] = self._entry(archive)
+            self._save_index()
         return path
 
     def handle(self, job_id: str) -> ArchiveHandle:
         """Lazy handle on one stored archive (no tree construction)."""
-        path = self.directory / f"{job_id}.json"
+        path = self._archive_path(job_id)
         if not path.exists():
             raise ArchiveError(f"no stored archive for job {job_id!r}")
         return ArchiveHandle(path)
@@ -258,14 +441,55 @@ class ArchiveStore:
         """Load one archive by job id."""
         return self.handle(job_id).archive()
 
+    def checksum(self, job_id: str) -> str:
+        """Payload checksum of one stored archive (memoized by stamp).
+
+        The serving layer uses this as the ETag / cache key for every
+        per-archive response.  The checksum is remembered against the
+        file's (mtime, size) identity, so repeated calls cost one
+        ``stat()``; a cold call tries a tail scan for the integrity
+        block (it is the last key of a serialized archive) before
+        falling back to a full parse.
+        """
+        path = self._archive_path(job_id)
+        stamp = _stamp(path)
+        if stamp is None:
+            self._checksums.pop(job_id, None)
+            raise ArchiveError(f"no stored archive for job {job_id!r}")
+        memo = self._checksums.get(job_id)
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        checksum = self._read_checksum(path)
+        self._checksums[job_id] = (stamp, checksum)
+        return checksum
+
+    @staticmethod
+    def _read_checksum(path: Path) -> str:
+        tail_bytes = 4096
+        try:
+            with path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(max(0, size - tail_bytes))
+                tail = fh.read().decode("utf-8", errors="replace")
+        except OSError as exc:
+            raise ArchiveError(f"cannot read archive {path}: {exc}") from None
+        matches = _CHECKSUM_TAIL_RE.findall(tail)
+        if matches:
+            return matches[-1]
+        return ArchiveHandle(path).checksum
+
     def delete(self, job_id: str) -> None:
         """Remove one stored archive."""
-        path = self.directory / f"{job_id}.json"
-        if not path.exists():
-            raise ArchiveError(f"no stored archive for job {job_id!r}")
-        path.unlink()
-        self._index.pop(job_id, None)
-        self._save_index()
+        path = self._archive_path(job_id)
+        with self._locked():
+            self._reload_if_changed()
+            if not path.exists():
+                raise ArchiveError(f"no stored archive for job {job_id!r}")
+            path.unlink()
+            self._index.pop(job_id, None)
+            self._checksums.pop(job_id, None)
+            self._save_index()
 
     def list(
         self,

@@ -18,6 +18,7 @@ from repro.core.visualize.utilization import UtilizationChart, compute_utilizati
 from repro.core.visualize.gantt import SuperstepGantt, compute_gantt
 from repro.core.visualize.timeline import render_timeline
 from repro.core.visualize.render_html import render_report_html
+from repro.core.visualize.report import render_report_text
 
 __all__ = [
     "DomainBreakdown",
@@ -28,4 +29,5 @@ __all__ = [
     "compute_gantt",
     "render_timeline",
     "render_report_html",
+    "render_report_text",
 ]

@@ -1,0 +1,26 @@
+"""Combined plain-text report over one archive.
+
+The textual sibling of :func:`repro.core.visualize.render_html
+.render_report_html`: timeline plus domain breakdown, the same two
+views ``granula report`` prints.  Shared by the CLI and the archive
+query service so both render identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.archive.archive import PerformanceArchive
+from repro.core.visualize.breakdown import compute_breakdown
+from repro.core.visualize.timeline import render_timeline
+
+
+def render_report_text(
+    archive: PerformanceArchive,
+    max_depth: Optional[int] = 2,
+) -> str:
+    """Timeline + breakdown of one archive as plain text."""
+    return "\n\n".join([
+        render_timeline(archive, max_depth=max_depth),
+        compute_breakdown(archive).render_text(),
+    ])

@@ -92,3 +92,7 @@ class QueryError(ArchiveError):
 
 class VisualizationError(ReproError):
     """Errors while rendering archives into visuals."""
+
+
+class ServiceError(ReproError):
+    """Errors in the archive query service (configuration, startup)."""

@@ -1,0 +1,33 @@
+"""The concurrent archive query service (``granula serve``).
+
+Exposes an :class:`repro.core.archive.store.ArchiveStore` over HTTP so
+archives can be listed, summarized, queried, and rendered without
+shipping the store directory around — the serving-subsystem shape of
+the paper's "query the contents systematically".
+
+Layers:
+
+- :mod:`repro.service.cache` — in-process LRU archive cache keyed by
+  payload checksum, so a rewritten archive never serves stale trees;
+- :mod:`repro.service.metrics` — thread-safe request counters, latency
+  percentiles, and cache hit rate behind ``/metrics``;
+- :mod:`repro.service.app` — transport-independent request handling
+  (routing, filters, pagination, ETag / ``If-None-Match`` 304s);
+- :mod:`repro.service.server` — :class:`http.server.ThreadingHTTPServer`
+  wiring with graceful shutdown.
+"""
+
+from repro.service.app import ArchiveService, Response
+from repro.service.cache import ArchiveCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import ArchiveServer, create_server, serve
+
+__all__ = [
+    "ArchiveService",
+    "Response",
+    "ArchiveCache",
+    "ServiceMetrics",
+    "ArchiveServer",
+    "create_server",
+    "serve",
+]

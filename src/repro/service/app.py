@@ -1,0 +1,396 @@
+"""Transport-independent request handling for the archive service.
+
+:class:`ArchiveService` maps (path, query parameters, headers) to a
+:class:`Response` without touching sockets, so the routing, filtering,
+pagination, and conditional-GET logic is unit-testable and the HTTP
+layer (:mod:`repro.service.server`) stays a thin adapter.
+
+Conditional GETs: every per-archive response carries a strong ``ETag``
+derived from the archive's payload checksum — the same digest the
+integrity block stores — so a client re-sending it via
+``If-None-Match`` gets a ``304 Not Modified`` without the server
+parsing, materializing, or rendering anything.  A rewritten archive
+changes its checksum, which invalidates both the ETag and the
+in-process cache entry at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.store import ArchiveStore, validate_job_id
+from repro.core.visualize.render_html import render_report_html
+from repro.core.visualize.report import render_report_text
+from repro.errors import ArchiveError, QueryError
+from repro.service.cache import ArchiveCache
+from repro.service.metrics import ServiceMetrics
+
+#: Default and maximum page size of the ``/jobs`` listing.
+DEFAULT_PAGE = 50
+MAX_PAGE = 500
+
+#: Aggregations the ``/jobs/{id}/query`` endpoint accepts.
+AGGREGATIONS = (
+    "count", "total", "mean", "top", "values", "durations", "operations",
+)
+
+
+@dataclass
+class Response:
+    """One service response, transport-agnostic."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        """The body parsed as JSON (test convenience)."""
+        return json.loads(self.body)
+
+
+def json_response(
+    status: int, document: Any, etag: Optional[str] = None,
+) -> Response:
+    body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+    headers = {"ETag": etag} if etag else {}
+    return Response(status, body, "application/json", headers)
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response(status, {"error": message, "status": status})
+
+
+def _etag_of(checksum: str) -> str:
+    return f'"{checksum}"'
+
+
+def _etag_matches(if_none_match: Optional[str], etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates this ETag."""
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def _operation_record(op: ArchivedOperation) -> Dict[str, Any]:
+    return {
+        "uid": op.uid,
+        "path": op.path,
+        "mission": op.mission,
+        "actor": op.actor,
+        "start": op.start_time,
+        "end": op.end_time,
+        "duration": op.duration,
+    }
+
+
+class ArchiveService:
+    """Routes service requests against one archive store."""
+
+    def __init__(self, store: ArchiveStore, cache_size: int = 64):
+        self.store = store
+        self.cache = ArchiveCache(cache_size)
+        self.metrics = ServiceMetrics()
+
+    # -- entry point -------------------------------------------------------
+
+    def handle(
+        self,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        method: str = "GET",
+    ) -> Response:
+        """Dispatch one request; never raises on client errors."""
+        started = time.perf_counter()
+        endpoint, response = self._dispatch(
+            path, dict(params or {}), dict(headers or {}), method
+        )
+        self.metrics.observe(
+            endpoint, response.status, time.perf_counter() - started
+        )
+        return response
+
+    def _dispatch(
+        self,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        method: str,
+    ) -> Tuple[str, Response]:
+        if method not in ("GET", "HEAD"):
+            return path, error_response(
+                405, f"method {method} not allowed (read-only service)"
+            )
+        parts = [part for part in path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                return "/healthz", self._healthz()
+            if parts == ["metrics"]:
+                return "/metrics", self._metrics()
+            if parts == ["jobs"]:
+                return "/jobs", self._jobs(params, headers)
+            if len(parts) >= 2 and parts[0] == "jobs":
+                job_id = parts[1]
+                if len(parts) == 2:
+                    return "/jobs/{id}", self._job_summary(job_id, headers)
+                if parts[2:] == ["query"]:
+                    return (
+                        "/jobs/{id}/query",
+                        self._job_query(job_id, params, headers),
+                    )
+                if parts[2:] == ["report"]:
+                    return (
+                        "/jobs/{id}/report",
+                        self._job_report(job_id, params, headers),
+                    )
+            return "<unknown>", error_response(
+                404, f"no route for {path!r}"
+            )
+        except _BadRequest as exc:
+            return exc.endpoint, error_response(400, str(exc))
+        except QueryError as exc:
+            return path, error_response(400, str(exc))
+        except ArchiveError as exc:
+            return path, error_response(404, str(exc))
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        self.store.refresh()
+        return json_response(200, {
+            "status": "ok",
+            "jobs": len(self.store),
+            "store": str(self.store.directory),
+        })
+
+    def _metrics(self) -> Response:
+        return json_response(
+            200, self.metrics.snapshot(self.cache.stats())
+        )
+
+    def _jobs(
+        self, params: Dict[str, str], headers: Dict[str, str],
+    ) -> Response:
+        offset = _int_param(params, "offset", 0, "/jobs", minimum=0)
+        limit = _int_param(
+            params, "limit", DEFAULT_PAGE, "/jobs", minimum=1
+        )
+        limit = min(limit, MAX_PAGE)
+        self.store.refresh()
+        job_ids = self.store.list(
+            platform=params.get("platform"),
+            algorithm=params.get("algorithm"),
+            dataset=params.get("dataset"),
+        )
+        page = job_ids[offset:offset + limit]
+        jobs = [
+            dict(self.store.summary(job_id), job_id=job_id)
+            for job_id in page
+        ]
+        document = {
+            "total": len(job_ids),
+            "offset": offset,
+            "limit": limit,
+            "jobs": jobs,
+        }
+        # The listing's identity is its content: a digest over the
+        # canonical document revalidates as long as no archive changed.
+        canonical = json.dumps(document, sort_keys=True,
+                               separators=(",", ":"))
+        etag = _etag_of(
+            hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        )
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        return json_response(200, document, etag=etag)
+
+    def _job_summary(
+        self, job_id: str, headers: Dict[str, str],
+    ) -> Response:
+        checksum = self._checksum(job_id)
+        etag = _etag_of(checksum)
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        self.store.refresh()
+        summary = self.store.summary(job_id)
+        return json_response(
+            200,
+            dict(summary, job_id=job_id, checksum=checksum),
+            etag=etag,
+        )
+
+    def _job_query(
+        self,
+        job_id: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+    ) -> Response:
+        agg = params.get("agg", "total")
+        if agg not in AGGREGATIONS:
+            raise _BadRequest(
+                "/jobs/{id}/query",
+                f"unknown agg {agg!r}; expected one of "
+                f"{', '.join(AGGREGATIONS)}",
+            )
+        metric = params.get("metric", "Duration")
+        checksum = self._checksum(job_id)
+        etag = _etag_of(checksum)
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+
+        archive = self._archive(job_id, checksum)
+        query = ArchiveQuery(archive)
+        if "path" in params:
+            query = query.path(params["path"])
+        if "mission" in params:
+            query = query.mission(params["mission"])
+        if "actor" in params:
+            query = query.actor(params["actor"])
+        if "iteration" in params:
+            query = query.iteration(_int_param(
+                params, "iteration", 0, "/jobs/{id}/query"
+            ))
+        result = self._aggregate(query, agg, metric, params)
+        return json_response(200, {
+            "job_id": job_id,
+            "checksum": checksum,
+            "selection": len(query),
+            "agg": agg,
+            "metric": metric,
+            "result": result,
+        }, etag=etag)
+
+    def _aggregate(
+        self,
+        query: ArchiveQuery,
+        agg: str,
+        metric: str,
+        params: Dict[str, str],
+    ) -> Any:
+        if agg == "count":
+            return len(query)
+        if agg == "total":
+            return query.total(metric)
+        if agg == "mean":
+            return query.mean(metric)
+        if agg == "durations":
+            return query.durations()
+        if agg == "values":
+            return query.values(metric)
+        if agg == "top":
+            n = _int_param(params, "n", 5, "/jobs/{id}/query", minimum=1)
+            return [
+                dict(_operation_record(op), value=op.infos.get(metric))
+                for op in query.top(metric, n)
+            ]
+        return [_operation_record(op) for op in query.operations()]
+
+    def _job_report(
+        self,
+        job_id: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+    ) -> Response:
+        fmt = params.get("format", "text")
+        if fmt not in ("text", "html"):
+            raise _BadRequest(
+                "/jobs/{id}/report",
+                f"unknown format {fmt!r}; expected text or html",
+            )
+        checksum = self._checksum(job_id)
+        etag = _etag_of(checksum)
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        archive = self._archive(job_id, checksum)
+        if fmt == "html":
+            body = render_report_html([archive])
+            content_type = "text/html; charset=utf-8"
+        else:
+            body = render_report_text(archive)
+            content_type = "text/plain; charset=utf-8"
+        return Response(
+            200, body.encode("utf-8"), content_type, {"ETag": etag}
+        )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _checksum(self, job_id: str) -> str:
+        """The job's payload checksum; 400 on unsafe ids, 404 if absent."""
+        try:
+            validate_job_id(job_id)
+        except ArchiveError as exc:
+            raise _BadRequest("/jobs/{id}", str(exc)) from None
+        try:
+            return self.store.checksum(job_id)
+        except ArchiveError:
+            # The file may have appeared after our index snapshot.
+            if self.store.refresh():
+                return self.store.checksum(job_id)
+            raise
+
+    def _archive(self, job_id: str, checksum: str) -> PerformanceArchive:
+        """Materialize via the checksum-keyed cache."""
+        archive = self.cache.get(checksum)
+        if archive is None:
+            archive = self.store.handle(job_id).archive()
+            self.cache.put(checksum, archive)
+        return archive
+
+
+class _BadRequest(Exception):
+    """Internal: a client error with the endpoint label attached."""
+
+    def __init__(self, endpoint: str, message: str):
+        super().__init__(message)
+        self.endpoint = endpoint
+
+
+def _int_param(
+    params: Mapping[str, str],
+    name: str,
+    default: int,
+    endpoint: str,
+    minimum: Optional[int] = None,
+) -> int:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _BadRequest(
+            endpoint, f"parameter {name}={raw!r} is not an integer"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise _BadRequest(
+            endpoint, f"parameter {name}={value} must be >= {minimum}"
+        )
+    return value
+
+
+__all__ = [
+    "ArchiveService",
+    "Response",
+    "AGGREGATIONS",
+    "json_response",
+    "error_response",
+]

@@ -1,0 +1,69 @@
+"""Request metrics for the archive query service.
+
+Thread-safe counters and latency reservoirs, snapshotted by the
+``/metrics`` endpoint.  Latencies keep a bounded window per endpoint
+(the most recent observations), enough for meaningful percentiles
+without unbounded growth in a long-lived server.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Any, Deque, Dict, List
+
+#: Latency observations retained per endpoint.
+WINDOW = 2048
+
+#: Percentiles reported by :meth:`ServiceMetrics.snapshot`.
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty value list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Counts, status codes, and latency percentiles per endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Counter = Counter()
+        self._statuses: Counter = Counter()
+        self._not_modified = 0
+        self._latencies: Dict[str, Deque[float]] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one handled request."""
+        with self._lock:
+            self._requests[endpoint] += 1
+            self._statuses[str(status)] += 1
+            if status == 304:
+                self._not_modified += 1
+            window = self._latencies.setdefault(
+                endpoint, deque(maxlen=WINDOW)
+            )
+            window.append(seconds)
+
+    def snapshot(self, cache_stats: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``/metrics`` document."""
+        with self._lock:
+            latency = {}
+            for endpoint, window in self._latencies.items():
+                values = list(window)
+                latency[endpoint] = {
+                    f"p{p}_ms": percentile(values, p / 100.0) * 1000.0
+                    for p in PERCENTILES
+                }
+            return {
+                "requests_total": sum(self._requests.values()),
+                "requests_by_endpoint": dict(self._requests),
+                "responses_by_status": dict(self._statuses),
+                "not_modified_total": self._not_modified,
+                "latency_ms": latency,
+                "cache": dict(cache_stats),
+            }

@@ -1,0 +1,160 @@
+"""HTTP wiring for the archive query service.
+
+A thin adapter from :class:`http.server.ThreadingHTTPServer` onto
+:class:`repro.service.app.ArchiveService`: one daemon thread per
+request, stdlib only.  ``serve()`` blocks until SIGINT/SIGTERM and
+shuts the listener down gracefully (in-flight requests finish; the
+socket closes cleanly).
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.archive.store import ArchiveStore
+from repro.errors import ServiceError
+from repro.service.app import ArchiveService, Response
+
+logger = logging.getLogger(__name__)
+
+
+class ArchiveRequestHandler(BaseHTTPRequestHandler):
+    """Adapts one HTTP request onto the service's ``handle()``."""
+
+    server: "ArchiveServer"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, method: str) -> None:
+        split = urlsplit(self.path)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+        }
+        headers = {key: value for key, value in self.headers.items()}
+        try:
+            response = self.server.service.handle(
+                split.path, params, headers, method=method
+            )
+        except Exception:  # noqa: BLE001 - last-resort 500
+            logger.exception("unhandled error serving %s", self.path)
+            response = Response(
+                500, b'{"error": "internal server error"}',
+            )
+        self._write(response, include_body=method != "HEAD")
+
+    def _write(self, response: Response, include_body: bool) -> None:
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            if include_body and response.body:
+                self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # Client went away mid-response.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._respond("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._respond("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._respond("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._respond("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._respond("DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class ArchiveServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying its :class:`ArchiveService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ArchiveService):
+        super().__init__(address, ArchiveRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    store: Union[str, Path, ArchiveStore],
+    host: str = "127.0.0.1",
+    port: int = 8737,
+    cache_size: int = 64,
+) -> ArchiveServer:
+    """Build a ready-to-serve (not yet serving) archive server.
+
+    ``port=0`` binds an ephemeral port — read the actual one off
+    ``server.server_address``.
+    """
+    if not isinstance(store, ArchiveStore):
+        directory = Path(store)
+        if not directory.exists():
+            raise ServiceError(
+                f"archive store directory {directory} does not exist"
+            )
+        store = ArchiveStore(directory)
+    service = ArchiveService(store, cache_size=cache_size)
+    try:
+        return ArchiveServer((host, port), service)
+    except OSError as exc:
+        raise ServiceError(
+            f"cannot bind {host}:{port}: {exc}"
+        ) from None
+
+
+def serve(server: ArchiveServer, banner: bool = True) -> None:
+    """Serve until SIGINT/SIGTERM, then shut down gracefully.
+
+    Signal handlers are only installed when running on the main thread
+    (the CLI path); callers embedding the server elsewhere stop it with
+    ``server.shutdown()``.
+    """
+    stop = threading.Event()
+
+    def request_shutdown(signum, _frame) -> None:
+        logger.info("signal %s: shutting down", signum)
+        stop.set()
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    on_main = threading.current_thread() is threading.main_thread()
+    previous = {}
+    if on_main:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, request_shutdown)
+    try:
+        if banner:
+            jobs = len(server.service.store)
+            print(f"granula serve: {jobs} archived job(s) at "
+                  f"{server.url} (Ctrl-C to stop)")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    finally:
+        server.server_close()
+        if on_main:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        if banner:
+            print("granula serve: stopped")

@@ -225,6 +225,34 @@ class TestQuery:
         assert len(q.path("Job/ProcessGraph/Superstep-*")) == 3
         assert len(q.path("Job/*/LocalLoad")) == 2
 
+    def test_path_glob_star_stays_in_segment(self, archive):
+        # Regression: fnmatch translated * to .*, so Job/* matched
+        # arbitrarily deep descendants like Job/ProcessGraph/Superstep-1.
+        q = ArchiveQuery(archive)
+        assert {op.mission for op in q.path("Job/*").operations()} == {
+            "LoadGraph", "ProcessGraph"}
+        assert len(q.path("Job/Superstep-*")) == 0
+
+    def test_path_glob_globstar_any_depth(self, archive):
+        q = ArchiveQuery(archive)
+        assert len(q.path("Job/**")) == 8  # includes Job itself
+        assert {op.mission for op in q.path("**/LocalLoad").operations()} \
+            == {"LocalLoad"}
+        assert len(q.path("Job/**/Superstep-*")) == 3
+        assert len(q.path("**")) == 8
+
+    def test_path_glob_question_mark(self, archive):
+        q = ArchiveQuery(archive)
+        assert len(q.path("Job/ProcessGraph/Superstep-?")) == 3
+        assert len(q.path("Job/ProcessGraph/Superstep?0")) == 1
+
+    def test_path_glob_rejects_bad_patterns(self, archive):
+        q = ArchiveQuery(archive)
+        with pytest.raises(QueryError):
+            q.path("")
+        with pytest.raises(QueryError):
+            q.path("Job/Process**")
+
     def test_mission_and_actor(self, archive):
         q = ArchiveQuery(archive)
         assert len(q.mission("Superstep")) == 3
@@ -265,6 +293,29 @@ class TestQuery:
         assert top[0].infos["BytesRead"] == 200
         with pytest.raises(QueryError):
             ArchiveQuery(archive).top("Duration", 0)
+
+    def test_aggregation_rejects_non_numeric(self, archive):
+        # Regression: a string info leaked a raw ValueError out of
+        # total/mean/top instead of a typed QueryError.
+        archive.operation("u20").infos["Status"] = "SUCCEEDED"
+        q = ArchiveQuery(archive).mission("LocalLoad")
+        with pytest.raises(QueryError, match="not numeric"):
+            q.total("Status")
+        with pytest.raises(QueryError, match="not numeric"):
+            q.mean("Status")
+        with pytest.raises(QueryError, match="not numeric"):
+            q.top("Status")
+        archive.operation("u20").infos["Nested"] = [1, 2]
+        with pytest.raises(QueryError, match="not numeric"):
+            q.total("Nested")
+
+    def test_aggregation_rejects_boolean(self, archive):
+        archive.operation("u20").infos["Cached"] = True
+        q = ArchiveQuery(archive).mission("LocalLoad")
+        with pytest.raises(QueryError, match="boolean"):
+            q.total("Cached")
+        with pytest.raises(QueryError, match="boolean"):
+            q.mean("Cached")
 
     def test_group_by_actor(self, archive):
         groups = ArchiveQuery(archive).mission("LocalLoad").group_by_actor()
@@ -366,3 +417,94 @@ class TestStore:
     def test_summary_missing(self, tmp_path):
         with pytest.raises(ArchiveError):
             ArchiveStore(tmp_path).summary("ghost")
+
+    @pytest.mark.parametrize("job_id", [
+        "../escape", "a/b", "..", ".", "a\\b", "nul\x00byte", ".hidden",
+    ])
+    def test_path_unsafe_job_ids_rejected(self, tmp_path, job_id):
+        # Regression: f"{job_id}.json" was built unvalidated, so a job
+        # id carrying separators escaped the store directory.
+        store = ArchiveStore(tmp_path)
+        root = ArchivedOperation("u", "Job", "C", 0.0, 1.0)
+        archive = PerformanceArchive(job_id, root)
+        with pytest.raises(ArchiveError, match="job id"):
+            store.save(archive)
+        with pytest.raises(ArchiveError, match="job id"):
+            store.handle(job_id)
+        with pytest.raises(ArchiveError, match="job id"):
+            store.delete(job_id)
+        assert list(tmp_path.parent.glob("*.json")) == []
+
+    def test_checksum_matches_handle_and_memoizes(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        checksum = store.checksum("job-x")
+        assert checksum == store.handle("job-x").checksum
+        assert store.checksum("job-x") == checksum  # memoized path
+        store.save(make_archive(), overwrite=True)
+        assert store.checksum("job-x") == checksum  # same payload
+        with pytest.raises(ArchiveError):
+            store.checksum("ghost")
+
+    def test_refresh_sees_external_writes(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        other = ArchiveStore(tmp_path)
+        other.save(make_archive_with_id("job-y"))
+        assert "job-y" not in store
+        assert store.refresh() is True
+        assert store.list() == ["job-x", "job-y"]
+        assert store.refresh() is False  # nothing changed: stat only
+
+    def test_refresh_handles_deleted_index(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        store.save(make_archive())
+        (tmp_path / "index.json").unlink()
+        assert store.refresh() is True
+        assert store.list() == ["job-x"]
+
+
+def make_archive_with_id(job_id):
+    root = ArchivedOperation("u0", "Job", "Client", 0.0, 5.0)
+    child = ArchivedOperation("u1", "LoadGraph", "Master", 0.0, 2.0,
+                              parent=root)
+    root.children.append(child)
+    return PerformanceArchive(job_id, root, platform="Test")
+
+
+class TestHandle:
+    def test_makespan_rejects_boolean_timestamps(self, tmp_path):
+        # isinstance(True, int) holds, so a damaged document with
+        # boolean start/end used to report a makespan of True - False.
+        import json
+
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({
+            "format": "granula-archive",
+            "format_version": 1,
+            "job_id": "b",
+            "operations": {"uid": "u", "mission": "Job", "actor": "C",
+                           "start": False, "end": True, "infos": {},
+                           "children": []},
+        }))
+        from repro.core.archive.store import ArchiveHandle
+
+        assert ArchiveHandle(path).makespan is None
+
+    def test_checksum_computed_for_v1(self, tmp_path):
+        import json
+
+        from repro.core.archive.serialize import payload_checksum
+        from repro.core.archive.store import ArchiveHandle
+
+        document = {
+            "format": "granula-archive",
+            "format_version": 1,
+            "job_id": "b",
+            "operations": {"uid": "u", "mission": "Job", "actor": "C",
+                           "start": 0.0, "end": 1.0, "infos": {},
+                           "children": []},
+        }
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(document))
+        assert ArchiveHandle(path).checksum == payload_checksum(document)

@@ -1,0 +1,69 @@
+"""Unit tests for the checksum-keyed LRU archive cache."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ArchiveCache
+
+
+class TestArchiveCache:
+    def test_hit_and_miss_counters(self):
+        cache = ArchiveCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", "A")
+        assert cache.get("a") == "A"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ArchiveCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b becomes least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ArchiveCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ArchiveCache(capacity=-1)
+
+    def test_clear_keeps_counters(self):
+        cache = ArchiveCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_thread_safety_smoke(self):
+        cache = ArchiveCache(capacity=16)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = f"k{(seed * 7 + i) % 32}"
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 16

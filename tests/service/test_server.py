@@ -1,0 +1,167 @@
+"""End-to-end tests over a real ThreadingHTTPServer."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.server import create_server
+
+from tests.service.conftest import make_archive
+
+
+@pytest.fixture()
+def server(store):
+    server = create_server(store, port=0, cache_size=8)
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05),
+        daemon=True,
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def fetch(server, path, headers=None):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestHTTP:
+    def test_healthz(self, server):
+        status, _headers, body = fetch(server, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_jobs_roundtrip(self, server):
+        status, _headers, body = fetch(server, "/jobs?platform=Giraph")
+        assert status == 200
+        document = json.loads(body)
+        assert [j["job_id"] for j in document["jobs"]] == ["alpha", "gamma"]
+
+    def test_query_over_http(self, server):
+        status, _headers, body = fetch(
+            server,
+            "/jobs/alpha/query?mission=Superstep&agg=mean",
+        )
+        assert status == 200
+        assert json.loads(body)["result"] == 2.0
+
+    def test_conditional_get_304(self, server):
+        status, headers, _body = fetch(server, "/jobs/alpha")
+        assert status == 200
+        etag = headers["ETag"]
+        status, headers, body = fetch(
+            server, "/jobs/alpha", headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == etag
+
+    def test_missing_job_404_and_unsafe_400(self, server):
+        assert fetch(server, "/jobs/ghost")[0] == 404
+        assert fetch(server, "/jobs/..")[0] == 400
+
+    def test_report_html(self, server):
+        status, headers, body = fetch(
+            server, "/jobs/alpha/report?format=html"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert b"<svg" in body
+
+    def test_write_method_rejected(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/jobs", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+
+    def test_head_request(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/jobs", method="HEAD"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            assert response.read() == b""
+
+    def test_concurrent_clients(self, server):
+        paths = [
+            "/jobs",
+            "/jobs/alpha",
+            "/jobs/beta/query?agg=count",
+            "/jobs/gamma/report",
+            "/healthz",
+        ]
+        results: list = []
+        errors: list = []
+
+        def client(worker: int) -> None:
+            try:
+                for i in range(10):
+                    path = paths[(worker + i) % len(paths)]
+                    status, _headers, _body = fetch(server, path)
+                    results.append(status)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert len(results) == 80
+        assert set(results) == {200}
+
+    def test_serves_archives_written_while_running(self, server, store):
+        store.save(make_archive("late"))
+        status, _headers, body = fetch(server, "/jobs/late")
+        assert status == 200
+        assert json.loads(body)["job_id"] == "late"
+
+    def test_metrics_over_http(self, server):
+        fetch(server, "/jobs")
+        status, _headers, body = fetch(server, "/metrics")
+        assert status == 200
+        document = json.loads(body)
+        assert document["requests_total"] >= 1
+        assert "cache" in document
+
+
+class TestCreateServer:
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            create_server(tmp_path / "nope")
+
+    def test_accepts_directory_path(self, tmp_path, store):
+        server = create_server(str(store.directory), port=0)
+        try:
+            thread = threading.Thread(
+                target=lambda: server.serve_forever(poll_interval=0.05),
+                daemon=True,
+            )
+            thread.start()
+            assert fetch(server, "/healthz")[0] == 200
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -17,9 +17,23 @@ class TestParser:
                      ["run", "Giraph", "bfs", "dg-tiny"],
                      ["experiments"], ["report", "x.json"],
                      ["validate", "x.json"], ["repair", "x.json"],
-                     ["ingest", "x.log", "--salvage"]):
+                     ["ingest", "x.log", "--salvage"],
+                     ["serve", "store-dir"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "archives"])
+        assert args.store == "archives"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8737
+        assert args.cache_size == 64
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "archives", "--host", "0.0.0.0", "--port", "0",
+             "--cache-size", "0"])
+        assert (args.host, args.port, args.cache_size) == ("0.0.0.0", 0, 0)
 
 
 class TestCommands:
@@ -168,6 +182,10 @@ class TestResilienceCommands:
         path.write_text("\x00 hopeless")
         assert main(["repair", str(path)]) == 2
         assert "nothing recoverable" in capsys.readouterr().err
+
+    def test_serve_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
 
     def test_ingest_clean_log(self, capsys, tmp_path, giraph_run):
         log = tmp_path / "run.log"
