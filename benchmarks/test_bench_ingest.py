@@ -1,0 +1,113 @@
+"""Write-path benchmark: submit (202 ack) latency and drain throughput.
+
+Measures the two numbers the ingestion tier's robustness envelope is
+tuned around:
+
+- **submit latency** — the cost of a durable 202: envelope framing plus
+  an fsync'd WAL append (p50/p99 over a burst);
+- **drain throughput** — how fast the background worker moves records
+  from the WAL into the archive store (records/s until zero lag).
+
+Writes ``benchmarks/output/ingest_bench.json``.  The floors are
+deliberately loose (CI shared runners have wild fsync variance); the
+artifact is the signal, the assertions only catch collapse.
+
+``GRANULA_BENCH_SMALL=1`` shrinks the burst for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.archive.serialize import archive_to_json
+from repro.core.archive.store import ArchiveStore
+from repro.service.ingest import IngestPipeline
+
+from benchmarks.test_bench_serve import _make_archive
+
+#: Collapse floors, not targets: a durable ack must stay interactive,
+#: and the drain must beat one record per second even on sad disks.
+MAX_P99_SUBMIT_MS = 250.0
+MIN_DRAIN_RPS = 1.0
+
+
+def small_mode() -> bool:
+    return os.environ.get("GRANULA_BENCH_SMALL", "") not in ("", "0")
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    index = min(len(sorted_values) - 1,
+                int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def test_bench_ingest(tmp_path, output_dir):
+    jobs = 20 if small_mode() else 100
+    supersteps = 4 if small_mode() else 8
+    workers = 8 if small_mode() else 16
+
+    ArchiveStore(tmp_path / "store")  # Create the served directory.
+    payloads = [
+        archive_to_json(
+            _make_archive(f"ingest-{i:03d}", supersteps, workers)
+        ).encode("utf-8")
+        for i in range(jobs)
+    ]
+
+    pipeline = IngestPipeline(tmp_path / "store", capacity=jobs + 1)
+    try:
+        # Phase 1: the whole burst becomes durable before the worker
+        # starts, so submit latency is measured without drain noise.
+        submit_latencies = []
+        for payload in payloads:
+            started = time.perf_counter()
+            pipeline.submit(payload)
+            submit_latencies.append(time.perf_counter() - started)
+        assert pipeline.wal.lag() == jobs
+
+        # Phase 2: start the worker and time the drain to zero lag.
+        drain_started = time.perf_counter()
+        pipeline.start()
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline and pipeline.wal.lag():
+            time.sleep(0.005)
+        drain_elapsed = time.perf_counter() - drain_started
+        assert pipeline.wal.lag() == 0, pipeline.stats()
+        counters = pipeline.stats()["counters"]
+        assert counters["ingested"] == jobs, counters
+    finally:
+        pipeline.drain_and_stop(timeout=30.0)
+
+    submit_latencies.sort()
+    submit_p50_ms = _percentile(submit_latencies, 0.50) * 1000.0
+    submit_p99_ms = _percentile(submit_latencies, 0.99) * 1000.0
+    drain_rps = jobs / drain_elapsed
+
+    store = ArchiveStore(tmp_path / "store")
+    document = {
+        "small_mode": small_mode(),
+        "jobs": jobs,
+        "payload_bytes": {
+            "min": min(len(p) for p in payloads),
+            "max": max(len(p) for p in payloads),
+        },
+        "submit_ms": {
+            "p50": round(submit_p50_ms, 3),
+            "p99": round(submit_p99_ms, 3),
+            "max": round(submit_latencies[-1] * 1000.0, 3),
+        },
+        "drain": {
+            "elapsed_s": round(drain_elapsed, 3),
+            "records_per_s": round(drain_rps, 1),
+        },
+        "stored_jobs": len(store),
+    }
+    (output_dir / "ingest_bench.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+    assert len(store) == jobs, document
+    assert submit_p99_ms <= MAX_P99_SUBMIT_MS, document
+    assert drain_rps >= MIN_DRAIN_RPS, document

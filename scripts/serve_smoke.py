@@ -12,6 +12,12 @@ contract end to end:
 5. SIGTERM produces a clean shutdown (exit code 0).
 
 Run from the repo root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
+
+With ``--chaos`` the smoke instead arms a fault plan (request latency,
+one WAL disk-full, one ingestion-worker crash) and drives the *write*
+path through it: every ``POST /jobs`` is retried per ``Retry-After``
+until accepted, and the run only passes if the service ends healthy
+with zero lost acknowledged jobs and a clean SIGTERM exit.
 """
 
 from __future__ import annotations
@@ -41,9 +47,9 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def build_store(directory: Path) -> None:
-    for platform, algorithm in (("Giraph", "bfs"),
-                                ("PowerGraph", "pagerank")):
+def build_store(directory: Path, workloads=(("Giraph", "bfs"),
+                                            ("PowerGraph", "pagerank"))) -> None:
+    for platform, algorithm in workloads:
         code = granula_main([
             "run", platform, algorithm, "dg-tiny",
             "--workers", "4", "--out", str(directory),
@@ -87,7 +93,134 @@ def wait_healthy(base: str) -> None:
     fail("/healthz never answered 200")
 
 
+def post_with_retry(base: str, payload: bytes, attempts: int = 10):
+    """POST one job, honouring ``Retry-After`` on 429/503 rejections.
+
+    Returns ``(tracking_document, rejections_seen)``.
+    """
+    rejections = 0
+    for _ in range(attempts):
+        request = urllib.request.Request(
+            f"{base}/jobs", data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                if response.status != 202:
+                    fail(f"POST /jobs answered {response.status}")
+                return json.loads(response.read()), rejections
+        except urllib.error.HTTPError as exc:
+            if exc.code not in (429, 503):
+                fail(f"POST /jobs answered {exc.code}: {exc.read()!r}")
+            rejections += 1
+            retry_after = float(exc.headers.get("Retry-After", "1"))
+            print(f"chaos smoke: POST rejected with {exc.code}, "
+                  f"retrying in {retry_after:.0f}s")
+            time.sleep(min(retry_after, 6.0))
+    fail(f"POST /jobs still rejected after {attempts} attempts")
+    raise AssertionError("unreachable")
+
+
+def chaos_main() -> int:
+    """Drive the write path through an armed chaos plan."""
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        store = Path(tmp) / "store"
+        build_store(store)
+        # Jobs to POST: two more real runs, serialized archive JSON on
+        # disk is exactly the POST /jobs wire format.
+        source = Path(tmp) / "source"
+        build_store(source, workloads=(("Giraph", "wcc"),
+                                       ("PowerGraph", "sssp")))
+        payloads = {
+            path.stem: path.read_bytes()
+            for path in sorted(source.glob("*.json"))
+            if path.name != "index.json"
+        }
+
+        plan_path = Path(tmp) / "chaos.json"
+        plan_path.write_text(json.dumps({
+            "events": [
+                {"type": "latency", "op": "request",
+                 "delay_s": 0.05, "after": 0, "count": 5},
+                {"type": "disk_full", "after": 1, "count": 1},
+                {"type": "worker_crash", "after": 0},
+            ],
+        }, indent=2))
+
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve", str(store),
+             "--port", "0", "--chaos", str(plan_path)],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            base = wait_for_banner(process)
+            wait_healthy(base)
+
+            acked = {}
+            rejections = 0
+            for job_id, payload in payloads.items():
+                document, rejected = post_with_retry(base, payload)
+                acked[job_id] = document["tracking_id"]
+                rejections += rejected
+            if rejections < 1:
+                fail("the disk-full event never surfaced as a 503")
+            print(f"chaos smoke: {len(acked)} job(s) acknowledged "
+                  f"through {rejections} rejection(s)")
+
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                _status, _headers, body = fetch(f"{base}/healthz")
+                health = json.loads(body)
+                if health["writes"]["wal_lag"] == 0:
+                    break
+                time.sleep(0.2)
+            else:
+                fail("WAL never drained to zero lag")
+            if health["status"] != "ok":
+                fail(f"service ended {health['status']!r}, expected ok")
+
+            status, _headers, body = fetch(f"{base}/jobs?limit=100")
+            if status != 200:
+                fail(f"/jobs answered {status}")
+            jobs = [job["job_id"] for job in json.loads(body)["jobs"]]
+            for job_id in acked:
+                if jobs.count(job_id) != 1:
+                    fail(f"acknowledged job {job_id!r} appears "
+                         f"{jobs.count(job_id)} times in {jobs}")
+            print(f"chaos smoke: all acknowledged jobs stored: {jobs}")
+
+            status, _headers, body = fetch(f"{base}/metrics")
+            ingest = json.loads(body)["ingest"]
+            injected = ingest["chaos"]["injected"]
+            if injected.get("disk_full") != 1:
+                fail(f"expected 1 injected disk_full, saw {injected}")
+            if injected.get("worker_crash") != 1:
+                fail(f"expected 1 injected worker_crash, saw {injected}")
+            if ingest["counters"]["worker_restarts"] < 1:
+                fail("worker crash did not surface as a restart")
+            print("chaos smoke: faults fired "
+                  f"{injected} and the worker recovered")
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            if code != 0:
+                fail(f"server exited {code} on SIGTERM")
+            print("chaos smoke: clean shutdown (exit 0)")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    print("chaos smoke: PASS")
+    return 0
+
+
 def main() -> int:
+    if "--chaos" in sys.argv[1:]:
+        return chaos_main()
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
         store = Path(tmp) / "store"
         build_store(store)

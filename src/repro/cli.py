@@ -24,12 +24,21 @@ Subcommands::
                                    inspect or prune the shared artifact
                                    cache (GRANULA_CACHE_DIR)
     granula serve <store-dir> [--host H] [--port P] [--cache-size N]
+                [--read-only] [--queue-size N] [--max-body-bytes N]
+                [--request-timeout S] [--chaos plan.json]
                                    serve an archive store over HTTP:
                                    /jobs (filters + pagination),
                                    /jobs/{id}, /jobs/{id}/query,
                                    /jobs/{id}/report, /healthz, /metrics;
                                    conditional GETs answer 304 off the
-                                   payload checksum
+                                   payload checksum; POST /jobs ingests
+                                   archives or raw logs through a
+                                   durable WAL (202 + tracking id,
+                                   GET /ingest/{id} for progress;
+                                   429/503 + Retry-After under overload
+                                   or degraded read-only mode); --chaos
+                                   arms deterministic service fault
+                                   injection
     granula report <archive.json> [--html FILE]
                                    render a stored archive
     granula diagnose <archive.json> [--compute-mission NAME]
@@ -366,13 +375,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.chaos import load_chaos_plan
     from repro.service.server import create_server, serve
 
+    chaos = load_chaos_plan(args.chaos) if args.chaos else None
     server = create_server(
         args.store,
         host=args.host,
         port=args.port,
         cache_size=args.cache_size,
+        writable=not args.read_only,
+        queue_size=args.queue_size,
+        chaos=chaos,
+        max_body_bytes=args.max_body_bytes,
+        request_timeout=args.request_timeout,
     )
     serve(server)
     return 0
@@ -463,7 +479,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv = sub.add_parser(
         "serve",
         help="serve an archive store over HTTP (list/summary/query/"
-             "report endpoints with ETag caching)")
+             "report endpoints with ETag caching; WAL-backed "
+             "POST /jobs ingestion)")
     p_srv.add_argument("store", help="archive store directory to serve")
     p_srv.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
@@ -472,6 +489,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-size", type=int, default=64,
                        help="archives held in the in-process LRU cache "
                             "(keyed by payload checksum; 0 disables)")
+    p_srv.add_argument("--read-only", action="store_true",
+                       help="disable POST /jobs (the PR 5 behaviour); "
+                            "no WAL is created")
+    p_srv.add_argument("--queue-size", type=int, default=256,
+                       help="bounded ingestion queue depth; beyond it "
+                            "writes shed with 429 + Retry-After "
+                            "(default 256)")
+    p_srv.add_argument("--max-body-bytes", type=int,
+                       default=32 * 1024 * 1024,
+                       help="largest accepted request body; bigger "
+                            "declarations answer 413 before the body "
+                            "is read (default 32 MiB)")
+    p_srv.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-connection socket timeout in seconds; "
+                            "stalled clients are disconnected instead "
+                            "of pinning a thread (default 30)")
+    p_srv.add_argument("--chaos",
+                       help="service fault-injection plan JSON "
+                            "(see repro.service.chaos.ChaosPlan): "
+                            "injected latency, WAL disk-full, store "
+                            "lock timeouts, worker crashes — "
+                            "deterministic by occurrence count")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="render a stored archive")

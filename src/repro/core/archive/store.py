@@ -27,6 +27,7 @@ import json
 import logging
 import os
 import re
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -44,7 +45,7 @@ from repro.core.archive.serialize import (
     parse_document,
     payload_checksum,
 )
-from repro.errors import ArchiveError
+from repro.errors import ArchiveError, StoreBusyError
 
 _INDEX_NAME = "index.json"
 _LOCK_NAME = ".index.lock"
@@ -233,7 +234,17 @@ def _stamp(path: Path) -> Optional[_Stamp]:
 class ArchiveStore:
     """A directory holding serialized archives plus an index file."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        lock_timeout: Optional[float] = None,
+    ):
+        #: Seconds to wait for the index lock before raising
+        #: :class:`StoreBusyError`; ``None`` blocks indefinitely (the
+        #: historical behaviour).  Latency-budgeted callers — the
+        #: service's ingestion worker — set a timeout and retry with
+        #: backoff instead of pinning a thread on a contended lock.
+        self.lock_timeout = lock_timeout
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._index_path = self.directory / _INDEX_NAME
@@ -273,7 +284,24 @@ class ArchiveStore:
             self.directory / _LOCK_NAME, os.O_CREAT | os.O_RDWR, 0o644
         )
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
+            if self.lock_timeout is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            else:
+                # Poll non-blockingly until the deadline: flock has no
+                # native timeout, and a signal-based one would not be
+                # thread-safe inside the serving process.
+                deadline = time.monotonic() + self.lock_timeout
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise StoreBusyError(
+                                f"store {self.directory} index lock "
+                                f"busy after {self.lock_timeout:.2f}s"
+                            ) from None
+                        time.sleep(0.005)
             yield
         finally:
             fcntl.flock(fd, fcntl.LOCK_UN)

@@ -90,9 +90,48 @@ class QueryError(ArchiveError):
     """An archive query was malformed or matched nothing when required."""
 
 
+class StoreBusyError(ArchiveError):
+    """The store's index lock could not be acquired within the timeout.
+
+    Transient by construction: another writer holds the advisory lock.
+    Callers with latency budgets (the ingestion worker) retry with
+    backoff instead of blocking a thread indefinitely.
+    """
+
+
 class VisualizationError(ReproError):
     """Errors while rendering archives into visuals."""
 
 
 class ServiceError(ReproError):
     """Errors in the archive query service (configuration, startup)."""
+
+
+class WalError(ServiceError):
+    """The write-ahead log is unusable (bad directory, broken frame)."""
+
+
+class ChaosError(ServiceError):
+    """A service fault-injection (chaos) plan is invalid."""
+
+
+class IngestRejectedError(ServiceError):
+    """A write was rejected by the service; carries a retry hint.
+
+    Base class for the two shedding outcomes the write path produces:
+    overload (bounded queue at capacity) and unavailability (degraded
+    read-only or draining service).  ``retry_after`` is the suggested
+    client back-off in seconds, derived from queue depth and drain rate.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = max(1, int(round(retry_after)))
+
+
+class IngestOverloadError(IngestRejectedError):
+    """The bounded ingestion queue is full — shed with 429."""
+
+
+class IngestUnavailableError(IngestRejectedError):
+    """Writes are disabled (degraded read-only or draining) — 503."""

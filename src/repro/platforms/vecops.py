@@ -35,7 +35,10 @@ def fold_add(values: np.ndarray) -> float:
     """
     if len(values) == 0:
         return 0.0
-    return float(np.cumsum(values)[-1])
+    # The scalar fold starts from +0.0, so an all-negative-zero input
+    # folds to +0.0; adding +0.0 reproduces that (and is exact for
+    # every other float, including nan and inf).
+    return float(np.cumsum(values)[-1]) + 0.0
 
 
 def segmented_fold_add(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
@@ -56,7 +59,7 @@ def segmented_fold_add(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
     lens = ends - starts
     long_idx = np.flatnonzero(lens > FOLD_CHUNK)
     for i in long_idx:
-        out[i] = np.cumsum(values[starts[i]:ends[i]])[-1]
+        out[i] = np.cumsum(values[starts[i]:ends[i]])[-1] + 0.0
     short = np.flatnonzero(lens <= FOLD_CHUNK)
     if len(short):
         order = np.argsort(-lens[short], kind="stable")

@@ -1,33 +1,52 @@
-"""The concurrent archive query service (``granula serve``).
+"""The concurrent archive service (``granula serve``).
 
 Exposes an :class:`repro.core.archive.store.ArchiveStore` over HTTP so
-archives can be listed, summarized, queried, and rendered without
-shipping the store directory around — the serving-subsystem shape of
-the paper's "query the contents systematically".
+archives can be listed, summarized, queried, rendered — and, since the
+write tier landed, *ingested*: ``POST /jobs`` accepts raw monitor logs
+or serialized archives, lands them durably in a write-ahead log, and
+drains them into the store asynchronously, so writes never block reads
+and a crash loses nothing that was acknowledged.
 
 Layers:
 
 - :mod:`repro.service.cache` — in-process LRU archive cache keyed by
   payload checksum, so a rewritten archive never serves stale trees;
 - :mod:`repro.service.metrics` — thread-safe request counters, latency
-  percentiles, and cache hit rate behind ``/metrics``;
+  percentiles (closed endpoint-label set), and cache hit rate behind
+  ``/metrics``;
+- :mod:`repro.service.wal` — length+sha256-framed, fsync'd,
+  segment-rotated write-ahead log: the durability floor under 202;
+- :mod:`repro.service.ingest` — bounded ingestion queue, backoff
+  retries, dead-letter directory, degraded/draining health states,
+  startup WAL replay;
+- :mod:`repro.service.chaos` — deterministic service-level fault
+  injection (``granula serve --chaos plan.json``);
 - :mod:`repro.service.app` — transport-independent request handling
-  (routing, filters, pagination, ETag / ``If-None-Match`` 304s);
+  (routing, filters, pagination, ETag / ``If-None-Match`` 304s,
+  202/429/503 write semantics);
 - :mod:`repro.service.server` — :class:`http.server.ThreadingHTTPServer`
-  wiring with graceful shutdown.
+  wiring with request timeouts, body caps, and graceful draining
+  shutdown.
 """
 
 from repro.service.app import ArchiveService, Response
 from repro.service.cache import ArchiveCache
+from repro.service.chaos import ChaosController, ChaosPlan
+from repro.service.ingest import IngestPipeline
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import ArchiveServer, create_server, serve
+from repro.service.wal import WriteAheadLog
 
 __all__ = [
     "ArchiveService",
     "Response",
     "ArchiveCache",
+    "ChaosController",
+    "ChaosPlan",
+    "IngestPipeline",
     "ServiceMetrics",
     "ArchiveServer",
+    "WriteAheadLog",
     "create_server",
     "serve",
 ]

@@ -1,9 +1,17 @@
 """Transport-independent request handling for the archive service.
 
-:class:`ArchiveService` maps (path, query parameters, headers) to a
-:class:`Response` without touching sockets, so the routing, filtering,
-pagination, and conditional-GET logic is unit-testable and the HTTP
-layer (:mod:`repro.service.server`) stays a thin adapter.
+:class:`ArchiveService` maps (path, query parameters, headers, body)
+to a :class:`Response` without touching sockets, so the routing,
+filtering, pagination, conditional-GET, and write-path logic is
+unit-testable and the HTTP layer (:mod:`repro.service.server`) stays a
+thin adapter.
+
+Writes: when an :class:`repro.service.ingest.IngestPipeline` is
+attached, ``POST /jobs`` appends the request to a durable WAL and
+answers ``202 Accepted`` with a tracking id (``GET /ingest/{id}``
+reports progress); an overloaded queue answers 429 and a degraded or
+draining service answers 503, both with ``Retry-After``.  Without a
+pipeline the service keeps its PR 5 read-only contract.
 
 Conditional GETs: every per-archive response carries a strong ``ETag``
 derived from the archive's payload checksum — the same digest the
@@ -27,8 +35,15 @@ from repro.core.archive.query import ArchiveQuery
 from repro.core.archive.store import ArchiveStore, validate_job_id
 from repro.core.visualize.render_html import render_report_html
 from repro.core.visualize.report import render_report_text
-from repro.errors import ArchiveError, QueryError
+from repro.errors import (
+    ArchiveError,
+    IngestError,
+    IngestOverloadError,
+    IngestUnavailableError,
+    QueryError,
+)
 from repro.service.cache import ArchiveCache
+from repro.service.ingest import IngestPipeline
 from repro.service.metrics import ServiceMetrics
 
 #: Default and maximum page size of the ``/jobs`` listing.
@@ -71,6 +86,15 @@ def error_response(status: int, message: str) -> Response:
     return json_response(status, {"error": message, "status": status})
 
 
+def _rejection(status: int, exc: Exception) -> Response:
+    """A shed/unavailable response carrying its ``Retry-After`` hint."""
+    response = error_response(status, str(exc))
+    response.headers["Retry-After"] = str(
+        getattr(exc, "retry_after", 1)
+    )
+    return response
+
+
 def _etag_of(checksum: str) -> str:
     return f'"{checksum}"'
 
@@ -105,10 +129,18 @@ def _operation_record(op: ArchivedOperation) -> Dict[str, Any]:
 class ArchiveService:
     """Routes service requests against one archive store."""
 
-    def __init__(self, store: ArchiveStore, cache_size: int = 64):
+    def __init__(
+        self,
+        store: ArchiveStore,
+        cache_size: int = 64,
+        ingest: Optional[IngestPipeline] = None,
+    ):
         self.store = store
         self.cache = ArchiveCache(cache_size)
         self.metrics = ServiceMetrics()
+        #: Write path; ``None`` keeps the PR 5 read-only behaviour
+        #: (every non-GET answers 405).
+        self.ingest = ingest
 
     # -- entry point -------------------------------------------------------
 
@@ -118,16 +150,55 @@ class ArchiveService:
         params: Optional[Mapping[str, str]] = None,
         headers: Optional[Mapping[str, str]] = None,
         method: str = "GET",
+        body: bytes = b"",
     ) -> Response:
         """Dispatch one request; never raises on client errors."""
         started = time.perf_counter()
+        if self.ingest is not None and self.ingest.chaos is not None:
+            self.ingest.chaos.on("request")
         endpoint, response = self._dispatch(
-            path, dict(params or {}), dict(headers or {}), method
+            path, dict(params or {}), dict(headers or {}), method, body
         )
         self.metrics.observe(
             endpoint, response.status, time.perf_counter() - started
         )
         return response
+
+    def _route(
+        self, path: str, method: str,
+    ) -> Tuple[str, Optional[str]]:
+        """Resolve (endpoint label, handler name) for one request.
+
+        Labels come from the closed set in
+        :data:`repro.service.metrics.KNOWN_ENDPOINTS` — raw paths must
+        never become metric labels (cardinality leak under random-path
+        scans), which is why unroutable requests all share ``other``.
+        """
+        parts = [part for part in path.split("/") if part]
+        if parts == ["jobs"] and method == "POST":
+            return "POST /jobs", "submit"
+        if method not in ("GET", "HEAD"):
+            # Label by the closest route so a POST storm on a read-only
+            # service stays visible under a stable name.
+            if parts == ["jobs"]:
+                return "POST /jobs", None
+            return "other", None
+        if parts == ["healthz"]:
+            return "/healthz", "healthz"
+        if parts == ["metrics"]:
+            return "/metrics", "metrics"
+        if parts == ["jobs"]:
+            return "/jobs", "jobs"
+        if len(parts) == 2 and parts[0] == "ingest":
+            return "/ingest/{id}", "ingest_status"
+        if len(parts) >= 2 and parts[0] == "jobs":
+            if len(parts) == 2:
+                return "/jobs/{id}", "job_summary"
+            if parts[2:] == ["query"]:
+                return "/jobs/{id}/query", "job_query"
+            if parts[2:] == ["report"]:
+                return "/jobs/{id}/report", "job_report"
+        return "other", None
 
     def _dispatch(
         self,
@@ -135,57 +206,112 @@ class ArchiveService:
         params: Dict[str, str],
         headers: Dict[str, str],
         method: str,
+        body: bytes,
     ) -> Tuple[str, Response]:
-        if method not in ("GET", "HEAD"):
-            return path, error_response(
-                405, f"method {method} not allowed (read-only service)"
-            )
+        endpoint, handler = self._route(path, method)
+        if handler is None:
+            if method not in ("GET", "HEAD") and endpoint == "other":
+                return endpoint, error_response(
+                    405, f"method {method} not allowed"
+                )
+            if endpoint == "POST /jobs":
+                return endpoint, error_response(
+                    405, f"method {method} not allowed on /jobs"
+                )
+            return endpoint, error_response(404, f"no route for {path!r}")
         parts = [part for part in path.split("/") if part]
         try:
-            if parts == ["healthz"]:
-                return "/healthz", self._healthz()
-            if parts == ["metrics"]:
-                return "/metrics", self._metrics()
-            if parts == ["jobs"]:
-                return "/jobs", self._jobs(params, headers)
-            if len(parts) >= 2 and parts[0] == "jobs":
-                job_id = parts[1]
-                if len(parts) == 2:
-                    return "/jobs/{id}", self._job_summary(job_id, headers)
-                if parts[2:] == ["query"]:
-                    return (
-                        "/jobs/{id}/query",
-                        self._job_query(job_id, params, headers),
+            if handler == "submit":
+                if self.ingest is None:
+                    return endpoint, error_response(
+                        405, "writes are disabled (read-only service)"
                     )
-                if parts[2:] == ["report"]:
-                    return (
-                        "/jobs/{id}/report",
-                        self._job_report(job_id, params, headers),
-                    )
-            return "<unknown>", error_response(
-                404, f"no route for {path!r}"
-            )
+                return endpoint, self._submit_job(params, headers, body)
+            if handler == "healthz":
+                return endpoint, self._healthz()
+            if handler == "metrics":
+                return endpoint, self._metrics()
+            if handler == "jobs":
+                return endpoint, self._jobs(params, headers)
+            if handler == "ingest_status":
+                return endpoint, self._ingest_status(parts[1])
+            if handler == "job_summary":
+                return endpoint, self._job_summary(parts[1], headers)
+            if handler == "job_query":
+                return endpoint, self._job_query(parts[1], params, headers)
+            return endpoint, self._job_report(parts[1], params, headers)
         except _BadRequest as exc:
-            return exc.endpoint, error_response(400, str(exc))
+            return endpoint, error_response(400, str(exc))
         except QueryError as exc:
-            return path, error_response(400, str(exc))
+            return endpoint, error_response(400, str(exc))
         except ArchiveError as exc:
-            return path, error_response(404, str(exc))
+            return endpoint, error_response(404, str(exc))
 
     # -- endpoints ---------------------------------------------------------
 
     def _healthz(self) -> Response:
         self.store.refresh()
-        return json_response(200, {
+        document: Dict[str, Any] = {
             "status": "ok",
             "jobs": len(self.store),
             "store": str(self.store.directory),
-        })
+        }
+        if self.ingest is not None:
+            health = self.ingest.health()
+            document["status"] = health.pop("state")
+            document["writes"] = health
+        else:
+            document["writes"] = {"writes_enabled": False,
+                                  "reason": "read-only service"}
+        return json_response(200, document)
 
     def _metrics(self) -> Response:
-        return json_response(
-            200, self.metrics.snapshot(self.cache.stats())
-        )
+        return json_response(200, self.metrics.snapshot(
+            self.cache.stats(),
+            self.ingest.stats() if self.ingest is not None else None,
+        ))
+
+    def _submit_job(
+        self,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Response:
+        content_type = headers.get(
+            "Content-Type", "application/json"
+        ).split(";")[0].strip().lower()
+        kind = params.get("kind")
+        if kind is None:
+            kind = "log" if content_type == "text/plain" else "archive"
+        overwrite = params.get("overwrite", "").lower() in ("1", "true")
+        try:
+            document = self.ingest.submit(
+                body,
+                kind=kind,
+                job_id=params.get("job_id"),
+                overwrite=overwrite,
+            )
+        except IngestOverloadError as exc:
+            return _rejection(429, exc)
+        except IngestUnavailableError as exc:
+            return _rejection(503, exc)
+        except IngestError as exc:
+            return error_response(400, str(exc))
+        return json_response(202, document)
+
+    def _ingest_status(self, tracking_id: str) -> Response:
+        if self.ingest is None:
+            return error_response(
+                404, "no ingestion on a read-only service"
+            )
+        document = self.ingest.status(tracking_id)
+        if document is None:
+            return error_response(
+                404,
+                f"unknown tracking id {tracking_id!r} (statuses are "
+                f"kept in memory; a restart forgets completed ones)",
+            )
+        return json_response(200, document)
 
     def _jobs(
         self, params: Dict[str, str], headers: Dict[str, str],

@@ -1,0 +1,336 @@
+"""Service-level fault injection for ``granula serve``.
+
+The platform engines have :class:`repro.platforms.faults.FaultPlan` —
+a typed, seeded schedule of failures that makes every recovery path
+deterministically reproducible.  This module is the same vocabulary
+aimed at the *service*: a :class:`ChaosPlan` schedules faults at the
+four operations the write path performs —
+
+- ``request``      handling an HTTP request,
+- ``wal_append``   the durable WAL append behind ``POST /jobs``,
+- ``store_save``   the ingestion worker persisting into the store,
+- ``ack``          the worker acknowledging a drained WAL record —
+
+and a :class:`ChaosController` fires them by *occurrence count* (the
+``after``-th call onward, ``count`` times), so "the third WAL append
+fails with ENOSPC" or "the worker crashes before its second ack" is a
+plan, not a race.  ``granula serve --chaos plan.json`` arms one;
+every degraded-mode transition in the test suite and the CI chaos
+smoke reproduces from such a plan.
+
+Event types:
+
+- :class:`InjectLatency` — sleep before an operation (slow disk, slow
+  handler);
+- :class:`DiskFull` — raise ``OSError(ENOSPC)`` from ``wal_append``,
+  driving the ``ok → degraded`` read-only transition;
+- :class:`LockTimeout` — raise :class:`repro.errors.StoreBusyError`
+  from ``store_save``, exercising the worker's backoff-and-retry;
+- :class:`WorkerCrash` — raise :class:`WorkerCrashed` before ``ack``,
+  killing the ingestion worker after the save but before the WAL ack,
+  which is exactly the window WAL replay must make safe.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.errors import ChaosError, StoreBusyError
+
+#: Operations a chaos event may target.
+CHAOS_OPS = ("request", "wal_append", "store_save", "ack")
+
+
+class WorkerCrashed(BaseException):
+    """Injected ingestion-worker death (crash before ack).
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    error handling inside the worker cannot swallow the crash — like a
+    real ``kill -9``, it only stops at the supervisor.
+    """
+
+
+def _check_window(event: Any) -> None:
+    if event.after < 0:
+        raise ChaosError(
+            f"{type(event).__name__}.after must be >= 0, got {event.after}"
+        )
+    count = getattr(event, "count", 1)
+    if count < 1:
+        raise ChaosError(
+            f"{type(event).__name__}.count must be >= 1, got {count}"
+        )
+
+
+@dataclass(frozen=True)
+class InjectLatency:
+    """Sleep ``delay_s`` before occurrences [after, after+count) of op."""
+
+    op: str
+    delay_s: float
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in CHAOS_OPS:
+            raise ChaosError(
+                f"latency op must be one of {', '.join(CHAOS_OPS)}; "
+                f"got {self.op!r}"
+            )
+        if self.delay_s <= 0:
+            raise ChaosError(
+                f"latency delay_s must be positive, got {self.delay_s}"
+            )
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class DiskFull:
+    """``OSError(ENOSPC)`` on occurrences [after, after+count) of
+    ``wal_append`` — the WAL disk filling up under the service."""
+
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class LockTimeout:
+    """:class:`StoreBusyError` on occurrences [after, after+count) of
+    ``store_save`` — simulated index-lock contention."""
+
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill the ingestion worker before its ``after``-th ack."""
+
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+
+
+ChaosEvent = Union[InjectLatency, DiskFull, LockTimeout, WorkerCrash]
+
+_EVENT_TYPES = {
+    "latency": InjectLatency,
+    "disk_full": DiskFull,
+    "lock_timeout": LockTimeout,
+    "worker_crash": WorkerCrash,
+}
+_EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+#: Which operation each non-latency event intercepts.
+_EVENT_OPS = {
+    DiskFull: "wal_append",
+    LockTimeout: "store_save",
+    WorkerCrash: "ack",
+}
+
+
+def _event_to_dict(event: ChaosEvent) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"type": _EVENT_NAMES[type(event)]}
+    for field_ in fields(event):
+        data[field_.name] = getattr(event, field_.name)
+    return data
+
+
+def _event_from_dict(data: Dict[str, Any]) -> ChaosEvent:
+    if not isinstance(data, dict):
+        raise ChaosError(f"chaos event must be a mapping, got {data!r}")
+    kind = data.get("type")
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ChaosError(
+            f"unknown chaos event type {kind!r}; expected one of "
+            f"{', '.join(sorted(_EVENT_TYPES))}"
+        )
+    kwargs = {k: v for k, v in data.items() if k != "type"}
+    allowed = {field_.name for field_ in fields(cls)}
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise ChaosError(
+            f"chaos event {kind!r} has unknown field(s) "
+            f"{', '.join(sorted(unknown))}"
+        )
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ChaosError(f"invalid chaos event {data!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded schedule of service faults (same idiom as FaultPlan)."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if type(event) not in _EVENT_NAMES:
+                raise ChaosError(f"not a chaos event: {event!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [_event_to_dict(event) for event in self.events],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
+        if not isinstance(data, dict):
+            raise ChaosError(f"chaos plan must be a mapping, got {data!r}")
+        unknown = set(data) - {"events", "seed"}
+        if unknown:
+            raise ChaosError(
+                f"chaos plan has unknown field(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise ChaosError("chaos plan 'events' must be a list")
+        return cls(
+            events=tuple(_event_from_dict(event) for event in events),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ChaosError(f"chaos plan is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def signature(self) -> str:
+        """Stable short digest identifying the plan (for banners/logs)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+class ChaosController:
+    """Fires a plan's events against live operation streams.
+
+    Each operation name carries its own occurrence counter; an event
+    matches occurrences ``[after, after + count)`` of its operation.
+    Counters are monotone and thread-safe, so the same plan against the
+    same request/ingest sequence produces the same faults — that is the
+    determinism contract the tests lean on.
+    """
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._occurrences: Dict[str, int] = {op: 0 for op in CHAOS_OPS}
+        self._injected: Dict[str, int] = {}
+
+    def on(self, op: str) -> None:
+        """Account one occurrence of ``op``; fire matching events.
+
+        May sleep (latency), raise :class:`OSError` (disk full),
+        :class:`StoreBusyError` (lock timeout), or
+        :class:`WorkerCrashed` (crash before ack).
+        """
+        if op not in CHAOS_OPS:
+            raise ChaosError(f"unknown chaos operation {op!r}")
+        with self._lock:
+            occurrence = self._occurrences[op]
+            self._occurrences[op] = occurrence + 1
+            delay = 0.0
+            failure: Optional[BaseException] = None
+            for event in self.plan.events:
+                if isinstance(event, InjectLatency):
+                    if event.op == op and (
+                        event.after <= occurrence < event.after + event.count
+                    ):
+                        delay += event.delay_s
+                        self._count("latency")
+                    continue
+                if _EVENT_OPS[type(event)] != op:
+                    continue
+                count = getattr(event, "count", 1)
+                if not event.after <= occurrence < event.after + count:
+                    continue
+                if isinstance(event, DiskFull):
+                    self._count("disk_full")
+                    failure = OSError(
+                        errno.ENOSPC, "injected: no space left on device"
+                    )
+                elif isinstance(event, LockTimeout):
+                    self._count("lock_timeout")
+                    failure = StoreBusyError(
+                        "injected: store index lock timed out"
+                    )
+                elif isinstance(event, WorkerCrash):
+                    self._count("worker_crash")
+                    failure = WorkerCrashed(
+                        f"injected worker crash before ack {occurrence}"
+                    )
+                break
+        # Sleep and raise outside the lock so a long injected latency
+        # cannot serialize unrelated operations.
+        if delay:
+            self._sleep(delay)
+        if failure is not None:
+            raise failure
+
+    def _count(self, kind: str) -> None:
+        self._injected[kind] = self._injected.get(kind, 0) + 1
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "signature": self.plan.signature(),
+                "occurrences": dict(self._occurrences),
+                "injected": dict(self._injected),
+            }
+
+
+def load_chaos_plan(path: Union[str, Path]) -> ChaosPlan:
+    """Read a chaos plan JSON file into a :class:`ChaosPlan`."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ChaosError(f"cannot read chaos plan {path}: {exc}") from None
+    return ChaosPlan.from_json(text)
+
+
+__all__ = [
+    "CHAOS_OPS",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosPlan",
+    "DiskFull",
+    "InjectLatency",
+    "LockTimeout",
+    "WorkerCrash",
+    "WorkerCrashed",
+    "load_chaos_plan",
+]

@@ -4,19 +4,39 @@ Thread-safe counters and latency reservoirs, snapshotted by the
 ``/metrics`` endpoint.  Latencies keep a bounded window per endpoint
 (the most recent observations), enough for meaningful percentiles
 without unbounded growth in a long-lived server.
+
+Endpoint labels are a **closed set**: anything outside
+:data:`KNOWN_ENDPOINTS` is collapsed into one ``other`` bucket.
+Without that, a random-path scan (every ``/jobs/<noise>`` 404, every
+probe for ``/wp-admin``) would mint a fresh label — and a fresh
+2048-observation latency window — per unique path, growing ``/metrics``
+without bound (a classic cardinality leak).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, FrozenSet, List, Optional
 
 #: Latency observations retained per endpoint.
 WINDOW = 2048
 
 #: Percentiles reported by :meth:`ServiceMetrics.snapshot`.
 PERCENTILES = (50, 90, 99)
+
+#: Every endpoint label the service emits; all else becomes "other".
+KNOWN_ENDPOINTS: FrozenSet[str] = frozenset({
+    "/healthz",
+    "/metrics",
+    "/jobs",
+    "/jobs/{id}",
+    "/jobs/{id}/query",
+    "/jobs/{id}/report",
+    "POST /jobs",
+    "/ingest/{id}",
+    "other",
+})
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -30,7 +50,13 @@ def percentile(values: List[float], fraction: float) -> float:
 class ServiceMetrics:
     """Counts, status codes, and latency percentiles per endpoint."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, known_endpoints: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        self._known = (
+            KNOWN_ENDPOINTS if known_endpoints is None
+            else frozenset(known_endpoints) | {"other"}
+        )
         self._lock = threading.Lock()
         self._requests: Counter = Counter()
         self._statuses: Counter = Counter()
@@ -38,7 +64,9 @@ class ServiceMetrics:
         self._latencies: Dict[str, Deque[float]] = {}
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
-        """Record one handled request."""
+        """Record one handled request (unknown labels -> ``other``)."""
+        if endpoint not in self._known:
+            endpoint = "other"
         with self._lock:
             self._requests[endpoint] += 1
             self._statuses[str(status)] += 1
@@ -49,7 +77,11 @@ class ServiceMetrics:
             )
             window.append(seconds)
 
-    def snapshot(self, cache_stats: Dict[str, Any]) -> Dict[str, Any]:
+    def snapshot(
+        self,
+        cache_stats: Dict[str, Any],
+        ingest_stats: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
         """The ``/metrics`` document."""
         with self._lock:
             latency = {}
@@ -59,7 +91,7 @@ class ServiceMetrics:
                     f"p{p}_ms": percentile(values, p / 100.0) * 1000.0
                     for p in PERCENTILES
                 }
-            return {
+            document: Dict[str, Any] = {
                 "requests_total": sum(self._requests.values()),
                 "requests_by_endpoint": dict(self._requests),
                 "responses_by_status": dict(self._statuses),
@@ -67,3 +99,6 @@ class ServiceMetrics:
                 "latency_ms": latency,
                 "cache": dict(cache_stats),
             }
+        if ingest_stats is not None:
+            document["ingest"] = ingest_stats
+        return document

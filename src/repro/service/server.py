@@ -1,16 +1,29 @@
-"""HTTP wiring for the archive query service.
+"""HTTP wiring for the archive service.
 
 A thin adapter from :class:`http.server.ThreadingHTTPServer` onto
 :class:`repro.service.app.ArchiveService`: one daemon thread per
-request, stdlib only.  ``serve()`` blocks until SIGINT/SIGTERM and
-shuts the listener down gracefully (in-flight requests finish; the
-socket closes cleanly).
+request, stdlib only.  ``serve()`` blocks until SIGINT/SIGTERM, then
+shuts down gracefully — the listener closes, in-flight requests
+finish, and the ingestion pipeline (when writes are enabled) drains
+its queue so every acknowledged job reaches the store before exit
+(anything that cannot drain in time stays safely in the WAL).
+
+Request hygiene (the "no hung threads" rules):
+
+- every connection carries a socket timeout
+  (:attr:`ArchiveRequestHandler.timeout`), so a stalled client cannot
+  pin a daemon thread forever — a read that times out answers 408 when
+  the response line is still writable and drops the connection;
+- a ``POST``/``PUT`` must declare ``Content-Length`` (411 otherwise)
+  and stay under the configured body cap — an oversized declaration is
+  refused with 413 *before* any body byte is read.
 """
 
 from __future__ import annotations
 
 import logging
 import signal
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -19,9 +32,17 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.archive.store import ArchiveStore
 from repro.errors import ServiceError
-from repro.service.app import ArchiveService, Response
+from repro.service.app import ArchiveService, Response, error_response
+from repro.service.chaos import ChaosController, ChaosPlan
+from repro.service.ingest import IngestPipeline
 
 logger = logging.getLogger(__name__)
+
+#: Default cap on request bodies (archives are a few MB at most).
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Default per-connection socket timeout in seconds.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class ArchiveRequestHandler(BaseHTTPRequestHandler):
@@ -29,8 +50,61 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
 
     server: "ArchiveServer"
     protocol_version = "HTTP/1.1"
+    #: Socket timeout for reads on this connection; BaseHTTPRequestHandler
+    #: applies it via ``self.connection.settimeout`` in setup().  Stalled
+    #: clients (half-sent request line or body) get disconnected instead
+    #: of holding a thread and its resources indefinitely.
+    timeout = DEFAULT_REQUEST_TIMEOUT
+
+    def setup(self) -> None:
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    def _read_body(self, method: str) -> Optional[bytes]:
+        """The request body, or None after a rejection was sent.
+
+        Enforced before any body byte is read: a missing length is 411,
+        a malformed one 400, an oversized one 413.  A timeout while the
+        client dribbles the body answers 408.
+        """
+        if method not in ("POST", "PUT"):
+            return b""
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            self._write(error_response(
+                411, "POST requires a Content-Length header"
+            ), include_body=True)
+            return None
+        try:
+            length = int(raw)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            self._write(error_response(
+                400, f"malformed Content-Length {raw!r}"
+            ), include_body=True)
+            return None
+        if length > self.server.max_body_bytes:
+            self._write(error_response(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit",
+            ), include_body=True)
+            self.close_connection = True
+            return None
+        try:
+            return self.rfile.read(length)
+        except (TimeoutError, socket.timeout):
+            self._write(error_response(
+                408, "timed out reading the request body"
+            ), include_body=True)
+            self.close_connection = True
+            return None
 
     def _respond(self, method: str) -> None:
+        body = self._read_body(method)
+        if body is None:
+            return
         split = urlsplit(self.path)
         params = {
             key: values[-1]
@@ -39,7 +113,7 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
         headers = {key: value for key, value in self.headers.items()}
         try:
             response = self.server.service.handle(
-                split.path, params, headers, method=method
+                split.path, params, headers, method=method, body=body
             )
         except Exception:  # noqa: BLE001 - last-resort 500
             logger.exception("unhandled error serving %s", self.path)
@@ -86,9 +160,17 @@ class ArchiveServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: ArchiveService):
+    def __init__(
+        self,
+        address,
+        service: ArchiveService,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
         super().__init__(address, ArchiveRequestHandler)
         self.service = service
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
 
     @property
     def url(self) -> str:
@@ -101,11 +183,22 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8737,
     cache_size: int = 64,
+    writable: bool = True,
+    queue_size: int = 256,
+    chaos: Optional[Union[ChaosPlan, ChaosController]] = None,
+    wal_dir: Optional[Union[str, Path]] = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    recover_after: float = 5.0,
 ) -> ArchiveServer:
     """Build a ready-to-serve (not yet serving) archive server.
 
     ``port=0`` binds an ephemeral port — read the actual one off
-    ``server.server_address``.
+    ``server.server_address``.  With ``writable=True`` (the default)
+    the server carries an :class:`IngestPipeline`: its WAL lives under
+    ``wal_dir`` (default ``<store>/.wal``), startup replays any
+    unacknowledged records, and ``POST /jobs`` is live.  ``chaos``
+    arms a service fault-injection plan.
     """
     if not isinstance(store, ArchiveStore):
         directory = Path(store)
@@ -114,27 +207,61 @@ def create_server(
                 f"archive store directory {directory} does not exist"
             )
         store = ArchiveStore(directory)
-    service = ArchiveService(store, cache_size=cache_size)
+    ingest = None
+    if writable:
+        controller = None
+        if isinstance(chaos, ChaosController):
+            controller = chaos
+        elif isinstance(chaos, ChaosPlan):
+            controller = ChaosController(chaos)
+        ingest = IngestPipeline(
+            store.directory,
+            wal_directory=wal_dir,
+            capacity=queue_size,
+            chaos=controller,
+            recover_after=recover_after,
+        )
+    service = ArchiveService(store, cache_size=cache_size, ingest=ingest)
     try:
-        return ArchiveServer((host, port), service)
+        server = ArchiveServer(
+            (host, port), service,
+            request_timeout=request_timeout,
+            max_body_bytes=max_body_bytes,
+        )
     except OSError as exc:
         raise ServiceError(
             f"cannot bind {host}:{port}: {exc}"
         ) from None
+    if ingest is not None:
+        replayed = ingest.start()
+        if replayed:
+            logger.info(
+                "replayed %d unacknowledged WAL record(s) at startup",
+                replayed,
+            )
+    return server
 
 
 def serve(server: ArchiveServer, banner: bool = True) -> None:
     """Serve until SIGINT/SIGTERM, then shut down gracefully.
+
+    Shutdown order matters: writes flip to draining first (new POSTs
+    answer 503), the listener stops, and the ingestion queue drains so
+    every 202-acknowledged job is in the store (or still safe in the
+    WAL) when the process exits.
 
     Signal handlers are only installed when running on the main thread
     (the CLI path); callers embedding the server elsewhere stop it with
     ``server.shutdown()``.
     """
     stop = threading.Event()
+    ingest = server.service.ingest
 
     def request_shutdown(signum, _frame) -> None:
         logger.info("signal %s: shutting down", signum)
         stop.set()
+        if ingest is not None:
+            ingest.begin_drain()  # Reject writes while we stop.
         # shutdown() must not run on the serve_forever thread.
         threading.Thread(target=server.shutdown, daemon=True).start()
 
@@ -146,15 +273,38 @@ def serve(server: ArchiveServer, banner: bool = True) -> None:
     try:
         if banner:
             jobs = len(server.service.store)
+            mode = "read-only" if ingest is None else "writable"
+            extra = ""
+            if ingest is not None and ingest.chaos is not None:
+                extra = (f", chaos plan "
+                         f"{ingest.chaos.plan.signature()} armed")
             print(f"granula serve: {jobs} archived job(s) at "
-                  f"{server.url} (Ctrl-C to stop)")
+                  f"{server.url} ({mode}{extra}; Ctrl-C to stop)")
         server.serve_forever()
     except KeyboardInterrupt:
         server.shutdown()
     finally:
         server.server_close()
+        if ingest is not None:
+            drained = ingest.drain_and_stop()
+            if not drained:
+                logger.warning(
+                    "ingestion queue did not fully drain; %d record(s) "
+                    "remain in the WAL for the next start",
+                    ingest.wal.lag(),
+                )
         if on_main:
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
         if banner:
             print("granula serve: stopped")
+
+
+__all__ = [
+    "ArchiveRequestHandler",
+    "ArchiveServer",
+    "create_server",
+    "serve",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_REQUEST_TIMEOUT",
+]

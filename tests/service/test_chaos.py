@@ -1,0 +1,139 @@
+"""Chaos plans: parsing, determinism, and event firing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChaosError, StoreBusyError
+from repro.service.chaos import (
+    ChaosController,
+    ChaosPlan,
+    DiskFull,
+    InjectLatency,
+    LockTimeout,
+    WorkerCrash,
+    WorkerCrashed,
+)
+
+
+class TestPlanSerialization:
+    def test_roundtrip(self):
+        plan = ChaosPlan(events=(
+            InjectLatency(op="request", delay_s=0.01, after=2, count=3),
+            DiskFull(after=1),
+            LockTimeout(after=0, count=2),
+            WorkerCrash(after=4),
+        ), seed=7)
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_signature_stable_and_sensitive(self):
+        plan = ChaosPlan(events=(DiskFull(after=1),))
+        assert plan.signature() == ChaosPlan.from_json(
+            plan.to_json()).signature()
+        assert plan.signature() != ChaosPlan(
+            events=(DiskFull(after=2),)).signature()
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ChaosError):
+            ChaosPlan.from_json('{"events": [{"type": "meteor"}]}')
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ChaosError):
+            ChaosPlan.from_json(
+                '{"events": [{"type": "disk_full", "nope": 1}]}'
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ChaosError):
+            ChaosPlan.from_json("{")
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ChaosError):
+            DiskFull(after=-1)
+        with pytest.raises(ChaosError):
+            LockTimeout(count=0)
+        with pytest.raises(ChaosError):
+            InjectLatency(op="request", delay_s=0.0)
+        with pytest.raises(ChaosError):
+            InjectLatency(op="teleport", delay_s=1.0)
+
+
+class TestController:
+    def test_disk_full_fires_by_occurrence(self):
+        controller = ChaosController(
+            ChaosPlan(events=(DiskFull(after=2, count=1),))
+        )
+        controller.on("wal_append")
+        controller.on("wal_append")
+        with pytest.raises(OSError):
+            controller.on("wal_append")
+        controller.on("wal_append")  # Window passed.
+        assert controller.stats()["injected"] == {"disk_full": 1}
+
+    def test_lock_timeout_raises_store_busy(self):
+        controller = ChaosController(
+            ChaosPlan(events=(LockTimeout(after=0, count=2),))
+        )
+        with pytest.raises(StoreBusyError):
+            controller.on("store_save")
+        with pytest.raises(StoreBusyError):
+            controller.on("store_save")
+        controller.on("store_save")
+
+    def test_worker_crash_is_base_exception(self):
+        controller = ChaosController(
+            ChaosPlan(events=(WorkerCrash(after=0),))
+        )
+        with pytest.raises(WorkerCrashed):
+            controller.on("ack")
+        assert not issubclass(WorkerCrashed, Exception)
+
+    def test_latency_sleeps_via_injected_clock(self):
+        slept = []
+        controller = ChaosController(
+            ChaosPlan(events=(
+                InjectLatency(op="request", delay_s=0.25, after=1,
+                              count=2),
+            )),
+            sleep=slept.append,
+        )
+        for _ in range(4):
+            controller.on("request")
+        assert slept == [0.25, 0.25]
+
+    def test_ops_count_independently(self):
+        controller = ChaosController(
+            ChaosPlan(events=(DiskFull(after=1),))
+        )
+        # store_save occurrences must not advance the wal_append counter.
+        controller.on("store_save")
+        controller.on("store_save")
+        controller.on("wal_append")
+        with pytest.raises(OSError):
+            controller.on("wal_append")
+
+    def test_unknown_op_rejected(self):
+        controller = ChaosController(ChaosPlan())
+        with pytest.raises(ChaosError):
+            controller.on("reboot")
+
+    def test_determinism_same_plan_same_trace(self):
+        def trace():
+            controller = ChaosController(
+                ChaosPlan(events=(DiskFull(after=1), WorkerCrash(after=2)))
+            )
+            out = []
+            for op in ("wal_append", "wal_append", "ack",
+                       "ack", "ack", "wal_append"):
+                try:
+                    controller.on(op)
+                    out.append("ok")
+                except OSError:
+                    out.append("enospc")
+                except WorkerCrashed:
+                    out.append("crash")
+            return out
+
+        assert trace() == trace() == [
+            "ok", "enospc", "ok", "ok", "crash", "ok",
+        ]

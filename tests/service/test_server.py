@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
+from repro.core.archive.serialize import archive_to_json
 from repro.errors import ServiceError
 from repro.service.server import create_server
 
@@ -26,6 +29,8 @@ def server(store):
     yield server
     server.shutdown()
     server.server_close()
+    if server.service.ingest is not None:
+        server.service.ingest.drain_and_stop(timeout=10.0)
     thread.join(timeout=10)
     assert not thread.is_alive()
 
@@ -85,10 +90,10 @@ class TestHTTP:
         assert headers["Content-Type"].startswith("text/html")
         assert b"<svg" in body
 
-    def test_write_method_rejected(self, server):
+    def test_delete_method_rejected(self, server):
         host, port = server.server_address[:2]
         request = urllib.request.Request(
-            f"http://{host}:{port}/jobs", data=b"{}", method="POST"
+            f"http://{host}:{port}/jobs/alpha", method="DELETE"
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
@@ -146,6 +151,114 @@ class TestHTTP:
         document = json.loads(body)
         assert document["requests_total"] >= 1
         assert "cache" in document
+
+
+def raw_request(server, data: bytes, timeout: float = 10.0) -> bytes:
+    """Speak raw HTTP so we can violate the protocol on purpose."""
+    host, port = server.server_address[:2]
+    chunks = []
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(data)
+        try:
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+    return b"".join(chunks)
+
+
+@pytest.fixture()
+def strict_server(store):
+    """A server with a tight body cap and request timeout."""
+    server = create_server(
+        store, port=0, cache_size=8,
+        request_timeout=1.0, max_body_bytes=2048,
+    )
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05),
+        daemon=True,
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.ingest.drain_and_stop(timeout=10.0)
+    thread.join(timeout=10)
+
+
+class TestWritePath:
+    def test_post_archive_roundtrip(self, server):
+        host, port = server.server_address[:2]
+        payload = archive_to_json(make_archive("posted")).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://{host}:{port}/jobs", data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 202
+            tracking = json.loads(response.read())
+        deadline = time.monotonic() + 10.0
+        state = "pending"
+        while time.monotonic() < deadline and state == "pending":
+            state = json.loads(fetch(
+                server, tracking["status_url"])[2])["state"]
+            time.sleep(0.02)
+        assert state == "ingested"
+        assert fetch(server, "/jobs/posted")[0] == 200
+
+
+class TestRequestHygiene:
+    def test_missing_content_length_is_411(self, strict_server):
+        response = raw_request(
+            strict_server,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 411")
+
+    def test_malformed_content_length_is_400(self, strict_server):
+        response = raw_request(
+            strict_server,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: banana\r\nConnection: close\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_declaration_is_413_before_body(self, strict_server):
+        # Declare far more than the cap but send nothing: the server
+        # must refuse from the header alone instead of reading.
+        response = raw_request(
+            strict_server,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 1000000\r\nConnection: close\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 413")
+
+    def test_stalled_body_times_out_with_408(self, strict_server):
+        # Send 3 of 10 promised bytes, then stall: the 1s request
+        # timeout must reclaim the thread and answer 408.
+        started = time.monotonic()
+        response = raw_request(
+            strict_server,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 10\r\nConnection: close\r\n\r\nabc",
+        )
+        elapsed = time.monotonic() - started
+        assert response.startswith(b"HTTP/1.1 408")
+        assert elapsed < 8.0  # Reclaimed by the timeout, not by recv EOF.
+
+    def test_stalled_request_line_does_not_pin_thread(self, strict_server):
+        # A client that connects and never sends anything must be
+        # dropped by the socket timeout; the server stays responsive.
+        host, port = strict_server.server_address[:2]
+        idle = socket.create_connection((host, port), timeout=10)
+        try:
+            time.sleep(1.2)  # Past the 1s request timeout.
+            assert fetch(strict_server, "/healthz")[0] == 200
+        finally:
+            idle.close()
 
 
 class TestCreateServer:

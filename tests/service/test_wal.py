@@ -1,0 +1,163 @@
+"""Write-ahead log: framing, durability, rotation, acks, repair."""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.errors import WalError
+from repro.service.wal import WalEntry, WriteAheadLog
+
+
+def payloads(wal: WriteAheadLog) -> list:
+    return [entry.payload for entry in wal.replay()]
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        first = wal.append(b"one")
+        second = wal.append(b"two")
+        assert isinstance(first, WalEntry)
+        assert first.entry_id != second.entry_id
+        assert payloads(wal) == [b"one", b"two"]
+        wal.close()
+
+    def test_replay_survives_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(b"alpha")
+            wal.append(b"beta")
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert payloads(reopened) == [b"alpha", b"beta"]
+        reopened.close()
+
+    def test_ack_removes_from_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        first = wal.append(b"one")
+        wal.append(b"two")
+        wal.ack(first)
+        assert payloads(wal) == [b"two"]
+        assert wal.lag() == 1
+        wal.close()
+
+    def test_acks_survive_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            first = wal.append(b"one")
+            wal.append(b"two")
+            wal.ack(first)
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert payloads(reopened) == [b"two"]
+        reopened.close()
+
+    def test_double_ack_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        entry = wal.append(b"one")
+        wal.ack(entry)
+        wal.ack(entry)
+        assert wal.lag() == 0
+        assert wal.stats()["acked_total"] == 1
+        wal.close()
+
+    def test_ack_unknown_record_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(WalError):
+            wal.ack("00000001:000099")
+        wal.close()
+
+    def test_empty_payload_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(WalError):
+            wal.append(b"")
+        wal.close()
+
+
+class TestRotation:
+    def test_rotates_past_size_cap(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=64)
+        for i in range(6):
+            wal.append(f"record-{i}".encode() * 4)
+        assert wal.stats()["segments"] >= 2
+        assert [p.decode()[:7] for p in payloads(wal)] == [
+            "record-"] * 6
+        wal.close()
+
+    def test_fully_acked_segment_deleted(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=64)
+        entries = [wal.append(f"record-{i}".encode() * 4)
+                   for i in range(6)]
+        for entry in entries:
+            wal.ack(entry)
+        assert wal.lag() == 0
+        # Only the active segment survives full acknowledgement.
+        remaining = list((tmp_path / "wal").glob("segment-*.wal"))
+        assert len(remaining) == 1
+        wal.close()
+
+
+class TestCrashRepair:
+    def test_torn_tail_is_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(b"whole-record")
+        segment = next((tmp_path / "wal").glob("segment-*.wal"))
+        good = segment.read_bytes()
+        # A crash mid-append leaves a half-written frame at the tail.
+        segment.write_bytes(good + b"GWAL\x00\x00\x00\x63partial")
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert payloads(reopened) == [b"whole-record"]
+        assert segment.read_bytes() == good  # repaired in place
+        # Appends continue cleanly after the repair.
+        reopened.append(b"after-crash")
+        assert payloads(reopened) == [b"whole-record", b"after-crash"]
+        reopened.close()
+
+    def test_corrupt_checksum_is_skipped_and_counted(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(b"first")
+            wal.append(b"second")
+        segment = next((tmp_path / "wal").glob("segment-*.wal"))
+        data = bytearray(segment.read_bytes())
+        # Flip one payload byte of the first record (header is
+        # magic(4) + length(4) + sha256(32) = 40 bytes).
+        data[40] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert payloads(reopened) == [b"second"]
+        assert reopened.stats()["corrupt_total"] == 1
+        reopened.close()
+
+    def test_frame_checksum_matches_payload(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(b"check-me")
+        segment = next((tmp_path / "wal").glob("segment-*.wal"))
+        data = segment.read_bytes()
+        magic, length, digest = struct.unpack(">4sI32s", data[:40])
+        assert magic == b"GWAL"
+        assert length == len(b"check-me")
+        assert digest == hashlib.sha256(b"check-me").digest()
+
+    def test_closed_wal_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append(b"late")
+
+
+class TestFaultHook:
+    def test_append_hook_failure_keeps_wal_consistent(self, tmp_path):
+        calls = {"n": 0}
+
+        def hook():
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError(28, "injected: disk full")
+
+        wal = WriteAheadLog(tmp_path / "wal", append_hook=hook)
+        wal.append(b"before")
+        with pytest.raises(OSError):
+            wal.append(b"during")
+        wal.append(b"after")
+        assert payloads(wal) == [b"before", b"after"]
+        assert wal.stats()["appended_total"] == 2
+        wal.close()
