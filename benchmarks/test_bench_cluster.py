@@ -1,0 +1,165 @@
+"""Cluster tier benchmark: routing overhead and failover recovery.
+
+Measures the two numbers the sharded tier's robustness envelope is
+tuned around:
+
+- **routed-read latency** — p50/p99 of per-job GETs through the full
+  front-router → loopback-HTTP → shard-worker path, against the same
+  requests served by a single in-process service (the routing tax);
+- **failover recovery** — wall-clock from SIGKILLing a shard worker to
+  its keyspace answering 200 again (detect + backoff + respawn + WAL
+  replay).
+
+Writes ``benchmarks/output/cluster_bench.json``.  The floors are
+deliberately loose (forked processes on shared CI runners); the
+artifact is the signal, the assertions only catch collapse.
+
+``GRANULA_BENCH_SMALL=1`` shrinks the read burst for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.core.archive.serialize import archive_to_json
+from repro.core.archive.store import ArchiveStore
+from repro.service.app import ArchiveService
+from repro.service.cluster import create_cluster
+
+from benchmarks.test_bench_serve import _make_archive
+
+#: Collapse floors, not targets.
+MAX_P99_ROUTED_READ_MS = 500.0
+MAX_RECOVERY_S = 30.0
+
+
+def small_mode() -> bool:
+    return os.environ.get("GRANULA_BENCH_SMALL", "") not in ("", "0")
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    index = min(len(sorted_values) - 1,
+                int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def _get(url: str) -> int:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+
+
+def test_bench_cluster(tmp_path, output_dir):
+    jobs = 12 if small_mode() else 40
+    reads = 80 if small_mode() else 400
+    supersteps = 4 if small_mode() else 8
+    workers = 4 if small_mode() else 8
+    shard_count = 3
+
+    archives = [
+        _make_archive(f"cbench-{i:03d}", supersteps, workers)
+        for i in range(jobs)
+    ]
+
+    # Baseline: the identical reads through one in-process service —
+    # no router, no HTTP hop, no process boundary.
+    baseline_store = ArchiveStore(tmp_path / "baseline")
+    for archive in archives:
+        baseline_store.save(archive)
+    baseline = ArchiveService(baseline_store)
+    baseline_latencies = []
+    for i in range(reads):
+        job_id = f"cbench-{i % jobs:03d}"
+        started = time.perf_counter()
+        response = baseline.handle(f"/jobs/{job_id}")
+        baseline_latencies.append(time.perf_counter() - started)
+        assert response.status == 200
+
+    dirs = [tmp_path / f"shard-{i}" for i in range(shard_count)]
+    server = create_cluster(dirs, port=0, probe_interval=0.1)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        base = server.url
+        ring = server.service.ring
+        # Pre-place archives on their owner shards directly (the write
+        # path is ingest's benchmark, not this one), then let the
+        # workers see them on their next refresh.
+        for archive in archives:
+            owner = ring.shard_for(archive.job_id)
+            ArchiveStore(dirs[owner]).save(archive, overwrite=True)
+
+        routed_latencies = []
+        for i in range(reads):
+            job_id = f"cbench-{i % jobs:03d}"
+            started = time.perf_counter()
+            status = _get(f"{base}/jobs/{job_id}")
+            routed_latencies.append(time.perf_counter() - started)
+            assert status == 200, (job_id, status)
+
+        # Failover: SIGKILL the owner of one keyspace and clock the
+        # outage as its clients would see it.
+        victim_job = f"cbench-{jobs // 2:03d}"
+        victim = ring.shard_for(victim_job)
+        server.supervisor.kill_worker(victim)
+        outage_started = time.perf_counter()
+        deadline = time.monotonic() + MAX_RECOVERY_S + 30.0
+        saw_outage = False
+        recovery_s = None
+        while time.monotonic() < deadline:
+            status = _get(f"{base}/jobs/{victim_job}")
+            if status == 503:
+                saw_outage = True
+            elif status == 200 and saw_outage:
+                recovery_s = time.perf_counter() - outage_started
+                break
+            elif status == 200 and \
+                    time.perf_counter() - outage_started > 0.05:
+                # Recovered between our polls — count what we saw.
+                recovery_s = time.perf_counter() - outage_started
+                break
+            time.sleep(0.01)
+        assert recovery_s is not None, "shard never recovered"
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.supervisor.stop()
+
+    baseline_latencies.sort()
+    routed_latencies.sort()
+    document = {
+        "small_mode": small_mode(),
+        "shards": shard_count,
+        "jobs": jobs,
+        "reads": reads,
+        "baseline_read_ms": {
+            "p50": round(_percentile(baseline_latencies, 0.5) * 1e3, 3),
+            "p99": round(_percentile(baseline_latencies, 0.99) * 1e3, 3),
+        },
+        "routed_read_ms": {
+            "p50": round(_percentile(routed_latencies, 0.5) * 1e3, 3),
+            "p99": round(_percentile(routed_latencies, 0.99) * 1e3, 3),
+        },
+        "routing_overhead_p50_ms": round(
+            (_percentile(routed_latencies, 0.5)
+             - _percentile(baseline_latencies, 0.5)) * 1e3, 3),
+        "failover": {
+            "victim_shard": victim,
+            "recovery_s": round(recovery_s, 3),
+        },
+    }
+    (output_dir / "cluster_bench.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+    assert document["routed_read_ms"]["p99"] <= \
+        MAX_P99_ROUTED_READ_MS, document
+    assert recovery_s <= MAX_RECOVERY_S, document

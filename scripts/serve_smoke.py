@@ -18,6 +18,15 @@ one WAL disk-full, one ingestion-worker crash) and drives the *write*
 path through it: every ``POST /jobs`` is retried per ``Retry-After``
 until accepted, and the run only passes if the service ends healthy
 with zero lost acknowledged jobs and a clean SIGTERM exit.
+
+With ``--cluster`` the smoke drives the sharded tier instead
+(``granula serve --workers 3``): archives POSTed through the
+consistent-hash router, the merged ``/jobs`` listing, per-job reads,
+and a clean SIGTERM of the whole fleet.  ``--cluster --chaos``
+additionally SIGKILLs one shard worker mid-burst (pid taken from the
+aggregated ``/healthz``), keeps writing through the outage honouring
+``Retry-After``, and only passes if the cluster converges back to
+``ok`` with every acknowledged job stored exactly once.
 """
 
 from __future__ import annotations
@@ -218,7 +227,154 @@ def chaos_main() -> int:
     return 0
 
 
+def wait_cluster_ok(base: str, timeout: float = 60.0) -> dict:
+    """Wait until the aggregated /healthz reports every shard ok."""
+    deadline = time.monotonic() + timeout
+    health = {}
+    while time.monotonic() < deadline:
+        try:
+            status, _headers, body = fetch(f"{base}/healthz")
+        except OSError:
+            time.sleep(0.2)
+            continue
+        if status == 200:
+            health = json.loads(body)
+            if health.get("status") == "ok":
+                return health
+        time.sleep(0.2)
+    fail(f"cluster never converged to ok; last health: {health}")
+    raise AssertionError("unreachable")
+
+
+def wait_cluster_drained(base: str, timeout: float = 60.0) -> None:
+    """Wait until every live shard reports zero WAL lag."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _status, _headers, body = fetch(f"{base}/healthz")
+        health = json.loads(body)
+        lags = [
+            shard.get("health", {}).get("writes", {}).get("wal_lag")
+            for shard in health.get("shards", [])
+        ]
+        if health.get("status") == "ok" and all(lag == 0 for lag in lags):
+            return
+        time.sleep(0.2)
+    fail("shard WALs never drained to zero lag")
+
+
+def spawn_cluster(store: Path, workers: int = 3) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve", str(store),
+         "--port", "0", "--workers", str(workers)],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def cluster_main(chaos: bool) -> int:
+    """Drive the sharded tier; with ``chaos``, kill a worker mid-burst."""
+    import os
+
+    label = "cluster chaos smoke" if chaos else "cluster smoke"
+    workloads = (("Giraph", "bfs"), ("PowerGraph", "pagerank"),
+                 ("Giraph", "wcc"), ("PowerGraph", "sssp"))
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        source = Path(tmp) / "source"
+        build_store(source, workloads=workloads)
+        payloads = {
+            path.stem: path.read_bytes()
+            for path in sorted(source.glob("*.json"))
+            if path.name != "index.json"
+        }
+        if len(payloads) < len(workloads):
+            fail(f"fixture built only {sorted(payloads)}")
+
+        store = Path(tmp) / "cluster"
+        store.mkdir()
+        process = spawn_cluster(store)
+        try:
+            base = wait_for_banner(process)
+            health = wait_cluster_ok(base)
+            pids = {shard["shard"]: shard["pid"]
+                    for shard in health["shards"]}
+            print(f"{label}: 3 shard workers live, pids {pids}")
+
+            acked = {}
+            victim = None
+            for count, (job_id, payload) in enumerate(payloads.items()):
+                if chaos and count == len(payloads) // 2:
+                    # Mid-burst: SIGKILL one shard worker outright.
+                    victim = sorted(pids)[0]
+                    os.kill(pids[victim], signal.SIGKILL)
+                    print(f"{label}: SIGKILLed shard {victim} "
+                          f"(pid {pids[victim]}) mid-burst")
+                document, rejected = post_with_retry(
+                    base, payload, attempts=30)
+                acked[job_id] = document["tracking_id"]
+                if rejected:
+                    print(f"{label}: {job_id} accepted after "
+                          f"{rejected} rejection(s)")
+            print(f"{label}: {len(acked)} job(s) acknowledged")
+
+            wait_cluster_ok(base)
+            wait_cluster_drained(base)
+            if chaos:
+                status, _headers, body = fetch(f"{base}/metrics")
+                restarts = json.loads(body)["supervisor"]["counters"][
+                    "restarts_total"]
+                if restarts < 1:
+                    fail("the killed worker never registered a restart")
+                print(f"{label}: supervisor recorded "
+                      f"{restarts} restart(s) and the fleet converged")
+
+            status, _headers, body = fetch(f"{base}/jobs?limit=100")
+            if status != 200:
+                fail(f"/jobs answered {status}")
+            listing = json.loads(body)
+            if listing["degraded_shards"]:
+                fail(f"converged cluster still lists degraded shards "
+                     f"{listing['degraded_shards']}")
+            jobs = [job["job_id"] for job in listing["jobs"]]
+            for job_id in acked:
+                if jobs.count(job_id) != 1:
+                    fail(f"acknowledged job {job_id!r} appears "
+                         f"{jobs.count(job_id)} times in {jobs}")
+            print(f"{label}: all acknowledged jobs stored exactly "
+                  f"once: {jobs}")
+
+            some_job = next(iter(acked))
+            status, headers, body = fetch(f"{base}/jobs/{some_job}")
+            if status != 200:
+                fail(f"/jobs/{some_job} answered {status}")
+            etag = headers.get("ETag")
+            if not etag:
+                fail("routed per-job GET carried no ETag")
+            status, _headers, body = fetch(
+                f"{base}/jobs/{some_job}",
+                headers={"If-None-Match": etag})
+            if status != 304:
+                fail(f"routed conditional GET answered {status}")
+            print(f"{label}: routed read + 304 revalidation ok")
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=40)
+            if code != 0:
+                fail(f"cluster exited {code} on SIGTERM")
+            print(f"{label}: clean shutdown (exit 0)")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    print(f"{label}: PASS")
+    return 0
+
+
 def main() -> int:
+    if "--cluster" in sys.argv[1:]:
+        return cluster_main(chaos="--chaos" in sys.argv[1:])
     if "--chaos" in sys.argv[1:]:
         return chaos_main()
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:

@@ -26,6 +26,7 @@ Subcommands::
     granula serve <store-dir> [--host H] [--port P] [--cache-size N]
                 [--read-only] [--queue-size N] [--max-body-bytes N]
                 [--request-timeout S] [--chaos plan.json]
+                [--workers N] [--shards DIR1,DIR2,...]
                                    serve an archive store over HTTP:
                                    /jobs (filters + pagination),
                                    /jobs/{id}, /jobs/{id}/query,
@@ -38,7 +39,11 @@ Subcommands::
                                    429/503 + Retry-After under overload
                                    or degraded read-only mode); --chaos
                                    arms deterministic service fault
-                                   injection
+                                   injection; --workers N shards the
+                                   service across N supervised worker
+                                   processes behind a consistent-hash
+                                   router (a dead shard 503s only its
+                                   own keyspace while it restarts)
     granula report <archive.json> [--html FILE]
                                    render a stored archive
     granula diagnose <archive.json> [--compute-mission NAME]
@@ -67,7 +72,7 @@ from repro.core.archive.store import ArchiveStore
 from repro.core.model.library import default_library
 from repro.core.visualize.render_html import render_report_html
 from repro.core.visualize.report import render_report_text
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.experiments.report import render_markdown, run_all
 from repro.experiments.table1_platforms import run_table1
 from repro.platforms.base import ENGINE_MODES
@@ -379,6 +384,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import create_server, serve
 
     chaos = load_chaos_plan(args.chaos) if args.chaos else None
+    if args.workers > 1 or args.shards:
+        from repro.service.cluster import create_cluster, serve_cluster
+
+        if args.read_only:
+            raise ServiceError(
+                "--read-only is a single-process option; the cluster "
+                "tier always runs writable shard workers"
+            )
+        if args.shards:
+            shard_dirs = [Path(part) for part in args.shards.split(",")
+                          if part.strip()]
+            if args.workers > 1 and len(shard_dirs) != args.workers:
+                raise ServiceError(
+                    f"--workers {args.workers} does not match the "
+                    f"{len(shard_dirs)} --shards directories"
+                )
+        else:
+            # Default layout: N shard stores under the given root.
+            shard_dirs = [
+                Path(args.store) / f"shard-{index:02d}"
+                for index in range(args.workers)
+            ]
+        server = create_cluster(
+            shard_dirs,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            queue_size=args.queue_size,
+            chaos=chaos,
+            max_body_bytes=args.max_body_bytes,
+            request_timeout=args.request_timeout,
+        )
+        serve_cluster(server)
+        return 0
     server = create_server(
         args.store,
         host=args.host,
@@ -510,7 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(see repro.service.chaos.ChaosPlan): "
                             "injected latency, WAL disk-full, store "
                             "lock timeouts, worker crashes — "
-                            "deterministic by occurrence count")
+                            "deterministic by occurrence count; with "
+                            "--workers also router-level worker_kill, "
+                            "probe_timeout, and slow_shard events")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="shard worker processes behind a "
+                            "consistent-hash router (default 1 = "
+                            "single-process service); each worker "
+                            "serves its own store + WAL and is "
+                            "supervised with backoff restarts")
+    p_srv.add_argument("--shards",
+                       help="comma-separated shard store directories "
+                            "(one per worker); default with --workers N "
+                            "is <store>/shard-00..shard-NN")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="render a stored archive")

@@ -135,3 +135,19 @@ class IngestOverloadError(IngestRejectedError):
 
 class IngestUnavailableError(IngestRejectedError):
     """Writes are disabled (degraded read-only or draining) — 503."""
+
+
+class ShardUnavailableError(IngestRejectedError):
+    """A shard worker cannot serve its keyspace right now — 503.
+
+    Raised by the cluster router when the owner shard of a request is
+    down, restarting, fenced, or unreachable over its loopback socket.
+    Other shards keep serving; ``retry_after`` is derived from the
+    supervisor's restart schedule through the same clamp as every
+    other shedding surface.
+    """
+
+    def __init__(self, message: str, shard: int = -1,
+                 retry_after: float = 1.0):
+        super().__init__(message, retry_after=retry_after)
+        self.shard = shard

@@ -1,0 +1,56 @@
+"""Shared ``Retry-After`` arithmetic for every shedding surface.
+
+Three places tell clients to back off: the ingestion queue's 429s
+(PR 6), the degraded-circuit 503s, and — since the cluster tier — the
+router's per-shard 503s while a shard worker is down or restarting.
+They must agree on the clamp, or a client honouring one surface's hint
+stampedes another.  The contract:
+
+- a hint is never below :data:`RETRY_AFTER_FLOOR` (1 s — sub-second
+  hints round to 0 in the integer ``Retry-After`` header and turn a
+  polite client into a busy-loop);
+- a hint is never above :data:`RETRY_AFTER_CEILING` (120 s — beyond
+  that the client should re-resolve, not sleep);
+- a queue-depth-derived hint treats an empty backlog as one record and
+  a stalled drain as a tenth of a record per second, so the division is
+  always defined and the clamp edges are reachable from both sides.
+"""
+
+from __future__ import annotations
+
+#: Smallest suggested client back-off, in seconds.
+RETRY_AFTER_FLOOR = 1.0
+
+#: Largest suggested client back-off, in seconds.
+RETRY_AFTER_CEILING = 120.0
+
+#: Drain rate assumed when the measured one has collapsed to zero.
+MIN_DRAIN_RATE = 0.1
+
+
+def clamp_retry_after(seconds: float) -> float:
+    """Clamp a raw back-off suggestion into [1, 120] seconds."""
+    return min(RETRY_AFTER_CEILING, max(RETRY_AFTER_FLOOR, float(seconds)))
+
+
+def retry_after_seconds(backlog: int, drain_rate_per_s: float) -> float:
+    """Suggested back-off: backlog over drain rate, clamped to [1, 120].
+
+    ``backlog`` is a queue depth (an empty queue still costs one
+    record's worth of wait — the floor keeps the hint honest);
+    ``drain_rate_per_s`` is the consumer's measured throughput (zero or
+    negative rates are treated as :data:`MIN_DRAIN_RATE` so a stalled
+    drain yields the ceiling, not a division error).
+    """
+    depth = max(1, int(backlog))
+    rate = max(float(drain_rate_per_s), MIN_DRAIN_RATE)
+    return clamp_retry_after(depth / rate)
+
+
+__all__ = [
+    "RETRY_AFTER_CEILING",
+    "RETRY_AFTER_FLOOR",
+    "MIN_DRAIN_RATE",
+    "clamp_retry_after",
+    "retry_after_seconds",
+]

@@ -11,6 +11,12 @@ four operations the write path performs —
 - ``store_save``   the ingestion worker persisting into the store,
 - ``ack``          the worker acknowledging a drained WAL record —
 
+and, since the sharded cluster tier, at the two operations the *front
+router* performs —
+
+- ``route``        proxying one request to its owner shard,
+- ``probe``        the supervisor's periodic per-shard liveness probe —
+
 and a :class:`ChaosController` fires them by *occurrence count* (the
 ``after``-th call onward, ``count`` times), so "the third WAL append
 fails with ENOSPC" or "the worker crashes before its second ack" is a
@@ -29,6 +35,21 @@ Event types:
 - :class:`WorkerCrash` — raise :class:`WorkerCrashed` before ``ack``,
   killing the ingestion worker after the save but before the WAL ack,
   which is exactly the window WAL replay must make safe.
+
+Router-level event types (cluster mode):
+
+- :class:`WorkerKill` — SIGKILL one shard's worker process on the
+  ``after``-th supervisor probe of that shard (the action is a
+  registered callback, see :meth:`ChaosController.register_action`);
+- :class:`ProbeTimeout` — make the supervisor's probe of one shard
+  raise ``TimeoutError``, driving the live → suspect → restarting
+  path without harming the worker;
+- :class:`SlowShard` — add latency to every request the router proxies
+  to one shard (a slow disk under one shard, not the whole tier).
+
+Router ops carry a ``shard`` argument: occurrence counters are kept
+per ``(op, shard)`` so "the third probe of shard 1 times out" is
+independent of how often shard 0 is probed.
 """
 
 from __future__ import annotations
@@ -44,8 +65,14 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import ChaosError, StoreBusyError
 
-#: Operations a chaos event may target.
-CHAOS_OPS = ("request", "wal_append", "store_save", "ack")
+#: Operations a shard worker's write path performs.
+WORKER_OPS = ("request", "wal_append", "store_save", "ack")
+
+#: Operations the cluster front router / supervisor performs.
+ROUTER_OPS = ("route", "probe")
+
+#: Every operation a chaos event may target.
+CHAOS_OPS = WORKER_OPS + ROUTER_OPS
 
 
 class WorkerCrashed(BaseException):
@@ -125,13 +152,76 @@ class WorkerCrash:
         _check_window(self)
 
 
-ChaosEvent = Union[InjectLatency, DiskFull, LockTimeout, WorkerCrash]
+def _check_shard(event: Any) -> None:
+    if not isinstance(event.shard, int) or event.shard < 0:
+        raise ChaosError(
+            f"{type(event).__name__}.shard must be an int >= 0, "
+            f"got {event.shard!r}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL one shard's worker on its ``after``-th supervisor probe.
+
+    The kill itself is a registered action (the supervisor plugs in
+    ``kill_worker``); a plan carrying this event outside cluster mode
+    counts the occurrence and does nothing.
+    """
+
+    shard: int
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        _check_shard(self)
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class ProbeTimeout:
+    """``TimeoutError`` on probes [after, after+count) of one shard."""
+
+    shard: int
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_shard(self)
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class SlowShard:
+    """Sleep ``delay_s`` before routed requests [after, after+count)
+    aimed at one shard — a slow shard, not a slow tier."""
+
+    shard: int
+    delay_s: float
+    after: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_shard(self)
+        if self.delay_s <= 0:
+            raise ChaosError(
+                f"slow_shard delay_s must be positive, got {self.delay_s}"
+            )
+        _check_window(self)
+
+
+ChaosEvent = Union[
+    InjectLatency, DiskFull, LockTimeout, WorkerCrash,
+    WorkerKill, ProbeTimeout, SlowShard,
+]
 
 _EVENT_TYPES = {
     "latency": InjectLatency,
     "disk_full": DiskFull,
     "lock_timeout": LockTimeout,
     "worker_crash": WorkerCrash,
+    "worker_kill": WorkerKill,
+    "probe_timeout": ProbeTimeout,
+    "slow_shard": SlowShard,
 }
 _EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
 
@@ -140,7 +230,33 @@ _EVENT_OPS = {
     DiskFull: "wal_append",
     LockTimeout: "store_save",
     WorkerCrash: "ack",
+    WorkerKill: "probe",
+    ProbeTimeout: "probe",
+    SlowShard: "route",
 }
+
+#: Event classes the router/supervisor (not the shard workers) handle.
+_ROUTER_EVENT_TYPES = (WorkerKill, ProbeTimeout, SlowShard)
+
+
+def _is_router_event(event: ChaosEvent) -> bool:
+    if isinstance(event, _ROUTER_EVENT_TYPES):
+        return True
+    return isinstance(event, InjectLatency) and event.op in ROUTER_OPS
+
+
+def split_chaos_plan(plan: ChaosPlan) -> Tuple["ChaosPlan", "ChaosPlan"]:
+    """Partition a plan into ``(worker_plan, router_plan)``.
+
+    In cluster mode each shard worker arms its own controller over the
+    worker-op events, while the front router / supervisor arms the
+    router-op events; splitting here keeps one plan file the single
+    source of truth for both tiers.
+    """
+    worker = tuple(e for e in plan.events if not _is_router_event(e))
+    router = tuple(e for e in plan.events if _is_router_event(e))
+    return (ChaosPlan(events=worker, seed=plan.seed),
+            ChaosPlan(events=router, seed=plan.seed))
 
 
 def _event_to_dict(event: ChaosEvent) -> Dict[str, Any]:
@@ -248,24 +364,44 @@ class ChaosController:
         self.plan = plan
         self._sleep = sleep
         self._lock = threading.Lock()
-        self._occurrences: Dict[str, int] = {op: 0 for op in CHAOS_OPS}
+        self._occurrences: Dict[str, int] = {op: 0 for op in WORKER_OPS}
         self._injected: Dict[str, int] = {}
+        self._actions: Dict[str, Callable[[int], None]] = {}
 
-    def on(self, op: str) -> None:
+    def register_action(
+        self, name: str, callback: Callable[[int], None],
+    ) -> None:
+        """Plug in the side effect for an action event.
+
+        Currently ``worker_kill``: the cluster supervisor registers its
+        SIGKILL-a-worker callback, which receives the shard index.
+        """
+        self._actions[name] = callback
+
+    def on(self, op: str, shard: Optional[int] = None) -> None:
         """Account one occurrence of ``op``; fire matching events.
 
-        May sleep (latency), raise :class:`OSError` (disk full),
-        :class:`StoreBusyError` (lock timeout), or
-        :class:`WorkerCrashed` (crash before ack).
+        Router ops (``route``, ``probe``) pass the targeted ``shard``;
+        their occurrences are counted per ``(op, shard)`` and only
+        events declaring that shard match.  May sleep (latency /
+        slow_shard), raise :class:`OSError` (disk full),
+        :class:`StoreBusyError` (lock timeout), :class:`WorkerCrashed`
+        (crash before ack), or :class:`TimeoutError` (probe timeout) —
+        and may invoke a registered action (worker kill).
         """
         if op not in CHAOS_OPS:
             raise ChaosError(f"unknown chaos operation {op!r}")
+        key = op if shard is None else f"{op}[{shard}]"
+        actions = []
         with self._lock:
-            occurrence = self._occurrences[op]
-            self._occurrences[op] = occurrence + 1
+            occurrence = self._occurrences.get(key, 0)
+            self._occurrences[key] = occurrence + 1
             delay = 0.0
             failure: Optional[BaseException] = None
             for event in self.plan.events:
+                event_shard = getattr(event, "shard", None)
+                if event_shard is not None and event_shard != shard:
+                    continue
                 if isinstance(event, InjectLatency):
                     if event.op == op and (
                         event.after <= occurrence < event.after + event.count
@@ -277,6 +413,18 @@ class ChaosController:
                     continue
                 count = getattr(event, "count", 1)
                 if not event.after <= occurrence < event.after + count:
+                    continue
+                if isinstance(event, SlowShard):
+                    # Latency-shaped: accumulates, never terminal.
+                    delay += event.delay_s
+                    self._count("slow_shard")
+                    continue
+                if isinstance(event, WorkerKill):
+                    # Action-shaped: fires the registered callback and
+                    # lets the probe itself proceed (death is observed
+                    # on the next tick, like a real kill -9).
+                    self._count("worker_kill")
+                    actions.append(("worker_kill", event.shard))
                     continue
                 if isinstance(event, DiskFull):
                     self._count("disk_full")
@@ -293,11 +441,20 @@ class ChaosController:
                     failure = WorkerCrashed(
                         f"injected worker crash before ack {occurrence}"
                     )
+                elif isinstance(event, ProbeTimeout):
+                    self._count("probe_timeout")
+                    failure = TimeoutError(
+                        f"injected probe timeout for shard {shard}"
+                    )
                 break
-        # Sleep and raise outside the lock so a long injected latency
-        # cannot serialize unrelated operations.
+        # Sleep, act, and raise outside the lock so a long injected
+        # latency cannot serialize unrelated operations.
         if delay:
             self._sleep(delay)
+        for name, target in actions:
+            callback = self._actions.get(name)
+            if callback is not None:
+                callback(target)
         if failure is not None:
             raise failure
 
@@ -324,13 +481,19 @@ def load_chaos_plan(path: Union[str, Path]) -> ChaosPlan:
 
 __all__ = [
     "CHAOS_OPS",
+    "ROUTER_OPS",
+    "WORKER_OPS",
     "ChaosController",
     "ChaosEvent",
     "ChaosPlan",
     "DiskFull",
     "InjectLatency",
     "LockTimeout",
+    "ProbeTimeout",
+    "SlowShard",
     "WorkerCrash",
     "WorkerCrashed",
+    "WorkerKill",
     "load_chaos_plan",
+    "split_chaos_plan",
 ]

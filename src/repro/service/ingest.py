@@ -64,6 +64,7 @@ from repro.errors import (
     ReproError,
     StoreBusyError,
 )
+from repro.service.backpressure import retry_after_seconds
 from repro.service.chaos import ChaosController, WorkerCrashed
 from repro.service.wal import WalEntry, WriteAheadLog
 
@@ -116,15 +117,24 @@ class _Counters:
 
 @dataclass
 class _Circuit:
-    """WAL-disk circuit breaker: open while the disk is misbehaving."""
+    """WAL-disk circuit breaker: open while the disk is misbehaving.
+
+    Consecutive trips escalate the recovery window exponentially (a
+    half-open probe that fails doubles the wait before the next probe,
+    capped at ``max_backoff_factor``×), so a persistently dead disk is
+    probed ever less often instead of once per ``recover_after``.
+    """
 
     recover_after: float
+    max_backoff_factor: int = 8
     opened_at: Optional[float] = None
     reason: str = ""
+    streak: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
     def trip(self, reason: str) -> None:
         with self.lock:
+            self.streak += 1
             self.opened_at = time.monotonic()
             self.reason = reason
 
@@ -132,13 +142,19 @@ class _Circuit:
         with self.lock:
             self.opened_at = None
             self.reason = ""
+            self.streak = 0
+
+    def _window_locked(self) -> float:
+        factor = min(2 ** max(0, self.streak - 1), self.max_backoff_factor)
+        return self.recover_after * factor
 
     def state(self) -> str:
         """closed | open | half-open (probe window reached)."""
         with self.lock:
             if self.opened_at is None:
                 return "closed"
-            if time.monotonic() - self.opened_at >= self.recover_after:
+            elapsed = time.monotonic() - self.opened_at
+            if elapsed >= self._window_locked():
                 return "half-open"
             return "open"
 
@@ -146,10 +162,8 @@ class _Circuit:
         with self.lock:
             if self.opened_at is None:
                 return 0.0
-            return max(
-                0.0,
-                self.recover_after - (time.monotonic() - self.opened_at),
-            )
+            elapsed = time.monotonic() - self.opened_at
+            return max(0.0, self._window_locked() - elapsed)
 
 
 class IngestPipeline:
@@ -395,9 +409,7 @@ class IngestPipeline:
 
     def retry_after(self) -> float:
         """Suggested client back-off: backlog over measured drain rate."""
-        backlog = max(1, self._queue.qsize())
-        rate = max(self._drain_rate, 0.1)
-        return min(120.0, max(1.0, backlog / rate))
+        return retry_after_seconds(self._queue.qsize(), self._drain_rate)
 
     def stats(self) -> Dict[str, Any]:
         document: Dict[str, Any] = {

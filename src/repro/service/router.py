@@ -1,0 +1,584 @@
+"""Consistent-hash request routing for the clustered archive service.
+
+:class:`ClusterService` is the front tier's transport-independent
+brain, shaped exactly like :class:`repro.service.app.ArchiveService`
+(``handle(path, params, headers, method, body) -> Response``) so the
+stdlib HTTP layer in :mod:`repro.service.server` hosts either one
+unchanged.  It owns no archives itself: every job id maps onto one of
+N shard workers through a :class:`ConsistentHashRing`, and requests
+are proxied over loopback HTTP to the owner shard (the transport is an
+injectable callable, so routing logic is unit-testable with in-process
+fakes and zero sockets).
+
+Failure semantics are *partial*, never total:
+
+- a request whose owner shard is down answers ``503`` with a
+  ``Retry-After`` derived from the supervisor's restart schedule,
+  while requests owned by healthy shards keep answering ``200``;
+- the fan-out endpoints (``/jobs``, ``/ingest/{id}``, ``/healthz``,
+  ``/metrics``) merge whatever the live shards return and name the
+  missing ones in a ``degraded_shards`` field rather than failing the
+  whole response.
+
+Placement is deterministic: shard ``s``'s vnode ``v`` sits at
+``sha256("{s:04d}:{v:04d}")`` and a key at ``sha256(job_id)``, both
+truncated to 64 bits — so the mapping is stable across restarts,
+processes, and platforms, which is what makes "the same job id always
+lands on the same shard store" a durable property rather than a
+per-process accident.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.archive.store import validate_job_id
+from repro.errors import ArchiveError, ServiceError, ShardUnavailableError
+from repro.service.app import (
+    DEFAULT_PAGE,
+    MAX_PAGE,
+    Response,
+    error_response,
+    json_response,
+)
+from repro.service.app import _etag_matches, _etag_of  # shared ETag rules
+from repro.service.chaos import ChaosController
+from repro.service.metrics import ServiceMetrics
+from repro.service.supervisor import ShardSupervisor
+
+#: Minimum vnodes per shard; fewer makes placement visibly lumpy.
+MIN_VNODES = 64
+
+#: A transport proxies one request to one shard worker and returns its
+#: transport-agnostic Response.  Signature:
+#: ``(base_url, path, params, headers, method, body, timeout)``.
+Transport = Callable[
+    [str, str, Mapping[str, str], Mapping[str, str], str, bytes, float],
+    Response,
+]
+
+#: Request headers the router forwards to shard workers verbatim.
+_FORWARD_HEADERS = ("Content-Type", "If-None-Match")
+
+#: Response headers the router passes back to the client verbatim.
+_RETURN_HEADERS = ("ETag", "Retry-After")
+
+
+class ConsistentHashRing:
+    """Deterministic 64-bit consistent-hash ring over N shards."""
+
+    def __init__(self, shard_count: int, vnodes: int = MIN_VNODES):
+        if shard_count < 1:
+            raise ServiceError("a hash ring needs at least one shard")
+        if vnodes < MIN_VNODES:
+            raise ServiceError(
+                f"vnodes={vnodes} is below the minimum {MIN_VNODES}; "
+                f"coarse rings skew keyspace ownership"
+            )
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        points = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                token = f"{shard:04d}:{vnode:04d}".encode("ascii")
+                point = int.from_bytes(
+                    hashlib.sha256(token).digest()[:8], "big"
+                )
+                points.append((point, shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (clockwise successor, wrapping)."""
+        point = int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys) -> Dict[int, int]:
+        """Keys-per-shard histogram (placement diagnostics/tests)."""
+        histogram: Dict[int, int] = {
+            shard: 0 for shard in range(self.shard_count)
+        }
+        for key in keys:
+            histogram[self.shard_for(key)] += 1
+        return histogram
+
+
+def http_transport(
+    base_url: str,
+    path: str,
+    params: Mapping[str, str],
+    headers: Mapping[str, str],
+    method: str,
+    body: bytes,
+    timeout: float,
+) -> Response:
+    """Default transport: proxy over loopback HTTP via urllib.
+
+    Raises :class:`OSError` (``URLError`` included) when the worker is
+    unreachable; HTTP error statuses — including ``304`` — come back as
+    ordinary :class:`Response` objects, exactly like a local handler.
+    """
+    query = urllib.parse.urlencode(dict(params))
+    url = base_url + path + (f"?{query}" if query else "")
+    request = urllib.request.Request(
+        url,
+        data=body if method == "POST" else None,
+        method=method,
+    )
+    for name in _FORWARD_HEADERS:
+        if name in headers:
+            request.add_header(name, headers[name])
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return Response(
+                reply.status,
+                reply.read(),
+                reply.headers.get("Content-Type", "application/json"),
+                {name: reply.headers[name] for name in _RETURN_HEADERS
+                 if name in reply.headers},
+            )
+    except urllib.error.HTTPError as exc:
+        payload = exc.read()
+        return Response(
+            exc.code,
+            payload,
+            exc.headers.get("Content-Type", "application/json"),
+            {name: exc.headers[name] for name in _RETURN_HEADERS
+             if name in exc.headers},
+        )
+
+
+def _rejection(exc: ShardUnavailableError) -> Response:
+    """A 503 for one shard's keyspace, carrying shard + back-off."""
+    response = json_response(503, {
+        "error": str(exc),
+        "status": 503,
+        "shard": exc.shard,
+    })
+    response.headers["Retry-After"] = str(exc.retry_after)
+    return response
+
+
+class ClusterService:
+    """Routes requests across shard workers behind one supervisor."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        vnodes: int = MIN_VNODES,
+        transport: Optional[Transport] = None,
+        chaos: Optional[ChaosController] = None,
+        request_timeout: float = 30.0,
+    ):
+        self.supervisor = supervisor
+        self.ring = ConsistentHashRing(len(supervisor), vnodes)
+        self.metrics = ServiceMetrics()
+        self.chaos = chaos
+        self.request_timeout = request_timeout
+        self._transport: Transport = transport or http_transport
+
+    # -- entry point -------------------------------------------------------
+
+    def handle(
+        self,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        method: str = "GET",
+        body: bytes = b"",
+    ) -> Response:
+        """Dispatch one request; never raises on client/shard errors."""
+        started = time.perf_counter()
+        endpoint, response = self._dispatch(
+            path, dict(params or {}), dict(headers or {}), method, body
+        )
+        self.metrics.observe(
+            endpoint, response.status, time.perf_counter() - started
+        )
+        return response
+
+    def _route(
+        self, path: str, method: str,
+    ) -> Tuple[str, Optional[str]]:
+        """Same label set and routing rules as the single-shard app."""
+        parts = [part for part in path.split("/") if part]
+        if parts == ["jobs"] and method == "POST":
+            return "POST /jobs", "submit"
+        if method not in ("GET", "HEAD"):
+            if parts == ["jobs"]:
+                return "POST /jobs", None
+            return "other", None
+        if parts == ["healthz"]:
+            return "/healthz", "healthz"
+        if parts == ["metrics"]:
+            return "/metrics", "metrics"
+        if parts == ["jobs"]:
+            return "/jobs", "jobs"
+        if len(parts) == 2 and parts[0] == "ingest":
+            return "/ingest/{id}", "ingest_status"
+        if len(parts) >= 2 and parts[0] == "jobs":
+            if len(parts) == 2:
+                return "/jobs/{id}", "job"
+            if parts[2:] == ["query"] or parts[2:] == ["report"]:
+                endpoint = f"/jobs/{{id}}/{parts[2]}"
+                return endpoint, "job"
+        return "other", None
+
+    def _dispatch(
+        self,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        method: str,
+        body: bytes,
+    ) -> Tuple[str, Response]:
+        endpoint, handler = self._route(path, method)
+        if handler is None:
+            if method not in ("GET", "HEAD") and endpoint == "other":
+                return endpoint, error_response(
+                    405, f"method {method} not allowed"
+                )
+            if endpoint == "POST /jobs":
+                return endpoint, error_response(
+                    405, f"method {method} not allowed on /jobs"
+                )
+            return endpoint, error_response(404, f"no route for {path!r}")
+        parts = [part for part in path.split("/") if part]
+        try:
+            if handler == "submit":
+                return endpoint, self._submit(path, params, headers, body)
+            if handler == "healthz":
+                return endpoint, self._healthz()
+            if handler == "metrics":
+                return endpoint, self._metrics()
+            if handler == "jobs":
+                return endpoint, self._jobs(path, params, headers)
+            if handler == "ingest_status":
+                return endpoint, self._ingest_status(path, headers)
+            # Per-job endpoints: one owner shard, straight proxy.
+            return endpoint, self._per_job(
+                parts[1], path, params, headers, method, body
+            )
+        except ShardUnavailableError as exc:
+            return endpoint, _rejection(exc)
+
+    # -- shard proxying ----------------------------------------------------
+
+    def _proxy(
+        self,
+        shard: int,
+        path: str,
+        params: Mapping[str, str],
+        headers: Mapping[str, str],
+        method: str,
+        body: bytes,
+    ) -> Response:
+        """Forward one request to one shard or raise ShardUnavailable."""
+        if self.chaos is not None:
+            try:
+                self.chaos.on("route", shard=shard)
+            except TimeoutError as exc:
+                self.supervisor.record_failure(shard, str(exc))
+                raise self._unavailable(shard, str(exc)) from exc
+        base_url = self.supervisor.endpoint(shard)
+        if base_url is None:
+            raise self._unavailable(
+                shard,
+                f"shard {shard} is {self.supervisor.state(shard)}",
+            )
+        try:
+            return self._transport(
+                base_url, path, params, headers, method, body,
+                self.request_timeout,
+            )
+        except OSError as exc:
+            # Connection refused / reset / timed out: the supervisor
+            # hears about it now instead of at the next probe tick.
+            self.supervisor.record_failure(shard, str(exc))
+            raise self._unavailable(
+                shard, f"shard {shard} unreachable: {exc}"
+            ) from exc
+
+    def _unavailable(self, shard: int,
+                     reason: str) -> ShardUnavailableError:
+        return ShardUnavailableError(
+            f"{reason}; its keyspace is retrying "
+            f"({len(self.supervisor.degraded()) or 1} of "
+            f"{len(self.supervisor)} shards affected)",
+            shard=shard,
+            retry_after=self.supervisor.retry_after(shard),
+        )
+
+    # -- routed endpoints --------------------------------------------------
+
+    def _per_job(
+        self,
+        job_id: str,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        method: str,
+        body: bytes,
+    ) -> Response:
+        try:
+            validate_job_id(job_id)
+        except ArchiveError as exc:
+            return error_response(400, str(exc))
+        shard = self.ring.shard_for(job_id)
+        return self._proxy(shard, path, params, headers, method, body)
+
+    def _submit(
+        self,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Response:
+        job_id, failure = self._routing_key(params, headers, body)
+        if failure is not None:
+            return failure
+        try:
+            validate_job_id(job_id)
+        except ArchiveError as exc:
+            return error_response(400, str(exc))
+        shard = self.ring.shard_for(job_id)
+        return self._proxy(shard, path, params, headers, "POST", body)
+
+    def _routing_key(
+        self,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[str, Optional[Response]]:
+        """The job id a write routes by, or a 400 explaining why not.
+
+        An explicit ``job_id`` parameter wins.  Archive submissions
+        carry their id in the document's top-level ``job_id`` field, so
+        reads after the 202 route to the same shard.  Raw-log salvage
+        *derives* its id inside the worker — the router cannot know it
+        up front, so cluster mode requires ``job_id`` on ``kind=log``.
+        """
+        explicit = params.get("job_id")
+        if explicit:
+            return explicit, None
+        content_type = headers.get(
+            "Content-Type", "application/json"
+        ).split(";")[0].strip().lower()
+        kind = params.get("kind")
+        if kind is None:
+            kind = "log" if content_type == "text/plain" else "archive"
+        if kind != "archive":
+            return "", error_response(
+                400,
+                "cluster mode needs an explicit job_id parameter for "
+                "kind=log submissions (the salvage-derived id is not "
+                "known until a worker parses the log)",
+            )
+        try:
+            document = json.loads(body)
+            embedded = document.get("job_id")
+        except (ValueError, AttributeError):
+            embedded = None
+        if not isinstance(embedded, str) or not embedded:
+            return "", error_response(
+                400,
+                "archive submission has no routable job id: pass a "
+                "job_id parameter or include a top-level job_id field",
+            )
+        return embedded, None
+
+    # -- fan-out endpoints -------------------------------------------------
+
+    def _fan_out(
+        self,
+        path: str,
+        params: Mapping[str, str],
+        headers: Mapping[str, str],
+    ) -> Tuple[Dict[int, Response], List[int]]:
+        """One GET against every shard; unreachable ones go degraded."""
+        responses: Dict[int, Response] = {}
+        degraded: List[int] = []
+        for shard in range(len(self.supervisor)):
+            try:
+                responses[shard] = self._proxy(
+                    shard, path, params, headers, "GET", b""
+                )
+            except ShardUnavailableError:
+                degraded.append(shard)
+        return responses, degraded
+
+    def _jobs(
+        self,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+    ) -> Response:
+        offset, failure = _int_param(params, "offset", 0)
+        if failure is not None:
+            return failure
+        limit, failure = _int_param(params, "limit", DEFAULT_PAGE,
+                                    minimum=1)
+        if failure is not None:
+            return failure
+        if offset < 0:
+            return error_response(400,
+                                  "parameter offset must be >= 0")
+        limit = min(limit, MAX_PAGE)
+        # Each shard pages from 0 up to what the merged page could
+        # need; the router re-slices the merged ordering.  Deeper
+        # global offsets than MAX_PAGE are capped like the app's page.
+        shard_params = dict(params)
+        shard_params["offset"] = "0"
+        shard_params["limit"] = str(min(MAX_PAGE, offset + limit))
+        # Do not forward the client's validator: shard-local ETags
+        # cannot match the merged document's.
+        shard_headers = {k: v for k, v in headers.items()
+                         if k != "If-None-Match"}
+        responses, degraded = self._fan_out(path, shard_params,
+                                            shard_headers)
+        total = 0
+        merged: List[Dict[str, Any]] = []
+        for shard in sorted(responses):
+            reply = responses[shard]
+            if reply.status != 200:
+                degraded.append(shard)
+                continue
+            document = reply.json()
+            total += document.get("total", 0)
+            merged.extend(document.get("jobs", []))
+        # Shard listings are each sorted; the merged view re-sorts by
+        # job_id so pagination is stable across shard boundaries.
+        merged.sort(key=lambda job: job.get("job_id", ""))
+        document = {
+            "total": total,
+            "offset": offset,
+            "limit": limit,
+            "jobs": merged[offset:offset + limit],
+            "degraded_shards": sorted(set(degraded)),
+        }
+        canonical = json.dumps(document, sort_keys=True,
+                               separators=(",", ":"))
+        etag = _etag_of(
+            hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        )
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        return json_response(200, document, etag=etag)
+
+    def _ingest_status(
+        self, path: str, headers: Dict[str, str],
+    ) -> Response:
+        """Tracking ids are worker-local, so ask everyone: first 200
+        wins; all-degraded is a 503, all-miss a 404."""
+        responses, degraded = self._fan_out(path, {}, headers)
+        for shard in sorted(responses):
+            if responses[shard].status == 200:
+                return responses[shard]
+        if not responses:
+            raise ShardUnavailableError(
+                "no shard is reachable to resolve the tracking id",
+                shard=-1,
+                retry_after=max(
+                    (self.supervisor.retry_after(s) for s in degraded),
+                    default=1.0,
+                ),
+            )
+        tracking_id = [p for p in path.split("/") if p][-1]
+        return error_response(
+            404,
+            f"unknown tracking id {tracking_id!r} on any reachable "
+            f"shard (degraded: {sorted(degraded)})",
+        )
+
+    def _healthz(self) -> Response:
+        shards: List[Dict[str, Any]] = []
+        all_ok = True
+        for index in range(len(self.supervisor)):
+            state = self.supervisor.state(index)
+            entry: Dict[str, Any] = {
+                "shard": index,
+                "state": state,
+                "pid": self.supervisor.worker_pid(index),
+                "store": str(self.supervisor.shard_directory(index)),
+            }
+            if state in ("live", "suspect"):
+                try:
+                    reply = self._proxy(index, "/healthz", {}, {},
+                                        "GET", b"")
+                    entry["health"] = reply.json()
+                    entry["status"] = entry["health"].get("status",
+                                                          "unknown")
+                except (ShardUnavailableError, ValueError):
+                    entry["status"] = "unreachable"
+            else:
+                entry["status"] = state
+            if entry["status"] != "ok" or state != "live":
+                all_ok = False
+            shards.append(entry)
+        return json_response(200, {
+            "status": "ok" if all_ok else "degraded",
+            "workers": len(self.supervisor),
+            "degraded_shards": self.supervisor.degraded(),
+            "shards": shards,
+        })
+
+    def _metrics(self) -> Response:
+        document: Dict[str, Any] = {
+            "router": self.metrics.snapshot({}),
+            "supervisor": self.supervisor.stats(),
+            "shards": {},
+        }
+        for index in range(len(self.supervisor)):
+            if self.supervisor.state(index) not in ("live", "suspect"):
+                continue
+            try:
+                reply = self._proxy(index, "/metrics", {}, {},
+                                    "GET", b"")
+                document["shards"][str(index)] = reply.json()
+            except (ShardUnavailableError, ValueError):
+                continue
+        return json_response(200, document)
+
+
+def _int_param(
+    params: Mapping[str, str],
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+) -> Tuple[int, Optional[Response]]:
+    raw = params.get(name)
+    if raw is None:
+        return default, None
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0, error_response(
+            400, f"parameter {name}={raw!r} is not an integer"
+        )
+    if minimum is not None and value < minimum:
+        return 0, error_response(
+            400, f"parameter {name}={value} must be >= {minimum}"
+        )
+    return value, None
+
+
+__all__ = [
+    "ClusterService",
+    "ConsistentHashRing",
+    "MIN_VNODES",
+    "Transport",
+    "http_transport",
+]

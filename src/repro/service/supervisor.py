@@ -1,0 +1,552 @@
+"""Shard-worker lifecycle for the clustered archive service.
+
+One :class:`ShardSupervisor` owns N forked worker processes, each a
+complete single-shard service — an
+:class:`repro.service.app.ArchiveService` plus
+:class:`repro.service.ingest.IngestPipeline` over its *own* store
+directory and WAL, bound to an ephemeral loopback port.  The
+supervisor's job is to keep each shard's keyspace served without ever
+letting one shard's death take the tier down:
+
+- **liveness** is judged two ways per tick: a pipe heartbeat the
+  worker emits from a daemon thread (cheap, catches a hung process
+  whose socket still accepts) and an HTTP ``GET /healthz`` probe with
+  a short timeout (authoritative, catches a live process that cannot
+  serve);
+- **restarts** are exponential-backoff: each restart in a streak
+  doubles the wait (capped), and the streak resets once a worker has
+  stayed live long enough — so a crash loop cannot busy-spin the box,
+  while a one-off ``kill -9`` recovers in well under a second;
+- **durability across restarts is the WAL's problem, already solved**:
+  a restarted worker runs the PR 6 startup replay, so every job its
+  predecessor 202-acknowledged is re-driven into the store (replay is
+  idempotent by payload checksum);
+- **fencing** is the last resort: a shard that exhausts its restart
+  budget is fenced — its keyspace answers 503 with the ceiling
+  ``Retry-After`` while every other shard keeps serving 200s.
+
+The per-shard state machine::
+
+    starting ──ready msg──► live ◄──probe ok──── suspect
+       │                     │                      ▲
+       │ start timeout /     │ probe failed         │ probe failed
+       │ process died        │ (first strike)       │ (< threshold)
+       ▼                     ▼                      │
+    restarting ◄── process died / strikes ≥ threshold
+       │    ▲
+       │    └── backoff elapsed ──► spawn ──► starting
+       ▼
+    fenced   (restart streak exhausted; terminal until operator action)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ServiceError
+from repro.service.backpressure import (
+    RETRY_AFTER_CEILING,
+    clamp_retry_after,
+)
+from repro.service.chaos import ChaosController, ChaosPlan
+
+logger = logging.getLogger(__name__)
+
+#: Supervisor states a shard worker moves through.
+WORKER_STATES = ("starting", "live", "suspect", "restarting", "fenced")
+
+
+def _worker_main(
+    index: int,
+    directory: str,
+    conn,
+    queue_size: int,
+    cache_size: int,
+    request_timeout: float,
+    max_body_bytes: int,
+    chaos_plan: Optional[ChaosPlan],
+    heartbeat_interval: float,
+) -> None:
+    """Entry point of one forked shard worker process.
+
+    Builds a full writable single-shard server on an ephemeral loopback
+    port (store + WAL under ``directory``; startup WAL replay runs
+    inside ``create_server``), reports ``("ready", port, pid)`` up the
+    pipe, then heartbeats from a daemon thread while the stdlib server
+    loop handles requests.  SIGTERM drains gracefully via ``serve``;
+    SIGKILL is the supervisor's (and chaos's) crash case, which the WAL
+    makes safe.
+    """
+    # Imported here so the symbol set the child touches is explicit.
+    from repro.service.server import create_server, serve
+
+    store_dir = Path(directory)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    server = create_server(
+        store_dir,
+        host="127.0.0.1",
+        port=0,
+        cache_size=cache_size,
+        writable=True,
+        queue_size=queue_size,
+        chaos=chaos_plan,
+        request_timeout=request_timeout,
+        max_body_bytes=max_body_bytes,
+    )
+    port = server.server_address[1]
+    conn.send(("ready", port, os.getpid()))
+    stopped = threading.Event()
+
+    def heartbeat() -> None:
+        while not stopped.wait(heartbeat_interval):
+            try:
+                conn.send(("hb", time.time()))
+            except (BrokenPipeError, OSError):
+                # The supervisor is gone: an orphaned worker must not
+                # keep the store directory locked forever.  SIGTERM
+                # ourselves so the serve() handler drains and exits.
+                os.kill(os.getpid(), signal.SIGTERM)
+                return
+
+    threading.Thread(target=heartbeat, daemon=True,
+                     name=f"shard-{index}-heartbeat").start()
+    try:
+        serve(server, banner=False)
+    finally:
+        stopped.set()
+
+
+@dataclass
+class _Shard:
+    """Supervisor-side bookkeeping for one worker."""
+
+    index: int
+    directory: Path
+    state: str = "starting"
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    conn: Any = None
+    port: Optional[int] = None
+    pid: Optional[int] = None
+    started_at: float = 0.0
+    last_heartbeat: float = 0.0
+    last_spawned: float = 0.0
+    consecutive_failures: int = 0
+    restart_streak: int = 0
+    restarts_total: int = 0
+    restart_at: float = 0.0
+    restart_reason: str = ""
+    last_health: Dict[str, Any] = field(default_factory=dict)
+
+
+class ShardSupervisor:
+    """Spawns, probes, restarts, and fences N shard workers."""
+
+    def __init__(
+        self,
+        shard_directories: List[Union[str, Path]],
+        queue_size: int = 256,
+        cache_size: int = 64,
+        request_timeout: float = 30.0,
+        max_body_bytes: int = 32 * 1024 * 1024,
+        worker_chaos: Optional[ChaosPlan] = None,
+        chaos: Optional[ChaosController] = None,
+        probe_interval: float = 0.5,
+        probe_timeout: float = 2.0,
+        heartbeat_timeout: float = 3.0,
+        start_timeout: float = 30.0,
+        suspect_threshold: int = 2,
+        restart_backoff_base: float = 0.25,
+        restart_backoff_cap: float = 10.0,
+        max_restart_streak: int = 6,
+        streak_reset_after: float = 15.0,
+    ):
+        if not shard_directories:
+            raise ServiceError("a cluster needs at least one shard")
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_timeout = start_timeout
+        self.suspect_threshold = max(1, suspect_threshold)
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_cap = restart_backoff_cap
+        self.max_restart_streak = max_restart_streak
+        self.streak_reset_after = streak_reset_after
+        self.chaos = chaos
+        self._worker_chaos = worker_chaos
+        self._worker_options = {
+            "queue_size": queue_size,
+            "cache_size": cache_size,
+            "request_timeout": request_timeout,
+            "max_body_bytes": max_body_bytes,
+            "heartbeat_interval": max(0.05, probe_interval / 2.0),
+        }
+        # Fork keeps worker spawn cheap enough for sub-second failover;
+        # each child immediately builds fresh service state, and
+        # CPython's at-fork hooks reinitialize the stdlib locks.
+        self._ctx = multiprocessing.get_context("fork")
+        self._shards = [
+            _Shard(index=i, directory=Path(directory))
+            for i, directory in enumerate(shard_directories)
+        ]
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._counters = {
+            "restarts_total": 0,
+            "probe_failures": 0,
+            "fenced_total": 0,
+        }
+        if chaos is not None:
+            chaos.register_action("worker_kill", self.kill_worker)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def start(self) -> None:
+        """Spawn every worker and begin the monitor loop."""
+        with self._lock:
+            for shard in self._shards:
+                self._spawn_locked(shard)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="granula-supervisor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    def wait_live(self, timeout: float = 30.0) -> bool:
+        """Block until every non-fenced shard is live (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            states = [self.state(i) for i in range(len(self))]
+            if all(state in ("live", "fenced") for state in states):
+                return all(state == "live" for state in states)
+            time.sleep(0.05)
+        return False
+
+    def stop(self, drain_timeout: float = 20.0) -> None:
+        """Stop monitoring, then SIGTERM (escalating to SIGKILL) workers.
+
+        SIGTERM gives each worker its graceful path: the in-process
+        ``serve()`` handler drains the ingestion queue so every
+        202-acknowledged job reaches its shard store (anything slower
+        than the timeout stays safely in that shard's WAL).
+        """
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        with self._lock:
+            procs = [(s, s.process) for s in self._shards
+                     if s.process is not None]
+        for _shard, process in procs:
+            if process.is_alive() and process.pid:
+                try:
+                    os.kill(process.pid, signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + drain_timeout
+        for _shard, process in procs:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for shard, process in procs:
+            if process.is_alive():
+                logger.warning(
+                    "shard %d did not drain within %.1fs; killing",
+                    shard.index, drain_timeout,
+                )
+                process.kill()
+                process.join(timeout=5.0)
+        with self._lock:
+            for shard in self._shards:
+                self._close_conn(shard)
+
+    # -- router-facing surface ---------------------------------------------
+
+    def state(self, index: int) -> str:
+        with self._lock:
+            return self._shards[index].state
+
+    def endpoint(self, index: int) -> Optional[str]:
+        """Base URL of a shard's worker, or None while it cannot serve."""
+        with self._lock:
+            shard = self._shards[index]
+            if shard.state in ("live", "suspect") and shard.port:
+                return f"http://127.0.0.1:{shard.port}"
+            return None
+
+    def degraded(self) -> List[int]:
+        """Indices of shards not currently serving their keyspace."""
+        with self._lock:
+            return [s.index for s in self._shards
+                    if s.state not in ("live", "suspect")]
+
+    def retry_after(self, index: int) -> float:
+        """Clamped back-off hint for a shard's keyspace."""
+        with self._lock:
+            shard = self._shards[index]
+            if shard.state == "fenced":
+                return RETRY_AFTER_CEILING
+            if shard.state == "restarting":
+                eta = max(0.0, shard.restart_at - time.monotonic())
+                return clamp_retry_after(eta + self.probe_interval)
+            return clamp_retry_after(2 * self.probe_interval)
+
+    def record_failure(self, index: int, reason: str) -> None:
+        """Router feedback: a proxied request could not reach the shard.
+
+        Counted like a failed probe so a dead worker is detected at
+        request rate, not only at probe rate.
+        """
+        with self._lock:
+            shard = self._shards[index]
+            if shard.state not in ("live", "suspect"):
+                return
+            self._counters["probe_failures"] += 1
+            shard.consecutive_failures += 1
+            if shard.consecutive_failures >= self.suspect_threshold:
+                self._to_restarting_locked(shard, reason)
+            else:
+                shard.state = "suspect"
+
+    def kill_worker(self, index: int,
+                    sig: int = signal.SIGKILL) -> None:
+        """SIGKILL one worker (chaos ``worker_kill`` action / tests)."""
+        with self._lock:
+            process = self._shards[index].process
+            pid = process.pid if process is not None else None
+        if pid:
+            logger.warning("chaos: killing shard %d worker (pid %d)",
+                           index, pid)
+            try:
+                os.kill(pid, sig)
+            except OSError:
+                pass
+
+    def shard_directory(self, index: int) -> Path:
+        return self._shards[index].directory
+
+    def worker_pid(self, index: int) -> Optional[int]:
+        with self._lock:
+            return self._shards[index].pid
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            shards = [
+                {
+                    "shard": s.index,
+                    "state": s.state,
+                    "pid": s.pid,
+                    "port": s.port,
+                    "store": str(s.directory),
+                    "restarts": s.restarts_total,
+                    "restart_streak": s.restart_streak,
+                    "consecutive_failures": s.consecutive_failures,
+                    "restart_reason": s.restart_reason,
+                }
+                for s in self._shards
+            ]
+            return {"shards": shards, "counters": dict(self._counters)}
+
+    # -- monitor loop ------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval):
+            for shard in self._shards:
+                try:
+                    self._tick(shard)
+                except Exception:  # noqa: BLE001 - supervisor must live
+                    logger.exception("supervisor: tick failed for "
+                                     "shard %d", shard.index)
+
+    def _tick(self, shard: _Shard) -> None:
+        now = time.monotonic()
+        with self._lock:
+            state = shard.state
+            if state == "fenced":
+                return
+            if state == "restarting":
+                if now >= shard.restart_at:
+                    self._spawn_locked(shard)
+                return
+            self._drain_conn_locked(shard)
+            alive = shard.process is not None and shard.process.is_alive()
+            if not alive:
+                self._to_restarting_locked(shard, "worker process died")
+                return
+            if state == "starting":
+                if shard.port is not None:
+                    shard.state = "live"
+                    shard.consecutive_failures = 0
+                    shard.last_heartbeat = now
+                    logger.info("shard %d live on port %d (pid %s)",
+                                shard.index, shard.port, shard.pid)
+                elif now - shard.started_at > self.start_timeout:
+                    self._to_restarting_locked(shard, "startup timed out")
+                return
+            port = shard.port
+            heartbeat_age = now - shard.last_heartbeat
+        # Probe outside the lock: a slow /healthz must not block the
+        # router's state queries for other shards.
+        ok = self._probe(shard.index, port, heartbeat_age)
+        with self._lock:
+            if shard.state not in ("live", "suspect"):
+                return  # A concurrent record_failure already acted.
+            if ok:
+                shard.consecutive_failures = 0
+                if shard.state == "suspect":
+                    logger.info("shard %d recovered from suspect",
+                                shard.index)
+                    shard.state = "live"
+                if (shard.restart_streak
+                        and now - shard.last_spawned
+                        > self.streak_reset_after):
+                    shard.restart_streak = 0
+            else:
+                self._counters["probe_failures"] += 1
+                shard.consecutive_failures += 1
+                if shard.consecutive_failures >= self.suspect_threshold:
+                    self._to_restarting_locked(shard,
+                                               "liveness probe failed")
+                else:
+                    shard.state = "suspect"
+                    logger.warning("shard %d suspect (probe failure %d/%d)",
+                                   shard.index, shard.consecutive_failures,
+                                   self.suspect_threshold)
+
+    def _probe(self, index: int, port: Optional[int],
+               heartbeat_age: float) -> bool:
+        """One liveness verdict: chaos hook, heartbeat age, HTTP probe."""
+        if self.chaos is not None:
+            try:
+                self.chaos.on("probe", shard=index)
+            except TimeoutError:
+                return False
+        if heartbeat_age > self.heartbeat_timeout:
+            return False
+        if port is None:
+            return False
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz",
+                timeout=self.probe_timeout,
+            ) as response:
+                document = json.loads(response.read())
+        except Exception:  # noqa: BLE001 - any failure is one verdict
+            return False
+        with self._lock:
+            self._shards[index].last_health = document
+        return True
+
+    # -- transitions (lock held) -------------------------------------------
+
+    def _spawn_locked(self, shard: _Shard) -> None:
+        self._close_conn(shard)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            name=f"granula-shard-{shard.index}",
+            args=(
+                shard.index,
+                str(shard.directory),
+                child_conn,
+                self._worker_options["queue_size"],
+                self._worker_options["cache_size"],
+                self._worker_options["request_timeout"],
+                self._worker_options["max_body_bytes"],
+                self._worker_chaos,
+                self._worker_options["heartbeat_interval"],
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        shard.process = process
+        shard.conn = parent_conn
+        shard.port = None
+        shard.pid = None
+        shard.state = "starting"
+        shard.started_at = now
+        shard.last_spawned = now
+        shard.last_heartbeat = now
+        shard.consecutive_failures = 0
+        logger.info("spawned shard %d worker over %s",
+                    shard.index, shard.directory)
+
+    def _to_restarting_locked(self, shard: _Shard, reason: str) -> None:
+        self._reap_locked(shard)
+        shard.restart_streak += 1
+        shard.restarts_total += 1
+        shard.restart_reason = reason
+        self._counters["restarts_total"] += 1
+        if shard.restart_streak > self.max_restart_streak:
+            shard.state = "fenced"
+            self._counters["fenced_total"] += 1
+            logger.error(
+                "shard %d fenced after %d consecutive restarts (%s); "
+                "its keyspace answers 503 until operator action",
+                shard.index, shard.restart_streak - 1, reason,
+            )
+            return
+        backoff = min(
+            self.restart_backoff_cap,
+            self.restart_backoff_base * (2 ** (shard.restart_streak - 1)),
+        )
+        shard.state = "restarting"
+        shard.restart_at = time.monotonic() + backoff
+        logger.warning(
+            "shard %d restarting in %.2fs (%s; streak %d)",
+            shard.index, backoff, reason, shard.restart_streak,
+        )
+
+    def _reap_locked(self, shard: _Shard) -> None:
+        process = shard.process
+        if process is not None and process.is_alive() and process.pid:
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            process.join(timeout=5.0)
+        self._close_conn(shard)
+        shard.process = None
+        shard.port = None
+
+    def _drain_conn_locked(self, shard: _Shard) -> None:
+        conn = shard.conn
+        if conn is None:
+            return
+        try:
+            while conn.poll():
+                message = conn.recv()
+                if not isinstance(message, tuple) or not message:
+                    continue
+                if message[0] == "ready":
+                    shard.port = int(message[1])
+                    shard.pid = int(message[2])
+                    shard.last_heartbeat = time.monotonic()
+                elif message[0] == "hb":
+                    shard.last_heartbeat = time.monotonic()
+        except (EOFError, OSError):
+            # Writer gone: liveness falls to process/probe checks.
+            self._close_conn(shard)
+
+    def _close_conn(self, shard: _Shard) -> None:
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.conn = None
+
+
+__all__ = ["ShardSupervisor", "WORKER_STATES"]

@@ -202,6 +202,12 @@ class WriteAheadLog:
         path = self._segment_path(segment)
         entries: List[WalEntry] = []
         data = path.read_bytes()
+        if not data:
+            # Clean-empty, not a torn tail: a crash between segment
+            # creation and the first append (or an idle active segment)
+            # leaves a 0-byte file.  Nothing to truncate, nothing to
+            # count as corrupt — appends resume into it as-is.
+            return entries
         offset = 0
         good_end = 0
         index = 0

@@ -1,0 +1,54 @@
+"""The shared Retry-After clamp every shedding surface derives from."""
+
+from __future__ import annotations
+
+from repro.service.backpressure import (
+    RETRY_AFTER_CEILING,
+    RETRY_AFTER_FLOOR,
+    clamp_retry_after,
+    retry_after_seconds,
+)
+
+
+class TestClamp:
+    def test_within_bounds_passes_through(self):
+        assert clamp_retry_after(7.5) == 7.5
+
+    def test_floor(self):
+        assert clamp_retry_after(0.0) == RETRY_AFTER_FLOOR
+        assert clamp_retry_after(-3.0) == RETRY_AFTER_FLOOR
+        assert clamp_retry_after(0.2) == RETRY_AFTER_FLOOR
+
+    def test_ceiling(self):
+        assert clamp_retry_after(10_000.0) == RETRY_AFTER_CEILING
+        assert clamp_retry_after(120.0001) == RETRY_AFTER_CEILING
+
+    def test_bounds_are_the_documented_contract(self):
+        # Clients sleep on these values: the band must stay [1, 120]s.
+        assert RETRY_AFTER_FLOOR == 1.0
+        assert RETRY_AFTER_CEILING == 120.0
+
+
+class TestRetryAfterSeconds:
+    def test_backlog_over_drain_rate(self):
+        assert retry_after_seconds(20, 10.0) == 2.0
+
+    def test_zero_drain_rate_does_not_divide_by_zero(self):
+        # A cold (or stalled) worker has no measured rate yet; the
+        # estimate falls back to the minimum rate, then the ceiling
+        # keeps the hint sane.
+        assert retry_after_seconds(500, 0.0) == RETRY_AFTER_CEILING
+        assert retry_after_seconds(5, 0.0) == 50.0
+
+    def test_empty_backlog_still_hints_at_least_the_floor(self):
+        # A rejected write with an empty queue (e.g. degraded mode)
+        # must not tell the client to retry in zero seconds.
+        assert retry_after_seconds(0, 100.0) == RETRY_AFTER_FLOOR
+
+    def test_huge_backlog_clamps_to_ceiling(self):
+        assert retry_after_seconds(10**9, 1.0) == RETRY_AFTER_CEILING
+
+    def test_negative_inputs_are_sanitized(self):
+        # Negative backlog counts as one record, a negative rate as the
+        # minimum rate: 1 / 0.1 = 10 s, safely inside the band.
+        assert retry_after_seconds(-5, -1.0) == 10.0

@@ -299,6 +299,86 @@ class TestChaosDegradedMode:
             pipeline.drain_and_stop(timeout=10.0)
 
 
+class TestCircuitHalfOpenProbe:
+    def test_failed_probe_reopens_with_escalated_backoff(self, store):
+        # Two injected disk-fulls: the initial trip, then one more to
+        # fail the half-open probe.  The circuit must allow exactly one
+        # probe write per window, re-open with a doubled window when it
+        # fails, and keep reads at 200 the whole time.
+        chaos = ChaosController(
+            ChaosPlan(events=(DiskFull(after=0, count=2),))
+        )
+        recover_after = 0.15
+        pipeline = make_pipeline(store, chaos=chaos,
+                                 recover_after=recover_after)
+        pipeline.start()
+        wservice = ArchiveService(store, cache_size=8, ingest=pipeline)
+        try:
+            # Trip: first append hits disk-full #1.
+            assert post_archive(wservice, make_archive("p0")).status == 503
+            assert chaos.stats()["injected"]["disk_full"] == 1
+            assert pipeline.wal.stats()["appended_total"] == 0
+            assert wservice.handle("/jobs/alpha").status == 200
+
+            # Open: rejected without touching the WAL (no new fault).
+            assert post_archive(wservice, make_archive("p1")).status == 503
+            assert chaos.stats()["injected"]["disk_full"] == 1
+
+            # Half-open: exactly one probe write reaches the WAL and
+            # hits disk-full #2 — which re-opens the circuit.
+            time.sleep(recover_after + 0.05)
+            assert pipeline._circuit.state() == "half-open"
+            assert post_archive(wservice, make_archive("p2")).status == 503
+            assert chaos.stats()["injected"]["disk_full"] == 2
+            assert pipeline.wal.stats()["appended_total"] == 0
+            assert wservice.handle("/jobs/alpha").status == 200
+
+            # The failed probe escalated the window: one recover_after
+            # later the circuit is still open and no probe is spent.
+            time.sleep(recover_after + 0.02)
+            assert pipeline._circuit.state() == "open"
+            assert post_archive(wservice, make_archive("p3")).status == 503
+            assert chaos.stats()["injected"]["disk_full"] == 2
+
+            # Past the doubled window the next probe succeeds: 202,
+            # the job lands, and health returns to ok.
+            time.sleep(recover_after + 0.05)
+            assert pipeline._circuit.state() == "half-open"
+            accepted = post_archive(wservice, make_archive("p4"))
+            assert accepted.status == 202
+            assert pipeline.wal.stats()["appended_total"] == 1
+            final = wait_state(pipeline, accepted.json()["tracking_id"])
+            assert final["state"] == "ingested"
+            assert pipeline._circuit.state() == "closed"
+            assert wservice.handle("/healthz").json()["status"] == "ok"
+        finally:
+            pipeline.drain_and_stop(timeout=10.0)
+
+    def test_probe_write_is_durable_when_it_succeeds(self, store):
+        # A successful half-open probe is a real write, not a synthetic
+        # ping: the submission that closed the circuit must itself be
+        # ingested exactly once.
+        chaos = ChaosController(
+            ChaosPlan(events=(DiskFull(after=0, count=1),))
+        )
+        pipeline = make_pipeline(store, chaos=chaos, recover_after=0.1)
+        pipeline.start()
+        wservice = ArchiveService(store, cache_size=8, ingest=pipeline)
+        try:
+            assert post_archive(
+                wservice, make_archive("probe-job")
+            ).status == 503
+            time.sleep(0.15)
+            accepted = post_archive(wservice, make_archive("probe-job"))
+            assert accepted.status == 202
+            final = wait_state(pipeline, accepted.json()["tracking_id"])
+            assert final["state"] == "ingested"
+            store.refresh()
+            assert store.list().count("probe-job") == 1
+        finally:
+            pipeline.drain_and_stop(timeout=10.0)
+
+
 class TestRetries:
     def test_store_busy_is_retried_with_backoff(self, store, monkeypatch):
         pipeline = make_pipeline(store)

@@ -1,0 +1,177 @@
+"""Shard-worker supervision: restarts, fencing, probe chaos.
+
+These tests fork real worker processes (the production path) but keep
+every interval tight so a full kill→restart→live cycle fits in a couple
+of seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.chaos import ChaosController, ChaosPlan, ProbeTimeout
+from repro.service.supervisor import ShardSupervisor
+
+
+def fast_supervisor(dirs, **overrides):
+    options = dict(
+        probe_interval=0.1,
+        probe_timeout=1.0,
+        heartbeat_timeout=2.0,
+        suspect_threshold=2,
+        restart_backoff_base=0.05,
+        restart_backoff_cap=0.5,
+        max_restart_streak=4,
+        streak_reset_after=1.0,
+    )
+    options.update(overrides)
+    return ShardSupervisor(dirs, **options)
+
+
+def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestLifecycle:
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ServiceError):
+            ShardSupervisor([])
+
+    def test_workers_come_up_live(self, tmp_path):
+        supervisor = fast_supervisor(
+            [tmp_path / "s0", tmp_path / "s1"]
+        )
+        supervisor.start()
+        try:
+            assert supervisor.wait_live(timeout=20.0)
+            assert supervisor.degraded() == []
+            for index in range(2):
+                assert supervisor.state(index) == "live"
+                assert supervisor.endpoint(index).startswith(
+                    "http://127.0.0.1:"
+                )
+                assert supervisor.worker_pid(index)
+        finally:
+            supervisor.stop()
+
+    def test_killed_worker_restarts_and_recovers(self, tmp_path):
+        supervisor = fast_supervisor([tmp_path / "s0"])
+        supervisor.start()
+        try:
+            assert supervisor.wait_live(timeout=20.0)
+            first_pid = supervisor.worker_pid(0)
+            supervisor.kill_worker(0)
+            # The death is observed, the shard leaves live...
+            assert wait_for(lambda: supervisor.state(0) != "live")
+            # ...and comes back with a fresh process.
+            assert wait_for(lambda: supervisor.state(0) == "live")
+            assert supervisor.worker_pid(0) != first_pid
+            stats = supervisor.stats()
+            assert stats["counters"]["restarts_total"] >= 1
+            assert stats["shards"][0]["restart_reason"]
+        finally:
+            supervisor.stop()
+
+    def test_stop_terminates_every_worker(self, tmp_path):
+        supervisor = fast_supervisor(
+            [tmp_path / "s0", tmp_path / "s1"]
+        )
+        supervisor.start()
+        assert supervisor.wait_live(timeout=20.0)
+        procs = [shard.process for shard in supervisor._shards]
+        supervisor.stop()
+        assert all(not p.is_alive() for p in procs)
+
+
+class TestFencing:
+    def test_crash_looping_shard_is_fenced(self, tmp_path):
+        # A regular file where the store directory should be makes the
+        # worker die instantly on every spawn: the restart streak runs
+        # out and the shard is fenced instead of spinning forever.
+        broken = tmp_path / "not-a-directory"
+        broken.write_text("occupied")
+        supervisor = fast_supervisor(
+            [broken], max_restart_streak=2,
+        )
+        supervisor.start()
+        try:
+            assert wait_for(
+                lambda: supervisor.state(0) == "fenced", timeout=30.0
+            )
+            assert supervisor.endpoint(0) is None
+            assert supervisor.degraded() == [0]
+            assert supervisor.stats()["counters"]["fenced_total"] == 1
+            # Fenced is terminal: the keyspace hint is the ceiling.
+            assert supervisor.retry_after(0) == 120.0
+            # wait_live treats a fenced fleet as settled but not live.
+            assert supervisor.wait_live(timeout=1.0) is False
+        finally:
+            supervisor.stop()
+
+    def test_healthy_sibling_unaffected_by_fenced_shard(self, tmp_path):
+        broken = tmp_path / "broken"
+        broken.write_text("occupied")
+        supervisor = fast_supervisor(
+            [tmp_path / "good", broken], max_restart_streak=1,
+        )
+        supervisor.start()
+        try:
+            assert wait_for(
+                lambda: supervisor.state(1) == "fenced", timeout=30.0
+            )
+            assert supervisor.state(0) == "live"
+            assert supervisor.degraded() == [1]
+        finally:
+            supervisor.stop()
+
+
+class TestProbeChaos:
+    def test_probe_timeouts_drive_a_restart(self, tmp_path):
+        # Two consecutive injected probe timeouts cross the suspect
+        # threshold: the supervisor restarts a worker whose process is
+        # perfectly alive — exactly what a hung-but-running worker
+        # looks like from outside.
+        plan = ChaosPlan(events=(
+            ProbeTimeout(shard=0, after=2, count=2),
+        ))
+        supervisor = fast_supervisor(
+            [tmp_path / "s0"], chaos=ChaosController(plan),
+        )
+        supervisor.start()
+        try:
+            assert supervisor.wait_live(timeout=20.0)
+            assert wait_for(
+                lambda: supervisor.stats()["counters"]["restarts_total"]
+                >= 1,
+                timeout=20.0,
+            )
+            assert wait_for(lambda: supervisor.state(0) == "live",
+                            timeout=20.0)
+            injected = supervisor.chaos.stats()["injected"]
+            assert injected.get("probe_timeout") == 2
+        finally:
+            supervisor.stop()
+
+
+class TestRetryAfter:
+    def test_restarting_shard_hints_its_backoff(self, tmp_path):
+        supervisor = fast_supervisor([tmp_path / "s0"])
+        supervisor.start()
+        try:
+            assert supervisor.wait_live(timeout=20.0)
+            supervisor.kill_worker(0)
+            assert wait_for(
+                lambda: supervisor.state(0) in ("restarting", "live")
+            )
+            hint = supervisor.retry_after(0)
+            assert 1.0 <= hint <= 120.0
+        finally:
+            supervisor.stop()

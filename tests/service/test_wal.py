@@ -127,6 +127,25 @@ class TestCrashRepair:
         assert reopened.stats()["corrupt_total"] == 1
         reopened.close()
 
+    def test_zero_byte_newest_segment_is_clean(self, tmp_path):
+        # A crash between segment creation and the first append leaves
+        # a 0-byte newest segment.  That is a clean-empty file, not a
+        # torn tail: reopening must not count corruption, and appends
+        # resume into that segment at index 0.
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(b"survivor")
+        empty = tmp_path / "wal" / "segment-00000002.wal"
+        empty.touch()
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert payloads(reopened) == [b"survivor"]
+        assert reopened.stats()["corrupt_total"] == 0
+        assert reopened.lag() == 1
+        entry = reopened.append(b"after-crash")
+        assert entry.segment == 2
+        assert entry.index == 0
+        assert payloads(reopened) == [b"survivor", b"after-crash"]
+        reopened.close()
+
     def test_frame_checksum_matches_payload(self, tmp_path):
         with WriteAheadLog(tmp_path / "wal") as wal:
             wal.append(b"check-me")
