@@ -32,6 +32,17 @@ FULL_INGEST_X = 2.0
 SMALL_END_TO_END_X = 1.2
 SMALL_INGEST_X = 1.3
 
+#: Warm archive queries through the mmap'd ``.gcol`` sidecar must beat
+#: JSON tree materialization by at least 2x (both matrix sizes — the
+#: ratio does not depend on the run matrix).
+COLUMNAR_QUERY_X = 2.0
+
+#: Doubling the fan-out workers must grow the dataset's physical
+#: residency sublinearly.  Perfect sharing lands at 1.2 (each of W
+#: workers owns 1/(W+1) of the pages, the parent the rest); a private
+#: copy per worker lands at 2.0.
+FANOUT_SHM_PSS_RATIO = 1.5
+
 
 def test_bench_pipeline(output_dir):
     jobs = int(os.environ.get("GRANULA_BENCH_JOBS", "4"))
@@ -51,3 +62,15 @@ def test_bench_pipeline(output_dir):
     ingest_floor = SMALL_INGEST_X if small_mode() else FULL_INGEST_X
     assert document["end_to_end"]["speedup"] >= end_to_end_floor, document
     assert document["ingest_archive"]["speedup"] >= ingest_floor, document
+
+    columnar = document["columnar_query"]
+    assert "skipped" not in columnar, columnar
+    assert columnar["identical_results"], (
+        "the .gcol view answered the query battery differently than "
+        "the materialized tree"
+    )
+    assert columnar["speedup"] >= COLUMNAR_QUERY_X, document
+
+    fanout = document["fanout_rss"]
+    if "skipped" not in fanout:  # fork + /proc/self/smaps only
+        assert fanout["shm_pss_ratio_4v2"] <= FANOUT_SHM_PSS_RATIO, document

@@ -63,6 +63,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -117,14 +118,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.workloads.parallel import RunRequest
 
     platforms = _split_matrix(args.platform, "platform")
-    algorithms = _split_matrix(args.algorithm, "algorithm")
-    datasets = _split_matrix(args.dataset, "dataset")
     for platform in platforms:
         if platform not in RUN_PLATFORMS:
             raise ReproError(
                 f"unsupported platform {platform!r}; "
                 f"expected one of {', '.join(RUN_PLATFORMS)}"
             )
+    if args.workload == "prpb":
+        return _run_prpb(args, platforms)
+    if args.algorithm is None or args.dataset is None:
+        raise ReproError(
+            "run needs ALGORITHM and DATASET (they are only optional "
+            "for --workload prpb, which generates its own input)"
+        )
+    algorithms = _split_matrix(args.algorithm, "algorithm")
+    datasets = _split_matrix(args.dataset, "dataset")
     specs = [
         WorkloadSpec(platform=platform, algorithm=algorithm,
                      dataset=dataset, workers=args.workers)
@@ -185,6 +193,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_prpb(args: argparse.Namespace, platforms: List[str]) -> int:
+    """``granula run PLATFORM --workload prpb``: the measured pipeline."""
+    from repro.workloads.prpb import PrpbSpec, render_prpb_text, run_prpb
+
+    if args.algorithm is not None or args.dataset is not None:
+        raise ReproError(
+            "--workload prpb generates its own R-MAT input; drop the "
+            "ALGORITHM/DATASET arguments (tune --scale/--edge-factor "
+            "instead)"
+        )
+    store = ArchiveStore(args.out) if args.out else None
+    for index, platform in enumerate(platforms):
+        spec = PrpbSpec(
+            platform=platform,
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            iterations=args.iterations,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        result = run_prpb(spec, engine_mode=args.engine_mode, store=store)
+        if index:
+            print()
+        print(render_prpb_text(result))
+    if store is not None:
+        print(f"\narchive stored under {args.out}/")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_html, shared_runner
 
@@ -203,6 +240,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.pipeline_bench import (
+        baseline_document,
+        compare_pipeline_bench,
         render_pipeline_bench,
         run_pipeline_bench,
         write_pipeline_bench,
@@ -216,6 +255,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         write_pipeline_bench(args.out, document)
         print(f"benchmark artifact written to {args.out}")
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        write_pipeline_bench(baseline_path, baseline_document(document))
+        print(f"perf baseline updated at {baseline_path}")
+        return 0
+    if args.gate:
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read perf baseline {baseline_path}: {exc}; "
+                f"create one with 'granula bench --update-baseline'"
+            ) from None
+        except ValueError as exc:
+            raise ReproError(
+                f"perf baseline {baseline_path} is not JSON: {exc}"
+            ) from None
+        regressions = compare_pipeline_bench(baseline, document)
+        if regressions:
+            print("\nperf gate FAILED:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print(f"\nperf gate passed against {baseline_path}")
     return 0
 
 
@@ -298,12 +361,14 @@ def _read_file(path: str, what: str, lenient: bool = False) -> str:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core.archive.integrity import (
         render_validation,
+        validate_sidecar,
         validate_text,
         worst_severity,
     )
 
     findings = validate_text(_read_file(args.archive, "archive",
                                         lenient=True))
+    findings = findings + validate_sidecar(args.archive)
     print(render_validation(findings))
     return 1 if worst_severity(findings) in ("error", "critical") else 0
 
@@ -460,10 +525,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("platform",
                        help="platform name, or a comma-separated list "
                             f"({', '.join(RUN_PLATFORMS)})")
-    p_run.add_argument("algorithm",
-                       help="algorithm name, or a comma-separated list")
-    p_run.add_argument("dataset",
-                       help="dataset name, or a comma-separated list")
+    p_run.add_argument("algorithm", nargs="?", default=None,
+                       help="algorithm name, or a comma-separated list "
+                            "(omit with --workload prpb)")
+    p_run.add_argument("dataset", nargs="?", default=None,
+                       help="dataset name, or a comma-separated list "
+                            "(omit with --workload prpb)")
+    p_run.add_argument("--workload", choices=("standard", "prpb"),
+                       default="standard",
+                       help="standard: monitored platform jobs; prpb: "
+                            "the measured PageRank Pipeline Benchmark "
+                            "(generate -> sort/write -> read/build -> "
+                            "PageRank, each kernel timed and archived)")
+    p_run.add_argument("--scale", type=int, default=12,
+                       help="prpb: R-MAT scale (2**scale vertices)")
+    p_run.add_argument("--edge-factor", type=int, default=8,
+                       help="prpb: generated edges per vertex")
+    p_run.add_argument("--iterations", type=int, default=10,
+                       help="prpb: PageRank iterations for the kernel "
+                            "stage")
+    p_run.add_argument("--seed", type=int, default=42,
+                       help="prpb: R-MAT generator seed")
     p_run.add_argument("--workers", type=int, default=8)
     p_run.add_argument("--jobs", type=int, default=None,
                        help="fan independent runs out over N worker "
@@ -501,6 +583,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI-smoke matrix (dg100-scaled only)")
     p_bench.add_argument("--out",
                          help="write the benchmark JSON artifact here")
+    p_bench.add_argument("--baseline", default="BENCH_pipeline.json",
+                         help="perf-trajectory baseline file "
+                              "(default BENCH_pipeline.json)")
+    gate = p_bench.add_mutually_exclusive_group()
+    gate.add_argument("--update-baseline", action="store_true",
+                      help="write this run's gate metrics (speedup "
+                           "ratios, not absolute times) to --baseline")
+    gate.add_argument("--gate", action="store_true",
+                      help="compare this run against --baseline and "
+                           "exit 1 when any gate metric regressed "
+                           "beyond tolerance")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser(

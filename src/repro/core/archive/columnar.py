@@ -1,0 +1,699 @@
+"""Binary columnar sidecars (``.gcol``) and zero-copy archive views.
+
+A version-3 archive already stores its operation tree as parallel
+pre-order columns — but inside JSON, so answering a point query still
+costs a full text parse.  The ``.gcol`` sidecar is the same data as raw
+little-endian bytes: numeric columns land as aligned numpy blobs that
+``np.memmap``/``np.frombuffer`` can expose without copying, and string
+columns (uids, missions, actors, info keys/values) become offset-indexed
+UTF-8 heaps.  :class:`ColumnarArchiveView` answers the archive-query
+surface (path/mission/actor/iteration selection; count, total, mean,
+top, values, durations, operations) straight off those columns —
+byte-identical to the tree-based :class:`~repro.core.archive.query.ArchiveQuery`
+path, with no :class:`~repro.core.archive.archive.ArchivedOperation`
+materialization.
+
+File layout (all integers little-endian)::
+
+    0   magic  b"GCOL"
+    4   u32    sidecar format version (1)
+    8   u32    header length H
+    12  u32    reserved (0)
+    16  JSON header, H bytes:
+          archive_checksum   payload checksum of the JSON archive this
+                             sidecar belongs to (binds the pair)
+          count, info_count  row counts
+          data_offset        absolute offset of the data region
+          data_sha256        checksum over the whole data region
+          columns            name -> {offset (relative), nbytes, dtype}
+    data_offset   column blobs, each aligned to 64 bytes
+
+The sidecar is strictly an accelerator: the JSON archive remains the
+durable truth, and any damage (bad magic, checksum mismatch, a stale
+``archive_checksum``) makes the loader raise :class:`SidecarError` so
+callers fall back to the tree path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.archive.query import _numeric, translate_path_pattern
+from repro.core.archive.serialize import _decode_value
+from repro.core.model.operation import split_iteration
+from repro.errors import ArchiveError, QueryError
+
+MAGIC = b"GCOL"
+SIDECAR_VERSION = 1
+ALIGNMENT = 64
+SIDECAR_SUFFIX = ".gcol"
+
+_PREAMBLE = struct.Struct("<4sIII")
+
+#: Numeric dtypes a sidecar may carry (guards the decoder against a
+#: hand-edited header smuggling object dtypes in).
+_DTYPES = {"<i8": np.dtype("<i8"), "<f8": np.dtype("<f8"),
+           "|u1": np.dtype("|u1")}
+
+
+class SidecarError(ArchiveError):
+    """A sidecar is unreadable, damaged, or stale; use the JSON."""
+
+
+def sidecar_path(archive_path: Union[str, Path]) -> Path:
+    """The sidecar sibling of an archive JSON path."""
+    path = Path(archive_path)
+    return path.with_name(path.stem + SIDECAR_SUFFIX)
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _heap(strings: Iterable[str]) -> (np.ndarray, bytes):
+    """Offset-index + UTF-8 blob encoding of a string column."""
+    blobs = [s.encode("utf-8") for s in strings]
+    offsets = np.zeros(len(blobs) + 1, dtype="<i8")
+    np.cumsum([len(b) for b in blobs], out=offsets[1:])
+    return offsets, b"".join(blobs)
+
+
+#: Timestamp kinds: absent, float, or int (ints round-trip exactly so
+#: a ``start: 5`` renders back as ``5``, never ``5.0``).
+_TS_NULL, _TS_FLOAT, _TS_INT = 0, 1, 2
+
+
+def _timestamp_column(values: Iterable[Any]) -> (np.ndarray, np.ndarray):
+    """(float64 column, uint8 kind mask) for optional timestamps.
+
+    Only ``None``, floats, and exactly-representable ints are
+    encodable; anything else (a bool, a string, an out-of-range int)
+    raises :class:`SidecarError` so the writer skips the sidecar and
+    readers use the JSON truth.
+    """
+    values = list(values)
+    kinds = np.zeros(len(values), dtype="|u1")
+    column = np.zeros(len(values), dtype="<f8")
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SidecarError(
+                f"timestamp {value!r} is not encodable in a sidecar"
+            )
+        if isinstance(value, int):
+            if int(float(value)) != value:
+                raise SidecarError(
+                    f"integer timestamp {value!r} exceeds exact "
+                    f"float64 range"
+                )
+            kinds[i] = _TS_INT
+        else:
+            kinds[i] = _TS_FLOAT
+        column[i] = float(value)
+    return column, kinds
+
+
+def build_sidecar(columns: Mapping[str, Any], archive_checksum: str) -> bytes:
+    """Serialize a columnar operations block into sidecar bytes.
+
+    ``columns`` is the v3 ``operations`` mapping (as produced by
+    :func:`repro.core.archive.serialize.operations_to_columns` or read
+    from a v3 document); info values are the JSON-encoded
+    representation, stored verbatim as compact JSON in the value heap so
+    they decode back to exactly the tree path's values.
+    """
+    count = int(columns["count"])
+    blobs: Dict[str, np.ndarray] = {}
+    blobs["parent"] = np.asarray(columns["parent"], dtype="<i8")
+    blobs["start"], blobs["start_kind"] = _timestamp_column(columns["start"])
+    blobs["end"], blobs["end_kind"] = _timestamp_column(columns["end"])
+    for name in ("uid", "mission", "actor"):
+        offsets, heap = _heap(columns[name])
+        blobs[f"{name}_offsets"] = offsets
+        blobs[f"{name}_heap"] = np.frombuffer(heap, dtype="|u1")
+    blobs["info_op"] = np.asarray(columns["info_op"], dtype="<i8")
+    key_offsets, key_heap = _heap(columns["info_key"])
+    blobs["info_key_offsets"] = key_offsets
+    blobs["info_key_heap"] = np.frombuffer(key_heap, dtype="|u1")
+    encoded_values = [
+        json.dumps(value, sort_keys=True, separators=(",", ":"))
+        for value in columns["info_value"]
+    ]
+    value_offsets, value_heap = _heap(encoded_values)
+    blobs["info_value_offsets"] = value_offsets
+    blobs["info_value_heap"] = np.frombuffer(value_heap, dtype="|u1")
+    # Numeric shadow of the info values: the decoded value as float64
+    # where the tree path's aggregation coercion would accept it
+    # (numbers and numeric strings, never booleans), NaN elsewhere with
+    # the mask as authority.  Lets total/mean/top skip JSON decoding.
+    isnum = np.zeros(len(encoded_values), dtype="|u1")
+    num = np.zeros(len(encoded_values), dtype="<f8")
+    for row, value in enumerate(columns["info_value"]):
+        decoded = _decode_value(value)
+        if isinstance(decoded, bool):
+            continue
+        try:
+            num[row] = float(decoded)
+        except (TypeError, ValueError):
+            continue
+        isnum[row] = 1
+    blobs["info_num"] = num
+    blobs["info_isnum"] = isnum
+
+    directory: Dict[str, Dict[str, Any]] = {}
+    parts: List[bytes] = []
+    offset = 0
+    for name, array in blobs.items():
+        offset = _align(offset)
+        raw = array.tobytes()
+        directory[name] = {
+            "offset": offset,
+            "nbytes": len(raw),
+            "dtype": array.dtype.str,
+        }
+        parts.append(raw)
+        offset += len(raw)
+    data = bytearray()
+    for name, part in zip(blobs, parts):
+        pad = directory[name]["offset"] - len(data)
+        data.extend(b"\x00" * pad)
+        data.extend(part)
+    header: Dict[str, Any] = {
+        "archive_checksum": archive_checksum,
+        "count": count,
+        "info_count": len(encoded_values),
+        "data_sha256": hashlib.sha256(bytes(data)).hexdigest(),
+        "columns": directory,
+    }
+    header_json = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+    data_offset = _align(_PREAMBLE.size + len(header_json))
+    preamble = _PREAMBLE.pack(MAGIC, SIDECAR_VERSION, len(header_json), 0)
+    out = bytearray(preamble)
+    out.extend(header_json)
+    out.extend(b"\x00" * (data_offset - len(out)))
+    out.extend(data)
+    return bytes(out)
+
+
+def write_sidecar(
+    path: Union[str, Path],
+    columns: Mapping[str, Any],
+    archive_checksum: str,
+    fsync: bool = True,
+) -> Path:
+    """Atomically write a sidecar next to its archive.
+
+    The bytes land in a uniquely-named temporary sibling, are fsync'd,
+    and renamed into place — the same durability discipline as the
+    archive JSON itself, so a crash leaves either the old sidecar, the
+    new one, or none (never a torn file).  Directory fsync is the
+    caller's job (the store batches it with the JSON rename).
+    """
+    path = Path(path)
+    payload = build_sidecar(columns, archive_checksum)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(payload)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# -- loading -----------------------------------------------------------------
+
+
+def read_sidecar_header(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and vet a sidecar's preamble + JSON header (no data read)."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            preamble = handle.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                raise SidecarError(f"sidecar {path.name}: truncated preamble")
+            magic, version, header_len, _reserved = _PREAMBLE.unpack(preamble)
+            if magic != MAGIC:
+                raise SidecarError(
+                    f"sidecar {path.name}: bad magic {magic!r}"
+                )
+            if version != SIDECAR_VERSION:
+                raise SidecarError(
+                    f"sidecar {path.name}: unsupported version {version}"
+                )
+            header_json = handle.read(header_len)
+    except OSError as exc:
+        raise SidecarError(f"cannot read sidecar {path}: {exc}") from None
+    if len(header_json) < header_len:
+        raise SidecarError(f"sidecar {path.name}: truncated header")
+    try:
+        header = json.loads(header_json.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SidecarError(
+            f"sidecar {path.name}: header is not valid JSON ({exc})"
+        ) from None
+    if not isinstance(header, dict) or not isinstance(
+        header.get("columns"), dict
+    ):
+        raise SidecarError(f"sidecar {path.name}: malformed header")
+    header["data_offset"] = _align(_PREAMBLE.size + header_len)
+    return header
+
+
+def load_sidecar(
+    path: Union[str, Path],
+    expected_checksum: Optional[str] = None,
+    verify: bool = True,
+) -> "ColumnarArchiveView":
+    """Memory-map a sidecar into a query view (checksum-verified).
+
+    ``expected_checksum`` is the JSON archive's payload checksum; a
+    sidecar written for different archive bytes is *stale* and raises
+    :class:`SidecarError` — callers fall back to the tree path.  With
+    ``verify`` the data region's SHA-256 is recomputed, so bit rot is
+    detected before a single query is answered.
+    """
+    path = Path(path)
+    header = read_sidecar_header(path)
+    if expected_checksum is not None and (
+        header.get("archive_checksum") != expected_checksum
+    ):
+        raise SidecarError(
+            f"sidecar {path.name} is stale: written for archive "
+            f"checksum {header.get('archive_checksum')!r}, the JSON "
+            f"now has {expected_checksum!r}"
+        )
+    try:
+        with path.open("rb") as handle:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise SidecarError(f"cannot map sidecar {path}: {exc}") from None
+    data_offset = header["data_offset"]
+    if verify:
+        digest = hashlib.sha256(
+            memoryview(buffer)[data_offset:]
+        ).hexdigest()
+        if digest != header.get("data_sha256"):
+            buffer.close()
+            raise SidecarError(
+                f"sidecar {path.name}: data checksum mismatch (stored "
+                f"{header.get('data_sha256')!r}, computed {digest!r})"
+            )
+    try:
+        table = _ColumnTable(header, buffer, data_offset)
+    except SidecarError:
+        buffer.close()
+        raise
+    return ColumnarArchiveView(table)
+
+
+class _ColumnTable:
+    """Decoded sidecar columns plus lazily derived lookup structures.
+
+    One table is shared by every view chained off it, so derived
+    artifacts (paths, decoded string columns, per-key info row maps)
+    are computed at most once per loaded sidecar.
+    """
+
+    def __init__(self, header: Dict[str, Any], buffer: Any,
+                 data_offset: int):
+        self.archive_checksum = str(header.get("archive_checksum", ""))
+        self.count = int(header["count"])
+        self.info_count = int(header["info_count"])
+        self._buffer = buffer
+        view = memoryview(buffer)
+
+        def column(name: str) -> np.ndarray:
+            try:
+                entry = header["columns"][name]
+                dtype = _DTYPES[entry["dtype"]]
+                start = data_offset + int(entry["offset"])
+                nbytes = int(entry["nbytes"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SidecarError(
+                    f"sidecar column {name!r} missing or malformed "
+                    f"({exc})"
+                ) from None
+            if nbytes % dtype.itemsize or start + nbytes > len(view):
+                raise SidecarError(
+                    f"sidecar column {name!r} out of bounds"
+                )
+            array = np.frombuffer(view[start:start + nbytes], dtype=dtype)
+            array.flags.writeable = False
+            return array
+
+        self.parent = column("parent")
+        self.start = column("start")
+        self.start_kind = column("start_kind")
+        self.end = column("end")
+        self.end_kind = column("end_kind")
+        #: Whether any timestamp needs int reconstruction (disables the
+        #: vectorized float fast paths in favour of exact arithmetic).
+        self.has_int_timestamps = bool(
+            (self.start_kind == _TS_INT).any()
+            or (self.end_kind == _TS_INT).any()
+        )
+        self._heaps = {
+            name: (column(f"{name}_offsets"), column(f"{name}_heap"))
+            for name in ("uid", "mission", "actor", "info_key",
+                         "info_value")
+        }
+        self.info_op = column("info_op")
+        self.info_num = column("info_num")
+        self.info_isnum = column("info_isnum")
+        n, k = self.count, self.info_count
+        if (
+            len(self.parent) != n or len(self.start) != n
+            or len(self.end) != n or len(self.info_op) != k
+            or len(self.info_num) != k
+            or any(len(offsets) != (k if name.startswith("info") else n) + 1
+                   for name, (offsets, _heap) in self._heaps.items())
+        ):
+            raise SidecarError("sidecar column lengths disagree with counts")
+        self._strings: Dict[str, List[str]] = {}
+        self._paths: Optional[List[str]] = None
+        self._mission_base: Optional[List[str]] = None
+        self._iteration: Optional[List[Optional[int]]] = None
+        self._actor_base: Optional[List[str]] = None
+        #: info key -> {operation row -> info row} (last write wins,
+        #: matching dict-assignment order in the tree decoder).
+        self._rows_by_key: Optional[Dict[str, Dict[int, int]]] = None
+        self._decoded_values: Dict[int, Any] = {}
+
+    def strings(self, name: str) -> List[str]:
+        """Decode one string heap into a per-row list (cached)."""
+        cached = self._strings.get(name)
+        if cached is None:
+            offsets, heap = self._heaps[name]
+            blob = heap.tobytes()
+            bounds = offsets.tolist()
+            cached = [
+                blob[bounds[i]:bounds[i + 1]].decode("utf-8")
+                for i in range(len(bounds) - 1)
+            ]
+            self._strings[name] = cached
+        return cached
+
+    @property
+    def paths(self) -> List[str]:
+        if self._paths is None:
+            missions = self.strings("mission")
+            parent = self.parent.tolist()
+            paths: List[str] = []
+            for i, mission in enumerate(missions):
+                p = parent[i]
+                paths.append(
+                    mission if p < 0 else f"{paths[p]}/{mission}"
+                )
+            self._paths = paths
+        return self._paths
+
+    def _split_missions(self) -> None:
+        pairs = [split_iteration(m) for m in self.strings("mission")]
+        self._mission_base = [base for base, _ in pairs]
+        self._iteration = [index for _, index in pairs]
+
+    @property
+    def mission_base(self) -> List[str]:
+        if self._mission_base is None:
+            self._split_missions()
+        return self._mission_base
+
+    @property
+    def iteration(self) -> List[Optional[int]]:
+        if self._iteration is None:
+            self._split_missions()
+        return self._iteration
+
+    @property
+    def actor_base(self) -> List[str]:
+        if self._actor_base is None:
+            self._actor_base = [
+                split_iteration(a)[0] for a in self.strings("actor")
+            ]
+        return self._actor_base
+
+    def rows_by_key(self, key: str) -> Dict[int, int]:
+        """Info rows of one key, as an operation-row -> info-row map."""
+        if self._rows_by_key is None:
+            by_key: Dict[str, Dict[int, int]] = {}
+            ops = self.info_op.tolist()
+            for row, key_name in enumerate(self.strings("info_key")):
+                by_key.setdefault(key_name, {})[ops[row]] = row
+            self._rows_by_key = by_key
+        return self._rows_by_key.get(key, {})
+
+    def value(self, row: int) -> Any:
+        """The decoded info value of one info row (memoized)."""
+        try:
+            return self._decoded_values[row]
+        except KeyError:
+            encoded = self.strings("info_value")[row]
+            value = _decode_value(json.loads(encoded))
+            self._decoded_values[row] = value
+            return value
+
+    def timestamp(self, column: np.ndarray, kinds: np.ndarray,
+                  i: int) -> Optional[Union[int, float]]:
+        kind = kinds[i]
+        if kind == _TS_NULL:
+            return None
+        if kind == _TS_INT:
+            return int(column[i])
+        return float(column[i])
+
+    def record(self, i: int) -> Dict[str, Any]:
+        """The service-level operation record of one row."""
+        start = self.timestamp(self.start, self.start_kind, i)
+        end = self.timestamp(self.end, self.end_kind, i)
+        return {
+            "uid": self.strings("uid")[i],
+            "path": self.paths[i],
+            "mission": self.strings("mission")[i],
+            "actor": self.strings("actor")[i],
+            "start": start,
+            "end": end,
+            "duration": (
+                end - start if start is not None and end is not None
+                else None
+            ),
+        }
+
+    def close(self) -> None:
+        """Release the underlying mapping (views become invalid)."""
+        try:
+            self._buffer.close()
+        except (AttributeError, BufferError, OSError):
+            pass
+
+
+class _OpProxy:
+    """Shim giving :func:`repro.core.archive.query._numeric` an
+    ``op.path`` to name in its error messages."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str):
+        self.path = path
+
+
+class ColumnarArchiveView:
+    """Zero-copy archive query surface over mmap'd sidecar columns.
+
+    Mirrors :class:`~repro.core.archive.query.ArchiveQuery`: selector
+    methods narrow the (pre-order) selection and return a new view
+    sharing the same column table; aggregations reproduce the tree
+    path's results — including its error messages and tie-breaking —
+    byte for byte, without building a single ``ArchivedOperation``.
+    """
+
+    def __init__(self, table: _ColumnTable,
+                 selection: Optional[np.ndarray] = None):
+        self._table = table
+        self._selection = (
+            np.arange(table.count, dtype=np.int64)
+            if selection is None else selection
+        )
+
+    @property
+    def archive_checksum(self) -> str:
+        """Payload checksum of the archive this view accelerates."""
+        return self._table.archive_checksum
+
+    def __len__(self) -> int:
+        return len(self._selection)
+
+    def close(self) -> None:
+        """Release the underlying file mapping."""
+        self._table.close()
+
+    # -- selection ---------------------------------------------------------
+
+    def _narrow(self, keep: Iterable[bool]) -> "ColumnarArchiveView":
+        mask = np.fromiter(keep, dtype=bool, count=len(self._selection))
+        return ColumnarArchiveView(self._table, self._selection[mask])
+
+    def path(self, pattern: str) -> "ColumnarArchiveView":
+        """Narrow to rows whose mission path matches the glob."""
+        regex = translate_path_pattern(pattern)
+        paths = self._table.paths
+        return self._narrow(
+            regex.match(paths[i]) is not None for i in self._selection
+        )
+
+    def mission(self, base: str) -> "ColumnarArchiveView":
+        """Narrow to rows with this mission base name."""
+        bases = self._table.mission_base
+        return self._narrow(bases[i] == base for i in self._selection)
+
+    def actor(self, base: str) -> "ColumnarArchiveView":
+        """Narrow to rows with this actor base name."""
+        bases = self._table.actor_base
+        return self._narrow(bases[i] == base for i in self._selection)
+
+    def iteration(self, index: int) -> "ColumnarArchiveView":
+        """Narrow to rows of one iteration index."""
+        iterations = self._table.iteration
+        return self._narrow(
+            iterations[i] == index for i in self._selection
+        )
+
+    def where(
+        self, predicate: Callable[[Dict[str, Any]], bool],
+    ) -> "ColumnarArchiveView":
+        """Narrow with a predicate over operation records."""
+        table = self._table
+        return self._narrow(
+            bool(predicate(table.record(i))) for i in self._selection
+        )
+
+    # -- aggregation -------------------------------------------------------
+
+    def _value_rows(self, info: str) -> Dict[int, int]:
+        return self._table.rows_by_key(info)
+
+    def _numeric_at(self, info: str, row: int, op_row: int) -> float:
+        """One info value coerced exactly as the tree path coerces it."""
+        table = self._table
+        if table.info_isnum[row]:
+            return float(table.info_num[row])
+        # Non-numeric: decode for the identical typed error.
+        return _numeric(table.value(row), info,
+                        _OpProxy(table.paths[op_row]))
+
+    def total(self, info: str = "Duration") -> float:
+        """Sum of a numeric info over the selection (missing counts 0).
+
+        The additions run sequentially in selection order — never as a
+        pairwise ``np.sum`` — so the float result is bit-identical to
+        the tree path's left fold.
+        """
+        table = self._table
+        by_op = self._value_rows(info)
+        total = 0.0
+        for i in self._selection:
+            row = by_op.get(int(i))
+            if row is None:
+                continue
+            if table.info_isnum[row]:
+                total += float(table.info_num[row])
+                continue
+            value = table.value(row)
+            if value is None:
+                continue  # A stored null counts 0, as in the tree path.
+            total += _numeric(value, info, _OpProxy(table.paths[int(i)]))
+        return total
+
+    def mean(self, info: str = "Duration") -> float:
+        """Mean of a numeric info over rows that carry it."""
+        by_op = self._value_rows(info)
+        values = [
+            self._numeric_at(info, by_op[int(i)], int(i))
+            for i in self._selection
+            if int(i) in by_op
+        ]
+        if not values:
+            raise QueryError(f"no operation in selection carries {info!r}")
+        return sum(values) / len(values)
+
+    def values(self, info: str, default: Any = None) -> List[Any]:
+        """The info value of every selected row (in pre-order)."""
+        by_op = self._value_rows(info)
+        out: List[Any] = []
+        for i in self._selection:
+            row = by_op.get(int(i))
+            out.append(default if row is None else self._table.value(row))
+        return out
+
+    def durations(self) -> List[float]:
+        """Durations of selected rows (skipping unknown ones)."""
+        table = self._table
+        sel = self._selection
+        known = sel[
+            (table.start_kind[sel] != _TS_NULL)
+            & (table.end_kind[sel] != _TS_NULL)
+        ]
+        if not table.has_int_timestamps:
+            return (table.end[known] - table.start[known]).tolist()
+        # Int timestamps demand Python arithmetic: 7 - 2 must stay the
+        # int 5, exactly as ``op.duration`` computes it.
+        return [
+            table.timestamp(table.end, table.end_kind, int(i))
+            - table.timestamp(table.start, table.start_kind, int(i))
+            for i in known
+        ]
+
+    def top_records(self, info: str = "Duration",
+                    n: int = 5) -> List[Dict[str, Any]]:
+        """Service records of the ``n`` rows with the largest info.
+
+        Matches the tree path's ``sorted(..., reverse=True)`` ordering,
+        including stable tie-breaking by pre-order position.
+        """
+        if n <= 0:
+            raise QueryError(f"n must be positive, got {n}")
+        by_op = self._value_rows(info)
+        carrying = [int(i) for i in self._selection if int(i) in by_op]
+        ranked = sorted(
+            carrying,
+            key=lambda i: self._numeric_at(info, by_op[i], i),
+            reverse=True,
+        )[:n]
+        return [
+            dict(self._table.record(i),
+                 value=self._table.value(by_op[i]))
+            for i in ranked
+        ]
+
+    def operation_records(self) -> List[Dict[str, Any]]:
+        """Service records of every selected row, in pre-order."""
+        return [self._table.record(int(i)) for i in self._selection]
+
+
+__all__ = [
+    "ColumnarArchiveView",
+    "SidecarError",
+    "SIDECAR_SUFFIX",
+    "build_sidecar",
+    "load_sidecar",
+    "read_sidecar_header",
+    "sidecar_path",
+    "write_sidecar",
+]

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.archive.serialize import (
@@ -620,6 +621,58 @@ def validate_text(text: str) -> List[ValidationFinding]:
     version) with the structural findings of the decoded archive.
     """
     _archive, findings = load_salvaged(text)
+    return findings
+
+
+def validate_sidecar(
+    archive_path: Union[str, Path],
+) -> List[ValidationFinding]:
+    """Findings for the ``.gcol`` sidecar next to a stored archive.
+
+    The binary column sidecar is an optional accelerator: when absent
+    there is nothing to report, and any damage merely downgrades
+    queries to the JSON tree path — no data is lost — so sidecar
+    findings are warnings, never errors.  The sidecar is cross-checked
+    against the JSON's payload checksum, so a *stale* sidecar (archive
+    rewritten, sidecar left behind) is reported alongside byte-level
+    corruption (data-region SHA-256 mismatch, truncated header).
+    Never raises.
+    """
+    # Local import: columnar depends on this module's sibling ``store``
+    # for atomic writes, so a top-level import would be cyclic.
+    from repro.core.archive.columnar import (
+        SidecarError,
+        load_sidecar,
+        sidecar_path,
+    )
+    from repro.core.archive.serialize import parse_document
+
+    findings: List[ValidationFinding] = []
+    path = Path(archive_path)
+    side = sidecar_path(path)
+    if not side.exists():
+        return findings
+    checksum: Optional[str] = None
+    try:
+        document = parse_document(
+            path.read_text(encoding="utf-8"), verify=False)
+        checksum = payload_checksum(document)
+    except (OSError, UnicodeDecodeError, ArchiveError):
+        pass  # JSON-side damage carries its own findings.
+    try:
+        view = load_sidecar(side, expected_checksum=checksum)
+        view.close()
+    except SidecarError as exc:
+        findings.append(ValidationFinding(
+            "sidecar-unusable", "warning", side.name,
+            f"{exc} — queries fall back to the JSON tree path",
+        ))
+    except OSError as exc:  # pragma: no cover - racing deletion
+        findings.append(ValidationFinding(
+            "sidecar-unusable", "warning", side.name,
+            f"cannot read sidecar: {exc} — queries fall back to the "
+            f"JSON tree path",
+        ))
     return findings
 
 

@@ -41,18 +41,33 @@ OPERATION_COLUMNS = ("uid", "mission", "actor", "parent", "start", "end")
 INFO_COLUMNS = ("info_op", "info_key", "info_value")
 
 
+#: Strings reserved for encoded float infinities.
+_INFINITY_SENTINELS = ("Infinity", "-Infinity")
+
+
 def _encode_value(value: Any) -> Any:
-    """JSON-safe encoding (infinities become strings)."""
+    """JSON-safe encoding (infinities become strings).
+
+    Literal strings that would collide with the sentinels — including
+    already-escaped ones — gain a leading backslash so decoding is a
+    true inverse: the string ``"Infinity"`` and the float ``inf``
+    remain distinct through a round trip.
+    """
     if isinstance(value, float) and math.isinf(value):
         return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, str) and value.lstrip("\\") in _INFINITY_SENTINELS:
+        return "\\" + value
     return value
 
 
 def _decode_value(value: Any) -> Any:
-    if value == "Infinity":
-        return math.inf
-    if value == "-Infinity":
-        return -math.inf
+    if isinstance(value, str):
+        if value == "Infinity":
+            return math.inf
+        if value == "-Infinity":
+            return -math.inf
+        if value.lstrip("\\") in _INFINITY_SENTINELS:
+            return value[1:]
     return value
 
 

@@ -38,7 +38,15 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from repro.core.archive.archive import PerformanceArchive
+from repro.core.archive.columnar import (
+    ColumnarArchiveView,
+    SidecarError,
+    load_sidecar,
+    sidecar_path,
+    write_sidecar,
+)
 from repro.core.archive.serialize import (
+    archive_to_document,
     archive_to_json,
     document_to_archive,
     is_columnar,
@@ -84,6 +92,26 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    ``os.replace`` makes a rename atomic but not durable: until the
+    directory inode itself is fsync'd, a crash can forget the rename
+    and leave a JSON/sidecar pair torn.  Matches the WAL's durability
+    discipline for segment rotation.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic fs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def validate_job_id(job_id: str) -> str:
@@ -442,7 +470,14 @@ class ArchiveStore:
         return self.directory / f"{validate_job_id(job_id)}.json"
 
     def save(self, archive: PerformanceArchive, overwrite: bool = False) -> Path:
-        """Persist an archive (atomically); returns its file path."""
+        """Persist an archive (atomically); returns its file path.
+
+        Version-3 archives also get a binary column sidecar
+        (``{job_id}.gcol``) written next to the JSON, and the directory
+        is fsync'd after the renames so a crash cannot tear the pair
+        apart.  A sidecar that cannot be encoded is skipped — the JSON
+        is the durable truth, the sidecar only an accelerator.
+        """
         path = self._archive_path(archive.job_id)
         with self._locked():
             self._reload_if_changed()
@@ -453,10 +488,41 @@ class ArchiveStore:
                     f"archive {archive.job_id!r} already stored; "
                     f"pass overwrite=True to replace it"
                 )
-            atomic_write_text(path, archive_to_json(archive))
+            document = archive_to_document(archive)
+            # Byte-identical to archive_to_json(archive): the v3 format
+            # always renders compact.
+            atomic_write_text(
+                path,
+                json.dumps(document, separators=(",", ":"),
+                           sort_keys=False),
+            )
+            self._write_sidecar(path, document)
             self._index[archive.job_id] = self._entry(archive)
             self._save_index()
+            fsync_directory(self.directory)
         return path
+
+    def _write_sidecar(self, path: Path, document: Dict) -> None:
+        """Write (or drop) the binary sidecar of one archive file."""
+        side = sidecar_path(path)
+        operations = document.get("operations")
+        integrity = document.get("integrity") or {}
+        if is_columnar(operations) and integrity.get("checksum"):
+            try:
+                write_sidecar(side, operations, integrity["checksum"])
+                return
+            except (SidecarError, OSError, KeyError, TypeError,
+                    ValueError) as exc:
+                logger.warning(
+                    "archive store %s: cannot write sidecar %s (%s); "
+                    "queries fall back to JSON",
+                    self.directory, side.name, exc,
+                )
+        # Never leave a stale sidecar behind a rewritten archive.
+        try:
+            side.unlink()
+        except OSError:
+            pass
 
     def handle(self, job_id: str) -> ArchiveHandle:
         """Lazy handle on one stored archive (no tree construction)."""
@@ -468,6 +534,34 @@ class ArchiveStore:
     def load(self, job_id: str) -> PerformanceArchive:
         """Load one archive by job id."""
         return self.handle(job_id).archive()
+
+    def sidecar_path(self, job_id: str) -> Path:
+        """Where the job's binary column sidecar lives (may not exist)."""
+        return sidecar_path(self._archive_path(job_id))
+
+    def columnar_view(self, job_id: str) -> Optional[ColumnarArchiveView]:
+        """Zero-copy query view of one archive, or None.
+
+        Returns a checksum-verified :class:`ColumnarArchiveView` over
+        the mmap'd ``.gcol`` sidecar when one exists and matches the
+        JSON's payload checksum; any damage or staleness logs a warning
+        and returns ``None`` so callers transparently fall back to the
+        tree path.  Raises :class:`ArchiveError` only when the archive
+        itself is absent.
+        """
+        side = self.sidecar_path(job_id)
+        checksum = self.checksum(job_id)  # Raises if the JSON is gone.
+        if not side.exists():
+            return None
+        try:
+            return load_sidecar(side, expected_checksum=checksum)
+        except SidecarError as exc:
+            logger.warning(
+                "archive store %s: sidecar for %s unusable (%s); "
+                "falling back to JSON",
+                self.directory, job_id, exc,
+            )
+            return None
 
     def checksum(self, job_id: str) -> str:
         """Payload checksum of one stored archive (memoized by stamp).
@@ -515,9 +609,14 @@ class ArchiveStore:
             if not path.exists():
                 raise ArchiveError(f"no stored archive for job {job_id!r}")
             path.unlink()
+            try:
+                sidecar_path(path).unlink()
+            except OSError:
+                pass
             self._index.pop(job_id, None)
             self._checksums.pop(job_id, None)
             self._save_index()
+            fsync_directory(self.directory)
 
     def list(
         self,

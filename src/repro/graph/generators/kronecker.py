@@ -7,9 +7,56 @@ it produces skewed, community-ish graphs from four quadrant probabilities.
 from __future__ import annotations
 
 import random
+from typing import List, Tuple
 
 from repro.errors import GenerationError
 from repro.graph.graph import Graph
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 42,
+) -> List[Tuple[int, int]]:
+    """The raw R-MAT edge stream: ``edge_factor * 2**scale`` samples.
+
+    Returns the samples in generation order, duplicates and self-loops
+    included — the stream a Graph500-style generator kernel hands to
+    the rest of a pipeline.  :func:`rmat_graph` (and PRPB's build
+    kernel) drop self-loops and collapse duplicates downstream.
+    """
+    if scale < 0:
+        raise GenerationError(f"negative scale: {scale}")
+    if edge_factor < 0:
+        raise GenerationError(f"negative edge factor: {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or a + b + c > 1.0 + 1e-12:
+        raise GenerationError(
+            f"quadrant probabilities invalid: a={a}, b={b}, c={c}"
+        )
+    target = edge_factor * (1 << scale)
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(target):
+        src = dst = 0
+        for _level in range(scale):
+            r = rng.random()
+            src <<= 1
+            dst <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                dst |= 1
+            elif r < a + b + c:
+                src |= 1
+            else:
+                src |= 1
+                dst |= 1
+        edges.append((src, dst))
+    return edges
 
 
 def rmat_graph(
@@ -27,34 +74,6 @@ def rmat_graph(
     edges and self-loops are dropped, so the realized edge count is
     slightly below the nominal one — as in Graph500 itself.
     """
-    if scale < 0:
-        raise GenerationError(f"negative scale: {scale}")
-    if edge_factor < 0:
-        raise GenerationError(f"negative edge factor: {edge_factor}")
-    d = 1.0 - a - b - c
-    if min(a, b, c, d) < 0 or a + b + c > 1.0 + 1e-12:
-        raise GenerationError(
-            f"quadrant probabilities invalid: a={a}, b={b}, c={c}"
-        )
-    n = 1 << scale
-    target = edge_factor * n
-    rng = random.Random(seed)
-    edges: set = set()
-    for _ in range(target):
-        src = dst = 0
-        for _level in range(scale):
-            r = rng.random()
-            src <<= 1
-            dst <<= 1
-            if r < a:
-                pass
-            elif r < a + b:
-                dst |= 1
-            elif r < a + b + c:
-                src |= 1
-            else:
-                src |= 1
-                dst |= 1
-        if src != dst:
-            edges.add((src, dst))
-    return Graph(n, sorted(edges))
+    stream = rmat_edges(scale, edge_factor, a, b, c, seed)
+    edges = {(src, dst) for src, dst in stream if src != dst}
+    return Graph(1 << scale, sorted(edges))

@@ -11,6 +11,52 @@ from repro.errors import GraphError
 Edge = Tuple[int, int]
 
 
+class _CsrRows:
+    """Adjacency-list facade over CSR arrays.
+
+    Behaves like the eager list-of-lists a :class:`Graph` builds from
+    an edge stream, but materializes each row on demand, so a graph
+    rebuilt from CSR arrays — possibly read-only, memory-mapped from
+    the artifact cache, or living in a shared-memory segment — never
+    mirrors the edge data into per-process Python lists.  Rows are not
+    memoized: callers that need a row repeatedly hold the returned
+    list, and the vectorized engines bypass adjacency entirely via
+    :meth:`Graph.csr`.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = indptr
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    def __getitem__(self, v):
+        n = len(self)
+        if isinstance(v, slice):
+            return [self[i] for i in range(*v.indices(n))]
+        if v < 0:
+            v += n
+        if not 0 <= v < n:
+            raise IndexError(f"vertex {v} out of range")
+        return self._indices[self._indptr[v]:self._indptr[v + 1]].tolist()
+
+    def __iter__(self):
+        for v in range(len(self)):
+            yield self[v]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (list, _CsrRows)):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            mine == theirs for mine, theirs in zip(self, other)
+        )
+
+    __hash__ = None
+
+
 class Graph:
     """A directed graph over vertices ``0 .. n-1``.
 
@@ -101,7 +147,11 @@ class Graph:
         adjacency rows — exactly what :meth:`csr` produced — so the
         result is identical to the graph the arrays came from.  The CSR
         view is pre-seeded from the same arrays (which may be read-only
-        ``np.load(mmap_mode='r')`` views; they are never written to).
+        ``np.load(mmap_mode='r')`` views or shared-memory pages; they
+        are never written to), and the adjacency is a lazy facade over
+        them — the edge data is never copied into Python lists, so N
+        processes rebuilding from the same mapped pages keep a single
+        physical copy of the graph.
         """
         from repro.graph.csr import CsrGraph
         csr = CsrGraph(indptr, indices)
@@ -113,11 +163,7 @@ class Graph:
         graph = cls.__new__(cls)
         graph._n = num_vertices
         graph._m = csr.num_edges
-        offsets = np.asarray(indptr, dtype=np.int64).tolist()
-        flat = np.asarray(indices, dtype=np.int64).tolist()
-        graph._out = [
-            flat[offsets[v]:offsets[v + 1]] for v in range(num_vertices)
-        ]
+        graph._out = _CsrRows(csr.indptr, csr.indices)
         graph._in = None
         graph._undirected = None
         graph._csr = csr

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.columnar import ColumnarArchiveView
 from repro.core.archive.query import ArchiveQuery
 from repro.core.archive.store import ArchiveStore, validate_job_id
 from repro.core.visualize.render_html import render_report_html
@@ -383,8 +384,7 @@ class ArchiveService:
         if _etag_matches(headers.get("If-None-Match"), etag):
             return Response(304, headers={"ETag": etag})
 
-        archive = self._archive(job_id, checksum)
-        query = ArchiveQuery(archive)
+        query = self._query_surface(job_id, checksum)
         if "path" in params:
             query = query.path(params["path"])
         if "mission" in params:
@@ -405,13 +405,33 @@ class ArchiveService:
             "result": result,
         }, etag=etag)
 
+    def _query_surface(self, job_id: str, checksum: str):
+        """The fastest correct query surface for one archive.
+
+        Prefers the zero-copy :class:`ColumnarArchiveView` over the
+        ``.gcol`` sidecar (cached per payload checksum, like
+        materialized archives); archives without a valid sidecar fall
+        back to the tree-based :class:`ArchiveQuery` transparently —
+        both answer every selector/aggregation byte-identically.
+        """
+        view_key = f"gcol:{checksum}"
+        view = self.cache.get(view_key)
+        if view is None:
+            view = self.store.columnar_view(job_id)
+            if view is not None:
+                self.cache.put(view_key, view)
+        if view is not None:
+            return view
+        return ArchiveQuery(self._archive(job_id, checksum))
+
     def _aggregate(
         self,
-        query: ArchiveQuery,
+        query: Any,
         agg: str,
         metric: str,
         params: Dict[str, str],
     ) -> Any:
+        columnar = isinstance(query, ColumnarArchiveView)
         if agg == "count":
             return len(query)
         if agg == "total":
@@ -424,10 +444,14 @@ class ArchiveService:
             return query.values(metric)
         if agg == "top":
             n = _int_param(params, "n", 5, "/jobs/{id}/query", minimum=1)
+            if columnar:
+                return query.top_records(metric, n)
             return [
                 dict(_operation_record(op), value=op.infos.get(metric))
                 for op in query.top(metric, n)
             ]
+        if columnar:
+            return query.operation_records()
         return [_operation_record(op) for op in query.operations()]
 
     def _job_report(

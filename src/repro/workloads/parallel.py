@@ -14,10 +14,14 @@ Design constraints that keep parallel output byte-identical to serial:
   archive store (no index races, and writes land in submission order).
 * Job ids come from ``spec.label()``, never from per-platform counters,
   so a run's identity does not depend on what else ran in its process.
-* Workers are forked, so they inherit the parent's in-process dataset
-  memo and model library by memory, not by pickling; first-touch
-  artifacts (graphs, vertex cuts) come from the content-addressed disk
-  cache where available.
+* Workers are forked, so they inherit the parent's model library by
+  memory, not by pickling; first-touch artifacts (vertex cuts) come
+  from the content-addressed disk cache where available.
+* Graph pages are shared, not duplicated: the parent builds each
+  distinct dataset once, places its CSR arrays into shared memory
+  (:mod:`repro.graph.shm`), and seeds every worker's dataset memo with
+  a graph attached read-only to those pages — peak RSS grows with the
+  worker count only by per-run bookkeeping, not by the dataset size.
 
 Platforms without ``fork`` (Windows) fall back to serial execution in
 the caller.
@@ -31,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.platforms.faults import FaultPlan
 from repro.workloads.spec import WorkloadSpec
 
@@ -56,8 +61,21 @@ class RunRequest:
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _init_worker(library, n_nodes: int, engine_mode: str) -> None:
+def _init_worker(library, n_nodes: int, engine_mode: str,
+                 shared=()) -> None:
+    from repro.graph.shm import attach_graph
+    from repro.workloads import datasets
     from repro.workloads.runner import WorkloadRunner
+    for handle in shared:
+        if handle.content_key is None:
+            continue
+        try:
+            datasets._CACHE[handle.content_key] = attach_graph(handle)
+        except (OSError, ReproError):
+            # Segment gone or unreadable: the worker rebuilds the
+            # dataset itself (disk cache or regeneration) — slower and
+            # unshared, never wrong.
+            continue
     _WORKER_STATE["runner"] = WorkloadRunner(
         library=library, store=None, n_nodes=n_nodes,
         engine_mode=engine_mode,
@@ -102,11 +120,43 @@ def execute_parallel(
     workers = max(1, min(jobs, len(requests), available_cpus()))
     if workers == 1:
         return None
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=ctx,
-        initializer=_init_worker,
-        initargs=(library, n_nodes, engine_mode),
-    ) as pool:
-        futures = [pool.submit(_run_request, r) for r in requests]
-        return [f.result() for f in futures]
+    pages, handles = _share_datasets(requests)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(library, n_nodes, engine_mode, handles),
+        ) as pool:
+            futures = [pool.submit(_run_request, r) for r in requests]
+            return [f.result() for f in futures]
+    finally:
+        if pages is not None:
+            pages.close()
+
+
+def _share_datasets(requests: Sequence[RunRequest]):
+    """Build each distinct dataset once and page it into shared memory.
+
+    Returns ``(pages, handles)`` — the parent-side segment owner (or
+    ``None``) and the picklable handles for the pool initializer.  Any
+    failure (no ``/dev/shm``, exhausted shared memory) degrades to the
+    unshared fork path rather than failing the run.  The parent's
+    dataset memo is dropped afterwards so the forked workers do not
+    inherit — and later free, copy-on-write-unsharing — the eager heap
+    copies the shared pages replace.
+    """
+    from repro.graph.shm import SharedGraphPages
+    from repro.workloads.datasets import build_dataset, clear_cache
+
+    pages = SharedGraphPages()
+    handles = []
+    try:
+        for dataset in dict.fromkeys(r.spec.dataset for r in requests):
+            handles.append(pages.share(build_dataset(dataset)))
+    except (OSError, ReproError, ValueError):
+        pages.close()
+        return None, ()
+    finally:
+        clear_cache()
+    return pages, tuple(handles)

@@ -347,6 +347,25 @@ class TestSerialize:
         clone = archive_from_json(archive_to_json(archive))
         assert clone.root.infos["Dist"] == math.inf
 
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_literal_infinity_string_roundtrips(self, version):
+        # A *string* info value that happens to spell a sentinel must
+        # not come back as a float — _decode_value used to turn any
+        # value comparing equal to "Infinity" into math.inf.
+        infos = {
+            "Label": "Infinity",
+            "Neg": "-Infinity",
+            "Escaped": "\\Infinity",
+            "Dist": math.inf,
+            "NegDist": -math.inf,
+        }
+        root = ArchivedOperation("u", "A", "x", 0.0, 1.0, infos=dict(infos))
+        archive = PerformanceArchive("j", root)
+        clone = archive_from_json(archive_to_json(archive, version=version))
+        assert clone.root.infos == infos
+        assert isinstance(clone.root.infos["Label"], str)
+        assert isinstance(clone.root.infos["Dist"], float)
+
     def test_rejects_non_json(self):
         with pytest.raises(ArchiveError):
             archive_from_json("{not json")

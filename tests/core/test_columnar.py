@@ -1,0 +1,189 @@
+"""Binary column sidecar (.gcol): write/load, damage detection, fallback.
+
+The sidecar is an accelerator, never the truth: every form of damage —
+corruption, truncation, staleness, deletion — must be *detected* (so a
+damaged sidecar is never queried) and *survivable* (queries fall back
+to the JSON tree path with identical results).
+"""
+
+import math
+import shutil
+
+import pytest
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.columnar import (
+    ColumnarArchiveView,
+    SidecarError,
+    load_sidecar,
+    read_sidecar_header,
+)
+from repro.core.archive.integrity import validate_sidecar
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.store import ArchiveStore
+from repro.errors import QueryError
+
+from tests.core.test_archive import make_archive
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArchiveStore(tmp_path)
+
+
+@pytest.fixture()
+def saved(store):
+    archive = make_archive()
+    store.save(archive)
+    return archive
+
+
+class TestSidecarWrite:
+    def test_save_writes_sidecar_next_to_json(self, store, saved):
+        side = store.sidecar_path(saved.job_id)
+        assert side.exists()
+        assert side.suffix == ".gcol"
+        header = read_sidecar_header(side)
+        assert header["archive_checksum"] == store.checksum(saved.job_id)
+
+    def test_view_is_checksum_bound(self, store, saved):
+        view = store.columnar_view(saved.job_id)
+        assert isinstance(view, ColumnarArchiveView)
+        assert view.archive_checksum == store.checksum(saved.job_id)
+        view.close()
+
+    def test_overwrite_refreshes_sidecar(self, store, saved):
+        saved.root.infos["Extra"] = 7.0
+        store.save(saved, overwrite=True)
+        view = store.columnar_view(saved.job_id)
+        assert view is not None
+        assert view.values("Extra")[0] == 7.0
+        view.close()
+
+
+class TestQueryIdentity:
+    def test_view_matches_tree_battery(self, store, saved):
+        view = store.columnar_view(saved.job_id)
+        tree = ArchiveQuery(store.load(saved.job_id))
+        assert len(view) == len(tree)
+        assert view.total("Duration") == tree.total("Duration")
+        assert view.durations() == tree.durations()
+        sel_v = view.mission("Superstep")
+        sel_t = tree.mission("Superstep")
+        assert sel_v.values("Duration") == sel_t.values("Duration")
+        assert sel_v.mean("Duration") == sel_t.mean("Duration")
+        assert (view.actor("Worker").total("BytesRead")
+                == tree.actor("Worker").total("BytesRead"))
+        assert len(view.path("Job/ProcessGraph/*")) == \
+            len(tree.path("Job/ProcessGraph/*"))
+        view.close()
+
+    def test_view_reproduces_tree_error_messages(self, store):
+        root = ArchivedOperation("u", "Job", "x", 0.0, 1.0,
+                                 infos={"Status": "SUCCEEDED"})
+        store.save(PerformanceArchive("err-job", root))
+        view = store.columnar_view("err-job")
+        tree = ArchiveQuery(store.load("err-job"))
+        with pytest.raises(QueryError) as tree_exc:
+            tree.total("Status")
+        with pytest.raises(QueryError) as view_exc:
+            view.total("Status")
+        assert str(view_exc.value) == str(tree_exc.value)
+        with pytest.raises(QueryError) as tree_mean:
+            tree.mission("Nope").mean("Duration")
+        with pytest.raises(QueryError) as view_mean:
+            view.mission("Nope").mean("Duration")
+        assert str(view_mean.value) == str(tree_mean.value)
+        view.close()
+
+    def test_literal_infinity_string_survives_sidecar(self, store):
+        root = ArchivedOperation(
+            "u", "Job", "x", 0.0, 1.0,
+            infos={"Label": "Infinity", "Dist": math.inf})
+        store.save(PerformanceArchive("inf-job", root))
+        view = store.columnar_view("inf-job")
+        assert view.values("Label") == ["Infinity"]
+        assert view.values("Dist") == [math.inf]
+        view.close()
+
+
+class TestDamageDetection:
+    """Satellite: corrupt or missing sidecars are detected, queries
+    fall back to JSON, and ``granula validate`` reports a finding."""
+
+    def corrupt(self, store, job_id):
+        """Flip one byte inside the sidecar's data region."""
+        side = store.sidecar_path(job_id)
+        raw = bytearray(side.read_bytes())
+        raw[-1] ^= 0xFF
+        side.write_bytes(bytes(raw))
+        return side
+
+    def test_missing_sidecar_falls_back(self, store, saved):
+        store.sidecar_path(saved.job_id).unlink()
+        assert store.columnar_view(saved.job_id) is None
+        # The JSON is still the truth: queries stay answerable.
+        assert ArchiveQuery(store.load(saved.job_id)).total() > 0
+
+    def test_corrupt_sidecar_raises_typed_error(self, store, saved):
+        side = self.corrupt(store, saved.job_id)
+        with pytest.raises(SidecarError, match="checksum mismatch"):
+            load_sidecar(side,
+                         expected_checksum=store.checksum(saved.job_id))
+
+    def test_corrupt_sidecar_falls_back(self, store, saved, caplog):
+        self.corrupt(store, saved.job_id)
+        with caplog.at_level("WARNING"):
+            assert store.columnar_view(saved.job_id) is None
+        assert "falling back to JSON" in caplog.text
+        assert ArchiveQuery(store.load(saved.job_id)).total() > 0
+
+    def test_stale_sidecar_falls_back(self, store, saved, tmp_path):
+        side = store.sidecar_path(saved.job_id)
+        stale = tmp_path / "stale.gcol"
+        shutil.copy(side, stale)
+        saved.root.infos["Changed"] = 1.0
+        store.save(saved, overwrite=True)
+        shutil.copy(stale, side)  # sidecar now from the old bytes
+        assert store.columnar_view(saved.job_id) is None
+        with pytest.raises(SidecarError, match="stale"):
+            load_sidecar(side,
+                         expected_checksum=store.checksum(saved.job_id))
+
+    def test_truncated_sidecar_raises_typed_error(self, store, saved):
+        side = store.sidecar_path(saved.job_id)
+        side.write_bytes(side.read_bytes()[:10])
+        with pytest.raises(SidecarError):
+            load_sidecar(side)
+
+    def test_validate_sidecar_clean(self, store, saved):
+        path = store.handle(saved.job_id).path
+        assert validate_sidecar(path) == []
+
+    def test_validate_sidecar_missing_is_not_a_finding(self, store, saved):
+        store.sidecar_path(saved.job_id).unlink()
+        assert validate_sidecar(store.handle(saved.job_id).path) == []
+
+    def test_validate_sidecar_reports_corruption(self, store, saved):
+        self.corrupt(store, saved.job_id)
+        findings = validate_sidecar(store.handle(saved.job_id).path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.code == "sidecar-unusable"
+        assert finding.severity == "warning"
+        assert "fall back" in finding.detail
+
+    def test_cli_validate_reports_sidecar_finding(self, store, saved,
+                                                  capsys):
+        from repro.cli import main
+
+        path = str(store.handle(saved.job_id).path)
+        assert main(["validate", path]) == 0
+        assert "no findings" in capsys.readouterr().out
+        self.corrupt(store, saved.job_id)
+        # Warning severity: reported, but the exit code stays 0 — the
+        # JSON is intact and queries still work.
+        assert main(["validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "sidecar-unusable" in out
+        assert "fall back" in out

@@ -279,5 +279,5 @@ class TestStoreResilience:
     def test_save_leaves_no_tmp_files(self, tmp_path):
         self.make_store(tmp_path)
         leftovers = [p for p in tmp_path.iterdir()
-                     if p.suffix not in (".json", ".lock")]
+                     if p.suffix not in (".json", ".lock", ".gcol")]
         assert leftovers == []

@@ -1,0 +1,143 @@
+"""Shared-memory CSR pages: round trips, read-only views, lifecycle."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.datagen import datagen_graph
+from repro.graph.graph import Graph, _CsrRows
+from repro.graph.shm import SharedCsrHandle, SharedGraphPages, attach_graph
+
+
+@pytest.fixture
+def graph():
+    g = datagen_graph(300, avg_degree=5, seed=3)
+    g.content_key = "test-content-key"
+    return g
+
+
+def _attach_in_child(handle, queue):
+    attached = attach_graph(handle)
+    queue.put((
+        attached.num_vertices,
+        attached.num_edges,
+        attached.out_neighbors(7),
+        attached.content_key,
+    ))
+
+
+class TestShareAttach:
+    def test_round_trip_is_equal(self, graph):
+        with SharedGraphPages() as pages:
+            attached = attach_graph(pages.share(graph))
+            assert attached == graph
+            assert attached.content_key == "test-content-key"
+
+    def test_attached_csr_matches(self, graph):
+        with SharedGraphPages() as pages:
+            attached = attach_graph(pages.share(graph))
+            np.testing.assert_array_equal(
+                attached.csr().indptr, graph.csr().indptr)
+            np.testing.assert_array_equal(
+                attached.csr().indices, graph.csr().indices)
+
+    def test_views_are_read_only(self, graph):
+        with SharedGraphPages() as pages:
+            attached = attach_graph(pages.share(graph))
+            with pytest.raises(ValueError):
+                attached.csr().indices[0] = 99
+
+    def test_adjacency_stays_lazy(self, graph):
+        # The attached graph must not mirror the edge data into Python
+        # lists — that per-process copy is exactly what sharing avoids.
+        with SharedGraphPages() as pages:
+            attached = attach_graph(pages.share(graph))
+            assert isinstance(attached._out, _CsrRows)
+            assert attached.out_neighbors(0) == graph.out_neighbors(0)
+
+    def test_empty_graph_round_trips(self):
+        empty = Graph(0, [])
+        with SharedGraphPages() as pages:
+            attached = attach_graph(pages.share(empty))
+            assert attached.num_vertices == 0
+            assert attached.num_edges == 0
+
+    def test_edgeless_vertices_round_trip(self):
+        sparse = Graph(5, [(0, 1)])
+        with SharedGraphPages() as pages:
+            assert attach_graph(pages.share(sparse)) == sparse
+
+    def test_attach_from_forked_child(self, graph):
+        ctx = None
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            pytest.skip("platform cannot fork")
+        with SharedGraphPages() as pages:
+            handle = pages.share(graph)
+            queue = ctx.SimpleQueue()
+            child = ctx.Process(target=_attach_in_child,
+                                args=(handle, queue))
+            child.start()
+            n, m, row, key = queue.get()
+            child.join(timeout=30)
+            assert child.exitcode == 0
+        assert (n, m) == (graph.num_vertices, graph.num_edges)
+        assert row == graph.out_neighbors(7)
+        assert key == "test-content-key"
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self, graph):
+        pages = SharedGraphPages()
+        handle = pages.share(graph)
+        assert len(pages) == 1
+        pages.close()
+        assert len(pages) == 0
+        with pytest.raises((FileNotFoundError, OSError)):
+            attach_graph(handle)
+
+    def test_close_is_idempotent(self, graph):
+        pages = SharedGraphPages()
+        pages.share(graph)
+        pages.close()
+        pages.close()
+
+    def test_handle_geometry(self):
+        handle = SharedCsrHandle(name="x", num_vertices=10, num_edges=7)
+        assert handle.indptr_nbytes == 88
+        assert handle.indices_offset % 64 == 0
+        assert handle.indices_offset >= handle.indptr_nbytes
+        assert handle.total_nbytes == handle.indices_offset + 56
+
+
+class TestFanOutSharing:
+    def test_share_datasets_builds_handles(self, tmp_path, monkeypatch):
+        from repro.workloads import datasets
+        from repro.workloads.parallel import RunRequest, _share_datasets
+        from repro.workloads.spec import WorkloadSpec
+
+        monkeypatch.setenv("GRANULA_CACHE_DIR", str(tmp_path / "cache"))
+        datasets.clear_cache()
+        requests = [
+            RunRequest(WorkloadSpec("Giraph", "bfs", "dg-tiny", workers=4)),
+            RunRequest(WorkloadSpec("Giraph", "pagerank", "dg-tiny",
+                                    workers=4)),
+        ]
+        pages, handles = _share_datasets(requests)
+        try:
+            assert pages is not None
+            assert len(handles) == 1  # one distinct dataset
+            assert handles[0].content_key is not None
+            # The parent memo is dropped so forked children never
+            # inherit (and later free) the eager heap copy.
+            assert datasets._CACHE == {}
+            attached = attach_graph(handles[0])
+            assert attached.num_vertices == 2_000
+        finally:
+            if pages is not None:
+                pages.close()
+            datasets.clear_cache()

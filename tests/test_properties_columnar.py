@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis): the ``.gcol`` view is the tree.
+
+For random archives — random tree shapes, int/float/missing
+timestamps, heterogeneous info values including the literal string
+``"Infinity"`` — the zero-copy :class:`ColumnarArchiveView` must
+answer every :class:`ArchiveQuery` selector and aggregation
+*byte-identically*: equal floats (no tolerance), equal record lists,
+and the same typed error with the same message where the tree path
+raises.
+"""
+
+import struct
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.columnar import build_sidecar, load_sidecar
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.serialize import archive_to_document
+from repro.errors import QueryError
+from repro.service.app import _operation_record
+
+# -- strategies -------------------------------------------------------------
+
+MISSIONS = ("Load", "Compute", "Step-0", "Step-1", "Step-12", "IO-2")
+ACTORS = ("Master", "Worker-1", "Worker-2", "Client")
+INFO_KEYS = ("Duration", "Bytes", "Status", "Label")
+
+floats = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+timestamps = st.one_of(
+    st.none(),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    st.integers(min_value=0, max_value=10**9),
+)
+info_values = st.one_of(
+    floats,
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.none(),
+    st.sampled_from(("SUCCEEDED", "FAILED", "Infinity", "-Infinity",
+                     "\\Infinity", "12.5", "")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+    st.lists(st.integers(0, 9), max_size=3),
+)
+
+
+@st.composite
+def archives(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for index in range(count):
+        infos = draw(st.dictionaries(
+            st.sampled_from(INFO_KEYS), info_values, max_size=3))
+        op = ArchivedOperation(
+            uid=f"op{index}",
+            mission=draw(st.sampled_from(MISSIONS)),
+            actor=draw(st.sampled_from(ACTORS)),
+            start_time=draw(timestamps),
+            end_time=draw(timestamps),
+            infos=infos,
+        )
+        if index:
+            parent = ops[draw(st.integers(0, index - 1))]
+            op.parent = parent
+            parent.children.append(op)
+        ops.append(op)
+    return PerformanceArchive("prop-job", ops[0], platform="Test")
+
+
+def view_of(archive, directory):
+    document = archive_to_document(archive)
+    payload = build_sidecar(document["operations"],
+                            document["integrity"]["checksum"])
+    path = Path(directory) / "prop.gcol"
+    path.write_bytes(payload)
+    return load_sidecar(
+        path, expected_checksum=document["integrity"]["checksum"])
+
+
+def assert_same_result(compute_view, compute_tree):
+    """Equal values, or the same QueryError with the same message."""
+    try:
+        expected = compute_tree()
+    except QueryError as exc:
+        with pytest.raises(QueryError) as caught:
+            compute_view()
+        assert str(caught.value) == str(exc)
+        return
+    actual = compute_view()
+    assert type(actual) is type(expected)
+    if isinstance(expected, float):
+        # Bit-identical, which also equates the two NaNs a total of
+        # +inf and -inf folds to on both paths.
+        assert struct.pack("<d", actual) == struct.pack("<d", expected)
+    else:
+        assert actual == expected
+
+
+def assert_surfaces_identical(view, tree):
+    assert len(view) == len(tree)
+    assert view.durations() == tree.durations()
+    assert view.operation_records() == \
+        [_operation_record(op) for op in tree.operations()]
+    for key in INFO_KEYS:
+        assert view.values(key) == tree.values(key)
+        assert view.values(key, default=-1) == tree.values(key, default=-1)
+        assert_same_result(lambda k=key: view.total(k),
+                           lambda k=key: tree.total(k))
+        assert_same_result(lambda k=key: view.mean(k),
+                           lambda k=key: tree.mean(k))
+        assert_same_result(
+            lambda k=key: view.top_records(k, 3),
+            lambda k=key: [
+                dict(_operation_record(op), value=op.infos.get(k))
+                for op in tree.top(k, 3)
+            ],
+        )
+
+
+# -- properties -------------------------------------------------------------
+
+class TestColumnarIdentity:
+    @given(archives())
+    @settings(max_examples=40, deadline=None)
+    def test_every_aggregation_matches_the_tree(self, archive):
+        with tempfile.TemporaryDirectory() as directory:
+            view = view_of(archive, directory)
+            try:
+                assert_surfaces_identical(view, ArchiveQuery(archive))
+            finally:
+                view.close()
+
+    @given(archives(), st.sampled_from(MISSIONS), st.sampled_from(ACTORS),
+           st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_every_selector_matches_the_tree(self, archive, mission,
+                                             actor, iteration):
+        mission_base = mission.rsplit("-", 1)[0]
+        tree = ArchiveQuery(archive)
+        with tempfile.TemporaryDirectory() as directory:
+            view = view_of(archive, directory)
+            try:
+                assert_surfaces_identical(
+                    view.mission(mission_base), tree.mission(mission_base))
+                assert_surfaces_identical(
+                    view.actor(actor), tree.actor(actor))
+                assert_surfaces_identical(
+                    view.iteration(iteration), tree.iteration(iteration))
+                pattern = f"{archive.root.mission}/*"
+                assert_surfaces_identical(
+                    view.path(pattern), tree.path(pattern))
+                assert_surfaces_identical(view.path("*"), tree.path("*"))
+                # The view's predicate sees service records, the
+                # tree's sees operations — same selection either way.
+                assert_surfaces_identical(
+                    view.where(lambda r: r["duration"] is not None),
+                    tree.where(lambda op: op.duration is not None))
+                assert_surfaces_identical(
+                    view.mission(mission_base).actor(actor),
+                    tree.mission(mission_base).actor(actor))
+            finally:
+                view.close()

@@ -1,0 +1,135 @@
+"""The PageRank Pipeline Benchmark workload: kernels, archive, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.serialize import archive_from_json, archive_to_json
+from repro.core.archive.store import ArchiveStore
+from repro.errors import ReproError
+from repro.graph.generators.kronecker import rmat_edges, rmat_graph
+from repro.workloads.prpb import (
+    PRPB_KERNELS,
+    PrpbSpec,
+    render_prpb_text,
+    run_prpb,
+)
+
+SMALL = PrpbSpec(platform="Giraph", scale=7, edge_factor=4,
+                 iterations=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_prpb(SMALL)
+
+
+class TestRmatEdgeStream:
+    def test_stream_length_is_nominal(self):
+        assert len(rmat_edges(6, edge_factor=4, seed=7)) == 4 * 64
+
+    def test_stream_is_deterministic(self):
+        assert rmat_edges(6, seed=7) == rmat_edges(6, seed=7)
+
+    def test_graph_built_from_stream_matches_rmat_graph(self):
+        stream = rmat_edges(6, edge_factor=4, seed=7)
+        deduped = sorted({pair for pair in stream
+                          if pair[0] != pair[1]})
+        from repro.graph.graph import Graph
+        assert Graph(64, deduped) == rmat_graph(6, edge_factor=4, seed=7)
+
+
+class TestRunPrpb:
+    def test_all_kernels_run_in_order(self, result):
+        assert tuple(s.kernel for s in result.stages) == PRPB_KERNELS
+
+    def test_intervals_are_contiguous(self, result):
+        ops = result.archive.root.children
+        assert [op.mission for op in ops] == list(PRPB_KERNELS)
+        for earlier, later in zip(ops, ops[1:]):
+            assert earlier.end_time == later.start_time
+        assert result.archive.root.start_time == ops[0].start_time
+        assert result.archive.root.end_time == ops[-1].end_time
+
+    def test_pipeline_output_matches_rmat_graph(self, result):
+        expected = rmat_graph(SMALL.scale, SMALL.edge_factor,
+                              seed=SMALL.seed)
+        assert result.num_vertices == expected.num_vertices
+        assert result.num_edges == expected.num_edges
+
+    def test_stage_infos(self, result):
+        generate = result.stage("Generate")
+        assert generate.edges == SMALL.edge_factor * (1 << SMALL.scale)
+        build = result.stage("ReadBuild")
+        assert build.infos["Vertices"] == 1 << SMALL.scale
+        kernel = result.stage("PageRank")
+        assert kernel.infos["Iterations"] == SMALL.iterations
+        assert kernel.edges == result.num_edges * SMALL.iterations
+
+    def test_archive_round_trips_and_queries(self, result):
+        restored = archive_from_json(archive_to_json(result.archive))
+        assert restored.metadata["workload"] == "prpb"
+        query = ArchiveQuery(restored).path("PrpbPipeline/*")
+        assert len(query) == 4
+        total = ArchiveQuery(restored).path("PrpbPipeline/*").total()
+        assert total == pytest.approx(result.total_seconds)
+
+    def test_cross_engine(self):
+        spec = PrpbSpec(platform="PGX.D", scale=6, edge_factor=4,
+                        iterations=2, seed=5)
+        out = run_prpb(spec)
+        assert out.archive.platform == "PGX.D"
+        assert tuple(s.kernel for s in out.stages) == PRPB_KERNELS
+
+    def test_store_gets_archive_and_sidecar(self, tmp_path):
+        store = ArchiveStore(tmp_path)
+        spec = PrpbSpec(platform="Hadoop", scale=6, edge_factor=4,
+                        iterations=2, seed=5)
+        run_prpb(spec, store=store)
+        assert spec.label() in store
+        assert store.sidecar_path(spec.label()).exists()
+
+    def test_render_text(self, result):
+        text = render_prpb_text(result)
+        for kernel in PRPB_KERNELS:
+            assert kernel in text
+        assert "TOTAL" in text
+
+    def test_spec_validation(self):
+        with pytest.raises(ReproError):
+            PrpbSpec(platform="Spark")
+        with pytest.raises(ReproError):
+            PrpbSpec(scale=-1)
+        with pytest.raises(ReproError):
+            PrpbSpec(edge_factor=0)
+        with pytest.raises(ReproError):
+            PrpbSpec(iterations=0)
+
+
+class TestPrpbCli:
+    def test_run_workload_prpb(self, capsys, tmp_path):
+        from repro.cli import main
+        assert main(["run", "Giraph", "--workload", "prpb",
+                     "--scale", "6", "--edge-factor", "4",
+                     "--iterations", "2",
+                     "--out", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "PRPB prpb-giraph-s6-e4" in out
+        assert "PageRank" in out
+        stored = json.loads(
+            (tmp_path / "store" / "prpb-giraph-s6-e4.json").read_text())
+        assert stored["metadata"]["workload"] == "prpb"
+
+    def test_prpb_rejects_positional_algorithm(self, capsys):
+        from repro.cli import main
+        assert main(["run", "Giraph", "pagerank", "--workload",
+                     "prpb"]) == 2
+        assert "generates its own" in capsys.readouterr().err
+
+    def test_standard_run_still_requires_axes(self, capsys):
+        from repro.cli import main
+        assert main(["run", "Giraph"]) == 2
+        assert "ALGORITHM and DATASET" in capsys.readouterr().err
