@@ -1,0 +1,56 @@
+"""Fleet analytics benchmark: columnar cross-archive scans vs trees.
+
+Builds a synthetic multi-hundred-archive store, runs the fixed fleet
+query battery (group-by aggregation with percentiles and top-k, an
+info-metric aggregation, a time series, and a regression sweep) through
+both scan modes, and asserts the columnar path is both *correct*
+(value-identical documents, including on a store with corrupted and
+missing sidecars) and *fast* (>=5x over tree materialization on the
+full 500-archive fleet).  Writes ``benchmarks/output/fleet_bench.json``
+as the trajectory artifact consumed by ``granula bench --suite fleet
+--gate``.
+
+``GRANULA_BENCH_SMALL=1`` shrinks the fleet for CI smoke runs (and
+relaxes the speedup floor — fewer, colder scans amortize less).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fleet_bench import (
+    run_fleet_bench,
+    small_mode,
+)
+from repro.experiments.pipeline_bench import write_pipeline_bench
+
+#: The issue's acceptance floor: columnar fleet scans must beat the
+#: tree-materialized reference by at least 5x on the 500-archive store.
+FULL_FLEET_SCAN_X = 5.0
+
+#: Smoke-fleet floor: the columnar path must still win clearly.
+SMALL_FLEET_SCAN_X = 2.5
+
+
+def test_bench_fleet(output_dir):
+    document = run_fleet_bench()
+    write_pipeline_bench(output_dir / "fleet_bench.json", document)
+
+    scan = document["scan"]
+    assert scan["identical_results"], (
+        "columnar fleet scan answered the battery differently than "
+        "the tree-materialized reference"
+    )
+    assert scan["clean_scan"], (
+        "an undamaged store should produce no degraded jobs"
+    )
+
+    degraded = document["degraded"]
+    assert degraded["reported"] == degraded["jobs"], (
+        "damaged sidecars must surface in degraded_jobs"
+    )
+    assert degraded["identical_results"], (
+        "fleet results on a damaged store diverged from the tree "
+        "reference"
+    )
+
+    floor = SMALL_FLEET_SCAN_X if small_mode() else FULL_FLEET_SCAN_X
+    assert scan["speedup"] >= floor, document

@@ -17,9 +17,26 @@ Subcommands::
                                    the diagnosis
     granula experiments [--out FILE] [--jobs N] [--html FILE]
                                    reproduce every table/figure
-    granula bench [--jobs N] [--small] [--out FILE]
+    granula bench [--suite pipeline|fleet] [--jobs N] [--small]
+                [--out FILE] [--gate | --update-baseline]
                                    time the pipeline end to end and the
-                                   ingest/archive stage alone
+                                   ingest/archive stage alone, or the
+                                   fleet columnar scan vs the tree
+                                   reference (--suite fleet); --gate
+                                   compares against the committed
+                                   per-suite baseline
+    granula fleet query|series|regressions <store-dir>
+                [--group-by KEYS] [--agg AGGS] [--metric M]
+                [--mission M] [--path P] [--platform P]
+                [--algorithm A] [--dataset D] [--k SIGMA]
+                [--mode auto|tree] [--json]
+                                   cross-archive analytics over every
+                                   job in a store: vectorized column
+                                   scans over the mmap'd .gcol
+                                   sidecars, tree fallback per damaged
+                                   archive (reported as degraded);
+                                   regressions exits 1 when any job
+                                   deviates >k sigma from its cohort
     granula cache ls|gc|clear [--max-bytes N]
                                    inspect or prune the shared artifact
                                    cache (GRANULA_CACHE_DIR)
@@ -239,25 +256,40 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.pipeline_bench import (
-        baseline_document,
-        compare_pipeline_bench,
-        render_pipeline_bench,
-        run_pipeline_bench,
-        write_pipeline_bench,
-    )
+    from repro.experiments.pipeline_bench import write_pipeline_bench
 
-    document = run_pipeline_bench(
-        jobs=args.jobs,
-        small=True if args.small else None,
-    )
-    print(render_pipeline_bench(document))
+    small = True if args.small else None
+    if args.suite == "fleet":
+        from repro.experiments.fleet_bench import (
+            compare_fleet_bench,
+            fleet_baseline_document,
+            render_fleet_bench,
+            run_fleet_bench,
+        )
+
+        document = run_fleet_bench(small=small)
+        render, to_baseline = render_fleet_bench, fleet_baseline_document
+        compare = compare_fleet_bench
+        default_baseline = "BENCH_fleet.json"
+    else:
+        from repro.experiments.pipeline_bench import (
+            baseline_document,
+            compare_pipeline_bench,
+            render_pipeline_bench,
+            run_pipeline_bench,
+        )
+
+        document = run_pipeline_bench(jobs=args.jobs, small=small)
+        render, to_baseline = render_pipeline_bench, baseline_document
+        compare = compare_pipeline_bench
+        default_baseline = "BENCH_pipeline.json"
+    print(render(document))
     if args.out:
         write_pipeline_bench(args.out, document)
         print(f"benchmark artifact written to {args.out}")
-    baseline_path = Path(args.baseline)
+    baseline_path = Path(args.baseline or default_baseline)
     if args.update_baseline:
-        write_pipeline_bench(baseline_path, baseline_document(document))
+        write_pipeline_bench(baseline_path, to_baseline(document))
         print(f"perf baseline updated at {baseline_path}")
         return 0
     if args.gate:
@@ -272,13 +304,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"perf baseline {baseline_path} is not JSON: {exc}"
             ) from None
-        regressions = compare_pipeline_bench(baseline, document)
+        regressions = compare(baseline, document)
         if regressions:
             print("\nperf gate FAILED:")
             for message in regressions:
                 print(f"  {message}")
             return 1
         print(f"\nperf gate passed against {baseline_path}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.analysis.fleet import (
+        render_fleet_text,
+        run_fleet_query,
+    )
+    from repro.core.analysis.fleetplan import FleetPlan
+
+    params = {}
+    for name in ("group_by", "agg", "metric", "mission", "path",
+                 "platform", "algorithm", "dataset"):
+        value = getattr(args, name)
+        if value is not None:
+            params[name] = value
+    if args.op == "regressions" and args.k is not None:
+        params["k"] = str(args.k)
+    plan = FleetPlan.from_params(params, op=args.op)
+    store = ArchiveStore(args.store)
+    document = run_fleet_query(store, plan, mode=args.mode)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_fleet_text(document))
+    if args.op == "regressions" and document.get("findings"):
+        return 1
     return 0
 
 
@@ -575,17 +634,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="time the monitoring->archiving->analysis pipeline "
-             "(end-to-end + ingest/archive stages)")
+             "(end-to-end + ingest/archive stages) or the fleet "
+             "analytics scan (--suite fleet)")
+    p_bench.add_argument("--suite", choices=("pipeline", "fleet"),
+                         default="pipeline",
+                         help="pipeline: the end-to-end pipeline "
+                              "benchmark; fleet: columnar cross-archive "
+                              "scans vs tree materialization")
     p_bench.add_argument("--jobs", type=int, default=4,
                          help="worker processes for the warm parallel "
-                              "phase (default 4)")
+                              "phase (default 4; pipeline suite only)")
     p_bench.add_argument("--small", action="store_true",
                          help="CI-smoke matrix (dg100-scaled only)")
     p_bench.add_argument("--out",
                          help="write the benchmark JSON artifact here")
-    p_bench.add_argument("--baseline", default="BENCH_pipeline.json",
-                         help="perf-trajectory baseline file "
-                              "(default BENCH_pipeline.json)")
+    p_bench.add_argument("--baseline", default=None,
+                         help="perf-trajectory baseline file (default "
+                              "BENCH_pipeline.json / BENCH_fleet.json "
+                              "per --suite)")
     gate = p_bench.add_mutually_exclusive_group()
     gate.add_argument("--update-baseline", action="store_true",
                       help="write this run's gate metrics (speedup "
@@ -595,6 +661,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "exit 1 when any gate metric regressed "
                            "beyond tolerance")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="cross-archive analytics over every job in a store "
+             "(vectorized .gcol column scans; tree fallback per "
+             "damaged archive)")
+    p_fleet.add_argument("op", choices=("query", "series", "regressions"),
+                         help="query: group-by aggregation; series: "
+                              "per-job metric time series; regressions: "
+                              "flag jobs whose per-operation time share "
+                              "deviates >k sigma from their cohort "
+                              "(exit 1 when any are found)")
+    p_fleet.add_argument("store", help="archive store directory")
+    p_fleet.add_argument("--group-by", dest="group_by", default=None,
+                         help="comma-separated group keys: platform, "
+                              "algorithm, dataset, or meta:<key> "
+                              "(default platform)")
+    p_fleet.add_argument("--agg", default=None,
+                         help="comma-separated aggregations: count, sum, "
+                              "mean, min, max, p<rank>, top<k> "
+                              "(default count; series takes exactly one)")
+    p_fleet.add_argument("--metric", default=None,
+                         help="duration (default) or an info key, e.g. "
+                              "ProcessedVertices")
+    p_fleet.add_argument("--mission", default=None,
+                         help="restrict to operations of this mission "
+                              "(iteration suffixes ignored)")
+    p_fleet.add_argument("--path", default=None,
+                         help="restrict to operations under this "
+                              "slash-separated mission path pattern")
+    p_fleet.add_argument("--platform", default=None,
+                         help="only jobs of this platform")
+    p_fleet.add_argument("--algorithm", default=None,
+                         help="only jobs of this algorithm")
+    p_fleet.add_argument("--dataset", default=None,
+                         help="only jobs of this dataset")
+    p_fleet.add_argument("--k", type=float, default=None,
+                         help="regressions: sigma multiplier for the "
+                              "deviation threshold (default 3.0)")
+    p_fleet.add_argument("--mode", choices=("auto", "tree"),
+                         default="auto",
+                         help="auto: columnar scan with per-job tree "
+                              "fallback; tree: reference implementation "
+                              "(every archive materialized)")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="print the raw result document as JSON")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or prune the content-addressed "

@@ -1,0 +1,731 @@
+"""Fleet-scale analytics: vectorized scans across every archive in a store.
+
+Granula's archives answer per-job drill-down; the ROADMAP's north star
+also needs fleet-level answers — "how did LoadGraph share trend across
+10k runs?", "which job regressed against its cohort?" — computed fast.
+This module executes a :class:`~repro.core.analysis.fleetplan.FleetPlan`
+against an :class:`~repro.core.archive.store.ArchiveStore` by streaming
+job ids off the index and reading each job's metric values straight
+from its memory-mapped ``.gcol`` sidecar as numpy vectors — no
+:class:`~repro.core.archive.archive.PerformanceArchive` tree is ever
+materialized on the hot path.  Jobs whose sidecar is missing or damaged
+fall back to the tree-based reference extraction and are reported in
+``degraded_jobs``; their values are identical (the tree is the truth
+the sidecar mirrors), only slower to obtain.
+
+The scan discipline lives in :class:`FleetScanSession`: one context
+manager that opens each job's sidecar exactly once per query, extracts
+everything the plan needs (group key, metric vector, top-k candidates,
+mission shares, timestamp), and closes the mapping *before* moving to
+the next job — so a 10k-archive query holds one mapping at a time
+instead of exhausting file descriptors, and an exception mid-scan still
+releases the active view.
+
+Regression detection reuses the diagnosis vocabulary: each flagged job
+becomes a :class:`~repro.core.analysis.diagnosis.Finding` whose cohort
+is its group-by key, flagging per-operation makespan shares beyond
+``k`` cohort standard deviations.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analysis.diagnosis import Finding
+from repro.core.analysis.fleetplan import (
+    DURATION_METRIC,
+    INDEX_GROUP_KEYS,
+    META_PREFIX,
+    MIN_COHORT,
+    AggSpec,
+    FleetPlan,
+)
+from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.store import ArchiveStore
+from repro.errors import ArchiveError, QueryError
+
+logger = logging.getLogger(__name__)
+
+#: Execution modes: ``auto`` scans sidecars and falls back to the tree
+#: per damaged job; ``tree`` is the reference implementation (always
+#: materializes, never touches a sidecar).
+SCAN_MODES = ("auto", "tree")
+
+#: Deviations beyond this multiple of the plan's threshold escalate a
+#: regression finding from warning to critical.
+CRITICAL_FACTOR = 1.5
+
+
+def _group_value(value: Any) -> str:
+    """One group-axis value as stable text (dict keys must be str)."""
+    if value is None:
+        return ""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class JobScan:
+    """Everything one fleet query needs from one job, post-extraction.
+
+    Built while the job's sidecar view (or archive tree) is open, then
+    carried as plain Python/numpy data — nothing here keeps the mapping
+    alive.
+    """
+
+    __slots__ = ("job_id", "group", "values", "top", "shares",
+                 "timestamp", "degraded")
+
+    def __init__(self, job_id: str, group: Dict[str, str],
+                 values: np.ndarray,
+                 top: List[Tuple[float, str, str]],
+                 shares: Optional[Dict[str, float]],
+                 timestamp: Optional[float], degraded: bool):
+        self.job_id = job_id
+        self.group = group
+        self.values = values
+        #: Local top candidates as (value, job_id, path), already the
+        #: job's k largest — the global merge only ever needs these.
+        self.top = top
+        self.shares = shares
+        self.timestamp = timestamp
+        self.degraded = degraded
+
+
+class FleetScanSession:
+    """Context-managed scan of every matching job in a store.
+
+    The session is the scan planner: per the plan it decides which
+    artifacts to extract (values always; top candidates, mission
+    shares, and timestamps only when an aggregation or the plan kind
+    needs them), opens each sidecar exactly once, and guarantees the
+    active mapping is closed both per-job and on session exit.
+    """
+
+    def __init__(self, store: ArchiveStore, plan: FleetPlan,
+                 mode: str = "auto"):
+        if mode not in SCAN_MODES:
+            raise QueryError(
+                f"unknown scan mode {mode!r}; expected one of "
+                f"{', '.join(SCAN_MODES)}"
+            )
+        self.store = store
+        self.plan = plan
+        self.mode = mode
+        self.jobs_scanned = 0
+        self.jobs_failed = 0
+        self.degraded_jobs: List[str] = []
+        self._top_k = max(
+            (agg.k for agg in plan.aggs if agg.kind == "top"),
+            default=0,
+        )
+        self._need_shares = plan.op == "regressions"
+        self._need_timestamp = plan.op == "series"
+        self._active = None
+        self._entered = False
+
+    def __enter__(self) -> "FleetScanSession":
+        self._entered = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._close_active()
+        self._entered = False
+
+    def _close_active(self) -> None:
+        view, self._active = self._active, None
+        if view is not None:
+            view.close()
+
+    # -- per-job extraction --------------------------------------------------
+
+    def _group_key(self, job_id: str, summary: Dict,
+                   metadata: Optional[Dict]) -> Dict[str, str]:
+        group: Dict[str, str] = {}
+        for key in self.plan.group_by:
+            if key in INDEX_GROUP_KEYS:
+                group[key] = _group_value(summary.get(key))
+            else:
+                meta = metadata if isinstance(metadata, dict) else {}
+                group[key] = _group_value(meta.get(key[len(META_PREFIX):]))
+        return group
+
+    def _local_top(self, values: np.ndarray, paths: List[str],
+                   job_id: str) -> List[Tuple[float, str, str]]:
+        if self._top_k == 0 or len(values) == 0:
+            return []
+        # Stable descending sort keeps pre-order tie-breaking, exactly
+        # like the tree path's sorted(..., reverse=True).
+        order = np.argsort(-values, kind="stable")[:self._top_k]
+        return [(float(values[i]), job_id, paths[i]) for i in order]
+
+    @staticmethod
+    def _shares_of(bases: List[str], durations: np.ndarray,
+                   makespan: Any) -> Optional[Dict[str, float]]:
+        """Per-mission share of the makespan (vectorized group-sum)."""
+        if (
+            not isinstance(makespan, (int, float))
+            or isinstance(makespan, bool) or makespan <= 0
+        ):
+            return None
+        if not bases:
+            return {}
+        uniq, inverse = np.unique(np.asarray(bases, dtype=object),
+                                  return_inverse=True)
+        sums = np.bincount(inverse, weights=durations,
+                           minlength=len(uniq))
+        return {
+            str(base): float(total) / float(makespan)
+            for base, total in zip(uniq, sums)
+        }
+
+    def _scan_columnar(self, job_id: str, summary: Dict,
+                       view) -> JobScan:
+        metadata: Optional[Dict] = None
+        if self.plan.meta_keys:
+            extra = view.index_extra
+            if isinstance(extra, dict) and isinstance(
+                extra.get("metadata"), dict
+            ):
+                metadata = extra["metadata"]
+            else:
+                # Pre-extras sidecar: metadata needs the JSON envelope,
+                # but the metric columns still come off the mapping.
+                metadata = self.store.handle(job_id).metadata
+        group = self._group_key(job_id, summary, metadata)
+
+        selected = view
+        if self.plan.mission is not None:
+            selected = selected.mission(self.plan.mission)
+        if self.plan.path is not None:
+            selected = selected.path(self.plan.path)
+        if self.plan.metric == DURATION_METRIC:
+            rows, values = selected.duration_vector()
+        else:
+            rows, values = selected.numeric_info_vector(self.plan.metric)
+
+        top: List[Tuple[float, str, str]] = []
+        if self._top_k and len(values):
+            order = np.argsort(-values, kind="stable")[:self._top_k]
+            paths = selected.paths_at(rows[order])
+            top = [
+                (float(values[i]), job_id, paths[n])
+                for n, i in enumerate(order)
+            ]
+
+        shares = None
+        if self._need_shares:
+            srows, sdur = selected.duration_vector()
+            keep = srows != 0  # The root *is* the makespan; exclude it.
+            shares = self._shares_of(
+                selected.mission_bases_at(srows[keep]), sdur[keep],
+                summary.get("makespan"),
+            )
+
+        timestamp = view.root_start if self._need_timestamp else None
+        return JobScan(job_id, group, values, top, shares, timestamp,
+                       degraded=False)
+
+    def _scan_tree(self, job_id: str, summary: Dict,
+                   degraded: bool) -> JobScan:
+        """Reference extraction via full archive materialization."""
+        handle = self.store.handle(job_id)
+        group = self._group_key(
+            job_id, summary,
+            handle.metadata if self.plan.meta_keys else None,
+        )
+        archive = handle.archive()
+        query = ArchiveQuery(archive)
+        if self.plan.mission is not None:
+            query = query.mission(self.plan.mission)
+        if self.plan.path is not None:
+            query = query.path(self.plan.path)
+        ops = query.operations()
+
+        paths: List[str] = []
+        raw: List[float] = []
+        if self.plan.metric == DURATION_METRIC:
+            for op in ops:
+                if op.duration is None:
+                    continue
+                raw.append(op.duration)
+                paths.append(op.path)
+        else:
+            for op in ops:
+                value = op.infos.get(self.plan.metric)
+                if value is None or isinstance(value, bool):
+                    continue
+                try:
+                    number = float(value)
+                except (TypeError, ValueError):
+                    continue
+                raw.append(number)
+                paths.append(op.path)
+        values = np.asarray(raw, dtype=np.float64)
+
+        top = self._local_top(values, paths, job_id)
+
+        shares = None
+        if self._need_shares:
+            bases: List[str] = []
+            durations: List[float] = []
+            for op in ops:
+                if op is archive.root or op.duration is None:
+                    continue
+                bases.append(op.mission_base)
+                durations.append(op.duration)
+            shares = self._shares_of(
+                bases, np.asarray(durations, dtype=np.float64),
+                summary.get("makespan"),
+            )
+
+        timestamp = (
+            archive.root.start_time if self._need_timestamp else None
+        )
+        return JobScan(job_id, group, values, top, shares, timestamp,
+                       degraded=degraded)
+
+    # -- iteration -----------------------------------------------------------
+
+    def jobs(self) -> Iterator[JobScan]:
+        """Scan matching jobs in sorted id order, one open view at a time."""
+        if not self._entered:
+            raise QueryError(
+                "FleetScanSession must be entered (with-statement) "
+                "before scanning"
+            )
+        filters = self.plan.filters
+        for job_id in self.store.iter_jobs(**filters):
+            summary = self.store.summary(job_id)
+            try:
+                if self.mode == "tree":
+                    scan = self._scan_tree(job_id, summary,
+                                           degraded=False)
+                else:
+                    view = self.store.columnar_view(job_id)
+                    if view is None:
+                        scan = self._scan_tree(job_id, summary,
+                                               degraded=True)
+                    else:
+                        self._active = view
+                        try:
+                            scan = self._scan_columnar(job_id, summary,
+                                                       view)
+                        finally:
+                            self._close_active()
+            except (ArchiveError, OSError, UnicodeDecodeError) as exc:
+                self.jobs_failed += 1
+                logger.warning(
+                    "fleet scan: skipping unreadable job %s (%s)",
+                    job_id, exc,
+                )
+                continue
+            self.jobs_scanned += 1
+            if scan.degraded:
+                self.degraded_jobs.append(job_id)
+            yield scan
+
+    def base_document(self, plan: FleetPlan) -> Dict[str, Any]:
+        """Result fields every fleet document shares."""
+        return {
+            "op": plan.op,
+            "plan": plan.to_document(),
+            "jobs_scanned": self.jobs_scanned,
+            "jobs_failed": self.jobs_failed,
+            "degraded_jobs": list(self.degraded_jobs),
+        }
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def percentile_of(sorted_values: np.ndarray, q: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending-sorted vector."""
+    n = len(sorted_values)
+    if n == 0:
+        return None
+    rank = min(max(1, math.ceil(q / 100.0 * n)), n)
+    return float(sorted_values[rank - 1])
+
+
+class _GroupAcc:
+    """Streaming accumulator for one group's metric values.
+
+    Count/sum/min/max fold job by job (in sorted job order, so the
+    result is deterministic and identical for the columnar and tree
+    paths, which share this code).  Raw values are retained only when
+    a percentile aggregation — or the router's sample request — needs
+    them.
+    """
+
+    __slots__ = ("jobs", "count", "total", "vmin", "vmax", "parts",
+                 "top")
+
+    def __init__(self) -> None:
+        self.jobs = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self.parts: List[np.ndarray] = []
+        self.top: List[Tuple[float, str, str]] = []
+
+    def add(self, scan: JobScan, keep_values: bool, top_k: int) -> None:
+        values = scan.values
+        self.jobs += 1
+        self.count += len(values)
+        if len(values):
+            self.total += float(values.sum())
+            low, high = float(values.min()), float(values.max())
+            self.vmin = low if self.vmin is None else min(self.vmin, low)
+            self.vmax = high if self.vmax is None else max(self.vmax, high)
+        if keep_values:
+            self.parts.append(values)
+        if top_k:
+            self.top.extend(scan.top)
+            self.top.sort(key=lambda t: (-t[0], t[1], t[2]))
+            del self.top[top_k:]
+
+    def sorted_values(self) -> np.ndarray:
+        if not self.parts:
+            return np.zeros(0, dtype=np.float64)
+        return np.sort(np.concatenate(self.parts))
+
+    def aggregate(self, aggs: Tuple[AggSpec, ...],
+                  include_samples: bool) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        sorted_values: Optional[np.ndarray] = None
+        for agg in aggs:
+            if agg.kind == "count":
+                out[agg.label] = self.count
+            elif agg.kind == "sum":
+                out[agg.label] = self.total
+            elif agg.kind == "mean":
+                out[agg.label] = (
+                    self.total / self.count if self.count else None
+                )
+            elif agg.kind == "min":
+                out[agg.label] = self.vmin
+            elif agg.kind == "max":
+                out[agg.label] = self.vmax
+            elif agg.kind == "percentile":
+                if sorted_values is None:
+                    sorted_values = self.sorted_values()
+                out[agg.label] = percentile_of(sorted_values, agg.q)
+            elif agg.kind == "top":
+                out[agg.label] = [
+                    {"value": value, "job_id": job_id, "path": path}
+                    for value, job_id, path in self.top[:agg.k]
+                ]
+        result = {
+            "jobs": self.jobs,
+            "stats": {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.vmin,
+                "max": self.vmax,
+            },
+            "aggs": out,
+        }
+        if include_samples:
+            if sorted_values is None:
+                sorted_values = self.sorted_values()
+            result["samples"] = sorted_values.tolist()
+        return result
+
+
+def reduce_single(values: np.ndarray, agg: AggSpec) -> Optional[float]:
+    """One job's metric vector reduced to the series scalar."""
+    if agg.kind == "count":
+        return len(values)
+    if agg.kind == "sum":
+        return float(values.sum()) if len(values) else 0.0
+    if len(values) == 0:
+        return None
+    if agg.kind == "mean":
+        return float(values.sum()) / len(values)
+    if agg.kind == "min":
+        return float(values.min())
+    if agg.kind == "max":
+        return float(values.max())
+    if agg.kind == "percentile":
+        return percentile_of(np.sort(values), agg.q)
+    raise QueryError(f"aggregation {agg.label!r} cannot reduce a series")
+
+
+# -- plan execution -----------------------------------------------------------
+
+
+def _run_query(session: FleetScanSession, plan: FleetPlan,
+               include_samples: bool) -> Dict[str, Any]:
+    top_k = max((agg.k for agg in plan.aggs if agg.kind == "top"),
+                default=0)
+    keep_values = plan.needs_values or include_samples
+    groups: Dict[Tuple[str, ...], _GroupAcc] = {}
+    keys: Dict[Tuple[str, ...], Dict[str, str]] = {}
+    for scan in session.jobs():
+        key = tuple(scan.group[name] for name in plan.group_by)
+        acc = groups.get(key)
+        if acc is None:
+            acc = groups[key] = _GroupAcc()
+            keys[key] = scan.group
+        acc.add(scan, keep_values, top_k)
+    document = session.base_document(plan)
+    document["groups"] = [
+        dict({"key": keys[key]},
+             **groups[key].aggregate(plan.aggs, include_samples))
+        for key in sorted(groups)
+    ]
+    return document
+
+
+def _run_series(session: FleetScanSession,
+                plan: FleetPlan) -> Dict[str, Any]:
+    agg = plan.aggs[0]
+    points: List[Dict[str, Any]] = []
+    for scan in session.jobs():
+        points.append({
+            "job_id": scan.job_id,
+            "timestamp": scan.timestamp,
+            "group": scan.group,
+            "value": reduce_single(scan.values, agg),
+        })
+    points.sort(key=lambda p: (
+        p["timestamp"] is None,
+        p["timestamp"] if p["timestamp"] is not None else 0,
+        p["job_id"],
+    ))
+    document = session.base_document(plan)
+    document["points"] = points
+    return document
+
+
+_SEVERITY_ORDER = {"critical": 0, "warning": 1}
+
+
+def detect_regressions(
+    cohorts: Dict[Tuple[str, ...], List[Tuple[str, Dict[str, float]]]],
+    keys: Dict[Tuple[str, ...], Dict[str, str]],
+    plan: FleetPlan,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Flag per-mission makespan shares beyond k·σ of their cohort.
+
+    ``cohorts`` maps each group key to its jobs' (job_id, mission ->
+    share) in scan order.  A job missing a mission its cohort runs
+    contributes share 0.0 — skipping a whole phase *is* the anomaly.
+    Returns (finding entries, cohorts large enough to judge).  Shared
+    by the single-store engine and the cluster router, so a fanned-out
+    detection over merged shards reproduces the single-store result.
+    """
+    entries: List[Dict[str, Any]] = []
+    judged = 0
+    for key in sorted(cohorts):
+        jobs = cohorts[key]
+        if len(jobs) < MIN_COHORT:
+            continue
+        judged += 1
+        missions = sorted({m for _, shares in jobs for m in shares})
+        for mission in missions:
+            vector = np.asarray(
+                [shares.get(mission, 0.0) for _, shares in jobs],
+                dtype=np.float64,
+            )
+            mean = float(vector.mean())
+            std = float(vector.std())
+            if std <= 0.0:
+                continue
+            threshold = plan.k_sigma * std
+            for (job_id, _shares), share in zip(jobs, vector.tolist()):
+                deviation = abs(share - mean)
+                if deviation <= threshold:
+                    continue
+                sigma = deviation / std
+                severity = (
+                    "critical"
+                    if deviation > CRITICAL_FACTOR * threshold
+                    else "warning"
+                )
+                entries.append({
+                    "kind": "fleet-regression",
+                    "severity": severity,
+                    "job_id": job_id,
+                    "mission": mission,
+                    "group": keys[key],
+                    "share": share,
+                    "cohort_mean": mean,
+                    "cohort_std": std,
+                    "sigma": sigma,
+                    "cohort_jobs": len(jobs),
+                    "subject": f"{job_id}:{mission}",
+                    "evidence": (
+                        f"{mission} share {share * 100:.1f}% vs cohort "
+                        f"mean {mean * 100:.1f}% ± {std * 100:.1f}% "
+                        f"({sigma:.1f}σ across {len(jobs)} jobs)"
+                    ),
+                })
+    entries.sort(key=lambda e: (
+        _SEVERITY_ORDER.get(e["severity"], 9), -e["sigma"],
+        e["job_id"], e["mission"],
+    ))
+    return entries, judged
+
+
+def _run_regressions(session: FleetScanSession, plan: FleetPlan,
+                     include_shares: bool) -> Dict[str, Any]:
+    cohorts: Dict[Tuple[str, ...], List[Tuple[str, Dict[str, float]]]] = {}
+    keys: Dict[Tuple[str, ...], Dict[str, str]] = {}
+    for scan in session.jobs():
+        if scan.shares is None:
+            continue  # No usable makespan: shares are undefined.
+        key = tuple(scan.group[name] for name in plan.group_by)
+        cohorts.setdefault(key, []).append((scan.job_id, scan.shares))
+        keys.setdefault(key, scan.group)
+    entries, judged = detect_regressions(cohorts, keys, plan)
+    document = session.base_document(plan)
+    document["cohorts"] = judged
+    document["findings"] = entries
+    if include_shares:
+        # Raw per-job shares, so a cluster router can pool cohorts
+        # across shards and rerun the detection over the full fleet
+        # (shard-local σ over a partial cohort would be wrong).
+        document["shares"] = [
+            {"job_id": job_id, "group": keys[key], "shares": shares}
+            for key in sorted(cohorts)
+            for job_id, shares in cohorts[key]
+        ]
+    return document
+
+
+def run_fleet_query(
+    store: ArchiveStore,
+    plan: FleetPlan,
+    mode: str = "auto",
+    include_samples: bool = False,
+) -> Dict[str, Any]:
+    """Execute one fleet plan against a store; returns the JSON document.
+
+    ``mode`` is ``"auto"`` (columnar scan, per-job tree fallback
+    reported in ``degraded_jobs``) or ``"tree"`` (the reference
+    implementation — every archive materialized).  Both produce
+    value-identical results on the same store; the sidecar is an
+    accelerator, never an oracle.  ``include_samples`` attaches each
+    group's sorted value vector (the cluster router uses this to
+    recompute percentiles across shards).
+    """
+    with FleetScanSession(store, plan, mode=mode) as session:
+        if plan.op == "series":
+            return _run_series(session, plan)
+        if plan.op == "regressions":
+            return _run_regressions(session, plan,
+                                    include_shares=include_samples)
+        return _run_query(session, plan, include_samples)
+
+
+def fleet_findings(document: Dict[str, Any]) -> List[Finding]:
+    """A regressions document's entries as diagnosis findings."""
+    return [
+        Finding(
+            kind=entry.get("kind", "fleet-regression"),
+            subject=str(entry.get("subject", "")),
+            severity=str(entry.get("severity", "warning")),
+            evidence=str(entry.get("evidence", "")),
+        )
+        for entry in document.get("findings", [])
+        if isinstance(entry, dict)
+    ]
+
+
+def _fmt(value: Any) -> str:
+    """One scalar for the text renderer (None = no data)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _fmt_key(key: Dict[str, str]) -> str:
+    return " ".join(f"{name}={value or '-'}" for name, value in key.items())
+
+
+def render_fleet_text(document: Dict[str, Any]) -> str:
+    """Human-readable rendering of one fleet result document."""
+    from repro.core.analysis.diagnosis import render_findings
+
+    op = document.get("op", "query")
+    header = (
+        f"fleet {op}: {document.get('jobs_scanned', 0)} job(s) scanned"
+    )
+    if document.get("jobs_failed"):
+        header += f", {document['jobs_failed']} failed"
+    lines = [header]
+    degraded = document.get("degraded_jobs") or []
+    if degraded:
+        lines.append(
+            f"  degraded (tree fallback): {', '.join(degraded)}"
+        )
+    shards = document.get("degraded_shards") or []
+    if shards:
+        lines.append(
+            "  degraded shards: "
+            + ", ".join(str(index) for index in shards)
+        )
+    if op == "series":
+        for point in document.get("points", []):
+            lines.append(
+                f"  {_fmt(point.get('timestamp'))}  "
+                f"{point.get('job_id', '?')}  "
+                f"[{_fmt_key(point.get('group', {}))}]  "
+                f"{_fmt(point.get('value'))}"
+            )
+        if not document.get("points"):
+            lines.append("  (no jobs matched)")
+        return "\n".join(lines)
+    if op == "regressions":
+        lines.append(
+            f"  cohorts judged: {document.get('cohorts', 0)}"
+        )
+        findings = fleet_findings(document)
+        if findings:
+            lines.append(render_findings(findings))
+        else:
+            lines.append("  no regressions detected")
+        return "\n".join(lines)
+    for group in document.get("groups", []):
+        lines.append(
+            f"  {_fmt_key(group.get('key', {}))}  "
+            f"({group.get('jobs', 0)} job(s))"
+        )
+        for label, value in group.get("aggs", {}).items():
+            if isinstance(value, list):
+                lines.append(f"    {label}:")
+                for entry in value:
+                    lines.append(
+                        f"      {_fmt(entry.get('value'))}  "
+                        f"{entry.get('job_id', '?')}  "
+                        f"{entry.get('path', '')}"
+                    )
+            else:
+                lines.append(f"    {label} = {_fmt(value)}")
+    if not document.get("groups"):
+        lines.append("  (no jobs matched)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CRITICAL_FACTOR",
+    "FleetScanSession",
+    "JobScan",
+    "SCAN_MODES",
+    "detect_regressions",
+    "fleet_findings",
+    "percentile_of",
+    "reduce_single",
+    "render_fleet_text",
+    "run_fleet_query",
+]

@@ -1,0 +1,331 @@
+"""The fleet-query AST: declarative plans over *collections* of archives.
+
+GRADOOP argues for declarative, composable operators over collections
+of graphs; a :class:`FleetPlan` is that idea applied to collections of
+*archives*.  One plan value describes everything a fleet scan needs —
+which jobs to visit (equality filters), which operations to select
+inside each archive (mission / path-glob selectors), which metric to
+extract (operation durations or a numeric info), how to group jobs
+(platform × algorithm × dataset × arbitrary metadata keys), and which
+aggregations to compute — so the same plan object drives the CLI, the
+HTTP service, and the router's cross-shard merge, and canonicalizes to
+stable JSON for ETags and cache keys.
+
+Three plan kinds share the structure:
+
+- ``query``: group-by / aggregate across the fleet;
+- ``series``: one scalar per job, ordered by job start timestamp;
+- ``regressions``: per-operation share vs the job's cohort, flagging
+  jobs beyond ``k`` standard deviations.
+
+Plans are parsed from CLI-style string parameters
+(:meth:`FleetPlan.from_params`) and from JSON documents
+(:meth:`FleetPlan.from_json`); both reject malformed input with typed
+:class:`~repro.errors.QueryError` so the service can answer 400
+instead of 500.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import QueryError
+
+#: Plan kinds the engine executes.
+PLAN_KINDS = ("query", "series", "regressions")
+
+#: Group keys resolvable from the store index alone; anything else must
+#: be spelled ``meta:<key>`` and is read from archive metadata.
+INDEX_GROUP_KEYS = ("platform", "algorithm", "dataset")
+
+#: Prefix selecting an arbitrary metadata key as a group axis.
+META_PREFIX = "meta:"
+
+#: The pseudo-metric aggregating operation durations (start/end
+#: columns) instead of an info value.
+DURATION_METRIC = "duration"
+
+#: Simple aggregation names (no parameter).
+_SIMPLE_AGGS = ("count", "sum", "mean", "min", "max")
+
+_PERCENTILE_RE = re.compile(r"\Ap(\d{1,2}(?:\.\d+)?|100)\Z")
+_TOP_RE = re.compile(r"\Atop(\d+)\Z")
+
+#: Default regression-detection threshold, in cohort standard
+#: deviations.
+DEFAULT_K_SIGMA = 3.0
+
+#: Cohorts smaller than this have no meaningful dispersion; their jobs
+#: are never flagged.
+MIN_COHORT = 3
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregation of the metric values of a job group.
+
+    ``kind`` is ``count``/``sum``/``mean``/``min``/``max``/
+    ``percentile``/``top``; ``q`` carries the percentile rank (0–100)
+    and ``k`` the top-k depth.  ``label`` is the spelling the caller
+    used (``p95``, ``top3``) and names the output field.
+    """
+
+    kind: str
+    label: str
+    q: Optional[float] = None
+    k: Optional[int] = None
+
+    @staticmethod
+    def parse(text: str) -> "AggSpec":
+        """Parse one aggregation spelling (``mean``, ``p99``, ``top5``)."""
+        name = text.strip()
+        if name in _SIMPLE_AGGS:
+            return AggSpec(kind=name, label=name)
+        match = _PERCENTILE_RE.match(name)
+        if match:
+            return AggSpec(kind="percentile", label=name,
+                           q=float(match.group(1)))
+        match = _TOP_RE.match(name)
+        if match:
+            k = int(match.group(1))
+            if k < 1:
+                raise QueryError(f"top-k depth must be positive: {name!r}")
+            return AggSpec(kind="top", label=name, k=k)
+        raise QueryError(
+            f"unknown aggregation {name!r}; expected one of "
+            f"{', '.join(_SIMPLE_AGGS)}, p<rank> (e.g. p95), or "
+            f"top<k> (e.g. top5)"
+        )
+
+
+def _parse_group_by(keys: List[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for key in keys:
+        key = key.strip()
+        if not key:
+            raise QueryError("empty group-by key")
+        if key not in INDEX_GROUP_KEYS and not key.startswith(META_PREFIX):
+            raise QueryError(
+                f"unknown group-by key {key!r}; expected one of "
+                f"{', '.join(INDEX_GROUP_KEYS)} or meta:<key>"
+            )
+        if key.startswith(META_PREFIX) and not key[len(META_PREFIX):]:
+            raise QueryError("meta: group-by key names no metadata key")
+        if key in out:
+            raise QueryError(f"duplicate group-by key {key!r}")
+        out.append(key)
+    return tuple(out)
+
+
+def _split_csv(value: str) -> List[str]:
+    return [part for part in (p.strip() for p in value.split(","))
+            if part]
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """One declarative fleet query (immutable, canonicalizable)."""
+
+    op: str = "query"
+    group_by: Tuple[str, ...] = ("platform",)
+    aggs: Tuple[AggSpec, ...] = field(
+        default_factory=lambda: (AggSpec("count", "count"),)
+    )
+    metric: str = DURATION_METRIC
+    #: Operation selectors inside each archive (both optional; both
+    #: given means both must hold).
+    mission: Optional[str] = None
+    path: Optional[str] = None
+    #: Equality filters on which jobs are scanned at all.
+    platform: Optional[str] = None
+    algorithm: Optional[str] = None
+    dataset: Optional[str] = None
+    #: ``regressions``: flag beyond k cohort standard deviations.
+    k_sigma: float = DEFAULT_K_SIGMA
+
+    def __post_init__(self) -> None:
+        if self.op not in PLAN_KINDS:
+            raise QueryError(
+                f"unknown fleet op {self.op!r}; expected one of "
+                f"{', '.join(PLAN_KINDS)}"
+            )
+        if not self.group_by:
+            raise QueryError("fleet plan needs at least one group-by key")
+        if not self.aggs:
+            raise QueryError("fleet plan needs at least one aggregation")
+        if self.op == "series" and len(self.aggs) != 1:
+            raise QueryError(
+                f"a series plan reduces each job with exactly one "
+                f"aggregation, got {len(self.aggs)}"
+            )
+        if self.op == "series" and self.aggs[0].kind == "top":
+            raise QueryError(
+                "a series point is one scalar per job; top-k does not "
+                "reduce to a scalar"
+            )
+        if not self.metric:
+            raise QueryError("fleet plan needs a metric")
+        if not (self.k_sigma > 0):
+            raise QueryError(
+                f"k_sigma must be positive, got {self.k_sigma!r}"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_params(
+        params: Mapping[str, str], op: str = "query",
+    ) -> "FleetPlan":
+        """Build a plan from flat string parameters (CLI / HTTP GET)."""
+        known = {"group_by", "agg", "metric", "mission", "path",
+                 "platform", "algorithm", "dataset", "k"}
+        plan: Dict[str, Any] = {"op": op}
+        if "group_by" in params:
+            plan["group_by"] = _parse_group_by(
+                _split_csv(params["group_by"])
+            )
+        if "agg" in params:
+            names = _split_csv(params["agg"])
+            if not names:
+                raise QueryError(f"empty agg list {params['agg']!r}")
+            plan["aggs"] = tuple(AggSpec.parse(name) for name in names)
+        elif op == "series":
+            plan["aggs"] = (AggSpec("sum", "sum"),)
+        for name in ("metric", "mission", "path",
+                     "platform", "algorithm", "dataset"):
+            if name in params and params[name] != "":
+                plan[name] = params[name]
+        if "k" in params:
+            try:
+                plan["k_sigma"] = float(params["k"])
+            except ValueError:
+                raise QueryError(
+                    f"parameter k={params['k']!r} is not a number"
+                ) from None
+        unknown = set(params) - known
+        if unknown:
+            raise QueryError(
+                f"unknown fleet parameter(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return FleetPlan(**plan)
+
+    @staticmethod
+    def from_json(document: Any) -> "FleetPlan":
+        """Build a plan from a parsed JSON document (HTTP POST body)."""
+        if not isinstance(document, dict):
+            raise QueryError(
+                f"fleet plan must be a JSON object, got "
+                f"{type(document).__name__}"
+            )
+        plan: Dict[str, Any] = {}
+        op = document.get("op", "query")
+        if not isinstance(op, str):
+            raise QueryError(f"fleet op must be a string, got {op!r}")
+        plan["op"] = op
+        group_by = document.get("group_by")
+        if group_by is not None:
+            if not isinstance(group_by, list) or not all(
+                isinstance(key, str) for key in group_by
+            ):
+                raise QueryError("group_by must be a list of strings")
+            plan["group_by"] = _parse_group_by(group_by)
+        aggs = document.get("aggs")
+        if aggs is not None:
+            if not isinstance(aggs, list) or not all(
+                isinstance(name, str) for name in aggs
+            ):
+                raise QueryError("aggs must be a list of strings")
+            if not aggs:
+                raise QueryError("aggs must not be empty")
+            plan["aggs"] = tuple(AggSpec.parse(name) for name in aggs)
+        elif op == "series":
+            plan["aggs"] = (AggSpec("sum", "sum"),)
+        for name in ("metric", "mission", "path",
+                     "platform", "algorithm", "dataset"):
+            value = document.get(name)
+            if value is not None:
+                if not isinstance(value, str):
+                    raise QueryError(f"{name} must be a string, got {value!r}")
+                plan[name] = value
+        k = document.get("k")
+        if k is not None:
+            if isinstance(k, bool) or not isinstance(k, (int, float)):
+                raise QueryError(f"k must be a number, got {k!r}")
+            plan["k_sigma"] = float(k)
+        known = {"op", "group_by", "aggs", "metric", "mission", "path",
+                 "platform", "algorithm", "dataset", "k"}
+        unknown = set(document) - known
+        if unknown:
+            raise QueryError(
+                f"unknown fleet plan field(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return FleetPlan(**plan)
+
+    def with_op(self, op: str) -> "FleetPlan":
+        """The same plan under a different kind."""
+        return replace(self, op=op)
+
+    # -- identity ----------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The plan as its canonical JSON-able mapping."""
+        document: Dict[str, Any] = {
+            "op": self.op,
+            "group_by": list(self.group_by),
+            "aggs": [agg.label for agg in self.aggs],
+            "metric": self.metric,
+        }
+        for name in ("mission", "path", "platform", "algorithm",
+                     "dataset"):
+            value = getattr(self, name)
+            if value is not None:
+                document[name] = value
+        if self.op == "regressions":
+            document["k"] = self.k_sigma
+        return document
+
+    def canonical(self) -> str:
+        """Stable text identity (cache keys, ETags)."""
+        return json.dumps(self.to_document(), sort_keys=True,
+                          separators=(",", ":"))
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def meta_keys(self) -> Tuple[str, ...]:
+        """Metadata keys named by ``meta:`` group axes."""
+        return tuple(
+            key[len(META_PREFIX):] for key in self.group_by
+            if key.startswith(META_PREFIX)
+        )
+
+    @property
+    def needs_values(self) -> bool:
+        """Whether any aggregation needs the raw value vector."""
+        return any(agg.kind == "percentile" for agg in self.aggs)
+
+    @property
+    def filters(self) -> Dict[str, str]:
+        """The job-level equality filters that are set."""
+        return {
+            name: getattr(self, name)
+            for name in ("platform", "algorithm", "dataset")
+            if getattr(self, name) is not None
+        }
+
+
+__all__ = [
+    "AggSpec",
+    "DEFAULT_K_SIGMA",
+    "DURATION_METRIC",
+    "FleetPlan",
+    "INDEX_GROUP_KEYS",
+    "META_PREFIX",
+    "MIN_COHORT",
+    "PLAN_KINDS",
+]

@@ -42,7 +42,17 @@ import mmap
 import os
 import struct
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -122,7 +132,11 @@ def _timestamp_column(values: Iterable[Any]) -> (np.ndarray, np.ndarray):
     return column, kinds
 
 
-def build_sidecar(columns: Mapping[str, Any], archive_checksum: str) -> bytes:
+def build_sidecar(
+    columns: Mapping[str, Any],
+    archive_checksum: str,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> bytes:
     """Serialize a columnar operations block into sidecar bytes.
 
     ``columns`` is the v3 ``operations`` mapping (as produced by
@@ -130,6 +144,13 @@ def build_sidecar(columns: Mapping[str, Any], archive_checksum: str) -> bytes:
     from a v3 document); info values are the JSON-encoded
     representation, stored verbatim as compact JSON in the value heap so
     they decode back to exactly the tree path's values.
+
+    ``extra`` is an optional JSON-able mapping landed in the header
+    under ``"index"`` — the store puts its index entry (and the
+    archive's metadata) there so :meth:`ArchiveStore.rebuild_index` and
+    fleet scans can skip the JSON parse entirely.  The
+    ``archive_checksum`` binding makes the copy trustworthy: a header
+    whose checksum matches the JSON tail describes those exact bytes.
     """
     count = int(columns["count"])
     blobs: Dict[str, np.ndarray] = {}
@@ -194,6 +215,8 @@ def build_sidecar(columns: Mapping[str, Any], archive_checksum: str) -> bytes:
         "data_sha256": hashlib.sha256(bytes(data)).hexdigest(),
         "columns": directory,
     }
+    if extra is not None:
+        header["index"] = dict(extra)
     header_json = json.dumps(header, sort_keys=True,
                              separators=(",", ":")).encode("utf-8")
     data_offset = _align(_PREAMBLE.size + len(header_json))
@@ -210,6 +233,7 @@ def write_sidecar(
     columns: Mapping[str, Any],
     archive_checksum: str,
     fsync: bool = True,
+    extra: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Atomically write a sidecar next to its archive.
 
@@ -220,7 +244,7 @@ def write_sidecar(
     caller's job (the store batches it with the JSON rename).
     """
     path = Path(path)
-    payload = build_sidecar(columns, archive_checksum)
+    payload = build_sidecar(columns, archive_checksum, extra=extra)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
         with tmp.open("wb") as handle:
@@ -337,6 +361,12 @@ class _ColumnTable:
         self.archive_checksum = str(header.get("archive_checksum", ""))
         self.count = int(header["count"])
         self.info_count = int(header["info_count"])
+        extra = header.get("index")
+        #: The store's embedded index entry + metadata copy (may be
+        #: absent on sidecars written before extras existed).
+        self.index_extra: Optional[Dict[str, Any]] = (
+            extra if isinstance(extra, dict) else None
+        )
         self._buffer = buffer
         view = memoryview(buffer)
 
@@ -404,10 +434,20 @@ class _ColumnTable:
             offsets, heap = self._heaps[name]
             blob = heap.tobytes()
             bounds = offsets.tolist()
-            cached = [
-                blob[bounds[i]:bounds[i + 1]].decode("utf-8")
-                for i in range(len(bounds) - 1)
-            ]
+            if blob.isascii():
+                # Byte offsets are character offsets: decode the heap
+                # once and slice the str (fleet scans decode thousands
+                # of heaps, and per-slice UTF-8 decoding dominates).
+                text = blob.decode("ascii")
+                cached = [
+                    text[bounds[i]:bounds[i + 1]]
+                    for i in range(len(bounds) - 1)
+                ]
+            else:
+                cached = [
+                    blob[bounds[i]:bounds[i + 1]].decode("utf-8")
+                    for i in range(len(bounds) - 1)
+                ]
             self._strings[name] = cached
         return cached
 
@@ -426,9 +466,20 @@ class _ColumnTable:
         return self._paths
 
     def _split_missions(self) -> None:
-        pairs = [split_iteration(m) for m in self.strings("mission")]
-        self._mission_base = [base for base, _ in pairs]
-        self._iteration = [index for _, index in pairs]
+        # Mission names repeat heavily within one archive (every
+        # Compute row, every Superstep-<k> per level), so split each
+        # distinct string once instead of regex-matching per row.
+        memo: Dict[str, Tuple[str, Optional[int]]] = {}
+        bases: List[str] = []
+        iterations: List[Optional[int]] = []
+        for mission in self.strings("mission"):
+            pair = memo.get(mission)
+            if pair is None:
+                pair = memo[mission] = split_iteration(mission)
+            bases.append(pair[0])
+            iterations.append(pair[1])
+        self._mission_base = bases
+        self._iteration = iterations
 
     @property
     def mission_base(self) -> List[str]:
@@ -445,9 +496,14 @@ class _ColumnTable:
     @property
     def actor_base(self) -> List[str]:
         if self._actor_base is None:
-            self._actor_base = [
-                split_iteration(a)[0] for a in self.strings("actor")
-            ]
+            memo: Dict[str, str] = {}
+            bases: List[str] = []
+            for actor in self.strings("actor"):
+                base = memo.get(actor)
+                if base is None:
+                    base = memo[actor] = split_iteration(actor)[0]
+                bases.append(base)
+            self._actor_base = bases
         return self._actor_base
 
     def rows_by_key(self, key: str) -> Dict[int, int]:
@@ -496,11 +552,38 @@ class _ColumnTable:
             ),
         }
 
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying mapping has been released."""
+        return self._buffer is None
+
     def close(self) -> None:
-        """Release the underlying mapping (views become invalid)."""
+        """Release the underlying mapping (views become invalid).
+
+        Every numpy column exports the mmap's buffer, and
+        ``mmap.close()`` raises :class:`BufferError` while any export
+        is alive — so the columns are dropped first, making the close
+        deterministic instead of leaking the mapping until garbage
+        collection.  Idempotent; queries against a closed table fail.
+        """
+        buffer, self._buffer = self._buffer, None
+        if buffer is None:
+            return
+        self.parent = None
+        self.start = self.start_kind = None
+        self.end = self.end_kind = None
+        self.info_op = self.info_num = self.info_isnum = None
+        self._heaps = {}
+        self._strings = {}
+        self._paths = None
+        self._mission_base = None
+        self._iteration = None
+        self._actor_base = None
+        self._rows_by_key = None
+        self._decoded_values = {}
         try:
-            self._buffer.close()
-        except (AttributeError, BufferError, OSError):
+            buffer.close()
+        except (BufferError, OSError):  # pragma: no cover - exported refs
             pass
 
 
@@ -537,12 +620,34 @@ class ColumnarArchiveView:
         """Payload checksum of the archive this view accelerates."""
         return self._table.archive_checksum
 
+    @property
+    def index_extra(self) -> Optional[Dict[str, Any]]:
+        """The store's index entry + metadata embedded in the header.
+
+        Checksum-bound to the JSON (the loader rejected the sidecar if
+        its ``archive_checksum`` were stale), so a fleet scan can group
+        by metadata keys without opening the archive JSON at all.
+        ``None`` on sidecars written before extras existed.
+        """
+        return self._table.index_extra
+
     def __len__(self) -> int:
         return len(self._selection)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the backing mapping has been released."""
+        return self._table.closed
 
     def close(self) -> None:
         """Release the underlying file mapping."""
         self._table.close()
+
+    def __enter__(self) -> "ColumnarArchiveView":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- selection ---------------------------------------------------------
 
@@ -685,6 +790,65 @@ class ColumnarArchiveView:
     def operation_records(self) -> List[Dict[str, Any]]:
         """Service records of every selected row, in pre-order."""
         return [self._table.record(int(i)) for i in self._selection]
+
+    # -- fleet-scan vectors --------------------------------------------------
+
+    @property
+    def root_start(self) -> Optional[Union[int, float]]:
+        """Start timestamp of the archive's root operation."""
+        table = self._table
+        if table.count == 0:
+            return None
+        return table.timestamp(table.start, table.start_kind, 0)
+
+    def duration_vector(self) -> (np.ndarray, np.ndarray):
+        """(rows, float64 durations) of selected rows with known spans.
+
+        The subtraction runs vectorized in float64; integer timestamps
+        are exactly representable by the sidecar contract, so the
+        result equals the tree path's exact Python arithmetic.
+        """
+        table = self._table
+        sel = self._selection
+        mask = (
+            (table.start_kind[sel] != _TS_NULL)
+            & (table.end_kind[sel] != _TS_NULL)
+        )
+        rows = sel[mask]
+        return rows, table.end[rows] - table.start[rows]
+
+    def numeric_info_vector(self, info: str) -> (np.ndarray, np.ndarray):
+        """(rows, float64 values) of selected rows carrying ``info``.
+
+        Only values the tree path's aggregation coercion would accept
+        (numbers and numeric strings, never booleans) appear; the rest
+        are skipped — a fleet scan over heterogeneous archives must not
+        die on one string-valued info.
+        """
+        table = self._table
+        sel = self._selection
+        by_op = table.rows_by_key(info)
+        if not by_op:
+            return sel[:0], np.zeros(0, dtype="<f8")
+        row_of = np.full(table.count, -1, dtype=np.int64)
+        for op_row, info_row in by_op.items():
+            row_of[op_row] = info_row
+        info_rows = row_of[sel]
+        keep = info_rows >= 0
+        rows, info_rows = sel[keep], info_rows[keep]
+        keep = table.info_isnum[info_rows] == 1
+        rows, info_rows = rows[keep], info_rows[keep]
+        return rows, np.asarray(table.info_num[info_rows], dtype="<f8")
+
+    def paths_at(self, rows: Iterable[int]) -> List[str]:
+        """Mission paths of the given rows (for top-k attribution)."""
+        paths = self._table.paths
+        return [paths[int(i)] for i in rows]
+
+    def mission_bases_at(self, rows: Iterable[int]) -> List[str]:
+        """Mission base names of the given rows."""
+        bases = self._table.mission_base
+        return [bases[int(i)] for i in rows]
 
 
 __all__ = [

@@ -22,6 +22,7 @@ The store is corruption-tolerant and safe under concurrent writers:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import logging
@@ -42,6 +43,7 @@ from repro.core.archive.columnar import (
     ColumnarArchiveView,
     SidecarError,
     load_sidecar,
+    read_sidecar_header,
     sidecar_path,
     write_sidecar,
 )
@@ -246,6 +248,22 @@ class ArchiveHandle:
             self._archive = document_to_archive(self.document)
         return self._archive
 
+    def index_entry(self) -> Dict:
+        """The store-index entry for this archive (no tree build)."""
+        return {
+            "platform": self.platform,
+            "algorithm": self.metadata.get("algorithm", ""),
+            "dataset": self.metadata.get("dataset", ""),
+            "makespan": self.makespan,
+            "operations": self.size(),
+        }
+
+
+#: Fields an index entry carries; a sidecar-header copy missing any of
+#: them is ignored and the JSON is parsed instead.
+_ENTRY_FIELDS = ("platform", "algorithm", "dataset", "makespan",
+                 "operations")
+
 
 #: (mtime_ns, size) identity of a file — cheap staleness detection.
 _Stamp = Tuple[int, int]
@@ -397,24 +415,62 @@ class ArchiveStore:
         self._index = index
         self._index_stamp = stamp
 
+    def _entry_from_sidecar(
+        self, path: Path,
+    ) -> Optional[Tuple[str, Dict]]:
+        """(job_id, index entry) from the sidecar header, or ``None``.
+
+        The sidecar header carries a copy of the index entry (written
+        by :meth:`save`).  It is trusted only when the header's
+        ``archive_checksum`` matches the checksum read from the JSON
+        file's tail — that binding proves the copy describes the JSON
+        bytes currently on disk, so the full parse can be skipped.
+        Anything off — no sidecar, no embedded entry (a pre-extras
+        sidecar), a checksum mismatch — returns ``None`` and the
+        caller parses the JSON as before.
+        """
+        side = sidecar_path(path)
+        if not side.exists():
+            return None
+        try:
+            header = read_sidecar_header(side)
+        except SidecarError:
+            return None
+        extra = header.get("index")
+        if not isinstance(extra, dict):
+            return None
+        job_id = extra.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return None
+        if any(field not in extra for field in _ENTRY_FIELDS):
+            return None
+        try:
+            checksum = self._read_checksum(path)
+        except (ArchiveError, OSError):
+            return None
+        if header.get("archive_checksum") != checksum:
+            return None
+        return job_id, {field: extra[field] for field in _ENTRY_FIELDS}
+
     def rebuild_index(self) -> Dict[str, Dict]:
         """Reconstruct the index from the archive files on disk.
 
-        Unreadable archives are skipped with a warning — one corrupt
-        file must not take the whole store down.  Returns the new index.
+        Archives whose sidecar header embeds a checksum-bound index
+        entry are indexed from that header alone (a preamble read plus
+        a tail scan, instead of a full JSON parse).  Unreadable
+        archives are skipped with a warning — one corrupt file must
+        not take the whole store down.  Returns the new index.
         """
         with self._locked():
             index: Dict[str, Dict] = {}
             for path in self._archive_paths():
+                fast = self._entry_from_sidecar(path)
+                if fast is not None:
+                    index[fast[0]] = fast[1]
+                    continue
                 handle = ArchiveHandle(path)
                 try:
-                    index[handle.job_id] = {
-                        "platform": handle.platform,
-                        "algorithm": handle.metadata.get("algorithm", ""),
-                        "dataset": handle.metadata.get("dataset", ""),
-                        "makespan": handle.makespan,
-                        "operations": handle.size(),
-                    }
+                    index[handle.job_id] = handle.index_entry()
                 except (ArchiveError, OSError, UnicodeDecodeError) as exc:
                     logger.warning(
                         "archive store %s: skipping unreadable archive "
@@ -496,20 +552,38 @@ class ArchiveStore:
                 json.dumps(document, separators=(",", ":"),
                            sort_keys=False),
             )
-            self._write_sidecar(path, document)
-            self._index[archive.job_id] = self._entry(archive)
+            entry = self._entry(archive)
+            self._write_sidecar(path, document, entry)
+            self._index[archive.job_id] = entry
             self._save_index()
             fsync_directory(self.directory)
         return path
 
-    def _write_sidecar(self, path: Path, document: Dict) -> None:
-        """Write (or drop) the binary sidecar of one archive file."""
+    def _write_sidecar(
+        self, path: Path, document: Dict,
+        entry: Optional[Dict] = None,
+    ) -> None:
+        """Write (or drop) the binary sidecar of one archive file.
+
+        The sidecar header gets a copy of the index entry plus the
+        archive's metadata (``extra``), so index rebuilds and fleet
+        scans over metadata group keys never touch the JSON.
+        """
         side = sidecar_path(path)
         operations = document.get("operations")
         integrity = document.get("integrity") or {}
         if is_columnar(operations) and integrity.get("checksum"):
+            extra = None
+            if entry is not None:
+                metadata = document.get("metadata")
+                extra = dict(
+                    entry,
+                    job_id=document.get("job_id"),
+                    metadata=metadata if isinstance(metadata, dict) else {},
+                )
             try:
-                write_sidecar(side, operations, integrity["checksum"])
+                write_sidecar(side, operations, integrity["checksum"],
+                              extra=extra)
                 return
             except (SidecarError, OSError, KeyError, TypeError,
                     ValueError) as exc:
@@ -618,6 +692,44 @@ class ArchiveStore:
             self._save_index()
             fsync_directory(self.directory)
 
+    def iter_jobs(
+        self,
+        platform: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        dataset: Optional[str] = None,
+        offset: int = 0,
+        limit: Optional[int] = None,
+    ) -> Iterator[str]:
+        """Stream matching job ids in sorted order (one page at a time).
+
+        The generator yields straight off the in-memory index — no
+        job-id list is materialized per query, so a fleet scan over a
+        10k-archive store pays for the ids it consumes, not the ids
+        that exist.  ``offset``/``limit`` page through the *filtered*
+        sequence.
+        """
+        if offset < 0:
+            raise ArchiveError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ArchiveError(f"limit must be >= 0, got {limit}")
+        matched = 0
+        yielded = 0
+        for job_id in sorted(self._index):
+            meta = self._index[job_id]
+            if platform is not None and meta.get("platform") != platform:
+                continue
+            if algorithm is not None and meta.get("algorithm") != algorithm:
+                continue
+            if dataset is not None and meta.get("dataset") != dataset:
+                continue
+            matched += 1
+            if matched <= offset:
+                continue
+            if limit is not None and yielded >= limit:
+                return
+            yielded += 1
+            yield job_id
+
     def list(
         self,
         platform: Optional[str] = None,
@@ -625,16 +737,32 @@ class ArchiveStore:
         dataset: Optional[str] = None,
     ) -> List[str]:
         """Job ids matching the given filters, sorted."""
-        out: List[str] = []
-        for job_id, meta in self._index.items():
-            if platform is not None and meta.get("platform") != platform:
-                continue
-            if algorithm is not None and meta.get("algorithm") != algorithm:
-                continue
-            if dataset is not None and meta.get("dataset") != dataset:
-                continue
-            out.append(job_id)
-        return sorted(out)
+        return list(self.iter_jobs(platform=platform, algorithm=algorithm,
+                                   dataset=dataset))
+
+    def listing_checksum(self) -> str:
+        """Content identity of the whole store listing.
+
+        SHA-256 over every (job id, payload checksum) pair in sorted
+        order: any archive added, removed, or rewritten changes it, so
+        the serving layer can derive fleet-level ETags from one value.
+        Per-archive checksums come from the stamp-keyed memo in
+        :meth:`checksum` — after a warm pass the cost is one ``stat()``
+        per archive, no file contents are read.
+        """
+        digest = hashlib.sha256()
+        for job_id in sorted(self._index):
+            try:
+                checksum = self.checksum(job_id)
+            except ArchiveError:
+                # Indexed but unreadable on disk: fold the gap in so
+                # the identity still changes when the file comes back.
+                checksum = ""
+            digest.update(job_id.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(checksum.encode("ascii"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def summary(self, job_id: str) -> Dict:
         """Index entry for one job (no archive parse)."""

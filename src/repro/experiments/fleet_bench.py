@@ -1,0 +1,282 @@
+"""Fleet-analytics benchmark: columnar cross-archive scans vs trees.
+
+The fleet engine (:mod:`repro.core.analysis.fleet`) answers group-by
+aggregations, per-run series, and regression sweeps across *every*
+archive in a store.  Its hot path never materializes a
+``PerformanceArchive`` — it runs vectorized numpy reductions directly
+over the memory-mapped ``.gcol`` sidecars.  This module measures that
+claim on a synthetic fleet of hundreds of archives:
+
+- **fleet scan**: a fixed query battery (group-by aggregation with
+  percentiles and top-k, info-metric aggregation, a time series, and a
+  regression sweep) executed in ``mode="tree"`` (the reference
+  implementation, every archive parsed and materialized) and in
+  ``mode="auto"`` (the columnar scan).  Both must return value-identical
+  documents; the speedup is the gate metric.
+- **degraded store**: the same battery after one sidecar is corrupted
+  and another deleted — the columnar scan must fall back per job,
+  report the fallbacks in ``degraded_jobs``, and still match the tree
+  reference exactly.
+
+The distilled ratio feeds the repo-root ``BENCH_fleet.json``
+perf-trajectory baseline via the same ``granula bench --gate``
+machinery as the pipeline suite (``--suite fleet``).
+
+``GRANULA_BENCH_SMALL=1`` (or ``small=True``) shrinks the fleet for CI
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.analysis.fleet import run_fleet_query
+from repro.core.analysis.fleetplan import FleetPlan
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.store import ArchiveStore
+from repro.experiments.pipeline_bench import (
+    GATE_TOLERANCE,
+    compare_gate_metrics,
+    small_mode,
+)
+
+#: Synthetic fleet sizes (archives in the store).
+FLEET_ARCHIVES_FULL = 500
+FLEET_ARCHIVES_SMALL = 120
+
+#: The axes the synthetic fleet spans.
+PLATFORMS = ("Giraph", "PowerGraph", "Hadoop", "PGX.D")
+ALGORITHMS = ("bfs", "pagerank", "wcc")
+DATASETS = ("dg100", "dg1000")
+
+#: Gate metrics and their good direction (ratios, never seconds).
+FLEET_GATE_METRICS: Dict[str, str] = {
+    "fleet_scan_speedup": "higher",
+}
+
+
+def synthetic_fleet_archive(job_id: str, index: int,
+                            rng: random.Random) -> PerformanceArchive:
+    """One deterministic synthetic job archive.
+
+    Shaped like a real monitored run — a load phase with per-worker
+    children and a superstep loop with per-worker compute operations,
+    timestamped in milliseconds — so the tree path pays the
+    materialization cost a real fleet scan would.  A few jobs get a
+    deliberately inflated load phase, giving the regression sweep
+    genuine outliers to flag.
+    """
+    platform = PLATFORMS[index % len(PLATFORMS)]
+    algorithm = ALGORITHMS[(index // len(PLATFORMS)) % len(ALGORITHMS)]
+    dataset = DATASETS[index % len(DATASETS)]
+    supersteps = 40 + rng.randrange(20)
+    workers = 10
+    base = 1_000_000_000 + index * 60_000
+    slow_load = index % 37 == 5  # sparse, deterministic outliers
+
+    t = float(base)
+    load_span = (18_000.0 if slow_load else 2_000.0) + rng.random() * 500
+    load = ArchivedOperation(f"{job_id}:load", "LoadGraph", "Master",
+                             t, t + load_span)
+    for w in range(workers):
+        child = ArchivedOperation(
+            f"{job_id}:load{w}", "LocalLoad", f"Worker-{w}",
+            t, t + load_span * (0.6 + 0.1 * w),
+            infos={"BytesRead": float(1000 * (w + 1))}, parent=load,
+        )
+        load.children.append(child)
+    t += load_span
+
+    process_start = t
+    process = ArchivedOperation(f"{job_id}:proc", "ProcessGraph",
+                                "Master", process_start, process_start)
+    for s in range(supersteps):
+        span = 400.0 + rng.random() * 200
+        step = ArchivedOperation(
+            f"{job_id}:s{s}", f"Superstep-{s}", "Master", t, t + span,
+            infos={"Supersteps": float(s + 1)}, parent=process,
+        )
+        for w in range(workers):
+            step.children.append(ArchivedOperation(
+                f"{job_id}:s{s}w{w}", "Compute", f"Worker-{w}",
+                t, t + span * (0.5 + 0.12 * w),
+                infos={"ProcessedVertices": float(rng.randrange(10_000))},
+                parent=step,
+            ))
+        process.children.append(step)
+        t += span
+    process.end_time = t
+
+    root = ArchivedOperation(f"{job_id}:root", "Job", "Client",
+                             float(base), t + 100.0)
+    load.parent = root
+    process.parent = root
+    root.children.extend([load, process])
+    return PerformanceArchive(
+        job_id, root, platform=platform,
+        metadata={"algorithm": algorithm, "dataset": dataset,
+                  "tier": "bench"},
+    )
+
+
+def build_fleet_store(directory, archives: int,
+                      seed: int = 7) -> ArchiveStore:
+    """A synthetic store of ``archives`` jobs (deterministic)."""
+    rng = random.Random(seed)
+    store = ArchiveStore(directory)
+    for index in range(archives):
+        job_id = f"fleet-{index:05d}"
+        store.save(synthetic_fleet_archive(job_id, index, rng),
+                   overwrite=True)
+    return store
+
+
+def fleet_battery() -> List[FleetPlan]:
+    """The fixed query battery both scan modes must answer identically."""
+    return [
+        FleetPlan.from_params(
+            {"group_by": "platform,algorithm",
+             "agg": "count,sum,mean,p95,top3"}, op="query"),
+        FleetPlan.from_params(
+            {"group_by": "dataset", "agg": "mean,max",
+             "metric": "ProcessedVertices"}, op="query"),
+        FleetPlan.from_params(
+            {"group_by": "platform", "agg": "sum",
+             "mission": "Superstep"}, op="series"),
+        FleetPlan.from_params(
+            {"group_by": "platform,algorithm", "k": "2.5"},
+            op="regressions"),
+    ]
+
+
+def _run_battery(store: ArchiveStore, plans: List[FleetPlan],
+                 mode: str) -> List[Dict[str, Any]]:
+    return [run_fleet_query(store, plan, mode=mode) for plan in plans]
+
+
+def _timed_battery(
+    store: ArchiveStore, plans: List[FleetPlan], mode: str, reps: int,
+) -> Tuple[float, List[Dict[str, Any]]]:
+    """(total seconds, last results) of ``reps`` battery passes."""
+    results = _run_battery(store, plans, mode)  # untimed warmup
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        results = _run_battery(store, plans, mode)
+    return time.perf_counter() - t0, results
+
+
+def _degrade_store(store: ArchiveStore) -> List[str]:
+    """Corrupt one job's sidecar and delete another's; the victims."""
+    jobs = store.list()
+    corrupt, missing = jobs[len(jobs) // 3], jobs[(2 * len(jobs)) // 3]
+    store.sidecar_path(corrupt).write_bytes(b"GCOL\x00garbage")
+    store.sidecar_path(missing).unlink()
+    return sorted([corrupt, missing])
+
+
+def run_fleet_bench(
+    archives: Optional[int] = None,
+    small: Optional[bool] = None,
+    reps: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Measure the fleet battery; returns the artifact document."""
+    if small is None:
+        small = small_mode()
+    if archives is None:
+        archives = FLEET_ARCHIVES_SMALL if small else FLEET_ARCHIVES_FULL
+    if reps is None:
+        reps = 1 if small else 3
+
+    with tempfile.TemporaryDirectory(prefix="granula-fleet-") as tmp:
+        store = build_fleet_store(Path(tmp) / "fleet", archives)
+        plans = fleet_battery()
+
+        tree_s, tree_results = _timed_battery(store, plans, "tree", reps)
+        scan_s, scan_results = _timed_battery(store, plans, "auto", reps)
+        identical = scan_results == tree_results
+        clean = not any(d["degraded_jobs"] for d in scan_results)
+
+        victims = _degrade_store(store)
+        degraded_scan = _run_battery(store, plans, "auto")
+        degraded_tree = _run_battery(store, plans, "tree")
+        # The tree reference never consults sidecars, so it reports no
+        # degradation; values must still match the fallback scan.
+        degraded_identical = all(
+            dict(s, degraded_jobs=[]) == t
+            for s, t in zip(degraded_scan, degraded_tree)
+        )
+        reported = sorted(
+            {job for d in degraded_scan for job in d["degraded_jobs"]}
+        )
+
+    return {
+        "small": small,
+        "archives": archives,
+        "reps": reps,
+        "plans": [plan.canonical() for plan in plans],
+        "scan": {
+            "tree_s": round(tree_s, 4),
+            "columnar_s": round(scan_s, 4),
+            "speedup": round(tree_s / scan_s, 2) if scan_s else None,
+            "identical_results": identical,
+            "clean_scan": clean,
+        },
+        "degraded": {
+            "jobs": victims,
+            "reported": reported,
+            "identical_results": degraded_identical,
+        },
+    }
+
+
+def render_fleet_bench(document: Dict[str, Any]) -> str:
+    """Human-readable summary of one fleet benchmark document."""
+    scan = document["scan"]
+    degraded = document["degraded"]
+    return "\n".join([
+        f"fleet benchmark ({document['archives']} archives, "
+        f"{len(document['plans'])} plans, "
+        f"{'small' if document['small'] else 'full'} fleet)",
+        f"  scan: tree {scan['tree_s']:.2f}s, "
+        f"columnar {scan['columnar_s']:.2f}s "
+        f"({scan['speedup']}x over {document['reps']} reps)",
+        f"  results identical: {scan['identical_results']}",
+        f"  degraded store: {len(degraded['jobs'])} damaged, "
+        f"reported {degraded['reported']}, "
+        f"identical: {degraded['identical_results']}",
+    ])
+
+
+def extract_fleet_metrics(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The gate metrics of one fleet benchmark document."""
+    return {
+        "fleet_scan_speedup": document.get("scan", {}).get("speedup"),
+    }
+
+
+def fleet_baseline_document(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The committed ``BENCH_fleet.json`` shape for one bench run."""
+    return {
+        "schema": 1,
+        "small": document["small"],
+        "tolerance": GATE_TOLERANCE,
+        "metrics": extract_fleet_metrics(document),
+    }
+
+
+def compare_fleet_bench(
+    baseline: Dict[str, Any],
+    document: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> List[str]:
+    """Regressions of ``document`` against a committed fleet baseline."""
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", GATE_TOLERANCE))
+    return compare_gate_metrics(
+        baseline.get("metrics", {}), extract_fleet_metrics(document),
+        FLEET_GATE_METRICS, tolerance,
+    )

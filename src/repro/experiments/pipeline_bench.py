@@ -522,25 +522,25 @@ def baseline_document(document: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def compare_pipeline_bench(
-    baseline: Dict[str, Any],
-    document: Dict[str, Any],
-    tolerance: Optional[float] = None,
+def compare_gate_metrics(
+    baseline_metrics: Dict[str, Any],
+    current_metrics: Dict[str, Any],
+    gate_metrics: Dict[str, str],
+    tolerance: float,
 ) -> List[str]:
-    """Regressions of ``document`` against a committed baseline.
+    """Gate metrics of ``current_metrics`` that regressed past tolerance.
 
-    Returns one message per gate metric that moved the wrong way by
-    more than ``tolerance`` (relative).  Metrics absent from either
-    side are skipped — a baseline recorded on a fork-less or
-    non-Linux machine must not wedge the gate elsewhere.
+    The shared trajectory comparator: each benchmark suite supplies its
+    own metric extraction and direction table and funnels through here,
+    so every ``granula bench --gate`` failure message reads the same.
+    Metrics absent from either side are skipped — a baseline recorded
+    on a fork-less or non-Linux machine must not wedge the gate
+    elsewhere.
     """
-    if tolerance is None:
-        tolerance = float(baseline.get("tolerance", GATE_TOLERANCE))
-    current = extract_metrics(document)
     regressions = []
-    for metric, direction in GATE_METRICS.items():
-        base = baseline.get("metrics", {}).get(metric)
-        now = current.get(metric)
+    for metric, direction in gate_metrics.items():
+        base = baseline_metrics.get(metric)
+        now = current_metrics.get(metric)
         if base is None or now is None:
             continue
         if direction == "higher":
@@ -558,3 +558,17 @@ def compare_pipeline_bench(
                     f"(baseline {base}, tolerance {tolerance:.0%})"
                 )
     return regressions
+
+
+def compare_pipeline_bench(
+    baseline: Dict[str, Any],
+    document: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> List[str]:
+    """Regressions of ``document`` against a committed baseline."""
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", GATE_TOLERANCE))
+    return compare_gate_metrics(
+        baseline.get("metrics", {}), extract_metrics(document),
+        GATE_METRICS, tolerance,
+    )

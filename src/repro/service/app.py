@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.core.analysis.fleet import run_fleet_query
+from repro.core.analysis.fleetplan import FleetPlan
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.archive.columnar import ColumnarArchiveView
 from repro.core.archive.query import ArchiveQuery
@@ -178,11 +180,15 @@ class ArchiveService:
         parts = [part for part in path.split("/") if part]
         if parts == ["jobs"] and method == "POST":
             return "POST /jobs", "submit"
+        if parts == ["fleet", "query"] and method == "POST":
+            return "POST /fleet/query", "fleet_submit"
         if method not in ("GET", "HEAD"):
             # Label by the closest route so a POST storm on a read-only
             # service stays visible under a stable name.
             if parts == ["jobs"]:
                 return "POST /jobs", None
+            if parts == ["fleet", "query"]:
+                return "POST /fleet/query", None
             return "other", None
         if parts == ["healthz"]:
             return "/healthz", "healthz"
@@ -192,6 +198,12 @@ class ArchiveService:
             return "/jobs", "jobs"
         if len(parts) == 2 and parts[0] == "ingest":
             return "/ingest/{id}", "ingest_status"
+        if parts == ["fleet", "query"]:
+            return "/fleet/query", "fleet_query"
+        if parts == ["fleet", "series"]:
+            return "/fleet/series", "fleet_series"
+        if parts == ["fleet", "regressions"]:
+            return "/fleet/regressions", "fleet_regressions"
         if len(parts) >= 2 and parts[0] == "jobs":
             if len(parts) == 2:
                 return "/jobs/{id}", "job_summary"
@@ -234,6 +246,13 @@ class ArchiveService:
                 return endpoint, self._metrics()
             if handler == "jobs":
                 return endpoint, self._jobs(params, headers)
+            if handler == "fleet_submit":
+                return endpoint, self._fleet_submit(headers, body)
+            if handler in ("fleet_query", "fleet_series",
+                           "fleet_regressions"):
+                return endpoint, self._fleet(
+                    handler.split("_", 1)[1], params, headers
+                )
             if handler == "ingest_status":
                 return endpoint, self._ingest_status(parts[1])
             if handler == "job_summary":
@@ -348,6 +367,70 @@ class ArchiveService:
         )
         if _etag_matches(headers.get("If-None-Match"), etag):
             return Response(304, headers={"ETag": etag})
+        return json_response(200, document, etag=etag)
+
+    def _fleet(
+        self, op: str, params: Dict[str, str], headers: Dict[str, str],
+    ) -> Response:
+        """``GET /fleet/{query,series,regressions}``.
+
+        ``samples=1`` is the cluster router's internal knob: groups
+        additionally carry their sorted value vectors so percentiles
+        can be recomputed exactly across shards.
+        """
+        params = dict(params)
+        include_samples = params.pop("samples", "").lower() in (
+            "1", "true"
+        )
+        plan = FleetPlan.from_params(params, op=op)
+        return self._fleet_answer(plan, headers, include_samples)
+
+    def _fleet_submit(
+        self, headers: Dict[str, str], body: bytes,
+    ) -> Response:
+        """``POST /fleet/query`` with the plan as a JSON document."""
+        try:
+            document = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _BadRequest(
+                "POST /fleet/query", f"body is not valid JSON ({exc})"
+            ) from None
+        include_samples = False
+        if isinstance(document, dict):
+            document = dict(document)
+            include_samples = bool(document.pop("samples", False))
+        plan = FleetPlan.from_json(document)
+        return self._fleet_answer(plan, headers, include_samples)
+
+    def _fleet_answer(
+        self,
+        plan: FleetPlan,
+        headers: Dict[str, str],
+        include_samples: bool,
+    ) -> Response:
+        """Run (or revalidate / serve cached) one fleet plan.
+
+        The ETag digests the store's listing checksum together with the
+        canonical plan: any archive added, removed, or rewritten — or
+        any different plan — changes it, so a ``304`` is exactly as
+        fresh as the fleet itself.  The same digest keys the result
+        cache, sparing the scan entirely on a warm repeat.
+        """
+        self.store.refresh()
+        identity = hashlib.sha256(
+            f"{self.store.listing_checksum()}|{plan.canonical()}"
+            f"|samples={int(include_samples)}".encode("utf-8")
+        ).hexdigest()
+        etag = _etag_of(identity)
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        cache_key = f"fleet:{identity}"
+        document = self.cache.get(cache_key)
+        if document is None:
+            document = run_fleet_query(
+                self.store, plan, include_samples=include_samples
+            )
+            self.cache.put(cache_key, document)
         return json_response(200, document, etag=etag)
 
     def _job_summary(

@@ -35,6 +35,10 @@ KNOWN_ENDPOINTS: FrozenSet[str] = frozenset({
     "/jobs/{id}/report",
     "POST /jobs",
     "/ingest/{id}",
+    "/fleet/query",
+    "/fleet/series",
+    "/fleet/regressions",
+    "POST /fleet/query",
     "other",
 })
 

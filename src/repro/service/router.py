@@ -39,8 +39,15 @@ import urllib.parse
 import urllib.request
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.core.analysis.fleet import detect_regressions, percentile_of
+from repro.core.analysis.fleetplan import FleetPlan
 from repro.core.archive.store import validate_job_id
-from repro.errors import ArchiveError, ServiceError, ShardUnavailableError
+from repro.errors import (
+    ArchiveError,
+    QueryError,
+    ServiceError,
+    ShardUnavailableError,
+)
 from repro.service.app import (
     DEFAULT_PAGE,
     MAX_PAGE,
@@ -217,9 +224,13 @@ class ClusterService:
         parts = [part for part in path.split("/") if part]
         if parts == ["jobs"] and method == "POST":
             return "POST /jobs", "submit"
+        if parts == ["fleet", "query"] and method == "POST":
+            return "POST /fleet/query", "fleet"
         if method not in ("GET", "HEAD"):
             if parts == ["jobs"]:
                 return "POST /jobs", None
+            if parts == ["fleet", "query"]:
+                return "POST /fleet/query", None
             return "other", None
         if parts == ["healthz"]:
             return "/healthz", "healthz"
@@ -227,6 +238,10 @@ class ClusterService:
             return "/metrics", "metrics"
         if parts == ["jobs"]:
             return "/jobs", "jobs"
+        if len(parts) == 2 and parts[0] == "fleet" and parts[1] in (
+            "query", "series", "regressions"
+        ):
+            return f"/fleet/{parts[1]}", "fleet"
         if len(parts) == 2 and parts[0] == "ingest":
             return "/ingest/{id}", "ingest_status"
         if len(parts) >= 2 and parts[0] == "jobs":
@@ -266,6 +281,10 @@ class ClusterService:
                 return endpoint, self._metrics()
             if handler == "jobs":
                 return endpoint, self._jobs(path, params, headers)
+            if handler == "fleet":
+                return endpoint, self._fleet(
+                    path, params, headers, method, body
+                )
             if handler == "ingest_status":
                 return endpoint, self._ingest_status(path, headers)
             # Per-job endpoints: one owner shard, straight proxy.
@@ -478,6 +497,86 @@ class ClusterService:
             return Response(304, headers={"ETag": etag})
         return json_response(200, document, etag=etag)
 
+    def _fleet(
+        self,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        method: str,
+        body: bytes,
+    ) -> Response:
+        """Fleet analytics across every shard's store, merged exactly.
+
+        The plan is parsed at the router (client errors never fan out),
+        then forwarded to each shard as ``POST /fleet/query`` with the
+        canonical plan document — one forwarding path for GET and POST
+        alike.  Shards are asked for their raw material whenever the
+        merge needs it: sorted sample vectors for percentiles, per-job
+        mission shares for regressions (cohorts span shards, so
+        shard-local σ would judge partial cohorts).  Unreachable shards
+        degrade the answer, never fail it.
+        """
+        parts = [part for part in path.split("/") if part]
+        try:
+            if method == "POST":
+                try:
+                    document = json.loads(body.decode("utf-8") or "{}")
+                except (ValueError, UnicodeDecodeError) as exc:
+                    return error_response(
+                        400, f"body is not valid JSON ({exc})"
+                    )
+                client_samples = False
+                if isinstance(document, dict):
+                    document = dict(document)
+                    client_samples = bool(document.pop("samples", False))
+                plan = FleetPlan.from_json(document)
+            else:
+                params = dict(params)
+                client_samples = params.pop("samples", "").lower() in (
+                    "1", "true"
+                )
+                plan = FleetPlan.from_params(params, op=parts[1])
+        except QueryError as exc:
+            return error_response(400, str(exc))
+        need_raw = (
+            plan.needs_values or client_samples
+            or plan.op == "regressions"
+        )
+        shard_document = dict(plan.to_document())
+        if need_raw:
+            shard_document["samples"] = True
+        shard_body = json.dumps(
+            shard_document, sort_keys=True
+        ).encode("utf-8")
+        responses: Dict[int, Response] = {}
+        degraded: List[int] = []
+        for shard in range(len(self.supervisor)):
+            try:
+                responses[shard] = self._proxy(
+                    shard, "/fleet/query", {},
+                    {"Content-Type": "application/json"},
+                    "POST", shard_body,
+                )
+            except ShardUnavailableError:
+                degraded.append(shard)
+        documents: List[Dict[str, Any]] = []
+        for shard in sorted(responses):
+            reply = responses[shard]
+            if reply.status != 200:
+                degraded.append(shard)
+                continue
+            documents.append(reply.json())
+        merged = _merge_fleet(plan, documents, client_samples)
+        merged["degraded_shards"] = sorted(set(degraded))
+        canonical = json.dumps(merged, sort_keys=True,
+                               separators=(",", ":"))
+        etag = _etag_of(
+            hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        )
+        if _etag_matches(headers.get("If-None-Match"), etag):
+            return Response(304, headers={"ETag": etag})
+        return json_response(200, merged, etag=etag)
+
     def _ingest_status(
         self, path: str, headers: Dict[str, str],
     ) -> Response:
@@ -551,6 +650,147 @@ class ClusterService:
             except (ShardUnavailableError, ValueError):
                 continue
         return json_response(200, document)
+
+
+def _merge_fleet(
+    plan: FleetPlan,
+    documents: List[Dict[str, Any]],
+    include_samples: bool,
+) -> Dict[str, Any]:
+    """Merge per-shard fleet documents into the single-store answer.
+
+    Count/sum/min/max fold exactly from each group's ``stats`` block;
+    means are recomputed from the merged sums; percentiles from the
+    concatenated sample vectors; top-k from the shards' top rows
+    (k best of N·k candidates is exact — no shard hides a global
+    winner).  Regressions re-run the detector over the pooled per-job
+    shares, so cohort statistics cover the whole fleet.
+    """
+    merged: Dict[str, Any] = {
+        "op": plan.op,
+        "plan": plan.to_document(),
+        "jobs_scanned": sum(
+            d.get("jobs_scanned", 0) for d in documents
+        ),
+        "jobs_failed": sum(d.get("jobs_failed", 0) for d in documents),
+        "degraded_jobs": sorted({
+            job for d in documents for job in d.get("degraded_jobs", [])
+        }),
+    }
+    if plan.op == "series":
+        points = [p for d in documents for p in d.get("points", [])]
+        points.sort(key=lambda p: (
+            p.get("timestamp") is None,
+            p.get("timestamp") if p.get("timestamp") is not None else 0,
+            p.get("job_id", ""),
+        ))
+        merged["points"] = points
+        return merged
+    if plan.op == "regressions":
+        rows = [r for d in documents for r in d.get("shares", [])
+                if isinstance(r, dict)]
+        rows.sort(key=lambda r: r.get("job_id", ""))
+        cohorts: Dict[Tuple[str, ...], List[Tuple[str, Dict]]] = {}
+        keys: Dict[Tuple[str, ...], Dict[str, str]] = {}
+        for row in rows:
+            group = row.get("group", {})
+            key = tuple(group.get(name, "") for name in plan.group_by)
+            cohorts.setdefault(key, []).append(
+                (row.get("job_id", ""), row.get("shares", {}))
+            )
+            keys.setdefault(key, group)
+        entries, judged = detect_regressions(cohorts, keys, plan)
+        merged["cohorts"] = judged
+        merged["findings"] = entries
+        if include_samples:
+            merged["shares"] = rows
+        return merged
+    top_k = max((agg.k for agg in plan.aggs if agg.kind == "top"),
+                default=0)
+    top_label = max(
+        (agg for agg in plan.aggs if agg.kind == "top"),
+        key=lambda agg: agg.k, default=None,
+    )
+    groups: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+    for document in documents:
+        for shard_group in document.get("groups", []):
+            group_key = shard_group.get("key", {})
+            key = tuple(
+                group_key.get(name, "") for name in plan.group_by
+            )
+            acc = groups.get(key)
+            if acc is None:
+                acc = groups[key] = {
+                    "key": group_key, "jobs": 0, "count": 0,
+                    "sum": 0.0, "min": None, "max": None,
+                    "samples": [], "top": [],
+                }
+            acc["jobs"] += shard_group.get("jobs", 0)
+            stats = shard_group.get("stats", {})
+            acc["count"] += stats.get("count", 0)
+            acc["sum"] += stats.get("sum", 0.0)
+            for bound, fold in (("min", min), ("max", max)):
+                value = stats.get(bound)
+                if value is not None:
+                    acc[bound] = (
+                        value if acc[bound] is None
+                        else fold(acc[bound], value)
+                    )
+            acc["samples"].extend(shard_group.get("samples", []))
+            if top_label is not None:
+                # Only the deepest top list: shallower labels on the
+                # same shard are prefixes and would duplicate rows.
+                acc["top"].extend(
+                    (row.get("value"), row.get("job_id", ""),
+                     row.get("path", ""))
+                    for row in shard_group.get("aggs", {}).get(
+                        top_label.label, []
+                    )
+                )
+    out_groups: List[Dict[str, Any]] = []
+    for key in sorted(groups):
+        acc = groups[key]
+        samples = sorted(acc["samples"])
+        top = sorted(
+            acc["top"], key=lambda t: (-t[0], t[1], t[2])
+        )[:top_k]
+        aggs_out: Dict[str, Any] = {}
+        for agg in plan.aggs:
+            if agg.kind == "count":
+                aggs_out[agg.label] = acc["count"]
+            elif agg.kind == "sum":
+                aggs_out[agg.label] = acc["sum"]
+            elif agg.kind == "mean":
+                aggs_out[agg.label] = (
+                    acc["sum"] / acc["count"] if acc["count"] else None
+                )
+            elif agg.kind == "min":
+                aggs_out[agg.label] = acc["min"]
+            elif agg.kind == "max":
+                aggs_out[agg.label] = acc["max"]
+            elif agg.kind == "percentile":
+                aggs_out[agg.label] = percentile_of(samples, agg.q)
+            elif agg.kind == "top":
+                aggs_out[agg.label] = [
+                    {"value": value, "job_id": job_id, "path": path}
+                    for value, job_id, path in top[:agg.k]
+                ]
+        entry: Dict[str, Any] = {
+            "key": acc["key"],
+            "jobs": acc["jobs"],
+            "stats": {
+                "count": acc["count"],
+                "sum": acc["sum"],
+                "min": acc["min"],
+                "max": acc["max"],
+            },
+            "aggs": aggs_out,
+        }
+        if include_samples:
+            entry["samples"] = samples
+        out_groups.append(entry)
+    merged["groups"] = out_groups
+    return merged
 
 
 def _int_param(

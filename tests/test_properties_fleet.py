@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis): fleet scans are mode-invariant.
+
+For stores of random archives — random tree shapes, int/float/missing
+timestamps, heterogeneous info values, partially absent metadata — a
+fleet query must return the *same document* whether it runs the
+vectorized columnar scan (``mode="auto"``) or materializes every
+archive (``mode="tree"``).  And when sidecars are corrupted or
+deleted, the columnar scan must degrade per job (reported in
+``degraded_jobs``), never change a value.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.fleet import run_fleet_query
+from repro.core.analysis.fleetplan import FleetPlan
+from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
+from repro.core.archive.store import ArchiveStore
+
+MISSIONS = ("Load", "Compute", "Step-0", "Step-1", "Step-12", "IO-2")
+ACTORS = ("Master", "Worker-1", "Worker-2")
+INFO_KEYS = ("Duration", "Bytes", "Status")
+PLATFORMS = ("Giraph", "PowerGraph", "")
+
+timestamps = st.one_of(
+    st.none(),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    st.integers(min_value=0, max_value=10**9),
+)
+info_values = st.one_of(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.none(),
+    st.sampled_from(("SUCCEEDED", "12.5", "Infinity", "")),
+)
+
+PLANS = (
+    FleetPlan.from_params(
+        {"group_by": "platform,meta:flavor",
+         "agg": "count,sum,mean,min,max,p50,p95,top3"}),
+    FleetPlan.from_params(
+        {"group_by": "platform", "agg": "count,mean,p90,top2",
+         "metric": "Bytes"}),
+    FleetPlan.from_params(
+        {"group_by": "platform", "agg": "sum", "mission": "Step"},
+        op="series"),
+    FleetPlan.from_params({"group_by": "platform", "k": "1.0"},
+                          op="regressions"),
+)
+
+
+@st.composite
+def stores_of_archives(draw):
+    """2–5 random archives, keyed for one ArchiveStore."""
+    jobs = draw(st.integers(min_value=2, max_value=5))
+    archives = []
+    for j in range(jobs):
+        count = draw(st.integers(min_value=1, max_value=10))
+        ops = []
+        for index in range(count):
+            op = ArchivedOperation(
+                uid=f"j{j}op{index}",
+                mission=draw(st.sampled_from(MISSIONS)),
+                actor=draw(st.sampled_from(ACTORS)),
+                start_time=draw(timestamps),
+                end_time=draw(timestamps),
+                infos=draw(st.dictionaries(
+                    st.sampled_from(INFO_KEYS), info_values,
+                    max_size=2)),
+            )
+            if index:
+                parent = ops[draw(st.integers(0, index - 1))]
+                op.parent = parent
+                parent.children.append(op)
+            ops.append(op)
+        metadata = {}
+        if draw(st.booleans()):
+            metadata["flavor"] = draw(st.sampled_from(("fast", "slow")))
+        archives.append(PerformanceArchive(
+            f"job-{j:02d}", ops[0],
+            platform=draw(st.sampled_from(PLATFORMS)),
+            metadata=metadata,
+        ))
+    return archives
+
+
+class TestFleetModeInvariance:
+    @given(stores_of_archives(), st.sampled_from(PLANS))
+    @settings(max_examples=25, deadline=None)
+    def test_columnar_scan_equals_tree_scan(self, archives, plan):
+        with tempfile.TemporaryDirectory() as directory:
+            store = ArchiveStore(Path(directory) / "s")
+            for archive in archives:
+                store.save(archive)
+            columnar = run_fleet_query(store, plan, mode="auto")
+            tree = run_fleet_query(store, plan, mode="tree")
+            assert columnar == tree
+            assert columnar["degraded_jobs"] == []
+
+    @given(stores_of_archives(), st.sampled_from(PLANS),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_damaged_sidecars_degrade_without_changing_values(
+        self, archives, plan, data,
+    ):
+        with tempfile.TemporaryDirectory() as directory:
+            store = ArchiveStore(Path(directory) / "s")
+            for archive in archives:
+                store.save(archive)
+            job_ids = store.list()
+            victims = sorted(data.draw(st.sets(
+                st.sampled_from(job_ids), min_size=1,
+                max_size=len(job_ids),
+            )))
+            for n, job_id in enumerate(victims):
+                side = store.sidecar_path(job_id)
+                if n % 2:
+                    side.unlink()
+                else:
+                    side.write_bytes(b"GCOL not a real sidecar")
+            columnar = run_fleet_query(store, plan, mode="auto")
+            tree = run_fleet_query(store, plan, mode="tree")
+            assert columnar["degraded_jobs"] == victims
+            assert dict(columnar, degraded_jobs=[]) == tree
