@@ -27,6 +27,12 @@ additionally SIGKILLs one shard worker mid-burst (pid taken from the
 aggregated ``/healthz``), keeps writing through the outage honouring
 ``Retry-After``, and only passes if the cluster converges back to
 ``ok`` with every acknowledged job stored exactly once.
+
+With ``--live`` the smoke drives live monitoring instead: a faulted
+``granula run --live-port`` whose SSE stream is consumed while the job
+executes.  It passes only if the stream was incremental (partial
+snapshots with salvage-inferred closes) and the final streamed snapshot
+is byte-for-byte the archive the store persisted.
 """
 
 from __future__ import annotations
@@ -372,7 +378,122 @@ def cluster_main(chaos: bool) -> int:
     return 0
 
 
+def live_main() -> int:
+    """Drive ``granula run --live-port`` and audit its SSE stream.
+
+    Runs a *faulted* workload (one worker crash, so the tail of the log
+    is salvaged and some operation ends are provenance-``inferred``),
+    consumes ``/jobs/{id}/live`` while the run executes, and passes only
+    if the stream was incremental (at least one partial snapshot), saw
+    inferred closes mid-stream, terminated with a ``complete`` event,
+    and the final streamed snapshot is byte-for-byte the archive the
+    store persisted.
+    """
+    from repro.core.monitor.live import iter_sse_events
+
+    job_id = "giraph-bfs-dg-tiny-w4"
+    with tempfile.TemporaryDirectory(prefix="live-smoke-") as tmp:
+        store = Path(tmp) / "store"
+        plan_path = Path(tmp) / "faults.json"
+        plan_path.write_text(json.dumps({
+            "events": [
+                {"type": "worker_crash", "worker": 1, "superstep": 2},
+            ],
+            "checkpoint_interval": 2,
+            "seed": 13,
+        }))
+
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "run",
+             "Giraph", "bfs", "dg-tiny", "--workers", "4",
+             "--out", str(store), "--faults", str(plan_path),
+             "--live-port", "0", "--live-linger", "30"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            base = wait_for_banner(process)
+            url = f"{base}/jobs/{job_id}/live"
+            reply = None
+            deadline = time.monotonic() + STARTUP_TIMEOUT
+            while time.monotonic() < deadline:
+                try:
+                    reply = urllib.request.urlopen(url, timeout=30)
+                    break
+                except urllib.error.HTTPError as exc:
+                    if exc.code != 404:
+                        fail(f"GET {url} answered {exc.code}")
+                    time.sleep(0.05)  # monitor not registered yet
+                except OSError:
+                    time.sleep(0.05)
+            if reply is None:
+                fail("live stream never became connectable")
+            if reply.headers.get("Content-Type") != "text/event-stream":
+                fail(f"unexpected Content-Type "
+                     f"{reply.headers.get('Content-Type')!r}")
+
+            snapshots = []
+            completed = None
+            with reply:
+                for event in iter_sse_events(reply):
+                    if event.event == "snapshot":
+                        snapshots.append(event)
+                    elif event.event == "complete":
+                        completed = json.loads(event.data)
+                        break
+            if completed is None:
+                fail("stream ended without a complete event")
+            if completed.get("error"):
+                fail(f"run aborted: {completed['error']}")
+            if not snapshots:
+                fail("stream carried no snapshots")
+
+            ids = [int(event.event_id) for event in snapshots]
+            if ids != sorted(set(ids)):
+                fail(f"snapshot ids not strictly increasing: {ids}")
+            if int(completed["final_seq"]) != ids[-1]:
+                fail(f"complete final_seq {completed['final_seq']} != "
+                     f"last snapshot id {ids[-1]}")
+
+            partials = 0
+            inferred_seen = 0
+            for event in snapshots[:-1]:
+                document = json.loads(event.data)
+                live_meta = document["metadata"].get("live", {})
+                if not live_meta.get("partial"):
+                    fail(f"mid-stream snapshot {event.event_id} "
+                         f"not marked partial")
+                partials += 1
+                inferred_seen += int(live_meta.get("inferred_ends", 0))
+            if partials < 1:
+                fail("stream was not incremental: no partial snapshots")
+            if inferred_seen < 1:
+                fail("no inferred closes observed in partial snapshots")
+
+            stored = (store / f"{job_id}.json").read_bytes()
+            if snapshots[-1].data != stored:
+                fail("final streamed snapshot differs from stored archive")
+            print(f"live smoke: {partials} partial snapshot(s), "
+                  f"{inferred_seen} inferred close(s) observed, final "
+                  f"snapshot byte-identical to the stored archive "
+                  f"({len(stored)} bytes)")
+
+            if process.wait(timeout=60) != 0:
+                fail(f"granula run exited {process.returncode}")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    print("live smoke: PASS")
+    return 0
+
+
 def main() -> int:
+    if "--live" in sys.argv[1:]:
+        return live_main()
     if "--cluster" in sys.argv[1:]:
         return cluster_main(chaos="--chaos" in sys.argv[1:])
     if "--chaos" in sys.argv[1:]:

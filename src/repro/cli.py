@@ -6,7 +6,7 @@ Subcommands::
     granula model <platform>       print a platform's model tree (Fig. 4)
     granula run <platform> <alg> <dataset> [--workers N] [--jobs N]
                 [--engine-mode auto|scalar|vectorized] [--out DIR]
-                [--faults plan.json]
+                [--faults plan.json] [--live-port P]
                                    run monitored jobs, print Fig. 5,
                                    optionally store the archives; each
                                    positional accepts a comma-separated
@@ -14,7 +14,11 @@ Subcommands::
                                    fanned out over --jobs processes);
                                    with a fault plan (single runs only),
                                    inject the scheduled faults and print
-                                   the diagnosis
+                                   the diagnosis; with --live-port,
+                                   serve the run's snapshot stream at
+                                   GET /jobs/{id}/live while it runs
+    granula watch <url>            follow a live snapshot stream (SSE)
+                                   printed one line per snapshot
     granula experiments [--out FILE] [--jobs N] [--html FILE]
                                    reproduce every table/figure
     granula bench [--suite pipeline|fleet] [--jobs N] [--small]
@@ -178,7 +182,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"seed {faults.seed})\n")
 
     store = ArchiveStore(args.out) if args.out else None
-    runner = WorkloadRunner(store=store, engine_mode=args.engine_mode)
+    live_server = None
+    live_registry = None
+    if args.live_port is not None:
+        store, live_server, live_registry = _start_live_server(args, store)
+    runner = WorkloadRunner(
+        store=store, engine_mode=args.engine_mode, live=live_registry,
+    )
     requests = [RunRequest(spec, faults=faults) for spec in specs]
     iterations = runner.run_many(requests, jobs=args.jobs)
     for spec, iteration in zip(specs, iterations):
@@ -205,9 +215,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ))
         if len(specs) > 1:
             print()
-    if store is not None:
+    if args.out:
         print(f"\narchive stored under {args.out}/")
+    if live_server is not None:
+        if live_registry.active_streams:
+            print("granula live: waiting for stream consumer(s) to "
+                  "receive the final snapshot")
+        live_registry.drain(timeout=args.live_linger)
+        live_server.shutdown()
+        live_server.server_close()
     return 0
+
+
+def _start_live_server(args: argparse.Namespace, store):
+    """Spin up the in-process service that streams this run live.
+
+    The server shares the run's archive store (an ephemeral directory
+    when ``--out`` was not given) and its :class:`LiveJobRegistry`, so
+    ``/jobs/{id}/live`` streams snapshots while jobs execute and every
+    other endpoint works on whatever has been archived so far.
+    """
+    import tempfile
+    import threading
+
+    from repro.core.monitor.live import LiveJobRegistry
+    from repro.service.server import create_server
+
+    if store is None:
+        store = ArchiveStore(tempfile.mkdtemp(prefix="granula-live-"))
+    registry = LiveJobRegistry(replay_delay=args.live_delay)
+    server = create_server(
+        store,
+        port=args.live_port,
+        writable=False,
+        live=registry,
+    )
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        daemon=True,
+        name="granula-live-server",
+    )
+    thread.start()
+    # Flushed eagerly: watchers parse this banner from a pipe to find
+    # the stream URL before the run completes.
+    print(f"granula live: monitoring at {server.url} "
+          f"(SSE at /jobs/{{job}}/live)", flush=True)
+    return store, server, registry
 
 
 def _run_prpb(args: argparse.Namespace, platforms: List[str]) -> int:
@@ -557,6 +611,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``granula watch <url>``: follow a job's live SSE stream."""
+    import urllib.error
+    import urllib.request
+
+    from repro.core.monitor.live import iter_sse_events
+
+    request = urllib.request.Request(
+        args.url, headers={"Accept": "text/event-stream"}
+    )
+    try:
+        reply = urllib.request.urlopen(request, timeout=args.timeout)
+    except urllib.error.HTTPError as exc:
+        raise ServiceError(
+            f"cannot watch {args.url}: HTTP {exc.code}"
+        ) from None
+    except OSError as exc:
+        raise ServiceError(f"cannot watch {args.url}: {exc}") from None
+    try:
+        for event in iter_sse_events(reply):
+            if event.event == "snapshot":
+                try:
+                    document = json.loads(event.data.decode("utf-8"))
+                except ValueError:
+                    print(f"snapshot {event.event_id}: <unparseable>")
+                    continue
+                operations = document.get("operations") or {}
+                count = (
+                    operations.get("count")
+                    if isinstance(operations, dict) else None
+                )
+                live_meta = (
+                    (document.get("metadata") or {}).get("live") or {}
+                )
+                state = (
+                    f"{live_meta.get('inferred_ends', 0)} still open"
+                    if live_meta.get("partial") else "final"
+                )
+                print(f"snapshot {event.event_id}: "
+                      f"{document.get('job_id')} — {count} operation(s), "
+                      f"{state}")
+            elif event.event == "complete":
+                try:
+                    info = json.loads(event.data.decode("utf-8"))
+                except ValueError:
+                    info = {}
+                if info.get("error"):
+                    print(f"job failed: {info['error']}")
+                    return 1
+                print(f"complete: final snapshot is "
+                      f"#{info.get('final_seq')}")
+                return 0
+    except (TimeoutError, OSError) as exc:
+        raise ServiceError(f"stream interrupted: {exc}") from None
+    finally:
+        reply.close()
+    print("stream ended without a complete event")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -620,6 +734,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-plan JSON file to inject "
                             "(see repro.platforms.faults.FaultPlan); "
                             "single runs only")
+    p_run.add_argument("--live-port", type=int, default=None,
+                       help="serve this run live on the given port "
+                            "(0 for ephemeral): GET /jobs/{id}/live "
+                            "streams archive snapshots as SSE while "
+                            "the job executes (forces serial runs)")
+    p_run.add_argument("--live-linger", type=float, default=15.0,
+                       help="seconds to wait after the runs for open "
+                            "live streams to receive the final "
+                            "snapshot")
+    p_run.add_argument("--live-delay", type=float, default=0.05,
+                       help="seconds between live log-replay chunks "
+                            "(greater values spread snapshots out for "
+                            "human watchers)")
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiments",
@@ -769,6 +896,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(one per worker); default with --workers N "
                             "is <store>/shard-00..shard-NN")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a running job's live snapshot stream (SSE)")
+    p_watch.add_argument(
+        "url",
+        help="the job's live endpoint, e.g. "
+             "http://127.0.0.1:8737/jobs/<id>/live")
+    p_watch.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="socket inactivity timeout in seconds (server "
+             "heartbeats reset it)")
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_rep = sub.add_parser("report", help="render a stored archive")
     p_rep.add_argument("archive", help="path to an archive JSON file")

@@ -28,6 +28,11 @@ from repro.core.monitor.salvage import (
     SalvageParser,
     salvage_archive,
 )
+from repro.core.monitor.live import (
+    LiveJobRegistry,
+    LiveMonitor,
+    LiveSnapshot,
+)
 from repro.core.monitor.session import MonitoredRun, MonitoringSession
 
 __all__ = [
@@ -46,6 +51,9 @@ __all__ = [
     "IngestReport",
     "SalvageParser",
     "salvage_archive",
+    "LiveJobRegistry",
+    "LiveMonitor",
+    "LiveSnapshot",
     "MonitoredRun",
     "MonitoringSession",
 ]

@@ -21,6 +21,7 @@ from repro.core.archive.builder import BuildReport, build_archive
 from repro.core.archive.store import ArchiveStore
 from repro.core.model.job import JobModel
 from repro.core.model.validation import validate_model
+from repro.core.monitor.live import LiveMonitor
 from repro.core.monitor.session import MonitoredRun, MonitoringSession
 from repro.core.visualize.breakdown import DomainBreakdown, compute_breakdown
 from repro.core.visualize.gantt import SuperstepGantt, compute_gantt
@@ -81,6 +82,7 @@ class EvaluationProcess:
         self,
         request: JobRequest,
         model_level: Optional[int] = None,
+        live: Optional[LiveMonitor] = None,
     ) -> EvaluationIteration:
         """One modeling -> monitoring -> archiving -> visualization loop.
 
@@ -89,6 +91,13 @@ class EvaluationProcess:
             model_level: cap the model at this abstraction level for this
                 iteration (None uses the full model) — the coarse/fine
                 trade-off control.
+            live: a live monitor to publish this run into.  The
+                platform's log is replayed into it in chunks (the
+                simulated platforms execute a job as one discrete-event
+                pass, so chunked replay is the tail-f-shaped feed a
+                real deployment would produce), and the final archive
+                completes it — the last snapshot a stream consumer sees
+                is byte-identical to what the store persists.
         """
         # P1 Modeling: select the (possibly truncated) model.
         model = (
@@ -97,10 +106,14 @@ class EvaluationProcess:
         )
         # P2 Monitoring: run the job, collect platform + environment logs.
         run = self.session.run(request)
+        if live is not None:
+            live.replay(run.result.log_lines, run.env_samples)
         # P3 Archiving: build, derive, optionally persist.
         archive, report = build_archive(run, model)
         if self.store is not None:
             self.store.save(archive, overwrite=True)
+        if live is not None:
+            live.complete(archive)
         # P4 Visualization: compute the standard visuals.
         breakdown = compute_breakdown(archive)
         utilization = compute_utilization(archive)

@@ -28,14 +28,25 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import (
+    Any, Dict, Iterator, Mapping, Optional, Tuple, Union,
+)
 
 from repro.core.analysis.fleet import run_fleet_query
 from repro.core.analysis.fleetplan import FleetPlan
 from repro.core.archive.archive import ArchivedOperation, PerformanceArchive
 from repro.core.archive.columnar import ColumnarArchiveView
 from repro.core.archive.query import ArchiveQuery
+from repro.core.archive.serialize import archive_from_json
 from repro.core.archive.store import ArchiveStore, validate_job_id
+from repro.core.monitor.live import (
+    DEFAULT_HEARTBEAT,
+    LiveJobRegistry,
+    LiveMonitor,
+    complete_payload,
+    sse_comment,
+    sse_event,
+)
 from repro.core.visualize.render_html import render_report_html
 from repro.core.visualize.report import render_report_text
 from repro.errors import (
@@ -75,6 +86,31 @@ class Response:
     def json(self) -> Any:
         """The body parsed as JSON (test convenience)."""
         return json.loads(self.body)
+
+
+@dataclass
+class StreamingResponse:
+    """A chunk-at-a-time response (Server-Sent Events).
+
+    ``chunks`` is a byte-string iterator the transport writes as an
+    HTTP/1.1 chunked body; the generator's ``close()`` runs its
+    ``finally`` blocks (stream accounting) even when the client
+    disconnects mid-stream.
+    """
+
+    status: int
+    chunks: Iterator[bytes]
+    content_type: str = "text/event-stream"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def close(self) -> None:
+        close = getattr(self.chunks, "close", None)
+        if close is not None:
+            close()
+
+
+#: What a service handler may return.
+AnyResponse = Union[Response, StreamingResponse]
 
 
 def json_response(
@@ -137,6 +173,8 @@ class ArchiveService:
         store: ArchiveStore,
         cache_size: int = 64,
         ingest: Optional[IngestPipeline] = None,
+        live: Optional[LiveJobRegistry] = None,
+        live_heartbeat: float = DEFAULT_HEARTBEAT,
     ):
         self.store = store
         self.cache = ArchiveCache(cache_size)
@@ -144,6 +182,11 @@ class ArchiveService:
         #: Write path; ``None`` keeps the PR 5 read-only behaviour
         #: (every non-GET answers 405).
         self.ingest = ingest
+        #: Live monitors published by an in-process workload runner;
+        #: ``None`` still serves ``/jobs/{id}/live`` for stored jobs
+        #: as a degenerate one-snapshot stream.
+        self.live = live
+        self.live_heartbeat = live_heartbeat
 
     # -- entry point -------------------------------------------------------
 
@@ -154,7 +197,7 @@ class ArchiveService:
         headers: Optional[Mapping[str, str]] = None,
         method: str = "GET",
         body: bytes = b"",
-    ) -> Response:
+    ) -> AnyResponse:
         """Dispatch one request; never raises on client errors."""
         started = time.perf_counter()
         if self.ingest is not None and self.ingest.chaos is not None:
@@ -211,6 +254,8 @@ class ArchiveService:
                 return "/jobs/{id}/query", "job_query"
             if parts[2:] == ["report"]:
                 return "/jobs/{id}/report", "job_report"
+            if parts[2:] == ["live"]:
+                return "/jobs/{id}/live", "job_live"
         return "other", None
 
     def _dispatch(
@@ -220,7 +265,7 @@ class ArchiveService:
         headers: Dict[str, str],
         method: str,
         body: bytes,
-    ) -> Tuple[str, Response]:
+    ) -> Tuple[str, AnyResponse]:
         endpoint, handler = self._route(path, method)
         if handler is None:
             if method not in ("GET", "HEAD") and endpoint == "other":
@@ -259,6 +304,8 @@ class ArchiveService:
                 return endpoint, self._job_summary(parts[1], headers)
             if handler == "job_query":
                 return endpoint, self._job_query(parts[1], params, headers)
+            if handler == "job_live":
+                return endpoint, self._job_live(parts[1], params, headers)
             return endpoint, self._job_report(parts[1], params, headers)
         except _BadRequest as exc:
             return endpoint, error_response(400, str(exc))
@@ -549,20 +596,126 @@ class ArchiveService:
                 "/jobs/{id}/report",
                 f"unknown format {fmt!r}; expected text or html",
             )
-        checksum = self._checksum(job_id)
+        monitor = self.live.get(job_id) if self.live is not None else None
+        live_url = None
+        if monitor is not None and not monitor.is_complete:
+            live_url = f"/jobs/{job_id}/live"
+        try:
+            checksum = self._checksum(job_id)
+        except ArchiveError:
+            # Not stored yet: a running job can still be reported from
+            # its latest live snapshot (no ETag — it is a moving target).
+            snap = monitor.snapshot() if monitor is not None else None
+            if snap is None:
+                raise
+            archive = archive_from_json(snap.body.decode("utf-8"))
+            return self._render_report(archive, fmt, live_url, etag=None)
         etag = _etag_of(checksum)
-        if _etag_matches(headers.get("If-None-Match"), etag):
+        if live_url is None and _etag_matches(
+            headers.get("If-None-Match"), etag
+        ):
             return Response(304, headers={"ETag": etag})
         archive = self._archive(job_id, checksum)
+        return self._render_report(
+            archive, fmt, live_url, etag=None if live_url else etag
+        )
+
+    def _render_report(
+        self,
+        archive: PerformanceArchive,
+        fmt: str,
+        live_url: Optional[str],
+        etag: Optional[str],
+    ) -> Response:
         if fmt == "html":
-            body = render_report_html([archive])
+            body = render_report_html([archive], live_url=live_url)
             content_type = "text/html; charset=utf-8"
         else:
             body = render_report_text(archive)
             content_type = "text/plain; charset=utf-8"
+        headers = {"ETag": etag} if etag else {}
         return Response(
-            200, body.encode("utf-8"), content_type, {"ETag": etag}
+            200, body.encode("utf-8"), content_type, headers
         )
+
+    def _job_live(
+        self,
+        job_id: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+    ) -> StreamingResponse:
+        """``GET /jobs/{id}/live``: the job's snapshot stream as SSE.
+
+        Event ids are snapshot sequence numbers, so a reconnecting
+        client's ``Last-Event-ID`` resumes exactly where it left off.
+        A job without a live monitor degrades to a one-snapshot stream
+        of the stored archive bytes followed by ``complete`` — the
+        static case is just a stream that is already over.
+        """
+        try:
+            validate_job_id(job_id)
+        except ArchiveError as exc:
+            raise _BadRequest("/jobs/{id}/live", str(exc)) from None
+        last_id = _last_event_id(headers, params)
+        monitor = self.live.get(job_id) if self.live is not None else None
+        if monitor is not None:
+            chunks = self._live_events(monitor, last_id)
+        else:
+            body = self._stored_body(job_id)
+            chunks = _stored_events(job_id, body, last_id)
+        return StreamingResponse(
+            200,
+            chunks,
+            "text/event-stream",
+            {"Cache-Control": "no-store", "X-Accel-Buffering": "no"},
+        )
+
+    def _stored_body(self, job_id: str) -> bytes:
+        """The stored archive's raw bytes (404 via ArchiveError)."""
+        self._checksum(job_id)
+        return self.store.handle(job_id).path.read_bytes()
+
+    def _live_events(
+        self, monitor: LiveMonitor, last_id: int,
+    ) -> Iterator[bytes]:
+        """SSE event stream over one live monitor.
+
+        Heartbeat comments are emitted whenever no snapshot lands
+        within ``live_heartbeat`` seconds, so idle streams survive
+        proxy idle timeouts.  Stream accounting happens here — inside
+        the generator — so an aborted (never-consumed or disconnected)
+        stream still balances its open/close pair via ``close()``.
+        """
+        registry = self.live
+        if registry is not None:
+            registry.stream_opened()
+        try:
+            yield sse_comment(f"live stream for {monitor.job_id}")
+            since = last_id
+            while True:
+                snap = monitor.wait(since, timeout=self.live_heartbeat)
+                if snap is None:
+                    if monitor.is_complete:
+                        # Aborted before any snapshot existed.
+                        yield sse_event(
+                            complete_payload(monitor), event="complete"
+                        )
+                        return
+                    yield sse_comment()
+                    continue
+                if snap.seq > since:
+                    yield sse_event(
+                        snap.body, event="snapshot", event_id=snap.seq
+                    )
+                    since = snap.seq
+                if snap.complete or monitor.is_complete:
+                    yield sse_event(
+                        complete_payload(monitor), event="complete"
+                    )
+                    return
+        finally:
+            if registry is not None:
+                registry.stream_closed()
 
     # -- shared helpers ----------------------------------------------------
 
@@ -587,6 +740,44 @@ class ArchiveService:
             archive = self.store.handle(job_id).archive()
             self.cache.put(checksum, archive)
         return archive
+
+
+def _stored_events(
+    job_id: str, body: bytes, last_id: int,
+) -> Iterator[bytes]:
+    """Degenerate SSE stream for a job that is already archived."""
+    yield sse_comment(f"stored archive for {job_id}")
+    final_seq = 1
+    if last_id < final_seq:
+        yield sse_event(body, event="snapshot", event_id=final_seq)
+    payload = json.dumps(
+        {"job_id": job_id, "final_seq": final_seq, "error": None},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    yield sse_event(payload, event="complete")
+
+
+def _last_event_id(
+    headers: Mapping[str, str], params: Mapping[str, str],
+) -> int:
+    """The resume point: ``Last-Event-ID`` header or query fallback.
+
+    Malformed values mean "from the beginning" — SSE clients send the
+    header automatically on reconnect, so strictness buys nothing.
+    Header names are matched case-insensitively: ``http.client``
+    title-cases them on the wire (``Last-Event-Id``).
+    """
+    raw = ""
+    for name, value in headers.items():
+        if name.lower() == "last-event-id":
+            raw = value
+            break
+    if not raw:
+        raw = params.get("last_event_id") or ""
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
 
 
 class _BadRequest(Exception):
@@ -623,6 +814,8 @@ def _int_param(
 __all__ = [
     "ArchiveService",
     "Response",
+    "StreamingResponse",
+    "AnyResponse",
     "AGGREGATIONS",
     "json_response",
     "error_response",

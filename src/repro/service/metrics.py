@@ -33,6 +33,7 @@ KNOWN_ENDPOINTS: FrozenSet[str] = frozenset({
     "/jobs/{id}",
     "/jobs/{id}/query",
     "/jobs/{id}/report",
+    "/jobs/{id}/live",
     "POST /jobs",
     "/ingest/{id}",
     "/fleet/query",

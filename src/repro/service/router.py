@@ -37,7 +37,9 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple,
+)
 
 from repro.core.analysis.fleet import detect_regressions, percentile_of
 from repro.core.analysis.fleetplan import FleetPlan
@@ -51,7 +53,9 @@ from repro.errors import (
 from repro.service.app import (
     DEFAULT_PAGE,
     MAX_PAGE,
+    AnyResponse,
     Response,
+    StreamingResponse,
     error_response,
     json_response,
 )
@@ -64,15 +68,17 @@ from repro.service.supervisor import ShardSupervisor
 MIN_VNODES = 64
 
 #: A transport proxies one request to one shard worker and returns its
-#: transport-agnostic Response.  Signature:
+#: transport-agnostic Response (or a StreamingResponse for event
+#: streams).  Signature:
 #: ``(base_url, path, params, headers, method, body, timeout)``.
 Transport = Callable[
     [str, str, Mapping[str, str], Mapping[str, str], str, bytes, float],
-    Response,
+    AnyResponse,
 ]
 
 #: Request headers the router forwards to shard workers verbatim.
-_FORWARD_HEADERS = ("Content-Type", "If-None-Match")
+#: ``Last-Event-ID`` keeps SSE resume working through the proxy.
+_FORWARD_HEADERS = ("Content-Type", "If-None-Match", "Last-Event-ID")
 
 #: Response headers the router passes back to the client verbatim.
 _RETURN_HEADERS = ("ETag", "Retry-After")
@@ -145,15 +151,37 @@ def http_transport(
         data=body if method == "POST" else None,
         method=method,
     )
+    # Case-insensitive match: http.client title-cases header names on
+    # the wire (``Last-Event-ID`` arrives as ``Last-Event-Id``).
+    lowered = {name.lower(): value for name, value in headers.items()}
     for name in _FORWARD_HEADERS:
-        if name in headers:
-            request.add_header(name, headers[name])
+        value = lowered.get(name.lower())
+        if value is not None:
+            request.add_header(name, value)
     try:
-        with urllib.request.urlopen(request, timeout=timeout) as reply:
+        reply = urllib.request.urlopen(request, timeout=timeout)
+        content_type = reply.headers.get(
+            "Content-Type", "application/json"
+        )
+        if content_type.split(";")[0].strip().lower() == \
+                "text/event-stream":
+            # Event streams are proxied incrementally: the worker's
+            # connection stays open and each SSE line is forwarded as
+            # it arrives, instead of buffering the whole (unbounded)
+            # body.  The generator owns the reply and closes it when
+            # the client-side stream ends or disconnects.
+            return StreamingResponse(
+                reply.status,
+                _relay_stream(reply),
+                content_type,
+                {name: reply.headers[name] for name in _RETURN_HEADERS
+                 if name in reply.headers},
+            )
+        with reply:
             return Response(
                 reply.status,
                 reply.read(),
-                reply.headers.get("Content-Type", "application/json"),
+                content_type,
                 {name: reply.headers[name] for name in _RETURN_HEADERS
                  if name in reply.headers},
             )
@@ -166,6 +194,18 @@ def http_transport(
             {name: exc.headers[name] for name in _RETURN_HEADERS
              if name in exc.headers},
         )
+
+
+def _relay_stream(reply) -> Iterator[bytes]:
+    """Forward an upstream SSE body line by line (SSE is line-framed)."""
+    try:
+        while True:
+            line = reply.readline()
+            if not line:
+                return
+            yield line
+    finally:
+        reply.close()
 
 
 def _rejection(exc: ShardUnavailableError) -> Response:
@@ -206,7 +246,7 @@ class ClusterService:
         headers: Optional[Mapping[str, str]] = None,
         method: str = "GET",
         body: bytes = b"",
-    ) -> Response:
+    ) -> AnyResponse:
         """Dispatch one request; never raises on client/shard errors."""
         started = time.perf_counter()
         endpoint, response = self._dispatch(
@@ -247,7 +287,7 @@ class ClusterService:
         if len(parts) >= 2 and parts[0] == "jobs":
             if len(parts) == 2:
                 return "/jobs/{id}", "job"
-            if parts[2:] == ["query"] or parts[2:] == ["report"]:
+            if parts[2:] in (["query"], ["report"], ["live"]):
                 endpoint = f"/jobs/{{id}}/{parts[2]}"
                 return endpoint, "job"
         return "other", None
@@ -259,7 +299,7 @@ class ClusterService:
         headers: Dict[str, str],
         method: str,
         body: bytes,
-    ) -> Tuple[str, Response]:
+    ) -> Tuple[str, AnyResponse]:
         endpoint, handler = self._route(path, method)
         if handler is None:
             if method not in ("GET", "HEAD") and endpoint == "other":
@@ -304,7 +344,7 @@ class ClusterService:
         headers: Mapping[str, str],
         method: str,
         body: bytes,
-    ) -> Response:
+    ) -> AnyResponse:
         """Forward one request to one shard or raise ShardUnavailable."""
         if self.chaos is not None:
             try:
@@ -351,7 +391,7 @@ class ClusterService:
         headers: Dict[str, str],
         method: str,
         body: bytes,
-    ) -> Response:
+    ) -> AnyResponse:
         try:
             validate_job_id(job_id)
         except ArchiveError as exc:

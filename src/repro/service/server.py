@@ -32,7 +32,14 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.archive.store import ArchiveStore
 from repro.errors import ServiceError
-from repro.service.app import ArchiveService, Response, error_response
+from repro.core.monitor.live import LiveJobRegistry
+from repro.service.app import (
+    AnyResponse,
+    ArchiveService,
+    Response,
+    StreamingResponse,
+    error_response,
+)
 from repro.service.chaos import ChaosController, ChaosPlan
 from repro.service.ingest import IngestPipeline
 
@@ -63,26 +70,37 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
     def _read_body(self, method: str) -> Optional[bytes]:
         """The request body, or None after a rejection was sent.
 
-        Enforced before any body byte is read: a missing length is 411,
-        a malformed one 400, an oversized one 413.  A timeout while the
-        client dribbles the body answers 408.
+        Enforced before any body byte is read: a missing length is 411
+        (for methods that require a body), a malformed one 400, an
+        oversized one 413.  A timeout while the client dribbles the
+        body answers 408.
+
+        A declared body is consumed on **every** method: a bodied
+        DELETE/GET on a keep-alive connection would otherwise leave its
+        unread body bytes in the socket to be parsed as the next
+        request line (request desynchronization).  Methods outside
+        POST/PUT have their drained body discarded — no handler reads
+        it — but the connection stays framed correctly.
         """
-        if method not in ("POST", "PUT"):
-            return b""
+        expects_body = method in ("POST", "PUT")
         raw = self.headers.get("Content-Length")
         if raw is None:
-            self._write(error_response(
-                411, "POST requires a Content-Length header"
-            ), include_body=True)
-            return None
+            if expects_body:
+                self._write(error_response(
+                    411, "POST requires a Content-Length header"
+                ), include_body=True)
+                return None
+            return b""
         try:
             length = int(raw)
             if length < 0:
                 raise ValueError
         except ValueError:
+            # The next request boundary is unknowable: close.
             self._write(error_response(
                 400, f"malformed Content-Length {raw!r}"
             ), include_body=True)
+            self.close_connection = True
             return None
         if length > self.server.max_body_bytes:
             self._write(error_response(
@@ -93,13 +111,17 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             return None
         try:
-            return self.rfile.read(length)
+            data = self.rfile.read(length)
         except (TimeoutError, socket.timeout):
             self._write(error_response(
                 408, "timed out reading the request body"
             ), include_body=True)
             self.close_connection = True
             return None
+        if len(data) < length:
+            # Short read (client hung up mid-body): never reuse.
+            self.close_connection = True
+        return data if expects_body else b""
 
     def _respond(self, method: str) -> None:
         body = self._read_body(method)
@@ -122,7 +144,12 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
             )
         self._write(response, include_body=method != "HEAD")
 
-    def _write(self, response: Response, include_body: bool) -> None:
+    def _write(
+        self, response: "AnyResponse", include_body: bool,
+    ) -> None:
+        if isinstance(response, StreamingResponse):
+            self._write_stream(response, include_body)
+            return
         try:
             self.send_response(response.status)
             self.send_header("Content-Type", response.content_type)
@@ -132,8 +159,48 @@ class ArchiveRequestHandler(BaseHTTPRequestHandler):
             self.end_headers()
             if include_body and response.body:
                 self.wfile.write(response.body)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # Client went away mid-response.
+        except (BrokenPipeError, ConnectionResetError,
+                TimeoutError, socket.timeout):
+            # Client went away mid-response.  The socket may hold a
+            # half-written response; reusing it would let those bytes
+            # prefix the next response, so this connection is done.
+            self.close_connection = True
+
+    def _write_stream(
+        self, response: StreamingResponse, include_body: bool,
+    ) -> None:
+        """Write a :class:`StreamingResponse` as an HTTP/1.1 chunked body.
+
+        The response length is unknowable up front (an SSE stream ends
+        when the job does), so the body is chunk-framed and the
+        connection is closed afterwards — no attempt to resynchronize
+        keep-alive around an aborted stream.  The chunk generator is
+        always ``close()``d so its ``finally`` blocks (stream
+        accounting) run even on mid-stream disconnects.
+        """
+        self.close_connection = True
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.send_header("Transfer-Encoding", "chunked")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if include_body:
+                for chunk in response.chunks:
+                    if not chunk:
+                        continue
+                    self.wfile.write(
+                        b"%X\r\n" % len(chunk) + chunk + b"\r\n"
+                    )
+                    self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError,
+                TimeoutError, socket.timeout):
+            pass  # Disconnect mid-stream; close_connection already set.
+        finally:
+            response.close()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._respond("GET")
@@ -190,6 +257,8 @@ def create_server(
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     recover_after: float = 5.0,
+    live: Optional[LiveJobRegistry] = None,
+    live_heartbeat: Optional[float] = None,
 ) -> ArchiveServer:
     """Build a ready-to-serve (not yet serving) archive server.
 
@@ -221,7 +290,13 @@ def create_server(
             chaos=controller,
             recover_after=recover_after,
         )
-    service = ArchiveService(store, cache_size=cache_size, ingest=ingest)
+    service_kwargs = {}
+    if live_heartbeat is not None:
+        service_kwargs["live_heartbeat"] = live_heartbeat
+    service = ArchiveService(
+        store, cache_size=cache_size, ingest=ingest, live=live,
+        **service_kwargs,
+    )
     try:
         server = ArchiveServer(
             (host, port), service,

@@ -21,6 +21,7 @@ from repro.cluster.cluster import (
 from repro.cluster.node import das5_node
 from repro.core.archive.store import ArchiveStore
 from repro.core.model.library import ModelLibrary, default_library
+from repro.core.monitor.live import LiveJobRegistry
 from repro.core.process import EvaluationIteration, EvaluationProcess
 from repro.errors import ReproError
 from repro.platforms.base import ENGINE_MODES, Platform
@@ -76,6 +77,7 @@ class WorkloadRunner:
         store: Optional[ArchiveStore] = None,
         n_nodes: int = 8,
         engine_mode: str = "auto",
+        live: Optional[LiveJobRegistry] = None,
     ):
         if engine_mode not in ENGINE_MODES:
             raise ReproError(
@@ -86,6 +88,9 @@ class WorkloadRunner:
         self.store = store
         self.n_nodes = n_nodes
         self.engine_mode = engine_mode
+        #: When set, every executed workload publishes a live monitor
+        #: under its job id so attached services can stream snapshots.
+        self.live = live
         self._platforms: Dict[str, Platform] = {}
         self._processes: Dict[str, EvaluationProcess] = {}
         self._results: Dict[str, EvaluationIteration] = {}
@@ -148,11 +153,26 @@ class WorkloadRunner:
             if not platform.has_dataset(spec.dataset):
                 platform.deploy_dataset(spec.dataset, build_dataset(spec.dataset))
             request = spec.to_request(job_id=spec.label())
+            monitor = None
+            if self.live is not None:
+                monitor = self.live.open(
+                    spec.label(),
+                    platform=spec.platform,
+                    metadata={
+                        "algorithm": spec.algorithm,
+                        "dataset": spec.dataset,
+                        "workers": spec.workers,
+                    },
+                )
             platform.inject_faults(faults)
             try:
                 self._results[key] = self.process(spec.platform).iterate(
-                    request, model_level=model_level
+                    request, model_level=model_level, live=monitor
                 )
+            except Exception as exc:
+                if monitor is not None:
+                    monitor.abort(str(exc))
+                raise
             finally:
                 platform.inject_faults(None)
         return self._results[key]
@@ -178,7 +198,11 @@ class WorkloadRunner:
         for request, key in zip(requests, keys):
             if key not in self._results and key not in pending:
                 pending[key] = request
-        if jobs is not None and jobs > 1 and len(pending) > 1:
+        # Live monitoring feeds from the evaluation thread, so forked
+        # workers cannot publish into this process's registry; execute
+        # serially when a live registry is attached.
+        if (jobs is not None and jobs > 1 and len(pending) > 1
+                and self.live is None):
             iterations = execute_parallel(
                 list(pending.values()), jobs,
                 library=self.library, n_nodes=self.n_nodes,

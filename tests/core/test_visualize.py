@@ -271,6 +271,58 @@ class TestHtmlReport:
         assert "compute distribution" not in html
 
 
+def hostile_archive():
+    """An archive whose every dynamic string carries markup."""
+    root = ArchivedOperation("u0", "Job<b>", 'Client"', 0.0, 10.0)
+    child = ArchivedOperation(
+        "u1", "Load<i>", "Worker<script>alert(1)</script>",
+        0.0, 4.0, parent=root,
+    )
+    root.children.append(child)
+    return PerformanceArchive(
+        "job<img src=x onerror=alert(1)>",
+        root,
+        platform="Giraph<svg onload=alert(1)>",
+        metadata={"dataset": "a<b&c", "algorithm": "bfs<script>"},
+        env_samples=[(0.0, "n1", 2.0)],
+    )
+
+
+class TestHtmlEscaping:
+    def test_hostile_metadata_is_escaped(self):
+        html = render_report_html([hostile_archive()])
+        assert "a<b&c" not in html
+        assert "a&lt;b&amp;c" in html
+
+    def test_hostile_job_id_and_platform_never_raw(self):
+        html = render_report_html([hostile_archive()])
+        assert "<img src=x" not in html
+        assert "<svg onload" not in html
+        assert "&lt;img src=x" in html
+
+    def test_no_script_injection_anywhere(self):
+        html = render_report_html([hostile_archive()])
+        # The report owns exactly two <script> elements (the data blob
+        # and the dashboard code): payload strings must never open more.
+        assert html.count("<script>") == 2
+        assert "alert(1)</script>" not in html
+
+    def test_embedded_json_is_angle_bracket_free(self):
+        html = render_report_html([hostile_archive()])
+        start = html.index("window.GRANULA_DATA")
+        end = html.index("</script>", start)
+        blob = html[start:end]
+        assert "<" not in blob
+        assert "\\u003c" in blob
+
+    def test_hostile_title_is_escaped(self, giraph_archive):
+        html = render_report_html(
+            [giraph_archive], title="<script>alert(2)</script>"
+        )
+        assert "<script>alert(2)" not in html
+        assert "&lt;script&gt;alert(2)" in html
+
+
 class TestDegradedVisuals:
     def test_breakdown_of_partial_archive_is_annotated(self, giraph_archive):
         from repro.core.archive.serialize import archive_from_json, archive_to_json

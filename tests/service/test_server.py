@@ -249,6 +249,87 @@ class TestRequestHygiene:
         assert response.startswith(b"HTTP/1.1 408")
         assert elapsed < 8.0  # Reclaimed by the timeout, not by recv EOF.
 
+    def test_pipelined_delete_with_body_stays_framed(self, server):
+        # A bodied DELETE on a keep-alive connection: its declared body
+        # must be drained, or the body bytes get parsed as the next
+        # request line and every later response answers the wrong
+        # request (request desynchronization).
+        import re
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"DELETE /jobs/alpha HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 16\r\n\r\n"
+                b"0123456789abcdef"  # body a handler never reads
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            data = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            except socket.timeout:
+                pass
+        statuses = re.findall(rb"HTTP/1\.1 (\d{3})", data)
+        # First response rejects the DELETE; the second must answer
+        # the pipelined /healthz, not the drained body bytes.
+        assert statuses == [b"405", b"200"]
+        assert b'"status": "ok"' in data
+
+    def test_get_with_body_drained_too(self, server):
+        # Same desync guard for GET, whose body no handler ever reads.
+        import re
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 5\r\n\r\n"
+                b"xxxxx"
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            data = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            except socket.timeout:
+                pass
+        assert re.findall(rb"HTTP/1\.1 (\d{3})", data) == [b"200", b"200"]
+
+    def test_partial_write_closes_connection(self, server):
+        # A client that vanishes mid-response leaves a half-written
+        # socket; reusing it would prefix the next response with the
+        # remainder.  The handler must mark the connection closed.
+        from repro.service.app import Response
+        from repro.service.server import ArchiveRequestHandler
+
+        class GoneClient:
+            def write(self, data):
+                raise BrokenPipeError
+
+            def flush(self):
+                raise BrokenPipeError
+
+        handler = ArchiveRequestHandler.__new__(ArchiveRequestHandler)
+        handler.request_version = "HTTP/1.1"
+        handler.command = "GET"
+        handler.requestline = "GET /jobs/alpha HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 1)
+        handler.close_connection = False
+        handler.wfile = GoneClient()
+        handler._write(
+            Response(200, b"body bytes"), include_body=True
+        )
+        assert handler.close_connection is True
+
     def test_stalled_request_line_does_not_pin_thread(self, strict_server):
         # A client that connects and never sends anything must be
         # dropped by the socket timeout; the server stays responsive.
